@@ -1,0 +1,54 @@
+//! Wall-clock of every monitoring algorithm on one fixed scenario — the E7
+//! comparison's time dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use topk_net::trace::TraceMatrix;
+use topk_sim::AlgoSpec;
+use topk_streams::WorkloadSpec;
+
+fn trace() -> TraceMatrix {
+    WorkloadSpec::RandomWalk {
+        n: 128,
+        lo: 0,
+        hi: 1 << 20,
+        step_max: 512,
+        lazy_p: 0.2,
+    }
+    .record(3, 200)
+}
+
+fn bench_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparison");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let trace = trace();
+    for algo in [
+        AlgoSpec::hero(),
+        AlgoSpec::Naive,
+        AlgoSpec::PeriodicRecompute,
+        AlgoSpec::FilterNaiveResolve,
+        AlgoSpec::DominanceMidpoint,
+        AlgoSpec::OrderedTopk,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut mon = algo.build(trace.n(), 4, 11);
+                    for t in 0..trace.steps() {
+                        mon.step(t as u64, trace.step(t));
+                    }
+                    black_box(mon.ledger().total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

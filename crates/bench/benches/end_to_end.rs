@@ -1,0 +1,45 @@
+//! End-to-end scenario cost: full monitoring run plus the offline OPT
+//! segmentation (the complete E4 pipeline), and OPT alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_core::opt::{opt_segments, OptCostModel};
+use topk_sim::{run_scenario_on_trace, AlgoSpec, Scenario};
+use topk_streams::WorkloadSpec;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const STEPS: usize = 300;
+    for &n in &[64usize, 256] {
+        let spec = WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+            step_max: 256,
+            lazy_p: 0.2,
+        };
+        let trace = spec.record(5, STEPS);
+        let sc = Scenario {
+            k: 4,
+            steps: STEPS,
+            workload: spec,
+            algo: AlgoSpec::hero(),
+            seed: 5,
+        };
+        group.throughput(Throughput::Elements(STEPS as u64));
+        group.bench_with_input(BenchmarkId::new("scenario", n), &trace, |b, trace| {
+            b.iter(|| black_box(run_scenario_on_trace(&sc, trace)));
+        });
+        group.bench_with_input(BenchmarkId::new("opt_only", n), &trace, |b, trace| {
+            b.iter(|| black_box(opt_segments(trace, 4, OptCostModel::PerUpdate)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline);
+criterion_main!(benches);

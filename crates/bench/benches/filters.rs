@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the filter machinery: violation checks (the per-node
+//! per-step hot path), Lemma 2.2 validation, and tracker updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_filters::{FilterInterval, FilterSet, GapTracker};
+use topk_net::id::true_topk;
+use topk_net::rng::substream_rng;
+
+use rand::Rng;
+
+fn bench_violation_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters/violation_check");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let filter = FilterInterval::above(1 << 19);
+    let mut rng = substream_rng(1, 1);
+    let values: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("batch_4096", |b| {
+        b.iter(|| {
+            let mut violations = 0u32;
+            for &v in &values {
+                violations += filter.check(black_box(v)).is_some() as u32;
+            }
+            black_box(violations)
+        });
+    });
+    group.finish();
+}
+
+fn bench_lemma22_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters/lemma22");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[64usize, 1024] {
+        let mut rng = substream_rng(2, n as u64);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+        let k = 8.min(n - 1);
+        let topk = true_topk(&values, k);
+        let mut sorted = values.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let m = topk_net::id::midpoint_floor(sorted[k - 1], sorted[k]);
+        let fs = FilterSet::threshold(n, k, m, &topk);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fs, |b, fs| {
+            b.iter(|| black_box(fs.is_valid_for(&values)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gap_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters/gap_tracker");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("absorb_chain", |b| {
+        b.iter(|| {
+            let mut g = GapTracker::start_epoch(0, 1 << 30, 0);
+            let mut out = 0u64;
+            for i in 0..64u64 {
+                match g.absorb((1 << 30) - i * 1000, i * 500) {
+                    topk_filters::GapUpdate::Midpoint(m) => out ^= m,
+                    topk_filters::GapUpdate::ResetRequired => break,
+                }
+            }
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_violation_check,
+    bench_lemma22_validation,
+    bench_gap_tracker
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Wall-clock of one MAXIMUMPROTOCOL execution vs n (experiment E1's time
+//! dimension) and of the deterministic baselines (E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_bench::{permuted_entries, PROTOCOL_SIZES};
+use topk_net::ledger::CommLedger;
+use topk_proto::baselines::{poll_all_max, sequential_threshold_max};
+use topk_proto::extremum::BroadcastPolicy;
+use topk_proto::runner::{run_max, select_topk};
+
+fn bench_max_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_protocol");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in PROTOCOL_SIZES {
+        let entries = permuted_entries(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &entries, |b, es| {
+            let mut tag = 0u64;
+            b.iter(|| {
+                let mut ledger = CommLedger::new();
+                tag += 1;
+                black_box(run_max(
+                    es,
+                    es.len() as u64,
+                    BroadcastPolicy::OnChange,
+                    7,
+                    tag,
+                    &mut ledger,
+                ))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_probe", n),
+            &entries,
+            |b, es| {
+                b.iter(|| {
+                    let mut ledger = CommLedger::new();
+                    black_box(sequential_threshold_max(es, &mut ledger))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("poll_all", n), &entries, |b, es| {
+            b.iter(|| {
+                let mut ledger = CommLedger::new();
+                black_box(poll_all_max(es, &mut ledger))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_select");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let n = 4096;
+    let entries = permuted_entries(n, 2);
+    for &k in &[1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("iterated_max", k), &k, |b, &k| {
+            let mut tag = 0u64;
+            b.iter(|| {
+                let mut ledger = CommLedger::new();
+                tag += 1;
+                black_box(select_topk(
+                    &entries,
+                    k,
+                    n as u64,
+                    BroadcastPolicy::OnChange,
+                    true,
+                    3,
+                    tag,
+                    &mut ledger,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_protocol, bench_topk_select);
+criterion_main!(benches);

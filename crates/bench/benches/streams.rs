@@ -1,0 +1,67 @@
+//! Workload-generator throughput (values/second) — ensures the experiment
+//! harness is never generator-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_streams::WorkloadSpec;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streams/fill_step");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let n = 1024usize;
+    let specs = vec![
+        WorkloadSpec::IidUniform {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+        },
+        WorkloadSpec::default_walk(n),
+        WorkloadSpec::GaussianWalk {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+            sigma: 100.0,
+        },
+        WorkloadSpec::ZipfJumps {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+            max_jump: 1 << 14,
+            s: 1.2,
+        },
+        WorkloadSpec::SensorField { n },
+        WorkloadSpec::Bursty {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+            quiet_step: 2,
+            burst_step: 1 << 12,
+            p_enter_burst: 0.01,
+            p_exit_burst: 0.2,
+        },
+    ];
+    for spec in specs {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &spec,
+            |b, spec| {
+                let mut feed = spec.build(7);
+                let mut out = vec![0u64; n];
+                let mut t = 0u64;
+                b.iter(|| {
+                    feed.fill_step(t, &mut out);
+                    t += 1;
+                    black_box(out[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Throughput of the full Algorithm 1 monitoring loop (steps/second) on
+//! quiet and churny regimes — the E4/E5 wall-clock companion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_bench::MONITOR_SIZES;
+use topk_core::{Monitor, MonitorConfig, TopkMonitor};
+use topk_streams::WorkloadSpec;
+
+fn bench_steps(c: &mut Criterion, name: &str, spec_for: impl Fn(usize) -> WorkloadSpec) {
+    let mut group = c.benchmark_group(format!("topk_step/{name}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const STEPS: usize = 200;
+    for &n in MONITOR_SIZES {
+        let trace = spec_for(n).record(5, STEPS);
+        group.throughput(Throughput::Elements(STEPS as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut mon = TopkMonitor::new(MonitorConfig::new(n, 4.min(n)), 9);
+                for t in 0..trace.steps() {
+                    mon.step(t as u64, trace.step(t));
+                }
+                black_box(mon.ledger().total())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn quiet(c: &mut Criterion) {
+    bench_steps(c, "quiet_walk", |n| WorkloadSpec::RandomWalk {
+        n,
+        lo: 0,
+        hi: 1 << 20,
+        step_max: 32,
+        lazy_p: 0.2,
+    });
+}
+
+fn churny(c: &mut Criterion) {
+    bench_steps(c, "churny_iid", |n| WorkloadSpec::IidUniform {
+        n,
+        lo: 0,
+        hi: 1 << 20,
+    });
+}
+
+criterion_group!(benches, quiet, churny);
+criterion_main!(benches);

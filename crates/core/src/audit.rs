@@ -1,0 +1,195 @@
+//! Deep invariant auditing of a running Algorithm 1 instance.
+//!
+//! [`audit_monitor`] cross-checks everything the distributed pieces believe
+//! against each other and against ground truth after a step:
+//!
+//! 1. coordinator answer = a valid top-k for the true values (and the unique
+//!    one when the boundary is strict);
+//! 2. every node's membership flag agrees with the coordinator's set;
+//! 3. every initialized node holds the same threshold `M`, equal to the
+//!    coordinator's;
+//! 4. the implied assignment is a valid *set of filters* in the Lemma 2.2
+//!    sense (via `topk-filters`), except on nodes whose value currently
+//!    violates — which must be impossible *between* steps (violations are
+//!    resolved within the step that observes them);
+//! 5. the coordinator's `T+/T−` certificate brackets the true boundary
+//!    values: `T+ ≤ min top-k value` may fail only through staleness in the
+//!    *downward* direction, so we check the certified order `T+ ≥ M ≥ T−`.
+//!
+//! The auditor is test/tool infrastructure: it reads both sides through
+//! their public inspection APIs and never participates in the protocol.
+
+use topk_filters::FilterSet;
+use topk_net::behavior::NodeBehavior as _;
+use topk_net::id::{true_topk, NodeId, Value};
+
+use crate::monitor::{is_valid_topk, Monitor as _, TopkMonitor};
+
+/// A failed audit, with enough context to debug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    InvalidTopk {
+        got: Vec<NodeId>,
+    },
+    NotUniqueAnswer {
+        got: Vec<NodeId>,
+        expected: Vec<NodeId>,
+    },
+    MembershipMismatch {
+        node: NodeId,
+        node_believes: bool,
+        coordinator_believes: bool,
+    },
+    ThresholdMismatch {
+        node: NodeId,
+        node_threshold: Option<Value>,
+        coordinator_threshold: Option<Value>,
+    },
+    InvalidFilterSet,
+    CertificateOrder {
+        t_plus: Value,
+        t_minus: Value,
+        threshold: Value,
+    },
+    NodeStillViolating {
+        node: NodeId,
+        value: Value,
+        threshold: Value,
+        in_topk: bool,
+    },
+}
+
+/// Audit `mon` against the observations `values` of the step that just
+/// completed. Returns all violations found (empty = healthy).
+pub fn audit_monitor(mon: &TopkMonitor, values: &[Value]) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    let cfg = mon.config();
+    let answer = mon.topk();
+
+    // (1) answer validity / uniqueness.
+    if !is_valid_topk(values, &answer) {
+        errors.push(AuditError::InvalidTopk { got: answer.clone() });
+    } else if cfg.k < cfg.n {
+        let mut sorted: Vec<Value> = values.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        if sorted[cfg.k - 1] > sorted[cfg.k] {
+            let expected = true_topk(values, cfg.k);
+            if answer != expected {
+                errors.push(AuditError::NotUniqueAnswer {
+                    got: answer.clone(),
+                    expected,
+                });
+            }
+        }
+    }
+
+    if cfg.is_degenerate() {
+        return errors;
+    }
+
+    let coord_threshold = mon.coordinator().current_threshold();
+    let mut member = vec![false; cfg.n];
+    for id in &answer {
+        member[id.idx()] = true;
+    }
+
+    for node in mon.nodes() {
+        let id = node.id();
+        // (2) membership agreement (only meaningful once initialized).
+        if node.threshold().is_some() && node.in_topk() != member[id.idx()] {
+            errors.push(AuditError::MembershipMismatch {
+                node: id,
+                node_believes: node.in_topk(),
+                coordinator_believes: member[id.idx()],
+            });
+        }
+        // (3) shared threshold.
+        if node.threshold() != coord_threshold {
+            errors.push(AuditError::ThresholdMismatch {
+                node: id,
+                node_threshold: node.threshold(),
+                coordinator_threshold: coord_threshold,
+            });
+        }
+        // (5-post) no unresolved violations between steps.
+        if let Some(m) = node.threshold() {
+            let v = values[id.idx()];
+            let violating = if node.in_topk() { v < m } else { v > m };
+            if violating {
+                errors.push(AuditError::NodeStillViolating {
+                    node: id,
+                    value: v,
+                    threshold: m,
+                    in_topk: node.in_topk(),
+                });
+            }
+        }
+    }
+
+    // (4) Lemma 2.2 validity of the implied threshold assignment.
+    if let Some(m) = coord_threshold {
+        let fs = FilterSet::threshold(cfg.n, cfg.k, m, &answer);
+        if !fs.is_valid_for(values) {
+            errors.push(AuditError::InvalidFilterSet);
+        }
+        // (5) certificate order.
+        if let Some(tr) = mon.coordinator().tracker() {
+            if !(tr.t_plus() >= m && m >= tr.t_minus()) {
+                errors.push(AuditError::CertificateOrder {
+                    t_plus: tr.t_plus(),
+                    t_minus: tr.t_minus(),
+                    threshold: m,
+                });
+            }
+        }
+    }
+
+    errors
+}
+
+/// Panic with a readable report if any audit error is present.
+pub fn assert_audit_clean(mon: &TopkMonitor, values: &[Value], context: &str) {
+    let errors = audit_monitor(mon, values);
+    assert!(
+        errors.is_empty(),
+        "audit failed ({context}): {errors:#?}\nvalues: {values:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MonitorConfig, TopkMonitor};
+
+    #[test]
+    fn healthy_monitor_audits_clean() {
+        let mut mon = TopkMonitor::new(MonitorConfig::new(6, 2), 3);
+        let rows = [
+            vec![10u64, 60, 30, 50, 20, 40],
+            vec![12, 58, 33, 52, 18, 41],
+            vec![500, 58, 33, 52, 18, 41],
+        ];
+        for (t, row) in rows.iter().enumerate() {
+            mon.step(t as u64, row);
+            assert_audit_clean(&mon, row, "healthy run");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_audit_clean() {
+        let mut mon = TopkMonitor::new(MonitorConfig::new(3, 3), 1);
+        mon.step(0, &[5, 2, 9]);
+        assert_audit_clean(&mon, &[5, 2, 9], "k=n");
+    }
+
+    #[test]
+    fn audit_detects_wrong_values() {
+        // Feed the auditor *different* values than the monitor saw: it must
+        // (correctly) flag the stale answer — proving the audit has teeth.
+        let mut mon = TopkMonitor::new(MonitorConfig::new(4, 1), 2);
+        mon.step(0, &[100, 10, 20, 30]);
+        let lies = vec![1u64, 999, 20, 30];
+        let errors = audit_monitor(&mon, &lies);
+        assert!(!errors.is_empty(), "auditor must flag inconsistent state");
+    }
+}

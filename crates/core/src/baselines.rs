@@ -1,0 +1,676 @@
+//! Online baselines for the E7 comparison table.
+//!
+//! Unlike the hero algorithm (driven through real node/coordinator state
+//! machines), the baselines are computed centrally with explicit message
+//! accounting — their communication patterns are simple enough that the
+//! count is exact by construction. Each documents its accounting.
+//!
+//! * [`NaiveMonitor`] — every node sends every change; the coordinator
+//!   always knows everything.
+//! * [`PeriodicRecompute`] — §2.1 "first approach": recompute the top-k from
+//!   scratch each step with `k` iterated MAXIMUMPROTOCOL(n) runs.
+//! * [`FilterNaiveResolve`] — Algorithm 1's filter skeleton, but every
+//!   protocol replaced by polling (`M(q) = q + 1`): isolates the
+//!   contribution of the randomized protocol (Babcock–Olston-flavoured
+//!   "filters with naive resolution").
+//! * [`DominanceMidpoint`] — adaptation of Lam et al.'s midpoint strategy:
+//!   track the *entire* order of all `n` nodes with midpoint filters between
+//!   rank-adjacent nodes. Demonstrates §3.1's point that dominance tracking
+//!   communicates on *every* rank change, not just those at the k boundary.
+
+use topk_net::id::{midpoint_floor, true_topk, NodeId, RankEntry, Value};
+use topk_net::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
+use topk_net::rng::derive_seed;
+use topk_net::wire::{varint_bits, Report, WireSize};
+
+use topk_filters::tracker::{GapTracker, GapUpdate};
+use topk_proto::extremum::BroadcastPolicy;
+use topk_proto::runner::select_topk;
+
+use crate::monitor::Monitor;
+
+fn report_bits(id: NodeId, value: Value) -> u32 {
+    8 + Report { id, value }.wire_bits()
+}
+
+fn value_bits(value: Value) -> u32 {
+    8 + varint_bits(value)
+}
+
+// ---------------------------------------------------------------------------
+// Naive: send every change.
+// ---------------------------------------------------------------------------
+
+/// Every node reports every changed observation (all of them at `t = 0`);
+/// the coordinator therefore always holds the exact value vector.
+/// Accounting: one up-message per changed value per step.
+pub struct NaiveMonitor {
+    k: usize,
+    last: Vec<Value>,
+    topk: Vec<NodeId>,
+    ledger: CommLedger,
+    started: bool,
+}
+
+impl NaiveMonitor {
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= n);
+        NaiveMonitor {
+            k,
+            last: vec![0; n],
+            topk: Vec::new(),
+            ledger: CommLedger::new(),
+            started: false,
+        }
+    }
+}
+
+impl Monitor for NaiveMonitor {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn step(&mut self, _t: u64, values: &[Value]) {
+        assert_eq!(values.len(), self.last.len());
+        for (i, &v) in values.iter().enumerate() {
+            if !self.started || self.last[i] != v {
+                self.ledger
+                    .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+            }
+            self.last[i] = v;
+        }
+        self.started = true;
+        self.topk = true_topk(values, self.k);
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        self.topk.clone()
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.last.len()
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §2.1 periodic recomputation.
+// ---------------------------------------------------------------------------
+
+/// Recompute the top-k from scratch every step via `k` iterated
+/// MAXIMUMPROTOCOL(n) executions with winner-announcement broadcasts —
+/// `O(k log n)` messages per step regardless of input similarity.
+pub struct PeriodicRecompute {
+    n: usize,
+    k: usize,
+    policy: BroadcastPolicy,
+    seed: u64,
+    topk: Vec<NodeId>,
+    ledger: CommLedger,
+}
+
+impl PeriodicRecompute {
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 1 && k <= n);
+        PeriodicRecompute {
+            n,
+            k,
+            policy: BroadcastPolicy::OnChange,
+            seed,
+            topk: Vec::new(),
+            ledger: CommLedger::new(),
+        }
+    }
+}
+
+impl Monitor for PeriodicRecompute {
+    fn name(&self) -> &'static str {
+        "periodic-recompute"
+    }
+
+    fn step(&mut self, t: u64, values: &[Value]) {
+        assert_eq!(values.len(), self.n);
+        let entries: Vec<(NodeId, Value)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32), v))
+            .collect();
+        let winners = select_topk(
+            &entries,
+            self.k,
+            self.n as u64,
+            self.policy,
+            true,
+            self.seed,
+            derive_seed(0x9e3779b9, t),
+            &mut self.ledger,
+        );
+        let mut ids: Vec<NodeId> = winners.iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        self.topk = ids;
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        self.topk.clone()
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filters + naive (poll) resolution.
+// ---------------------------------------------------------------------------
+
+/// Algorithm 1's structure with every randomized protocol replaced by a
+/// poll: violators all report; a missing side is resolved by polling that
+/// whole side (`1` broadcast + side-size replies); resets poll everyone.
+///
+/// Accounting per event: violator reports (1 up each); handler poll
+/// (1 broadcast + `k` or `n−k` ups); midpoint broadcast (1); reset
+/// (1 broadcast + `n` ups + 1 threshold broadcast + changed-membership
+/// unicasts).
+pub struct FilterNaiveResolve {
+    n: usize,
+    k: usize,
+    threshold: Value,
+    member: Vec<bool>,
+    tracker: Option<GapTracker>,
+    topk: Vec<NodeId>,
+    ledger: CommLedger,
+    initialized: bool,
+}
+
+impl FilterNaiveResolve {
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= n);
+        FilterNaiveResolve {
+            n,
+            k,
+            threshold: 0,
+            member: vec![false; n],
+            tracker: None,
+            topk: Vec::new(),
+            ledger: CommLedger::new(),
+            initialized: false,
+        }
+    }
+
+    /// Poll all nodes, rebuild membership and threshold; charge the reset.
+    fn reset(&mut self, t: u64, values: &[Value]) {
+        // 1 poll broadcast + n replies.
+        self.ledger.count(ChannelKind::Broadcast, value_bits(0));
+        for (i, &v) in values.iter().enumerate() {
+            self.ledger
+                .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+        }
+        let ids = true_topk(values, self.k);
+        let mut new_member = vec![false; self.n];
+        for id in &ids {
+            new_member[id.idx()] = true;
+        }
+        // Inform nodes whose side changed (k nodes at init).
+        let changed = if self.initialized {
+            new_member
+                .iter()
+                .zip(&self.member)
+                .filter(|(a, b)| a != b)
+                .count()
+        } else {
+            self.k
+        };
+        for _ in 0..changed {
+            self.ledger.count(ChannelKind::Down, value_bits(1));
+        }
+        // Sorted values for the threshold and epoch.
+        let mut sorted: Vec<Value> = values.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let (kth, k1) = if self.k < self.n {
+            (sorted[self.k - 1], sorted[self.k])
+        } else {
+            (sorted[self.k - 1], 0)
+        };
+        self.threshold = midpoint_floor(kth, k1);
+        self.tracker = Some(GapTracker::start_epoch(t, kth, k1));
+        self.member = new_member;
+        self.topk = ids;
+        // Threshold broadcast.
+        self.ledger
+            .count(ChannelKind::Broadcast, value_bits(self.threshold));
+        self.initialized = true;
+    }
+}
+
+impl Monitor for FilterNaiveResolve {
+    fn name(&self) -> &'static str {
+        "filter-naive-resolve"
+    }
+
+    fn step(&mut self, t: u64, values: &[Value]) {
+        assert_eq!(values.len(), self.n);
+        if !self.initialized {
+            self.reset(t, values);
+            return;
+        }
+        if self.k == self.n {
+            return;
+        }
+        let m = self.threshold;
+        let mut viol_min: Option<Value> = None;
+        let mut viol_max: Option<Value> = None;
+        for (i, &v) in values.iter().enumerate() {
+            let violated = if self.member[i] { v < m } else { v > m };
+            if violated {
+                self.ledger
+                    .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+                if self.member[i] {
+                    viol_min = Some(viol_min.map_or(v, |x: Value| x.min(v)));
+                } else {
+                    viol_max = Some(viol_max.map_or(v, |x: Value| x.max(v)));
+                }
+            }
+        }
+        if viol_min.is_none() && viol_max.is_none() {
+            return;
+        }
+        // Resolve the missing side by polling it (violator-side extrema are
+        // already exact, same argument as the hero's handler).
+        let min_v = viol_min.unwrap_or_else(|| {
+            self.ledger.count(ChannelKind::Broadcast, value_bits(0));
+            let mut mn = Value::MAX;
+            for (i, &v) in values.iter().enumerate() {
+                if self.member[i] {
+                    self.ledger
+                        .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+                    mn = mn.min(v);
+                }
+            }
+            mn
+        });
+        let max_v = viol_max.unwrap_or_else(|| {
+            self.ledger.count(ChannelKind::Broadcast, value_bits(0));
+            let mut mx = 0;
+            for (i, &v) in values.iter().enumerate() {
+                if !self.member[i] {
+                    self.ledger
+                        .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+                    mx = mx.max(v);
+                }
+            }
+            mx
+        });
+        match self.tracker.as_mut().unwrap().absorb(min_v, max_v) {
+            GapUpdate::Midpoint(new_m) => {
+                self.threshold = new_m;
+                self.ledger
+                    .count(ChannelKind::Broadcast, value_bits(new_m));
+            }
+            GapUpdate::ResetRequired => self.reset(t, values),
+        }
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        self.topk.clone()
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lam-style dominance (full order) midpoint tracking.
+// ---------------------------------------------------------------------------
+
+/// Track the complete descending order of all nodes with midpoint filters
+/// between rank-adjacent pairs; the top-k answer is the first `k` of the
+/// maintained order.
+///
+/// On violations, the affected contiguous rank span (hull of every
+/// violator's old and landing rank) is polled exactly, re-sorted, interior
+/// boundaries are recomputed and new filters delivered. Accounting per
+/// event: 1 up per violator + 1 poll broadcast + 1 up per polled non-violator
+/// + 1 unicast per span member (filter delivery). Initialization: poll
+/// broadcast + `n` ups + `n` filter unicasts.
+pub struct DominanceMidpoint {
+    n: usize,
+    k: usize,
+    /// `order[r]` = node at rank `r` (0 = highest).
+    order: Vec<NodeId>,
+    /// `rank_of[i]` = rank of node `i`.
+    rank_of: Vec<usize>,
+    /// Exact values at the last time each node was heard from.
+    known: Vec<Value>,
+    /// `bounds[r]` = filter boundary between ranks `r` and `r+1`
+    /// (descending, `n-1` entries).
+    bounds: Vec<Value>,
+    ledger: CommLedger,
+    initialized: bool,
+}
+
+impl DominanceMidpoint {
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= n);
+        DominanceMidpoint {
+            n,
+            k,
+            order: Vec::new(),
+            rank_of: vec![0; n],
+            known: vec![0; n],
+            bounds: Vec::new(),
+            ledger: CommLedger::new(),
+            initialized: false,
+        }
+    }
+
+    fn sort_ids_desc(ids: &mut [NodeId], values: &[Value]) {
+        ids.sort_unstable_by(|a, b| {
+            RankEntry::new(values[b.idx()], *b).cmp(&RankEntry::new(values[a.idx()], *a))
+        });
+    }
+
+    fn init(&mut self, values: &[Value]) {
+        self.ledger.count(ChannelKind::Broadcast, value_bits(0));
+        for (i, &v) in values.iter().enumerate() {
+            self.ledger
+                .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+            self.known[i] = v;
+        }
+        let mut ids: Vec<NodeId> = (0..self.n as u32).map(NodeId).collect();
+        Self::sort_ids_desc(&mut ids, values);
+        self.order = ids;
+        for (r, id) in self.order.iter().enumerate() {
+            self.rank_of[id.idx()] = r;
+        }
+        self.bounds = (0..self.n.saturating_sub(1))
+            .map(|r| {
+                midpoint_floor(
+                    self.known[self.order[r].idx()],
+                    self.known[self.order[r + 1].idx()],
+                )
+            })
+            .collect();
+        // Filter delivery: one unicast per node.
+        for _ in 0..self.n {
+            self.ledger.count(ChannelKind::Down, value_bits(1) * 2);
+        }
+        self.initialized = true;
+    }
+
+    /// Rank slot `v` lands in according to the current boundaries.
+    fn landing_rank(&self, v: Value) -> usize {
+        // bounds descending: first index whose boundary is ≤ v.
+        self.bounds.partition_point(|&b| b > v)
+    }
+
+    /// Does the node at rank `r` with current value `v` violate its filter?
+    fn violates(&self, r: usize, v: Value) -> bool {
+        if r > 0 && v > self.bounds[r - 1] {
+            return true;
+        }
+        if r < self.n - 1 && v < self.bounds[r] {
+            return true;
+        }
+        false
+    }
+}
+
+impl Monitor for DominanceMidpoint {
+    fn name(&self) -> &'static str {
+        "dominance-midpoint"
+    }
+
+    fn step(&mut self, _t: u64, values: &[Value]) {
+        assert_eq!(values.len(), self.n);
+        if !self.initialized {
+            self.init(values);
+            return;
+        }
+        if self.n == 1 {
+            return;
+        }
+        // Collect violators.
+        let mut span_lo = usize::MAX;
+        let mut span_hi = 0usize;
+        let mut any = false;
+        let mut is_violator = vec![false; self.n];
+        for i in 0..self.n {
+            let r = self.rank_of[i];
+            let v = values[i];
+            if self.violates(r, v) {
+                any = true;
+                is_violator[i] = true;
+                self.ledger
+                    .count(ChannelKind::Up, report_bits(NodeId(i as u32), v));
+                self.known[i] = v;
+                let land = self.landing_rank(v);
+                span_lo = span_lo.min(r.min(land));
+                span_hi = span_hi.max(r.max(land));
+            }
+        }
+        if !any {
+            return;
+        }
+        // Poll the non-violator span members (1 broadcast + replies).
+        self.ledger.count(ChannelKind::Broadcast, value_bits(0) * 2);
+        for r in span_lo..=span_hi {
+            let id = self.order[r];
+            if !is_violator[id.idx()] {
+                self.ledger
+                    .count(ChannelKind::Up, report_bits(id, values[id.idx()]));
+                self.known[id.idx()] = values[id.idx()];
+            }
+        }
+        // Re-sort the span by exact values.
+        let mut span_ids: Vec<NodeId> = self.order[span_lo..=span_hi].to_vec();
+        let known = &self.known;
+        span_ids.sort_unstable_by(|a, b| {
+            RankEntry::new(known[b.idx()], *b).cmp(&RankEntry::new(known[a.idx()], *a))
+        });
+        for (off, id) in span_ids.iter().enumerate() {
+            self.order[span_lo + off] = *id;
+            self.rank_of[id.idx()] = span_lo + off;
+        }
+        // Recompute interior boundaries; edges stay (still separating).
+        for r in span_lo..span_hi {
+            self.bounds[r] = midpoint_floor(
+                self.known[self.order[r].idx()],
+                self.known[self.order[r + 1].idx()],
+            );
+        }
+        // Deliver new filters to span members.
+        for _ in span_lo..=span_hi {
+            self.ledger.count(ChannelKind::Down, value_bits(1) * 2);
+        }
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.order[..self.k].to_vec();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::is_valid_topk;
+
+    fn check_all_valid(mon: &mut dyn Monitor, rows: &[Vec<Value>]) {
+        for (t, row) in rows.iter().enumerate() {
+            mon.step(t as u64, row);
+            let tk = mon.topk();
+            assert_eq!(tk.len(), mon.k());
+            assert!(
+                is_valid_topk(row, &tk),
+                "{} invalid top-{} {:?} at t={t} for {row:?}",
+                mon.name(),
+                mon.k(),
+                tk
+            );
+        }
+    }
+
+    fn sample_rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![10, 50, 20, 40, 30],
+            vec![12, 48, 22, 38, 31],
+            vec![45, 47, 23, 10, 32], // n0 rockets
+            vec![46, 11, 23, 12, 60], // n4 leads, n1 collapses
+            vec![46, 11, 23, 12, 60],
+            vec![5, 70, 80, 90, 1],   // wholesale reshuffle
+        ]
+    }
+
+    #[test]
+    fn naive_tracks_exactly_and_counts_changes() {
+        let rows = sample_rows();
+        let mut mon = NaiveMonitor::new(5, 2);
+        check_all_valid(&mut mon, &rows);
+        // t0: 5 ups; t4 repeats t3: 0 ups.
+        let mut mon2 = NaiveMonitor::new(5, 2);
+        mon2.step(0, &rows[0]);
+        assert_eq!(mon2.ledger().up, 5);
+        mon2.step(1, &rows[1]);
+        let after1 = mon2.ledger().up;
+        assert_eq!(after1, 10);
+        mon2.step(2, &rows[2]);
+        mon2.step(3, &rows[3]);
+        let before = mon2.ledger().up;
+        mon2.step(4, &rows[4]);
+        assert_eq!(mon2.ledger().up, before, "unchanged step costs nothing");
+    }
+
+    #[test]
+    fn periodic_recompute_is_exact_every_step() {
+        let rows = sample_rows();
+        let mut mon = PeriodicRecompute::new(5, 2, 11);
+        check_all_valid(&mut mon, &rows);
+        // It pays every step, even unchanged ones.
+        let l1 = {
+            let mut m = PeriodicRecompute::new(5, 2, 11);
+            m.step(0, &rows[3]);
+            m.ledger().total()
+        };
+        let mut m = PeriodicRecompute::new(5, 2, 11);
+        m.step(0, &rows[3]);
+        m.step(1, &rows[3]);
+        assert!(m.ledger().total() > l1, "recomputes on identical input");
+    }
+
+    #[test]
+    fn filter_naive_resolve_valid_and_silent_when_stable() {
+        let rows = sample_rows();
+        let mut mon = FilterNaiveResolve::new(5, 2);
+        check_all_valid(&mut mon, &rows);
+        // Silent on in-filter movement.
+        let mut m = FilterNaiveResolve::new(5, 2);
+        m.step(0, &[10, 50, 20, 40, 30]);
+        let base = m.ledger().total();
+        m.step(1, &[11, 51, 19, 41, 29]);
+        assert_eq!(m.ledger().total(), base);
+    }
+
+    #[test]
+    fn dominance_midpoint_valid_on_reshuffles() {
+        let rows = sample_rows();
+        let mut mon = DominanceMidpoint::new(5, 2);
+        check_all_valid(&mut mon, &rows);
+    }
+
+    #[test]
+    fn dominance_pays_for_deep_rank_churn() {
+        // Movement far below the k boundary: hero-style threshold filters
+        // are silent, the dominance tracker is not.
+        let mut dom = DominanceMidpoint::new(6, 1);
+        let mut fil = FilterNaiveResolve::new(6, 1);
+        let rows: Vec<Vec<Value>> = (0..40u64)
+            .map(|t| {
+                // n0 is a stable leader at 1000; n1..n5 permute 100..500.
+                let mut row = vec![1000u64];
+                for i in 1..6u64 {
+                    row.push(100 + ((i * 97 + t * 131) % 400));
+                }
+                row
+            })
+            .collect();
+        for (t, row) in rows.iter().enumerate() {
+            dom.step(t as u64, row);
+            fil.step(t as u64, row);
+            assert!(is_valid_topk(row, &dom.topk()));
+            assert!(is_valid_topk(row, &fil.topk()));
+        }
+        assert!(
+            dom.ledger().total() > 4 * fil.ledger().total(),
+            "dominance {} should dwarf filter {}",
+            dom.ledger().total(),
+            fil.ledger().total()
+        );
+    }
+
+    #[test]
+    fn dominance_single_node() {
+        let mut dom = DominanceMidpoint::new(1, 1);
+        for t in 0..10 {
+            dom.step(t, &[t * 3]);
+            assert_eq!(dom.topk(), vec![NodeId(0)]);
+        }
+    }
+
+    #[test]
+    fn baselines_handle_ties() {
+        let rows = [vec![5, 5, 5, 5], vec![5, 6, 5, 4], vec![6, 6, 6, 6]];
+        let mut monitors: Vec<Box<dyn Monitor>> = vec![
+            Box::new(NaiveMonitor::new(4, 2)),
+            Box::new(PeriodicRecompute::new(4, 2, 3)),
+            Box::new(FilterNaiveResolve::new(4, 2)),
+            Box::new(DominanceMidpoint::new(4, 2)),
+        ];
+        for mon in &mut monitors {
+            for (t, row) in rows.iter().enumerate() {
+                mon.step(t as u64, row);
+                assert!(
+                    is_valid_topk(row, &mon.topk()),
+                    "{} on ties at t={t}",
+                    mon.name()
+                );
+            }
+        }
+    }
+}

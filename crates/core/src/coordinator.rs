@@ -1,0 +1,401 @@
+//! The coordinator-side state machine of Algorithm 1.
+//!
+//! Per time step the coordinator moves through up to four phases:
+//!
+//! 1. **Violation window** (rounds `0..=max(⌈log k⌉, ⌈log(n−k)⌉)`): collect
+//!    the reports of the concurrently running violation-phase
+//!    MINIMUMPROTOCOL(k) / MAXIMUMPROTOCOL(n−k) (lines 2–10), broadcasting
+//!    running extrema so losing participants deactivate. Violator-only
+//!    extrema are *exact* for their side: every violator sits strictly
+//!    beyond the shared threshold `M`, every non-violator at or within it.
+//! 2. **Handler protocol** (lines 22–26): if one side is missing (or in
+//!    `Faithful` mode per the pseudocode), run a full-group protocol over
+//!    that side.
+//! 3. **Conclusion** (lines 27–34): fold the exact min/max into the
+//!    [`GapTracker`]; either broadcast the new midpoint threshold or
+//! 4. **FILTERRESET** (lines 36–42): `k+1` iterations of
+//!    MAXIMUMPROTOCOL(n), winner announcements doubling as next-iteration
+//!    start signals, concluded by the new threshold broadcast.
+
+use topk_net::behavior::{CoordOut, CoordinatorBehavior};
+use topk_net::id::{midpoint_floor, NodeId};
+use topk_net::rng::log2_ceil;
+use topk_net::wire::Report;
+
+use topk_filters::tracker::{GapTracker, GapUpdate};
+use topk_proto::extremum::{MaxAggregator, MinAggregator};
+
+use crate::config::{HandlerMode, MonitorConfig};
+use crate::metrics::RunMetrics;
+use crate::msg::{DownMsg, UpMsg};
+
+/// Per-step phase of the coordinator.
+enum Phase {
+    /// Step concluded (or degenerate configuration).
+    Done,
+    /// First step ever: initialization reset pending (line 1).
+    NeedInit,
+    /// Collecting violation-phase protocol reports.
+    ViolationWindow {
+        min_agg: MinAggregator,
+        max_agg: MaxAggregator,
+    },
+    /// Handler-initiated MINIMUMPROTOCOL(k) over all top-k.
+    HandlerMin {
+        agg: MinAggregator,
+        start_m: u32,
+        carried_max: u64,
+    },
+    /// Handler-initiated MAXIMUMPROTOCOL(n−k) over all non-top-k.
+    HandlerMax {
+        agg: MaxAggregator,
+        start_m: u32,
+        carried_min: u64,
+    },
+    /// FILTERRESET iteration in progress.
+    Reset {
+        agg: MaxAggregator,
+        start_m: u32,
+        winners: Vec<Report>,
+    },
+}
+
+/// The monitoring coordinator.
+pub struct CoordinatorMachine {
+    cfg: MonitorConfig,
+    /// Current answer: top-k node ids, sorted ascending.
+    topk_ids: Vec<NodeId>,
+    tracker: Option<GapTracker>,
+    /// The threshold `M` the nodes currently hold (informational).
+    last_threshold: Option<u64>,
+    phase: Phase,
+    metrics: RunMetrics,
+    initialized: bool,
+    l_min: u32,
+    l_max: u32,
+    l_viol: u32,
+    l_n: u32,
+}
+
+impl CoordinatorMachine {
+    pub fn new(cfg: MonitorConfig) -> Self {
+        let l_min = log2_ceil(cfg.k as u64);
+        let l_max = log2_ceil((cfg.n - cfg.k).max(1) as u64);
+        let topk_ids = if cfg.is_degenerate() {
+            (0..cfg.n as u32).map(NodeId).collect()
+        } else {
+            Vec::new()
+        };
+        CoordinatorMachine {
+            cfg,
+            topk_ids,
+            tracker: None,
+            last_threshold: None,
+            phase: Phase::Done,
+            metrics: RunMetrics::default(),
+            initialized: cfg.is_degenerate(),
+            l_min,
+            l_max,
+            l_viol: l_min.max(l_max),
+            l_n: log2_ceil(cfg.n as u64),
+        }
+    }
+
+    /// Phase-attributed event counters.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The current `T+ / T−` tracker (None before initialization).
+    pub fn tracker(&self) -> Option<&GapTracker> {
+        self.tracker.as_ref()
+    }
+
+    /// Current filter threshold the nodes hold, if any.
+    pub fn current_threshold(&self) -> Option<u64> {
+        self.last_threshold
+    }
+
+    fn begin_reset(&mut self, m: u32, out: &mut CoordOut<DownMsg>) {
+        out.broadcasts.push(DownMsg::ResetStart);
+        self.metrics.reset_bcast += 1;
+        self.phase = Phase::Reset {
+            agg: MaxAggregator::new(self.cfg.n as u64),
+            start_m: m + 1,
+            winners: Vec::with_capacity(self.cfg.k + 1),
+        };
+    }
+
+    /// Lines 27–34: fold the exact current extrema into the tracker and
+    /// either rebroadcast a midpoint or start a reset.
+    fn conclude_handler(&mut self, m: u32, min_v: u64, max_v: u64, out: &mut CoordOut<DownMsg>) {
+        let tracker = self.tracker.as_mut().expect("initialized");
+        match tracker.absorb(min_v, max_v) {
+            GapUpdate::Midpoint(thresh) => {
+                out.broadcasts.push(DownMsg::Midpoint(thresh));
+                self.last_threshold = Some(thresh);
+                self.metrics.midpoint_updates += 1;
+                self.metrics.midpoint_bcast += 1;
+                self.phase = Phase::Done;
+            }
+            GapUpdate::ResetRequired => {
+                self.metrics.resets += 1;
+                self.begin_reset(m, out);
+            }
+        }
+    }
+}
+
+impl CoordinatorBehavior for CoordinatorMachine {
+    type Up = UpMsg;
+    type Down = DownMsg;
+
+    fn begin_step(&mut self, _t: u64) {
+        self.metrics.steps += 1;
+        if self.cfg.is_degenerate() {
+            self.phase = Phase::Done;
+        } else if !self.initialized {
+            self.phase = Phase::NeedInit;
+        } else {
+            self.phase = Phase::ViolationWindow {
+                min_agg: MinAggregator::new(self.cfg.k as u64),
+                max_agg: MaxAggregator::new((self.cfg.n - self.cfg.k) as u64),
+            };
+        }
+    }
+
+    fn try_skip_silent_step(&mut self, _t: u64) -> bool {
+        if self.cfg.is_degenerate() {
+            return true;
+        }
+        if self.initialized {
+            // No engaged node and no report: the violation window would be
+            // silent and the step free — provably nothing to do.
+            self.phase = Phase::Done;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn micro_round(&mut self, t: u64, m: u32, ups: Vec<(NodeId, UpMsg)>) -> CoordOut<DownMsg> {
+        let mut out = CoordOut::empty();
+        let policy = self.cfg.policy;
+        match &mut self.phase {
+            Phase::Done => {
+                debug_assert!(ups.is_empty(), "no reports expected after conclusion");
+            }
+            Phase::NeedInit => {
+                debug_assert_eq!(m, 0, "initialization starts the very first round");
+                debug_assert!(ups.is_empty(), "nodes are silent before initialization");
+                self.begin_reset(m, &mut out);
+            }
+            Phase::ViolationWindow { min_agg, max_agg } => {
+                for (_, up) in ups {
+                    match up {
+                        UpMsg::ViolMin(r) => {
+                            min_agg.absorb(r);
+                            self.metrics.viol_up += 1;
+                        }
+                        UpMsg::ViolMax(r) => {
+                            max_agg.absorb(r);
+                            self.metrics.viol_up += 1;
+                        }
+                        other => debug_assert!(false, "unexpected report {other:?}"),
+                    }
+                }
+                // Round announcements (useful only while the respective
+                // protocol still has rounds to run).
+                if m < self.l_min {
+                    if let Some(a) = min_agg.pending_announcement(policy) {
+                        out.broadcasts.push(DownMsg::ViolMinAnnounce(a));
+                        min_agg.mark_announced();
+                        self.metrics.viol_bcast += 1;
+                    }
+                }
+                if m < self.l_max {
+                    if let Some(a) = max_agg.pending_announcement(policy) {
+                        out.broadcasts.push(DownMsg::ViolMaxAnnounce(a));
+                        max_agg.mark_announced();
+                        self.metrics.viol_bcast += 1;
+                    }
+                }
+                if m == self.l_viol {
+                    // Window complete: violator extrema are final.
+                    let vmin = min_agg.result();
+                    let vmax = max_agg.result();
+                    match (vmin, vmax) {
+                        (None, None) => {
+                            // Silent step (threaded path without skip).
+                            self.phase = Phase::Done;
+                        }
+                        (Some(mn), Some(mx))
+                            if self.cfg.handler_mode == HandlerMode::Tight =>
+                        {
+                            self.metrics.violation_steps += 1;
+                            self.metrics.handler_calls += 1;
+                            self.conclude_handler(m, mn.value, mx.value, &mut out);
+                        }
+                        (mn_opt, Some(mx)) => {
+                            // Line 25 ("else" branch): max is set — run
+                            // MINIMUMPROTOCOL over *all* top-k. Reached with
+                            // mn_opt = Some(_) only in Faithful mode.
+                            let _ = mn_opt;
+                            self.metrics.violation_steps += 1;
+                            self.metrics.handler_calls += 1;
+                            self.metrics.handler_protocols += 1;
+                            out.broadcasts.push(DownMsg::HandlerStartMin);
+                            self.metrics.handler_bcast += 1;
+                            self.phase = Phase::HandlerMin {
+                                agg: MinAggregator::new(self.cfg.k as u64),
+                                start_m: m + 1,
+                                carried_max: mx.value,
+                            };
+                        }
+                        (Some(mn), None) => {
+                            // Line 23: max not set — run MAXIMUMPROTOCOL
+                            // over all non-top-k.
+                            self.metrics.violation_steps += 1;
+                            self.metrics.handler_calls += 1;
+                            self.metrics.handler_protocols += 1;
+                            out.broadcasts.push(DownMsg::HandlerStartMax);
+                            self.metrics.handler_bcast += 1;
+                            self.phase = Phase::HandlerMax {
+                                agg: MaxAggregator::new((self.cfg.n - self.cfg.k) as u64),
+                                start_m: m + 1,
+                                carried_min: mn.value,
+                            };
+                        }
+                    }
+                }
+            }
+            Phase::HandlerMin {
+                agg,
+                start_m,
+                carried_max,
+            } => {
+                for (_, up) in ups {
+                    match up {
+                        UpMsg::Handler(r) => {
+                            agg.absorb(r);
+                            self.metrics.handler_up += 1;
+                        }
+                        other => debug_assert!(false, "unexpected report {other:?}"),
+                    }
+                }
+                let r = m - *start_m;
+                if r < self.l_min {
+                    if let Some(a) = agg.pending_announcement(policy) {
+                        out.broadcasts.push(DownMsg::HandlerAnnounce(a));
+                        agg.mark_announced();
+                        self.metrics.handler_bcast += 1;
+                    }
+                }
+                if r == self.l_min {
+                    let mn = agg
+                        .result()
+                        .expect("k ≥ 1 top-k nodes always respond")
+                        .value;
+                    let mx = *carried_max;
+                    self.conclude_handler(m, mn, mx, &mut out);
+                }
+            }
+            Phase::HandlerMax {
+                agg,
+                start_m,
+                carried_min,
+            } => {
+                for (_, up) in ups {
+                    match up {
+                        UpMsg::Handler(r) => {
+                            agg.absorb(r);
+                            self.metrics.handler_up += 1;
+                        }
+                        other => debug_assert!(false, "unexpected report {other:?}"),
+                    }
+                }
+                let r = m - *start_m;
+                if r < self.l_max {
+                    if let Some(a) = agg.pending_announcement(policy) {
+                        out.broadcasts.push(DownMsg::HandlerAnnounce(a));
+                        agg.mark_announced();
+                        self.metrics.handler_bcast += 1;
+                    }
+                }
+                if r == self.l_max {
+                    let mx = agg
+                        .result()
+                        .expect("n−k ≥ 1 non-top-k nodes always respond")
+                        .value;
+                    let mn = *carried_min;
+                    self.conclude_handler(m, mn, mx, &mut out);
+                }
+            }
+            Phase::Reset {
+                agg,
+                start_m,
+                winners,
+            } => {
+                for (_, up) in ups {
+                    match up {
+                        UpMsg::Reset(r) => {
+                            agg.absorb(r);
+                            self.metrics.reset_up += 1;
+                        }
+                        other => debug_assert!(false, "unexpected report {other:?}"),
+                    }
+                }
+                let r = m - *start_m;
+                if r < self.l_n {
+                    if let Some(a) = agg.pending_announcement(policy) {
+                        out.broadcasts.push(DownMsg::ResetAnnounce(a));
+                        agg.mark_announced();
+                        self.metrics.reset_bcast += 1;
+                    }
+                }
+                if r == self.l_n {
+                    let w = agg
+                        .result()
+                        .expect("every iteration has ≥ 1 unselected participant");
+                    winners.push(w);
+                    let k = self.cfg.k;
+                    if winners.len() < k + 1 {
+                        out.broadcasts.push(DownMsg::ResetWinner {
+                            rank: winners.len() as u32,
+                            report: w,
+                        });
+                        self.metrics.reset_bcast += 1;
+                        *agg = MaxAggregator::new(self.cfg.n as u64);
+                        *start_m = m + 1;
+                    } else {
+                        // Line 40–41: threshold between the k-th and
+                        // (k+1)-st largest; new epoch begins.
+                        let kth = winners[k - 1];
+                        let k1 = winners[k];
+                        let thresh = midpoint_floor(kth.value, k1.value);
+                        let mut ids: Vec<NodeId> =
+                            winners[..k].iter().map(|w| w.id).collect();
+                        ids.sort_unstable();
+                        self.topk_ids = ids;
+                        self.tracker =
+                            Some(GapTracker::start_epoch(t, kth.value, k1.value));
+                        out.broadcasts.push(DownMsg::ResetDone { threshold: thresh });
+                        self.last_threshold = Some(thresh);
+                        self.metrics.reset_bcast += 1;
+                        self.initialized = true;
+                        self.phase = Phase::Done;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn step_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    fn topk(&self) -> &[NodeId] {
+        &self.topk_ids
+    }
+}

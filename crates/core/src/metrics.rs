@@ -1,0 +1,80 @@
+//! Event counters of one Algorithm 1 run, split by protocol phase.
+//!
+//! The coordinator counts every up-message it receives and every broadcast
+//! it emits, attributed to the phase that caused it; tests assert the sums
+//! equal the runtime ledger exactly (so the breakdown is complete, not
+//! approximate). These counters feed experiment E12 (violations-per-epoch
+//! vs the `log Δ` bound) and the message-breakdown tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Phase-attributed message and event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Time steps processed.
+    pub steps: u64,
+    /// Steps in which at least one violation report arrived.
+    pub violation_steps: u64,
+    /// Up-messages from violation-phase protocols (lines 5/7).
+    pub viol_up: u64,
+    /// Broadcast announcements of the violation-phase protocols.
+    pub viol_bcast: u64,
+    /// `FILTERVIOLATIONHANDLER` invocations.
+    pub handler_calls: u64,
+    /// Extra full-group protocols the handler ran (lines 23/25).
+    pub handler_protocols: u64,
+    /// Up-messages of those handler protocols.
+    pub handler_up: u64,
+    /// Broadcasts of those handler protocols (start + announcements).
+    pub handler_bcast: u64,
+    /// Successful midpoint updates (line 33).
+    pub midpoint_updates: u64,
+    /// Midpoint threshold broadcasts (== midpoint_updates).
+    pub midpoint_bcast: u64,
+    /// `FILTERRESET` executions, excluding the `t = 0` initialization.
+    pub resets: u64,
+    /// Up-messages inside resets (including initialization).
+    pub reset_up: u64,
+    /// Broadcasts inside resets: start, per-round announcements, winner
+    /// announcements, final threshold (including initialization).
+    pub reset_bcast: u64,
+}
+
+impl RunMetrics {
+    /// Total up-messages attributed across phases.
+    pub fn total_up(&self) -> u64 {
+        self.viol_up + self.handler_up + self.reset_up
+    }
+
+    /// Total broadcasts attributed across phases.
+    pub fn total_bcast(&self) -> u64 {
+        self.viol_bcast + self.handler_bcast + self.midpoint_bcast + self.reset_bcast
+    }
+
+    /// Total model messages (Algorithm 1 sends no unicasts).
+    pub fn total(&self) -> u64 {
+        self.total_up() + self.total_bcast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_phases() {
+        let m = RunMetrics {
+            viol_up: 3,
+            handler_up: 2,
+            reset_up: 5,
+            viol_bcast: 1,
+            handler_bcast: 2,
+            midpoint_bcast: 4,
+            reset_bcast: 8,
+            ..Default::default()
+        };
+        assert_eq!(m.total_up(), 10);
+        assert_eq!(m.total_bcast(), 15);
+        assert_eq!(m.total(), 25);
+    }
+}

@@ -1,0 +1,302 @@
+//! The [`Monitor`] trait — the public face every monitoring algorithm
+//! (Algorithm 1, the baselines, the ordered extension) implements — and
+//! [`TopkMonitor`], Algorithm 1 assembled on the sequential runtime.
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::{NodeId, Value};
+use topk_net::ledger::LedgerSnapshot;
+use topk_net::seq::SyncRuntime;
+
+use crate::config::MonitorConfig;
+use crate::coordinator::CoordinatorMachine;
+use crate::metrics::RunMetrics;
+use crate::node::NodeMachine;
+
+/// A continuous top-k-position monitoring algorithm.
+///
+/// Contract: after `step(t, values)` returns, `topk()` is a *valid* top-k
+/// set for `values` — the minimum value over members is ≥ the maximum over
+/// non-members (equality only at ties). When the k-th and (k+1)-st values
+/// are distinct, the set is unique and must equal the ground truth.
+pub trait Monitor: Send {
+    /// Short identifier for tables.
+    fn name(&self) -> &'static str;
+    /// Process the observations of time step `t` (strictly increasing `t`).
+    fn step(&mut self, t: u64, values: &[Value]);
+    /// Current answer: top-k node ids, sorted ascending.
+    fn topk(&self) -> Vec<NodeId>;
+    /// Message counters accumulated so far.
+    fn ledger(&self) -> LedgerSnapshot;
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// Monitored positions.
+    fn k(&self) -> usize;
+}
+
+/// Drive any monitor over a feed for `steps` steps; returns the ledger delta.
+pub fn run_monitor(
+    monitor: &mut dyn Monitor,
+    feed: &mut dyn ValueFeed,
+    steps: u64,
+) -> LedgerSnapshot {
+    assert_eq!(feed.n(), monitor.n());
+    let before = monitor.ledger();
+    let mut row = vec![0 as Value; monitor.n()];
+    for t in 0..steps {
+        feed.fill_step(t, &mut row);
+        monitor.step(t, &row);
+    }
+    monitor.ledger().since(&before)
+}
+
+/// Algorithm 1 of the paper, assembled: `n` [`NodeMachine`]s and one
+/// [`CoordinatorMachine`] on the deterministic sequential runtime.
+pub struct TopkMonitor {
+    rt: SyncRuntime<NodeMachine, CoordinatorMachine>,
+    cfg: MonitorConfig,
+}
+
+impl TopkMonitor {
+    pub fn new(cfg: MonitorConfig, seed: u64) -> Self {
+        let nodes: Vec<NodeMachine> = (0..cfg.n)
+            .map(|i| NodeMachine::new(NodeId(i as u32), cfg, seed))
+            .collect();
+        let coord = CoordinatorMachine::new(cfg);
+        TopkMonitor {
+            rt: SyncRuntime::new(nodes, coord, cfg.k),
+            cfg,
+        }
+    }
+
+    /// Phase-attributed event counters of the coordinator.
+    pub fn metrics(&self) -> &RunMetrics {
+        self.rt.coord().metrics()
+    }
+
+    /// The coordinator (tracker/threshold accessors for tests and tools).
+    pub fn coordinator(&self) -> &CoordinatorMachine {
+        self.rt.coord()
+    }
+
+    /// Node states (test/debug introspection).
+    pub fn nodes(&self) -> &[NodeMachine] {
+        self.rt.nodes()
+    }
+
+    /// Steps that exchanged no message.
+    pub fn silent_steps(&self) -> u64 {
+        self.rt.silent_steps()
+    }
+
+    /// The configuration this monitor runs.
+    pub fn config(&self) -> MonitorConfig {
+        self.cfg
+    }
+
+    /// Build the pieces for a *threaded* execution of the same algorithm:
+    /// `(nodes, coordinator)` with identical seeds/behavior — used by the
+    /// threaded-equivalence test and the `threaded_cluster` example.
+    pub fn make_parts(cfg: MonitorConfig, seed: u64) -> (Vec<NodeMachine>, CoordinatorMachine) {
+        let nodes = (0..cfg.n)
+            .map(|i| NodeMachine::new(NodeId(i as u32), cfg, seed))
+            .collect();
+        (nodes, CoordinatorMachine::new(cfg))
+    }
+}
+
+impl Monitor for TopkMonitor {
+    fn name(&self) -> &'static str {
+        "topk-filter"
+    }
+
+    fn step(&mut self, t: u64, values: &[Value]) {
+        self.rt.step(t, values);
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        self.rt.topk().to_vec()
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.rt.ledger().snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn k(&self) -> usize {
+        self.cfg.k
+    }
+}
+
+/// Check that `set` is a *tolerance-`tol` valid* top-k set for `values`:
+/// `min_{i∈set} v_i + tol ≥ max_{j∉set} v_j`. With `tol = 0` this is exact
+/// validity; a slack-`ε` monitor guarantees `tol = 2ε` (see
+/// [`crate::config::MonitorConfig::slack`]).
+pub fn is_eps_valid_topk(values: &[Value], set: &[NodeId], tol: Value) -> bool {
+    if set.is_empty() {
+        return values.is_empty();
+    }
+    let mut member = vec![false; values.len()];
+    for id in set {
+        if id.idx() >= values.len() {
+            return false;
+        }
+        member[id.idx()] = true;
+    }
+    let min_in = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| member[*i])
+        .map(|(_, &v)| v)
+        .min()
+        .unwrap();
+    let max_out = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !member[*i])
+        .map(|(_, &v)| v)
+        .max()
+        .unwrap_or(0);
+    min_in.saturating_add(tol) >= max_out
+}
+
+/// Check that `set` (sorted ids) is a *valid* top-k set for `values`:
+/// `min_{i∈set} v_i ≥ max_{j∉set} v_j`. Unique ground truth ⇒ equality with
+/// [`topk_net::id::true_topk`]; boundary ties admit any valid choice.
+pub fn is_valid_topk(values: &[Value], set: &[NodeId]) -> bool {
+    if set.is_empty() {
+        return values.is_empty();
+    }
+    let mut member = vec![false; values.len()];
+    for id in set {
+        if id.idx() >= values.len() {
+            return false;
+        }
+        member[id.idx()] = true;
+    }
+    let min_in = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| member[*i])
+        .map(|(_, &v)| v)
+        .min()
+        .unwrap();
+    let max_out = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !member[*i])
+        .map(|(_, &v)| v)
+        .max()
+        .unwrap_or(0);
+    min_in >= max_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::id::true_topk;
+
+    #[test]
+    fn valid_topk_checker() {
+        let values = vec![10, 50, 20, 40, 30];
+        assert!(is_valid_topk(&values, &[NodeId(1), NodeId(3)]));
+        assert!(!is_valid_topk(&values, &[NodeId(0), NodeId(1)]));
+        // Tie at the boundary: both choices valid.
+        let tied = vec![10, 30, 30];
+        assert!(is_valid_topk(&tied, &[NodeId(1)]));
+        assert!(is_valid_topk(&tied, &[NodeId(2)]));
+        assert!(!is_valid_topk(&tied, &[NodeId(0)]));
+    }
+
+    #[test]
+    fn monitor_initializes_to_truth() {
+        let cfg = MonitorConfig::new(8, 3);
+        let mut mon = TopkMonitor::new(cfg, 42);
+        let values: Vec<u64> = vec![5, 80, 20, 70, 10, 60, 30, 40];
+        mon.step(0, &values);
+        assert_eq!(mon.topk(), true_topk(&values, 3));
+        assert!(mon.ledger().total() > 0, "initialization communicates");
+    }
+
+    #[test]
+    fn constant_stream_is_silent_after_init() {
+        let cfg = MonitorConfig::new(6, 2);
+        let mut mon = TopkMonitor::new(cfg, 7);
+        let values: Vec<u64> = vec![10, 60, 30, 50, 20, 40];
+        mon.step(0, &values);
+        let after_init = mon.ledger().total();
+        for t in 1..200 {
+            mon.step(t, &values);
+        }
+        assert_eq!(
+            mon.ledger().total(),
+            after_init,
+            "no movement ⇒ no messages"
+        );
+        assert_eq!(mon.topk(), true_topk(&values, 2));
+        assert_eq!(mon.silent_steps(), 199);
+    }
+
+    #[test]
+    fn movement_within_filters_is_silent() {
+        let cfg = MonitorConfig::new(4, 2);
+        let mut mon = TopkMonitor::new(cfg, 3);
+        // top-2 = {n1:100, n3:80}; bottom = {n0:20, n2:40}; threshold = 60.
+        mon.step(0, &[20, 100, 40, 80]);
+        let after_init = mon.ledger().total();
+        // Wiggle everyone strictly within their side of 60.
+        mon.step(1, &[25, 90, 45, 85]);
+        mon.step(2, &[10, 110, 59, 61]);
+        mon.step(3, &[0, 61, 0, 100]);
+        assert_eq!(mon.ledger().total(), after_init);
+        assert_eq!(mon.topk(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn boundary_swap_updates_answer() {
+        let cfg = MonitorConfig::new(4, 2);
+        let mut mon = TopkMonitor::new(cfg, 9);
+        mon.step(0, &[20, 100, 40, 80]);
+        assert_eq!(mon.topk(), vec![NodeId(1), NodeId(3)]);
+        // n2 rockets above everyone; n3 collapses.
+        mon.step(1, &[20, 100, 500, 10]);
+        assert_eq!(mon.topk(), vec![NodeId(1), NodeId(2)]);
+        // And the tracker reflects a fresh epoch.
+        assert!(mon.coordinator().tracker().is_some());
+    }
+
+    #[test]
+    fn degenerate_k_equals_n_never_communicates() {
+        let cfg = MonitorConfig::new(3, 3);
+        let mut mon = TopkMonitor::new(cfg, 1);
+        for t in 0..50 {
+            mon.step(t, &[t, 2 * t + 1, 100 - t]);
+        }
+        assert_eq!(mon.ledger().total(), 0);
+        assert_eq!(mon.topk(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn single_node_k1() {
+        let cfg = MonitorConfig::new(1, 1);
+        let mut mon = TopkMonitor::new(cfg, 1);
+        for t in 0..20 {
+            mon.step(t, &[t * 17]);
+        }
+        assert_eq!(mon.ledger().total(), 0);
+        assert_eq!(mon.topk(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn run_monitor_helper_drives_feed() {
+        use topk_net::trace::{TraceMatrix, TraceReplay};
+        let trace = TraceMatrix::from_rows(&[vec![1, 5, 3], vec![2, 6, 3], vec![9, 6, 3]]);
+        let mut feed = TraceReplay::new(trace);
+        let mut mon = TopkMonitor::new(MonitorConfig::new(3, 1), 5);
+        let delta = run_monitor(&mut mon, &mut feed, 3);
+        assert!(delta.total() > 0);
+        assert_eq!(mon.topk(), vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Multi-resolution monitoring: several `k` values over one observation
+//! stream.
+//!
+//! Operations dashboards commonly want the top-1, top-5 and top-20
+//! simultaneously. [`MultiKMonitor`] runs one Algorithm 1 instance per
+//! requested `k` against the same observations and exposes the nested family
+//! of answers. Each instance keeps the paper's per-`k` competitive guarantee;
+//! the total cost is the sum (the instances cannot share filters soundly —
+//! a node may be inside its top-20 filter while violating its top-5 filter —
+//! so a *nested*-filter algorithm is genuine future work; see DESIGN.md).
+//!
+//! The wrapper deduplicates nothing across instances by design: measuring
+//! exactly how much a smarter shared-filter scheme could save is what
+//! [`MultiKMonitor::cost_by_k`] is for.
+
+use topk_net::id::{NodeId, Value};
+use topk_net::ledger::LedgerSnapshot;
+
+use crate::config::MonitorConfig;
+use crate::monitor::{Monitor, TopkMonitor};
+
+/// Monitors a sorted family of `k` values over one stream.
+pub struct MultiKMonitor {
+    ks: Vec<usize>,
+    monitors: Vec<TopkMonitor>,
+}
+
+impl MultiKMonitor {
+    /// `ks` must be non-empty, strictly increasing, each in `1..=n`.
+    pub fn new(n: usize, ks: &[usize], seed: u64) -> Self {
+        assert!(!ks.is_empty(), "need at least one k");
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "ks must be strictly increasing"
+        );
+        let monitors = ks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                TopkMonitor::new(
+                    MonitorConfig::new(n, k),
+                    // Independent randomness per instance.
+                    topk_net::rng::derive_seed(seed, i as u64),
+                )
+            })
+            .collect();
+        MultiKMonitor {
+            ks: ks.to_vec(),
+            monitors,
+        }
+    }
+
+    /// Advance all instances by one step.
+    pub fn step(&mut self, t: u64, values: &[Value]) {
+        for mon in &mut self.monitors {
+            mon.step(t, values);
+        }
+    }
+
+    /// The monitored `k` values.
+    pub fn ks(&self) -> &[usize] {
+        &self.ks
+    }
+
+    /// The top-`k` answer for the given `k` (must be one of [`Self::ks`]).
+    pub fn topk(&self, k: usize) -> Vec<NodeId> {
+        let i = self
+            .ks
+            .iter()
+            .position(|&x| x == k)
+            .unwrap_or_else(|| panic!("k={k} is not monitored (ks={:?})", self.ks));
+        self.monitors[i].topk()
+    }
+
+    /// All answers, smallest `k` first. The family is always *nested* when
+    /// boundaries are strict (top-k₁ ⊆ top-k₂ for k₁ < k₂); boundary ties
+    /// may legitimately differ between instances.
+    pub fn all_topk(&self) -> Vec<(usize, Vec<NodeId>)> {
+        self.ks
+            .iter()
+            .zip(&self.monitors)
+            .map(|(&k, m)| (k, m.topk()))
+            .collect()
+    }
+
+    /// Total messages across all instances.
+    pub fn total_messages(&self) -> u64 {
+        self.monitors.iter().map(|m| m.ledger().total()).sum()
+    }
+
+    /// Per-`k` message breakdown — the upper bound a shared-filter scheme
+    /// would have to beat.
+    pub fn cost_by_k(&self) -> Vec<(usize, LedgerSnapshot)> {
+        self.ks
+            .iter()
+            .zip(&self.monitors)
+            .map(|(&k, m)| (k, m.ledger()))
+            .collect()
+    }
+
+    /// Access an individual instance (metrics, auditing).
+    pub fn instance(&self, k: usize) -> &TopkMonitor {
+        let i = self.ks.iter().position(|&x| x == k).expect("monitored k");
+        &self.monitors[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_valid_topk;
+    use topk_streams::WorkloadSpec;
+
+    #[test]
+    fn all_resolutions_stay_valid_and_nested() {
+        let n = 12;
+        let ks = [1usize, 3, 8];
+        let spec = WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 100_000,
+            step_max: 3_000,
+            lazy_p: 0.2,
+        };
+        let trace = spec.record(5, 250);
+        let mut multi = MultiKMonitor::new(n, &ks, 7);
+        for t in 0..trace.steps() {
+            let row = trace.step(t);
+            multi.step(t as u64, row);
+            let answers = multi.all_topk();
+            for (k, set) in &answers {
+                assert_eq!(set.len(), *k);
+                assert!(is_valid_topk(row, set), "k={k} at t={t}");
+            }
+            // Nesting under strict boundaries.
+            let mut sorted: Vec<u64> = row.to_vec();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for w in answers.windows(2) {
+                let (k1, s1) = &w[0];
+                let (_k2, s2) = &w[1];
+                if sorted[*k1 - 1] > sorted[*k1] {
+                    assert!(
+                        s1.iter().all(|id| s2.contains(id)),
+                        "top-{k1} ⊄ larger set at t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_sum_of_instances() {
+        let mut multi = MultiKMonitor::new(6, &[1, 3], 1);
+        multi.step(0, &[10, 60, 30, 50, 20, 40]);
+        multi.step(1, &[500, 60, 30, 50, 20, 40]);
+        let by_k = multi.cost_by_k();
+        let sum: u64 = by_k.iter().map(|(_, l)| l.total()).sum();
+        assert_eq!(sum, multi.total_messages());
+        assert!(sum > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_ks() {
+        let _ = MultiKMonitor::new(5, &[3, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not monitored")]
+    fn rejects_unknown_k_query() {
+        let multi = MultiKMonitor::new(5, &[2], 0);
+        let _ = multi.topk(3);
+    }
+}

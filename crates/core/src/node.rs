@@ -1,0 +1,531 @@
+//! The node-side state machine of Algorithm 1.
+//!
+//! A node stores O(1) state: its current value, its threshold filter
+//! `(M, in_topk)`, and — while a protocol episode is live — one protocol
+//! participant. It reacts to observations (filter check + round-0 coin flip
+//! on violation, lines 3–9) and to coordinator broadcasts (protocol round
+//! announcements, handler/reset start signals, filter updates).
+
+use rand_chacha::ChaCha12Rng;
+
+use topk_net::behavior::{NodeBehavior, ObserveAction, RoundAction};
+use topk_net::id::{NodeId, Value};
+use topk_net::rng::substream_rng;
+use topk_net::wire::Report;
+
+use topk_proto::extremum::{MaxParticipant, MinParticipant, Participant};
+
+use crate::config::MonitorConfig;
+use crate::msg::{DownMsg, UpMsg};
+
+/// The node's filter: uninitialized (before the `t=0` reset completes) or
+/// the canonical shared-threshold shape of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeFilter {
+    /// No filter assigned yet — never violates; waits for the first reset.
+    Uninit,
+    /// `[m, ∞]` if `in_topk` else `[−∞, m]`.
+    Threshold { m: Value, in_topk: bool },
+}
+
+/// Live protocol episode on the node.
+#[derive(Debug, Clone)]
+enum Proto {
+    Idle,
+    /// Violation-phase MINIMUMPROTOCOL(k) participant (was in top-k).
+    ViolMin(MinParticipant),
+    /// Violation-phase MAXIMUMPROTOCOL(n−k) participant.
+    ViolMax(MaxParticipant),
+    /// Handler MINIMUMPROTOCOL(k) over all top-k.
+    HandlerMin(MinParticipant),
+    /// Handler MAXIMUMPROTOCOL(n−k) over all non-top-k.
+    HandlerMax(MaxParticipant),
+    /// FILTERRESET participant (`None` once selected or between iterations).
+    Reset {
+        part: Option<MaxParticipant>,
+        selected_rank: Option<u32>,
+    },
+}
+
+/// One distributed node of the monitoring system.
+pub struct NodeMachine {
+    id: NodeId,
+    cfg: MonitorConfig,
+    value: Value,
+    filter: NodeFilter,
+    proto: Proto,
+    /// Round index of the live protocol (0 at the episode's first flip).
+    my_round: u32,
+    /// Latest relevant coordinator announcement for the live protocol.
+    last_announce: Option<Report>,
+    rng: ChaCha12Rng,
+}
+
+impl NodeMachine {
+    /// Build node `id` with its private RNG substream of `master_seed`.
+    pub fn new(id: NodeId, cfg: MonitorConfig, master_seed: u64) -> Self {
+        assert!(id.idx() < cfg.n);
+        NodeMachine {
+            id,
+            cfg,
+            value: 0,
+            filter: NodeFilter::Uninit,
+            proto: Proto::Idle,
+            my_round: 0,
+            last_announce: None,
+            rng: substream_rng(master_seed, id.0 as u64),
+        }
+    }
+
+    /// The node's current observation (test/debug accessor).
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// Whether the node currently believes it is in the top-k.
+    pub fn in_topk(&self) -> bool {
+        matches!(self.filter, NodeFilter::Threshold { in_topk: true, .. })
+    }
+
+    /// The node's current filter threshold, if initialized.
+    pub fn threshold(&self) -> Option<Value> {
+        match self.filter {
+            NodeFilter::Threshold { m, .. } => Some(m),
+            NodeFilter::Uninit => None,
+        }
+    }
+
+    /// Start a fresh protocol episode (round counter and announcement reset).
+    fn start_episode(&mut self, proto: Proto) {
+        self.proto = proto;
+        self.my_round = 0;
+        self.last_announce = None;
+    }
+
+    /// Flip the live participant's coin for `self.my_round`; wrap the report.
+    fn flip(&mut self) -> (Option<UpMsg>, bool) {
+        fn act<O: topk_proto::extremum::ProtocolOrder>(
+            p: &mut Participant<O>,
+            r: u32,
+            ann: Option<Report>,
+            rng: &mut ChaCha12Rng,
+        ) -> (Option<Report>, bool) {
+            let sent = p.round(r, ann, rng);
+            (sent, p.is_active())
+        }
+
+        let r = self.my_round;
+        let ann = self.last_announce;
+        match &mut self.proto {
+            Proto::Idle => (None, false),
+            Proto::ViolMin(p) => {
+                let (rep, active) = act(p, r, ann, &mut self.rng);
+                (rep.map(UpMsg::ViolMin), active)
+            }
+            Proto::ViolMax(p) => {
+                let (rep, active) = act(p, r, ann, &mut self.rng);
+                (rep.map(UpMsg::ViolMax), active)
+            }
+            Proto::HandlerMin(p) => {
+                let (rep, active) = act(p, r, ann, &mut self.rng);
+                (rep.map(UpMsg::Handler), active)
+            }
+            Proto::HandlerMax(p) => {
+                let (rep, active) = act(p, r, ann, &mut self.rng);
+                (rep.map(UpMsg::Handler), active)
+            }
+            Proto::Reset { part: Some(p), .. } => {
+                let (rep, active) = act(p, r, ann, &mut self.rng);
+                (rep.map(UpMsg::Reset), active)
+            }
+            Proto::Reset { part: None, .. } => (None, false),
+        }
+    }
+
+    /// Apply one broadcast. Returns `true` if the node should flip a fresh
+    /// round-0 coin in this very micro-round (protocol start signals).
+    fn apply_broadcast(&mut self, b: &DownMsg) -> bool {
+        match *b {
+            DownMsg::ViolMinAnnounce(rep) => {
+                if matches!(self.proto, Proto::ViolMin(_)) {
+                    self.last_announce = Some(rep);
+                }
+                false
+            }
+            DownMsg::ViolMaxAnnounce(rep) => {
+                if matches!(self.proto, Proto::ViolMax(_)) {
+                    self.last_announce = Some(rep);
+                }
+                false
+            }
+            DownMsg::HandlerAnnounce(rep) => {
+                if matches!(self.proto, Proto::HandlerMin(_) | Proto::HandlerMax(_)) {
+                    self.last_announce = Some(rep);
+                }
+                false
+            }
+            DownMsg::ResetAnnounce(rep) => {
+                if matches!(self.proto, Proto::Reset { part: Some(_), .. }) {
+                    self.last_announce = Some(rep);
+                }
+                false
+            }
+            DownMsg::HandlerStartMin => {
+                if self.in_topk() {
+                    let p = Participant::new(self.id, self.value, self.cfg.k as u64);
+                    self.start_episode(Proto::HandlerMin(p));
+                    true
+                } else {
+                    false
+                }
+            }
+            DownMsg::HandlerStartMax => {
+                if matches!(self.filter, NodeFilter::Threshold { in_topk: false, .. }) {
+                    let bound = (self.cfg.n - self.cfg.k) as u64;
+                    let p = Participant::new(self.id, self.value, bound);
+                    self.start_episode(Proto::HandlerMax(p));
+                    true
+                } else {
+                    false
+                }
+            }
+            DownMsg::Midpoint(m) => {
+                if let NodeFilter::Threshold { in_topk, .. } = self.filter {
+                    self.filter = NodeFilter::Threshold { m, in_topk };
+                }
+                self.proto = Proto::Idle;
+                false
+            }
+            DownMsg::ResetStart => {
+                let p = Participant::new(self.id, self.value, self.cfg.n as u64);
+                self.start_episode(Proto::Reset {
+                    part: Some(p),
+                    selected_rank: None,
+                });
+                true
+            }
+            DownMsg::ResetWinner { rank, report } => {
+                let Proto::Reset {
+                    part,
+                    selected_rank,
+                } = &mut self.proto
+                else {
+                    // A node can only miss reset state if it joined late —
+                    // impossible in the synchronous model; ignore defensively.
+                    return false;
+                };
+                if report.id == self.id {
+                    *selected_rank = Some(rank);
+                    *part = None;
+                    false
+                } else if selected_rank.is_none() {
+                    // Fresh participant for the next iteration.
+                    *part = Some(Participant::new(self.id, self.value, self.cfg.n as u64));
+                    self.my_round = 0;
+                    self.last_announce = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            DownMsg::ResetDone { threshold } => {
+                let in_topk = match &self.proto {
+                    Proto::Reset {
+                        selected_rank: Some(r),
+                        ..
+                    } => (*r as usize) <= self.cfg.k,
+                    _ => false,
+                };
+                self.filter = NodeFilter::Threshold {
+                    m: threshold,
+                    in_topk,
+                };
+                self.proto = Proto::Idle;
+                false
+            }
+        }
+    }
+}
+
+impl NodeBehavior for NodeMachine {
+    type Up = UpMsg;
+    type Down = DownMsg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn observe(&mut self, _t: u64, value: Value) -> ObserveAction<UpMsg> {
+        self.value = value;
+        debug_assert!(
+            matches!(self.proto, Proto::Idle),
+            "protocol episodes must conclude within their step"
+        );
+        match self.filter {
+            NodeFilter::Uninit => ObserveAction::idle(),
+            NodeFilter::Threshold { m, in_topk } => {
+                // With slack ε the filter is a hysteresis band around M:
+                // [M−ε, ∞] for top-k, [−∞, M+ε] for the rest (ε = 0 is the
+                // paper's exact algorithm).
+                let violated = if in_topk {
+                    value.saturating_add(self.cfg.slack) < m
+                } else {
+                    value > m.saturating_add(self.cfg.slack)
+                };
+                if !violated {
+                    return ObserveAction::idle();
+                }
+                // Lines 4–8: join the appropriate violation protocol and
+                // flip the round-0 coin immediately.
+                if in_topk {
+                    let p = Participant::new(self.id, value, self.cfg.k as u64);
+                    self.start_episode(Proto::ViolMin(p));
+                } else {
+                    let bound = (self.cfg.n - self.cfg.k) as u64;
+                    let p = Participant::new(self.id, value, bound);
+                    self.start_episode(Proto::ViolMax(p));
+                }
+                let (up, active) = self.flip();
+                ObserveAction {
+                    up,
+                    engaged: active,
+                }
+            }
+        }
+    }
+
+    fn micro_round(
+        &mut self,
+        _t: u64,
+        _m: u32,
+        bcasts: &[DownMsg],
+        ucast: Option<&DownMsg>,
+    ) -> RoundAction<UpMsg> {
+        debug_assert!(ucast.is_none(), "Algorithm 1 never unicasts");
+        let mut fresh_start = false;
+        for b in bcasts {
+            fresh_start |= self.apply_broadcast(b);
+        }
+        // Advance the live protocol: a fresh episode flips round 0 now;
+        // an ongoing one flips its next round.
+        let live = !matches!(self.proto, Proto::Idle | Proto::Reset { part: None, .. });
+        if !live {
+            return RoundAction::idle();
+        }
+        if !fresh_start {
+            self.my_round += 1;
+        }
+        let (up, active) = self.flip();
+        RoundAction { up, engaged: active }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_proto::extremum::BroadcastPolicy;
+
+    fn cfg(n: usize, k: usize) -> MonitorConfig {
+        MonitorConfig::new(n, k).with_policy(BroadcastPolicy::OnChange)
+    }
+
+    #[test]
+    fn uninitialized_node_never_violates() {
+        let mut node = NodeMachine::new(NodeId(0), cfg(4, 2), 1);
+        let act = node.observe(0, 123);
+        assert!(act.up.is_none() && !act.engaged);
+        assert_eq!(node.value(), 123);
+        assert!(node.threshold().is_none());
+    }
+
+    #[test]
+    fn reset_flow_assigns_membership() {
+        let mut node = NodeMachine::new(NodeId(2), cfg(4, 2), 7);
+        node.observe(0, 50);
+        // ResetStart wakes the node as a participant.
+        let act = node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+        // It may or may not send in round 0 — but it must be live.
+        assert!(act.engaged || act.up.is_some());
+        // It wins rank 2.
+        let win = DownMsg::ResetWinner {
+            rank: 2,
+            report: Report {
+                id: NodeId(2),
+                value: 50,
+            },
+        };
+        let act = node.micro_round(0, 2, &[win], None);
+        assert!(act.up.is_none() && !act.engaged, "selected nodes go quiet");
+        // Done: threshold 40, rank 2 ≤ k=2 ⇒ in top-k.
+        node.micro_round(0, 3, &[DownMsg::ResetDone { threshold: 40 }], None);
+        assert!(node.in_topk());
+        assert_eq!(node.threshold(), Some(40));
+    }
+
+    #[test]
+    fn rank_beyond_k_is_not_topk() {
+        let mut node = NodeMachine::new(NodeId(1), cfg(4, 1), 3);
+        node.observe(0, 10);
+        node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+        let win = DownMsg::ResetWinner {
+            rank: 2,
+            report: Report {
+                id: NodeId(1),
+                value: 10,
+            },
+        };
+        node.micro_round(0, 2, &[win], None);
+        node.micro_round(0, 3, &[DownMsg::ResetDone { threshold: 15 }], None);
+        assert!(!node.in_topk());
+    }
+
+    #[test]
+    fn topk_node_violates_below_threshold_only() {
+        let mut node = NodeMachine::new(NodeId(0), cfg(8, 4), 5);
+        node.observe(0, 100);
+        node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+        node.micro_round(
+            0,
+            2,
+            &[DownMsg::ResetWinner {
+                rank: 1,
+                report: Report {
+                    id: NodeId(0),
+                    value: 100,
+                },
+            }],
+            None,
+        );
+        node.micro_round(0, 3, &[DownMsg::ResetDone { threshold: 60 }], None);
+        assert!(node.in_topk());
+        // At the threshold: fine. Above: fine. Below: violation episode.
+        assert!(node.observe(1, 60).up.is_none());
+        assert!(!node.observe(2, 99).engaged);
+        let act = node.observe(3, 59);
+        // k=4 ⇒ min-protocol bound 4 ⇒ round 0 flips with prob 1/4; the node
+        // is live either way.
+        assert!(act.engaged || act.up.is_some());
+    }
+
+    #[test]
+    fn non_topk_node_violates_above_threshold_only() {
+        let mut node = NodeMachine::new(NodeId(3), cfg(8, 4), 5);
+        node.observe(0, 10);
+        node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+        // Someone else wins every announced rank; node is never selected.
+        for rank in 1..=4 {
+            node.micro_round(
+                0,
+                1 + rank,
+                &[DownMsg::ResetWinner {
+                    rank,
+                    report: Report {
+                        id: NodeId(7),
+                        value: 1000 - rank as u64,
+                    },
+                }],
+                None,
+            );
+        }
+        node.micro_round(0, 9, &[DownMsg::ResetDone { threshold: 60 }], None);
+        assert!(!node.in_topk());
+        assert!(node.observe(1, 60).up.is_none(), "at threshold: no violation");
+        let act = node.observe(2, 61);
+        assert!(act.engaged || act.up.is_some(), "above threshold: violation");
+    }
+
+    #[test]
+    fn violation_protocol_eventually_reports() {
+        // Drive a violating node through silent micro-rounds: by the final
+        // round it must have sent (probability-1 round).
+        let mut node = NodeMachine::new(NodeId(0), cfg(16, 1), 11);
+        node.observe(0, 100);
+        node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+        node.micro_round(
+            0,
+            2,
+            &[DownMsg::ResetWinner {
+                rank: 1,
+                report: Report {
+                    id: NodeId(0),
+                    value: 100,
+                },
+            }],
+            None,
+        );
+        node.micro_round(0, 3, &[DownMsg::ResetDone { threshold: 50 }], None);
+        // Violate: value drops below 50. k=1 ⇒ bound 1 ⇒ sends immediately.
+        let act = node.observe(1, 10);
+        assert!(act.up.is_some(), "k=1 min protocol sends in round 0");
+        match act.up.unwrap() {
+            UpMsg::ViolMin(r) => {
+                assert_eq!(r.value, 10);
+                assert_eq!(r.id, NodeId(0));
+            }
+            other => panic!("expected ViolMin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn midpoint_updates_threshold_preserving_membership() {
+        let mut node = NodeMachine::new(NodeId(0), cfg(4, 2), 13);
+        node.observe(0, 80);
+        node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+        node.micro_round(
+            0,
+            2,
+            &[DownMsg::ResetWinner {
+                rank: 1,
+                report: Report {
+                    id: NodeId(0),
+                    value: 80,
+                },
+            }],
+            None,
+        );
+        node.micro_round(0, 3, &[DownMsg::ResetDone { threshold: 50 }], None);
+        assert!(node.in_topk());
+        node.micro_round(1, 1, &[DownMsg::Midpoint(70)], None);
+        assert!(node.in_topk(), "midpoint must not change membership");
+        assert_eq!(node.threshold(), Some(70));
+    }
+
+    #[test]
+    fn handler_start_only_wakes_matching_side() {
+        let mk = |id: u32, in_top: bool, seed: u64| {
+            let mut node = NodeMachine::new(NodeId(id), cfg(4, 2), seed);
+            node.observe(0, if in_top { 100 } else { 10 });
+            node.micro_round(0, 1, &[DownMsg::ResetStart], None);
+            if in_top {
+                node.micro_round(
+                    0,
+                    2,
+                    &[DownMsg::ResetWinner {
+                        rank: 1,
+                        report: Report {
+                            id: NodeId(id),
+                            value: 100,
+                        },
+                    }],
+                    None,
+                );
+            }
+            node.micro_round(0, 5, &[DownMsg::ResetDone { threshold: 50 }], None);
+            node
+        };
+        let mut top = mk(0, true, 1);
+        let mut bot = mk(1, false, 2);
+        // HandlerStartMax wakes only the non-top-k node.
+        let a = top.micro_round(1, 1, &[DownMsg::HandlerStartMax], None);
+        assert!(a.up.is_none() && !a.engaged);
+        let b = bot.micro_round(1, 1, &[DownMsg::HandlerStartMax], None);
+        assert!(b.up.is_some() || b.engaged);
+        // HandlerStartMin wakes only the top-k node.
+        let mut top2 = mk(2, true, 3);
+        let mut bot2 = mk(3, false, 4);
+        let a2 = top2.micro_round(1, 1, &[DownMsg::HandlerStartMin], None);
+        assert!(a2.up.is_some() || a2.engaged);
+        let b2 = bot2.micro_round(1, 1, &[DownMsg::HandlerStartMin], None);
+        assert!(b2.up.is_none() && !b2.engaged);
+    }
+}

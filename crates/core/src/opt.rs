@@ -1,0 +1,290 @@
+//! The offline optimal filter-based algorithm `OPT` — the denominator of the
+//! paper's competitive analysis.
+//!
+//! `OPT` sees the whole input in advance but must use coordinator-assigned
+//! filters; its cost is the number of filter reassignments (§2.2: "to lower
+//! bound the cost induced by OPT, we will essentially count the number of
+//! filter updates over time").
+//!
+//! **Feasibility.** A window `[a, b]` admits one fixed filter set iff, with
+//! `S` = the top-k at time `a`,
+//! `T+ = min_{t∈[a,b], i∈S} v_i^t  ≥  T− = max_{t∈[a,b], j∉S} v_j^t`:
+//! necessity is Lemma 3.2; sufficiency by assigning `[T−, ∞]` to `S` and
+//! `[−∞, T−]` to the rest. Feasibility is subinterval-closed, so **greedy
+//! maximal segmentation is optimal** (exchange argument); a DP cross-check
+//! is exposed for tests.
+
+use serde::{Deserialize, Serialize};
+
+use topk_net::id::true_topk;
+use topk_net::trace::TraceMatrix;
+
+/// How to charge OPT per reassignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptCostModel {
+    /// One message per filter reassignment (a single broadcast suffices in
+    /// the paper's model) — the most conservative denominator; measured
+    /// competitive ratios are upper bounds. The initial assignment counts.
+    PerUpdate,
+    /// One broadcast per reassignment plus one unicast per node whose
+    /// filter-side (membership) changed.
+    PerNodeDelivery,
+}
+
+/// Result of the offline segmentation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptResult {
+    /// Maximal feasible segments `[start, end]` (inclusive), covering
+    /// `0..steps`.
+    pub segments: Vec<(usize, usize)>,
+    /// Messages charged under the chosen cost model.
+    pub cost: u64,
+}
+
+impl OptResult {
+    /// Number of filter assignments (= number of segments; the first is the
+    /// initialization).
+    pub fn updates(&self) -> u64 {
+        self.segments.len() as u64
+    }
+}
+
+/// Membership bitmap of the top-k at step `t`.
+fn topk_mask(trace: &TraceMatrix, t: usize, k: usize) -> Vec<bool> {
+    let mut mask = vec![false; trace.n()];
+    for id in true_topk(trace.step(t), k) {
+        mask[id.idx()] = true;
+    }
+    mask
+}
+
+/// Greedy maximal segmentation of the whole trace (provably minimal count).
+pub fn opt_segments(trace: &TraceMatrix, k: usize, model: OptCostModel) -> OptResult {
+    let steps = trace.steps();
+    assert!(steps > 0, "empty trace");
+    assert!(k >= 1 && k <= trace.n(), "1 ≤ k ≤ n");
+    let mut segments = Vec::new();
+    let mut cost = 0u64;
+    let mut prev_mask: Option<Vec<bool>> = None;
+
+    if k == trace.n() {
+        // Degenerate: a single unbounded filter set works forever.
+        return OptResult {
+            segments: vec![(0, steps - 1)],
+            cost: 1,
+        };
+    }
+
+    let mut start = 0usize;
+    while start < steps {
+        let mask = topk_mask(trace, start, k);
+        // Running extrema over the segment.
+        let mut t_plus = u64::MAX;
+        let mut t_minus = 0u64;
+        let mut end = start;
+        for t in start..steps {
+            let row = trace.step(t);
+            let mut cur_min_in = u64::MAX;
+            let mut cur_max_out = 0u64;
+            for (i, &v) in row.iter().enumerate() {
+                if mask[i] {
+                    cur_min_in = cur_min_in.min(v);
+                } else {
+                    cur_max_out = cur_max_out.max(v);
+                }
+            }
+            let new_plus = t_plus.min(cur_min_in);
+            let new_minus = t_minus.max(cur_max_out);
+            if new_plus < new_minus {
+                break; // t cannot join the segment
+            }
+            t_plus = new_plus;
+            t_minus = new_minus;
+            end = t;
+        }
+        segments.push((start, end));
+        cost += match model {
+            OptCostModel::PerUpdate => 1,
+            OptCostModel::PerNodeDelivery => {
+                let changed = match &prev_mask {
+                    None => trace.n() as u64, // initial delivery to everyone
+                    Some(prev) => mask
+                        .iter()
+                        .zip(prev.iter())
+                        .filter(|(a, b)| a != b)
+                        .count() as u64,
+                };
+                1 + changed
+            }
+        };
+        prev_mask = Some(mask);
+        start = end + 1;
+    }
+
+    OptResult { segments, cost }
+}
+
+/// Is `[a, b]` feasible for a fixed filter set? (Direct evaluation; used by
+/// the DP cross-check and tests.)
+pub fn window_feasible(trace: &TraceMatrix, k: usize, a: usize, b: usize) -> bool {
+    if k == trace.n() {
+        return true;
+    }
+    let mask = topk_mask(trace, a, k);
+    let mut t_plus = u64::MAX;
+    let mut t_minus = 0u64;
+    for t in a..=b {
+        for (i, &v) in trace.step(t).iter().enumerate() {
+            if mask[i] {
+                t_plus = t_plus.min(v);
+            } else {
+                t_minus = t_minus.max(v);
+            }
+        }
+    }
+    t_plus >= t_minus
+}
+
+/// Exact minimal segment count by dynamic programming — `O(T² · n)`; for
+/// validating the greedy on small traces.
+pub fn opt_updates_dp(trace: &TraceMatrix, k: usize) -> u64 {
+    let steps = trace.steps();
+    assert!(steps > 0);
+    // dp[i] = minimal segments covering steps 0..i (exclusive).
+    let mut dp = vec![u64::MAX; steps + 1];
+    dp[0] = 0;
+    for i in 1..=steps {
+        for j in 0..i {
+            if dp[j] != u64::MAX && window_feasible(trace, k, j, i - 1) {
+                dp[i] = dp[i].min(dp[j] + 1);
+            }
+        }
+    }
+    dp[steps]
+}
+
+/// The paper's `Δ = max_t (v_k^t − v_{k+1}^t)` — the largest k/k+1 gap over
+/// the trace (drives the `log Δ` term of Theorem 3.3).
+pub fn trace_delta(trace: &TraceMatrix, k: usize) -> u64 {
+    assert!(k >= 1 && k < trace.n(), "Δ needs 1 ≤ k < n");
+    let mut delta = 0u64;
+    let mut sorted = Vec::with_capacity(trace.n());
+    for t in 0..trace.steps() {
+        sorted.clear();
+        sorted.extend_from_slice(trace.step(t));
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        delta = delta.max(sorted[k - 1] - sorted[k]);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(rows: &[Vec<u64>]) -> TraceMatrix {
+        TraceMatrix::from_rows(rows)
+    }
+
+    #[test]
+    fn constant_trace_is_one_segment() {
+        let t = trace(&vec![vec![1, 5, 3]; 10]);
+        let r = opt_segments(&t, 1, OptCostModel::PerUpdate);
+        assert_eq!(r.segments, vec![(0, 9)]);
+        assert_eq!(r.cost, 1);
+        assert_eq!(r.updates(), 1);
+    }
+
+    #[test]
+    fn crossing_forces_new_segment() {
+        // Step 0-1: n1 on top; step 2: n0 overtakes.
+        let t = trace(&[vec![10, 50], vec![20, 40], vec![45, 30]]);
+        let r = opt_segments(&t, 1, OptCostModel::PerUpdate);
+        assert_eq!(r.updates(), 2);
+        assert_eq!(r.segments[0], (0, 1));
+        assert_eq!(r.segments[1], (2, 2));
+    }
+
+    #[test]
+    fn near_crossing_without_rank_change_may_still_split() {
+        // n0 dips below n1's *earlier* peak: T+ < T− although ranks never
+        // change instantaneously — Lemma 3.2 is about the window extrema.
+        let t = trace(&[vec![100, 50], vec![100, 90], vec![60, 20]]);
+        // Window [0,2]: T+ = 60 (n0 min), T− = 90 (n1 max) ⇒ infeasible.
+        assert!(!window_feasible(&t, 1, 0, 2));
+        assert!(window_feasible(&t, 1, 0, 1));
+        let r = opt_segments(&t, 1, OptCostModel::PerUpdate);
+        assert_eq!(r.updates(), 2);
+    }
+
+    #[test]
+    fn greedy_matches_dp_on_handcrafted() {
+        let rows = vec![
+            vec![10, 90, 50],
+            vec![20, 80, 55],
+            vec![60, 70, 40],
+            vec![75, 30, 45],
+            vec![90, 20, 95],
+            vec![10, 85, 30],
+        ];
+        let t = trace(&rows);
+        for k in 1..=2 {
+            let greedy = opt_segments(&t, k, OptCostModel::PerUpdate).updates();
+            let dp = opt_updates_dp(&t, k);
+            assert_eq!(greedy, dp, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_free_after_init() {
+        let t = trace(&[vec![1, 2], vec![9, 0], vec![3, 3]]);
+        let r = opt_segments(&t, 2, OptCostModel::PerUpdate);
+        assert_eq!(r.cost, 1);
+    }
+
+    #[test]
+    fn per_node_delivery_charges_membership_changes() {
+        // One swap of the leader between two segments: 2 nodes change side.
+        let t = trace(&[vec![10, 50, 0], vec![60, 20, 0]]);
+        let r = opt_segments(&t, 1, OptCostModel::PerNodeDelivery);
+        assert_eq!(r.updates(), 2);
+        // init: 1 + 3 deliveries; swap: 1 + 2 changed.
+        assert_eq!(r.cost, (1 + 3) + (1 + 2));
+    }
+
+    #[test]
+    fn segments_partition_and_are_maximal() {
+        // Random-ish small trace; verify greedy invariants directly.
+        let rows: Vec<Vec<u64>> = (0..12u64)
+            .map(|t| {
+                (0..4u64)
+                    .map(|i| (t * 7 + i * 13) % 23 + ((i == t % 4) as u64) * 40)
+                    .collect()
+            })
+            .collect();
+        let t = trace(&rows);
+        let r = opt_segments(&t, 2, OptCostModel::PerUpdate);
+        // Partition:
+        assert_eq!(r.segments.first().unwrap().0, 0);
+        assert_eq!(r.segments.last().unwrap().1, 11);
+        for w in r.segments.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0);
+        }
+        // Feasible and maximal:
+        for &(a, b) in &r.segments {
+            assert!(window_feasible(&t, 2, a, b));
+            if b + 1 < 12 {
+                assert!(!window_feasible(&t, 2, a, b + 1), "greedy must be maximal");
+            }
+        }
+        assert_eq!(r.updates(), opt_updates_dp(&t, 2));
+    }
+
+    #[test]
+    fn delta_measures_boundary_gap() {
+        let t = trace(&[vec![100, 40, 10], vec![70, 60, 0]]);
+        // k=1: gaps 60, 10 → Δ=60. k=2: gaps 30, 60 → Δ=60.
+        assert_eq!(trace_delta(&t, 1), 60);
+        assert_eq!(trace_delta(&t, 2), 60);
+    }
+}

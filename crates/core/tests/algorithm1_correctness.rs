@@ -1,0 +1,319 @@
+//! Heavy randomized correctness tests for Algorithm 1: the coordinator's
+//! answer must be a valid top-k at *every* step, for arbitrary workloads,
+//! seeds, and configuration knobs; the phase-attributed metrics must account
+//! for every ledger entry; and the structural bounds of the §3 analysis
+//! (epoch halving, handler accounting) must hold.
+
+use topk_core::{is_valid_topk, HandlerMode, Monitor, MonitorConfig, TopkMonitor};
+use topk_net::id::true_topk;
+use topk_net::rng::log2_ceil;
+use topk_proto::extremum::BroadcastPolicy;
+use topk_streams::WorkloadSpec;
+
+/// Drive one monitor over a recorded workload, checking validity at every
+/// step; returns the monitor for further assertions.
+fn drive(cfg: MonitorConfig, spec: &WorkloadSpec, seed: u64, steps: usize) -> TopkMonitor {
+    let trace = spec.record(seed, steps);
+    let mut mon = TopkMonitor::new(cfg, seed ^ 0xdead_beef);
+    for t in 0..steps {
+        let row = trace.step(t);
+        mon.step(t as u64, row);
+        let got = mon.topk();
+        assert!(
+            is_valid_topk(row, &got),
+            "invalid top-{} at t={t} (n={}, seed={seed}, {}): got {:?} for {row:?}",
+            cfg.k,
+            cfg.n,
+            spec.name(),
+            got
+        );
+        // When the boundary is strict, the answer is unique.
+        let mut sorted: Vec<u64> = row.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        if cfg.k < cfg.n && sorted[cfg.k - 1] > sorted[cfg.k] {
+            assert_eq!(
+                got,
+                true_topk(row, cfg.k),
+                "strict boundary must give the unique answer (t={t}, seed={seed})"
+            );
+        }
+    }
+    // Metrics account for the entire ledger (no unattributed messages).
+    let ledger = mon.ledger();
+    let m = mon.metrics();
+    assert_eq!(ledger.down, 0, "Algorithm 1 never unicasts");
+    assert_eq!(m.total_up(), ledger.up, "up breakdown complete");
+    assert_eq!(m.total_bcast(), ledger.broadcast, "bcast breakdown complete");
+    mon
+}
+
+#[test]
+fn random_walk_matrix() {
+    for &(n, k) in &[(4usize, 1usize), (8, 3), (16, 1), (16, 8), (32, 5), (9, 8)] {
+        for seed in 0..3u64 {
+            let spec = WorkloadSpec::RandomWalk {
+                n,
+                lo: 0,
+                hi: 10_000,
+                step_max: 200,
+                lazy_p: 0.2,
+            };
+            drive(MonitorConfig::new(n, k), &spec, seed, 300);
+        }
+    }
+}
+
+#[test]
+fn iid_uniform_chaos() {
+    // Worst case for filters: everything moves wildly every step.
+    for &(n, k) in &[(6usize, 2usize), (12, 4)] {
+        for seed in 0..3u64 {
+            let spec = WorkloadSpec::IidUniform { n, lo: 0, hi: 500 };
+            drive(MonitorConfig::new(n, k), &spec, seed, 200);
+        }
+    }
+}
+
+#[test]
+fn boundary_cross_adversary() {
+    for seed in 0..3u64 {
+        let spec = WorkloadSpec::BoundaryCross {
+            n: 10,
+            base: 1000,
+            spread: 100,
+            amplitude: 50,
+            period: 8,
+        };
+        // k = 9: boundary sits exactly between the oscillating pair.
+        drive(MonitorConfig::new(10, 9), &spec, seed, 400);
+    }
+}
+
+#[test]
+fn rotating_max_worst_case() {
+    for seed in 0..2u64 {
+        let spec = WorkloadSpec::RotatingMax {
+            n: 8,
+            base: 100,
+            bonus: 1000,
+        };
+        drive(MonitorConfig::new(8, 1), &spec, seed, 100);
+        drive(MonitorConfig::new(8, 3), &spec, seed, 100);
+    }
+}
+
+#[test]
+fn sensor_field_realistic() {
+    let spec = WorkloadSpec::SensorField { n: 24 };
+    drive(MonitorConfig::new(24, 4), &spec, 5, 500);
+}
+
+#[test]
+fn zipf_jumps_heavy_tail() {
+    let spec = WorkloadSpec::ZipfJumps {
+        n: 12,
+        lo: 0,
+        hi: 100_000,
+        max_jump: 20_000,
+        s: 1.2,
+    };
+    drive(MonitorConfig::new(12, 3), &spec, 2, 300);
+}
+
+#[test]
+fn all_knob_combinations_agree_on_answers() {
+    let spec = WorkloadSpec::RandomWalk {
+        n: 10,
+        lo: 0,
+        hi: 5000,
+        step_max: 300,
+        lazy_p: 0.1,
+    };
+    for policy in [BroadcastPolicy::OnChange, BroadcastPolicy::EveryRound] {
+        for mode in [HandlerMode::Tight, HandlerMode::Faithful] {
+            let cfg = MonitorConfig::new(10, 4)
+                .with_policy(policy)
+                .with_handler_mode(mode);
+            drive(cfg, &spec, 77, 250);
+        }
+    }
+}
+
+#[test]
+fn faithful_mode_never_cheaper_than_tight() {
+    let spec = WorkloadSpec::RandomWalk {
+        n: 16,
+        lo: 0,
+        hi: 4000,
+        step_max: 250,
+        lazy_p: 0.1,
+    };
+    let tight = drive(
+        MonitorConfig::new(16, 4).with_handler_mode(HandlerMode::Tight),
+        &spec,
+        3,
+        400,
+    );
+    let faithful = drive(
+        MonitorConfig::new(16, 4).with_handler_mode(HandlerMode::Faithful),
+        &spec,
+        3,
+        400,
+    );
+    // Identical inputs and identical node RNG streams up to the first
+    // divergence; Faithful only ever *adds* protocol runs, so its total
+    // cannot be smaller on this workload (checked empirically; the runs
+    // diverge after the first both-sides violation).
+    assert!(
+        faithful.ledger().total() >= tight.ledger().total(),
+        "faithful {} < tight {}",
+        faithful.ledger().total(),
+        tight.ledger().total()
+    );
+}
+
+#[test]
+fn epoch_violation_steps_bounded_by_log_delta() {
+    // §3 proof structure: between two resets there are at most ~log2(Δ)
+    // violation steps (each midpoint update halves the certified gap).
+    let n = 12;
+    let spec = WorkloadSpec::RandomWalk {
+        n,
+        lo: 0,
+        hi: 1 << 16,
+        step_max: 500,
+        lazy_p: 0.1,
+    };
+    let trace = spec.record(9, 600);
+    let mut mon = TopkMonitor::new(MonitorConfig::new(n, 3), 1);
+    let mut updates_this_epoch = 0u64;
+    let mut max_updates = 0u64;
+    let mut last_resets = 0u64;
+    for t in 0..trace.steps() {
+        mon.step(t as u64, trace.step(t));
+        let m = mon.metrics();
+        if m.resets + 1 != last_resets + 1 && m.resets != last_resets {
+            // a reset happened this step
+            max_updates = max_updates.max(updates_this_epoch);
+            updates_this_epoch = 0;
+            last_resets = m.resets;
+        }
+        let total_updates = m.midpoint_updates;
+        let _ = total_updates;
+        updates_this_epoch = m.midpoint_updates
+            - (m.midpoint_updates - updates_this_epoch).min(m.midpoint_updates);
+    }
+    // Direct bound via counters: every midpoint update halves a gap that
+    // starts at most at Δ ≤ 2^16, so across the run
+    // midpoint_updates ≤ (resets + 1) · (log2Δ + 2).
+    let m = mon.metrics();
+    let bound = (m.resets + 1) * (log2_ceil(1 << 16) as u64 + 2);
+    assert!(
+        m.midpoint_updates <= bound,
+        "midpoint updates {} exceed (resets+1)·(logΔ+2) = {}",
+        m.midpoint_updates,
+        bound
+    );
+}
+
+#[test]
+fn k_one_and_k_n_minus_one_edges() {
+    let spec = WorkloadSpec::RandomWalk {
+        n: 7,
+        lo: 0,
+        hi: 1000,
+        step_max: 100,
+        lazy_p: 0.2,
+    };
+    drive(MonitorConfig::new(7, 1), &spec, 4, 300);
+    drive(MonitorConfig::new(7, 6), &spec, 4, 300);
+    drive(MonitorConfig::new(2, 1), &spec_n(&spec, 2), 4, 300);
+}
+
+fn spec_n(spec: &WorkloadSpec, n: usize) -> WorkloadSpec {
+    match spec {
+        WorkloadSpec::RandomWalk {
+            lo,
+            hi,
+            step_max,
+            lazy_p,
+            ..
+        } => WorkloadSpec::RandomWalk {
+            n,
+            lo: *lo,
+            hi: *hi,
+            step_max: *step_max,
+            lazy_p: *lazy_p,
+        },
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn crafted_trace_instant_crossing_without_mutual_violation() {
+    // The scenario from the design review: a top-k node sinks below a
+    // non-top-k node that itself never violates. The handler's full-side
+    // protocol must detect the crossing and reset.
+    // n=3, k=1. Init: values 100, 40, 10 → top = n0, threshold M = 70.
+    // t=1: n0 drops to 50 (violates, 50 < 70); n1 stays at 60?? — 60 > 40
+    // would violate [−∞,70]? No: 60 ≤ 70. But is 60 > n1's old value
+    // irrelevant — filters are thresholds, so n1 at 60 does NOT violate,
+    // yet 60 > 50 means the true top changes!
+    let rows = [vec![100u64, 40, 10], vec![50, 60, 10]];
+    let mut mon = TopkMonitor::new(MonitorConfig::new(3, 1), 123);
+    mon.step(0, &rows[0]);
+    assert_eq!(mon.topk(), true_topk(&rows[0], 1));
+    mon.step(1, &rows[1]);
+    assert_eq!(
+        mon.topk(),
+        true_topk(&rows[1], 1),
+        "crossing without mutual violation must still be caught"
+    );
+    assert_eq!(mon.metrics().resets, 1, "this requires a reset");
+}
+
+#[test]
+fn crafted_trace_simultaneous_mass_violation() {
+    // Everyone violates at once in both directions.
+    let rows = [
+        vec![100u64, 90, 80, 10, 20, 30],
+        vec![5, 8, 2, 900, 800, 700],
+    ];
+    let mut mon = TopkMonitor::new(MonitorConfig::new(6, 3), 5);
+    mon.step(0, &rows[0]);
+    mon.step(1, &rows[1]);
+    assert_eq!(mon.topk(), true_topk(&rows[1], 3));
+}
+
+#[test]
+fn long_quiet_stretches_cost_nothing() {
+    let n = 20;
+    let mut rows: Vec<Vec<u64>> = Vec::new();
+    // Init spread out, then 500 steps of sub-threshold wiggling.
+    let base: Vec<u64> = (0..n as u64).map(|i| 1000 + i * 100).collect();
+    rows.push(base.clone());
+    for t in 0..500u64 {
+        let mut row = base.clone();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v += (t * 7 + i as u64 * 13) % 40; // ±40 ≪ 100 spacing
+        }
+        rows.push(row);
+    }
+    let mut mon = TopkMonitor::new(MonitorConfig::new(n, 5), 8);
+    mon.step(0, &rows[0]);
+    let after_init = mon.ledger().total();
+    for (t, row) in rows.iter().enumerate().skip(1) {
+        mon.step(t as u64, row);
+    }
+    let total = mon.ledger().total();
+    // The threshold sits mid-gap with ≥ 30 units of slack on each side; the
+    // wiggles are < 40 but the k/k+1 spacing is 100, so a handful of early
+    // violations may occur before the midpoint settles; after that, silence.
+    assert!(
+        total - after_init < after_init,
+        "quiet stretch cost {} should be far below init cost {}",
+        total - after_init,
+        after_init
+    );
+    assert!(mon.silent_steps() > 400, "most steps must be silent");
+}

@@ -1,0 +1,115 @@
+//! Property-based testing of the full Algorithm 1 stack: for *arbitrary*
+//! small traces and seeds, every step's answer is valid, the deep audit is
+//! clean, metrics reconcile with the ledger, and structural inequalities of
+//! the §3 analysis hold.
+
+use proptest::prelude::*;
+
+use topk_core::audit::audit_monitor;
+use topk_core::{
+    is_valid_topk, HandlerMode, Monitor, MonitorConfig, TopkMonitor,
+};
+use topk_net::trace::TraceMatrix;
+use topk_proto::extremum::BroadcastPolicy;
+
+fn arb_trace(n: usize, max_steps: usize, max_v: u64) -> impl Strategy<Value = TraceMatrix> {
+    prop::collection::vec(prop::collection::vec(0..=max_v, n), 1..=max_steps)
+        .prop_map(|rows| TraceMatrix::from_rows(&rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The central invariant under totally arbitrary inputs (including
+    /// massive ties and huge jumps): every step valid, every audit clean.
+    #[test]
+    fn arbitrary_traces_always_valid(
+        trace in arb_trace(6, 15, 1000),
+        k in 1usize..=6,
+        seed in 0u64..512,
+    ) {
+        let mut mon = TopkMonitor::new(MonitorConfig::new(6, k), seed);
+        for t in 0..trace.steps() {
+            let row = trace.step(t);
+            mon.step(t as u64, row);
+            prop_assert!(
+                is_valid_topk(row, &mon.topk()),
+                "t={t}: {:?} invalid for {row:?}",
+                mon.topk()
+            );
+            let errors = audit_monitor(&mon, row);
+            prop_assert!(errors.is_empty(), "t={t}: audit {errors:?}");
+        }
+        let l = mon.ledger();
+        let m = mon.metrics();
+        prop_assert_eq!(l.down, 0);
+        prop_assert_eq!(m.total_up(), l.up);
+        prop_assert_eq!(m.total_bcast(), l.broadcast);
+        prop_assert_eq!(m.handler_calls, m.violation_steps);
+    }
+
+    /// Tiny value domains maximize tie pressure — the distinctness
+    /// assumption of the paper is thoroughly violated here.
+    #[test]
+    fn heavy_ties_never_break_validity(
+        trace in arb_trace(5, 12, 3),
+        k in 1usize..=5,
+        seed in 0u64..128,
+    ) {
+        let mut mon = TopkMonitor::new(MonitorConfig::new(5, k), seed);
+        for t in 0..trace.steps() {
+            let row = trace.step(t);
+            mon.step(t as u64, row);
+            prop_assert!(is_valid_topk(row, &mon.topk()));
+        }
+    }
+
+    /// Every (policy × handler-mode × slack) combination stays valid and
+    /// reconciled on arbitrary inputs.
+    #[test]
+    fn knobs_never_compromise_soundness(
+        trace in arb_trace(5, 10, 500),
+        k in 1usize..=4,
+        seed in 0u64..64,
+        policy_every in any::<bool>(),
+        faithful in any::<bool>(),
+        slack in 0u64..50,
+    ) {
+        let cfg = MonitorConfig::new(5, k)
+            .with_policy(if policy_every { BroadcastPolicy::EveryRound } else { BroadcastPolicy::OnChange })
+            .with_handler_mode(if faithful { HandlerMode::Faithful } else { HandlerMode::Tight })
+            .with_slack(slack);
+        let mut mon = TopkMonitor::new(cfg, seed);
+        for t in 0..trace.steps() {
+            let row = trace.step(t);
+            mon.step(t as u64, row);
+            prop_assert!(
+                topk_core::is_eps_valid_topk(row, &mon.topk(), 2 * slack),
+                "t={t} slack={slack}: {:?} for {row:?}",
+                mon.topk()
+            );
+        }
+        let l = mon.ledger();
+        let m = mon.metrics();
+        prop_assert_eq!(m.total_up(), l.up);
+        prop_assert_eq!(m.total_bcast(), l.broadcast);
+    }
+
+    /// Replaying the identical trace with the identical seed reproduces the
+    /// run exactly — full-stack determinism.
+    #[test]
+    fn full_stack_determinism(
+        trace in arb_trace(4, 10, 200),
+        k in 1usize..=4,
+        seed in 0u64..64,
+    ) {
+        let run = || {
+            let mut mon = TopkMonitor::new(MonitorConfig::new(4, k), seed);
+            for t in 0..trace.steps() {
+                mon.step(t as u64, trace.step(t));
+            }
+            (mon.ledger(), mon.topk(), *mon.metrics())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,214 @@
+//! Filter intervals over the extended naturals `ℕ ∪ {−∞, ∞}`.
+//!
+//! Definition 2.1 of the paper: a filter is an interval `F_i = [l_i, u_i]`
+//! containing the node's current value, such that no movement within the
+//! filters changes the monitored function. The interval endpoints may be
+//! infinite; [`Bound`] provides the extended order.
+
+use serde::{Deserialize, Serialize};
+use topk_net::id::Value;
+
+/// An endpoint of a filter interval: a natural number or ±∞.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bound {
+    /// `−∞`.
+    NegInf,
+    /// A finite value.
+    Finite(Value),
+    /// `+∞`.
+    PosInf,
+}
+
+impl Bound {
+    /// Compare against a concrete value: `self <= v`.
+    #[inline]
+    pub fn le_value(&self, v: Value) -> bool {
+        match *self {
+            Bound::NegInf => true,
+            Bound::Finite(b) => b <= v,
+            Bound::PosInf => false,
+        }
+    }
+
+    /// Compare against a concrete value: `self >= v`.
+    #[inline]
+    pub fn ge_value(&self, v: Value) -> bool {
+        match *self {
+            Bound::NegInf => false,
+            Bound::Finite(b) => b >= v,
+            Bound::PosInf => true,
+        }
+    }
+
+    /// The finite value, if any.
+    #[inline]
+    pub fn finite(&self) -> Option<Value> {
+        match *self {
+            Bound::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Bound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Equal,
+            (NegInf, _) | (_, PosInf) => Less,
+            (PosInf, _) | (_, NegInf) => Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::NegInf => write!(f, "-inf"),
+            Bound::Finite(v) => write!(f, "{v}"),
+            Bound::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+/// Which side of its filter a value escaped through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationSide {
+    /// `v < l` — fell below the lower bound (a top-k node dropping).
+    Below,
+    /// `v > u` — rose above the upper bound (a non-top-k node rising).
+    Above,
+}
+
+/// A closed filter interval `[lo, hi]` over the extended naturals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FilterInterval {
+    pub lo: Bound,
+    pub hi: Bound,
+}
+
+impl FilterInterval {
+    pub fn new(lo: Bound, hi: Bound) -> Self {
+        assert!(lo <= hi, "degenerate filter: {lo} > {hi}");
+        FilterInterval { lo, hi }
+    }
+
+    /// The unbounded filter `[−∞, ∞]` (never violated).
+    pub fn unbounded() -> Self {
+        FilterInterval {
+            lo: Bound::NegInf,
+            hi: Bound::PosInf,
+        }
+    }
+
+    /// Top-k-side threshold filter `[m, ∞]`.
+    pub fn above(m: Value) -> Self {
+        FilterInterval {
+            lo: Bound::Finite(m),
+            hi: Bound::PosInf,
+        }
+    }
+
+    /// Non-top-k-side threshold filter `[−∞, m]`.
+    pub fn below(m: Value) -> Self {
+        FilterInterval {
+            lo: Bound::NegInf,
+            hi: Bound::Finite(m),
+        }
+    }
+
+    /// Point filter `[v, v]` — the degenerate assignment that always works
+    /// but yields no communication savings (the paper's remark after
+    /// Definition 2.1).
+    pub fn point(v: Value) -> Self {
+        FilterInterval {
+            lo: Bound::Finite(v),
+            hi: Bound::Finite(v),
+        }
+    }
+
+    /// Does the filter contain `v`?
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        self.lo.le_value(v) && self.hi.ge_value(v)
+    }
+
+    /// Check `v` against the filter; `None` if it conforms.
+    #[inline]
+    pub fn check(&self, v: Value) -> Option<ViolationSide> {
+        if !self.lo.le_value(v) {
+            Some(ViolationSide::Below)
+        } else if !self.hi.ge_value(v) {
+            Some(ViolationSide::Above)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for FilterInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_total_order() {
+        assert!(Bound::NegInf < Bound::Finite(0));
+        assert!(Bound::Finite(0) < Bound::Finite(1));
+        assert!(Bound::Finite(u64::MAX) < Bound::PosInf);
+        assert!(Bound::NegInf < Bound::PosInf);
+        assert_eq!(Bound::Finite(5), Bound::Finite(5));
+    }
+
+    #[test]
+    fn bound_value_comparisons() {
+        assert!(Bound::NegInf.le_value(0));
+        assert!(!Bound::NegInf.ge_value(0));
+        assert!(Bound::PosInf.ge_value(u64::MAX));
+        assert!(!Bound::PosInf.le_value(u64::MAX));
+        assert!(Bound::Finite(3).le_value(3));
+        assert!(Bound::Finite(3).ge_value(3));
+    }
+
+    #[test]
+    fn interval_contains_and_check() {
+        let f = FilterInterval::new(Bound::Finite(10), Bound::Finite(20));
+        assert!(f.contains(10) && f.contains(15) && f.contains(20));
+        assert_eq!(f.check(9), Some(ViolationSide::Below));
+        assert_eq!(f.check(21), Some(ViolationSide::Above));
+        assert_eq!(f.check(15), None);
+    }
+
+    #[test]
+    fn threshold_constructors() {
+        let top = FilterInterval::above(7);
+        assert!(top.contains(7) && top.contains(u64::MAX));
+        assert_eq!(top.check(6), Some(ViolationSide::Below));
+        let bot = FilterInterval::below(7);
+        assert!(bot.contains(0) && bot.contains(7));
+        assert_eq!(bot.check(8), Some(ViolationSide::Above));
+        assert!(FilterInterval::unbounded().contains(42));
+        let p = FilterInterval::point(3);
+        assert!(p.contains(3));
+        assert!(p.check(2).is_some() && p.check(4).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate filter")]
+    fn inverted_interval_panics() {
+        let _ = FilterInterval::new(Bound::Finite(5), Bound::Finite(4));
+    }
+}

@@ -1,0 +1,114 @@
+//! # topk-filters — filter machinery for Top-k-Position Monitoring
+//!
+//! Filters (Definition 2.1 of Mäcker et al.) are per-node intervals assigned
+//! by the coordinator such that movements inside the intervals provably do
+//! not change the monitored top-k set. This crate provides:
+//!
+//! * [`interval`] — intervals over `ℕ ∪ {−∞, ∞}` and violation checking;
+//! * [`set`] — whole assignments and the Lemma 2.2 validity characterization
+//!   (plus a brute-force semantic checker used to property-test the lemma);
+//! * [`tracker`] — the `T+/T−` epoch bookkeeping of Definition 3.1 with the
+//!   midpoint-halving update of Algorithm 1.
+
+#![forbid(unsafe_code)]
+
+pub mod interval;
+pub mod set;
+pub mod tracker;
+
+pub use interval::{Bound, FilterInterval, ViolationSide};
+pub use set::FilterSet;
+pub use tracker::{GapTracker, GapUpdate};
+
+#[cfg(test)]
+mod property_tests {
+    //! Property tests validating Lemma 2.2: the O(n) characterization agrees
+    //! with the brute-force "no in-filter movement changes F" semantics.
+
+    use proptest::prelude::*;
+    use topk_net::id::true_topk;
+
+    use crate::interval::FilterInterval;
+    use crate::set::FilterSet;
+
+    const PROBE_MAX: u64 = 120;
+
+    fn arb_values(n: usize) -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(0u64..=100, n)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// For arbitrary *threshold* filter sets (the shape Algorithm 1
+        /// uses), the Lemma 2.2 check and the semantic check agree.
+        #[test]
+        fn lemma_2_2_matches_semantics_threshold(
+            values in arb_values(6),
+            k in 1usize..=5,
+            m in 0u64..=100,
+        ) {
+            let topk = true_topk(&values, k);
+            let fs = FilterSet::threshold(values.len(), k, m, &topk);
+            let lemma = fs.is_valid_for(&values);
+            let semantic = fs.is_semantically_valid(&values, PROBE_MAX);
+            prop_assert_eq!(lemma, semantic);
+        }
+
+        /// For arbitrary *interval* filter sets the two checks agree.
+        #[test]
+        fn lemma_2_2_matches_semantics_general(
+            values in arb_values(5),
+            k in 1usize..=4,
+            los in prop::collection::vec(0u64..=100, 5),
+            widths in prop::collection::vec(0u64..=60, 5),
+        ) {
+            let filters: Vec<FilterInterval> = los
+                .iter()
+                .zip(&widths)
+                .map(|(&lo, &w)| FilterInterval::new(
+                    crate::Bound::Finite(lo),
+                    crate::Bound::Finite(lo + w),
+                ))
+                .collect();
+            // Containment is a precondition of both checks; align inputs so
+            // the comparison exercises the separation condition too.
+            let fs = FilterSet::new(filters, k);
+            let lemma = fs.is_valid_for(&values);
+            let semantic = fs.is_semantically_valid(&values, PROBE_MAX);
+            prop_assert_eq!(lemma, semantic);
+        }
+
+        /// The canonical midpoint assignment of Algorithm 1 is always a
+        /// valid set of filters when the threshold separates the k-th and
+        /// (k+1)-st values.
+        #[test]
+        fn separating_threshold_always_valid(
+            mut values in arb_values(8),
+            k in 1usize..=7,
+        ) {
+            // Force distinctness so the separating threshold exists.
+            values.sort_unstable();
+            values.dedup();
+            prop_assume!(values.len() > k);
+            let n = values.len();
+            let mut sorted = values.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let m = topk_net::id::midpoint_floor(sorted[k - 1], sorted[k]);
+            let topk = true_topk(&values, k);
+            let fs = FilterSet::threshold(n, k, m, &topk);
+            prop_assert!(fs.is_valid_for(&values));
+            prop_assert!(fs.is_semantically_valid(&values, PROBE_MAX));
+        }
+
+        /// Point filters are always valid for any (values, k).
+        #[test]
+        fn point_filters_always_valid(values in arb_values(7), k in 0usize..=7) {
+            let filters: Vec<FilterInterval> =
+                values.iter().map(|&v| FilterInterval::point(v)).collect();
+            let fs = FilterSet::new(filters, k);
+            prop_assert!(fs.is_valid_for(&values));
+            prop_assert!(fs.is_semantically_valid(&values, PROBE_MAX));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Sets of filters and the Lemma 2.2 validity characterization.
+//!
+//! Lemma 2.2: an n-tuple of intervals is a *set of filters* for `(values, k)`
+//! iff every top-k node's filter lower bound is ≥ every non-top-k node's
+//! filter upper bound (and each value lies in its own filter). The module
+//! provides both that `O(n)` check and a brute-force semantic checker (used
+//! by property tests to validate the lemma itself on small instances).
+
+use serde::{Deserialize, Serialize};
+
+use topk_net::id::{true_topk, NodeId, Value};
+
+use crate::interval::{Bound, FilterInterval};
+
+/// An assignment of one filter interval per node, for a given `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterSet {
+    filters: Vec<FilterInterval>,
+    k: usize,
+}
+
+impl FilterSet {
+    pub fn new(filters: Vec<FilterInterval>, k: usize) -> Self {
+        assert!(k <= filters.len());
+        FilterSet { filters, k }
+    }
+
+    /// The paper's canonical threshold assignment: `[m, ∞]` for nodes in
+    /// `topk`, `[−∞, m]` for the rest.
+    pub fn threshold(n: usize, k: usize, m: Value, topk: &[NodeId]) -> Self {
+        assert_eq!(topk.len(), k);
+        let mut filters = vec![FilterInterval::below(m); n];
+        for id in topk {
+            filters[id.idx()] = FilterInterval::above(m);
+        }
+        FilterSet { filters, k }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn n(&self) -> usize {
+        self.filters.len()
+    }
+
+    pub fn get(&self, id: NodeId) -> FilterInterval {
+        self.filters[id.idx()]
+    }
+
+    pub fn filters(&self) -> &[FilterInterval] {
+        &self.filters
+    }
+
+    /// Lemma 2.2 check: is this a valid set of filters for `values`?
+    ///
+    /// Conditions (with `topk` = the ground-truth top-k of `values`):
+    /// 1. `v_i ∈ F_i` for all `i`;
+    /// 2. `min_{i ∈ topk} l_i ≥ max_{j ∉ topk} u_j`.
+    pub fn is_valid_for(&self, values: &[Value]) -> bool {
+        assert_eq!(values.len(), self.filters.len());
+        if self.k == 0 || self.k == self.n() {
+            // Degenerate: F is constant regardless of movement; only
+            // containment matters.
+            return values
+                .iter()
+                .zip(&self.filters)
+                .all(|(&v, f)| f.contains(v));
+        }
+        let topk = true_topk(values, self.k);
+        let mut in_top = vec![false; values.len()];
+        for id in &topk {
+            in_top[id.idx()] = true;
+        }
+        let mut min_top_lo = Bound::PosInf;
+        let mut max_bot_hi = Bound::NegInf;
+        for (i, f) in self.filters.iter().enumerate() {
+            if !f.contains(values[i]) {
+                return false;
+            }
+            if in_top[i] {
+                min_top_lo = min_top_lo.min(f.lo);
+            } else {
+                max_bot_hi = max_bot_hi.max(f.hi);
+            }
+        }
+        min_top_lo >= max_bot_hi
+    }
+
+    /// Brute-force semantic check of Definition 2.1 on *small* instances:
+    /// for every pair `(i ∈ topk, j ∉ topk)` try to move `v_i` to its filter
+    /// minimum and `v_j` to its filter maximum (clamped to `[0, probe_max]`)
+    /// and verify `j` cannot strictly outrank `i`. This is the "no movement
+    /// within filters changes F" property that Lemma 2.2 characterizes.
+    #[allow(clippy::needless_range_loop)] // paired index sets (in_top / filters)
+    pub fn is_semantically_valid(&self, values: &[Value], probe_max: Value) -> bool {
+        assert_eq!(values.len(), self.filters.len());
+        #[allow(clippy::needless_range_loop)]
+        for (i, f) in self.filters.iter().enumerate() {
+            if !f.contains(values[i]) {
+                return false;
+            }
+        }
+        if self.k == 0 || self.k == self.n() {
+            return true;
+        }
+        let topk = true_topk(values, self.k);
+        let mut in_top = vec![false; values.len()];
+        for id in &topk {
+            in_top[id.idx()] = true;
+        }
+        for i in 0..values.len() {
+            if !in_top[i] {
+                continue;
+            }
+            let lo_i = match self.filters[i].lo {
+                Bound::NegInf => 0,
+                Bound::Finite(v) => v,
+                Bound::PosInf => unreachable!("lo cannot be +inf with v inside"),
+            };
+            for j in 0..values.len() {
+                if in_top[j] {
+                    continue;
+                }
+                let hi_j = match self.filters[j].hi {
+                    Bound::PosInf => probe_max,
+                    Bound::Finite(v) => v,
+                    Bound::NegInf => unreachable!("hi cannot be -inf with v inside"),
+                };
+                // Worst case movement: i sinks to lo_i, j climbs to hi_j.
+                // The set of filters property demands j still does not
+                // strictly outrank i (a tie at the boundary is permitted:
+                // the filter pair shares one point, Lemma 2.2's "single
+                // common point at their boundaries").
+                if hi_j > lo_i {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_set_is_valid() {
+        let values = vec![10, 50, 20, 40, 30];
+        // top-2 = {n1(50), n3(40)}; midpoint between 40 and 30 is 35.
+        let topk = true_topk(&values, 2);
+        let fs = FilterSet::threshold(5, 2, 35, &topk);
+        assert!(fs.is_valid_for(&values));
+        assert!(fs.is_semantically_valid(&values, 1000));
+    }
+
+    #[test]
+    fn containment_violation_invalidates() {
+        let values = vec![10, 50];
+        let topk = true_topk(&values, 1);
+        // Threshold above the top value: n1's filter [60, ∞] misses 50.
+        let fs = FilterSet::threshold(2, 1, 60, &topk);
+        assert!(!fs.is_valid_for(&values));
+        assert!(!fs.is_semantically_valid(&values, 100));
+    }
+
+    #[test]
+    fn overlapping_filters_invalid() {
+        // Top node filter [20, ∞], bottom filter [−∞, 30]: overlap 20..30.
+        let values = vec![40, 10];
+        let filters = vec![FilterInterval::above(20), FilterInterval::below(30)];
+        let fs = FilterSet::new(filters, 1);
+        assert!(!fs.is_valid_for(&values));
+        assert!(!fs.is_semantically_valid(&values, 100));
+    }
+
+    #[test]
+    fn shared_boundary_point_is_valid() {
+        // Lemma 2.2 allows one common point at the boundary.
+        let values = vec![40, 10];
+        let filters = vec![FilterInterval::above(25), FilterInterval::below(25)];
+        let fs = FilterSet::new(filters, 1);
+        assert!(fs.is_valid_for(&values));
+        assert!(fs.is_semantically_valid(&values, 100));
+    }
+
+    #[test]
+    fn k_equals_n_only_needs_containment() {
+        let values = vec![1, 2];
+        let fs = FilterSet::new(vec![FilterInterval::unbounded(); 2], 2);
+        assert!(fs.is_valid_for(&values));
+        let fs0 = FilterSet::new(vec![FilterInterval::unbounded(); 2], 0);
+        assert!(fs0.is_valid_for(&values));
+    }
+
+    #[test]
+    fn point_filters_always_valid() {
+        let values = vec![7, 3, 9, 9];
+        for k in 0..=4 {
+            let filters: Vec<_> = values.iter().map(|&v| FilterInterval::point(v)).collect();
+            let fs = FilterSet::new(filters, k);
+            assert!(fs.is_valid_for(&values), "k={k}");
+            assert!(fs.is_semantically_valid(&values, 100), "k={k}");
+        }
+    }
+}

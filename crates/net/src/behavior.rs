@@ -1,0 +1,205 @@
+//! Behavior traits shared by the sequential simulator and the threaded
+//! runtime.
+//!
+//! The paper's model is synchronous: at each time step every node observes a
+//! new value, then an arbitrary multi-round protocol runs "between t and
+//! t+1". We model that protocol as a sequence of *micro-rounds*:
+//!
+//! * **node-phase 0** — every node observes its new value and may emit one
+//!   up-message (Algorithm 2 participants flip their round-0 coin here);
+//! * **coordinator round `m`** — the coordinator consumes all up-messages of
+//!   node-phase `m` and emits unicasts and/or broadcasts;
+//! * **node-phase `m+1`** — nodes receive those messages and may emit again.
+//!
+//! Silence is observable for free (synchronous model); only actual payloads
+//! are charged to the [`crate::ledger::CommLedger`]. A node that neither
+//! holds protocol state nor is addressed by a broadcast/unicast is never
+//! polled — it declares itself disengaged via [`RoundAction::engaged`],
+//! which is a pure wall-clock optimization: a disengaged node's
+//! `micro_round` is required to be a no-op (no state change, no RNG use).
+//!
+//! Both runtimes drive the *same* state machines through these traits, so a
+//! single integration test pins their ledgers equal, and every experiment
+//! can use the fast sequential path.
+
+use crate::id::{NodeId, Value};
+use crate::wire::WireSize;
+
+/// What a node does upon observing its next stream value.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveAction<U> {
+    /// Immediate up-message (e.g. the naive baseline sends on change; an
+    /// Algorithm 1 violator may send its round-0 report).
+    pub up: Option<U>,
+    /// `true` if the node holds protocol state and must be polled in
+    /// subsequent micro-rounds even if no broadcast addresses it.
+    pub engaged: bool,
+}
+
+impl<U> ObserveAction<U> {
+    pub fn idle() -> Self {
+        ObserveAction {
+            up: None,
+            engaged: false,
+        }
+    }
+}
+
+/// What a node does in one micro-round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundAction<U> {
+    /// The node's up-message for this round, if it sends.
+    pub up: Option<U>,
+    /// Whether the node must keep being polled in following micro-rounds.
+    pub engaged: bool,
+}
+
+impl<U> RoundAction<U> {
+    pub fn idle() -> Self {
+        RoundAction {
+            up: None,
+            engaged: false,
+        }
+    }
+}
+
+/// Node-side behavior in the synchronous execution.
+pub trait NodeBehavior: Send {
+    /// Node → coordinator message type.
+    type Up: WireSize + Send + 'static;
+    /// Coordinator → node message type (broadcast or unicast).
+    type Down: WireSize + Clone + Send + 'static;
+
+    /// This node's identity.
+    fn id(&self) -> NodeId;
+
+    /// Observe the value for time step `t` (node-phase 0).
+    fn observe(&mut self, t: u64, value: Value) -> ObserveAction<Self::Up>;
+
+    /// Execute node-phase `m ≥ 1` of time step `t`. `bcasts` are the
+    /// broadcasts emitted by the coordinator in round `m-1` (in emission
+    /// order), `ucast` a unicast addressed to this node.
+    fn micro_round(
+        &mut self,
+        t: u64,
+        m: u32,
+        bcasts: &[Self::Down],
+        ucast: Option<&Self::Down>,
+    ) -> RoundAction<Self::Up>;
+}
+
+/// Everything the coordinator emits at the end of one micro-round.
+#[derive(Debug, Clone)]
+pub struct CoordOut<D> {
+    /// Unicasts, each charged as one `Down` message.
+    pub unicasts: Vec<(NodeId, D)>,
+    /// Broadcasts, each charged as one `Broadcast` message. Usually 0 or 1;
+    /// 2 when a min- and a max-protocol round conclude simultaneously.
+    pub broadcasts: Vec<D>,
+}
+
+impl<D> Default for CoordOut<D> {
+    fn default() -> Self {
+        CoordOut {
+            unicasts: Vec::new(),
+            broadcasts: Vec::new(),
+        }
+    }
+}
+
+impl<D> CoordOut<D> {
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.unicasts.is_empty() && self.broadcasts.is_empty()
+    }
+
+    pub fn bcast(d: D) -> Self {
+        CoordOut {
+            unicasts: Vec::new(),
+            broadcasts: vec![d],
+        }
+    }
+}
+
+/// Coordinator-side behavior in the synchronous execution.
+pub trait CoordinatorBehavior {
+    type Up: WireSize + Send + 'static;
+    type Down: WireSize + Clone + Send + 'static;
+
+    /// Called once when time step `t` begins, before any micro-round.
+    fn begin_step(&mut self, t: u64);
+
+    /// Fast path: return `true` to skip the step's micro-rounds entirely.
+    /// Only invoked when node-phase 0 produced no up-messages and no engaged
+    /// node. Must return `true` only if running the rounds would provably
+    /// exchange no messages and change no state (e.g. Algorithm 1 once
+    /// initialized: no violation ⇒ silence through the whole window).
+    fn try_skip_silent_step(&mut self, _t: u64) -> bool {
+        false
+    }
+
+    /// Consume the up-messages of node-phase `m` (sorted by node id for
+    /// determinism) and produce the coordinator's output for round `m`.
+    fn micro_round(&mut self, t: u64, m: u32, ups: Vec<(NodeId, Self::Up)>) -> CoordOut<Self::Down>;
+
+    /// `true` once the protocol exchange for the current step has concluded
+    /// (no further micro-rounds are needed). Drivers stop when this holds
+    /// *and* the last output was empty; they enforce a hard round guard.
+    fn step_done(&self) -> bool;
+
+    /// The coordinator's current answer: the monitored top-k node ids,
+    /// sorted ascending.
+    fn topk(&self) -> &[NodeId];
+}
+
+/// Hard upper bound on micro-rounds per time step — a bug detector, far above
+/// any legitimate schedule (`(k+2)` protocol phases of `log n` rounds each).
+pub fn max_micro_rounds(n: usize, k: usize) -> u32 {
+    let l = crate::rng::log2_ceil(n.max(2) as u64) + 2;
+    (k as u32 + 4) * l + 64
+}
+
+/// A value source feeding all `n` nodes one step at a time.
+///
+/// Implementations live in `topk-streams`; the trait lives here so runtimes
+/// and algorithms need not depend on the generator crate.
+pub trait ValueFeed: Send {
+    /// Number of node streams.
+    fn n(&self) -> usize;
+    /// Fill `out[i]` with node `i`'s observation for time `t`.
+    /// `out.len() == self.n()`. Called with strictly increasing `t`.
+    fn fill_step(&mut self, t: u64, out: &mut [Value]);
+}
+
+impl ValueFeed for Box<dyn ValueFeed> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        (**self).fill_step(t, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_out_constructors() {
+        let out: CoordOut<u32> = CoordOut::empty();
+        assert!(out.is_empty());
+        let out2 = CoordOut::bcast(7u32);
+        assert!(!out2.is_empty());
+        assert_eq!(out2.broadcasts, vec![7]);
+    }
+
+    #[test]
+    fn micro_round_guard_scales() {
+        assert!(max_micro_rounds(2, 1) >= 64);
+        assert!(max_micro_rounds(1 << 20, 8) > 12 * 20);
+        assert!(max_micro_rounds(1024, 1024) > 1024);
+    }
+}

@@ -1,0 +1,185 @@
+//! Event tracing: a bounded, zero-cost-when-disabled log of every model
+//! message, for debugging protocol runs and rendering execution transcripts
+//! (the `protocol_demo` example shows the kind of narrative this enables).
+//!
+//! The log is deliberately *not* wired into the hot runtimes by default —
+//! drivers opt in by calling [`EventLog::record`] next to their ledger
+//! counts. Tests use it to assert fine-grained message orderings that the
+//! aggregate ledger cannot express.
+
+use crate::id::NodeId;
+use crate::ledger::ChannelKind;
+
+/// One recorded message event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Time step in which the message was sent.
+    pub t: u64,
+    /// Micro-round within the step.
+    pub m: u32,
+    /// Channel used.
+    pub kind: ChannelKind,
+    /// Sender (node for `Up`, `None` = coordinator).
+    pub from: Option<NodeId>,
+    /// Receiver (node for `Down`, `None` = coordinator or everyone).
+    pub to: Option<NodeId>,
+    /// Short human-readable payload tag (e.g. `"ViolMin(n3,42)"`).
+    pub tag: String,
+}
+
+/// A bounded ring buffer of [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// An enabled log keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A log that records nothing (the default for hot paths).
+    pub fn disabled() -> Self {
+        EventLog {
+            events: std::collections::VecDeque::new(),
+            capacity: 1,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Convenience: record an up-message.
+    pub fn up(&mut self, t: u64, m: u32, from: NodeId, tag: impl Into<String>) {
+        self.record(Event {
+            t,
+            m,
+            kind: ChannelKind::Up,
+            from: Some(from),
+            to: None,
+            tag: tag.into(),
+        });
+    }
+
+    /// Convenience: record a broadcast.
+    pub fn broadcast(&mut self, t: u64, m: u32, tag: impl Into<String>) {
+        self.record(Event {
+            t,
+            m,
+            kind: ChannelKind::Broadcast,
+            from: None,
+            to: None,
+            tag: tag.into(),
+        });
+    }
+
+    /// Events currently retained (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render a readable transcript, one line per event.
+    pub fn transcript(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let dir = match e.kind {
+                ChannelKind::Up => format!(
+                    "{} → coord",
+                    e.from.map(|n| n.to_string()).unwrap_or_else(|| "?".into())
+                ),
+                ChannelKind::Down => format!(
+                    "coord → {}",
+                    e.to.map(|n| n.to_string()).unwrap_or_else(|| "?".into())
+                ),
+                ChannelKind::Broadcast => "coord ⇒ all".to_string(),
+            };
+            out.push_str(&format!("t={:<5} m={:<3} {:<16} {}\n", e.t, e.m, dir, e.tag));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("… ({} earlier events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::disabled();
+        log.up(0, 0, NodeId(1), "x");
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.up(i, 0, NodeId(0), format!("e{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let tags: Vec<&str> = log.events().map(|e| e.tag.as_str()).collect();
+        assert_eq!(tags, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn transcript_renders_directions() {
+        let mut log = EventLog::new(8);
+        log.up(3, 1, NodeId(7), "ViolMin(n7,42)");
+        log.broadcast(3, 1, "Midpoint(50)");
+        let txt = log.transcript();
+        assert!(txt.contains("n7 → coord"));
+        assert!(txt.contains("coord ⇒ all"));
+        assert!(txt.contains("Midpoint(50)"));
+        assert!(txt.contains("t=3"));
+    }
+}

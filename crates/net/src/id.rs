@@ -1,0 +1,217 @@
+//! Node identities, observed values and the total order used for ranking.
+//!
+//! The paper assumes pairwise-distinct values and notes the results remain
+//! valid without that assumption. We make the relaxation concrete: all
+//! ranking decisions use the total order "higher value first, lower node id
+//! breaks ties" ([`RankEntry`]), so every protocol and every monitor is
+//! well-defined on arbitrary inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a distributed node, `0..n` (the paper uses `1..n`; we are
+/// zero-based throughout and only format one-based in human-readable output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index into dense per-node arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An observed stream value. The paper's model is `v ∈ ℕ`; `u64` covers every
+/// workload in the evaluation and keeps arithmetic exact.
+pub type Value = u64;
+
+/// A `(value, id)` pair ordered so that *greater means higher rank*:
+/// larger values win; equal values are won by the **lower** node id.
+///
+/// This is the single total order used by the maximum protocol, filter
+/// placement and ground-truth computation, making tie behaviour consistent
+/// across the whole system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RankEntry {
+    pub value: Value,
+    pub id: NodeId,
+}
+
+impl RankEntry {
+    #[inline]
+    pub fn new(value: Value, id: NodeId) -> Self {
+        Self { value, id }
+    }
+
+    /// `true` if `self` outranks `other` (strictly higher position).
+    #[inline]
+    pub fn beats(&self, other: &RankEntry) -> bool {
+        self > other
+    }
+}
+
+impl Ord for RankEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Higher value first; on ties the lower id ranks higher, so compare
+        // ids in reverse.
+        self.value
+            .cmp(&other.value)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for RankEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A `(value, id)` pair ordered so that *greater means closer to the minimum*:
+/// smaller values win; equal values are won by the lower node id.
+///
+/// Used by the MINIMUMPROTOCOL. `MinEntry(a) > MinEntry(b)` reads "a is a
+/// better minimum candidate than b".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MinEntry {
+    pub value: Value,
+    pub id: NodeId,
+}
+
+impl MinEntry {
+    #[inline]
+    pub fn new(value: Value, id: NodeId) -> Self {
+        Self { value, id }
+    }
+
+    /// `true` if `self` is a strictly better minimum candidate than `other`.
+    #[inline]
+    pub fn beats(&self, other: &MinEntry) -> bool {
+        self > other
+    }
+}
+
+impl Ord for MinEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Smaller value first; on ties the lower id wins.
+        other
+            .value
+            .cmp(&self.value)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for MinEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compute the ground-truth top-k node ids for one time step, using the
+/// [`RankEntry`] total order. Returned ids are sorted ascending (set
+/// semantics — the *positions* problem asks for the set, not the order).
+///
+/// Runs in `O(n)` for `k ≪ n` via partial selection.
+pub fn true_topk(values: &[Value], k: usize) -> Vec<NodeId> {
+    assert!(k <= values.len(), "k={k} exceeds n={}", values.len());
+    let mut entries: Vec<RankEntry> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| RankEntry::new(v, NodeId(i as u32)))
+        .collect();
+    if k < entries.len() {
+        // Partition so the k greatest (by RankEntry order) come first.
+        entries.select_nth_unstable_by(k, |a, b| b.cmp(a));
+    }
+    let mut ids: Vec<NodeId> = entries[..k].iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Ground-truth descending ranking of all nodes (position 0 = maximum).
+pub fn true_ranking(values: &[Value]) -> Vec<NodeId> {
+    let mut entries: Vec<RankEntry> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| RankEntry::new(v, NodeId(i as u32)))
+        .collect();
+    entries.sort_unstable_by(|a, b| b.cmp(a));
+    entries.into_iter().map(|e| e.id).collect()
+}
+
+/// Overflow-safe floor midpoint of two `u64`s: `⌊(a+b)/2⌋`.
+#[inline]
+pub fn midpoint_floor(a: Value, b: Value) -> Value {
+    (a & b) + ((a ^ b) >> 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_entry_orders_by_value_then_low_id() {
+        let a = RankEntry::new(10, NodeId(3));
+        let b = RankEntry::new(10, NodeId(1));
+        let c = RankEntry::new(11, NodeId(9));
+        assert!(b.beats(&a), "lower id wins ties");
+        assert!(c.beats(&a));
+        assert!(c.beats(&b));
+        assert!(!a.beats(&a));
+    }
+
+    #[test]
+    fn min_entry_orders_by_value_then_low_id() {
+        let a = MinEntry::new(10, NodeId(3));
+        let b = MinEntry::new(10, NodeId(1));
+        let c = MinEntry::new(9, NodeId(9));
+        assert!(b.beats(&a), "lower id wins ties");
+        assert!(c.beats(&a));
+        assert!(c.beats(&b));
+    }
+
+    #[test]
+    fn true_topk_basic() {
+        let values = vec![5, 9, 1, 9, 7];
+        // Ranking: n1(9), n3(9), n4(7), n0(5), n2(1).
+        assert_eq!(true_topk(&values, 1), vec![NodeId(1)]);
+        assert_eq!(true_topk(&values, 2), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(true_topk(&values, 3), vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(true_topk(&values, 5).len(), 5);
+    }
+
+    #[test]
+    fn true_topk_k_equals_zero_and_n() {
+        let values = vec![3, 1, 2];
+        assert!(true_topk(&values, 0).is_empty());
+        assert_eq!(true_topk(&values, 3), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn true_ranking_full_order() {
+        let values = vec![5, 9, 1, 9, 7];
+        assert_eq!(
+            true_ranking(&values),
+            vec![NodeId(1), NodeId(3), NodeId(4), NodeId(0), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn midpoint_no_overflow() {
+        assert_eq!(midpoint_floor(0, 0), 0);
+        assert_eq!(midpoint_floor(2, 4), 3);
+        assert_eq!(midpoint_floor(3, 4), 3);
+        assert_eq!(midpoint_floor(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(midpoint_floor(u64::MAX, u64::MAX - 1), u64::MAX - 1);
+        assert_eq!(midpoint_floor(u64::MAX, 0), u64::MAX / 2);
+    }
+}

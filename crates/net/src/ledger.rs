@@ -1,0 +1,202 @@
+//! Message accounting — the paper's sole cost metric.
+//!
+//! Every communication primitive of the model costs **one message**:
+//! node→coordinator unicast, coordinator→node unicast, and a coordinator
+//! broadcast (received by all nodes but counted once). The ledger tracks the
+//! three channels separately, together with the wire-size (bits) of the
+//! payloads, so experiments can report both the theorem quantities (Theorem
+//! 4.2 counts node→coordinator messages only) and total communication.
+//!
+//! The threaded runtime additionally tracks *sync frames*: transport-level
+//! round acknowledgements that emulate the synchronous model's free
+//! observation of silence. They are never part of the model cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Which channel of the model a message used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Node → coordinator unicast.
+    Up,
+    /// Coordinator → single node unicast.
+    Down,
+    /// Coordinator broadcast, received by all nodes, cost 1.
+    Broadcast,
+}
+
+/// Snapshot of all counters; also used to express deltas between two points
+/// in time (e.g. "messages spent inside `FILTERRESET`").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerSnapshot {
+    pub up: u64,
+    pub down: u64,
+    pub broadcast: u64,
+    pub up_bits: u64,
+    pub down_bits: u64,
+    pub broadcast_bits: u64,
+    pub sync_frames: u64,
+}
+
+impl LedgerSnapshot {
+    /// Total model messages (sync frames excluded).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.up + self.down + self.broadcast
+    }
+
+    /// Total model bits.
+    #[inline]
+    pub fn total_bits(&self) -> u64 {
+        self.up_bits + self.down_bits + self.broadcast_bits
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating, counters are
+    /// monotone so this is exact in correct use).
+    pub fn since(&self, earlier: &LedgerSnapshot) -> LedgerSnapshot {
+        LedgerSnapshot {
+            up: self.up - earlier.up,
+            down: self.down - earlier.down,
+            broadcast: self.broadcast - earlier.broadcast,
+            up_bits: self.up_bits - earlier.up_bits,
+            down_bits: self.down_bits - earlier.down_bits,
+            broadcast_bits: self.broadcast_bits - earlier.broadcast_bits,
+            sync_frames: self.sync_frames - earlier.sync_frames,
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &LedgerSnapshot) -> LedgerSnapshot {
+        LedgerSnapshot {
+            up: self.up + other.up,
+            down: self.down + other.down,
+            broadcast: self.broadcast + other.broadcast,
+            up_bits: self.up_bits + other.up_bits,
+            down_bits: self.down_bits + other.down_bits,
+            broadcast_bits: self.broadcast_bits + other.broadcast_bits,
+            sync_frames: self.sync_frames + other.sync_frames,
+        }
+    }
+}
+
+/// Mutable message ledger owned by a runtime driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommLedger {
+    snap: LedgerSnapshot,
+}
+
+impl CommLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one model message of `kind` carrying `bits` payload bits.
+    #[inline]
+    pub fn count(&mut self, kind: ChannelKind, bits: u32) {
+        match kind {
+            ChannelKind::Up => {
+                self.snap.up += 1;
+                self.snap.up_bits += bits as u64;
+            }
+            ChannelKind::Down => {
+                self.snap.down += 1;
+                self.snap.down_bits += bits as u64;
+            }
+            ChannelKind::Broadcast => {
+                self.snap.broadcast += 1;
+                self.snap.broadcast_bits += bits as u64;
+            }
+        }
+    }
+
+    /// Record one transport-level synchronization frame (threaded runtime
+    /// only; excluded from model cost).
+    #[inline]
+    pub fn count_sync(&mut self) {
+        self.snap.sync_frames += 1;
+    }
+
+    #[inline]
+    pub fn up(&self) -> u64 {
+        self.snap.up
+    }
+
+    #[inline]
+    pub fn down(&self) -> u64 {
+        self.snap.down
+    }
+
+    #[inline]
+    pub fn broadcast(&self) -> u64 {
+        self.snap.broadcast
+    }
+
+    #[inline]
+    pub fn sync_frames(&self) -> u64 {
+        self.snap.sync_frames
+    }
+
+    /// Total model messages.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.snap.total()
+    }
+
+    /// Immutable snapshot of all counters.
+    #[inline]
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        self.snap
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        self.snap = LedgerSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_by_kind() {
+        let mut l = CommLedger::new();
+        l.count(ChannelKind::Up, 32);
+        l.count(ChannelKind::Up, 16);
+        l.count(ChannelKind::Down, 8);
+        l.count(ChannelKind::Broadcast, 40);
+        l.count_sync();
+        assert_eq!(l.up(), 2);
+        assert_eq!(l.down(), 1);
+        assert_eq!(l.broadcast(), 1);
+        assert_eq!(l.total(), 4);
+        assert_eq!(l.sync_frames(), 1);
+        let s = l.snapshot();
+        assert_eq!(s.up_bits, 48);
+        assert_eq!(s.total_bits(), 96);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn snapshot_delta_and_sum() {
+        let mut l = CommLedger::new();
+        l.count(ChannelKind::Up, 10);
+        let a = l.snapshot();
+        l.count(ChannelKind::Broadcast, 20);
+        l.count(ChannelKind::Up, 10);
+        let b = l.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.up, 1);
+        assert_eq!(d.broadcast, 1);
+        assert_eq!(d.total(), 2);
+        assert_eq!(a.plus(&d), b);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut l = CommLedger::new();
+        l.count(ChannelKind::Down, 1);
+        l.reset();
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.snapshot(), LedgerSnapshot::default());
+    }
+}

@@ -1,0 +1,46 @@
+//! # topk-net — communication substrate for distributed stream monitoring
+//!
+//! This crate implements the system model of *Online Top-k-Position
+//! Monitoring of Distributed Data Streams* (Mäcker, Malatyali, Meyer auf der
+//! Heide): `n` nodes with private data streams, one coordinator,
+//! node→coordinator and coordinator→node unicasts plus a broadcast channel,
+//! each costing one message; instantaneous delivery; and an arbitrary
+//! multi-round protocol between consecutive observations.
+//!
+//! Provided here:
+//!
+//! * [`id`] — node identities, values, and the tie-breaking total order;
+//! * [`ledger`] — message accounting (the paper's cost metric);
+//! * [`wire`] — compact encodings and the `O(log n + log Δ)` size budget;
+//! * [`rng`] — deterministic per-node randomness and the exact `2^r/N`
+//!   Bernoulli trials the model's nodes are equipped with;
+//! * [`behavior`] — the node/coordinator state-machine traits;
+//! * [`seq`] — the deterministic sequential runtime (used by all
+//!   experiments);
+//! * [`threaded`] — the OS-thread + crossbeam-channel runtime (the "real"
+//!   distributed execution, ledger-equivalent to [`seq`]);
+//! * [`trace`] — dense observation traces, replay and CSV I/O;
+//! * [`events`] — bounded message tracing for transcripts and fine-grained
+//!   ordering assertions.
+
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod events;
+pub mod id;
+pub mod ledger;
+pub mod rng;
+pub mod seq;
+pub mod threaded;
+pub mod trace;
+pub mod wire;
+
+pub use behavior::{
+    CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction, ValueFeed,
+};
+pub use events::{Event, EventLog};
+pub use id::{midpoint_floor, true_ranking, true_topk, MinEntry, NodeId, RankEntry, Value};
+pub use ledger::{ChannelKind, CommLedger, LedgerSnapshot};
+pub use seq::SyncRuntime;
+pub use threaded::ThreadedCluster;
+pub use trace::{TraceMatrix, TraceReplay};

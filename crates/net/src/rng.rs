@@ -1,0 +1,130 @@
+//! Deterministic randomness plumbing.
+//!
+//! Experiments must be exactly reproducible from a single master seed, and
+//! the sequential simulator and the threaded runtime must draw *identical*
+//! coin-flip sequences. Both follow from giving every node its own
+//! independent [`ChaCha12Rng`] stream derived from the master seed by
+//! SplitMix64 mixing: within one node the flip order is fully determined by
+//! the protocol round schedule, independent of thread interleaving.
+//!
+//! The paper's nodes flip coins with success probability exactly `2^r / N`;
+//! [`bernoulli_pow2`] implements that as an exact integer draw (no floating
+//! point).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// SplitMix64 — the standard 64-bit seed mixer (Steele et al.).
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive a statistically independent substream seed from `(master, stream)`.
+#[inline]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_add(0xa076_1d64_78bd_642f)))
+}
+
+/// Construct the RNG for substream `stream` of `master`.
+pub fn substream_rng(master: u64, stream: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(derive_seed(master, stream))
+}
+
+/// One exact Bernoulli trial with success probability `min(1, 2^r / n_bound)`.
+///
+/// Implemented as a uniform draw from `0..n_bound` compared against
+/// `min(2^r, n_bound)` — an exact rational probability, as the model's nodes
+/// are specified to support.
+#[inline]
+pub fn bernoulli_pow2(rng: &mut impl Rng, r: u32, n_bound: u64) -> bool {
+    debug_assert!(n_bound >= 1);
+    let threshold = if r >= 63 { n_bound } else { (1u64 << r).min(n_bound) };
+    rng.gen_range(0..n_bound) < threshold
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`; the number of the *last* protocol round (rounds
+/// run `0..=log2_ceil(n)` — the last round has success probability 1).
+#[inline]
+pub fn log2_ceil(n: u64) -> u32 {
+    debug_assert!(n >= 1);
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+        assert_eq!(log2_ceil(u64::MAX), 64);
+    }
+
+    #[test]
+    fn final_round_probability_is_one() {
+        // At r = log2_ceil(n), threshold = min(2^r, n) = n, so the trial
+        // always succeeds.
+        let mut rng = substream_rng(42, 0);
+        for n in [1u64, 2, 3, 7, 8, 1000] {
+            let r = log2_ceil(n);
+            for _ in 0..50 {
+                assert!(bernoulli_pow2(&mut rng, r, n), "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_zero_probability_roughly_one_over_n() {
+        let mut rng = substream_rng(7, 1);
+        let n = 64u64;
+        let trials = 200_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            if bernoulli_pow2(&mut rng, 0, n) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        let expect = 1.0 / n as f64;
+        assert!(
+            (p - expect).abs() < 0.005,
+            "p={p} expected≈{expect}"
+        );
+    }
+
+    #[test]
+    fn substreams_differ_and_are_deterministic() {
+        let mut a1 = substream_rng(1, 10);
+        let mut a2 = substream_rng(1, 10);
+        let mut b = substream_rng(1, 11);
+        let xs1: Vec<u64> = (0..8).map(|_| a1.gen()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs1, xs2, "same (master, stream) must reproduce");
+        assert_ne!(xs1, ys, "distinct streams must differ");
+    }
+
+    #[test]
+    fn splitmix_spreads_small_inputs() {
+        let outs: Vec<u64> = (0..16).map(splitmix64).collect();
+        let mut uniq = outs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), outs.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic sequential runtime — the workhorse of all experiments.
+//!
+//! Drives one [`CoordinatorBehavior`] and `n` [`NodeBehavior`]s through the
+//! synchronous micro-round schedule (see [`crate::behavior`]), charging every
+//! model message to an internal [`CommLedger`]. Node visit order is always
+//! ascending node id, and per-node RNG streams are owned by the node state
+//! machines, so a run is a pure function of `(behaviors, values)` — the
+//! threaded runtime produces the identical ledger.
+//!
+//! Sparsity: in a micro-round without broadcasts, only *engaged* nodes and
+//! unicast addressees are polled. Disengaged nodes are contractually
+//! no-ops, so skipping them changes nothing observable.
+
+use crate::behavior::{
+    max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed,
+};
+use crate::id::{NodeId, Value};
+use crate::ledger::{ChannelKind, CommLedger};
+use crate::wire::WireSize;
+
+/// Sequential synchronous runtime over `n` node behaviors and a coordinator.
+pub struct SyncRuntime<NB, CB>
+where
+    NB: NodeBehavior,
+    CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+{
+    nodes: Vec<NB>,
+    coord: CB,
+    ledger: CommLedger,
+    engaged: Vec<bool>,
+    /// Scratch: up-messages of the current node-phase.
+    ups: Vec<(NodeId, NB::Up)>,
+    guard: u32,
+    steps_run: u64,
+    silent_steps: u64,
+    micro_rounds_run: u64,
+}
+
+impl<NB, CB> SyncRuntime<NB, CB>
+where
+    NB: NodeBehavior,
+    CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+{
+    /// `guard_k` only sizes the runaway-protocol guard; pass the monitored
+    /// `k` (or any upper bound).
+    pub fn new(nodes: Vec<NB>, coord: CB, guard_k: usize) -> Self {
+        let n = nodes.len();
+        assert!(n > 0, "need at least one node");
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i as u32), "nodes must be dense, id-ordered");
+        }
+        SyncRuntime {
+            nodes,
+            coord,
+            ledger: CommLedger::new(),
+            engaged: vec![false; n],
+            ups: Vec::new(),
+            guard: max_micro_rounds(n, guard_k),
+            steps_run: 0,
+            silent_steps: 0,
+            micro_rounds_run: 0,
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn coord(&self) -> &CB {
+        &self.coord
+    }
+
+    pub fn coord_mut(&mut self) -> &mut CB {
+        &mut self.coord
+    }
+
+    pub fn nodes(&self) -> &[NB] {
+        &self.nodes
+    }
+
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Steps that exchanged no message and ran no micro-round.
+    pub fn silent_steps(&self) -> u64 {
+        self.silent_steps
+    }
+
+    pub fn micro_rounds_run(&self) -> u64 {
+        self.micro_rounds_run
+    }
+
+    /// The coordinator's current top-k answer (sorted ascending).
+    pub fn topk(&self) -> &[NodeId] {
+        self.coord.topk()
+    }
+
+    /// Execute one synchronous time step with the given observations.
+    pub fn step(&mut self, t: u64, values: &[Value]) {
+        assert_eq!(values.len(), self.nodes.len(), "one value per node");
+        self.coord.begin_step(t);
+        self.ups.clear();
+
+        // Node-phase 0: observations.
+        let mut any_engaged = false;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let act = node.observe(t, values[i]);
+            self.engaged[i] = act.engaged;
+            any_engaged |= act.engaged;
+            if let Some(up) = act.up {
+                self.ledger.count(ChannelKind::Up, up.wire_bits());
+                self.ups.push((NodeId(i as u32), up));
+            }
+        }
+
+        if !any_engaged && self.ups.is_empty() && self.coord.try_skip_silent_step(t) {
+            self.steps_run += 1;
+            self.silent_steps += 1;
+            return;
+        }
+
+        // Coordinator rounds / node-phases.
+        let mut m: u32 = 0;
+        loop {
+            let out = self.coord.micro_round(t, m, std::mem::take(&mut self.ups));
+            for (_, d) in &out.unicasts {
+                self.ledger.count(ChannelKind::Down, d.wire_bits());
+            }
+            for b in &out.broadcasts {
+                self.ledger.count(ChannelKind::Broadcast, b.wire_bits());
+            }
+            if out.is_empty() && self.coord.step_done() {
+                break;
+            }
+            m += 1;
+            self.micro_rounds_run += 1;
+            assert!(
+                m <= self.guard,
+                "micro-round guard exceeded at t={t}: protocol failed to terminate"
+            );
+            self.deliver_phase(t, m, out);
+        }
+        self.steps_run += 1;
+    }
+
+    /// Deliver the coordinator output of round `m-1` as node-phase `m` and
+    /// collect the nodes' up-messages into `self.ups`.
+    fn deliver_phase(&mut self, t: u64, m: u32, out: CoordOut<NB::Down>) {
+        let CoordOut {
+            mut unicasts,
+            broadcasts,
+        } = out;
+        unicasts.sort_by_key(|(id, _)| *id);
+        debug_assert!(
+            unicasts.windows(2).all(|w| w[0].0 != w[1].0),
+            "at most one unicast per node per round"
+        );
+
+        if broadcasts.is_empty() && unicasts.is_empty() {
+            // Silent round: poll only engaged nodes.
+            for i in 0..self.nodes.len() {
+                if !self.engaged[i] {
+                    continue;
+                }
+                self.poll_node(t, m, i, &broadcasts, None);
+            }
+        } else if broadcasts.is_empty() {
+            // Unicasts only: poll engaged ∪ addressees.
+            let mut u = unicasts.into_iter().peekable();
+            for i in 0..self.nodes.len() {
+                let ucast = match u.peek() {
+                    Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
+                    _ => None,
+                };
+                if !self.engaged[i] && ucast.is_none() {
+                    continue;
+                }
+                self.poll_node(t, m, i, &broadcasts, ucast);
+            }
+        } else {
+            // A broadcast reaches everyone.
+            let mut u = unicasts.into_iter().peekable();
+            for i in 0..self.nodes.len() {
+                let ucast = match u.peek() {
+                    Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
+                    _ => None,
+                };
+                self.poll_node(t, m, i, &broadcasts, ucast);
+            }
+        }
+    }
+
+    #[inline]
+    fn poll_node(
+        &mut self,
+        t: u64,
+        m: u32,
+        i: usize,
+        bcasts: &[NB::Down],
+        ucast: Option<NB::Down>,
+    ) {
+        let act = self.nodes[i].micro_round(t, m, bcasts, ucast.as_ref());
+        self.engaged[i] = act.engaged;
+        if let Some(up) = act.up {
+            self.ledger.count(ChannelKind::Up, up.wire_bits());
+            self.ups.push((NodeId(i as u32), up));
+        }
+    }
+
+    /// Run `steps` consecutive time steps pulled from a [`ValueFeed`],
+    /// starting at time `start_t`. Returns the ledger snapshot delta.
+    pub fn run_feed(
+        &mut self,
+        feed: &mut dyn ValueFeed,
+        start_t: u64,
+        steps: u64,
+    ) -> crate::ledger::LedgerSnapshot {
+        assert_eq!(feed.n(), self.nodes.len());
+        let before = self.ledger.snapshot();
+        let mut row = vec![0 as Value; self.nodes.len()];
+        for dt in 0..steps {
+            let t = start_t + dt;
+            feed.fill_step(t, &mut row);
+            self.step(t, &row);
+        }
+        self.ledger.snapshot().since(&before)
+    }
+}

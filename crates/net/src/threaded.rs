@@ -1,0 +1,272 @@
+//! Threaded runtime: every node is an OS thread, channels are
+//! `crossbeam-channel` — the "real distributed execution" counterpart of
+//! [`crate::seq::SyncRuntime`].
+//!
+//! The synchronous model is emulated with explicit frames: per node-phase the
+//! driver sends each *visited* node one [`NodeFrame`] and waits for its
+//! [`NodeReply`]. Frames and replies are transport artifacts: only `Some`
+//! payloads inside them are charged to the model ledger; the frames
+//! themselves are tallied as `sync_frames` (a real deployment would use
+//! timeouts to observe silence — the paper's synchronous model gets this for
+//! free).
+//!
+//! The visit rule, the node-phase indices and the per-node RNG streams are
+//! identical to the sequential runtime, so for the same behaviors and inputs
+//! the two runtimes produce **equal ledgers** (asserted by the
+//! `threaded_equivalence` integration test).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::behavior::{max_micro_rounds, CoordinatorBehavior, NodeBehavior, ValueFeed};
+use crate::id::{NodeId, Value};
+use crate::ledger::{ChannelKind, CommLedger};
+use crate::wire::WireSize;
+
+/// Frame sent from the driver to a node thread.
+enum NodeFrame<D> {
+    /// Deliver the observation for time `t` (node-phase 0).
+    Observe { t: u64, value: Value },
+    /// Run node-phase `m` with the round's broadcasts and an optional
+    /// unicast addressed to this node.
+    Round {
+        t: u64,
+        m: u32,
+        bcasts: Vec<D>,
+        ucast: Option<D>,
+    },
+    /// Shut the node thread down.
+    Halt,
+}
+
+/// Reply from a node thread after processing one frame.
+struct NodeReply<U> {
+    id: NodeId,
+    up: Option<U>,
+    engaged: bool,
+}
+
+/// A running cluster of node threads plus the coordinator-side driver state.
+pub struct ThreadedCluster<NB>
+where
+    NB: NodeBehavior + 'static,
+{
+    to_nodes: Vec<Sender<NodeFrame<NB::Down>>>,
+    from_nodes: Receiver<NodeReply<NB::Up>>,
+    handles: Vec<JoinHandle<NB>>,
+    engaged: Vec<bool>,
+    ledger: CommLedger,
+    steps_run: u64,
+}
+
+impl<NB> ThreadedCluster<NB>
+where
+    NB: NodeBehavior + 'static,
+{
+    /// Spawn one thread per node behavior.
+    pub fn spawn(nodes: Vec<NB>) -> Self {
+        let n = nodes.len();
+        assert!(n > 0, "need at least one node");
+        let (reply_tx, reply_rx) = unbounded::<NodeReply<NB::Up>>();
+        let mut to_nodes = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, mut node) in nodes.into_iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i as u32), "nodes must be dense, id-ordered");
+            let (tx, rx) = unbounded::<NodeFrame<NB::Down>>();
+            let reply = reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("topk-node-{i}"))
+                .spawn(move || {
+                    node_main(&mut node, rx, reply);
+                    node
+                })
+                .expect("spawn node thread");
+            to_nodes.push(tx);
+            handles.push(handle);
+        }
+        ThreadedCluster {
+            to_nodes,
+            from_nodes: reply_rx,
+            handles,
+            engaged: vec![false; n],
+            ledger: CommLedger::new(),
+            steps_run: 0,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.to_nodes.len()
+    }
+
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Execute one synchronous time step against `coord`.
+    pub fn step<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        let n = self.n();
+        assert_eq!(values.len(), n, "one value per node");
+        coord.begin_step(t);
+
+        // Node-phase 0: observations go to every node.
+        for (i, tx) in self.to_nodes.iter().enumerate() {
+            tx.send(NodeFrame::Observe {
+                t,
+                value: values[i],
+            })
+            .expect("node thread alive");
+            self.ledger.count_sync();
+        }
+        let mut ups = self.collect(n);
+
+        let mut any_engaged = self.engaged.iter().any(|&e| e);
+        if !any_engaged && ups.is_empty() && coord.try_skip_silent_step(t) {
+            self.steps_run += 1;
+            return;
+        }
+
+        let guard = max_micro_rounds(n, 16) * 4;
+        let mut m: u32 = 0;
+        loop {
+            let out = coord.micro_round(t, m, std::mem::take(&mut ups));
+            for (_, d) in &out.unicasts {
+                self.ledger.count(ChannelKind::Down, d.wire_bits());
+            }
+            for b in &out.broadcasts {
+                self.ledger.count(ChannelKind::Broadcast, b.wire_bits());
+            }
+            if out.is_empty() && coord.step_done() {
+                break;
+            }
+            m += 1;
+            assert!(m <= guard, "micro-round guard exceeded at t={t}");
+
+            // Deliver node-phase m to the visited set (same rule as the
+            // sequential runtime): everyone if a broadcast exists, else
+            // engaged nodes and unicast addressees.
+            let mut unicasts = out.unicasts;
+            unicasts.sort_by_key(|(id, _)| *id);
+            let broadcast_all = !out.broadcasts.is_empty();
+            let mut visited = 0usize;
+            {
+                let mut u = unicasts.into_iter().peekable();
+                for i in 0..n {
+                    let ucast = match u.peek() {
+                        Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
+                        _ => None,
+                    };
+                    if !broadcast_all && !self.engaged[i] && ucast.is_none() {
+                        continue;
+                    }
+                    self.to_nodes[i]
+                        .send(NodeFrame::Round {
+                            t,
+                            m,
+                            bcasts: out.broadcasts.clone(),
+                            ucast,
+                        })
+                        .expect("node thread alive");
+                    self.ledger.count_sync();
+                    visited += 1;
+                }
+            }
+            ups = self.collect(visited);
+            any_engaged = self.engaged.iter().any(|&e| e);
+            let _ = any_engaged;
+        }
+        self.steps_run += 1;
+    }
+
+    /// Collect exactly `expect` replies, recording engagement and charging
+    /// `Some` payloads; returns ups sorted by node id.
+    fn collect(&mut self, expect: usize) -> Vec<(NodeId, NB::Up)> {
+        let mut ups = Vec::new();
+        for _ in 0..expect {
+            let reply = self.from_nodes.recv().expect("node reply");
+            self.engaged[reply.id.idx()] = reply.engaged;
+            if let Some(up) = reply.up {
+                self.ledger.count(ChannelKind::Up, up.wire_bits());
+                ups.push((reply.id, up));
+            }
+        }
+        ups.sort_by_key(|(id, _)| *id);
+        ups
+    }
+
+    /// Drive `steps` time steps from a feed.
+    pub fn run_feed<CB>(&mut self, coord: &mut CB, feed: &mut dyn ValueFeed, steps: u64)
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert_eq!(feed.n(), self.n());
+        let mut row = vec![0 as Value; self.n()];
+        for t in 0..steps {
+            feed.fill_step(t, &mut row);
+            self.step(coord, t, &row);
+        }
+    }
+
+    /// Shut down all node threads and return their final behaviors.
+    pub fn shutdown(mut self) -> Vec<NB> {
+        for tx in &self.to_nodes {
+            let _ = tx.send(NodeFrame::Halt);
+        }
+        self.to_nodes.clear();
+        self.handles
+            .drain(..)
+            .map(|h| h.join().expect("node thread join"))
+            .collect()
+    }
+}
+
+impl<NB> Drop for ThreadedCluster<NB>
+where
+    NB: NodeBehavior + 'static,
+{
+    fn drop(&mut self) {
+        for tx in &self.to_nodes {
+            let _ = tx.send(NodeFrame::Halt);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Node thread main loop: frame-driven, no shared state.
+fn node_main<NB>(
+    node: &mut NB,
+    rx: Receiver<NodeFrame<NB::Down>>,
+    reply: Sender<NodeReply<NB::Up>>,
+) where
+    NB: NodeBehavior,
+{
+    while let Ok(frame) = rx.recv() {
+        match frame {
+            NodeFrame::Observe { t, value } => {
+                let act = node.observe(t, value);
+                let _ = reply.send(NodeReply {
+                    id: node.id(),
+                    up: act.up,
+                    engaged: act.engaged,
+                });
+            }
+            NodeFrame::Round { t, m, bcasts, ucast } => {
+                let act = node.micro_round(t, m, &bcasts, ucast.as_ref());
+                let _ = reply.send(NodeReply {
+                    id: node.id(),
+                    up: act.up,
+                    engaged: act.engaged,
+                });
+            }
+            NodeFrame::Halt => break,
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Dense in-memory traces of observations.
+//!
+//! A [`TraceMatrix`] records what every node observed at every step. It backs
+//! (a) the offline optimal algorithm (which by definition sees the whole
+//! input in advance), (b) replayable workloads, and (c) failure-injection
+//! tests that hand-craft pathological inputs. A simple CSV codec keeps traces
+//! portable without pulling in a heavyweight format.
+
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::ValueFeed;
+use crate::id::Value;
+
+/// Row-major `steps × n` matrix of observations: `data[t * n + i]` is node
+/// `i`'s value at time `t`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMatrix {
+    n: usize,
+    data: Vec<Value>,
+}
+
+impl TraceMatrix {
+    /// Create an empty trace for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "trace needs at least one node");
+        TraceMatrix { n, data: Vec::new() }
+    }
+
+    /// Build from explicit rows; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<Value>]) -> Self {
+        assert!(!rows.is_empty(), "trace needs at least one step");
+        let n = rows[0].len();
+        let mut m = TraceMatrix::new(n);
+        for row in rows {
+            m.push_step(row);
+        }
+        m
+    }
+
+    /// Record one step of the trace by copying `row` (`row.len() == n`).
+    pub fn push_step(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.n, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Record `steps` steps pulled from a [`ValueFeed`].
+    pub fn record(feed: &mut dyn ValueFeed, steps: usize) -> Self {
+        let n = feed.n();
+        let mut m = TraceMatrix::new(n);
+        let mut row = vec![0 as Value; n];
+        for t in 0..steps {
+            feed.fill_step(t as u64, &mut row);
+            m.push_step(&row);
+        }
+        m
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.data.len() / self.n
+    }
+
+    /// All observations of step `t`.
+    #[inline]
+    pub fn step(&self, t: usize) -> &[Value] {
+        let base = t * self.n;
+        &self.data[base..base + self.n]
+    }
+
+    /// Node `i`'s value at step `t`.
+    #[inline]
+    pub fn at(&self, t: usize, i: usize) -> Value {
+        self.data[t * self.n + i]
+    }
+
+    /// Largest value anywhere in the trace (0 for an empty trace).
+    pub fn max_value(&self) -> Value {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Serialize as CSV: one line per step, comma-separated values.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.data.len() * 8);
+        for t in 0..self.steps() {
+            let row = self.step(t);
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the CSV produced by [`Self::to_csv`].
+    pub fn from_csv(s: &str) -> Result<Self, String> {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (lineno, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let row: Result<Vec<Value>, _> = line
+                .split(',')
+                .map(|f| f.trim().parse::<Value>())
+                .collect();
+            let row = row.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if let Some(first) = rows.first() {
+                if row.len() != first.len() {
+                    return Err(format!(
+                        "line {}: width {} != {}",
+                        lineno + 1,
+                        row.len(),
+                        first.len()
+                    ));
+                }
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Err("empty trace".into());
+        }
+        Ok(TraceMatrix::from_rows(&rows))
+    }
+}
+
+/// Replay a recorded trace as a [`ValueFeed`]. Steps beyond the end of the
+/// trace repeat the final row (so monitors can run past the recording
+/// without panicking — useful in tests).
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: TraceMatrix,
+}
+
+impl TraceReplay {
+    pub fn new(trace: TraceMatrix) -> Self {
+        assert!(trace.steps() > 0, "cannot replay an empty trace");
+        TraceReplay { trace }
+    }
+
+    pub fn trace(&self) -> &TraceMatrix {
+        &self.trace
+    }
+}
+
+impl ValueFeed for TraceReplay {
+    fn n(&self) -> usize {
+        self.trace.n()
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        let t = (t as usize).min(self.trace.steps() - 1);
+        out.copy_from_slice(self.trace.step(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_index() {
+        let m = TraceMatrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.steps(), 2);
+        assert_eq!(m.step(1), &[4, 5, 6]);
+        assert_eq!(m.at(0, 2), 3);
+        assert_eq!(m.max_value(), 6);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let m = TraceMatrix::from_rows(&[vec![1, 2], vec![3, 4], vec![u64::MAX, 0]]);
+        let csv = m.to_csv();
+        let back = TraceMatrix::from_csv(&csv).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        assert!(TraceMatrix::from_csv("1,2\n3\n").is_err());
+        assert!(TraceMatrix::from_csv("").is_err());
+        assert!(TraceMatrix::from_csv("1,x\n").is_err());
+    }
+
+    #[test]
+    fn replay_clamps_past_end() {
+        let m = TraceMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let mut r = TraceReplay::new(m);
+        let mut buf = [0u64; 2];
+        r.fill_step(0, &mut buf);
+        assert_eq!(buf, [1, 2]);
+        r.fill_step(5, &mut buf);
+        assert_eq!(buf, [3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_wrong_width_panics() {
+        let mut m = TraceMatrix::new(2);
+        m.push_step(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Wire-format model: compact encoding and the paper's message-size budget.
+//!
+//! The model allows a message at time `t` to carry at most
+//! `O(log n + log max_i v_i^t)` bits. Every message type implements
+//! [`WireSize`]; the concrete encoding (LEB128-style varints over
+//! [`bytes::BufMut`]) demonstrates that each payload really fits a constant
+//! number of `(id, value)` words. [`budget_bits`] computes the budget and
+//! debug builds assert conformance at every `count()` site in the runtimes.
+
+use bytes::{Buf, BufMut};
+
+use crate::id::{NodeId, Value};
+
+/// Number of payload bits a message occupies under the model's accounting.
+pub trait WireSize {
+    fn wire_bits(&self) -> u32;
+}
+
+/// Bits needed for a value: position of the highest set bit + 1 (≥ 1).
+#[inline]
+pub fn bits_for_value(v: Value) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// Bits needed for a node id out of `n`.
+#[inline]
+pub fn bits_for_id(n: usize) -> u32 {
+    (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1)
+}
+
+/// The paper's per-message size budget for a system of `n` nodes whose
+/// current maximal value is `max_v`, with a small constant factor `c = 4`
+/// (messages carry at most two `(id, value)` pairs plus a tag).
+#[inline]
+pub fn budget_bits(n: usize, max_v: Value) -> u32 {
+    4 * (bits_for_id(n) + bits_for_value(max_v) + 8)
+}
+
+/// Encode a `u64` as a LEB128 varint (1–10 bytes).
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint. Returns `None` on truncated or overlong input.
+pub fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encoded size of a varint in bits.
+#[inline]
+pub fn varint_bits(v: u64) -> u32 {
+    let bytes = bits_for_value(v).div_ceil(7);
+    bytes.max(1) * 8
+}
+
+/// A `(id, value)` report — the workhorse payload of every protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    pub id: NodeId,
+    pub value: Value,
+}
+
+impl Report {
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        put_varint(buf, self.id.0 as u64);
+        put_varint(buf, self.value);
+    }
+
+    pub fn decode(buf: &mut impl Buf) -> Option<Self> {
+        let id = get_varint(buf)?;
+        let value = get_varint(buf)?;
+        Some(Report {
+            id: NodeId(u32::try_from(id).ok()?),
+            value,
+        })
+    }
+}
+
+impl WireSize for Report {
+    fn wire_bits(&self) -> u32 {
+        varint_bits(self.id.0 as u64) + varint_bits(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len() as u32 * 8, varint_bits(v), "size model for {v}");
+            let mut rd = buf.freeze();
+            assert_eq!(get_varint(&mut rd), Some(v));
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::MAX);
+        let full = buf.freeze();
+        let mut truncated = full.slice(..full.len() - 1);
+        assert_eq!(get_varint(&mut truncated), None);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = Report {
+            id: NodeId(12345),
+            value: 987_654_321,
+        };
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len() as u32 * 8, r.wire_bits());
+        let mut rd = buf.freeze();
+        assert_eq!(Report::decode(&mut rd), Some(r));
+    }
+
+    #[test]
+    fn bit_width_helpers() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(255), 8);
+        assert_eq!(bits_for_value(256), 9);
+        assert_eq!(bits_for_id(1), 1);
+        assert_eq!(bits_for_id(2), 1);
+        assert_eq!(bits_for_id(3), 2);
+        assert_eq!(bits_for_id(1024), 10);
+    }
+
+    #[test]
+    fn report_fits_budget() {
+        let n = 1 << 20;
+        let v = u32::MAX as u64;
+        let r = Report {
+            id: NodeId(n as u32 - 1),
+            value: v,
+        };
+        assert!(r.wire_bits() <= budget_bits(n, v));
+    }
+}

@@ -1,0 +1,319 @@
+//! Unit tests of the runtime semantics themselves, using mock behaviors:
+//! the visit rule (engaged ∪ addressed ∪ broadcast), message accounting
+//! placement, silent-step skipping, the micro-round guard, and
+//! sequential/threaded agreement for arbitrary mock protocols.
+
+use topk_net::behavior::{
+    CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction,
+};
+use topk_net::id::{NodeId, Value};
+use topk_net::seq::SyncRuntime;
+use topk_net::threaded::ThreadedCluster;
+use topk_net::wire::WireSize;
+
+/// Trivial payload with fixed wire size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Msg(u64);
+
+impl WireSize for Msg {
+    fn wire_bits(&self) -> u32 {
+        16
+    }
+}
+
+/// Mock node: echoes for `echo_rounds` micro-rounds after observing a value
+/// above `threshold`; counts how often it was polled.
+struct EchoNode {
+    id: NodeId,
+    threshold: Value,
+    echo_rounds: u32,
+    remaining: u32,
+    polls: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl NodeBehavior for EchoNode {
+    type Up = Msg;
+    type Down = Msg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn observe(&mut self, _t: u64, value: Value) -> ObserveAction<Msg> {
+        if value > self.threshold {
+            self.remaining = self.echo_rounds;
+            ObserveAction {
+                up: Some(Msg(value)),
+                engaged: self.remaining > 0,
+            }
+        } else {
+            self.remaining = 0;
+            ObserveAction::idle()
+        }
+    }
+
+    fn micro_round(
+        &mut self,
+        _t: u64,
+        _m: u32,
+        bcasts: &[Msg],
+        ucast: Option<&Msg>,
+    ) -> RoundAction<Msg> {
+        self.polls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // A unicast ping demands one reply.
+        if let Some(u) = ucast {
+            return RoundAction {
+                up: Some(Msg(u.0 + 1)),
+                engaged: self.remaining > 0,
+            };
+        }
+        // Dormant unless mid-echo; broadcasts alone don't wake this mock.
+        let _ = bcasts;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            RoundAction {
+                up: Some(Msg(self.remaining as u64)),
+                engaged: self.remaining > 0,
+            }
+        } else {
+            RoundAction::idle()
+        }
+    }
+}
+
+/// Mock coordinator: runs a fixed number of micro-rounds per step, can
+/// emit a broadcast and unicasts on command.
+struct ScriptCoord {
+    rounds_per_step: u32,
+    cur_round: u32,
+    bcast_at: Option<u32>,
+    ucast_at: Option<(u32, NodeId)>,
+    ups_seen: u64,
+    skip_when_silent: bool,
+}
+
+impl CoordinatorBehavior for ScriptCoord {
+    type Up = Msg;
+    type Down = Msg;
+
+    fn begin_step(&mut self, _t: u64) {
+        self.cur_round = 0;
+    }
+
+    fn try_skip_silent_step(&mut self, _t: u64) -> bool {
+        self.skip_when_silent
+    }
+
+    fn micro_round(&mut self, _t: u64, m: u32, ups: Vec<(NodeId, Msg)>) -> CoordOut<Msg> {
+        self.ups_seen += ups.len() as u64;
+        self.cur_round = m + 1;
+        let mut out = CoordOut::empty();
+        if self.bcast_at == Some(m) {
+            out.broadcasts.push(Msg(1000 + m as u64));
+        }
+        if let Some((at, id)) = self.ucast_at {
+            if at == m {
+                out.unicasts.push((id, Msg(2000)));
+            }
+        }
+        out
+    }
+
+    fn step_done(&self) -> bool {
+        self.cur_round >= self.rounds_per_step
+    }
+
+    fn topk(&self) -> &[NodeId] {
+        &[]
+    }
+}
+
+fn nodes(
+    n: usize,
+    threshold: Value,
+    echo_rounds: u32,
+) -> (
+    Vec<EchoNode>,
+    std::sync::Arc<std::sync::atomic::AtomicU64>,
+) {
+    let polls = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let ns = (0..n)
+        .map(|i| EchoNode {
+            id: NodeId(i as u32),
+            threshold,
+            echo_rounds,
+            remaining: 0,
+            polls: polls.clone(),
+        })
+        .collect();
+    (ns, polls)
+}
+
+#[test]
+fn silent_step_skips_and_costs_nothing() {
+    let (ns, polls) = nodes(8, 100, 2);
+    let coord = ScriptCoord {
+        rounds_per_step: 3,
+        cur_round: 0,
+        bcast_at: None,
+        ucast_at: None,
+        ups_seen: 0,
+        skip_when_silent: true,
+    };
+    let mut rt = SyncRuntime::new(ns, coord, 1);
+    rt.step(0, &[1, 2, 3, 4, 5, 6, 7, 8]); // all below threshold
+    assert_eq!(rt.ledger().total(), 0);
+    assert_eq!(rt.silent_steps(), 1);
+    assert_eq!(polls.load(std::sync::atomic::Ordering::Relaxed), 0);
+}
+
+#[test]
+fn engaged_nodes_are_polled_without_broadcast() {
+    let (ns, polls) = nodes(4, 100, 2);
+    let coord = ScriptCoord {
+        rounds_per_step: 3,
+        cur_round: 0,
+        bcast_at: None,
+        ucast_at: None,
+        ups_seen: 0,
+        skip_when_silent: true,
+    };
+    let mut rt = SyncRuntime::new(ns, coord, 1);
+    // Node 2 fires: observe up + 2 echo rounds = 3 ups; only node 2 polled.
+    rt.step(0, &[0, 0, 500, 0]);
+    assert_eq!(rt.ledger().up(), 3);
+    assert_eq!(rt.ledger().broadcast(), 0);
+    // Polled exactly twice (its two echo rounds) — the others never.
+    assert_eq!(polls.load(std::sync::atomic::Ordering::Relaxed), 2);
+}
+
+#[test]
+fn broadcast_reaches_every_node() {
+    let (ns, polls) = nodes(5, u64::MAX, 0);
+    let coord = ScriptCoord {
+        rounds_per_step: 2,
+        cur_round: 0,
+        bcast_at: Some(0),
+        ucast_at: None,
+        ups_seen: 0,
+        skip_when_silent: false, // force the rounds to run
+    };
+    let mut rt = SyncRuntime::new(ns, coord, 1);
+    rt.step(0, &[0; 5]);
+    assert_eq!(rt.ledger().broadcast(), 1);
+    // All 5 polled at the broadcast round; round 2 has no out and no
+    // engagement, so nobody is polled again.
+    assert_eq!(polls.load(std::sync::atomic::Ordering::Relaxed), 5);
+}
+
+#[test]
+fn unicast_is_delivered_and_charged() {
+    let (ns, polls) = nodes(4, u64::MAX, 0);
+    let coord = ScriptCoord {
+        rounds_per_step: 2,
+        cur_round: 0,
+        bcast_at: None,
+        ucast_at: Some((0, NodeId(3))),
+        ups_seen: 0,
+        skip_when_silent: false,
+    };
+    let mut rt = SyncRuntime::new(ns, coord, 1);
+    rt.step(0, &[0; 4]);
+    // One down (the ping), one up (the reply).
+    assert_eq!(rt.ledger().down(), 1);
+    assert_eq!(rt.ledger().up(), 1);
+    assert_eq!(polls.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
+#[test]
+fn ups_are_delivered_sorted_by_node_id() {
+    struct OrderCheckCoord {
+        done: bool,
+        seen: Vec<u32>,
+    }
+    impl CoordinatorBehavior for OrderCheckCoord {
+        type Up = Msg;
+        type Down = Msg;
+        fn begin_step(&mut self, _t: u64) {
+            self.done = false;
+        }
+        fn micro_round(&mut self, _t: u64, _m: u32, ups: Vec<(NodeId, Msg)>) -> CoordOut<Msg> {
+            self.seen.extend(ups.iter().map(|(id, _)| id.0));
+            self.done = true;
+            CoordOut::empty()
+        }
+        fn step_done(&self) -> bool {
+            self.done
+        }
+        fn topk(&self) -> &[NodeId] {
+            &[]
+        }
+    }
+    let (ns, _polls) = nodes(6, 10, 0);
+    let coord = OrderCheckCoord {
+        done: false,
+        seen: Vec::new(),
+    };
+    let mut rt = SyncRuntime::new(ns, coord, 1);
+    rt.step(0, &[50, 60, 5, 70, 5, 80]); // nodes 0,1,3,5 fire
+    assert_eq!(rt.coord().seen, vec![0, 1, 3, 5]);
+}
+
+#[test]
+#[should_panic(expected = "micro-round guard exceeded")]
+fn runaway_coordinator_is_caught() {
+    struct NeverDone;
+    impl CoordinatorBehavior for NeverDone {
+        type Up = Msg;
+        type Down = Msg;
+        fn begin_step(&mut self, _t: u64) {}
+        fn micro_round(&mut self, _t: u64, _m: u32, _ups: Vec<(NodeId, Msg)>) -> CoordOut<Msg> {
+            CoordOut::empty()
+        }
+        fn step_done(&self) -> bool {
+            false
+        }
+        fn topk(&self) -> &[NodeId] {
+            &[]
+        }
+    }
+    let (ns, _p) = nodes(2, 0, 0);
+    let mut rt = SyncRuntime::new(ns, NeverDone, 1);
+    rt.step(0, &[1, 2]);
+}
+
+#[test]
+fn threaded_matches_sequential_for_mock_protocol() {
+    let mk_nodes = || nodes(6, 50, 3).0;
+    let mk_coord = || ScriptCoord {
+        rounds_per_step: 5,
+        cur_round: 0,
+        bcast_at: Some(1),
+        ucast_at: Some((2, NodeId(4))),
+        ups_seen: 0,
+        skip_when_silent: true,
+    };
+    let steps: Vec<Vec<Value>> = vec![
+        vec![0, 0, 0, 0, 0, 0],
+        vec![100, 0, 0, 0, 0, 0],
+        vec![0, 200, 0, 300, 0, 0],
+        vec![0, 0, 0, 0, 0, 0],
+        vec![99, 98, 97, 51, 50, 49],
+    ];
+    let mut seq = SyncRuntime::new(mk_nodes(), mk_coord(), 1);
+    for (t, row) in steps.iter().enumerate() {
+        seq.step(t as u64, row);
+    }
+    let mut coord = mk_coord();
+    let mut cluster = ThreadedCluster::spawn(mk_nodes());
+    for (t, row) in steps.iter().enumerate() {
+        cluster.step(&mut coord, t as u64, row);
+    }
+    let a = seq.ledger().snapshot();
+    let b = cluster.ledger().snapshot();
+    assert_eq!((a.up, a.down, a.broadcast), (b.up, b.down, b.broadcast));
+    assert_eq!(a.total_bits(), b.total_bits());
+    assert_eq!(seq.coord().ups_seen, coord.ups_seen);
+    drop(cluster);
+}

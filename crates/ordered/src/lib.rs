@@ -1,0 +1,421 @@
+//! # topk-ordered — ordered Top-k-Position Monitoring (§5 of the paper)
+//!
+//! The paper closes by conjecturing that, for the variant where the
+//! coordinator must know not only the top-k *set* but also its internal
+//! *order*, "a combination of the approach by Lam et al. and our protocol
+//! might lead to an `O(log Δ · log(n−k))`-competitive algorithm". This crate
+//! implements a concrete such combination, and experiment E9 measures it:
+//!
+//! * **Inside the top-k** (the Lam et al. part): rank-adjacent midpoint
+//!   filters `[m_i, m_{i-1}]` over the ordered nodes `s_1 … s_k`. An
+//!   internal swap violates a filter; the affected contiguous rank span is
+//!   polled exactly, re-sorted and refiltered — `O(span)` messages.
+//! * **At and below the k boundary** (the Algorithm 2 part): all non-top-k
+//!   nodes share the threshold filter `[−∞, m_k]`. A boundary crossing
+//!   (riser above `m_k`, or a top-k node sinking below it) triggers a
+//!   re-selection of the ordered top-(k+1) via iterated
+//!   MAXIMUMPROTOCOL(n) runs — `O(k·log n)` messages, exactly like
+//!   `FILTERRESET`.
+//!
+//! The answer exposed is the full ranking `s_1 … s_k`; the unordered set is
+//! also available through the [`Monitor`] trait.
+
+#![forbid(unsafe_code)]
+
+use topk_net::id::{midpoint_floor, true_ranking, NodeId, RankEntry, Value};
+use topk_net::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
+use topk_net::rng::derive_seed;
+use topk_net::wire::{varint_bits, Report, WireSize};
+
+use topk_core::monitor::Monitor;
+use topk_proto::extremum::BroadcastPolicy;
+use topk_proto::runner::select_topk;
+
+const RESELECT_STREAM: u64 = 0x0dde_d070;
+
+fn report_bits(id: NodeId, value: Value) -> u32 {
+    8 + Report { id, value }.wire_bits()
+}
+
+fn value_bits(value: Value) -> u32 {
+    8 + varint_bits(value)
+}
+
+/// Event counters of the ordered monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OrderedMetrics {
+    /// Steps processed.
+    pub steps: u64,
+    /// Steps with at least one filter violation.
+    pub violation_steps: u64,
+    /// Local span repairs (internal order changes).
+    pub span_repairs: u64,
+    /// Full protocol-based re-selections (boundary crossings + init).
+    pub reselections: u64,
+}
+
+/// Ordered top-k monitor: exact internal ranking + protocol-based boundary.
+pub struct OrderedTopkMonitor {
+    n: usize,
+    k: usize,
+    seed: u64,
+    /// `ranked[i]` = node at rank `i` (0 = maximum), length `k`.
+    ranked: Vec<NodeId>,
+    /// Exact values of the ranked nodes at last contact.
+    ranked_values: Vec<Value>,
+    /// `bounds[i]` separates rank `i` from rank `i+1` (for `i < k-1`);
+    /// `bounds[k-1]` is the shared threshold of all non-top-k nodes.
+    bounds: Vec<Value>,
+    ledger: CommLedger,
+    metrics: OrderedMetrics,
+    initialized: bool,
+    reselect_counter: u64,
+}
+
+impl OrderedTopkMonitor {
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 1 && k <= n, "1 ≤ k ≤ n");
+        OrderedTopkMonitor {
+            n,
+            k,
+            seed,
+            ranked: Vec::new(),
+            ranked_values: Vec::new(),
+            bounds: Vec::new(),
+            ledger: CommLedger::new(),
+            metrics: OrderedMetrics::default(),
+            initialized: false,
+            reselect_counter: 0,
+        }
+    }
+
+    /// The full current ranking `s_1 … s_k` (rank order, not id order).
+    pub fn ranking(&self) -> Vec<NodeId> {
+        self.ranked.clone()
+    }
+
+    /// Event counters.
+    pub fn metrics(&self) -> OrderedMetrics {
+        self.metrics
+    }
+
+    fn rank_of(&self, id: NodeId) -> Option<usize> {
+        self.ranked.iter().position(|&x| x == id)
+    }
+
+    /// Rebuild `bounds` from the exact ranked values and the (k+1)-st value.
+    fn rebuild_bounds(&mut self, kplus1: Value) {
+        self.bounds.clear();
+        for i in 0..self.k - 1 {
+            self.bounds.push(midpoint_floor(
+                self.ranked_values[i],
+                self.ranked_values[i + 1],
+            ));
+        }
+        self.bounds
+            .push(midpoint_floor(self.ranked_values[self.k - 1], kplus1));
+    }
+
+    /// Re-select the ordered top-(k+1) with iterated MAXIMUMPROTOCOL(n)
+    /// runs (winner announcements counted), then refilter.
+    fn reselect(&mut self, values: &[Value]) {
+        self.metrics.reselections += 1;
+        self.reselect_counter += 1;
+        let entries: Vec<(NodeId, Value)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32), v))
+            .collect();
+        let take = (self.k + 1).min(self.n);
+        let winners = select_topk(
+            &entries,
+            take,
+            self.n as u64,
+            BroadcastPolicy::OnChange,
+            true,
+            self.seed,
+            derive_seed(RESELECT_STREAM, self.reselect_counter),
+            &mut self.ledger,
+        );
+        self.ranked = winners[..self.k].iter().map(|w| w.id).collect();
+        self.ranked_values = winners[..self.k].iter().map(|w| w.value).collect();
+        let kplus1 = if winners.len() > self.k {
+            winners[self.k].value
+        } else {
+            0
+        };
+        self.rebuild_bounds(kplus1);
+        // Filter delivery: each ranked node learns its interval (k unicasts)
+        // and the shared boundary threshold is broadcast.
+        for _ in 0..self.k {
+            self.ledger.count(ChannelKind::Down, value_bits(1) * 2);
+        }
+        self.ledger.count(
+            ChannelKind::Broadcast,
+            value_bits(*self.bounds.last().unwrap()),
+        );
+        self.initialized = true;
+    }
+
+    /// Does the ranked node at rank `r` violate its interval with value `v`?
+    fn rank_violates(&self, r: usize, v: Value) -> bool {
+        if r > 0 && v > self.bounds[r - 1] {
+            return true;
+        }
+        v < self.bounds[r]
+    }
+}
+
+impl Monitor for OrderedTopkMonitor {
+    fn name(&self) -> &'static str {
+        "ordered-topk"
+    }
+
+    fn step(&mut self, _t: u64, values: &[Value]) {
+        assert_eq!(values.len(), self.n);
+        self.metrics.steps += 1;
+        if !self.initialized {
+            self.reselect(values);
+            return;
+        }
+        let boundary = *self.bounds.last().unwrap();
+
+        // Classify violations: boundary crossings force a re-selection;
+        // internal rank swaps are repaired locally.
+        let mut boundary_event = false;
+        let mut internal_violators: Vec<(usize, Value)> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let id = NodeId(i as u32);
+            match self.rank_of(id) {
+                Some(r) => {
+                    if self.rank_violates(r, v) {
+                        self.ledger.count(ChannelKind::Up, report_bits(id, v));
+                        if v < boundary {
+                            boundary_event = true; // sank out of the top-k zone
+                        } else {
+                            internal_violators.push((r, v));
+                        }
+                    }
+                }
+                None => {
+                    if v > boundary {
+                        self.ledger.count(ChannelKind::Up, report_bits(id, v));
+                        boundary_event = true;
+                    }
+                }
+            }
+        }
+        if !boundary_event && internal_violators.is_empty() {
+            return;
+        }
+        self.metrics.violation_steps += 1;
+
+        if boundary_event {
+            self.reselect(values);
+            return;
+        }
+
+        // Internal span repair (Lam et al. part): hull of every violator's
+        // old and landing rank, polled exactly, re-sorted, refiltered.
+        self.metrics.span_repairs += 1;
+        let mut span_lo = usize::MAX;
+        let mut span_hi = 0usize;
+        for &(r, v) in &internal_violators {
+            // Landing rank among the k ranked intervals (internal bounds
+            // are descending).
+            let land = self.bounds[..self.k - 1].partition_point(|&b| b > v);
+            span_lo = span_lo.min(r.min(land));
+            span_hi = span_hi.max(r.max(land));
+        }
+        // Poll non-violating span members: 1 broadcast + replies.
+        self.ledger.count(ChannelKind::Broadcast, value_bits(0));
+        let violator_ranks: Vec<usize> = internal_violators.iter().map(|&(r, _)| r).collect();
+        for r in span_lo..=span_hi {
+            let id = self.ranked[r];
+            if !violator_ranks.contains(&r) {
+                self.ledger
+                    .count(ChannelKind::Up, report_bits(id, values[id.idx()]));
+            }
+            self.ranked_values[r] = values[id.idx()];
+        }
+        // Re-sort the span by exact values (RankEntry order).
+        let mut pairs: Vec<(Value, NodeId)> = (span_lo..=span_hi)
+            .map(|r| (self.ranked_values[r], self.ranked[r]))
+            .collect();
+        pairs.sort_unstable_by(|a, b| RankEntry::new(b.0, b.1).cmp(&RankEntry::new(a.0, a.1)));
+        for (off, (v, id)) in pairs.into_iter().enumerate() {
+            self.ranked[span_lo + off] = id;
+            self.ranked_values[span_lo + off] = v;
+        }
+        // Recompute interior bounds touching the span (edges still
+        // separate; the k-boundary bounds[k-1] is untouched).
+        let hi_bound = span_hi.min(self.k.saturating_sub(2));
+        for r in span_lo..=hi_bound {
+            if r + 1 < self.k {
+                self.bounds[r] =
+                    midpoint_floor(self.ranked_values[r], self.ranked_values[r + 1]);
+            }
+        }
+        // Filter delivery to span members.
+        for _ in span_lo..=span_hi {
+            self.ledger.count(ChannelKind::Down, value_bits(1) * 2);
+        }
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        let mut ids = self.ranked.clone();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Check the maintained ranking against ground truth, tolerating swaps only
+/// between positions holding equal values.
+pub fn ranking_consistent(values: &[Value], ranking: &[NodeId]) -> bool {
+    let truth = true_ranking(values);
+    for (pos, id) in ranking.iter().enumerate() {
+        if truth[pos] != *id && values[truth[pos].idx()] != values[id.idx()] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_streams::WorkloadSpec;
+
+    fn drive(
+        n: usize,
+        k: usize,
+        spec: &WorkloadSpec,
+        seed: u64,
+        steps: usize,
+    ) -> OrderedTopkMonitor {
+        let trace = spec.record(seed, steps);
+        let mut mon = OrderedTopkMonitor::new(n, k, seed ^ 0xabcd);
+        for t in 0..steps {
+            let row = trace.step(t);
+            mon.step(t as u64, row);
+            assert!(
+                ranking_consistent(row, &mon.ranking()),
+                "bad ranking {:?} at t={t} for {row:?}",
+                mon.ranking()
+            );
+            assert!(topk_core::is_valid_topk(row, &mon.topk()));
+        }
+        mon
+    }
+
+    #[test]
+    fn tracks_order_on_random_walks() {
+        for seed in 0..3 {
+            let spec = WorkloadSpec::RandomWalk {
+                n: 10,
+                lo: 0,
+                hi: 10_000,
+                step_max: 150,
+                lazy_p: 0.2,
+            };
+            drive(10, 3, &spec, seed, 300);
+        }
+    }
+
+    #[test]
+    fn tracks_order_under_chaos() {
+        let spec = WorkloadSpec::IidUniform {
+            n: 8,
+            lo: 0,
+            hi: 400,
+        };
+        drive(8, 3, &spec, 1, 150);
+    }
+
+    #[test]
+    fn internal_swaps_do_not_reselect() {
+        // Two top nodes swap while staying far above the boundary: span
+        // repair only, no protocol re-selection.
+        let rows = [vec![1000u64, 900, 10, 20], vec![890u64, 910, 10, 20]];
+        let mut mon = OrderedTopkMonitor::new(4, 2, 5);
+        mon.step(0, &rows[0]);
+        let resel_after_init = mon.metrics().reselections;
+        mon.step(1, &rows[1]);
+        assert!(ranking_consistent(&rows[1], &mon.ranking()));
+        assert_eq!(
+            mon.metrics().reselections,
+            resel_after_init,
+            "internal swap must be a local repair"
+        );
+        assert_eq!(mon.metrics().span_repairs, 1);
+    }
+
+    #[test]
+    fn boundary_rise_triggers_reselection() {
+        let rows = [vec![1000u64, 900, 10, 20], vec![1000, 900, 950, 20]];
+        let mut mon = OrderedTopkMonitor::new(4, 2, 5);
+        mon.step(0, &rows[0]);
+        let before = mon.metrics().reselections;
+        mon.step(1, &rows[1]);
+        assert_eq!(mon.metrics().reselections, before + 1);
+        assert!(ranking_consistent(&rows[1], &mon.ranking()));
+    }
+
+    #[test]
+    fn quiet_steps_are_free() {
+        let mut mon = OrderedTopkMonitor::new(5, 2, 9);
+        mon.step(0, &[100, 80, 10, 20, 30]);
+        let base = mon.ledger().total();
+        for t in 1..100 {
+            mon.step(t, &[100 + t % 3, 80 + t % 2, 10, 20, 30]);
+        }
+        assert_eq!(mon.ledger().total(), base);
+    }
+
+    #[test]
+    fn k_equals_one_works() {
+        let spec = WorkloadSpec::RandomWalk {
+            n: 6,
+            lo: 0,
+            hi: 5000,
+            step_max: 400,
+            lazy_p: 0.1,
+        };
+        drive(6, 1, &spec, 7, 200);
+    }
+
+    #[test]
+    fn k_equals_n_keeps_full_order() {
+        let spec = WorkloadSpec::RandomWalk {
+            n: 5,
+            lo: 0,
+            hi: 1000,
+            step_max: 100,
+            lazy_p: 0.2,
+        };
+        drive(5, 5, &spec, 3, 150);
+    }
+
+    #[test]
+    fn ranking_consistency_checker() {
+        let values = vec![10u64, 30, 20, 30];
+        // Truth: n1(30), n3(30), n2(20), n0(10).
+        assert!(ranking_consistent(&values, &[NodeId(1), NodeId(3)]));
+        // Equal values may swap.
+        assert!(ranking_consistent(&values, &[NodeId(3), NodeId(1)]));
+        // Unequal values may not.
+        assert!(!ranking_consistent(&values, &[NodeId(2), NodeId(1)]));
+    }
+}

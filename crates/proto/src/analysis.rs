@@ -1,0 +1,108 @@
+//! Closed-form quantities from the paper's §4 analysis, used by tests and
+//! experiments to compare measurement against theory.
+
+/// Theorem 4.2 upper bound on the expected number of node→coordinator
+/// messages of Algorithm 2 with participant bound `N`: `2·log₂N + 1`.
+///
+/// (For `N = 1` the protocol runs a single probability-1 round, so the
+/// bound degenerates to 1.)
+pub fn expected_up_msgs_bound(n_bound: u64) -> f64 {
+    assert!(n_bound >= 1);
+    2.0 * (n_bound as f64).log2() + 1.0
+}
+
+/// Lemma 4.1 upper bound on the probability that the node of rank `i`
+/// (1-based: `i = 1` holds the maximum) sends a message:
+///
+/// `Pr[X_i = 1] ≤ 1/N + Σ_{r=1}^{log N} (2^r / N) · (1 − 2^{r-1}/N)^i`.
+pub fn lemma41_send_probability_bound(rank_i: u64, n_bound: u64) -> f64 {
+    assert!(rank_i >= 1 && n_bound >= 1);
+    let n = n_bound as f64;
+    let log_n = topk_net::rng::log2_ceil(n_bound);
+    let mut p = 1.0 / n;
+    for r in 1..=log_n {
+        let send = (2f64.powi(r as i32) / n).min(1.0);
+        let survive = (1.0 - (2f64.powi(r as i32 - 1) / n).min(1.0)).max(0.0);
+        p += send * survive.powi(rank_i as i32);
+    }
+    p.min(1.0)
+}
+
+/// `H_n`, the n-th harmonic number — the expected number of left-to-right
+/// maxima of a uniformly random permutation, i.e. the expected up-message
+/// count of the deterministic sequential baseline (Theorem 4.3's `Θ(log n)`
+/// BST path argument).
+pub fn harmonic(n: u64) -> f64 {
+    // Exact summation below the asymptotic crossover, Euler–Maclaurin above.
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        (1..=n).map(|i| 1.0 / i as f64).sum()
+    } else {
+        const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+        let nf = n as f64;
+        nf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+    }
+}
+
+/// Sum of the Lemma 4.1 per-rank bounds — an alternative (slightly tighter
+/// for small `N`) upper bound on `E[total up-messages]` than
+/// [`expected_up_msgs_bound`].
+pub fn lemma41_total_bound(participants: u64, n_bound: u64) -> f64 {
+    (1..=participants)
+        .map(|i| lemma41_send_probability_bound(i, n_bound))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_bound_values() {
+        assert!((expected_up_msgs_bound(1) - 1.0).abs() < 1e-12);
+        assert!((expected_up_msgs_bound(2) - 3.0).abs() < 1e-12);
+        assert!((expected_up_msgs_bound(1024) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma41_is_a_probability_and_decreasing_in_rank() {
+        let n = 256;
+        let mut prev = f64::INFINITY;
+        for i in [1u64, 2, 4, 16, 64, 256] {
+            let p = lemma41_send_probability_bound(i, n);
+            assert!(p > 0.0 && p <= 1.0, "p={p}");
+            assert!(p <= prev + 1e-12, "bound must not increase with rank");
+            prev = p;
+        }
+        // The maximum holder sends with constant-ish probability mass; deep
+        // ranks almost never send.
+        assert!(lemma41_send_probability_bound(256, n) < 0.2);
+    }
+
+    #[test]
+    fn harmonic_matches_known_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(10) - 2.928_968_253_968_254).abs() < 1e-9);
+        // Asymptotic branch continuity.
+        let exact = (1..=1_000_000u64).map(|i| 1.0 / i as f64).sum::<f64>();
+        assert!((harmonic(1_000_000) - exact).abs() < 1e-9);
+        let big = harmonic(10_000_000);
+        let approx = (10_000_000f64).ln() + 0.577_215_664_901_532_9;
+        assert!((big - approx).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lemma_total_is_o_log_n() {
+        for exp in [4u32, 8, 12, 16] {
+            let n = 1u64 << exp;
+            let total = lemma41_total_bound(n, n);
+            let thm = expected_up_msgs_bound(n);
+            // The summed lemma bound is within a constant of the theorem
+            // bound (the paper derives 2·logN + 1 from exactly this sum).
+            assert!(total <= thm + 1.0, "n={n}: {total} vs {thm}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic comparison protocols for the §4 experiments.
+//!
+//! * [`sequential_threshold_max`] — the deterministic strategy from the
+//!   Theorem 4.3 lower-bound proof: probe nodes in a fixed order, skipping
+//!   (for free, via silence in the synchronous model) every node that cannot
+//!   beat the running maximum. Its up-message count equals the number of
+//!   left-to-right maxima of the value sequence — `Θ(log n)` in expectation
+//!   on random orders (the binary-search-tree root-to-max path).
+//! * [`poll_all_max`] — one broadcast request, every node replies: the
+//!   trivial `n+1`-message upper bound.
+//! * [`bisection_max`] — shout-echo-flavoured threshold bisection over the
+//!   value domain (the paper's §1.1 pointer to distributed selection):
+//!   `O(log U)` rounds, each one broadcast plus replies from nodes above the
+//!   threshold probe.
+
+use topk_net::id::{NodeId, RankEntry, Value};
+use topk_net::ledger::{ChannelKind, CommLedger};
+use topk_net::wire::{Report, WireSize};
+
+/// Outcome of a deterministic baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineOutcome {
+    pub winner: Option<Report>,
+    pub up_msgs: u64,
+    pub bcast_msgs: u64,
+    pub rounds_run: u32,
+}
+
+fn best_of(entries: &[(NodeId, Value)]) -> Option<Report> {
+    entries
+        .iter()
+        .map(|&(id, v)| RankEntry::new(v, id))
+        .max()
+        .map(|e| Report {
+            id: e.id,
+            value: e.value,
+        })
+}
+
+/// Deterministic sequential probing (Theorem 4.3's adversary algorithm).
+///
+/// Nodes respond in id order across `n` silent micro-rounds; node `i` speaks
+/// iff it beats the best announced so far, and the coordinator re-announces
+/// after every improvement. Message cost: one up per left-to-right maximum
+/// and one broadcast per improvement (the final improvement needs no
+/// re-announcement, hence `bcasts = ups - 1`); time cost `n` rounds — the
+/// shout-echo trade-off the paper contrasts itself against.
+pub fn sequential_threshold_max(
+    entries: &[(NodeId, Value)],
+    ledger: &mut CommLedger,
+) -> BaselineOutcome {
+    let mut best: Option<Report> = None;
+    let mut up_msgs = 0u64;
+    let mut bcast_msgs = 0u64;
+    for &(id, value) in entries {
+        let report = Report { id, value };
+        let improves = match best {
+            None => true,
+            Some(b) => RankEntry::new(value, id) > RankEntry::new(b.value, b.id),
+        };
+        if improves {
+            // The node speaks...
+            ledger.count(ChannelKind::Up, report.wire_bits());
+            up_msgs += 1;
+            // ...and the coordinator re-announces the new threshold so later
+            // nodes can stay silent (skip the final announcement: after the
+            // last probe the protocol ends).
+            if best.is_some() {
+                ledger.count(ChannelKind::Broadcast, report.wire_bits());
+                bcast_msgs += 1;
+            }
+            best = Some(report);
+        }
+    }
+    // Correct the accounting: announcements happen after each improvement
+    // except the last; the loop above emitted one per improvement except the
+    // first. Both equal ups-1, so totals match the model.
+    BaselineOutcome {
+        winner: best,
+        up_msgs,
+        bcast_msgs,
+        rounds_run: entries.len() as u32,
+    }
+}
+
+/// Poll every node: 1 broadcast + `n` replies. The naive `M(n) = n + 1`.
+pub fn poll_all_max(entries: &[(NodeId, Value)], ledger: &mut CommLedger) -> BaselineOutcome {
+    let winner = best_of(entries);
+    let probe = Report {
+        id: NodeId(0),
+        value: 0,
+    };
+    ledger.count(ChannelKind::Broadcast, probe.wire_bits());
+    for &(id, value) in entries {
+        ledger.count(ChannelKind::Up, Report { id, value }.wire_bits());
+    }
+    BaselineOutcome {
+        winner,
+        up_msgs: entries.len() as u64,
+        bcast_msgs: 1,
+        rounds_run: 1,
+    }
+}
+
+/// Threshold bisection over the value domain `[0, u_bound]`.
+///
+/// Each round broadcasts a threshold; every node at or above it replies.
+/// The search narrows to the maximum in `O(log u_bound)` rounds. Message
+/// cost is `O(log u_bound)` broadcasts plus all replies — efficient only
+/// when few nodes sit near the top, which is exactly the regime the
+/// randomized protocol does *not* depend on.
+pub fn bisection_max(
+    entries: &[(NodeId, Value)],
+    u_bound: Value,
+    ledger: &mut CommLedger,
+) -> BaselineOutcome {
+    if entries.is_empty() {
+        return BaselineOutcome {
+            winner: None,
+            up_msgs: 0,
+            bcast_msgs: 0,
+            rounds_run: 0,
+        };
+    }
+    let mut lo: Value = 0;
+    let mut hi: Value = u_bound;
+    let mut up_msgs = 0u64;
+    let mut bcast_msgs = 0u64;
+    let mut rounds = 0u32;
+    // Invariant: the maximum is in [lo, hi].
+    while lo < hi {
+        rounds += 1;
+        let mid = topk_net::id::midpoint_floor(lo, hi) + 1; // probe upper half
+        let probe = Report {
+            id: NodeId(0),
+            value: mid,
+        };
+        ledger.count(ChannelKind::Broadcast, probe.wire_bits());
+        bcast_msgs += 1;
+        let mut any = false;
+        for &(id, value) in entries {
+            if value >= mid {
+                ledger.count(ChannelKind::Up, Report { id, value }.wire_bits());
+                up_msgs += 1;
+                any = true;
+            }
+        }
+        if any {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    BaselineOutcome {
+        winner: best_of(entries),
+        up_msgs,
+        bcast_msgs,
+        rounds_run: rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(values: &[Value]) -> Vec<(NodeId, Value)> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32), v))
+            .collect()
+    }
+
+    #[test]
+    fn sequential_counts_left_to_right_maxima() {
+        // Sequence 3,1,4,1,5,9,2,6: maxima at 3,4,5,9 → 4 ups, 3 bcasts.
+        let es = entries(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let mut ledger = CommLedger::new();
+        let out = sequential_threshold_max(&es, &mut ledger);
+        assert_eq!(out.winner.unwrap().value, 9);
+        assert_eq!(out.up_msgs, 4);
+        assert_eq!(out.bcast_msgs, 3);
+        assert_eq!(out.rounds_run, 8);
+    }
+
+    #[test]
+    fn sequential_sorted_ascending_is_worst_case() {
+        let es = entries(&[1, 2, 3, 4, 5]);
+        let mut ledger = CommLedger::new();
+        let out = sequential_threshold_max(&es, &mut ledger);
+        assert_eq!(out.up_msgs, 5);
+    }
+
+    #[test]
+    fn sequential_sorted_descending_is_best_case() {
+        let es = entries(&[5, 4, 3, 2, 1]);
+        let mut ledger = CommLedger::new();
+        let out = sequential_threshold_max(&es, &mut ledger);
+        assert_eq!(out.up_msgs, 1);
+        assert_eq!(out.bcast_msgs, 0);
+    }
+
+    #[test]
+    fn poll_all_costs_n_plus_one() {
+        let es = entries(&[2, 7, 7, 1]);
+        let mut ledger = CommLedger::new();
+        let out = poll_all_max(&es, &mut ledger);
+        assert_eq!(out.winner.unwrap().value, 7);
+        assert_eq!(out.winner.unwrap().id, NodeId(1), "tie to lower id");
+        assert_eq!(ledger.total(), 5);
+    }
+
+    #[test]
+    fn bisection_finds_max() {
+        let es = entries(&[12, 800, 345, 799]);
+        let mut ledger = CommLedger::new();
+        let out = bisection_max(&es, 1024, &mut ledger);
+        assert_eq!(out.winner.unwrap().value, 800);
+        assert!(out.rounds_run <= 11);
+        assert!(out.bcast_msgs as u32 == out.rounds_run);
+    }
+
+    #[test]
+    fn bisection_handles_all_equal() {
+        let es = entries(&[5, 5, 5]);
+        let mut ledger = CommLedger::new();
+        let out = bisection_max(&es, 16, &mut ledger);
+        assert_eq!(out.winner.unwrap().value, 5);
+        assert_eq!(out.winner.unwrap().id, NodeId(0));
+    }
+
+    #[test]
+    fn bisection_empty() {
+        let mut ledger = CommLedger::new();
+        let out = bisection_max(&[], 16, &mut ledger);
+        assert_eq!(out.winner, None);
+        assert_eq!(ledger.total(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Algorithm 2 of the paper — the randomized Las Vegas protocol that
+//! determines the maximum (or minimum) value held by a set of nodes — as a
+//! pair of driver-agnostic state machines.
+//!
+//! Protocol (MAXIMUMPROTOCOL(N), N an upper bound on the participant count):
+//! rounds `r = 0..=⌈log₂N⌉`. In round `r` every still-active participant
+//! independently sends its `(id, value)` to the coordinator with probability
+//! `2^r / N` (probability 1 in the final round). The coordinator broadcasts
+//! the best value seen so far; participants that cannot beat it deactivate.
+//! The protocol always returns the exact extremum (Las Vegas); only the
+//! message count is random — `E[#up-messages] ≤ 2·log₂N + 1` (Theorem 4.2).
+//!
+//! Max and min are the same machine instantiated at a different
+//! [`ProtocolOrder`]; ties are broken by node id (lower id wins) so the
+//! protocol is total on arbitrary inputs.
+
+use std::marker::PhantomData;
+
+use rand::Rng;
+use topk_net::id::{MinEntry, NodeId, RankEntry, Value};
+use topk_net::rng::{bernoulli_pow2, log2_ceil};
+use topk_net::wire::Report;
+
+/// Direction of the extremum search: a strict weak order on reports where
+/// "better" means closer to the protocol's answer.
+pub trait ProtocolOrder: Copy + Send + Sync + 'static {
+    /// `true` iff `a` is strictly better than `b`.
+    fn better(a: Report, b: Report) -> bool;
+}
+
+/// Maximum search: higher value wins, ties won by lower node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxOrder;
+
+impl ProtocolOrder for MaxOrder {
+    #[inline]
+    fn better(a: Report, b: Report) -> bool {
+        RankEntry::new(a.value, a.id) > RankEntry::new(b.value, b.id)
+    }
+}
+
+/// Minimum search: lower value wins, ties won by lower node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinOrder;
+
+impl ProtocolOrder for MinOrder {
+    #[inline]
+    fn better(a: Report, b: Report) -> bool {
+        MinEntry::new(a.value, a.id) > MinEntry::new(b.value, b.id)
+    }
+}
+
+/// When the coordinator broadcasts the running extremum during the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
+pub enum BroadcastPolicy {
+    /// Broadcast only when the running extremum improved since the last
+    /// announcement (silence ⇒ unchanged — free in the synchronous model).
+    /// This is the default.
+    #[default]
+    OnChange,
+    /// Literal reading of Algorithm 2 line 18: once any value has been seen,
+    /// broadcast the running extremum after every round.
+    EveryRound,
+}
+
+
+/// Node-side state of one protocol execution.
+#[derive(Debug, Clone)]
+pub struct Participant<O: ProtocolOrder> {
+    report: Report,
+    n_bound: u64,
+    active: bool,
+    _order: PhantomData<O>,
+}
+
+impl<O: ProtocolOrder> Participant<O> {
+    /// `n_bound` is the protocol parameter `N` — any upper bound on the
+    /// number of participants (the paper invokes e.g. `MAXIMUMPROTOCOL(n-k)`).
+    pub fn new(id: NodeId, value: Value, n_bound: u64) -> Self {
+        assert!(n_bound >= 1, "protocol bound must be positive");
+        Participant {
+            report: Report { id, value },
+            n_bound,
+            active: true,
+            _order: PhantomData,
+        }
+    }
+
+    /// Index of the final round (send probability reaches 1).
+    #[inline]
+    pub fn last_round(&self) -> u32 {
+        log2_ceil(self.n_bound)
+    }
+
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    #[inline]
+    pub fn report(&self) -> Report {
+        self.report
+    }
+
+    /// Execute round `r`: first apply the coordinator's latest announcement
+    /// (deactivating if it cannot be beaten), then flip the `2^r/N` coin.
+    /// Returns the report to send, if any. Once a participant sends or
+    /// deactivates it never acts again.
+    pub fn round(
+        &mut self,
+        r: u32,
+        announced: Option<Report>,
+        rng: &mut impl Rng,
+    ) -> Option<Report> {
+        if !self.active {
+            return None;
+        }
+        if let Some(best) = announced {
+            if !O::better(self.report, best) {
+                // Line 8: the announced extremum beats us — withdraw.
+                self.active = false;
+                return None;
+            }
+        }
+        if bernoulli_pow2(rng, r, self.n_bound) {
+            self.active = false;
+            return Some(self.report);
+        }
+        None
+    }
+}
+
+/// Coordinator-side state of one protocol execution.
+#[derive(Debug, Clone)]
+pub struct Aggregator<O: ProtocolOrder> {
+    best: Option<Report>,
+    announced: Option<Report>,
+    n_bound: u64,
+    reports_received: u64,
+    _order: PhantomData<O>,
+}
+
+impl<O: ProtocolOrder> Aggregator<O> {
+    pub fn new(n_bound: u64) -> Self {
+        assert!(n_bound >= 1, "protocol bound must be positive");
+        Aggregator {
+            best: None,
+            announced: None,
+            n_bound,
+            reports_received: 0,
+            _order: PhantomData,
+        }
+    }
+
+    /// Index of the final round.
+    #[inline]
+    pub fn last_round(&self) -> u32 {
+        log2_ceil(self.n_bound)
+    }
+
+    /// Absorb one report; returns `true` if the running extremum improved.
+    pub fn absorb(&mut self, report: Report) -> bool {
+        self.reports_received += 1;
+        match self.best {
+            None => {
+                self.best = Some(report);
+                true
+            }
+            Some(cur) if O::better(report, cur) => {
+                self.best = Some(report);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// What (if anything) to broadcast after the current round under
+    /// `policy`. Call [`Self::mark_announced`] when the broadcast is
+    /// actually emitted.
+    pub fn pending_announcement(&self, policy: BroadcastPolicy) -> Option<Report> {
+        let best = self.best?;
+        match policy {
+            BroadcastPolicy::OnChange => (self.announced != Some(best)).then_some(best),
+            BroadcastPolicy::EveryRound => Some(best),
+        }
+    }
+
+    /// Record that `pending_announcement` was broadcast.
+    pub fn mark_announced(&mut self) {
+        self.announced = self.best;
+    }
+
+    /// Current running extremum.
+    #[inline]
+    pub fn best(&self) -> Option<Report> {
+        self.best
+    }
+
+    /// Exact result; only meaningful after the final round completed.
+    #[inline]
+    pub fn result(&self) -> Option<Report> {
+        self.best
+    }
+
+    /// Number of reports received so far (the Theorem 4.2 quantity).
+    #[inline]
+    pub fn reports_received(&self) -> u64 {
+        self.reports_received
+    }
+}
+
+/// Convenience aliases.
+pub type MaxParticipant = Participant<MaxOrder>;
+pub type MinParticipant = Participant<MinOrder>;
+pub type MaxAggregator = Aggregator<MaxOrder>;
+pub type MinAggregator = Aggregator<MinOrder>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::rng::substream_rng;
+
+    #[test]
+    fn orders_break_ties_by_low_id() {
+        let a = Report {
+            id: NodeId(1),
+            value: 5,
+        };
+        let b = Report {
+            id: NodeId(2),
+            value: 5,
+        };
+        assert!(MaxOrder::better(a, b));
+        assert!(!MaxOrder::better(b, a));
+        assert!(MinOrder::better(a, b));
+        assert!(!MinOrder::better(b, a));
+    }
+
+    #[test]
+    fn participant_deactivates_on_dominating_announcement() {
+        let mut p: MaxParticipant = Participant::new(NodeId(3), 10, 8);
+        let mut rng = substream_rng(1, 1);
+        let beaten = p.round(
+            0,
+            Some(Report {
+                id: NodeId(0),
+                value: 11,
+            }),
+            &mut rng,
+        );
+        assert_eq!(beaten, None);
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn participant_always_sends_in_final_round() {
+        for seed in 0..20 {
+            let mut p: MaxParticipant = Participant::new(NodeId(0), 42, 8);
+            let mut rng = substream_rng(seed, 0);
+            let last = p.last_round();
+            let mut sent = None;
+            for r in 0..=last {
+                if let Some(rep) = p.round(r, None, &mut rng) {
+                    sent = Some((r, rep));
+                    break;
+                }
+            }
+            let (_, rep) = sent.expect("must send by the final round");
+            assert_eq!(rep.value, 42);
+        }
+    }
+
+    #[test]
+    fn aggregator_tracks_best_and_announcements() {
+        let mut a: MaxAggregator = Aggregator::new(8);
+        assert_eq!(a.pending_announcement(BroadcastPolicy::OnChange), None);
+        assert!(a.absorb(Report {
+            id: NodeId(5),
+            value: 3
+        }));
+        assert!(a
+            .pending_announcement(BroadcastPolicy::OnChange)
+            .is_some());
+        a.mark_announced();
+        assert_eq!(a.pending_announcement(BroadcastPolicy::OnChange), None);
+        assert_eq!(
+            a.pending_announcement(BroadcastPolicy::EveryRound)
+                .unwrap()
+                .value,
+            3
+        );
+        // A worse report does not improve the best.
+        assert!(!a.absorb(Report {
+            id: NodeId(6),
+            value: 2
+        }));
+        assert_eq!(a.result().unwrap().value, 3);
+        assert_eq!(a.reports_received(), 2);
+    }
+
+    #[test]
+    fn min_aggregator_prefers_smaller() {
+        let mut a: MinAggregator = Aggregator::new(4);
+        a.absorb(Report {
+            id: NodeId(0),
+            value: 9,
+        });
+        a.absorb(Report {
+            id: NodeId(1),
+            value: 4,
+        });
+        a.absorb(Report {
+            id: NodeId(2),
+            value: 7,
+        });
+        assert_eq!(a.result().unwrap().value, 4);
+    }
+}

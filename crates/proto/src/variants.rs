@@ -1,0 +1,321 @@
+//! Ablation variants of Algorithm 2's sampling schedule.
+//!
+//! The paper's protocol doubles the per-round send probability (`2^r/N`).
+//! Why doubling? This module makes the design choice measurable by
+//! implementing the natural alternatives on the same skeleton:
+//!
+//! * [`GrowthSchedule::Double`] — the paper's `2^r/N` (baseline);
+//! * [`GrowthSchedule::Quadruple`] — `4^r/N`: fewer rounds (≈ half), but
+//!   each round overshoots more — more simultaneous senders survive the
+//!   previous round's filtering;
+//! * [`GrowthSchedule::Linear`] — `(r+1)/N`: very gentle ramp; needs `N`
+//!   rounds in the worst case, so it trades latency for messages;
+//! * [`GrowthSchedule::Uniform`] — constant `c/N` per round with a
+//!   probability-1 final round: no adaptivity at all.
+//!
+//! Experiment E13 (`topk-sim`) compares expected messages and round counts.
+//! All variants remain Las Vegas (a final probability-1 round guarantees
+//! termination with the exact extremum).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use topk_net::id::{NodeId, Value};
+use topk_net::ledger::{ChannelKind, CommLedger};
+use topk_net::rng::{derive_seed, substream_rng};
+use topk_net::wire::{Report, WireSize};
+
+use crate::extremum::{BroadcastPolicy, MaxOrder, ProtocolOrder};
+
+/// How the per-round send probability grows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GrowthSchedule {
+    /// The paper's `2^r / N`.
+    Double,
+    /// `4^r / N` — more aggressive, fewer rounds.
+    Quadruple,
+    /// `(r+1) / N` — gentle linear ramp, many rounds.
+    Linear,
+    /// Constant `c / N` until the final probability-1 round.
+    Uniform { c: u64 },
+}
+
+impl GrowthSchedule {
+    /// Probability numerator for round `r` (the probability is
+    /// `min(1, num/N)`).
+    fn numerator(&self, r: u32) -> u64 {
+        match *self {
+            GrowthSchedule::Double => 1u64.checked_shl(r).unwrap_or(u64::MAX),
+            GrowthSchedule::Quadruple => 1u64.checked_shl(2 * r).unwrap_or(u64::MAX),
+            GrowthSchedule::Linear => r as u64 + 1,
+            GrowthSchedule::Uniform { c } => c.max(1),
+        }
+    }
+
+    /// Index of the final (probability-1) round for participant bound `n`.
+    pub fn last_round(&self, n_bound: u64) -> u32 {
+        match *self {
+            GrowthSchedule::Double => topk_net::rng::log2_ceil(n_bound),
+            GrowthSchedule::Quadruple => topk_net::rng::log2_ceil(n_bound).div_ceil(2),
+            GrowthSchedule::Linear => n_bound.saturating_sub(1) as u32,
+            GrowthSchedule::Uniform { c } => {
+                // Keep expected total rounds comparable: N/c rounds, then
+                // force termination.
+                (n_bound / c.max(1)) as u32
+            }
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrowthSchedule::Double => "double (paper)",
+            GrowthSchedule::Quadruple => "quadruple",
+            GrowthSchedule::Linear => "linear",
+            GrowthSchedule::Uniform { .. } => "uniform",
+        }
+    }
+}
+
+/// Outcome of a variant run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantOutcome {
+    pub winner: Option<Report>,
+    pub up_msgs: u64,
+    pub bcast_msgs: u64,
+    pub rounds_run: u32,
+}
+
+/// Execute a maximum protocol with an arbitrary [`GrowthSchedule`].
+///
+/// Identical skeleton to [`crate::runner::run_extremum`]: per-round exact
+/// Bernoulli trials, deactivation on dominating announcements, broadcast per
+/// `policy`, early exit once everyone settled.
+pub fn run_max_variant(
+    entries: &[(NodeId, Value)],
+    n_bound: u64,
+    schedule: GrowthSchedule,
+    policy: BroadcastPolicy,
+    master_seed: u64,
+    protocol_tag: u64,
+    ledger: &mut CommLedger,
+) -> VariantOutcome {
+    assert!(n_bound >= entries.len() as u64);
+    let run_seed = derive_seed(master_seed, protocol_tag);
+    struct P {
+        report: Report,
+        active: bool,
+        rng: rand_chacha::ChaCha12Rng,
+    }
+    let mut parts: Vec<P> = entries
+        .iter()
+        .map(|&(id, v)| P {
+            report: Report { id, value: v },
+            active: true,
+            rng: substream_rng(run_seed, id.0 as u64),
+        })
+        .collect();
+
+    let last = schedule.last_round(n_bound.max(1));
+    let mut best: Option<Report> = None;
+    let mut announced: Option<Report> = None;
+    let mut up_msgs = 0u64;
+    let mut bcast_msgs = 0u64;
+    let mut rounds_run = 0u32;
+
+    for r in 0..=last {
+        if parts.iter().all(|p| !p.active) {
+            break;
+        }
+        rounds_run += 1;
+        let num = if r == last {
+            n_bound
+        } else {
+            schedule.numerator(r).min(n_bound)
+        };
+        for p in parts.iter_mut() {
+            if !p.active {
+                continue;
+            }
+            if let Some(a) = announced {
+                if !MaxOrder::better(p.report, a) {
+                    p.active = false;
+                    continue;
+                }
+            }
+            if p.rng.gen_range(0..n_bound) < num {
+                p.active = false;
+                ledger.count(ChannelKind::Up, p.report.wire_bits());
+                up_msgs += 1;
+                let improves = match best {
+                    None => true,
+                    Some(b) => MaxOrder::better(p.report, b),
+                };
+                if improves {
+                    best = Some(p.report);
+                }
+            }
+        }
+        if r < last {
+            let pending = match policy {
+                BroadcastPolicy::OnChange => (best != announced).then_some(best).flatten(),
+                BroadcastPolicy::EveryRound => best,
+            };
+            if let Some(b) = pending {
+                ledger.count(ChannelKind::Broadcast, b.wire_bits());
+                bcast_msgs += 1;
+                announced = Some(b);
+            }
+        }
+    }
+
+    VariantOutcome {
+        winner: best,
+        up_msgs,
+        bcast_msgs,
+        rounds_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<(NodeId, Value)> {
+        (0..n)
+            .map(|i| (NodeId(i as u32), ((i * 131) % 1009) as u64))
+            .collect()
+    }
+
+    #[test]
+    fn all_schedules_are_exact() {
+        let es = entries(64);
+        let expected = es
+            .iter()
+            .map(|&(id, v)| topk_net::id::RankEntry::new(v, id))
+            .max()
+            .unwrap();
+        for schedule in [
+            GrowthSchedule::Double,
+            GrowthSchedule::Quadruple,
+            GrowthSchedule::Linear,
+            GrowthSchedule::Uniform { c: 8 },
+        ] {
+            for seed in 0..50 {
+                let mut ledger = CommLedger::new();
+                let out = run_max_variant(
+                    &es,
+                    64,
+                    schedule,
+                    BroadcastPolicy::OnChange,
+                    seed,
+                    1,
+                    &mut ledger,
+                );
+                let w = out.winner.unwrap();
+                assert_eq!(
+                    (w.value, w.id),
+                    (expected.value, expected.id),
+                    "{} seed {seed}",
+                    schedule.name()
+                );
+                assert!(out.up_msgs >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn double_matches_reference_runner_statistically() {
+        // The variant engine with Double must behave like the reference
+        // runner (identical schedule; RNG streams differ, so compare means).
+        let es = entries(256);
+        let trials = 300u64;
+        let mut var_total = 0u64;
+        let mut ref_total = 0u64;
+        for t in 0..trials {
+            let mut l1 = CommLedger::new();
+            var_total += run_max_variant(
+                &es,
+                256,
+                GrowthSchedule::Double,
+                BroadcastPolicy::OnChange,
+                1,
+                t,
+                &mut l1,
+            )
+            .up_msgs;
+            let mut l2 = CommLedger::new();
+            ref_total += crate::runner::run_max(
+                &es,
+                256,
+                BroadcastPolicy::OnChange,
+                1,
+                t,
+                &mut l2,
+            )
+            .up_msgs;
+        }
+        let v = var_total as f64 / trials as f64;
+        let r = ref_total as f64 / trials as f64;
+        assert!(
+            (v - r).abs() < 1.5,
+            "double variant {v:.2} should match reference {r:.2}"
+        );
+    }
+
+    #[test]
+    fn quadruple_uses_fewer_rounds() {
+        let es = entries(1024);
+        let mut dr = 0u64;
+        let mut qr = 0u64;
+        for t in 0..100 {
+            let mut l = CommLedger::new();
+            dr += run_max_variant(
+                &es,
+                1024,
+                GrowthSchedule::Double,
+                BroadcastPolicy::OnChange,
+                2,
+                t,
+                &mut l,
+            )
+            .rounds_run as u64;
+            let mut l = CommLedger::new();
+            qr += run_max_variant(
+                &es,
+                1024,
+                GrowthSchedule::Quadruple,
+                BroadcastPolicy::OnChange,
+                2,
+                t,
+                &mut l,
+            )
+            .rounds_run as u64;
+        }
+        assert!(qr < dr, "quadruple rounds {qr} must be below double {dr}");
+    }
+
+    #[test]
+    fn schedule_numerators() {
+        assert_eq!(GrowthSchedule::Double.numerator(3), 8);
+        assert_eq!(GrowthSchedule::Quadruple.numerator(3), 64);
+        assert_eq!(GrowthSchedule::Linear.numerator(3), 4);
+        assert_eq!(GrowthSchedule::Uniform { c: 5 }.numerator(3), 5);
+        assert_eq!(GrowthSchedule::Double.last_round(1024), 10);
+        assert_eq!(GrowthSchedule::Quadruple.last_round(1024), 5);
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let mut l = CommLedger::new();
+        let out = run_max_variant(
+            &[],
+            4,
+            GrowthSchedule::Linear,
+            BroadcastPolicy::OnChange,
+            0,
+            0,
+            &mut l,
+        );
+        assert_eq!(out.winner, None);
+    }
+}

@@ -1,0 +1,355 @@
+//! E1/E2/E3/E11 — standalone protocol experiments (§4 of the paper).
+
+use rand::seq::SliceRandom;
+
+use topk_net::id::NodeId;
+use topk_net::ledger::CommLedger;
+use topk_net::rng::{derive_seed, substream_rng};
+use topk_proto::analysis::{
+    expected_up_msgs_bound, harmonic, lemma41_send_probability_bound,
+};
+use topk_proto::baselines::{bisection_max, poll_all_max, sequential_threshold_max};
+use topk_proto::extremum::BroadcastPolicy;
+use topk_proto::runner::run_max;
+
+use crate::stats::Summary;
+use crate::table::{f2, f4, Table};
+
+use super::ExpCfg;
+
+/// Random-permutation entries of `0..n` (distinct values).
+fn permuted_entries(n: usize, rng: &mut impl rand::Rng) -> Vec<(NodeId, u64)> {
+    let mut values: Vec<u64> = (0..n as u64).collect();
+    values.shuffle(rng);
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (NodeId(i as u32), v))
+        .collect()
+}
+
+/// E1 — Theorem 4.2: `E[#up-messages] ≤ 2·log₂N + 1`, scaling in `n`.
+pub fn e1_max_protocol_scaling(cfg: &ExpCfg) -> Vec<Table> {
+    let (sizes, trials): (&[usize], u64) = if cfg.quick {
+        (&[16, 64, 256, 1024, 4096], 300)
+    } else {
+        (&[16, 64, 256, 1024, 4096, 16_384, 65_536, 262_144], 1000)
+    };
+    let mut table = Table::new(
+        "e1_max_protocol_scaling",
+        "MAXIMUMPROTOCOL message count vs n (Theorem 4.2)",
+        "Mean node→coordinator messages over random permutations must stay \
+         below the closed-form bound 2·log₂N + 1 and grow logarithmically. \
+         Broadcast counts use the OnChange policy.",
+        &[
+            "n", "trials", "mean ups", "sem", "p95 ups", "max ups", "bound 2log₂N+1",
+            "mean/bound", "mean bcasts",
+        ],
+    );
+    for &n in sizes {
+        let mut rng = substream_rng(cfg.seed, n as u64);
+        let mut ups = Vec::with_capacity(trials as usize);
+        let mut bcasts = Vec::with_capacity(trials as usize);
+        for trial in 0..trials {
+            let entries = permuted_entries(n, &mut rng);
+            let mut ledger = CommLedger::new();
+            let out = run_max(
+                &entries,
+                n as u64,
+                BroadcastPolicy::OnChange,
+                cfg.seed,
+                derive_seed(n as u64, trial),
+                &mut ledger,
+            );
+            assert_eq!(out.winner.unwrap().value, n as u64 - 1, "Las Vegas exactness");
+            ups.push(out.up_msgs as f64);
+            bcasts.push(out.bcast_msgs as f64);
+        }
+        let s = Summary::of(&ups);
+        let b = Summary::of(&bcasts);
+        let bound = expected_up_msgs_bound(n as u64);
+        table.push_row(vec![
+            n.to_string(),
+            trials.to_string(),
+            f2(s.mean),
+            f2(s.sem()),
+            f2(s.p95),
+            f2(s.max),
+            f2(bound),
+            f2(s.mean / bound),
+            f2(b.mean),
+        ]);
+    }
+    vec![table]
+}
+
+/// E2 — Theorem 4.2 (whp): the tail `Pr[X > c·log₂N]` decays rapidly in `c`.
+pub fn e2_tail_probability(cfg: &ExpCfg) -> Vec<Table> {
+    let n = 1024usize;
+    let trials: u64 = if cfg.quick { 3000 } else { 30_000 };
+    let logn = (n as f64).log2();
+    let cs = [1.0f64, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0];
+    let mut exceed = vec![0u64; cs.len()];
+    let mut rng = substream_rng(cfg.seed, 2);
+    for trial in 0..trials {
+        let entries = permuted_entries(n, &mut rng);
+        let mut ledger = CommLedger::new();
+        let out = run_max(
+            &entries,
+            n as u64,
+            BroadcastPolicy::OnChange,
+            cfg.seed ^ 2,
+            trial,
+            &mut ledger,
+        );
+        for (i, &c) in cs.iter().enumerate() {
+            if out.up_msgs as f64 > c * logn {
+                exceed[i] += 1;
+            }
+        }
+    }
+    let mut table = Table::new(
+        "e2_tail_probability",
+        "Tail of the MAXIMUMPROTOCOL message count (Theorem 4.2, whp part)",
+        &format!(
+            "Empirical Pr[X > c·log₂N] at N = {n} over {trials} random \
+             permutations; the theorem promises polynomial decay in N for \
+             constant c."
+        ),
+        &["c", "threshold c·log₂N", "Pr[X > c·log₂N]"],
+    );
+    for (i, &c) in cs.iter().enumerate() {
+        table.push_row(vec![
+            f2(c),
+            f2(c * logn),
+            f4(exceed[i] as f64 / trials as f64),
+        ]);
+    }
+    vec![table]
+}
+
+/// E3 — Theorem 4.3 context: the deterministic sequential baseline matches
+/// the `Θ(log n)` BST-path (harmonic) behaviour; poll-all and bisection for
+/// contrast.
+pub fn e3_lower_bound_baselines(cfg: &ExpCfg) -> Vec<Table> {
+    let (sizes, trials): (&[usize], u64) = if cfg.quick {
+        (&[16, 64, 256, 1024], 400)
+    } else {
+        (&[16, 64, 256, 1024, 4096, 16_384], 2000)
+    };
+    let mut table = Table::new(
+        "e3_lower_bound_baselines",
+        "Protocol vs deterministic baselines (Theorem 4.3)",
+        "The sequential-probing baseline's up-message count equals the \
+         number of left-to-right maxima of a random permutation — H_n in \
+         expectation (the Θ(log n) binary-search-tree path of the lower-bound \
+         proof). Algorithm 2 achieves the same order with high probability; \
+         poll-all pays n+1. Bisection probes a 2^20 value domain.",
+        &[
+            "n",
+            "seq-probe mean ups",
+            "H_n",
+            "Algorithm 2 mean ups",
+            "2log₂N+1",
+            "poll-all msgs",
+            "bisection mean msgs",
+        ],
+    );
+    for &n in sizes {
+        let mut rng = substream_rng(cfg.seed, 3000 + n as u64);
+        let mut seq_ups = Vec::new();
+        let mut proto_ups = Vec::new();
+        let mut bisect_msgs = Vec::new();
+        for trial in 0..trials {
+            let entries = permuted_entries(n, &mut rng);
+            // Spread values over a large domain for a fair bisection probe.
+            let spread: Vec<(NodeId, u64)> = entries
+                .iter()
+                .map(|&(id, v)| (id, v * ((1u64 << 20) / n as u64)))
+                .collect();
+            let mut l1 = CommLedger::new();
+            seq_ups.push(sequential_threshold_max(&entries, &mut l1).up_msgs as f64);
+            let mut l2 = CommLedger::new();
+            let out = run_max(
+                &entries,
+                n as u64,
+                BroadcastPolicy::OnChange,
+                cfg.seed ^ 3,
+                derive_seed(n as u64, trial),
+                &mut l2,
+            );
+            proto_ups.push(out.up_msgs as f64);
+            if trial < trials.min(100) {
+                let mut l3 = CommLedger::new();
+                let b = bisection_max(&spread, 1 << 20, &mut l3);
+                bisect_msgs.push((b.up_msgs + b.bcast_msgs) as f64);
+            }
+        }
+        let mut l4 = CommLedger::new();
+        let entries = permuted_entries(n, &mut rng);
+        let poll = poll_all_max(&entries, &mut l4);
+        table.push_row(vec![
+            n.to_string(),
+            f2(Summary::of(&seq_ups).mean),
+            f2(harmonic(n as u64)),
+            f2(Summary::of(&proto_ups).mean),
+            f2(expected_up_msgs_bound(n as u64)),
+            (poll.up_msgs + poll.bcast_msgs).to_string(),
+            f2(Summary::of(&bisect_msgs).mean),
+        ]);
+    }
+    vec![table]
+}
+
+/// E11 — Lemma 4.1: empirical per-rank send probabilities vs the bound.
+pub fn e11_lemma41_per_rank(cfg: &ExpCfg) -> Vec<Table> {
+    let n = 256usize;
+    let trials: u64 = if cfg.quick { 4000 } else { 40_000 };
+    // Fixed assignment: node i holds value n-1-i, so node i has rank i+1
+    // (1-based) — exactly the lemma's setting.
+    let entries: Vec<(NodeId, u64)> = (0..n)
+        .map(|i| (NodeId(i as u32), (n - 1 - i) as u64))
+        .collect();
+    let mut sends = vec![0u64; n];
+    for trial in 0..trials {
+        let mut ledger = CommLedger::new();
+        // Use the runner but recover per-node sends via a replay of its
+        // deterministic RNG: simplest is to count through a custom run.
+        let out = run_max_with_senders(
+            &entries,
+            n as u64,
+            cfg.seed ^ 11,
+            trial,
+            &mut ledger,
+            &mut sends,
+        );
+        assert_eq!(out, (n - 1) as u64);
+    }
+    let mut table = Table::new(
+        "e11_lemma41_per_rank",
+        "Per-rank send probability vs the Lemma 4.1 bound",
+        &format!(
+            "Node of rank i (1 = maximum) sends with empirical frequency \
+             (over {trials} runs, N = {n}) at most the closed-form bound \
+             1/N + Σ_r (2^r/N)(1−2^(r−1)/N)^i."
+        ),
+        &["rank i", "empirical Pr[send]", "Lemma 4.1 bound", "within bound"],
+    );
+    for &rank in &[1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let p = sends[rank - 1] as f64 / trials as f64;
+        let bound = lemma41_send_probability_bound(rank as u64, n as u64);
+        // Three-sigma statistical slack on the empirical frequency.
+        let slack = 3.0 * (p * (1.0 - p) / trials as f64).sqrt().max(1e-4);
+        table.push_row(vec![
+            rank.to_string(),
+            f4(p),
+            f4(bound),
+            (p <= bound + slack).to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// A verbatim re-implementation of the runner loop that also tallies which
+/// node sent — used only by E11 (the library runner does not expose
+/// per-node counts to keep its hot path lean).
+fn run_max_with_senders(
+    entries: &[(NodeId, u64)],
+    n_bound: u64,
+    master_seed: u64,
+    tag: u64,
+    ledger: &mut CommLedger,
+    sends: &mut [u64],
+) -> u64 {
+    use topk_proto::extremum::{Aggregator, MaxOrder, Participant};
+    let run_seed = derive_seed(master_seed, tag);
+    let mut parts: Vec<(Participant<MaxOrder>, rand_chacha::ChaCha12Rng)> = entries
+        .iter()
+        .map(|&(id, v)| {
+            (
+                Participant::<MaxOrder>::new(id, v, n_bound),
+                substream_rng(run_seed, id.0 as u64),
+            )
+        })
+        .collect();
+    let mut agg: Aggregator<MaxOrder> = Aggregator::new(n_bound);
+    let last = topk_net::rng::log2_ceil(n_bound);
+    let mut announced = None;
+    for r in 0..=last {
+        if parts.iter().all(|(p, _)| !p.is_active()) {
+            break;
+        }
+        for (p, rng) in parts.iter_mut() {
+            if let Some(report) = p.round(r, announced, rng) {
+                ledger.count(topk_net::ledger::ChannelKind::Up, 1);
+                sends[report.id.idx()] += 1;
+                agg.absorb(report);
+            }
+        }
+        if r < last {
+            if let Some(best) = agg.pending_announcement(BroadcastPolicy::OnChange) {
+                agg.mark_announced();
+                announced = Some(best);
+            }
+        }
+    }
+    agg.result().unwrap().value
+}
+
+/// E13 — sampling-schedule ablation: why does Algorithm 2 double?
+pub fn e13_growth_schedules(cfg: &ExpCfg) -> Vec<Table> {
+    use topk_proto::variants::{run_max_variant, GrowthSchedule};
+    let n = 1024usize;
+    let trials: u64 = if cfg.quick { 300 } else { 2000 };
+    let schedules = [
+        GrowthSchedule::Double,
+        GrowthSchedule::Quadruple,
+        GrowthSchedule::Linear,
+        GrowthSchedule::Uniform { c: 64 },
+    ];
+    let mut table = Table::new(
+        "e13_growth_schedules",
+        "Sampling-schedule ablation for the extremum protocol",
+        &format!(
+            "Mean messages and rounds over {trials} random permutations at \
+             N = {n}. The paper's doubling schedule sits at the knee of the \
+             messages-vs-rounds trade-off: quadrupling halves rounds for a \
+             small message premium; a linear ramp saves messages but needs \
+             O(N) rounds (the shout-echo regime of §1.1)."
+        ),
+        &["schedule", "mean ups", "mean bcasts", "mean rounds", "max rounds"],
+    );
+    for schedule in schedules {
+        let mut rng = substream_rng(cfg.seed, 1300);
+        let mut ups = Vec::with_capacity(trials as usize);
+        let mut bcasts = Vec::with_capacity(trials as usize);
+        let mut rounds = Vec::with_capacity(trials as usize);
+        for trial in 0..trials {
+            let entries = permuted_entries(n, &mut rng);
+            let mut ledger = CommLedger::new();
+            let out = run_max_variant(
+                &entries,
+                n as u64,
+                schedule,
+                BroadcastPolicy::OnChange,
+                cfg.seed ^ 13,
+                trial,
+                &mut ledger,
+            );
+            assert_eq!(out.winner.unwrap().value, n as u64 - 1);
+            ups.push(out.up_msgs as f64);
+            bcasts.push(out.bcast_msgs as f64);
+            rounds.push(out.rounds_run as f64);
+        }
+        let su = Summary::of(&ups);
+        let sr = Summary::of(&rounds);
+        table.push_row(vec![
+            schedule.name().to_string(),
+            f2(su.mean),
+            f2(Summary::of(&bcasts).mean),
+            f2(sr.mean),
+            f2(sr.max),
+        ]);
+    }
+    vec![table]
+}

@@ -1,0 +1,28 @@
+//! # topk-sim — experiment harness for the Top-k-Position Monitoring
+//! reproduction
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems. This
+//! crate regenerates an empirical validation for each of them (DESIGN.md §5
+//! maps claim → experiment):
+//!
+//! * [`scenario`] — (workload × algorithm × k) runs with OPT and the
+//!   measured competitive ratio;
+//! * [`montecarlo`] — parallel multi-seed execution;
+//! * [`stats`] / [`table`] / [`report`] — aggregation and rendering;
+//! * [`experiments`] — the E1–E14 registry
+//!   (`cargo run --release --example experiments` regenerates everything).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod montecarlo;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+pub mod table;
+
+pub use experiments::{run as run_experiment, run_all as run_all_experiments, ExpCfg, ALL_IDS};
+pub use montecarlo::{across_seeds, run_all, Aggregate};
+pub use scenario::{run_scenario, run_scenario_on_trace, AlgoSpec, RunOutcome, Scenario};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,152 @@
+//! Multi-seed scenario execution with thread-level parallelism.
+//!
+//! Experiments repeat every scenario across seeds; the runs are independent,
+//! so they parallelize embarrassingly. We use `crossbeam::scope` with a
+//! simple atomic work queue (per the hpc guides: message-free, data-race-free
+//! sharing of the immutable scenario list; each worker owns its outputs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::scenario::{run_scenario, RunOutcome, Scenario};
+use crate::stats::Summary;
+
+/// Run all scenarios, using up to `threads` worker threads (0 ⇒ available
+/// parallelism). Results are returned in input order.
+pub fn run_all(scenarios: &[Scenario], threads: usize) -> Vec<RunOutcome> {
+    if scenarios.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(scenarios.len());
+
+    if threads <= 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<RunOutcome>> = vec![None; scenarios.len()];
+    // Hand each worker a disjoint view of the output slots via split_at_mut
+    // chunks is not possible with work stealing; collect per-worker instead.
+    let results: Vec<(usize, RunOutcome)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let next = &next;
+            handles.push(s.spawn(move |_| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= scenarios.len() {
+                        break;
+                    }
+                    local.push((i, run_scenario(&scenarios[i])));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+    for (i, out) in results {
+        slots[i] = Some(out);
+    }
+    slots.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+/// Repeat one scenario across `seeds`, returning the outcomes.
+pub fn across_seeds(base: &Scenario, seeds: impl IntoIterator<Item = u64>) -> Vec<RunOutcome> {
+    let scenarios: Vec<Scenario> = seeds
+        .into_iter()
+        .map(|seed| Scenario {
+            seed,
+            ..base.clone()
+        })
+        .collect();
+    run_all(&scenarios, 0)
+}
+
+/// Aggregate helpers over outcomes.
+pub struct Aggregate;
+
+impl Aggregate {
+    pub fn total_messages(outs: &[RunOutcome]) -> Summary {
+        Summary::of(&outs.iter().map(|o| o.messages.total() as f64).collect::<Vec<_>>())
+    }
+
+    pub fn up_messages(outs: &[RunOutcome]) -> Summary {
+        Summary::of(&outs.iter().map(|o| o.messages.up as f64).collect::<Vec<_>>())
+    }
+
+    pub fn ratios(outs: &[RunOutcome]) -> Summary {
+        Summary::of(&outs.iter().map(|o| o.ratio).collect::<Vec<_>>())
+    }
+
+    pub fn opt_updates(outs: &[RunOutcome]) -> Summary {
+        Summary::of(&outs.iter().map(|o| o.opt_updates as f64).collect::<Vec<_>>())
+    }
+
+    /// Fraction of (step, run) pairs with a valid answer — must be 1.0.
+    pub fn correctness(outs: &[RunOutcome]) -> f64 {
+        let correct: u64 = outs.iter().map(|o| o.correct_steps).sum();
+        let steps: u64 = outs.iter().map(|o| o.steps).sum();
+        correct as f64 / steps.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AlgoSpec;
+    use topk_streams::WorkloadSpec;
+
+    fn base() -> Scenario {
+        Scenario {
+            k: 2,
+            steps: 60,
+            workload: WorkloadSpec::RandomWalk {
+                n: 8,
+                lo: 0,
+                hi: 2000,
+                step_max: 100,
+                lazy_p: 0.2,
+            },
+            algo: AlgoSpec::hero(),
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let scenarios: Vec<Scenario> = (0..6u64)
+            .map(|seed| Scenario { seed, ..base() })
+            .collect();
+        let seq = run_all(&scenarios, 1);
+        let par = run_all(&scenarios, 4);
+        // wall_ms differs; compare the deterministic fields.
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.opt_updates, b.opt_updates);
+            assert_eq!(a.correct_steps, b.correct_steps);
+        }
+    }
+
+    #[test]
+    fn across_seeds_varies_messages() {
+        let outs = across_seeds(&base(), 0..5);
+        assert_eq!(outs.len(), 5);
+        assert!((Aggregate::correctness(&outs) - 1.0).abs() < 1e-12);
+        let totals: Vec<u64> = outs.iter().map(|o| o.messages.total()).collect();
+        assert!(totals.iter().any(|&t| t != totals[0]), "seeds must matter");
+        let s = Aggregate::total_messages(&outs);
+        assert_eq!(s.count, 5);
+        assert!(s.mean > 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Scenario = (workload, algorithm, k, steps, seed) — the unit of every
+//! monitoring experiment. Running one produces a [`RunOutcome`] with the
+//! message ledger, the offline optimum, the competitive ratio and a
+//! correctness audit.
+
+use serde::{Deserialize, Serialize};
+
+use topk_core::baselines::{
+    DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute,
+};
+use topk_core::monitor::{is_valid_topk, Monitor, TopkMonitor};
+use topk_core::opt::{opt_segments, trace_delta, OptCostModel};
+use topk_core::{HandlerMode, MonitorConfig, RunMetrics};
+use topk_net::ledger::LedgerSnapshot;
+use topk_net::trace::TraceMatrix;
+use topk_ordered::OrderedTopkMonitor;
+use topk_proto::extremum::BroadcastPolicy;
+use topk_streams::WorkloadSpec;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgoSpec {
+    /// Algorithm 1 (the paper's contribution).
+    TopkFilter {
+        policy: BroadcastPolicy,
+        handler_mode: HandlerMode,
+    },
+    /// Send-every-change.
+    Naive,
+    /// §2.1 per-step recomputation.
+    PeriodicRecompute,
+    /// Filters with poll-based resolution.
+    FilterNaiveResolve,
+    /// Lam-style full-order midpoint tracking.
+    DominanceMidpoint,
+    /// §5 ordered extension.
+    OrderedTopk,
+}
+
+impl AlgoSpec {
+    /// Default hero configuration.
+    pub fn hero() -> Self {
+        AlgoSpec::TopkFilter {
+            policy: BroadcastPolicy::OnChange,
+            handler_mode: HandlerMode::Tight,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoSpec::TopkFilter { .. } => "topk-filter",
+            AlgoSpec::Naive => "naive",
+            AlgoSpec::PeriodicRecompute => "periodic-recompute",
+            AlgoSpec::FilterNaiveResolve => "filter-naive-resolve",
+            AlgoSpec::DominanceMidpoint => "dominance-midpoint",
+            AlgoSpec::OrderedTopk => "ordered-topk",
+        }
+    }
+
+    /// Instantiate the monitor.
+    pub fn build(&self, n: usize, k: usize, seed: u64) -> Box<dyn Monitor> {
+        match *self {
+            AlgoSpec::TopkFilter {
+                policy,
+                handler_mode,
+            } => Box::new(TopkMonitor::new(
+                MonitorConfig::new(n, k)
+                    .with_policy(policy)
+                    .with_handler_mode(handler_mode),
+                seed,
+            )),
+            AlgoSpec::Naive => Box::new(NaiveMonitor::new(n, k)),
+            AlgoSpec::PeriodicRecompute => Box::new(PeriodicRecompute::new(n, k, seed)),
+            AlgoSpec::FilterNaiveResolve => Box::new(FilterNaiveResolve::new(n, k)),
+            AlgoSpec::DominanceMidpoint => Box::new(DominanceMidpoint::new(n, k)),
+            AlgoSpec::OrderedTopk => Box::new(OrderedTopkMonitor::new(n, k, seed)),
+        }
+    }
+}
+
+/// One experiment unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    pub k: usize,
+    pub steps: usize,
+    pub workload: WorkloadSpec,
+    pub algo: AlgoSpec,
+    pub seed: u64,
+}
+
+/// Everything measured from one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    pub algo: String,
+    pub workload: String,
+    pub n: usize,
+    pub k: usize,
+    pub steps: u64,
+    /// Message counters of the algorithm.
+    pub messages: LedgerSnapshot,
+    /// Offline OPT filter updates (greedy-minimal segments).
+    pub opt_updates: u64,
+    /// Measured competitive ratio: `total messages / opt_updates`.
+    pub ratio: f64,
+    /// Steps on which the answer was a valid top-k.
+    pub correct_steps: u64,
+    /// `Δ = max_t (v_k − v_{k+1})` of the trace.
+    pub delta: u64,
+    /// Hero metrics when the algorithm is Algorithm 1 (else zeroes).
+    pub hero_metrics: RunMetrics,
+    /// Wall-clock of the monitoring run (excludes trace generation / OPT).
+    pub wall_ms: f64,
+}
+
+impl RunOutcome {
+    /// Theorem 4.4's factor `(log₂Δ + k) · log₂n` for this run.
+    pub fn theory_factor(&self) -> f64 {
+        let log_delta = (self.delta.max(2) as f64).log2();
+        let log_n = (self.n.max(2) as f64).log2();
+        (log_delta + self.k as f64) * log_n
+    }
+}
+
+/// A built monitor, keeping the hero concrete so its metrics stay reachable.
+enum Built {
+    Hero(TopkMonitor),
+    Other(Box<dyn Monitor>),
+}
+
+impl Built {
+    fn as_monitor(&mut self) -> &mut dyn Monitor {
+        match self {
+            Built::Hero(m) => m,
+            Built::Other(m) => m.as_mut(),
+        }
+    }
+
+    fn hero_metrics(&self) -> RunMetrics {
+        match self {
+            Built::Hero(m) => *m.metrics(),
+            Built::Other(_) => RunMetrics::default(),
+        }
+    }
+}
+
+/// Run one scenario against a pre-recorded trace (so OPT and the algorithm
+/// see the identical input).
+pub fn run_scenario_on_trace(sc: &Scenario, trace: &TraceMatrix) -> RunOutcome {
+    let n = trace.n();
+    assert!(sc.k >= 1 && sc.k <= n);
+    let seed = sc.seed ^ 0x005e_ed0f_a160_u64;
+    let mut built = match sc.algo {
+        AlgoSpec::TopkFilter {
+            policy,
+            handler_mode,
+        } => Built::Hero(TopkMonitor::new(
+            MonitorConfig::new(n, sc.k)
+                .with_policy(policy)
+                .with_handler_mode(handler_mode),
+            seed,
+        )),
+        _ => Built::Other(sc.algo.build(n, sc.k, seed)),
+    };
+    let started = std::time::Instant::now();
+    let mut correct = 0u64;
+    {
+        let mon = built.as_monitor();
+        for t in 0..trace.steps() {
+            let row = trace.step(t);
+            mon.step(t as u64, row);
+            if is_valid_topk(row, &mon.topk()) {
+                correct += 1;
+            }
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let opt = opt_segments(trace, sc.k, OptCostModel::PerUpdate);
+    let delta = if sc.k < n { trace_delta(trace, sc.k) } else { 0 };
+    let messages = built.as_monitor().ledger();
+    let hero_metrics = built.hero_metrics();
+    RunOutcome {
+        algo: sc.algo.name().to_string(),
+        workload: sc.workload.name().to_string(),
+        n,
+        k: sc.k,
+        steps: trace.steps() as u64,
+        messages,
+        opt_updates: opt.updates(),
+        ratio: messages.total() as f64 / opt.updates().max(1) as f64,
+        correct_steps: correct,
+        delta,
+        hero_metrics,
+        wall_ms,
+    }
+}
+
+/// Record the scenario's workload and run it.
+pub fn run_scenario(sc: &Scenario) -> RunOutcome {
+    let trace = sc.workload.record(sc.seed, sc.steps);
+    run_scenario_on_trace(sc, &trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(n: usize) -> WorkloadSpec {
+        WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 10_000,
+            step_max: 200,
+            lazy_p: 0.2,
+        }
+    }
+
+    #[test]
+    fn scenario_runs_all_algorithms_correctly() {
+        for algo in [
+            AlgoSpec::hero(),
+            AlgoSpec::Naive,
+            AlgoSpec::PeriodicRecompute,
+            AlgoSpec::FilterNaiveResolve,
+            AlgoSpec::DominanceMidpoint,
+            AlgoSpec::OrderedTopk,
+        ] {
+            let sc = Scenario {
+                k: 3,
+                steps: 120,
+                workload: walk(10),
+                algo,
+                seed: 4,
+            };
+            let out = run_scenario(&sc);
+            assert_eq!(
+                out.correct_steps, out.steps,
+                "{} must be correct at every step",
+                out.algo
+            );
+            assert!(out.messages.total() > 0);
+            assert!(out.opt_updates >= 1);
+            assert!(out.ratio >= 1.0 || out.messages.total() < out.opt_updates);
+        }
+    }
+
+    #[test]
+    fn hero_beats_naive_on_smooth_walks() {
+        // Wide domain + small steps: the regime filters are designed for.
+        let smooth = WorkloadSpec::RandomWalk {
+            n: 32,
+            lo: 0,
+            hi: 1 << 20,
+            step_max: 64,
+            lazy_p: 0.2,
+        };
+        let sc_hero = Scenario {
+            k: 2,
+            steps: 400,
+            workload: smooth,
+            algo: AlgoSpec::hero(),
+            seed: 9,
+        };
+        let sc_naive = Scenario {
+            algo: AlgoSpec::Naive,
+            ..sc_hero.clone()
+        };
+        let trace = sc_hero.workload.record(sc_hero.seed, sc_hero.steps);
+        let hero = run_scenario_on_trace(&sc_hero, &trace);
+        let naive = run_scenario_on_trace(&sc_naive, &trace);
+        assert!(
+            hero.messages.total() * 5 < naive.messages.total(),
+            "hero {} should be ≫ cheaper than naive {}",
+            hero.messages.total(),
+            naive.messages.total()
+        );
+    }
+
+    #[test]
+    fn theory_factor_monotone() {
+        let mk = |n: usize, k: usize, delta: u64| RunOutcome {
+            algo: "x".into(),
+            workload: "w".into(),
+            n,
+            k,
+            steps: 1,
+            messages: Default::default(),
+            opt_updates: 1,
+            ratio: 1.0,
+            correct_steps: 1,
+            delta,
+            hero_metrics: Default::default(),
+            wall_ms: 0.0,
+        };
+        assert!(mk(64, 4, 100).theory_factor() < mk(128, 4, 100).theory_factor());
+        assert!(mk(64, 4, 100).theory_factor() < mk(64, 8, 100).theory_factor());
+        assert!(mk(64, 4, 100).theory_factor() < mk(64, 4, 10_000).theory_factor());
+    }
+
+    #[test]
+    fn algo_spec_serde_roundtrip() {
+        let a = AlgoSpec::hero();
+        let s = serde_json::to_string(&a).unwrap();
+        let b: AlgoSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

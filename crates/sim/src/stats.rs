@@ -1,0 +1,115 @@
+//! Small, dependency-free summary statistics for experiment aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of f64 measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (empty samples yield all-zero summaries).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+            };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count > 1 {
+            self.std_dev / (self.count as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already sorted sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Convenience: summarize integer samples.
+pub fn summarize_u64(samples: &[u64]) -> Summary {
+    let f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+    Summary::of(&f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.sem(), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&sorted, 0.5), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+    }
+
+    #[test]
+    fn summarize_integers() {
+        let s = summarize_u64(&[2, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Result tables: the common output format of every experiment, rendered as
+//! Markdown (for EXPERIMENTS.md) and CSV (for plotting).
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular result table with a title and a caption.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Stable identifier, e.g. `e1_max_protocol_scaling`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the table shows and which paper claim it validates.
+    pub caption: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, caption: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            caption: caption.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavoured Markdown table with title and caption.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("{}\n\n", self.caption));
+        out.push_str("| ");
+        out.push_str(&self.columns.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render as CSV (header + rows); cells containing commas are quoted.
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format helpers used across experiments.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("t1", "Title", "Caption.", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### t1 — Title"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("t2", "T", "C", &["x", "y"]);
+        t.push_row(vec!["a,b".into(), "c\"d".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"c\"\"d\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t3", "T", "C", &["x"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f2(1.275), "1.27"); // binary 1.275 is just below 1.275
+        assert_eq!(f2(0.5), "0.50");
+        assert_eq!(f4(0.00004), "0.0000");
+    }
+}

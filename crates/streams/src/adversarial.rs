@@ -1,0 +1,209 @@
+//! Adversarial workloads targeting specific terms of the competitive bound.
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::Value;
+
+/// The k/k+1 boundary crossing adversary.
+///
+/// Nodes `0..n-2` hold well-separated constants. The two *boundary* nodes
+/// (`n-2` and `n-1`) oscillate with a triangle wave of amplitude `amplitude`
+/// and period `period`, in anti-phase, so they swap ranks twice per period.
+/// With `k` chosen so the boundary sits between them, every swap forces the
+/// monitoring algorithm through a violation cascade and eventually a
+/// `FILTERRESET` — *and OPT must also communicate* (the top-k set genuinely
+/// changes), keeping the competitive ratio meaningful.
+#[derive(Debug, Clone)]
+pub struct BoundaryCross {
+    n: usize,
+    base: Value,
+    spread: Value,
+    center: Value,
+    amplitude: Value,
+    period: u64,
+}
+
+impl BoundaryCross {
+    pub fn new(n: usize, base: Value, spread: Value, amplitude: Value, period: u64) -> Self {
+        assert!(n >= 2 && period >= 2 && amplitude >= 1);
+        assert!(spread >= 1);
+        // The oscillating pair is centred above the static field.
+        let center = base + spread * (n as u64) + 4 * amplitude;
+        BoundaryCross {
+            n,
+            base,
+            spread,
+            center,
+            amplitude,
+            period,
+        }
+    }
+
+    /// Triangle wave in `[-amplitude, +amplitude]` with the given period.
+    fn wave(&self, t: u64) -> i64 {
+        let a = self.amplitude as i64;
+        let p = self.period;
+        let phase = (t % p) as i64;
+        let half = (p / 2).max(1) as i64;
+        // Rise for the first half, fall for the second.
+        let tri = if phase <= half {
+            -a + (2 * a * phase) / half
+        } else {
+            a - (2 * a * (phase - half)) / half
+        };
+        tri.clamp(-a, a)
+    }
+}
+
+impl ValueFeed for BoundaryCross {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        for (i, slot) in out.iter_mut().take(self.n - 2).enumerate() {
+            *slot = self.base + self.spread * (i as u64);
+        }
+        let w = self.wave(t);
+        out[self.n - 2] = (self.center as i64 + w) as Value;
+        out[self.n - 1] = (self.center as i64 - w) as Value;
+    }
+}
+
+/// The §2.1 worst case: the maximum position rotates every step.
+///
+/// Node `(t mod n)` spikes to `base + bonus`, everyone else sits at
+/// `base + id` (distinct). Filters are useless here — the top-k set changes
+/// every step and *every* algorithm, including OPT, must communicate
+/// continually.
+#[derive(Debug, Clone)]
+pub struct RotatingMax {
+    n: usize,
+    base: Value,
+    bonus: Value,
+}
+
+impl RotatingMax {
+    pub fn new(n: usize, base: Value, bonus: Value) -> Self {
+        assert!(n >= 1 && bonus > n as u64);
+        RotatingMax { n, base, bonus }
+    }
+}
+
+impl ValueFeed for RotatingMax {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.base + i as u64;
+        }
+        out[(t % self.n as u64) as usize] = self.base + self.bonus;
+    }
+}
+
+/// Boundary *grind*: a single non-top-k node creeps up one unit per step
+/// toward the k-th value, then retreats — maximizing filter violations whose
+/// midpoint updates keep succeeding (exercises the `log Δ` halving chain
+/// without forcing resets on most steps).
+#[derive(Debug, Clone)]
+pub struct BoundaryGrind {
+    n: usize,
+    base: Value,
+    spread: Value,
+    period: u64,
+}
+
+impl BoundaryGrind {
+    pub fn new(n: usize, base: Value, spread: Value, period: u64) -> Self {
+        assert!(n >= 2 && period >= 2 && spread >= period);
+        BoundaryGrind {
+            n,
+            base,
+            spread,
+            period,
+        }
+    }
+}
+
+impl ValueFeed for BoundaryGrind {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.base + self.spread * (i as u64 + 1);
+        }
+        // Node 0 (the lowest) grinds across the full gap toward node 1's
+        // value and back, staying strictly below it (climb ≤ spread − 1).
+        let phase = t % self.period;
+        let half = (self.period / 2).max(1);
+        let tri = if phase < half { phase } else { self.period - phase };
+        let climb = tri * (self.spread - 1) / half;
+        out[0] = self.base + self.spread + climb.min(self.spread - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::id::true_topk;
+
+    #[test]
+    fn boundary_cross_swaps_ranks() {
+        let mut g = BoundaryCross::new(6, 100, 50, 20, 10);
+        let mut out = vec![0u64; 6];
+        let mut leaders = std::collections::HashSet::new();
+        for t in 0..20 {
+            g.fill_step(t, &mut out);
+            let top1 = true_topk(&out, 1)[0];
+            leaders.insert(top1);
+        }
+        assert_eq!(leaders.len(), 2, "the two boundary nodes must alternate");
+    }
+
+    #[test]
+    fn boundary_cross_statics_stay_below() {
+        let mut g = BoundaryCross::new(8, 100, 50, 25, 16);
+        let mut out = vec![0u64; 8];
+        for t in 0..40 {
+            g.fill_step(t, &mut out);
+            let static_max = out[..6].iter().max().unwrap();
+            let osc_min = out[6..].iter().min().unwrap();
+            assert!(osc_min > static_max, "oscillators must stay on top");
+        }
+    }
+
+    #[test]
+    fn rotating_max_rotates() {
+        let mut g = RotatingMax::new(5, 10, 100);
+        let mut out = vec![0u64; 5];
+        for t in 0..10 {
+            g.fill_step(t, &mut out);
+            let top = true_topk(&out, 1)[0];
+            assert_eq!(top.0 as u64, t % 5);
+        }
+    }
+
+    #[test]
+    fn boundary_grind_keeps_order() {
+        let mut g = BoundaryGrind::new(4, 0, 100, 20);
+        let mut out = vec![0u64; 4];
+        for t in 0..60 {
+            g.fill_step(t, &mut out);
+            // Node 0 never overtakes node 1.
+            assert!(out[0] < out[1], "t={t}: {:?}", out);
+        }
+    }
+
+    #[test]
+    fn wave_is_periodic_and_bounded() {
+        let g = BoundaryCross::new(4, 0, 10, 7, 12);
+        for t in 0..48 {
+            let w = g.wave(t);
+            assert!(w.abs() <= 7);
+            assert_eq!(w, g.wave(t + 12), "period 12");
+        }
+    }
+}

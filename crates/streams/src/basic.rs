@@ -1,0 +1,232 @@
+//! Elementary generators: constants, iid draws, and Zipf-tailed jump walks.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::Value;
+use topk_net::rng::substream_rng;
+
+/// Constant streams — every node repeats its initial value forever. After
+/// initialization Algorithm 1 must never communicate on this feed (a key
+/// unit test).
+#[derive(Debug, Clone)]
+pub struct Constant {
+    values: Vec<Value>,
+}
+
+impl Constant {
+    pub fn new(values: Vec<Value>) -> Self {
+        assert!(!values.is_empty());
+        Constant { values }
+    }
+
+    /// `n` distinct constants `base, base+gap, base+2·gap, …` (node 0 lowest).
+    pub fn ramp(n: usize, base: Value, gap: Value) -> Self {
+        assert!(n > 0 && gap > 0);
+        Constant {
+            values: (0..n as u64).map(|i| base + i * gap).collect(),
+        }
+    }
+}
+
+impl ValueFeed for Constant {
+    fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+        out.copy_from_slice(&self.values);
+    }
+}
+
+/// Fully independent draws: every node, every step, `Uniform[lo, hi]`.
+/// The "nothing is similar" worst case where filters cannot help and the
+/// §2.1 per-round recomputation is essentially optimal.
+#[derive(Debug, Clone)]
+pub struct IidUniform {
+    lo: Value,
+    hi: Value,
+    rngs: Vec<ChaCha12Rng>,
+}
+
+impl IidUniform {
+    pub fn new(n: usize, lo: Value, hi: Value, seed: u64) -> Self {
+        assert!(n > 0 && lo < hi);
+        IidUniform {
+            lo,
+            hi,
+            rngs: (0..n).map(|i| substream_rng(seed, 2_000_000 + i as u64)).collect(),
+        }
+    }
+}
+
+impl ValueFeed for IidUniform {
+    fn n(&self) -> usize {
+        self.rngs.len()
+    }
+
+    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+        for (i, rng) in self.rngs.iter_mut().enumerate() {
+            out[i] = rng.gen_range(self.lo..=self.hi);
+        }
+    }
+}
+
+/// Tabulated Zipf(s) sampler on `1..=max_jump` (inverse-CDF, exact).
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    pub fn new(max_jump: u64, s: f64) -> Self {
+        assert!(max_jump >= 1 && s > 0.0);
+        let mut cdf = Vec::with_capacity(max_jump as usize);
+        let mut acc = 0.0;
+        for j in 1..=max_jump {
+            acc += (j as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Draw one jump magnitude in `1..=max_jump`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        (self.cdf.partition_point(|&c| c < u) + 1) as u64
+    }
+}
+
+/// Random walk with Zipf-distributed jump magnitudes: long stretches of tiny
+/// moves punctuated by heavy-tailed jumps — stresses the `log Δ` term of the
+/// competitive bound.
+#[derive(Debug, Clone)]
+pub struct ZipfJumps {
+    lo: Value,
+    hi: Value,
+    table: ZipfTable,
+    state: Vec<Value>,
+    rngs: Vec<ChaCha12Rng>,
+    initialized: bool,
+}
+
+impl ZipfJumps {
+    pub fn new(n: usize, lo: Value, hi: Value, max_jump: u64, s: f64, seed: u64) -> Self {
+        assert!(n > 0 && lo < hi);
+        let max_jump = max_jump.min(hi - lo).max(1);
+        ZipfJumps {
+            lo,
+            hi,
+            table: ZipfTable::new(max_jump, s),
+            state: vec![0; n],
+            rngs: (0..n).map(|i| substream_rng(seed, 3_000_000 + i as u64)).collect(),
+            initialized: false,
+        }
+    }
+}
+
+impl ValueFeed for ZipfJumps {
+    fn n(&self) -> usize {
+        self.state.len()
+    }
+
+    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+        if !self.initialized {
+            for (i, rng) in self.rngs.iter_mut().enumerate() {
+                self.state[i] = rng.gen_range(self.lo..=self.hi);
+            }
+            self.initialized = true;
+            out.copy_from_slice(&self.state);
+            return;
+        }
+        for (i, rng) in self.rngs.iter_mut().enumerate() {
+            let mag = self.table.sample(rng) as i64;
+            let delta = if rng.gen_bool(0.5) { mag } else { -mag };
+            self.state[i] = crate::walk_reflect(self.state[i], delta, self.lo, self.hi);
+            out[i] = self.state[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_repeats() {
+        let mut c = Constant::new(vec![3, 1, 4]);
+        let mut out = vec![0u64; 3];
+        for t in 0..5 {
+            c.fill_step(t, &mut out);
+            assert_eq!(out, vec![3, 1, 4]);
+        }
+    }
+
+    #[test]
+    fn ramp_is_strictly_increasing() {
+        let c = Constant::ramp(5, 10, 7);
+        assert_eq!(c.values, vec![10, 17, 24, 31, 38]);
+    }
+
+    #[test]
+    fn iid_covers_range_and_is_seeded() {
+        let sample = |seed| {
+            let mut g = IidUniform::new(4, 0, 9, seed);
+            let mut out = vec![0u64; 4];
+            let mut all = Vec::new();
+            for t in 0..100 {
+                g.fill_step(t, &mut out);
+                all.extend_from_slice(&out);
+            }
+            all
+        };
+        let a = sample(1);
+        assert_eq!(a, sample(1));
+        assert_ne!(a, sample(2));
+        assert!(a.iter().all(|&v| v <= 9));
+        // Should hit most of the small range over 400 draws.
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 8);
+    }
+
+    #[test]
+    fn zipf_prefers_small_jumps() {
+        let table = ZipfTable::new(1000, 1.5);
+        let mut rng = substream_rng(9, 9);
+        let mut ones = 0u64;
+        let mut big = 0u64;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let j = table.sample(&mut rng);
+            assert!((1..=1000).contains(&j));
+            if j == 1 {
+                ones += 1;
+            }
+            if j > 100 {
+                big += 1;
+            }
+        }
+        // For s=1.5, P(1) ≈ 1/ζ(1.5)·(partial) ≈ 0.4; P(>100) small but
+        // non-negligible (heavy tail).
+        assert!(ones as f64 / trials as f64 > 0.3);
+        assert!(big > 0, "tail must be reachable");
+        assert!((big as f64) / (trials as f64) < 0.1);
+    }
+
+    #[test]
+    fn zipf_jump_walk_bounded() {
+        let mut g = ZipfJumps::new(6, 50, 5_000, 500, 1.2, 4);
+        let mut out = vec![0u64; 6];
+        for t in 0..300 {
+            g.fill_step(t, &mut out);
+            assert!(out.iter().all(|&v| (50..=5_000).contains(&v)));
+        }
+    }
+}

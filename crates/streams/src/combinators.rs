@@ -1,0 +1,210 @@
+//! Workload combinators — compose and perturb feeds for failure-injection
+//! testing: regime switches mid-run, crafted glitches at exact time steps,
+//! affine value transforms, and node-failure emulation (a failed sensor
+//! flat-lining to a constant).
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::Value;
+
+/// Switch from feed `a` to feed `b` at time `t_switch` — a regime change
+/// (e.g. calm network → incident).
+pub struct Switch {
+    a: Box<dyn ValueFeed>,
+    b: Box<dyn ValueFeed>,
+    t_switch: u64,
+}
+
+impl Switch {
+    pub fn new(a: Box<dyn ValueFeed>, b: Box<dyn ValueFeed>, t_switch: u64) -> Self {
+        assert_eq!(a.n(), b.n(), "both regimes need the same node count");
+        Switch { a, b, t_switch }
+    }
+}
+
+impl ValueFeed for Switch {
+    fn n(&self) -> usize {
+        self.a.n()
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        if t < self.t_switch {
+            self.a.fill_step(t, out);
+        } else {
+            self.b.fill_step(t, out);
+        }
+    }
+}
+
+/// Inject exact values at exact `(t, node, value)` points on top of an inner
+/// feed — the scalpel for boundary-condition tests (e.g. land a value
+/// *exactly* on a filter threshold at a chosen step).
+pub struct Glitch {
+    inner: Box<dyn ValueFeed>,
+    glitches: Vec<(u64, usize, Value)>,
+}
+
+impl Glitch {
+    pub fn new(inner: Box<dyn ValueFeed>, mut glitches: Vec<(u64, usize, Value)>) -> Self {
+        let n = inner.n();
+        assert!(glitches.iter().all(|&(_, i, _)| i < n), "node index in range");
+        glitches.sort_unstable();
+        Glitch { inner, glitches }
+    }
+}
+
+impl ValueFeed for Glitch {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        self.inner.fill_step(t, out);
+        let start = self.glitches.partition_point(|&(gt, _, _)| gt < t);
+        for &(gt, i, v) in &self.glitches[start..] {
+            if gt != t {
+                break;
+            }
+            out[i] = v;
+        }
+    }
+}
+
+/// Affine transform `v ↦ v·scale + offset` (saturating) of every value —
+/// shifts the Δ regime without changing the workload's shape.
+pub struct Affine {
+    inner: Box<dyn ValueFeed>,
+    scale: u64,
+    offset: u64,
+}
+
+impl Affine {
+    pub fn new(inner: Box<dyn ValueFeed>, scale: u64, offset: u64) -> Self {
+        assert!(scale >= 1);
+        Affine {
+            inner,
+            scale,
+            offset,
+        }
+    }
+}
+
+impl ValueFeed for Affine {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        self.inner.fill_step(t, out);
+        for v in out.iter_mut() {
+            *v = v.saturating_mul(self.scale).saturating_add(self.offset);
+        }
+    }
+}
+
+/// From `t_fail` on, node `node` flat-lines at its last healthy value — a
+/// stuck sensor. (The monitoring problem is still well-defined; the stuck
+/// node simply stops violating.)
+pub struct StuckNode {
+    inner: Box<dyn ValueFeed>,
+    node: usize,
+    t_fail: u64,
+    frozen: Option<Value>,
+}
+
+impl StuckNode {
+    pub fn new(inner: Box<dyn ValueFeed>, node: usize, t_fail: u64) -> Self {
+        assert!(node < inner.n());
+        StuckNode {
+            inner,
+            node,
+            t_fail,
+            frozen: None,
+        }
+    }
+}
+
+impl ValueFeed for StuckNode {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        self.inner.fill_step(t, out);
+        if t >= self.t_fail {
+            let v = *self.frozen.get_or_insert(out[self.node]);
+            out[self.node] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::Constant;
+    use crate::spec::WorkloadSpec;
+
+    #[test]
+    fn switch_changes_regime() {
+        let a = Box::new(Constant::new(vec![1, 2]));
+        let b = Box::new(Constant::new(vec![10, 20]));
+        let mut s = Switch::new(a, b, 3);
+        let mut out = [0u64; 2];
+        s.fill_step(2, &mut out);
+        assert_eq!(out, [1, 2]);
+        s.fill_step(3, &mut out);
+        assert_eq!(out, [10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node count")]
+    fn switch_rejects_mismatched_n() {
+        let a = Box::new(Constant::new(vec![1]));
+        let b = Box::new(Constant::new(vec![1, 2]));
+        let _ = Switch::new(a, b, 0);
+    }
+
+    #[test]
+    fn glitch_overrides_exact_points() {
+        let inner = Box::new(Constant::new(vec![5, 5, 5]));
+        let mut g = Glitch::new(inner, vec![(2, 1, 99), (2, 2, 77), (4, 0, 1)]);
+        let mut out = [0u64; 3];
+        g.fill_step(1, &mut out);
+        assert_eq!(out, [5, 5, 5]);
+        g.fill_step(2, &mut out);
+        assert_eq!(out, [5, 99, 77]);
+        g.fill_step(3, &mut out);
+        assert_eq!(out, [5, 5, 5]);
+        g.fill_step(4, &mut out);
+        assert_eq!(out, [1, 5, 5]);
+    }
+
+    #[test]
+    fn affine_saturates() {
+        let inner = Box::new(Constant::new(vec![u64::MAX / 2, 1]));
+        let mut a = Affine::new(inner, 3, 10);
+        let mut out = [0u64; 2];
+        a.fill_step(0, &mut out);
+        assert_eq!(out[0], u64::MAX);
+        assert_eq!(out[1], 13);
+    }
+
+    #[test]
+    fn stuck_node_freezes() {
+        let inner = WorkloadSpec::RotatingMax {
+            n: 3,
+            base: 0,
+            bonus: 100,
+        }
+        .build(0);
+        let mut s = StuckNode::new(inner, 1, 2);
+        let mut out = [0u64; 3];
+        s.fill_step(0, &mut out);
+        s.fill_step(1, &mut out); // node1 spikes at t=1
+        s.fill_step(2, &mut out);
+        let frozen = out[1];
+        for t in 3..10 {
+            s.fill_step(t, &mut out);
+            assert_eq!(out[1], frozen, "t={t}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! # topk-streams — seeded synthetic workloads for distributed monitoring
+//!
+//! The paper evaluates no dataset (it is a theory paper); its motivation
+//! names sensor parameters — "speed, temperature, frequency" — observed at
+//! distributed locations. This crate provides the synthetic stand-ins used
+//! by every experiment, all deterministic in a master seed and all
+//! implementing [`topk_net::behavior::ValueFeed`]:
+//!
+//! * [`basic`] — constants, ramps, iid uniform, Zipf-tailed jump walks;
+//! * [`walk`] — lazy uniform and Gaussian reflecting random walks (the
+//!   "similar consecutive values" regime filters exploit);
+//! * [`adversarial`] — boundary-crossing oscillators, boundary grinders and
+//!   the §2.1 rotating-maximum worst case;
+//! * [`sensor`] — temperature-field and bursty telemetry models (the
+//!   documented substitution for the paper's motivating scenario);
+//! * [`spec`] — serializable [`WorkloadSpec`] descriptions used by the
+//!   experiment harness and examples;
+//! * [`combinators`] — regime switches, exact-point glitches, affine
+//!   transforms and stuck-sensor emulation for failure-injection tests.
+
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod basic;
+pub mod combinators;
+pub mod sensor;
+pub mod spec;
+pub mod walk;
+
+pub use adversarial::{BoundaryCross, BoundaryGrind, RotatingMax};
+pub use combinators::{Affine, Glitch, StuckNode, Switch};
+pub use basic::{Constant, IidUniform, ZipfJumps, ZipfTable};
+pub use sensor::{Bursty, SensorField};
+pub use spec::WorkloadSpec;
+pub use walk::{GaussianWalk, RandomWalk};
+
+pub(crate) use walk::reflect as walk_reflect;
+
+#[cfg(test)]
+mod property_tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every generator stays within its declared bounds and is
+        /// reproducible from its seed.
+        #[test]
+        fn walk_bounded_and_reproducible(
+            n in 1usize..10,
+            seed in 0u64..1000,
+            lo in 0u64..100,
+            width in 1u64..10_000,
+            step in 1u64..200,
+        ) {
+            use topk_net::behavior::ValueFeed;
+            let hi = lo + width;
+            let mut runs = Vec::new();
+            for _ in 0..2 {
+                let mut w = RandomWalk::new(n, lo, hi, step, 0.1, seed);
+                let mut out = vec![0u64; n];
+                let mut rows = Vec::new();
+                for t in 0..30 {
+                    w.fill_step(t, &mut out);
+                    prop_assert!(out.iter().all(|v| (lo..=hi).contains(v)));
+                    rows.push(out.clone());
+                }
+                runs.push(rows);
+            }
+            prop_assert_eq!(&runs[0], &runs[1]);
+        }
+
+        /// Trace recording and CSV round-tripping preserve any workload.
+        #[test]
+        fn record_csv_roundtrip(seed in 0u64..50, n in 2usize..6) {
+            let spec = WorkloadSpec::RandomWalk {
+                n, lo: 0, hi: 1000, step_max: 10, lazy_p: 0.3,
+            };
+            let trace = spec.record(seed, 20);
+            let csv = trace.to_csv();
+            let back = topk_net::trace::TraceMatrix::from_csv(&csv).unwrap();
+            prop_assert_eq!(trace, back);
+        }
+    }
+}

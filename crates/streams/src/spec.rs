@@ -1,0 +1,309 @@
+//! Declarative workload descriptions — serializable configuration that
+//! experiment harnesses and example binaries share.
+
+use serde::{Deserialize, Serialize};
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::Value;
+use topk_net::trace::{TraceMatrix, TraceReplay};
+
+use crate::adversarial::{BoundaryCross, BoundaryGrind, RotatingMax};
+use crate::basic::{Constant, IidUniform, ZipfJumps};
+use crate::sensor::{Bursty, SensorField};
+use crate::walk::{GaussianWalk, RandomWalk};
+
+/// A buildable, serializable workload description.
+///
+/// `n` is carried inside each variant so a spec is self-contained; `build`
+/// combines it with a seed into a running generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Fixed values forever.
+    Constant { values: Vec<Value> },
+    /// Distinct constants `base + i·gap`.
+    Ramp { n: usize, base: Value, gap: Value },
+    /// iid `Uniform[lo, hi]` per node per step.
+    IidUniform { n: usize, lo: Value, hi: Value },
+    /// Lazy reflecting uniform-step random walk.
+    RandomWalk {
+        n: usize,
+        lo: Value,
+        hi: Value,
+        step_max: u64,
+        lazy_p: f64,
+    },
+    /// Gaussian-increment reflecting walk.
+    GaussianWalk {
+        n: usize,
+        lo: Value,
+        hi: Value,
+        sigma: f64,
+    },
+    /// Walk with Zipf(s)-distributed jump magnitudes.
+    ZipfJumps {
+        n: usize,
+        lo: Value,
+        hi: Value,
+        max_jump: u64,
+        s: f64,
+    },
+    /// k/k+1 boundary-crossing oscillator pair over a static field.
+    BoundaryCross {
+        n: usize,
+        base: Value,
+        spread: Value,
+        amplitude: Value,
+        period: u64,
+    },
+    /// One node grinds toward the boundary and back (violations without
+    /// top-k changes).
+    BoundaryGrind {
+        n: usize,
+        base: Value,
+        spread: Value,
+        period: u64,
+    },
+    /// §2.1 worst case: the maximum rotates every step.
+    RotatingMax { n: usize, base: Value, bonus: Value },
+    /// Temperature-sensor field (diurnal + drift + events + noise).
+    SensorField { n: usize },
+    /// Markov-modulated quiet/burst walk.
+    Bursty {
+        n: usize,
+        lo: Value,
+        hi: Value,
+        quiet_step: u64,
+        burst_step: u64,
+        p_enter_burst: f64,
+        p_exit_burst: f64,
+    },
+    /// Replay a recorded trace.
+    Replay { trace: TraceMatrix },
+}
+
+impl WorkloadSpec {
+    /// Number of node streams this spec describes.
+    pub fn n(&self) -> usize {
+        match self {
+            WorkloadSpec::Constant { values } => values.len(),
+            WorkloadSpec::Ramp { n, .. }
+            | WorkloadSpec::IidUniform { n, .. }
+            | WorkloadSpec::RandomWalk { n, .. }
+            | WorkloadSpec::GaussianWalk { n, .. }
+            | WorkloadSpec::ZipfJumps { n, .. }
+            | WorkloadSpec::BoundaryCross { n, .. }
+            | WorkloadSpec::BoundaryGrind { n, .. }
+            | WorkloadSpec::RotatingMax { n, .. }
+            | WorkloadSpec::SensorField { n }
+            | WorkloadSpec::Bursty { n, .. } => *n,
+            WorkloadSpec::Replay { trace } => trace.n(),
+        }
+    }
+
+    /// Short human-readable tag for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Constant { .. } => "constant",
+            WorkloadSpec::Ramp { .. } => "ramp",
+            WorkloadSpec::IidUniform { .. } => "iid-uniform",
+            WorkloadSpec::RandomWalk { .. } => "random-walk",
+            WorkloadSpec::GaussianWalk { .. } => "gaussian-walk",
+            WorkloadSpec::ZipfJumps { .. } => "zipf-jumps",
+            WorkloadSpec::BoundaryCross { .. } => "boundary-cross",
+            WorkloadSpec::BoundaryGrind { .. } => "boundary-grind",
+            WorkloadSpec::RotatingMax { .. } => "rotating-max",
+            WorkloadSpec::SensorField { .. } => "sensor-field",
+            WorkloadSpec::Bursty { .. } => "bursty",
+            WorkloadSpec::Replay { .. } => "replay",
+        }
+    }
+
+    /// Instantiate the generator with a seed.
+    pub fn build(&self, seed: u64) -> Box<dyn ValueFeed> {
+        match self.clone() {
+            WorkloadSpec::Constant { values } => Box::new(Constant::new(values)),
+            WorkloadSpec::Ramp { n, base, gap } => Box::new(Constant::ramp(n, base, gap)),
+            WorkloadSpec::IidUniform { n, lo, hi } => Box::new(IidUniform::new(n, lo, hi, seed)),
+            WorkloadSpec::RandomWalk {
+                n,
+                lo,
+                hi,
+                step_max,
+                lazy_p,
+            } => Box::new(RandomWalk::new(n, lo, hi, step_max, lazy_p, seed)),
+            WorkloadSpec::GaussianWalk { n, lo, hi, sigma } => {
+                Box::new(GaussianWalk::new(n, lo, hi, sigma, seed))
+            }
+            WorkloadSpec::ZipfJumps {
+                n,
+                lo,
+                hi,
+                max_jump,
+                s,
+            } => Box::new(ZipfJumps::new(n, lo, hi, max_jump, s, seed)),
+            WorkloadSpec::BoundaryCross {
+                n,
+                base,
+                spread,
+                amplitude,
+                period,
+            } => Box::new(BoundaryCross::new(n, base, spread, amplitude, period)),
+            WorkloadSpec::BoundaryGrind {
+                n,
+                base,
+                spread,
+                period,
+            } => Box::new(BoundaryGrind::new(n, base, spread, period)),
+            WorkloadSpec::RotatingMax { n, base, bonus } => {
+                Box::new(RotatingMax::new(n, base, bonus))
+            }
+            WorkloadSpec::SensorField { n } => Box::new(SensorField::standard(n, seed)),
+            WorkloadSpec::Bursty {
+                n,
+                lo,
+                hi,
+                quiet_step,
+                burst_step,
+                p_enter_burst,
+                p_exit_burst,
+            } => Box::new(Bursty::new(
+                n,
+                lo,
+                hi,
+                quiet_step,
+                burst_step,
+                p_enter_burst,
+                p_exit_burst,
+                seed,
+            )),
+            WorkloadSpec::Replay { trace } => Box::new(TraceReplay::new(trace)),
+        }
+    }
+
+    /// Canonical random walk used throughout the experiments.
+    pub fn default_walk(n: usize) -> Self {
+        WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+            step_max: 64,
+            lazy_p: 0.2,
+        }
+    }
+
+    /// Record this workload into a trace (for OPT and replay).
+    pub fn record(&self, seed: u64, steps: usize) -> TraceMatrix {
+        let mut feed = self.build(seed);
+        TraceMatrix::record(feed.as_mut(), steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build_and_run() {
+        let specs = vec![
+            WorkloadSpec::Constant {
+                values: vec![1, 2, 3],
+            },
+            WorkloadSpec::Ramp {
+                n: 4,
+                base: 10,
+                gap: 5,
+            },
+            WorkloadSpec::IidUniform { n: 4, lo: 0, hi: 9 },
+            WorkloadSpec::default_walk(4),
+            WorkloadSpec::GaussianWalk {
+                n: 4,
+                lo: 0,
+                hi: 1000,
+                sigma: 5.0,
+            },
+            WorkloadSpec::ZipfJumps {
+                n: 4,
+                lo: 0,
+                hi: 1000,
+                max_jump: 100,
+                s: 1.3,
+            },
+            WorkloadSpec::BoundaryCross {
+                n: 4,
+                base: 100,
+                spread: 10,
+                amplitude: 8,
+                period: 6,
+            },
+            WorkloadSpec::BoundaryGrind {
+                n: 4,
+                base: 0,
+                spread: 50,
+                period: 10,
+            },
+            WorkloadSpec::RotatingMax {
+                n: 4,
+                base: 0,
+                bonus: 100,
+            },
+            WorkloadSpec::SensorField { n: 4 },
+            WorkloadSpec::Bursty {
+                n: 4,
+                lo: 0,
+                hi: 10_000,
+                quiet_step: 1,
+                burst_step: 100,
+                p_enter_burst: 0.05,
+                p_exit_burst: 0.3,
+            },
+        ];
+        for spec in specs {
+            assert_eq!(spec.n(), if spec.name() == "constant" { 3 } else { 4 });
+            let mut feed = spec.build(42);
+            let mut out = vec![0u64; feed.n()];
+            for t in 0..20 {
+                feed.fill_step(t, &mut out);
+            }
+            assert!(!spec.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = WorkloadSpec::default_walk(16);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn replay_spec_roundtrip() {
+        let trace = WorkloadSpec::Ramp {
+            n: 3,
+            base: 1,
+            gap: 2,
+        }
+        .record(0, 5);
+        let spec = WorkloadSpec::Replay {
+            trace: trace.clone(),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        let mut feed = back.build(0);
+        let mut out = vec![0u64; 3];
+        feed.fill_step(0, &mut out);
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn record_matches_build() {
+        let spec = WorkloadSpec::default_walk(6);
+        let t1 = spec.record(9, 30);
+        let t2 = spec.record(9, 30);
+        assert_eq!(t1, t2, "recording must be deterministic in the seed");
+        let mut feed = spec.build(9);
+        let mut out = vec![0u64; 6];
+        feed.fill_step(0, &mut out);
+        assert_eq!(out, t1.step(0));
+    }
+}

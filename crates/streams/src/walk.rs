@@ -1,0 +1,239 @@
+//! Random-walk style generators — the "similar consecutive values" regime
+//! the paper's filter approach is designed for (§2.1).
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::Value;
+use topk_net::rng::substream_rng;
+
+/// Per-node lazy reflecting random walk on `[lo, hi]`.
+///
+/// Each step, independently per node: with probability `lazy_p` stay; else
+/// move up or down by `Uniform{1..=step_max}`, reflecting at the domain
+/// boundaries. Initial positions are iid `Uniform[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    lo: Value,
+    hi: Value,
+    step_max: u64,
+    lazy_p: f64,
+    state: Vec<Value>,
+    rngs: Vec<ChaCha12Rng>,
+    initialized: bool,
+}
+
+impl RandomWalk {
+    pub fn new(n: usize, lo: Value, hi: Value, step_max: u64, lazy_p: f64, seed: u64) -> Self {
+        assert!(n > 0 && lo < hi && step_max >= 1);
+        assert!((0.0..1.0).contains(&lazy_p));
+        RandomWalk {
+            lo,
+            hi,
+            step_max,
+            lazy_p,
+            state: vec![0; n],
+            rngs: (0..n).map(|i| substream_rng(seed, i as u64)).collect(),
+            initialized: false,
+        }
+    }
+
+    fn init(&mut self) {
+        for (i, rng) in self.rngs.iter_mut().enumerate() {
+            self.state[i] = rng.gen_range(self.lo..=self.hi);
+        }
+        self.initialized = true;
+    }
+}
+
+/// Reflect `pos + delta` into `[lo, hi]` (single reflection suffices because
+/// callers bound `|delta| ≤ hi - lo`).
+pub(crate) fn reflect(pos: Value, delta: i64, lo: Value, hi: Value) -> Value {
+    debug_assert!(delta.unsigned_abs() <= hi - lo);
+    if delta >= 0 {
+        let d = delta as u64;
+        let room = hi - pos;
+        if d <= room {
+            pos + d
+        } else {
+            hi - (d - room)
+        }
+    } else {
+        let d = delta.unsigned_abs();
+        let room = pos - lo;
+        if d <= room {
+            pos - d
+        } else {
+            lo + (d - room)
+        }
+    }
+}
+
+impl ValueFeed for RandomWalk {
+    fn n(&self) -> usize {
+        self.state.len()
+    }
+
+    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+        if !self.initialized {
+            self.init();
+            out.copy_from_slice(&self.state);
+            return;
+        }
+        let span = self.hi - self.lo;
+        for (i, rng) in self.rngs.iter_mut().enumerate() {
+            if !rng.gen_bool(self.lazy_p) {
+                let mag = rng.gen_range(1..=self.step_max.min(span)) as i64;
+                let delta = if rng.gen_bool(0.5) { mag } else { -mag };
+                self.state[i] = reflect(self.state[i], delta, self.lo, self.hi);
+            }
+            out[i] = self.state[i];
+        }
+    }
+}
+
+/// Per-node Gaussian-increment walk (Box–Muller discretized to integers),
+/// reflecting on `[lo, hi]`. Produces smoother, more "physical" trajectories
+/// than the uniform-step walk.
+#[derive(Debug, Clone)]
+pub struct GaussianWalk {
+    lo: Value,
+    hi: Value,
+    sigma: f64,
+    state: Vec<Value>,
+    rngs: Vec<ChaCha12Rng>,
+    initialized: bool,
+}
+
+impl GaussianWalk {
+    pub fn new(n: usize, lo: Value, hi: Value, sigma: f64, seed: u64) -> Self {
+        assert!(n > 0 && lo < hi && sigma > 0.0);
+        GaussianWalk {
+            lo,
+            hi,
+            sigma,
+            state: vec![0; n],
+            rngs: (0..n).map(|i| substream_rng(seed, 1_000_000 + i as u64)).collect(),
+            initialized: false,
+        }
+    }
+}
+
+/// One standard normal via Box–Muller.
+pub(crate) fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+impl ValueFeed for GaussianWalk {
+    fn n(&self) -> usize {
+        self.state.len()
+    }
+
+    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+        if !self.initialized {
+            for (i, rng) in self.rngs.iter_mut().enumerate() {
+                self.state[i] = rng.gen_range(self.lo..=self.hi);
+            }
+            self.initialized = true;
+            out.copy_from_slice(&self.state);
+            return;
+        }
+        let span = (self.hi - self.lo) as i64;
+        for (i, rng) in self.rngs.iter_mut().enumerate() {
+            let z = standard_normal(rng) * self.sigma;
+            let delta = (z.round() as i64).clamp(-span, span);
+            self.state[i] = reflect(self.state[i], delta, self.lo, self.hi);
+            out[i] = self.state[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflect_stays_in_domain() {
+        for pos in [0u64, 5, 10] {
+            for delta in -10i64..=10 {
+                let v = reflect(pos, delta, 0, 10);
+                assert!(v <= 10, "pos={pos} delta={delta} -> {v}");
+            }
+        }
+        assert_eq!(reflect(8, 5, 0, 10), 7); // 8+5=13 → reflect to 10-(3)=7
+        assert_eq!(reflect(2, -5, 0, 10), 3); // 2-5=-3 → reflect to 0+3
+    }
+
+    #[test]
+    fn walk_is_deterministic_and_bounded() {
+        let run = |seed| {
+            let mut w = RandomWalk::new(8, 100, 200, 5, 0.2, seed);
+            let mut out = vec![0u64; 8];
+            let mut rows = Vec::new();
+            for t in 0..50 {
+                w.fill_step(t, &mut out);
+                assert!(out.iter().all(|&v| (100..=200).contains(&v)));
+                rows.push(out.clone());
+            }
+            rows
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn walk_steps_are_bounded_by_step_max() {
+        let mut w = RandomWalk::new(4, 0, 1_000_000, 10, 0.0, 3);
+        let mut prev = vec![0u64; 4];
+        let mut cur = vec![0u64; 4];
+        w.fill_step(0, &mut prev);
+        for t in 1..200 {
+            w.fill_step(t, &mut cur);
+            for i in 0..4 {
+                let d = cur[i].abs_diff(prev[i]);
+                assert!(d <= 10, "step {d} exceeds bound at t={t}");
+            }
+            prev.copy_from_slice(&cur);
+        }
+    }
+
+    #[test]
+    fn gaussian_walk_bounded_and_moves() {
+        let mut w = GaussianWalk::new(4, 0, 10_000, 25.0, 11);
+        let mut out = vec![0u64; 4];
+        let mut moved = false;
+        let mut last = vec![0u64; 4];
+        w.fill_step(0, &mut last);
+        for t in 1..100 {
+            w.fill_step(t, &mut out);
+            assert!(out.iter().all(|&v| v <= 10_000));
+            moved |= out != last;
+            last.copy_from_slice(&out);
+        }
+        assert!(moved, "walk must actually move");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = substream_rng(1, 2);
+        let samples = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..samples {
+            let z = standard_normal(&mut rng);
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / samples as f64;
+        let var = sq / samples as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Competitive-ratio study: sweep n, k and the value domain on one screen —
+//! a compact interactive view of what experiments E4/E5/E6 tabulate.
+//!
+//! Run with: `cargo run --release --example competitive_study`
+
+use topk_monitoring::prelude::*;
+use topk_monitoring::sim::{run_scenario_on_trace, Scenario};
+
+fn row(n: usize, k: usize, hi: u64, steps: usize, seeds: u64) {
+    let mut ratios = Vec::new();
+    let mut msgs = Vec::new();
+    let mut opts = Vec::new();
+    let mut factor = 0.0;
+    for seed in 0..seeds {
+        let spec = WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi,
+            step_max: (hi / 16384).max(4),
+            lazy_p: 0.2,
+        };
+        let trace = spec.record(seed, steps);
+        let out = run_scenario_on_trace(
+            &Scenario {
+                k,
+                steps,
+                workload: spec,
+                algo: AlgoSpec::hero(),
+                seed,
+            },
+            &trace,
+        );
+        assert_eq!(out.correct_steps, out.steps);
+        ratios.push(out.ratio);
+        msgs.push(out.messages.total() as f64);
+        opts.push(out.opt_updates as f64);
+        factor = out.theory_factor();
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "{:>5} {:>4} {:>10} | {:>9.1} {:>7.1} {:>9.2} {:>9.1} {:>11.2}",
+        n,
+        k,
+        hi,
+        mean(&msgs),
+        mean(&opts),
+        mean(&ratios),
+        factor,
+        mean(&ratios) / factor,
+    );
+}
+
+fn main() {
+    let steps = 1_000;
+    let seeds = 4;
+    println!("Algorithm 1 vs offline OPT on lazy random walks ({steps} steps, {seeds} seeds)\n");
+    println!(
+        "{:>5} {:>4} {:>10} | {:>9} {:>7} {:>9} {:>9} {:>11}",
+        "n", "k", "domain", "ALG msgs", "OPT", "ratio", "bound", "ratio/bound"
+    );
+    println!("{}", "-".repeat(76));
+    println!("— scaling in n (k = 4):");
+    for n in [16, 32, 64, 128, 256] {
+        row(n, 4, 1 << 20, steps, seeds);
+    }
+    println!("— scaling in k (n = 64):");
+    for k in [1, 2, 4, 8, 16, 32] {
+        row(64, k, 1 << 20, steps, seeds);
+    }
+    println!("— scaling in Δ via the value domain (n = 64, k = 4):");
+    for hi in [1u64 << 10, 1 << 14, 1 << 18, 1 << 22] {
+        row(64, 4, hi, steps, seeds);
+    }
+    println!(
+        "\nTheorem 4.4 predicts ratio = O((log₂Δ + k)·log₂n): the last column\n\
+         (measured ratio / bound factor) staying below a small constant across\n\
+         all three sweeps is the empirical content of the theorem."
+    );
+}

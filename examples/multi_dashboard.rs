@@ -1,0 +1,82 @@
+//! Multi-resolution dashboard: track the top-1, top-5 and top-20 of one
+//! sensor field simultaneously (`MultiKMonitor`), with per-resolution
+//! message accounting.
+//!
+//! Run with: `cargo run --release --example multi_dashboard`
+
+use topk_monitoring::core::MultiKMonitor;
+use topk_monitoring::prelude::*;
+
+fn main() {
+    let n = 100;
+    let ks = [1usize, 5, 20];
+    let steps = 2_000u64;
+
+    // Load-average-like telemetry: wide domain, modest steps — the regime
+    // where filters pay off even at deep k. (Try SensorField { n } instead:
+    // its tightly packed deep ranks churn so much that k = 20 monitoring
+    // approaches naive cost — filters can only exploit gaps that exist.)
+    let spec = WorkloadSpec::RandomWalk {
+        n,
+        lo: 0,
+        hi: 1 << 20,
+        step_max: 512,
+        lazy_p: 0.2,
+    };
+    let mut feed = spec.build(7);
+    let mut multi = MultiKMonitor::new(n, &ks, 99);
+    let mut naive = NaiveMonitor::new(n, 1);
+
+    let mut values = vec![0u64; n];
+    for t in 0..steps {
+        feed.fill_step(t, &mut values);
+        multi.step(t, &values);
+        naive.step(t, &values);
+        for (k, set) in multi.all_topk() {
+            assert!(is_valid_topk(&values, &set), "k={k} at t={t}");
+        }
+    }
+
+    println!("sensor field, n = {n}, {steps} steps — monitoring k ∈ {ks:?}\n");
+    for (k, set) in multi.all_topk() {
+        let ids: Vec<u32> = set.iter().map(|id| id.0).collect();
+        let preview: Vec<u32> = ids.iter().take(8).copied().collect();
+        println!(
+            "top-{k:<3} {:?}{}",
+            preview,
+            if ids.len() > 8 { " …" } else { "" }
+        );
+    }
+    println!("\nmessage cost by resolution:");
+    let mut total = 0u64;
+    for (k, ledger) in multi.cost_by_k() {
+        println!(
+            "  k = {k:<3} {:>8} msgs  ({:>6} up, {:>6} bcast)",
+            ledger.total(),
+            ledger.up,
+            ledger.broadcast
+        );
+        total += ledger.total();
+    }
+    println!("  all    {total:>8} msgs");
+    let naive_total = naive.ledger().total();
+    if total < naive_total {
+        println!(
+            "\nfor scale: naive streaming of every change would use {} msgs —\n\
+             the three independent instances together still save {:.1}×.",
+            naive_total,
+            naive_total as f64 / total as f64
+        );
+    } else {
+        println!(
+            "\nfor scale: naive streaming would use {} msgs — on this input the\n\
+             multi-instance cost exceeds it; deep-k boundaries churn too much\n\
+             for filters to help (the §2.1 worst-case regime).",
+            naive_total
+        );
+    }
+    println!(
+        "\n(sharing filters across resolutions soundly is an open extension —\n\
+         per-k instances keep the paper's guarantee per resolution; see DESIGN.md)"
+    );
+}

@@ -1,0 +1,87 @@
+//! # topk-monitoring
+//!
+//! A complete Rust implementation of **“Online Top-k-Position Monitoring of
+//! Distributed Data Streams”** (Alexander Mäcker, Manuel Malatyali,
+//! Friedhelm Meyer auf der Heide; IPPS 2015, arXiv:1410.7912).
+//!
+//! `n` distributed nodes each observe a private stream of values; a
+//! coordinator must know, at every time step, which `k` nodes currently hold
+//! the `k` largest values — while exchanging as few messages as possible.
+//! The paper's algorithm combines **filters** (intervals within which value
+//! changes provably cannot affect the answer) with a **randomized Las Vegas
+//! extremum protocol** (`E[#messages] ≤ 2·log₂N + 1`), and is
+//! `O((log Δ + k) · log n)`-competitive against the optimal offline
+//! filter-based algorithm.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use topk_monitoring::prelude::*;
+//!
+//! // 32 sensors, monitor the top 3, seeded workload.
+//! let n = 32;
+//! let spec = WorkloadSpec::default_walk(n);
+//! let mut feed = spec.build(7);
+//!
+//! let mut monitor = TopkMonitor::new(MonitorConfig::new(n, 3), 42);
+//! let mut values = vec![0u64; n];
+//! for t in 0..1000 {
+//!     feed.fill_step(t, &mut values);
+//!     monitor.step(t, &values);
+//!     assert!(is_valid_topk(&values, &monitor.topk()));
+//! }
+//!
+//! // Vastly fewer messages than the 32_000 a naive scheme would send:
+//! let total = monitor.ledger().total();
+//! assert!(total < 4_000, "used {total} messages");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`net`] | system model: ids, ledgers, wire sizes, sequential + threaded runtimes |
+//! | [`proto`] | Algorithm 2 (randomized max/min protocols), baselines, closed forms |
+//! | [`filters`] | filter intervals, Lemma 2.2 validity, `T±` tracking |
+//! | [`streams`] | seeded synthetic workloads ([`WorkloadSpec`](streams::WorkloadSpec)) |
+//! | [`core`] | Algorithm 1, online baselines, offline OPT |
+//! | [`ordered`] | §5 ordered-top-k extension |
+//! | [`sim`] | experiment harness E1–E14, statistics, tables |
+
+#![forbid(unsafe_code)]
+
+pub use topk_core as core;
+pub use topk_filters as filters;
+pub use topk_net as net;
+pub use topk_ordered as ordered;
+pub use topk_proto as proto;
+pub use topk_sim as sim;
+pub use topk_streams as streams;
+
+/// The most common imports for downstream users.
+pub mod prelude {
+    pub use topk_core::{
+        is_valid_topk, run_monitor, HandlerMode, Monitor, MonitorConfig, TopkMonitor,
+    };
+    pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
+    pub use topk_core::{opt_segments, trace_delta, OptCostModel};
+    pub use topk_net::behavior::ValueFeed;
+    pub use topk_net::{CommLedger, LedgerSnapshot, NodeId, TraceMatrix, TraceReplay, Value};
+    pub use topk_ordered::OrderedTopkMonitor;
+    pub use topk_proto::extremum::BroadcastPolicy;
+    pub use topk_proto::runner::{run_max, run_min, select_topk};
+    pub use topk_sim::{AlgoSpec, ExpCfg, Scenario};
+    pub use topk_streams::WorkloadSpec;
+}
+
+#[cfg(test)]
+mod facade_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let mut mon = TopkMonitor::new(MonitorConfig::new(4, 2), 1);
+        mon.step(0, &[4, 3, 2, 1]);
+        assert_eq!(mon.topk(), vec![NodeId(0), NodeId(1)]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: every monitoring algorithm × every workload
+//! family, validity checked at every step; plus end-to-end serialization
+//! paths (trace CSV, scenario JSON) through the public facade.
+
+use topk_monitoring::prelude::*;
+
+fn all_algos() -> Vec<AlgoSpec> {
+    vec![
+        AlgoSpec::hero(),
+        AlgoSpec::Naive,
+        AlgoSpec::PeriodicRecompute,
+        AlgoSpec::FilterNaiveResolve,
+        AlgoSpec::DominanceMidpoint,
+        AlgoSpec::OrderedTopk,
+    ]
+}
+
+fn workload_zoo(n: usize) -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 50_000,
+            step_max: 400,
+            lazy_p: 0.2,
+        },
+        WorkloadSpec::IidUniform {
+            n,
+            lo: 0,
+            hi: 2_000,
+        },
+        WorkloadSpec::GaussianWalk {
+            n,
+            lo: 0,
+            hi: 100_000,
+            sigma: 500.0,
+        },
+        WorkloadSpec::ZipfJumps {
+            n,
+            lo: 0,
+            hi: 100_000,
+            max_jump: 30_000,
+            s: 1.1,
+        },
+        WorkloadSpec::SensorField { n },
+        WorkloadSpec::Bursty {
+            n,
+            lo: 0,
+            hi: 100_000,
+            quiet_step: 2,
+            burst_step: 20_000,
+            p_enter_burst: 0.02,
+            p_exit_burst: 0.25,
+        },
+        WorkloadSpec::BoundaryCross {
+            n,
+            base: 5_000,
+            spread: 200,
+            amplitude: 150,
+            period: 14,
+        },
+        WorkloadSpec::RotatingMax {
+            n,
+            base: 10,
+            bonus: 1_000_000,
+        },
+    ]
+}
+
+#[test]
+fn every_algorithm_on_every_workload() {
+    let n = 12;
+    let steps = 150;
+    for spec in workload_zoo(n) {
+        let trace = spec.record(31, steps);
+        for algo in all_algos() {
+            for k in [1usize, 4, n - 1] {
+                let mut mon = algo.build(n, k, 7);
+                for t in 0..trace.steps() {
+                    let row = trace.step(t);
+                    mon.step(t as u64, row);
+                    assert!(
+                        is_valid_topk(row, &mon.topk()),
+                        "{} k={k} invalid on {} at t={t}",
+                        mon.name(),
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_csv_roundtrip_through_facade() {
+    let spec = WorkloadSpec::default_walk(6);
+    let trace = spec.record(5, 40);
+    let csv = trace.to_csv();
+    let back = TraceMatrix::from_csv(&csv).unwrap();
+    assert_eq!(trace, back);
+
+    // Replay drives a monitor identically to the original feed.
+    let mut mon_a = TopkMonitor::new(MonitorConfig::new(6, 2), 9);
+    let mut mon_b = TopkMonitor::new(MonitorConfig::new(6, 2), 9);
+    let mut feed = spec.build(5);
+    let mut replay = TraceReplay::new(back);
+    let mut row = vec![0u64; 6];
+    let mut row2 = vec![0u64; 6];
+    for t in 0..40 {
+        feed.fill_step(t, &mut row);
+        replay.fill_step(t, &mut row2);
+        assert_eq!(row, row2);
+        mon_a.step(t, &row);
+        mon_b.step(t, &row2);
+    }
+    assert_eq!(mon_a.ledger(), mon_b.ledger());
+    assert_eq!(mon_a.topk(), mon_b.topk());
+}
+
+#[test]
+fn scenario_json_roundtrip_and_rerun() {
+    let sc = Scenario {
+        k: 3,
+        steps: 80,
+        workload: WorkloadSpec::default_walk(10),
+        algo: AlgoSpec::hero(),
+        seed: 77,
+    };
+    let json = serde_json::to_string_pretty(&sc).unwrap();
+    let back: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(sc, back);
+    let a = topk_monitoring::sim::run_scenario(&sc);
+    let b = topk_monitoring::sim::run_scenario(&back);
+    assert_eq!(a.messages, b.messages, "serialized scenarios must rerun identically");
+    assert_eq!(a.opt_updates, b.opt_updates);
+}
+
+#[test]
+fn monitors_are_deterministic_in_all_seeds() {
+    let spec = WorkloadSpec::default_walk(8);
+    let trace = spec.record(3, 100);
+    for algo in all_algos() {
+        let run = |mon_seed: u64| {
+            let mut mon = algo.build(8, 3, mon_seed);
+            for t in 0..trace.steps() {
+                mon.step(t as u64, trace.step(t));
+            }
+            (mon.ledger(), mon.topk())
+        };
+        assert_eq!(run(1), run(1), "{} must be deterministic", algo.name());
+    }
+}
+
+#[test]
+fn hero_message_ordering_invariants() {
+    // On a churny workload the hero still never unicasts and its phase
+    // breakdown always accounts for the whole ledger.
+    let spec = WorkloadSpec::IidUniform {
+        n: 10,
+        lo: 0,
+        hi: 300,
+    };
+    let trace = spec.record(1, 120);
+    let mut mon = TopkMonitor::new(MonitorConfig::new(10, 3), 2);
+    for t in 0..trace.steps() {
+        mon.step(t as u64, trace.step(t));
+    }
+    let l = mon.ledger();
+    let m = *mon.metrics();
+    assert_eq!(l.down, 0);
+    assert_eq!(m.total_up(), l.up);
+    assert_eq!(m.total_bcast(), l.broadcast);
+    assert!(m.violation_steps > 0, "iid workload must violate");
+    assert_eq!(m.handler_calls, m.violation_steps);
+}

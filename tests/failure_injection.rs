@@ -1,0 +1,163 @@
+//! Failure injection: regime switches, exact-boundary glitches, stuck
+//! sensors and Δ-regime shifts — each run under the deep invariant auditor
+//! (`topk_core::audit`), which cross-checks coordinator state, node state,
+//! Lemma 2.2 filter validity and the `T±` certificate after every step.
+
+use topk_monitoring::core::audit::assert_audit_clean;
+use topk_monitoring::prelude::*;
+use topk_monitoring::streams::{Affine, Glitch, StuckNode, Switch};
+
+fn audit_run(
+    mut feed: Box<dyn ValueFeed>,
+    k: usize,
+    steps: u64,
+    seed: u64,
+    context: &str,
+) -> TopkMonitor {
+    let n = feed.n();
+    let mut mon = TopkMonitor::new(MonitorConfig::new(n, k), seed);
+    let mut row = vec![0u64; n];
+    for t in 0..steps {
+        feed.fill_step(t, &mut row);
+        mon.step(t, &row);
+        assert_audit_clean(&mon, &row, context);
+    }
+    mon
+}
+
+#[test]
+fn regime_switch_calm_to_chaos() {
+    let n = 10;
+    let calm = WorkloadSpec::RandomWalk {
+        n,
+        lo: 40_000,
+        hi: 60_000,
+        step_max: 10,
+        lazy_p: 0.5,
+    }
+    .build(1);
+    let chaos = WorkloadSpec::IidUniform {
+        n,
+        lo: 0,
+        hi: 100_000,
+    }
+    .build(2);
+    let feed = Box::new(Switch::new(calm, chaos, 60));
+    audit_run(feed, 3, 120, 9, "calm→chaos switch");
+}
+
+#[test]
+fn glitch_exactly_at_the_threshold() {
+    // Land values exactly on / one-off the filter threshold. With the ramp
+    // 100,200,...,600 and k=2, the initial threshold is ⌊(500+400)/2⌋ = 450.
+    let inner = WorkloadSpec::Ramp {
+        n: 6,
+        base: 100,
+        gap: 100,
+    }
+    .build(0);
+    let glitches = vec![
+        (3, 0, 450), // non-top-k lands exactly ON M: no violation allowed
+        (4, 0, 451), // one above: violation, midpoint update or reset
+        (5, 5, 450), // top-k lands exactly ON M: no violation
+        (6, 5, 449), // one below: violation
+        (7, 0, 100), // back to normal
+        (7, 5, 600),
+    ];
+    let feed = Box::new(Glitch::new(inner, glitches));
+    let mon = audit_run(feed, 2, 10, 4, "threshold glitches");
+    let m = mon.metrics();
+    assert!(
+        m.violation_steps >= 2,
+        "the off-by-one glitches must violate (got {})",
+        m.violation_steps
+    );
+}
+
+#[test]
+fn glitch_forces_total_order_flip() {
+    let inner = WorkloadSpec::Ramp {
+        n: 5,
+        base: 1000,
+        gap: 1000,
+    }
+    .build(0);
+    // At t=2 the entire order reverses.
+    let glitches = vec![
+        (2, 0, 9_000),
+        (2, 1, 8_000),
+        (2, 2, 7_000),
+        (2, 3, 6_000),
+        (2, 4, 5_000),
+    ];
+    let feed = Box::new(Glitch::new(inner, glitches));
+    let mon = audit_run(feed, 2, 6, 5, "total order flip");
+    assert!(mon.metrics().resets >= 1, "a flip across k must reset");
+}
+
+#[test]
+fn stuck_sensor_keeps_system_healthy() {
+    let inner = WorkloadSpec::RandomWalk {
+        n: 8,
+        lo: 0,
+        hi: 50_000,
+        step_max: 1_000,
+        lazy_p: 0.2,
+    }
+    .build(3);
+    // The initially-hottest sensor flat-lines at t=20.
+    let feed = Box::new(StuckNode::new(inner, 0, 20));
+    audit_run(feed, 2, 200, 6, "stuck sensor");
+}
+
+#[test]
+fn affine_delta_shift_preserves_behaviour_shape() {
+    // Scaling all values by 1024 scales Δ by 1024 but must not change which
+    // steps violate (filters are midpoints — order-preserving transform).
+    let spec = WorkloadSpec::RandomWalk {
+        n: 8,
+        lo: 0,
+        hi: 4_000,
+        step_max: 200,
+        lazy_p: 0.2,
+    };
+    let base = audit_run(spec.build(7), 3, 150, 8, "unscaled");
+    let scaled_feed = Box::new(Affine::new(spec.build(7), 1024, 0));
+    let scaled = audit_run(scaled_feed, 3, 150, 8, "scaled");
+    // Nearly identical violation pattern: scaling by a ≥ 2 maps the midpoint
+    // ⌊(x+y)/2⌋ to a·⌊(x+y)/2⌋ + a/2 when x+y is odd, so values sitting
+    // *exactly* on a threshold can flip between "at the boundary" and
+    // "strictly beyond" — a bounded, half-unit edge effect. Everything else
+    // commutes, so the counts must agree within a few boundary incidents.
+    let dv = base
+        .metrics()
+        .violation_steps
+        .abs_diff(scaled.metrics().violation_steps);
+    let dr = base.metrics().resets.abs_diff(scaled.metrics().resets);
+    assert!(dv <= 4, "violation-step drift {dv} too large");
+    assert!(dr <= 4, "reset drift {dr} too large");
+}
+
+#[test]
+fn long_soak_with_periodic_audits() {
+    // 5k steps of a mixed workload with audits every step — the "leave it
+    // running overnight" confidence test, shrunk to CI size.
+    let n = 16;
+    let feed = WorkloadSpec::Bursty {
+        n,
+        lo: 0,
+        hi: 1 << 20,
+        quiet_step: 8,
+        burst_step: 1 << 14,
+        p_enter_burst: 0.01,
+        p_exit_burst: 0.1,
+    }
+    .build(11);
+    let mon = audit_run(feed, 4, 5_000, 12, "bursty soak");
+    // Soundness of the run itself: something happened, nothing leaked.
+    let l = mon.ledger();
+    assert!(l.total() > 0);
+    assert_eq!(l.down, 0);
+    assert_eq!(mon.metrics().total_up(), l.up);
+    assert_eq!(mon.metrics().total_bcast(), l.broadcast);
+}

@@ -1,0 +1,81 @@
+//! Property-based validation of the offline optimum: the greedy maximal
+//! segmentation is minimal (cross-checked against exact DP), segments are
+//! feasible and maximal, and OPT is monotone in ways the theory demands.
+
+use proptest::prelude::*;
+
+use topk_monitoring::core::opt::{
+    opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel,
+};
+use topk_monitoring::prelude::*;
+
+fn arb_trace(n: usize, steps: usize, max_v: u64) -> impl Strategy<Value = TraceMatrix> {
+    prop::collection::vec(prop::collection::vec(0..=max_v, n), 1..=steps)
+        .prop_map(|rows| TraceMatrix::from_rows(&rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn greedy_equals_dp(trace in arb_trace(4, 10, 60), k in 1usize..4) {
+        let greedy = opt_segments(&trace, k, OptCostModel::PerUpdate);
+        let dp = opt_updates_dp(&trace, k);
+        prop_assert_eq!(greedy.updates(), dp);
+    }
+
+    #[test]
+    fn segments_partition_feasibly(trace in arb_trace(5, 14, 100), k in 1usize..5) {
+        let r = opt_segments(&trace, k, OptCostModel::PerUpdate);
+        // Partition of 0..steps.
+        prop_assert_eq!(r.segments[0].0, 0);
+        prop_assert_eq!(r.segments.last().unwrap().1, trace.steps() - 1);
+        for w in r.segments.windows(2) {
+            prop_assert_eq!(w[0].1 + 1, w[1].0);
+        }
+        for &(a, b) in &r.segments {
+            prop_assert!(window_feasible(&trace, k, a, b));
+            // Maximality: extending any segment by one step is infeasible.
+            if b + 1 < trace.steps() {
+                prop_assert!(!window_feasible(&trace, k, a, b + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_cost_dominates_per_update(trace in arb_trace(4, 10, 50), k in 1usize..4) {
+        let per_update = opt_segments(&trace, k, OptCostModel::PerUpdate);
+        let per_node = opt_segments(&trace, k, OptCostModel::PerNodeDelivery);
+        prop_assert_eq!(&per_update.segments, &per_node.segments);
+        prop_assert!(per_node.cost >= per_update.cost);
+    }
+
+    #[test]
+    fn delta_bounds_every_step_gap(trace in arb_trace(5, 10, 80), k in 1usize..5) {
+        let delta = trace_delta(&trace, k);
+        for t in 0..trace.steps() {
+            let mut sorted: Vec<u64> = trace.step(t).to_vec();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert!(sorted[k - 1] - sorted[k] <= delta);
+        }
+    }
+
+    /// The hero algorithm's reset count never exceeds OPT's update count on
+    /// any input (the paper's Lemma 3.2 in executable form: a reset implies
+    /// the epoch was infeasible, so OPT must also have cut a segment).
+    #[test]
+    fn resets_never_exceed_opt(trace in arb_trace(5, 20, 100), k in 1usize..5, seed in 0u64..8) {
+        let mut mon = TopkMonitor::new(MonitorConfig::new(5, k), seed);
+        for t in 0..trace.steps() {
+            mon.step(t as u64, trace.step(t));
+            prop_assert!(is_valid_topk(trace.step(t), &mon.topk()));
+        }
+        let opt = opt_segments(&trace, k, OptCostModel::PerUpdate);
+        prop_assert!(
+            mon.metrics().resets < opt.updates(),
+            "resets {} must stay below OPT updates {}",
+            mon.metrics().resets,
+            opt.updates()
+        );
+    }
+}
