@@ -68,7 +68,9 @@ pub fn audit_monitor(mon: &TopkMonitor, values: &[Value]) -> Vec<AuditError> {
 
     // (1) answer validity / uniqueness.
     if !is_valid_topk(values, &answer) {
-        errors.push(AuditError::InvalidTopk { got: answer.clone() });
+        errors.push(AuditError::InvalidTopk {
+            got: answer.clone(),
+        });
     } else if cfg.k < cfg.n {
         let mut sorted: Vec<Value> = values.to_vec();
         sorted.sort_unstable_by(|a, b| b.cmp(a));

@@ -27,7 +27,7 @@ use topk_filters::tracker::{GapTracker, GapUpdate};
 use topk_proto::extremum::BroadcastPolicy;
 use topk_proto::runner::select_topk;
 
-use crate::monitor::Monitor;
+use crate::monitor::{Monitor, RowCache};
 
 fn report_bits(id: NodeId, value: Value) -> u32 {
     8 + Report { id, value }.wire_bits()
@@ -50,6 +50,7 @@ pub struct NaiveMonitor {
     topk: Vec<NodeId>,
     ledger: CommLedger,
     started: bool,
+    sparse_row: RowCache,
 }
 
 impl NaiveMonitor {
@@ -61,6 +62,7 @@ impl NaiveMonitor {
             topk: Vec::new(),
             ledger: CommLedger::new(),
             started: false,
+            sparse_row: RowCache::default(),
         }
     }
 }
@@ -69,6 +71,8 @@ impl Monitor for NaiveMonitor {
     fn name(&self) -> &'static str {
         "naive"
     }
+
+    crate::row_cache_step_sparse!();
 
     fn step(&mut self, _t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.last.len());
@@ -114,6 +118,7 @@ pub struct PeriodicRecompute {
     seed: u64,
     topk: Vec<NodeId>,
     ledger: CommLedger,
+    sparse_row: RowCache,
 }
 
 impl PeriodicRecompute {
@@ -126,6 +131,7 @@ impl PeriodicRecompute {
             seed,
             topk: Vec::new(),
             ledger: CommLedger::new(),
+            sparse_row: RowCache::default(),
         }
     }
 }
@@ -134,6 +140,8 @@ impl Monitor for PeriodicRecompute {
     fn name(&self) -> &'static str {
         "periodic-recompute"
     }
+
+    crate::row_cache_step_sparse!();
 
     fn step(&mut self, t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.n);
@@ -195,6 +203,7 @@ pub struct FilterNaiveResolve {
     topk: Vec<NodeId>,
     ledger: CommLedger,
     initialized: bool,
+    sparse_row: RowCache,
 }
 
 impl FilterNaiveResolve {
@@ -209,6 +218,7 @@ impl FilterNaiveResolve {
             topk: Vec::new(),
             ledger: CommLedger::new(),
             initialized: false,
+            sparse_row: RowCache::default(),
         }
     }
 
@@ -261,6 +271,8 @@ impl Monitor for FilterNaiveResolve {
     fn name(&self) -> &'static str {
         "filter-naive-resolve"
     }
+
+    crate::row_cache_step_sparse!();
 
     fn step(&mut self, t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.n);
@@ -318,8 +330,7 @@ impl Monitor for FilterNaiveResolve {
         match self.tracker.as_mut().unwrap().absorb(min_v, max_v) {
             GapUpdate::Midpoint(new_m) => {
                 self.threshold = new_m;
-                self.ledger
-                    .count(ChannelKind::Broadcast, value_bits(new_m));
+                self.ledger.count(ChannelKind::Broadcast, value_bits(new_m));
             }
             GapUpdate::ResetRequired => self.reset(t, values),
         }
@@ -353,9 +364,9 @@ impl Monitor for FilterNaiveResolve {
 /// On violations, the affected contiguous rank span (hull of every
 /// violator's old and landing rank) is polled exactly, re-sorted, interior
 /// boundaries are recomputed and new filters delivered. Accounting per
-/// event: 1 up per violator + 1 poll broadcast + 1 up per polled non-violator
-/// + 1 unicast per span member (filter delivery). Initialization: poll
-/// broadcast + `n` ups + `n` filter unicasts.
+/// event: 1 up per violator, 1 poll broadcast, 1 up per polled non-violator,
+/// and 1 unicast per span member (filter delivery). Initialization: poll
+/// broadcast, `n` ups, `n` filter unicasts.
 pub struct DominanceMidpoint {
     n: usize,
     k: usize,
@@ -370,6 +381,7 @@ pub struct DominanceMidpoint {
     bounds: Vec<Value>,
     ledger: CommLedger,
     initialized: bool,
+    sparse_row: RowCache,
 }
 
 impl DominanceMidpoint {
@@ -384,6 +396,7 @@ impl DominanceMidpoint {
             bounds: Vec::new(),
             ledger: CommLedger::new(),
             initialized: false,
+            sparse_row: RowCache::default(),
         }
     }
 
@@ -443,6 +456,8 @@ impl Monitor for DominanceMidpoint {
     fn name(&self) -> &'static str {
         "dominance-midpoint"
     }
+
+    crate::row_cache_step_sparse!();
 
     fn step(&mut self, _t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.n);
@@ -554,7 +569,7 @@ mod tests {
             vec![45, 47, 23, 10, 32], // n0 rockets
             vec![46, 11, 23, 12, 60], // n4 leads, n1 collapses
             vec![46, 11, 23, 12, 60],
-            vec![5, 70, 80, 90, 1],   // wholesale reshuffle
+            vec![5, 70, 80, 90, 1], // wholesale reshuffle
         ]
     }
 

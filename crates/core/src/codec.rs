@@ -135,8 +135,7 @@ pub fn decode_down(buf: &mut impl Buf) -> Result<DownMsg, DecodeError> {
         T_RESET_START => DownMsg::ResetStart,
         T_RESET_WINNER => {
             let rank = get_varint(buf).ok_or_else(|| DecodeError("truncated rank".into()))?;
-            let rank =
-                u32::try_from(rank).map_err(|_| DecodeError("rank overflow".into()))?;
+            let rank = u32::try_from(rank).map_err(|_| DecodeError("rank overflow".into()))?;
             DownMsg::ResetWinner {
                 rank,
                 report: get_report(buf)?,
@@ -144,8 +143,7 @@ pub fn decode_down(buf: &mut impl Buf) -> Result<DownMsg, DecodeError> {
         }
         T_RESET_ANN => DownMsg::ResetAnnounce(get_report(buf)?),
         T_RESET_DONE => DownMsg::ResetDone {
-            threshold: get_varint(buf)
-                .ok_or_else(|| DecodeError("truncated threshold".into()))?,
+            threshold: get_varint(buf).ok_or_else(|| DecodeError("truncated threshold".into()))?,
         },
         other => return Err(DecodeError(format!("unknown down tag {other:#x}"))),
     })
@@ -190,7 +188,12 @@ mod tests {
 
     #[test]
     fn exhaustive_roundtrip_and_size_model() {
-        for (id, v) in [(0u32, 0u64), (1, 1), (12345, 987_654_321), (u32::MAX, u64::MAX)] {
+        for (id, v) in [
+            (0u32, 0u64),
+            (1, 1),
+            (12345, 987_654_321),
+            (u32::MAX, u64::MAX),
+        ] {
             let (ups, downs) = sample_messages(NodeId(id), v);
             for m in ups {
                 let mut buf = BytesMut::new();

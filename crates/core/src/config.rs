@@ -5,8 +5,7 @@ use topk_proto::extremum::BroadcastPolicy;
 
 /// How `FILTERVIOLATIONHANDLER` behaves when *both* a minimum and a maximum
 /// were already communicated by the violation-phase protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum HandlerMode {
     /// Skip the redundant extra protocol. Because top-k filters share the
     /// lower bound `M`, the min over *violating* top-k nodes already equals
@@ -20,7 +19,6 @@ pub enum HandlerMode {
     /// a minimum is already known.
     Faithful,
 }
-
 
 /// Static configuration of one monitoring instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,7 +46,10 @@ pub struct MonitorConfig {
 impl MonitorConfig {
     pub fn new(n: usize, k: usize) -> Self {
         assert!(n >= 1, "need at least one node");
-        assert!(k >= 1 && k <= n, "k must satisfy 1 ≤ k ≤ n (got k={k}, n={n})");
+        assert!(
+            k >= 1 && k <= n,
+            "k must satisfy 1 ≤ k ≤ n (got k={k}, n={n})"
+        );
         MonitorConfig {
             n,
             k,

@@ -178,8 +178,14 @@ impl CoordinatorBehavior for CoordinatorMachine {
         }
     }
 
-    fn micro_round(&mut self, t: u64, m: u32, ups: Vec<(NodeId, UpMsg)>) -> CoordOut<DownMsg> {
-        let mut out = CoordOut::empty();
+    fn micro_round(
+        &mut self,
+        t: u64,
+        m: u32,
+        ups: &mut Vec<(NodeId, UpMsg)>,
+        out: &mut CoordOut<DownMsg>,
+    ) {
+        debug_assert!(out.is_empty(), "out arrives cleared");
         let policy = self.cfg.policy;
         match &mut self.phase {
             Phase::Done => {
@@ -188,10 +194,10 @@ impl CoordinatorBehavior for CoordinatorMachine {
             Phase::NeedInit => {
                 debug_assert_eq!(m, 0, "initialization starts the very first round");
                 debug_assert!(ups.is_empty(), "nodes are silent before initialization");
-                self.begin_reset(m, &mut out);
+                self.begin_reset(m, out);
             }
             Phase::ViolationWindow { min_agg, max_agg } => {
-                for (_, up) in ups {
+                for (_, up) in ups.drain(..) {
                     match up {
                         UpMsg::ViolMin(r) => {
                             min_agg.absorb(r);
@@ -229,12 +235,10 @@ impl CoordinatorBehavior for CoordinatorMachine {
                             // Silent step (threaded path without skip).
                             self.phase = Phase::Done;
                         }
-                        (Some(mn), Some(mx))
-                            if self.cfg.handler_mode == HandlerMode::Tight =>
-                        {
+                        (Some(mn), Some(mx)) if self.cfg.handler_mode == HandlerMode::Tight => {
                             self.metrics.violation_steps += 1;
                             self.metrics.handler_calls += 1;
-                            self.conclude_handler(m, mn.value, mx.value, &mut out);
+                            self.conclude_handler(m, mn.value, mx.value, out);
                         }
                         (mn_opt, Some(mx)) => {
                             // Line 25 ("else" branch): max is set — run
@@ -274,7 +278,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 start_m,
                 carried_max,
             } => {
-                for (_, up) in ups {
+                for (_, up) in ups.drain(..) {
                     match up {
                         UpMsg::Handler(r) => {
                             agg.absorb(r);
@@ -297,7 +301,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                         .expect("k ≥ 1 top-k nodes always respond")
                         .value;
                     let mx = *carried_max;
-                    self.conclude_handler(m, mn, mx, &mut out);
+                    self.conclude_handler(m, mn, mx, out);
                 }
             }
             Phase::HandlerMax {
@@ -305,7 +309,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 start_m,
                 carried_min,
             } => {
-                for (_, up) in ups {
+                for (_, up) in ups.drain(..) {
                     match up {
                         UpMsg::Handler(r) => {
                             agg.absorb(r);
@@ -328,7 +332,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                         .expect("n−k ≥ 1 non-top-k nodes always respond")
                         .value;
                     let mn = *carried_min;
-                    self.conclude_handler(m, mn, mx, &mut out);
+                    self.conclude_handler(m, mn, mx, out);
                 }
             }
             Phase::Reset {
@@ -336,7 +340,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 start_m,
                 winners,
             } => {
-                for (_, up) in ups {
+                for (_, up) in ups.drain(..) {
                     match up {
                         UpMsg::Reset(r) => {
                             agg.absorb(r);
@@ -373,13 +377,12 @@ impl CoordinatorBehavior for CoordinatorMachine {
                         let kth = winners[k - 1];
                         let k1 = winners[k];
                         let thresh = midpoint_floor(kth.value, k1.value);
-                        let mut ids: Vec<NodeId> =
-                            winners[..k].iter().map(|w| w.id).collect();
+                        let mut ids: Vec<NodeId> = winners[..k].iter().map(|w| w.id).collect();
                         ids.sort_unstable();
                         self.topk_ids = ids;
-                        self.tracker =
-                            Some(GapTracker::start_epoch(t, kth.value, k1.value));
-                        out.broadcasts.push(DownMsg::ResetDone { threshold: thresh });
+                        self.tracker = Some(GapTracker::start_epoch(t, kth.value, k1.value));
+                        out.broadcasts
+                            .push(DownMsg::ResetDone { threshold: thresh });
                         self.last_threshold = Some(thresh);
                         self.metrics.reset_bcast += 1;
                         self.initialized = true;
@@ -388,7 +391,6 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 }
             }
         }
-        out
     }
 
     fn step_done(&self) -> bool {

@@ -40,7 +40,11 @@ pub use baselines::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, Periodi
 pub use config::{HandlerMode, MonitorConfig};
 pub use coordinator::CoordinatorMachine;
 pub use metrics::RunMetrics;
-pub use monitor::{is_eps_valid_topk, is_valid_topk, run_monitor, Monitor, TopkMonitor};
+pub use monitor::{
+    is_eps_valid_topk, is_valid_topk, run_monitor, run_monitor_sparse, Monitor, TopkMonitor,
+};
 pub use multik::MultiKMonitor;
 pub use node::NodeMachine;
-pub use opt::{opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel, OptResult};
+pub use opt::{
+    opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel, OptResult,
+};

@@ -23,6 +23,32 @@ pub trait Monitor: Send {
     fn name(&self) -> &'static str;
     /// Process the observations of time step `t` (strictly increasing `t`).
     fn step(&mut self, t: u64, values: &[Value]);
+    /// Delta form of [`Monitor::step`]: process step `t` given only the
+    /// `(id, value)` pairs that changed since `t − 1` (ascending ids; the
+    /// first step must carry all `n` nodes) — the entry point sparse feeds
+    /// drive via [`topk_net::behavior::ValueFeed::fill_delta`].
+    ///
+    /// The default accepts exactly the *dense* change-lists the default
+    /// `fill_delta` produces (all `n` nodes present) and forwards to `step`.
+    /// Every in-repo monitor overrides it: [`TopkMonitor`] with its native
+    /// `O(#changed + #engaged)` path, the baselines via a [`RowCache`]
+    /// (correct with any feed, dense cost). Monitors outside this crate
+    /// should do one or the other.
+    fn step_sparse(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+        assert_eq!(
+            changes.len(),
+            self.n(),
+            "{}: no sparse path; default step_sparse needs dense change-lists \
+             (drive this monitor with fill_step + step instead)",
+            self.name()
+        );
+        debug_assert!(changes
+            .iter()
+            .enumerate()
+            .all(|(i, &(id, _))| id.idx() == i));
+        let row: Vec<Value> = changes.iter().map(|&(_, v)| v).collect();
+        self.step(t, &row);
+    }
     /// Current answer: top-k node ids, sorted ascending.
     fn topk(&self) -> Vec<NodeId>;
     /// Message counters accumulated so far.
@@ -47,6 +73,76 @@ pub fn run_monitor(
         monitor.step(t, &row);
     }
     monitor.ledger().since(&before)
+}
+
+/// Delta-driven counterpart of [`run_monitor`]: pulls change-lists via
+/// [`ValueFeed::fill_delta`] and steps via [`Monitor::step_sparse`]. With a
+/// natively sparse feed and a sparse monitor the whole loop is
+/// `O(#changed + #engaged)` per step; with a default (dense-emitting) feed
+/// any monitor works, falling back to its dense path.
+pub fn run_monitor_sparse(
+    monitor: &mut dyn Monitor,
+    feed: &mut dyn ValueFeed,
+    steps: u64,
+) -> LedgerSnapshot {
+    assert_eq!(feed.n(), monitor.n());
+    let before = monitor.ledger();
+    let mut changes: Vec<(NodeId, Value)> = Vec::new();
+    for t in 0..steps {
+        feed.fill_delta(t, &mut changes);
+        monitor.step_sparse(t, &changes);
+    }
+    monitor.ledger().since(&before)
+}
+
+/// Cached full-value row for monitors without a native sparse path: patch a
+/// change-list onto it and hand the dense row to `step`. Correct for any
+/// change-list (O(n) per step, like the dense path it feeds).
+#[derive(Debug, Clone, Default)]
+pub struct RowCache {
+    row: Vec<Value>,
+    started: bool,
+}
+
+impl RowCache {
+    /// Apply `changes` for step `t`; returns the full current row.
+    /// The first call must carry all `n` nodes (the `fill_delta` contract).
+    pub fn patch(&mut self, changes: &[(NodeId, Value)]) -> &[Value] {
+        if !self.started {
+            assert!(
+                changes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &(id, _))| id.idx() == i),
+                "first change-list must cover ids 0..n in order"
+            );
+            self.row = changes.iter().map(|&(_, v)| v).collect();
+            self.started = true;
+        } else {
+            for &(id, v) in changes {
+                self.row[id.idx()] = v;
+            }
+        }
+        &self.row
+    }
+}
+
+/// The fallback [`Monitor::step_sparse`] body for monitors that keep a
+/// [`RowCache`] in a `sparse_row` field: patch the change-list onto the
+/// cached row and run the dense `step`. A macro (not a default method)
+/// because the take/patch/restore dance needs the concrete type's field.
+#[macro_export]
+macro_rules! row_cache_step_sparse {
+    () => {
+        /// Correct sparse driving for a monitor without a native sparse
+        /// path: patch the cached row and run the dense step (same O(n)
+        /// cost as the dense drive).
+        fn step_sparse(&mut self, t: u64, changes: &[(topk_net::id::NodeId, topk_net::id::Value)]) {
+            let mut cache = std::mem::take(&mut self.sparse_row);
+            self.step(t, cache.patch(changes));
+            self.sparse_row = cache;
+        }
+    };
 }
 
 /// Algorithm 1 of the paper, assembled: `n` [`NodeMachine`]s and one
@@ -88,6 +184,12 @@ impl TopkMonitor {
         self.rt.silent_steps()
     }
 
+    /// Total node `observe` calls — `O(#changed + #engaged)` per step on
+    /// the sparse path, `n` per step only on the very first (init) step.
+    pub fn observe_calls(&self) -> u64 {
+        self.rt.observe_calls()
+    }
+
     /// The configuration this monitor runs.
     pub fn config(&self) -> MonitorConfig {
         self.cfg
@@ -111,6 +213,10 @@ impl Monitor for TopkMonitor {
 
     fn step(&mut self, t: u64, values: &[Value]) {
         self.rt.step(t, values);
+    }
+
+    fn step_sparse(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+        self.rt.step_sparse(t, changes);
     }
 
     fn topk(&self) -> Vec<NodeId> {

@@ -123,10 +123,18 @@ mod tests {
         ];
         let budget = budget_bits(n as usize, v);
         for m in msgs_up {
-            assert!(m.wire_bits() <= budget, "{m:?}: {} > {budget}", m.wire_bits());
+            assert!(
+                m.wire_bits() <= budget,
+                "{m:?}: {} > {budget}",
+                m.wire_bits()
+            );
         }
         for m in msgs_down {
-            assert!(m.wire_bits() <= budget, "{m:?}: {} > {budget}", m.wire_bits());
+            assert!(
+                m.wire_bits() <= budget,
+                "{m:?}: {} > {budget}",
+                m.wire_bits()
+            );
         }
     }
 

@@ -251,6 +251,12 @@ impl NodeBehavior for NodeMachine {
     type Up = UpMsg;
     type Down = DownMsg;
 
+    /// `observe` only stores the value and checks the filter: an unchanged
+    /// value on an idle node can neither newly violate (the filter did not
+    /// move) nor touch the RNG, so the runtime may skip the call — this is
+    /// what makes Algorithm 1's silent steps O(#changed) instead of O(n).
+    const SPARSE_OBSERVE: bool = true;
+
     fn id(&self) -> NodeId {
         self.id
     }
@@ -316,7 +322,10 @@ impl NodeBehavior for NodeMachine {
             self.my_round += 1;
         }
         let (up, active) = self.flip();
-        RoundAction { up, engaged: active }
+        RoundAction {
+            up,
+            engaged: active,
+        }
     }
 }
 
@@ -429,9 +438,15 @@ mod tests {
         }
         node.micro_round(0, 9, &[DownMsg::ResetDone { threshold: 60 }], None);
         assert!(!node.in_topk());
-        assert!(node.observe(1, 60).up.is_none(), "at threshold: no violation");
+        assert!(
+            node.observe(1, 60).up.is_none(),
+            "at threshold: no violation"
+        );
         let act = node.observe(2, 61);
-        assert!(act.engaged || act.up.is_some(), "above threshold: violation");
+        assert!(
+            act.engaged || act.up.is_some(),
+            "above threshold: violation"
+        );
     }
 
     #[test]

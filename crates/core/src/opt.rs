@@ -108,11 +108,9 @@ pub fn opt_segments(trace: &TraceMatrix, k: usize, model: OptCostModel) -> OptRe
             OptCostModel::PerNodeDelivery => {
                 let changed = match &prev_mask {
                     None => trace.n() as u64, // initial delivery to everyone
-                    Some(prev) => mask
-                        .iter()
-                        .zip(prev.iter())
-                        .filter(|(a, b)| a != b)
-                        .count() as u64,
+                    Some(prev) => {
+                        mask.iter().zip(prev.iter()).filter(|(a, b)| a != b).count() as u64
+                    }
                 };
                 1 + changed
             }

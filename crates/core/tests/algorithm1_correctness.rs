@@ -43,7 +43,11 @@ fn drive(cfg: MonitorConfig, spec: &WorkloadSpec, seed: u64, steps: usize) -> To
     let m = mon.metrics();
     assert_eq!(ledger.down, 0, "Algorithm 1 never unicasts");
     assert_eq!(m.total_up(), ledger.up, "up breakdown complete");
-    assert_eq!(m.total_bcast(), ledger.broadcast, "bcast breakdown complete");
+    assert_eq!(
+        m.total_bcast(),
+        ledger.broadcast,
+        "bcast breakdown complete"
+    );
     mon
 }
 
@@ -200,8 +204,8 @@ fn epoch_violation_steps_bounded_by_log_delta() {
         }
         let total_updates = m.midpoint_updates;
         let _ = total_updates;
-        updates_this_epoch = m.midpoint_updates
-            - (m.midpoint_updates - updates_this_epoch).min(m.midpoint_updates);
+        updates_this_epoch =
+            m.midpoint_updates - (m.midpoint_updates - updates_this_epoch).min(m.midpoint_updates);
     }
     // Direct bound via counters: every midpoint update halves a gap that
     // starts at most at Δ ≤ 2^16, so across the run

@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 
 use topk_core::audit::audit_monitor;
-use topk_core::{
-    is_valid_topk, HandlerMode, Monitor, MonitorConfig, TopkMonitor,
-};
+use topk_core::{is_valid_topk, HandlerMode, Monitor, MonitorConfig, TopkMonitor};
 use topk_net::trace::TraceMatrix;
 use topk_proto::extremum::BroadcastPolicy;
 

@@ -21,6 +21,18 @@
 //! Both runtimes drive the *same* state machines through these traits, so a
 //! single integration test pins their ledgers equal, and every experiment
 //! can use the fast sequential path.
+//!
+//! # Sparse stepping
+//!
+//! The filter approach makes most steps communication-free; the sparse
+//! execution path makes them (almost) *computation*-free too. A behavior
+//! that opts in via [`NodeBehavior::SPARSE_OBSERVE`] guarantees that
+//! `observe(t, v)` with `v` equal to the previous observation, on a node
+//! that ended the last step disengaged, is a no-op — so the runtime may
+//! skip the call entirely. [`crate::seq::SyncRuntime::step_sparse`] then
+//! visits only nodes whose value changed plus the persistent engaged set,
+//! for per-step cost `O(#changed + #engaged)` instead of `O(n)`, and
+//! [`ValueFeed::fill_delta`] lets generators produce only the movers.
 
 use crate::id::{NodeId, Value};
 use crate::wire::WireSize;
@@ -69,6 +81,16 @@ pub trait NodeBehavior: Send {
     type Up: WireSize + Send + 'static;
     /// Coordinator → node message type (broadcast or unicast).
     type Down: WireSize + Clone + Send + 'static;
+
+    /// Contract flag for the sparse execution path: `true` asserts that
+    /// calling [`NodeBehavior::observe`] with a value **equal to the node's
+    /// previous observation**, while the node is disengaged, is a provable
+    /// no-op — no state change, no RNG use, no message. The runtime then
+    /// skips such calls entirely (`step` diffs against a cached row;
+    /// `step_sparse` accepts change-lists). Behaviors whose `observe` can
+    /// act on an unchanged value (e.g. time-driven senders) must leave this
+    /// `false` and are always driven densely.
+    const SPARSE_OBSERVE: bool = false;
 
     /// This node's identity.
     fn id(&self) -> NodeId;
@@ -122,6 +144,13 @@ impl<D> CoordOut<D> {
             broadcasts: vec![d],
         }
     }
+
+    /// Drop the round's messages but keep both buffers' capacity — the
+    /// runtimes reuse one `CoordOut` across all micro-rounds of a run.
+    pub fn clear(&mut self) {
+        self.unicasts.clear();
+        self.broadcasts.clear();
+    }
 }
 
 /// Coordinator-side behavior in the synchronous execution.
@@ -142,8 +171,20 @@ pub trait CoordinatorBehavior {
     }
 
     /// Consume the up-messages of node-phase `m` (sorted by node id for
-    /// determinism) and produce the coordinator's output for round `m`.
-    fn micro_round(&mut self, t: u64, m: u32, ups: Vec<(NodeId, Self::Up)>) -> CoordOut<Self::Down>;
+    /// determinism) and write the coordinator's output for round `m` into
+    /// `out`.
+    ///
+    /// Both buffers are runtime-owned scratch: `ups` must be drained (the
+    /// runtime clears any leftovers and reuses the allocation), and `out`
+    /// arrives empty with its previous round's capacity intact — push into
+    /// it instead of allocating fresh `Vec`s each round.
+    fn micro_round(
+        &mut self,
+        t: u64,
+        m: u32,
+        ups: &mut Vec<(NodeId, Self::Up)>,
+        out: &mut CoordOut<Self::Down>,
+    );
 
     /// `true` once the protocol exchange for the current step has concluded
     /// (no further micro-rounds are needed). Drivers stop when this holds
@@ -172,6 +213,39 @@ pub trait ValueFeed: Send {
     /// Fill `out[i]` with node `i`'s observation for time `t`.
     /// `out.len() == self.n()`. Called with strictly increasing `t`.
     fn fill_step(&mut self, t: u64, out: &mut [Value]);
+
+    /// Delta form of [`ValueFeed::fill_step`]: replace `changes` with the
+    /// `(id, value)` pairs of this step, in **ascending id order with at
+    /// most one entry per node**. Every node whose value differs from step
+    /// `t − 1` must appear; unchanged nodes *may* appear (a superset is
+    /// allowed — consumers treat repeat values as no-ops). The first call
+    /// must emit all `n` nodes.
+    ///
+    /// Drive a feed instance through *either* `fill_step` *or* `fill_delta`,
+    /// not a mix: both advance the same generator state. Two instances built
+    /// from the same spec and seed produce value-identical streams through
+    /// either method — the dense/sparse equivalence tests rely on that.
+    ///
+    /// The default reports every node as changed (correct, `O(n)`); natively
+    /// sparse generators override it to emit only movers.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        let mut row = vec![0 as Value; self.n()];
+        self.fill_step(t, &mut row);
+        emit_dense(changes, &row);
+    }
+}
+
+/// Replace `changes` with a dense `(id, value)` list of `values` — the
+/// canonical "first call emits every node" emission of the
+/// [`ValueFeed::fill_delta`] contract, shared by every implementor.
+pub fn emit_dense(changes: &mut Vec<(NodeId, Value)>, values: &[Value]) {
+    changes.clear();
+    changes.extend(
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32), v)),
+    );
 }
 
 impl ValueFeed for Box<dyn ValueFeed> {
@@ -180,6 +254,9 @@ impl ValueFeed for Box<dyn ValueFeed> {
     }
     fn fill_step(&mut self, t: u64, out: &mut [Value]) {
         (**self).fill_step(t, out)
+    }
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        (**self).fill_delta(t, changes)
     }
 }
 

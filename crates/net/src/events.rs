@@ -132,7 +132,10 @@ impl EventLog {
                 ),
                 ChannelKind::Broadcast => "coord ⇒ all".to_string(),
             };
-            out.push_str(&format!("t={:<5} m={:<3} {:<16} {}\n", e.t, e.m, dir, e.tag));
+            out.push_str(&format!(
+                "t={:<5} m={:<3} {:<16} {}\n",
+                e.t, e.m, dir, e.tag
+            ));
         }
         if self.dropped > 0 {
             out.push_str(&format!("… ({} earlier events dropped)\n", self.dropped));

@@ -43,7 +43,11 @@ pub fn substream_rng(master: u64, stream: u64) -> ChaCha12Rng {
 #[inline]
 pub fn bernoulli_pow2(rng: &mut impl Rng, r: u32, n_bound: u64) -> bool {
     debug_assert!(n_bound >= 1);
-    let threshold = if r >= 63 { n_bound } else { (1u64 << r).min(n_bound) };
+    let threshold = if r >= 63 {
+        n_bound
+    } else {
+        (1u64 << r).min(n_bound)
+    };
     rng.gen_range(0..n_bound) < threshold
 }
 
@@ -101,10 +105,7 @@ mod tests {
         }
         let p = hits as f64 / trials as f64;
         let expect = 1.0 / n as f64;
-        assert!(
-            (p - expect).abs() < 0.005,
-            "p={p} expected≈{expect}"
-        );
+        assert!((p - expect).abs() < 0.005, "p={p} expected≈{expect}");
     }
 
     #[test]

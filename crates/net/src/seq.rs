@@ -7,13 +7,28 @@
 //! machines, so a run is a pure function of `(behaviors, values)` — the
 //! threaded runtime produces the identical ledger.
 //!
-//! Sparsity: in a micro-round without broadcasts, only *engaged* nodes and
-//! unicast addressees are polled. Disengaged nodes are contractually
-//! no-ops, so skipping them changes nothing observable.
+//! # Sparsity
+//!
+//! Two mechanisms keep quiet steps cheap:
+//!
+//! * **Within a step**: in a micro-round without broadcasts, only *engaged*
+//!   nodes and unicast addressees are polled, iterating a persistent sorted
+//!   index list of engaged nodes (never a full `0..n` scan). Disengaged
+//!   nodes are contractually no-ops, so skipping them changes nothing
+//!   observable.
+//! * **Across steps** (opt-in via [`NodeBehavior::SPARSE_OBSERVE`]):
+//!   [`SyncRuntime::step_sparse`] accepts only the *changed* `(id, value)`
+//!   pairs and visits changed ∪ engaged nodes in node-phase 0, so a silent
+//!   step costs `O(#changed + #engaged)` instead of `O(n)`. The dense
+//!   [`SyncRuntime::step`] transparently becomes a diff against a cached
+//!   value row for opted-in behaviors, so every existing monitor benefits
+//!   without code changes.
+//!
+//! All scratch buffers (`ups`, the [`CoordOut`] pair, visit lists) are owned
+//! by the runtime and reused across rounds and steps — the steady-state hot
+//! path performs no allocation.
 
-use crate::behavior::{
-    max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed,
-};
+use crate::behavior::{max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger};
 use crate::wire::WireSize;
@@ -27,13 +42,26 @@ where
     nodes: Vec<NB>,
     coord: CB,
     ledger: CommLedger,
-    engaged: Vec<bool>,
+    /// Sorted indices of currently engaged nodes — persists across steps.
+    engaged_idx: Vec<u32>,
+    /// Scratch for rebuilding `engaged_idx` (swapped each phase).
+    engaged_next: Vec<u32>,
+    /// Cached last-observed value row (diffing base for the dense `step`).
+    row: Vec<Value>,
+    row_valid: bool,
     /// Scratch: up-messages of the current node-phase.
     ups: Vec<(NodeId, NB::Up)>,
+    /// Scratch: coordinator output, reused across micro-rounds.
+    out: CoordOut<NB::Down>,
+    /// Scratch: merged visit list (changed ∪ engaged) for sparse phase 0.
+    visit: Vec<u32>,
+    /// Scratch: change list built by the dense `step` diff.
+    delta: Vec<(NodeId, Value)>,
     guard: u32,
     steps_run: u64,
     silent_steps: u64,
     micro_rounds_run: u64,
+    observe_calls: u64,
 }
 
 impl<NB, CB> SyncRuntime<NB, CB>
@@ -47,18 +75,35 @@ where
         let n = nodes.len();
         assert!(n > 0, "need at least one node");
         for (i, node) in nodes.iter().enumerate() {
-            assert_eq!(node.id(), NodeId(i as u32), "nodes must be dense, id-ordered");
+            assert_eq!(
+                node.id(),
+                NodeId(i as u32),
+                "nodes must be dense, id-ordered"
+            );
         }
         SyncRuntime {
             nodes,
             coord,
             ledger: CommLedger::new(),
-            engaged: vec![false; n],
+            engaged_idx: Vec::new(),
+            engaged_next: Vec::new(),
+            // The cached row backs diffing/sparse stepping only; non-sparse
+            // behaviors never read it, so don't pay for it.
+            row: if NB::SPARSE_OBSERVE {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
+            row_valid: false,
             ups: Vec::new(),
+            out: CoordOut::empty(),
+            visit: Vec::new(),
+            delta: Vec::new(),
             guard: max_micro_rounds(n, guard_k),
             steps_run: 0,
             silent_steps: 0,
             micro_rounds_run: 0,
+            observe_calls: 0,
         }
     }
 
@@ -96,39 +141,192 @@ where
         self.micro_rounds_run
     }
 
+    /// Total `observe` invocations so far — the sparse path's cost witness:
+    /// with `SPARSE_OBSERVE` behaviors this grows by `#changed + #engaged`
+    /// per step, not `n`.
+    pub fn observe_calls(&self) -> u64 {
+        self.observe_calls
+    }
+
+    /// Indices of nodes currently engaged in a protocol episode (sorted).
+    pub fn engaged_nodes(&self) -> &[u32] {
+        &self.engaged_idx
+    }
+
     /// The coordinator's current top-k answer (sorted ascending).
     pub fn topk(&self) -> &[NodeId] {
         self.coord.topk()
     }
 
     /// Execute one synchronous time step with the given observations.
+    ///
+    /// For behaviors that opt into [`NodeBehavior::SPARSE_OBSERVE`] this is
+    /// a thin wrapper: the row is diffed against the cached previous row and
+    /// only changed/engaged nodes are visited. Other behaviors get the
+    /// classic dense visit of every node.
     pub fn step(&mut self, t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.nodes.len(), "one value per node");
+        if NB::SPARSE_OBSERVE && self.row_valid {
+            let mut delta = std::mem::take(&mut self.delta);
+            delta.clear();
+            for (i, (&new, old)) in values.iter().zip(self.row.iter_mut()).enumerate() {
+                if new != *old {
+                    *old = new;
+                    delta.push((NodeId(i as u32), new));
+                }
+            }
+            self.step_visits(t, &delta);
+            self.delta = delta;
+        } else {
+            if NB::SPARSE_OBSERVE {
+                self.row.copy_from_slice(values);
+                self.row_valid = true;
+            }
+            self.step_dense(t, values);
+        }
+    }
+
+    /// Execute one step given only the values that changed since `t − 1`
+    /// (ascending ids, at most one entry per node; repeating an unchanged
+    /// value is permitted). Requires [`NodeBehavior::SPARSE_OBSERVE`]. The
+    /// first step must carry all `n` nodes (there is no previous row yet).
+    ///
+    /// Produces bit-identical ledgers, answers, and node/RNG state to the
+    /// dense [`SyncRuntime::step`] driven with the corresponding full rows.
+    pub fn step_sparse(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+        assert!(
+            NB::SPARSE_OBSERVE,
+            "step_sparse requires a NodeBehavior with SPARSE_OBSERVE = true"
+        );
+        // Hard (release) assert: a malformed list would silently corrupt
+        // protocol state (double observe, unsorted ups); the check is one
+        // comparison per entry — noise next to visiting those entries.
+        assert!(
+            changes.windows(2).all(|w| w[0].0 < w[1].0),
+            "changes must be sorted by node id without duplicates"
+        );
+        if !self.row_valid {
+            assert_eq!(
+                changes.len(),
+                self.nodes.len(),
+                "the first sparse step must provide a value for every node"
+            );
+            for (i, &(id, v)) in changes.iter().enumerate() {
+                assert_eq!(
+                    id.idx(),
+                    i,
+                    "first-step changes must cover ids 0..n in order"
+                );
+                self.row[i] = v;
+            }
+            self.row_valid = true;
+            let row = std::mem::take(&mut self.row);
+            self.step_dense(t, &row);
+            self.row = row;
+            return;
+        }
+        for &(id, v) in changes {
+            self.row[id.idx()] = v;
+        }
+        self.step_visits(t, changes);
+    }
+
+    /// Node-phase 0 over every node (the legacy dense visit), then the
+    /// micro-round schedule.
+    fn step_dense(&mut self, t: u64, values: &[Value]) {
         self.coord.begin_step(t);
         self.ups.clear();
 
-        // Node-phase 0: observations.
         let mut any_engaged = false;
+        let mut next = std::mem::take(&mut self.engaged_next);
+        next.clear();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             let act = node.observe(t, values[i]);
-            self.engaged[i] = act.engaged;
-            any_engaged |= act.engaged;
+            self.observe_calls += 1;
+            if act.engaged {
+                any_engaged = true;
+                next.push(i as u32);
+            }
             if let Some(up) = act.up {
                 self.ledger.count(ChannelKind::Up, up.wire_bits());
                 self.ups.push((NodeId(i as u32), up));
             }
         }
+        self.engaged_next = std::mem::replace(&mut self.engaged_idx, next);
 
+        self.finish_step(t, any_engaged);
+    }
+
+    /// Node-phase 0 over changed ∪ engaged nodes only, then the micro-round
+    /// schedule. `self.row` must already reflect the changes.
+    fn step_visits(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+        self.coord.begin_step(t);
+        self.ups.clear();
+
+        // Merge the (sorted) change ids with the (sorted) engaged set.
+        let mut visit = std::mem::take(&mut self.visit);
+        visit.clear();
+        {
+            let engaged_prev = std::mem::take(&mut self.engaged_idx);
+            let mut c = changes.iter().map(|&(id, _)| id.0).peekable();
+            let mut e = engaged_prev.iter().copied().peekable();
+            loop {
+                let i = match (c.peek(), e.peek()) {
+                    (Some(&a), Some(&b)) => a.min(b),
+                    (Some(&a), None) => a,
+                    (None, Some(&b)) => b,
+                    (None, None) => break,
+                };
+                if c.peek() == Some(&i) {
+                    c.next();
+                }
+                if e.peek() == Some(&i) {
+                    e.next();
+                }
+                visit.push(i);
+            }
+            drop(e);
+            self.engaged_idx = engaged_prev;
+        }
+
+        let mut any_engaged = false;
+        let mut next = std::mem::take(&mut self.engaged_next);
+        next.clear();
+        for &i in &visit {
+            let i = i as usize;
+            let act = self.nodes[i].observe(t, self.row[i]);
+            self.observe_calls += 1;
+            if act.engaged {
+                any_engaged = true;
+                next.push(i as u32);
+            }
+            if let Some(up) = act.up {
+                self.ledger.count(ChannelKind::Up, up.wire_bits());
+                self.ups.push((NodeId(i as u32), up));
+            }
+        }
+        self.visit = visit;
+        self.engaged_next = std::mem::replace(&mut self.engaged_idx, next);
+
+        self.finish_step(t, any_engaged);
+    }
+
+    /// Silent-step fast path plus the coordinator micro-round loop.
+    fn finish_step(&mut self, t: u64, any_engaged: bool) {
         if !any_engaged && self.ups.is_empty() && self.coord.try_skip_silent_step(t) {
             self.steps_run += 1;
             self.silent_steps += 1;
             return;
         }
 
-        // Coordinator rounds / node-phases.
         let mut m: u32 = 0;
         loop {
-            let out = self.coord.micro_round(t, m, std::mem::take(&mut self.ups));
+            let mut out = std::mem::take(&mut self.out);
+            let mut ups = std::mem::take(&mut self.ups);
+            out.clear();
+            self.coord.micro_round(t, m, &mut ups, &mut out);
+            ups.clear();
+            self.ups = ups;
             for (_, d) in &out.unicasts {
                 self.ledger.count(ChannelKind::Down, d.wire_bits());
             }
@@ -136,6 +334,7 @@ where
                 self.ledger.count(ChannelKind::Broadcast, b.wire_bits());
             }
             if out.is_empty() && self.coord.step_done() {
+                self.out = out;
                 break;
             }
             m += 1;
@@ -144,56 +343,71 @@ where
                 m <= self.guard,
                 "micro-round guard exceeded at t={t}: protocol failed to terminate"
             );
-            self.deliver_phase(t, m, out);
+            self.deliver_phase(t, m, &mut out);
+            self.out = out;
         }
         self.steps_run += 1;
     }
 
     /// Deliver the coordinator output of round `m-1` as node-phase `m` and
-    /// collect the nodes' up-messages into `self.ups`.
-    fn deliver_phase(&mut self, t: u64, m: u32, out: CoordOut<NB::Down>) {
-        let CoordOut {
-            mut unicasts,
-            broadcasts,
-        } = out;
-        unicasts.sort_by_key(|(id, _)| *id);
+    /// collect the nodes' up-messages into `self.ups`. `out` is runtime
+    /// scratch: read here, cleared by the next round.
+    fn deliver_phase(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) {
+        if out.unicasts.len() > 1 {
+            out.unicasts.sort_by_key(|(id, _)| *id);
+        }
         debug_assert!(
-            unicasts.windows(2).all(|w| w[0].0 != w[1].0),
+            out.unicasts.windows(2).all(|w| w[0].0 != w[1].0),
             "at most one unicast per node per round"
         );
+        let unicasts = &out.unicasts;
+        let broadcasts = &out.broadcasts;
+
+        let engaged_prev = std::mem::take(&mut self.engaged_idx);
+        let mut next = std::mem::take(&mut self.engaged_next);
+        next.clear();
 
         if broadcasts.is_empty() && unicasts.is_empty() {
-            // Silent round: poll only engaged nodes.
-            for i in 0..self.nodes.len() {
-                if !self.engaged[i] {
-                    continue;
-                }
-                self.poll_node(t, m, i, &broadcasts, None);
+            // Silent round: poll only engaged nodes, via the index list.
+            for &i in &engaged_prev {
+                self.poll_node(t, m, i as usize, broadcasts, None, &mut next);
             }
         } else if broadcasts.is_empty() {
-            // Unicasts only: poll engaged ∪ addressees.
-            let mut u = unicasts.into_iter().peekable();
-            for i in 0..self.nodes.len() {
+            // Unicasts only: poll engaged ∪ addressees, merged in id order.
+            let mut u = unicasts.iter().peekable();
+            let mut e = engaged_prev.iter().copied().peekable();
+            loop {
+                let ucast_id = u.peek().map(|(id, _)| id.0);
+                let engaged_id = e.peek().copied();
+                let i = match (ucast_id, engaged_id) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => break,
+                };
                 let ucast = match u.peek() {
-                    Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
+                    Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d),
                     _ => None,
                 };
-                if !self.engaged[i] && ucast.is_none() {
-                    continue;
+                if engaged_id == Some(i) {
+                    e.next();
                 }
-                self.poll_node(t, m, i, &broadcasts, ucast);
+                self.poll_node(t, m, i as usize, broadcasts, ucast, &mut next);
             }
         } else {
             // A broadcast reaches everyone.
-            let mut u = unicasts.into_iter().peekable();
+            let mut u = unicasts.iter().peekable();
             for i in 0..self.nodes.len() {
                 let ucast = match u.peek() {
                     Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
                     _ => None,
                 };
-                self.poll_node(t, m, i, &broadcasts, ucast);
+                self.poll_node(t, m, i, broadcasts, ucast, &mut next);
             }
         }
+
+        self.engaged_next = engaged_prev;
+        self.engaged_idx = next;
     }
 
     #[inline]
@@ -203,10 +417,13 @@ where
         m: u32,
         i: usize,
         bcasts: &[NB::Down],
-        ucast: Option<NB::Down>,
+        ucast: Option<&NB::Down>,
+        engaged_out: &mut Vec<u32>,
     ) {
-        let act = self.nodes[i].micro_round(t, m, bcasts, ucast.as_ref());
-        self.engaged[i] = act.engaged;
+        let act = self.nodes[i].micro_round(t, m, bcasts, ucast);
+        if act.engaged {
+            engaged_out.push(i as u32);
+        }
         if let Some(up) = act.up {
             self.ledger.count(ChannelKind::Up, up.wire_bits());
             self.ups.push((NodeId(i as u32), up));
@@ -228,6 +445,26 @@ where
             let t = start_t + dt;
             feed.fill_step(t, &mut row);
             self.step(t, &row);
+        }
+        self.ledger.snapshot().since(&before)
+    }
+
+    /// Delta-driven counterpart of [`SyncRuntime::run_feed`]: pulls change
+    /// lists via [`ValueFeed::fill_delta`] and steps sparsely. Requires
+    /// [`NodeBehavior::SPARSE_OBSERVE`].
+    pub fn run_feed_sparse(
+        &mut self,
+        feed: &mut dyn ValueFeed,
+        start_t: u64,
+        steps: u64,
+    ) -> crate::ledger::LedgerSnapshot {
+        assert_eq!(feed.n(), self.nodes.len());
+        let before = self.ledger.snapshot();
+        let mut changes: Vec<(NodeId, Value)> = Vec::new();
+        for dt in 0..steps {
+            let t = start_t + dt;
+            feed.fill_delta(t, &mut changes);
+            self.step_sparse(t, &changes);
         }
         self.ledger.snapshot().since(&before)
     }

@@ -14,11 +14,24 @@
 //! identical to the sequential runtime, so for the same behaviors and inputs
 //! the two runtimes produce **equal ledgers** (asserted by the
 //! `threaded_equivalence` integration test).
+//!
+//! # Sparse-stepping parity
+//!
+//! The sequential runtime's delta-driven path (`step_sparse`) is a pure
+//! wall-clock optimization of the *driver*: which nodes it bothers to call
+//! `observe` on. Model-observable state (messages, answers, node RNG
+//! streams) is bit-identical, so this threaded runtime intentionally keeps
+//! the simple dense observe fan-out — each node thread receives every
+//! observation frame — and still reconciles exactly with a sequential run
+//! driven sparsely. A delta-driven transport (sending observation frames
+//! only to movers) would change `sync_frames` accounting but no model
+//! message; it is left as a documented non-goal until the threaded path
+//! becomes a bottleneck.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use crate::behavior::{max_micro_rounds, CoordinatorBehavior, NodeBehavior, ValueFeed};
+use crate::behavior::{max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger};
 use crate::wire::WireSize;
@@ -71,7 +84,11 @@ where
         let mut to_nodes = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (i, mut node) in nodes.into_iter().enumerate() {
-            assert_eq!(node.id(), NodeId(i as u32), "nodes must be dense, id-ordered");
+            assert_eq!(
+                node.id(),
+                NodeId(i as u32),
+                "nodes must be dense, id-ordered"
+            );
             let (tx, rx) = unbounded::<NodeFrame<NB::Down>>();
             let reply = reply_tx.clone();
             let handle = std::thread::Builder::new()
@@ -134,8 +151,11 @@ where
 
         let guard = max_micro_rounds(n, 16) * 4;
         let mut m: u32 = 0;
+        let mut out = CoordOut::empty();
         loop {
-            let out = coord.micro_round(t, m, std::mem::take(&mut ups));
+            out.clear();
+            coord.micro_round(t, m, &mut ups, &mut out);
+            ups.clear();
             for (_, d) in &out.unicasts {
                 self.ledger.count(ChannelKind::Down, d.wire_bits());
             }
@@ -151,15 +171,16 @@ where
             // Deliver node-phase m to the visited set (same rule as the
             // sequential runtime): everyone if a broadcast exists, else
             // engaged nodes and unicast addressees.
-            let mut unicasts = out.unicasts;
-            unicasts.sort_by_key(|(id, _)| *id);
+            if out.unicasts.len() > 1 {
+                out.unicasts.sort_by_key(|(id, _)| *id);
+            }
             let broadcast_all = !out.broadcasts.is_empty();
             let mut visited = 0usize;
             {
-                let mut u = unicasts.into_iter().peekable();
+                let mut u = out.unicasts.iter().peekable();
                 for i in 0..n {
                     let ucast = match u.peek() {
-                        Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
+                        Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d.clone()),
                         _ => None,
                     };
                     if !broadcast_all && !self.engaged[i] && ucast.is_none() {
@@ -241,11 +262,8 @@ where
 }
 
 /// Node thread main loop: frame-driven, no shared state.
-fn node_main<NB>(
-    node: &mut NB,
-    rx: Receiver<NodeFrame<NB::Down>>,
-    reply: Sender<NodeReply<NB::Up>>,
-) where
+fn node_main<NB>(node: &mut NB, rx: Receiver<NodeFrame<NB::Down>>, reply: Sender<NodeReply<NB::Up>>)
+where
     NB: NodeBehavior,
 {
     while let Ok(frame) = rx.recv() {
@@ -258,7 +276,12 @@ fn node_main<NB>(
                     engaged: act.engaged,
                 });
             }
-            NodeFrame::Round { t, m, bcasts, ucast } => {
+            NodeFrame::Round {
+                t,
+                m,
+                bcasts,
+                ucast,
+            } => {
                 let act = node.micro_round(t, m, &bcasts, ucast.as_ref());
                 let _ = reply.send(NodeReply {
                     id: node.id(),

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::ValueFeed;
-use crate::id::Value;
+use crate::id::{NodeId, Value};
 
 /// Row-major `steps × n` matrix of observations: `data[t * n + i]` is node
 /// `i`'s value at time `t`.
@@ -23,7 +23,10 @@ impl TraceMatrix {
     /// Create an empty trace for `n` nodes.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "trace needs at least one node");
-        TraceMatrix { n, data: Vec::new() }
+        TraceMatrix {
+            n,
+            data: Vec::new(),
+        }
     }
 
     /// Build from explicit rows; all rows must have equal length.
@@ -107,10 +110,8 @@ impl TraceMatrix {
             if line.is_empty() {
                 continue;
             }
-            let row: Result<Vec<Value>, _> = line
-                .split(',')
-                .map(|f| f.trim().parse::<Value>())
-                .collect();
+            let row: Result<Vec<Value>, _> =
+                line.split(',').map(|f| f.trim().parse::<Value>()).collect();
             let row = row.map_err(|e| format!("line {}: {e}", lineno + 1))?;
             if let Some(first) = rows.first() {
                 if row.len() != first.len() {
@@ -137,12 +138,19 @@ impl TraceMatrix {
 #[derive(Debug, Clone)]
 pub struct TraceReplay {
     trace: TraceMatrix,
+    /// Row index of the last `fill_delta` emission (`None` before the first
+    /// — dense — one). Diffing against the last *emitted* row, not `t − 1`,
+    /// keeps delta replay exact even when the caller skips time steps.
+    last_emitted: Option<usize>,
 }
 
 impl TraceReplay {
     pub fn new(trace: TraceMatrix) -> Self {
         assert!(trace.steps() > 0, "cannot replay an empty trace");
-        TraceReplay { trace }
+        TraceReplay {
+            trace,
+            last_emitted: None,
+        }
     }
 
     pub fn trace(&self) -> &TraceMatrix {
@@ -158,6 +166,32 @@ impl ValueFeed for TraceReplay {
     fn fill_step(&mut self, t: u64, out: &mut [Value]) {
         let t = (t as usize).min(self.trace.steps() - 1);
         out.copy_from_slice(self.trace.step(t));
+    }
+
+    /// Native delta replay: diff the recorded row against the previous one,
+    /// so quiet recorded steps emit only the movers. Past the end of the
+    /// trace the playback (like `fill_step`) holds the last row, so no
+    /// changes are emitted.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        changes.clear();
+        let last = self.trace.steps() - 1;
+        let cur = (t as usize).min(last);
+        let row = self.trace.step(cur);
+        let Some(prev_idx) = self.last_emitted else {
+            // First call: dense, whatever `t` the consumer starts at.
+            self.last_emitted = Some(cur);
+            crate::behavior::emit_dense(changes, row);
+            return;
+        };
+        self.last_emitted = Some(cur);
+        let prev = self.trace.step(prev_idx);
+        changes.extend(
+            row.iter()
+                .zip(prev.iter())
+                .enumerate()
+                .filter(|(_, (new, old))| new != old)
+                .map(|(i, (&v, _))| (NodeId(i as u32), v)),
+        );
     }
 }
 
@@ -199,6 +233,52 @@ mod tests {
         assert_eq!(buf, [1, 2]);
         r.fill_step(5, &mut buf);
         assert_eq!(buf, [3, 4]);
+    }
+
+    #[test]
+    fn delta_replay_matches_dense_rows() {
+        let m =
+            TraceMatrix::from_rows(&[vec![1, 2, 3], vec![1, 9, 3], vec![1, 9, 3], vec![7, 9, 3]]);
+        let mut r = TraceReplay::new(m);
+        let mut changes = Vec::new();
+        r.fill_delta(0, &mut changes);
+        assert_eq!(changes.len(), 3, "first call is dense");
+        r.fill_delta(1, &mut changes);
+        assert_eq!(changes, vec![(NodeId(1), 9)]);
+        r.fill_delta(2, &mut changes);
+        assert!(changes.is_empty(), "quiet recorded step");
+        r.fill_delta(3, &mut changes);
+        assert_eq!(changes, vec![(NodeId(0), 7)]);
+        r.fill_delta(4, &mut changes);
+        assert!(changes.is_empty(), "past the end: last row holds");
+    }
+
+    #[test]
+    fn delta_replay_diffs_against_last_emitted_row_across_skips() {
+        // Strictly increasing but non-consecutive t: the delta must cover
+        // everything since the last emission, not just since t − 1.
+        let m = TraceMatrix::from_rows(&[vec![1, 2], vec![5, 2], vec![5, 2]]);
+        let mut r = TraceReplay::new(m);
+        let mut changes = Vec::new();
+        r.fill_delta(0, &mut changes);
+        assert_eq!(changes.len(), 2);
+        r.fill_delta(2, &mut changes); // t = 1 skipped
+        assert_eq!(
+            changes,
+            vec![(NodeId(0), 5)],
+            "skip must not lose row 1's move"
+        );
+    }
+
+    #[test]
+    fn delta_replay_first_call_at_nonzero_t_is_dense() {
+        // A replay whose consumer starts mid-trace must still get a full
+        // first change-list (the fill_delta contract), not a diff.
+        let m = TraceMatrix::from_rows(&[vec![1, 2], vec![3, 4], vec![5, 6]]);
+        let mut r = TraceReplay::new(m);
+        let mut changes = Vec::new();
+        r.fill_delta(2, &mut changes);
+        assert_eq!(changes, vec![(NodeId(0), 5), (NodeId(1), 6)]);
     }
 
     #[test]

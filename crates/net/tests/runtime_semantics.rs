@@ -3,9 +3,7 @@
 //! placement, silent-step skipping, the micro-round guard, and
 //! sequential/threaded agreement for arbitrary mock protocols.
 
-use topk_net::behavior::{
-    CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction,
-};
+use topk_net::behavior::{CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction};
 use topk_net::id::{NodeId, Value};
 use topk_net::seq::SyncRuntime;
 use topk_net::threaded::ThreadedCluster;
@@ -105,10 +103,16 @@ impl CoordinatorBehavior for ScriptCoord {
         self.skip_when_silent
     }
 
-    fn micro_round(&mut self, _t: u64, m: u32, ups: Vec<(NodeId, Msg)>) -> CoordOut<Msg> {
+    fn micro_round(
+        &mut self,
+        _t: u64,
+        m: u32,
+        ups: &mut Vec<(NodeId, Msg)>,
+        out: &mut CoordOut<Msg>,
+    ) {
         self.ups_seen += ups.len() as u64;
+        ups.clear();
         self.cur_round = m + 1;
-        let mut out = CoordOut::empty();
         if self.bcast_at == Some(m) {
             out.broadcasts.push(Msg(1000 + m as u64));
         }
@@ -117,7 +121,6 @@ impl CoordinatorBehavior for ScriptCoord {
                 out.unicasts.push((id, Msg(2000)));
             }
         }
-        out
     }
 
     fn step_done(&self) -> bool {
@@ -133,10 +136,7 @@ fn nodes(
     n: usize,
     threshold: Value,
     echo_rounds: u32,
-) -> (
-    Vec<EchoNode>,
-    std::sync::Arc<std::sync::atomic::AtomicU64>,
-) {
+) -> (Vec<EchoNode>, std::sync::Arc<std::sync::atomic::AtomicU64>) {
     let polls = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let ns = (0..n)
         .map(|i| EchoNode {
@@ -238,10 +238,15 @@ fn ups_are_delivered_sorted_by_node_id() {
         fn begin_step(&mut self, _t: u64) {
             self.done = false;
         }
-        fn micro_round(&mut self, _t: u64, _m: u32, ups: Vec<(NodeId, Msg)>) -> CoordOut<Msg> {
-            self.seen.extend(ups.iter().map(|(id, _)| id.0));
+        fn micro_round(
+            &mut self,
+            _t: u64,
+            _m: u32,
+            ups: &mut Vec<(NodeId, Msg)>,
+            _out: &mut CoordOut<Msg>,
+        ) {
+            self.seen.extend(ups.drain(..).map(|(id, _)| id.0));
             self.done = true;
-            CoordOut::empty()
         }
         fn step_done(&self) -> bool {
             self.done
@@ -268,8 +273,13 @@ fn runaway_coordinator_is_caught() {
         type Up = Msg;
         type Down = Msg;
         fn begin_step(&mut self, _t: u64) {}
-        fn micro_round(&mut self, _t: u64, _m: u32, _ups: Vec<(NodeId, Msg)>) -> CoordOut<Msg> {
-            CoordOut::empty()
+        fn micro_round(
+            &mut self,
+            _t: u64,
+            _m: u32,
+            _ups: &mut Vec<(NodeId, Msg)>,
+            _out: &mut CoordOut<Msg>,
+        ) {
         }
         fn step_done(&self) -> bool {
             false

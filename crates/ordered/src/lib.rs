@@ -27,7 +27,7 @@ use topk_net::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
 use topk_net::rng::derive_seed;
 use topk_net::wire::{varint_bits, Report, WireSize};
 
-use topk_core::monitor::Monitor;
+use topk_core::monitor::{Monitor, RowCache};
 use topk_proto::extremum::BroadcastPolicy;
 use topk_proto::runner::select_topk;
 
@@ -70,6 +70,7 @@ pub struct OrderedTopkMonitor {
     metrics: OrderedMetrics,
     initialized: bool,
     reselect_counter: u64,
+    sparse_row: RowCache,
 }
 
 impl OrderedTopkMonitor {
@@ -86,6 +87,7 @@ impl OrderedTopkMonitor {
             metrics: OrderedMetrics::default(),
             initialized: false,
             reselect_counter: 0,
+            sparse_row: RowCache::default(),
         }
     }
 
@@ -171,6 +173,8 @@ impl Monitor for OrderedTopkMonitor {
         "ordered-topk"
     }
 
+    topk_core::row_cache_step_sparse!();
+
     fn step(&mut self, _t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.n);
         self.metrics.steps += 1;
@@ -252,8 +256,7 @@ impl Monitor for OrderedTopkMonitor {
         let hi_bound = span_hi.min(self.k.saturating_sub(2));
         for r in span_lo..=hi_bound {
             if r + 1 < self.k {
-                self.bounds[r] =
-                    midpoint_floor(self.ranked_values[r], self.ranked_values[r + 1]);
+                self.bounds[r] = midpoint_floor(self.ranked_values[r], self.ranked_values[r + 1]);
             }
         }
         // Filter delivery to span members.

@@ -51,8 +51,7 @@ impl ProtocolOrder for MinOrder {
 }
 
 /// When the coordinator broadcasts the running extremum during the protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub enum BroadcastPolicy {
     /// Broadcast only when the running extremum improved since the last
     /// announcement (silence ⇒ unchanged — free in the synchronous model).
@@ -63,7 +62,6 @@ pub enum BroadcastPolicy {
     /// broadcast the running extremum after every round.
     EveryRound,
 }
-
 
 /// Node-side state of one protocol execution.
 #[derive(Debug, Clone)]
@@ -279,9 +277,7 @@ mod tests {
             id: NodeId(5),
             value: 3
         }));
-        assert!(a
-            .pending_announcement(BroadcastPolicy::OnChange)
-            .is_some());
+        assert!(a.pending_announcement(BroadcastPolicy::OnChange).is_some());
         a.mark_announced();
         assert_eq!(a.pending_announcement(BroadcastPolicy::OnChange), None);
         assert_eq!(

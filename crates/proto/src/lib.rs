@@ -22,8 +22,8 @@ pub mod runner;
 pub mod variants;
 
 pub use extremum::{
-    Aggregator, BroadcastPolicy, MaxAggregator, MaxOrder, MaxParticipant, MinAggregator,
-    MinOrder, MinParticipant, Participant, ProtocolOrder,
+    Aggregator, BroadcastPolicy, MaxAggregator, MaxOrder, MaxParticipant, MinAggregator, MinOrder,
+    MinParticipant, Participant, ProtocolOrder,
 };
 pub use runner::{run_extremum, run_max, run_min, select_topk, ProtocolOutcome};
 pub use variants::{run_max_variant, GrowthSchedule, VariantOutcome};

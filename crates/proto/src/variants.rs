@@ -244,15 +244,8 @@ mod tests {
             )
             .up_msgs;
             let mut l2 = CommLedger::new();
-            ref_total += crate::runner::run_max(
-                &es,
-                256,
-                BroadcastPolicy::OnChange,
-                1,
-                t,
-                &mut l2,
-            )
-            .up_msgs;
+            ref_total +=
+                crate::runner::run_max(&es, 256, BroadcastPolicy::OnChange, 1, t, &mut l2).up_msgs;
         }
         let v = var_total as f64 / trials as f64;
         let r = ref_total as f64 / trials as f64;

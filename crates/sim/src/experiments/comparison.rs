@@ -135,10 +135,26 @@ pub fn e8_ablations(cfg: &ExpCfg) -> Vec<Table> {
         },
     ];
     let variants: [(&str, BroadcastPolicy, HandlerMode); 4] = [
-        ("OnChange+Tight (default)", BroadcastPolicy::OnChange, HandlerMode::Tight),
-        ("OnChange+Faithful", BroadcastPolicy::OnChange, HandlerMode::Faithful),
-        ("EveryRound+Tight", BroadcastPolicy::EveryRound, HandlerMode::Tight),
-        ("EveryRound+Faithful", BroadcastPolicy::EveryRound, HandlerMode::Faithful),
+        (
+            "OnChange+Tight (default)",
+            BroadcastPolicy::OnChange,
+            HandlerMode::Tight,
+        ),
+        (
+            "OnChange+Faithful",
+            BroadcastPolicy::OnChange,
+            HandlerMode::Faithful,
+        ),
+        (
+            "EveryRound+Tight",
+            BroadcastPolicy::EveryRound,
+            HandlerMode::Tight,
+        ),
+        (
+            "EveryRound+Faithful",
+            BroadcastPolicy::EveryRound,
+            HandlerMode::Faithful,
+        ),
     ];
     let mut table = Table::new(
         "e8_ablations",
@@ -149,7 +165,13 @@ pub fn e8_ablations(cfg: &ExpCfg) -> Vec<Table> {
          redundant re-run when both violation protocols reported; Faithful \
          is the literal lines 22–26. All variants are exactly correct; the \
          bound holds for all.",
-        &["workload", variants[0].0, variants[1].0, variants[2].0, variants[3].0],
+        &[
+            "workload",
+            variants[0].0,
+            variants[1].0,
+            variants[2].0,
+            variants[3].0,
+        ],
     );
     for w in &wl {
         let mut cells = vec![w.name().to_string()];

@@ -42,8 +42,15 @@ pub fn e4_ratio_vs_n(cfg: &ExpCfg) -> Vec<Table> {
          ratio/((log₂Δ+k)·log₂n) should stay bounded (roughly flat) as n \
          grows.",
         &[
-            "n", "steps", "ALG msgs (mean)", "OPT updates (mean)", "ratio mean", "ratio sem",
-            "Δ (mean)", "(log₂Δ+k)·log₂n", "normalized ratio",
+            "n",
+            "steps",
+            "ALG msgs (mean)",
+            "OPT updates (mean)",
+            "ratio mean",
+            "ratio sem",
+            "Δ (mean)",
+            "(log₂Δ+k)·log₂n",
+            "normalized ratio",
         ],
     );
     for &n in sizes {
@@ -59,8 +66,7 @@ pub fn e4_ratio_vs_n(cfg: &ExpCfg) -> Vec<Table> {
         let msgs = Aggregate::total_messages(&outs);
         let opt = Aggregate::opt_updates(&outs);
         let ratio = Aggregate::ratios(&outs);
-        let delta_mean =
-            outs.iter().map(|o| o.delta as f64).sum::<f64>() / outs.len() as f64;
+        let delta_mean = outs.iter().map(|o| o.delta as f64).sum::<f64>() / outs.len() as f64;
         let factor = (delta_mean.max(2.0).log2() + k as f64) * (n as f64).log2();
         table.push_row(vec![
             n.to_string(),
@@ -93,8 +99,14 @@ pub fn e5_ratio_vs_k(cfg: &ExpCfg) -> Vec<Table> {
          additively in k through the (log Δ + k) factor — dominated by the \
          reset cost (k+1)·M(n); the normalized column should stay bounded.",
         &[
-            "k", "ALG msgs (mean)", "OPT updates (mean)", "ratio mean", "ratio sem",
-            "(log₂Δ+k)·log₂n", "normalized ratio", "resets (mean)",
+            "k",
+            "ALG msgs (mean)",
+            "OPT updates (mean)",
+            "ratio mean",
+            "ratio sem",
+            "(log₂Δ+k)·log₂n",
+            "normalized ratio",
+            "resets (mean)",
         ],
     );
     for &k in ks {
@@ -110,11 +122,13 @@ pub fn e5_ratio_vs_k(cfg: &ExpCfg) -> Vec<Table> {
         let msgs = Aggregate::total_messages(&outs);
         let opt = Aggregate::opt_updates(&outs);
         let ratio = Aggregate::ratios(&outs);
-        let delta_mean =
-            outs.iter().map(|o| o.delta as f64).sum::<f64>() / outs.len() as f64;
+        let delta_mean = outs.iter().map(|o| o.delta as f64).sum::<f64>() / outs.len() as f64;
         let factor = (delta_mean.max(2.0).log2() + k as f64) * (n as f64).log2();
-        let resets =
-            outs.iter().map(|o| o.hero_metrics.resets as f64).sum::<f64>() / outs.len() as f64;
+        let resets = outs
+            .iter()
+            .map(|o| o.hero_metrics.resets as f64)
+            .sum::<f64>()
+            / outs.len() as f64;
         table.push_row(vec![
             k.to_string(),
             f1(msgs.mean),
@@ -143,8 +157,13 @@ pub fn e6_ratio_vs_delta(cfg: &ExpCfg) -> Vec<Table> {
          like log₂Δ, and the measured ratio tracks the (log₂Δ+k)·log₂n \
          bound.",
         &[
-            "domain", "Δ (mean)", "log₂Δ", "ratio mean", "midpoint updates / epoch",
-            "bound log₂Δ+2", "normalized ratio",
+            "domain",
+            "Δ (mean)",
+            "log₂Δ",
+            "ratio mean",
+            "midpoint updates / epoch",
+            "bound log₂Δ+2",
+            "normalized ratio",
         ],
     );
     for &hi in domains {
@@ -158,15 +177,12 @@ pub fn e6_ratio_vs_delta(cfg: &ExpCfg) -> Vec<Table> {
         let outs = across_seeds(&base, seeds(cfg, 5, 10));
         assert!((Aggregate::correctness(&outs) - 1.0).abs() < 1e-9);
         let ratio = Aggregate::ratios(&outs);
-        let delta_mean =
-            outs.iter().map(|o| o.delta as f64).sum::<f64>() / outs.len() as f64;
+        let delta_mean = outs.iter().map(|o| o.delta as f64).sum::<f64>() / outs.len() as f64;
         let log_delta = delta_mean.max(2.0).log2();
         // Midpoint updates per epoch = midpoint_updates / (resets + 1).
         let per_epoch: f64 = outs
             .iter()
-            .map(|o| {
-                o.hero_metrics.midpoint_updates as f64 / (o.hero_metrics.resets + 1) as f64
-            })
+            .map(|o| o.hero_metrics.midpoint_updates as f64 / (o.hero_metrics.resets + 1) as f64)
             .sum::<f64>()
             / outs.len() as f64;
         let factor = (log_delta + k as f64) * (n as f64).log2();
@@ -256,21 +272,18 @@ pub fn e12_epoch_structure(cfg: &ExpCfg) -> Vec<Table> {
         let outs = across_seeds(&sc, seeds(cfg, 3, 8));
         assert!((Aggregate::correctness(&outs) - 1.0).abs() < 1e-9);
         let m = |f: &dyn Fn(&crate::scenario::RunOutcome) -> f64| {
-            outs.iter().map(|o| f(o)).sum::<f64>() / outs.len() as f64
+            outs.iter().map(f).sum::<f64>() / outs.len() as f64
         };
         let viol = m(&|o| o.hero_metrics.violation_steps as f64);
         let handler = m(&|o| o.hero_metrics.handler_calls as f64);
         let mids = m(&|o| o.hero_metrics.midpoint_updates as f64);
         let resets = m(&|o| o.hero_metrics.resets as f64);
         let opt = m(&|o| o.opt_updates as f64);
-        let per_epoch = m(&|o| {
-            o.hero_metrics.midpoint_updates as f64 / (o.hero_metrics.resets + 1) as f64
-        });
+        let per_epoch =
+            m(&|o| o.hero_metrics.midpoint_updates as f64 / (o.hero_metrics.resets + 1) as f64);
         let delta = m(&|o| o.delta as f64);
         let log_delta_2 = delta.max(2.0).log2() + 2.0;
-        let resets_ok = outs
-            .iter()
-            .all(|o| o.hero_metrics.resets <= o.opt_updates);
+        let resets_ok = outs.iter().all(|o| o.hero_metrics.resets <= o.opt_updates);
         table.push_row(vec![
             name.to_string(),
             f1(viol),

@@ -5,9 +5,7 @@ use rand::seq::SliceRandom;
 use topk_net::id::NodeId;
 use topk_net::ledger::CommLedger;
 use topk_net::rng::{derive_seed, substream_rng};
-use topk_proto::analysis::{
-    expected_up_msgs_bound, harmonic, lemma41_send_probability_bound,
-};
+use topk_proto::analysis::{expected_up_msgs_bound, harmonic, lemma41_send_probability_bound};
 use topk_proto::baselines::{bisection_max, poll_all_max, sequential_threshold_max};
 use topk_proto::extremum::BroadcastPolicy;
 use topk_proto::runner::run_max;
@@ -42,8 +40,15 @@ pub fn e1_max_protocol_scaling(cfg: &ExpCfg) -> Vec<Table> {
          below the closed-form bound 2·log₂N + 1 and grow logarithmically. \
          Broadcast counts use the OnChange policy.",
         &[
-            "n", "trials", "mean ups", "sem", "p95 ups", "max ups", "bound 2log₂N+1",
-            "mean/bound", "mean bcasts",
+            "n",
+            "trials",
+            "mean ups",
+            "sem",
+            "p95 ups",
+            "max ups",
+            "bound 2log₂N+1",
+            "mean/bound",
+            "mean bcasts",
         ],
     );
     for &n in sizes {
@@ -61,7 +66,11 @@ pub fn e1_max_protocol_scaling(cfg: &ExpCfg) -> Vec<Table> {
                 derive_seed(n as u64, trial),
                 &mut ledger,
             );
-            assert_eq!(out.winner.unwrap().value, n as u64 - 1, "Las Vegas exactness");
+            assert_eq!(
+                out.winner.unwrap().value,
+                n as u64 - 1,
+                "Las Vegas exactness"
+            );
             ups.push(out.up_msgs as f64);
             bcasts.push(out.bcast_msgs as f64);
         }
@@ -233,7 +242,12 @@ pub fn e11_lemma41_per_rank(cfg: &ExpCfg) -> Vec<Table> {
              (over {trials} runs, N = {n}) at most the closed-form bound \
              1/N + Σ_r (2^r/N)(1−2^(r−1)/N)^i."
         ),
-        &["rank i", "empirical Pr[send]", "Lemma 4.1 bound", "within bound"],
+        &[
+            "rank i",
+            "empirical Pr[send]",
+            "Lemma 4.1 bound",
+            "within bound",
+        ],
     );
     for &rank in &[1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         let p = sends[rank - 1] as f64 / trials as f64;
@@ -317,7 +331,13 @@ pub fn e13_growth_schedules(cfg: &ExpCfg) -> Vec<Table> {
              small message premium; a linear ramp saves messages but needs \
              O(N) rounds (the shout-echo regime of §1.1)."
         ),
-        &["schedule", "mean ups", "mean bcasts", "mean rounds", "max rounds"],
+        &[
+            "schedule",
+            "mean ups",
+            "mean bcasts",
+            "mean rounds",
+            "max rounds",
+        ],
     );
     for schedule in schedules {
         let mut rng = substream_rng(cfg.seed, 1300);

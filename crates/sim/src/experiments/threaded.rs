@@ -75,8 +75,15 @@ pub fn e10_threaded_equivalence(cfg: &ExpCfg) -> Vec<Table> {
          reported. Sync frames show the transport overhead a real \
          deployment would replace with timeouts.",
         &[
-            "n", "k", "steps", "model msgs", "ledgers equal", "sync frames",
-            "seq wall ms", "threaded wall ms", "seq steps/s",
+            "n",
+            "k",
+            "steps",
+            "model msgs",
+            "ledgers equal",
+            "sync frames",
+            "seq wall ms",
+            "threaded wall ms",
+            "seq steps/s",
         ],
     );
     for &(n, k) in configs {

@@ -58,7 +58,10 @@ pub fn run_all(scenarios: &[Scenario], threads: usize) -> Vec<RunOutcome> {
     for (i, out) in results {
         slots[i] = Some(out);
     }
-    slots.into_iter().map(|o| o.expect("all slots filled")).collect()
+    slots
+        .into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// Repeat one scenario across `seeds`, returning the outcomes.
@@ -78,11 +81,21 @@ pub struct Aggregate;
 
 impl Aggregate {
     pub fn total_messages(outs: &[RunOutcome]) -> Summary {
-        Summary::of(&outs.iter().map(|o| o.messages.total() as f64).collect::<Vec<_>>())
+        Summary::of(
+            &outs
+                .iter()
+                .map(|o| o.messages.total() as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     pub fn up_messages(outs: &[RunOutcome]) -> Summary {
-        Summary::of(&outs.iter().map(|o| o.messages.up as f64).collect::<Vec<_>>())
+        Summary::of(
+            &outs
+                .iter()
+                .map(|o| o.messages.up as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     pub fn ratios(outs: &[RunOutcome]) -> Summary {
@@ -90,7 +103,12 @@ impl Aggregate {
     }
 
     pub fn opt_updates(outs: &[RunOutcome]) -> Summary {
-        Summary::of(&outs.iter().map(|o| o.opt_updates as f64).collect::<Vec<_>>())
+        Summary::of(
+            &outs
+                .iter()
+                .map(|o| o.opt_updates as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Fraction of (step, run) pairs with a valid answer — must be 1.0.
@@ -125,9 +143,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let scenarios: Vec<Scenario> = (0..6u64)
-            .map(|seed| Scenario { seed, ..base() })
-            .collect();
+        let scenarios: Vec<Scenario> = (0..6u64).map(|seed| Scenario { seed, ..base() }).collect();
         let seq = run_all(&scenarios, 1);
         let par = run_all(&scenarios, 4);
         // wall_ms differs; compare the deterministic fields.

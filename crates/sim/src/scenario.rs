@@ -122,6 +122,7 @@ impl RunOutcome {
 }
 
 /// A built monitor, keeping the hero concrete so its metrics stay reachable.
+#[allow(clippy::large_enum_variant)] // the hero is hot; boxing it buys nothing
 enum Built {
     Hero(TopkMonitor),
     Other(Box<dyn Monitor>),
@@ -175,7 +176,11 @@ pub fn run_scenario_on_trace(sc: &Scenario, trace: &TraceMatrix) -> RunOutcome {
     }
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let opt = opt_segments(trace, sc.k, OptCostModel::PerUpdate);
-    let delta = if sc.k < n { trace_delta(trace, sc.k) } else { 0 };
+    let delta = if sc.k < n {
+        trace_delta(trace, sc.k)
+    } else {
+        0
+    };
     let messages = built.as_monitor().ledger();
     let hero_metrics = built.hero_metrics();
     RunOutcome {

@@ -1,7 +1,7 @@
 //! Adversarial workloads targeting specific terms of the competitive bound.
 
 use topk_net::behavior::ValueFeed;
-use topk_net::id::Value;
+use topk_net::id::{NodeId, Value};
 
 /// The k/k+1 boundary crossing adversary.
 ///
@@ -20,6 +20,8 @@ pub struct BoundaryCross {
     center: Value,
     amplitude: Value,
     period: u64,
+    /// Wave value of the last `fill_delta` emission (`None` before init).
+    last_wave: Option<i64>,
 }
 
 impl BoundaryCross {
@@ -35,6 +37,7 @@ impl BoundaryCross {
             center,
             amplitude,
             period,
+            last_wave: None,
         }
     }
 
@@ -67,6 +70,30 @@ impl ValueFeed for BoundaryCross {
         out[self.n - 2] = (self.center as i64 + w) as Value;
         out[self.n - 1] = (self.center as i64 - w) as Value;
     }
+
+    /// The static field never moves: after initialization only the two
+    /// oscillators are emitted (and only when the wave actually advanced) —
+    /// an O(1) delta regardless of `n`.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        changes.clear();
+        let w = self.wave(t);
+        if self.last_wave.is_none() {
+            for i in 0..self.n - 2 {
+                changes.push((NodeId(i as u32), self.base + self.spread * (i as u64)));
+            }
+        }
+        if self.last_wave != Some(w) {
+            changes.push((
+                NodeId((self.n - 2) as u32),
+                (self.center as i64 + w) as Value,
+            ));
+            changes.push((
+                NodeId((self.n - 1) as u32),
+                (self.center as i64 - w) as Value,
+            ));
+            self.last_wave = Some(w);
+        }
+    }
 }
 
 /// The §2.1 worst case: the maximum position rotates every step.
@@ -80,12 +107,19 @@ pub struct RotatingMax {
     n: usize,
     base: Value,
     bonus: Value,
+    /// Spiking node of the last `fill_delta` emission.
+    last_spike: Option<u32>,
 }
 
 impl RotatingMax {
     pub fn new(n: usize, base: Value, bonus: Value) -> Self {
         assert!(n >= 1 && bonus > n as u64);
-        RotatingMax { n, base, bonus }
+        RotatingMax {
+            n,
+            base,
+            bonus,
+            last_spike: None,
+        }
     }
 }
 
@@ -100,6 +134,36 @@ impl ValueFeed for RotatingMax {
         }
         out[(t % self.n as u64) as usize] = self.base + self.bonus;
     }
+
+    /// Exactly two nodes change per step (old spike falls, new spike
+    /// rises) — worst case for *communication*, best case for the sparse
+    /// compute path.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        changes.clear();
+        let spike = (t % self.n as u64) as u32;
+        match self.last_spike {
+            None => {
+                for i in 0..self.n as u32 {
+                    let v = if i == spike {
+                        self.base + self.bonus
+                    } else {
+                        self.base + i as u64
+                    };
+                    changes.push((NodeId(i), v));
+                }
+            }
+            Some(prev) if prev != spike => {
+                let mut pair = [
+                    (NodeId(prev), self.base + prev as u64),
+                    (NodeId(spike), self.base + self.bonus),
+                ];
+                pair.sort_by_key(|(id, _)| *id);
+                changes.extend_from_slice(&pair);
+            }
+            Some(_) => {}
+        }
+        self.last_spike = Some(spike);
+    }
 }
 
 /// Boundary *grind*: a single non-top-k node creeps up one unit per step
@@ -112,6 +176,8 @@ pub struct BoundaryGrind {
     base: Value,
     spread: Value,
     period: u64,
+    /// Grinder value of the last `fill_delta` emission.
+    last_grind: Option<Value>,
 }
 
 impl BoundaryGrind {
@@ -122,7 +188,20 @@ impl BoundaryGrind {
             base,
             spread,
             period,
+            last_grind: None,
         }
+    }
+
+    fn grind_value(&self, t: u64) -> Value {
+        let phase = t % self.period;
+        let half = (self.period / 2).max(1);
+        let tri = if phase < half {
+            phase
+        } else {
+            self.period - phase
+        };
+        let climb = tri * (self.spread - 1) / half;
+        self.base + self.spread + climb.min(self.spread - 1)
     }
 }
 
@@ -137,11 +216,22 @@ impl ValueFeed for BoundaryGrind {
         }
         // Node 0 (the lowest) grinds across the full gap toward node 1's
         // value and back, staying strictly below it (climb ≤ spread − 1).
-        let phase = t % self.period;
-        let half = (self.period / 2).max(1);
-        let tri = if phase < half { phase } else { self.period - phase };
-        let climb = tri * (self.spread - 1) / half;
-        out[0] = self.base + self.spread + climb.min(self.spread - 1);
+        out[0] = self.grind_value(t);
+    }
+
+    /// Only the single grinder ever moves: an O(1) delta.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        changes.clear();
+        let g = self.grind_value(t);
+        if self.last_grind.is_none() {
+            changes.push((NodeId(0), g));
+            for i in 1..self.n as u32 {
+                changes.push((NodeId(i), self.base + self.spread * (i as u64 + 1)));
+            }
+        } else if self.last_grind != Some(g) {
+            changes.push((NodeId(0), g));
+        }
+        self.last_grind = Some(g);
     }
 }
 

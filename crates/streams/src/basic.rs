@@ -4,7 +4,7 @@ use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
 use topk_net::behavior::ValueFeed;
-use topk_net::id::Value;
+use topk_net::id::{NodeId, Value};
 use topk_net::rng::substream_rng;
 
 /// Constant streams — every node repeats its initial value forever. After
@@ -13,12 +13,16 @@ use topk_net::rng::substream_rng;
 #[derive(Debug, Clone)]
 pub struct Constant {
     values: Vec<Value>,
+    delta_started: bool,
 }
 
 impl Constant {
     pub fn new(values: Vec<Value>) -> Self {
         assert!(!values.is_empty());
-        Constant { values }
+        Constant {
+            values,
+            delta_started: false,
+        }
     }
 
     /// `n` distinct constants `base, base+gap, base+2·gap, …` (node 0 lowest).
@@ -26,6 +30,7 @@ impl Constant {
         assert!(n > 0 && gap > 0);
         Constant {
             values: (0..n as u64).map(|i| base + i * gap).collect(),
+            delta_started: false,
         }
     }
 }
@@ -38,6 +43,16 @@ impl ValueFeed for Constant {
     fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
         out.copy_from_slice(&self.values);
     }
+
+    /// After the first emission nothing ever changes: the ideal workload
+    /// for the sparse path — every subsequent step is an empty delta.
+    fn fill_delta(&mut self, _t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        changes.clear();
+        if !self.delta_started {
+            self.delta_started = true;
+            topk_net::behavior::emit_dense(changes, &self.values);
+        }
+    }
 }
 
 /// Fully independent draws: every node, every step, `Uniform[lo, hi]`.
@@ -48,6 +63,9 @@ pub struct IidUniform {
     lo: Value,
     hi: Value,
     rngs: Vec<ChaCha12Rng>,
+    /// Scratch row for `fill_delta` (every node redraws every step, so the
+    /// delta is dense; the scratch avoids per-step allocation).
+    row: Vec<Value>,
 }
 
 impl IidUniform {
@@ -56,7 +74,10 @@ impl IidUniform {
         IidUniform {
             lo,
             hi,
-            rngs: (0..n).map(|i| substream_rng(seed, 2_000_000 + i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| substream_rng(seed, 2_000_000 + i as u64))
+                .collect(),
+            row: vec![0; n],
         }
     }
 }
@@ -70,6 +91,15 @@ impl ValueFeed for IidUniform {
         for (i, rng) in self.rngs.iter_mut().enumerate() {
             out[i] = rng.gen_range(self.lo..=self.hi);
         }
+    }
+
+    /// Everything redraws every step: the delta is the full row, emitted
+    /// without per-call allocation.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        let mut row = std::mem::take(&mut self.row);
+        self.fill_step(t, &mut row);
+        topk_net::behavior::emit_dense(changes, &row);
+        self.row = row;
     }
 }
 
@@ -113,6 +143,8 @@ pub struct ZipfJumps {
     state: Vec<Value>,
     rngs: Vec<ChaCha12Rng>,
     initialized: bool,
+    /// Scratch for deriving `fill_step` from `fill_delta`.
+    delta_scratch: Vec<(NodeId, Value)>,
 }
 
 impl ZipfJumps {
@@ -124,8 +156,11 @@ impl ZipfJumps {
             hi,
             table: ZipfTable::new(max_jump, s),
             state: vec![0; n],
-            rngs: (0..n).map(|i| substream_rng(seed, 3_000_000 + i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| substream_rng(seed, 3_000_000 + i as u64))
+                .collect(),
             initialized: false,
+            delta_scratch: Vec::new(),
         }
     }
 }
@@ -135,20 +170,34 @@ impl ValueFeed for ZipfJumps {
         self.state.len()
     }
 
-    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+    /// Dense view of the single (delta) implementation: advance, then copy
+    /// the state row — `fill_step` and `fill_delta` cannot drift.
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        let mut scratch = std::mem::take(&mut self.delta_scratch);
+        self.fill_delta(t, &mut scratch);
+        self.delta_scratch = scratch;
+        out.copy_from_slice(&self.state);
+    }
+
+    /// Emit only actual movers (a jump can reflect back onto the old value).
+    fn fill_delta(&mut self, _t: u64, changes: &mut Vec<(NodeId, Value)>) {
         if !self.initialized {
             for (i, rng) in self.rngs.iter_mut().enumerate() {
                 self.state[i] = rng.gen_range(self.lo..=self.hi);
             }
             self.initialized = true;
-            out.copy_from_slice(&self.state);
+            topk_net::behavior::emit_dense(changes, &self.state);
             return;
         }
+        changes.clear();
         for (i, rng) in self.rngs.iter_mut().enumerate() {
             let mag = self.table.sample(rng) as i64;
             let delta = if rng.gen_bool(0.5) { mag } else { -mag };
-            self.state[i] = crate::walk_reflect(self.state[i], delta, self.lo, self.hi);
-            out[i] = self.state[i];
+            let new = crate::walk_reflect(self.state[i], delta, self.lo, self.hi);
+            if new != self.state[i] {
+                self.state[i] = new;
+                changes.push((NodeId(i as u32), new));
+            }
         }
     }
 }

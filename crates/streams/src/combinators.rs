@@ -4,7 +4,16 @@
 //! flat-lining to a constant).
 
 use topk_net::behavior::ValueFeed;
-use topk_net::id::Value;
+use topk_net::id::{NodeId, Value};
+
+/// Insert-or-replace into an id-sorted change list (binary search; the
+/// combinators touch only a handful of nodes per step).
+fn upsert(changes: &mut Vec<(NodeId, Value)>, id: NodeId, v: Value) {
+    match changes.binary_search_by_key(&id, |&(cid, _)| cid) {
+        Ok(pos) => changes[pos].1 = v,
+        Err(pos) => changes.insert(pos, (id, v)),
+    }
+}
 
 /// Switch from feed `a` to feed `b` at time `t_switch` — a regime change
 /// (e.g. calm network → incident).
@@ -19,6 +28,14 @@ impl Switch {
         assert_eq!(a.n(), b.n(), "both regimes need the same node count");
         Switch { a, b, t_switch }
     }
+
+    fn active(&mut self, t: u64) -> &mut Box<dyn ValueFeed> {
+        if t < self.t_switch {
+            &mut self.a
+        } else {
+            &mut self.b
+        }
+    }
 }
 
 impl ValueFeed for Switch {
@@ -27,11 +44,14 @@ impl ValueFeed for Switch {
     }
 
     fn fill_step(&mut self, t: u64, out: &mut [Value]) {
-        if t < self.t_switch {
-            self.a.fill_step(t, out);
-        } else {
-            self.b.fill_step(t, out);
-        }
+        self.active(t).fill_step(t, out);
+    }
+
+    /// Forward the active regime's deltas. At the switch point `b` sees its
+    /// first call, so (per the `fill_delta` contract) it emits all `n`
+    /// nodes — exactly the dense hand-over a regime change requires.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        self.active(t).fill_delta(t, changes);
     }
 }
 
@@ -41,14 +61,31 @@ impl ValueFeed for Switch {
 pub struct Glitch {
     inner: Box<dyn ValueFeed>,
     glitches: Vec<(u64, usize, Value)>,
+    /// Latest inner value of every glitched node id (delta driving only;
+    /// populated by the first — dense — delta and kept fresh since).
+    inner_vals: Vec<(usize, Value)>,
+    /// Nodes overridden on the previous delta step, which must be reverted
+    /// to their inner value on this one.
+    dirty: Vec<usize>,
 }
 
 impl Glitch {
     pub fn new(inner: Box<dyn ValueFeed>, mut glitches: Vec<(u64, usize, Value)>) -> Self {
         let n = inner.n();
-        assert!(glitches.iter().all(|&(_, i, _)| i < n), "node index in range");
+        assert!(
+            glitches.iter().all(|&(_, i, _)| i < n),
+            "node index in range"
+        );
         glitches.sort_unstable();
-        Glitch { inner, glitches }
+        let mut ids: Vec<usize> = glitches.iter().map(|&(_, i, _)| i).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Glitch {
+            inner,
+            glitches,
+            inner_vals: ids.into_iter().map(|i| (i, 0)).collect(),
+            dirty: Vec::new(),
+        }
     }
 }
 
@@ -66,6 +103,39 @@ impl ValueFeed for Glitch {
             }
             out[i] = v;
         }
+    }
+
+    /// Delta overlay: forward the inner deltas, revert last step's glitched
+    /// nodes to their (tracked) inner values, then apply this step's
+    /// glitches — O(inner delta + #glitched) per step.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        self.inner.fill_delta(t, changes);
+        // Keep the tracked inner values of glitched nodes fresh.
+        for &(id, v) in changes.iter() {
+            if let Ok(pos) = self.inner_vals.binary_search_by_key(&id.idx(), |&(i, _)| i) {
+                self.inner_vals[pos].1 = v;
+            }
+        }
+        // A glitch lasts exactly one step: re-emit the inner value of every
+        // node overridden last step (the inner feed has no reason to).
+        for i in std::mem::take(&mut self.dirty) {
+            let pos = self
+                .inner_vals
+                .binary_search_by_key(&i, |&(j, _)| j)
+                .expect("dirty nodes are tracked");
+            upsert(changes, NodeId(i as u32), self.inner_vals[pos].1);
+        }
+        // Apply this step's glitches on top.
+        let start = self.glitches.partition_point(|&(gt, _, _)| gt < t);
+        for &(gt, i, v) in &self.glitches[start..] {
+            if gt != t {
+                break;
+            }
+            upsert(changes, NodeId(i as u32), v);
+            self.dirty.push(i);
+        }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
     }
 }
 
@@ -99,6 +169,15 @@ impl ValueFeed for Affine {
             *v = v.saturating_mul(self.scale).saturating_add(self.offset);
         }
     }
+
+    /// Value-wise map of the inner deltas: an unchanged inner value maps to
+    /// an unchanged output, so sparsity passes straight through.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        self.inner.fill_delta(t, changes);
+        for (_, v) in changes.iter_mut() {
+            *v = v.saturating_mul(self.scale).saturating_add(self.offset);
+        }
+    }
 }
 
 /// From `t_fail` on, node `node` flat-lines at its last healthy value — a
@@ -109,6 +188,8 @@ pub struct StuckNode {
     node: usize,
     t_fail: u64,
     frozen: Option<Value>,
+    /// Latest inner value of `node` (delta driving only).
+    last_inner: Value,
 }
 
 impl StuckNode {
@@ -119,6 +200,7 @@ impl StuckNode {
             node,
             t_fail,
             frozen: None,
+            last_inner: 0,
         }
     }
 }
@@ -135,6 +217,22 @@ impl ValueFeed for StuckNode {
             out[self.node] = v;
         }
     }
+
+    /// Forward the inner deltas; once failed, suppress the stuck node's
+    /// changes (freezing it at its value as of `t_fail`, matching
+    /// `fill_step`).
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        self.inner.fill_delta(t, changes);
+        if let Ok(pos) = changes.binary_search_by_key(&self.node, |&(id, _)| id.idx()) {
+            self.last_inner = changes[pos].1;
+        }
+        if t >= self.t_fail {
+            let frozen = *self.frozen.get_or_insert(self.last_inner);
+            if let Ok(pos) = changes.binary_search_by_key(&self.node, |&(id, _)| id.idx()) {
+                changes[pos].1 = frozen;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +240,84 @@ mod tests {
     use super::*;
     use crate::basic::Constant;
     use crate::spec::WorkloadSpec;
+
+    /// Delta-driven replay of a combinator must match its dense twin
+    /// (shared harness; see `crate::testutil`).
+    fn assert_delta_matches_dense(
+        mk: impl Fn() -> Box<dyn ValueFeed>,
+        steps: u64,
+        max_steady_delta: Option<usize>,
+    ) {
+        crate::testutil::assert_delta_matches_dense(
+            mk(),
+            mk(),
+            steps,
+            max_steady_delta,
+            "combinator",
+        );
+    }
+
+    #[test]
+    fn switch_delta_matches_dense() {
+        // Sparse regime → different sparse regime: the hand-over at
+        // t_switch re-emits everything, steady steps stay sparse.
+        assert_delta_matches_dense(
+            || {
+                let a = WorkloadSpec::default_sparse_walk(50, 0.02).build(3);
+                let b = WorkloadSpec::Constant {
+                    values: (0..50).collect(),
+                }
+                .build(0);
+                Box::new(Switch::new(a, b, 10))
+            },
+            30,
+            None,
+        );
+    }
+
+    #[test]
+    fn glitch_delta_matches_dense_and_stays_sparse() {
+        assert_delta_matches_dense(
+            || {
+                let inner = Box::new(Constant::new((0..40).map(|i| 100 + i).collect()));
+                Box::new(Glitch::new(
+                    inner,
+                    vec![(3, 5, 999), (3, 17, 1), (7, 5, 777), (8, 5, 888)],
+                ))
+            },
+            20,
+            Some(4),
+        );
+    }
+
+    #[test]
+    fn affine_delta_matches_dense_and_stays_sparse() {
+        assert_delta_matches_dense(
+            || {
+                let inner = WorkloadSpec::default_sparse_walk(60, 0.05).build(9);
+                Box::new(Affine::new(inner, 3, 10))
+            },
+            40,
+            Some(3),
+        );
+    }
+
+    #[test]
+    fn stuck_node_delta_matches_dense() {
+        assert_delta_matches_dense(
+            || {
+                let inner = WorkloadSpec::RotatingMax {
+                    n: 12,
+                    base: 0,
+                    bonus: 100,
+                }
+                .build(0);
+                Box::new(StuckNode::new(inner, 4, 6))
+            },
+            30,
+            Some(2),
+        );
+    }
 
     #[test]
     fn switch_changes_regime() {

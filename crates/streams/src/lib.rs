@@ -28,13 +28,193 @@ pub mod spec;
 pub mod walk;
 
 pub use adversarial::{BoundaryCross, BoundaryGrind, RotatingMax};
-pub use combinators::{Affine, Glitch, StuckNode, Switch};
 pub use basic::{Constant, IidUniform, ZipfJumps, ZipfTable};
+pub use combinators::{Affine, Glitch, StuckNode, Switch};
 pub use sensor::{Bursty, SensorField};
 pub use spec::WorkloadSpec;
-pub use walk::{GaussianWalk, RandomWalk};
+pub use walk::{GaussianWalk, RandomWalk, SparseWalk};
 
 pub(crate) use walk::reflect as walk_reflect;
+
+/// Shared test harness: drive one instance by rows and a twin by deltas,
+/// asserting the delta replay reproduces the dense rows exactly. Used by the
+/// walk, combinator, and spec test suites so the `fill_delta` contract is
+/// checked in exactly one place.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use topk_net::behavior::ValueFeed;
+
+    pub(crate) fn assert_delta_matches_dense(
+        mut dense: impl ValueFeed,
+        mut sparse: impl ValueFeed,
+        steps: u64,
+        max_steady_delta: Option<usize>,
+        label: &str,
+    ) {
+        let n = dense.n();
+        let mut row = vec![0u64; n];
+        let mut patched = vec![0u64; n];
+        let mut changes = Vec::new();
+        for t in 0..steps {
+            dense.fill_step(t, &mut row);
+            sparse.fill_delta(t, &mut changes);
+            assert!(
+                changes.windows(2).all(|w| w[0].0 < w[1].0),
+                "{label}: t={t}: deltas must be sorted and unique"
+            );
+            if t == 0 {
+                assert_eq!(
+                    changes.len(),
+                    n,
+                    "{label}: first delta must cover all nodes"
+                );
+            } else if let Some(cap) = max_steady_delta {
+                assert!(
+                    changes.len() <= cap,
+                    "{label}: t={t}: {} movers > {cap}",
+                    changes.len()
+                );
+            }
+            for &(id, v) in &changes {
+                patched[id.idx()] = v;
+            }
+            assert_eq!(patched, row, "{label}: t={t}: delta replay diverged");
+        }
+    }
+}
+
+#[cfg(test)]
+mod delta_tests {
+    use crate::testutil::assert_delta_matches_dense;
+
+    use super::*;
+
+    /// Every spec's `fill_delta` stream, patched onto a row, must replay the
+    /// exact values of a densely-driven twin (same spec, same seed) — the
+    /// invariant the dense/sparse monitor equivalence rests on.
+    #[test]
+    fn every_spec_delta_matches_dense() {
+        let specs = vec![
+            WorkloadSpec::Constant {
+                values: vec![9, 1, 7, 3],
+            },
+            WorkloadSpec::Ramp {
+                n: 4,
+                base: 5,
+                gap: 3,
+            },
+            WorkloadSpec::IidUniform {
+                n: 4,
+                lo: 0,
+                hi: 50,
+            },
+            WorkloadSpec::default_walk(6),
+            WorkloadSpec::default_sparse_walk(40, 0.1),
+            WorkloadSpec::GaussianWalk {
+                n: 5,
+                lo: 0,
+                hi: 2_000,
+                sigma: 3.0,
+            },
+            WorkloadSpec::ZipfJumps {
+                n: 5,
+                lo: 0,
+                hi: 1_000,
+                max_jump: 64,
+                s: 1.3,
+            },
+            WorkloadSpec::BoundaryCross {
+                n: 6,
+                base: 100,
+                spread: 20,
+                amplitude: 9,
+                period: 8,
+            },
+            WorkloadSpec::BoundaryGrind {
+                n: 5,
+                base: 0,
+                spread: 40,
+                period: 12,
+            },
+            WorkloadSpec::RotatingMax {
+                n: 7,
+                base: 10,
+                bonus: 100,
+            },
+            WorkloadSpec::SensorField { n: 5 },
+            WorkloadSpec::Bursty {
+                n: 5,
+                lo: 0,
+                hi: 10_000,
+                quiet_step: 1,
+                burst_step: 64,
+                p_enter_burst: 0.1,
+                p_exit_burst: 0.3,
+            },
+            WorkloadSpec::Replay {
+                trace: WorkloadSpec::default_walk(4).record(3, 25),
+            },
+        ];
+        for spec in specs {
+            assert_delta_matches_dense(spec.build(11), spec.build(11), 60, None, spec.name());
+        }
+    }
+
+    /// The quiet generators emit O(changed) deltas, not O(n) rows.
+    #[test]
+    fn quiet_specs_emit_small_deltas() {
+        let cases: Vec<(WorkloadSpec, usize)> = vec![
+            (
+                WorkloadSpec::Constant {
+                    values: (0..100).collect(),
+                },
+                0,
+            ),
+            (
+                WorkloadSpec::BoundaryCross {
+                    n: 100,
+                    base: 100,
+                    spread: 20,
+                    amplitude: 9,
+                    period: 8,
+                },
+                2,
+            ),
+            (
+                WorkloadSpec::BoundaryGrind {
+                    n: 100,
+                    base: 0,
+                    spread: 40,
+                    period: 12,
+                },
+                1,
+            ),
+            (
+                WorkloadSpec::RotatingMax {
+                    n: 100,
+                    base: 10,
+                    bonus: 1_000,
+                },
+                2,
+            ),
+            (WorkloadSpec::default_sparse_walk(100, 0.02), 2),
+        ];
+        for (spec, max_delta) in cases {
+            let mut feed = spec.build(1);
+            let mut changes = Vec::new();
+            feed.fill_delta(0, &mut changes);
+            for t in 1..50 {
+                feed.fill_delta(t, &mut changes);
+                assert!(
+                    changes.len() <= max_delta,
+                    "{}: t={t}: {} movers > {max_delta}",
+                    spec.name(),
+                    changes.len()
+                );
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod property_tests {

@@ -11,7 +11,7 @@ use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
 use topk_net::behavior::ValueFeed;
-use topk_net::id::Value;
+use topk_net::id::{NodeId, Value};
 use topk_net::rng::substream_rng;
 
 use crate::walk::standard_normal;
@@ -36,6 +36,9 @@ pub struct SensorField {
     drift: Vec<f64>,
     event: Vec<f64>,
     rngs: Vec<ChaCha12Rng>,
+    /// Scratch row for `fill_delta` (noise touches every node every step,
+    /// so the delta is dense; the scratch avoids per-step allocation).
+    row: Vec<Value>,
 }
 
 impl SensorField {
@@ -70,6 +73,7 @@ impl SensorField {
             drift: vec![0.0; n],
             event: vec![0.0; n],
             rngs,
+            row: vec![0; n],
         }
     }
 
@@ -97,12 +101,21 @@ impl ValueFeed for SensorField {
             if rng.gen_bool(self.event_rate) {
                 self.event[i] += self.event_magnitude * rng.gen_range(0.5..1.0);
             }
-            let diurnal =
-                self.diurnal * (tau * (t as f64 / self.period + self.phase[i])).sin();
+            let diurnal = self.diurnal * (tau * (t as f64 / self.period + self.phase[i])).sin();
             let noise = standard_normal(rng) * self.noise_sigma;
             let v = self.base + diurnal + self.drift[i] + self.event[i] + noise;
             out[i] = v.max(0.0).round() as Value;
         }
+    }
+
+    /// Sensor noise perturbs every node every step, so the delta is simply
+    /// the full row — emitted without per-call allocation. (Included so the
+    /// sparse driver works uniformly; this workload gains nothing from it.)
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        let mut row = std::mem::take(&mut self.row);
+        self.fill_step(t, &mut row);
+        topk_net::behavior::emit_dense(changes, &row);
+        self.row = row;
     }
 }
 
@@ -121,6 +134,8 @@ pub struct Bursty {
     in_burst: Vec<bool>,
     rngs: Vec<ChaCha12Rng>,
     initialized: bool,
+    /// Scratch for deriving `fill_step` from `fill_delta`.
+    delta_scratch: Vec<(NodeId, Value)>,
 }
 
 impl Bursty {
@@ -146,8 +161,11 @@ impl Bursty {
             p_exit_burst,
             state: vec![0; n],
             in_burst: vec![false; n],
-            rngs: (0..n).map(|i| substream_rng(seed, 5_000_000 + i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| substream_rng(seed, 5_000_000 + i as u64))
+                .collect(),
             initialized: false,
+            delta_scratch: Vec::new(),
         }
     }
 }
@@ -157,15 +175,26 @@ impl ValueFeed for Bursty {
         self.state.len()
     }
 
-    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+    /// Dense view of the single (delta) implementation: advance, then copy
+    /// the state row — `fill_step` and `fill_delta` cannot drift.
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        let mut scratch = std::mem::take(&mut self.delta_scratch);
+        self.fill_delta(t, &mut scratch);
+        self.delta_scratch = scratch;
+        out.copy_from_slice(&self.state);
+    }
+
+    /// Emit only actual movers (a step can reflect back onto the old value).
+    fn fill_delta(&mut self, _t: u64, changes: &mut Vec<(NodeId, Value)>) {
         if !self.initialized {
             for (i, rng) in self.rngs.iter_mut().enumerate() {
                 self.state[i] = rng.gen_range(self.lo..=self.hi);
             }
             self.initialized = true;
-            out.copy_from_slice(&self.state);
+            topk_net::behavior::emit_dense(changes, &self.state);
             return;
         }
+        changes.clear();
         let span = self.hi - self.lo;
         for (i, rng) in self.rngs.iter_mut().enumerate() {
             let burst = self.in_burst[i];
@@ -182,8 +211,11 @@ impl ValueFeed for Bursty {
             .min(span);
             let mag = rng.gen_range(1..=step_max) as i64;
             let delta = if rng.gen_bool(0.5) { mag } else { -mag };
-            self.state[i] = crate::walk_reflect(self.state[i], delta, self.lo, self.hi);
-            out[i] = self.state[i];
+            let new = crate::walk_reflect(self.state[i], delta, self.lo, self.hi);
+            if new != self.state[i] {
+                self.state[i] = new;
+                changes.push((NodeId(i as u32), new));
+            }
         }
     }
 }
@@ -221,7 +253,10 @@ mod tests {
             s.fill_step(t, &mut out);
             leaders.insert(topk_net::id::true_topk(&out, 1)[0]);
         }
-        assert!(leaders.len() >= 3, "events + diurnal phase must rotate the max");
+        assert!(
+            leaders.len() >= 3,
+            "events + diurnal phase must rotate the max"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use topk_net::trace::{TraceMatrix, TraceReplay};
 use crate::adversarial::{BoundaryCross, BoundaryGrind, RotatingMax};
 use crate::basic::{Constant, IidUniform, ZipfJumps};
 use crate::sensor::{Bursty, SensorField};
-use crate::walk::{GaussianWalk, RandomWalk};
+use crate::walk::{GaussianWalk, RandomWalk, SparseWalk};
 
 /// A buildable, serializable workload description.
 ///
@@ -38,6 +38,16 @@ pub enum WorkloadSpec {
         lo: Value,
         hi: Value,
         sigma: f64,
+    },
+    /// Natively sparse walk: only `⌈n·sparsity⌉` random nodes move per
+    /// step, generated in O(movers) — the huge-`n`, tiny-active-set regime
+    /// the sparse execution path targets.
+    SparseWalk {
+        n: usize,
+        lo: Value,
+        hi: Value,
+        step_max: u64,
+        sparsity: f64,
     },
     /// Walk with Zipf(s)-distributed jump magnitudes.
     ZipfJumps {
@@ -90,6 +100,7 @@ impl WorkloadSpec {
             | WorkloadSpec::IidUniform { n, .. }
             | WorkloadSpec::RandomWalk { n, .. }
             | WorkloadSpec::GaussianWalk { n, .. }
+            | WorkloadSpec::SparseWalk { n, .. }
             | WorkloadSpec::ZipfJumps { n, .. }
             | WorkloadSpec::BoundaryCross { n, .. }
             | WorkloadSpec::BoundaryGrind { n, .. }
@@ -108,6 +119,7 @@ impl WorkloadSpec {
             WorkloadSpec::IidUniform { .. } => "iid-uniform",
             WorkloadSpec::RandomWalk { .. } => "random-walk",
             WorkloadSpec::GaussianWalk { .. } => "gaussian-walk",
+            WorkloadSpec::SparseWalk { .. } => "sparse-walk",
             WorkloadSpec::ZipfJumps { .. } => "zipf-jumps",
             WorkloadSpec::BoundaryCross { .. } => "boundary-cross",
             WorkloadSpec::BoundaryGrind { .. } => "boundary-grind",
@@ -134,6 +146,13 @@ impl WorkloadSpec {
             WorkloadSpec::GaussianWalk { n, lo, hi, sigma } => {
                 Box::new(GaussianWalk::new(n, lo, hi, sigma, seed))
             }
+            WorkloadSpec::SparseWalk {
+                n,
+                lo,
+                hi,
+                step_max,
+                sparsity,
+            } => Box::new(SparseWalk::new(n, lo, hi, step_max, sparsity, seed)),
             WorkloadSpec::ZipfJumps {
                 n,
                 lo,
@@ -191,6 +210,19 @@ impl WorkloadSpec {
         }
     }
 
+    /// Canonical sparse walk: same domain and step size as
+    /// [`WorkloadSpec::default_walk`], but only the given fraction of nodes
+    /// moves each step.
+    pub fn default_sparse_walk(n: usize, sparsity: f64) -> Self {
+        WorkloadSpec::SparseWalk {
+            n,
+            lo: 0,
+            hi: 1 << 20,
+            step_max: 64,
+            sparsity,
+        }
+    }
+
     /// Record this workload into a trace (for OPT and replay).
     pub fn record(&self, seed: u64, steps: usize) -> TraceMatrix {
         let mut feed = self.build(seed);
@@ -220,6 +252,13 @@ mod tests {
                 lo: 0,
                 hi: 1000,
                 sigma: 5.0,
+            },
+            WorkloadSpec::SparseWalk {
+                n: 4,
+                lo: 0,
+                hi: 1000,
+                step_max: 8,
+                sparsity: 0.25,
             },
             WorkloadSpec::ZipfJumps {
                 n: 4,

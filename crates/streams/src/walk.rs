@@ -5,7 +5,7 @@ use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
 use topk_net::behavior::ValueFeed;
-use topk_net::id::Value;
+use topk_net::id::{NodeId, Value};
 use topk_net::rng::substream_rng;
 
 /// Per-node lazy reflecting random walk on `[lo, hi]`.
@@ -22,6 +22,8 @@ pub struct RandomWalk {
     state: Vec<Value>,
     rngs: Vec<ChaCha12Rng>,
     initialized: bool,
+    /// Scratch for deriving `fill_step` from `fill_delta`.
+    delta_scratch: Vec<(NodeId, Value)>,
 }
 
 impl RandomWalk {
@@ -36,6 +38,7 @@ impl RandomWalk {
             state: vec![0; n],
             rngs: (0..n).map(|i| substream_rng(seed, i as u64)).collect(),
             initialized: false,
+            delta_scratch: Vec::new(),
         }
     }
 
@@ -75,20 +78,37 @@ impl ValueFeed for RandomWalk {
         self.state.len()
     }
 
-    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+    /// Dense view of the single (delta) implementation: advance, then copy
+    /// the state row. Keeping one walk body guarantees `fill_step` and
+    /// `fill_delta` can never drift out of RNG lockstep.
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        let mut scratch = std::mem::take(&mut self.delta_scratch);
+        self.fill_delta(t, &mut scratch);
+        self.delta_scratch = scratch;
+        out.copy_from_slice(&self.state);
+    }
+
+    /// Emit only the nodes that actually moved. (The generator still pays
+    /// O(n) RNG work per step — per-node streams require it — but the
+    /// *consumer* sees only the movers.)
+    fn fill_delta(&mut self, _t: u64, changes: &mut Vec<(NodeId, Value)>) {
         if !self.initialized {
             self.init();
-            out.copy_from_slice(&self.state);
+            topk_net::behavior::emit_dense(changes, &self.state);
             return;
         }
+        changes.clear();
         let span = self.hi - self.lo;
         for (i, rng) in self.rngs.iter_mut().enumerate() {
             if !rng.gen_bool(self.lazy_p) {
                 let mag = rng.gen_range(1..=self.step_max.min(span)) as i64;
                 let delta = if rng.gen_bool(0.5) { mag } else { -mag };
-                self.state[i] = reflect(self.state[i], delta, self.lo, self.hi);
+                let new = reflect(self.state[i], delta, self.lo, self.hi);
+                if new != self.state[i] {
+                    self.state[i] = new;
+                    changes.push((NodeId(i as u32), new));
+                }
             }
-            out[i] = self.state[i];
         }
     }
 }
@@ -104,6 +124,8 @@ pub struct GaussianWalk {
     state: Vec<Value>,
     rngs: Vec<ChaCha12Rng>,
     initialized: bool,
+    /// Scratch for deriving `fill_step` from `fill_delta`.
+    delta_scratch: Vec<(NodeId, Value)>,
 }
 
 impl GaussianWalk {
@@ -114,8 +136,11 @@ impl GaussianWalk {
             hi,
             sigma,
             state: vec![0; n],
-            rngs: (0..n).map(|i| substream_rng(seed, 1_000_000 + i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| substream_rng(seed, 1_000_000 + i as u64))
+                .collect(),
             initialized: false,
+            delta_scratch: Vec::new(),
         }
     }
 }
@@ -137,22 +162,155 @@ impl ValueFeed for GaussianWalk {
         self.state.len()
     }
 
-    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+    /// Dense view of the single (delta) implementation — see [`RandomWalk`].
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        let mut scratch = std::mem::take(&mut self.delta_scratch);
+        self.fill_delta(t, &mut scratch);
+        self.delta_scratch = scratch;
+        out.copy_from_slice(&self.state);
+    }
+
+    /// Emit only actual movers (sub-unit increments round to zero).
+    fn fill_delta(&mut self, _t: u64, changes: &mut Vec<(NodeId, Value)>) {
         if !self.initialized {
             for (i, rng) in self.rngs.iter_mut().enumerate() {
                 self.state[i] = rng.gen_range(self.lo..=self.hi);
             }
             self.initialized = true;
-            out.copy_from_slice(&self.state);
+            topk_net::behavior::emit_dense(changes, &self.state);
             return;
         }
+        changes.clear();
         let span = (self.hi - self.lo) as i64;
         for (i, rng) in self.rngs.iter_mut().enumerate() {
             let z = standard_normal(rng) * self.sigma;
             let delta = (z.round() as i64).clamp(-span, span);
-            self.state[i] = reflect(self.state[i], delta, self.lo, self.hi);
-            out[i] = self.state[i];
+            let new = reflect(self.state[i], delta, self.lo, self.hi);
+            if new != self.state[i] {
+                self.state[i] = new;
+                changes.push((NodeId(i as u32), new));
+            }
         }
+    }
+}
+
+/// Natively sparse random walk: per step only `⌈n · sparsity⌉` randomly
+/// chosen nodes move (uniform step like [`RandomWalk`]); everyone else is
+/// exactly constant. Unlike the per-node-RNG walks, one global RNG drives
+/// the whole field, so *generating* a step is `O(movers)` — combined with
+/// `step_sparse` the entire monitoring loop is independent of `n` on quiet
+/// steps. This is the regime the paper's filter bound targets: huge `n`,
+/// tiny active set.
+///
+/// `fill_step` and `fill_delta` consume the RNG identically, so dense and
+/// delta-driven twins built from the same seed see the same values.
+#[derive(Debug, Clone)]
+pub struct SparseWalk {
+    lo: Value,
+    hi: Value,
+    step_max: u64,
+    movers_per_step: usize,
+    state: Vec<Value>,
+    rng: ChaCha12Rng,
+    /// Scratch: indices touched in the current step (sorted, deduped).
+    touched: Vec<u32>,
+    initialized: bool,
+}
+
+impl SparseWalk {
+    /// `sparsity` is the expected fraction of nodes moving per step,
+    /// `0 < sparsity ≤ 1`; at least one node moves each step.
+    pub fn new(n: usize, lo: Value, hi: Value, step_max: u64, sparsity: f64, seed: u64) -> Self {
+        assert!(n > 0 && lo < hi && step_max >= 1);
+        assert!(
+            sparsity > 0.0 && sparsity <= 1.0,
+            "sparsity must be in (0, 1], got {sparsity}"
+        );
+        // The packed single-draw advance (below) takes magnitudes from 31
+        // bits; larger steps would be silently truncated.
+        assert!(
+            step_max < (1 << 31),
+            "step_max must be < 2^31 (got {step_max}); the packed draw has 31 magnitude bits"
+        );
+        let movers_per_step = ((n as f64 * sparsity).round() as usize).clamp(1, n);
+        SparseWalk {
+            lo,
+            hi,
+            step_max,
+            movers_per_step,
+            state: vec![0; n],
+            rng: substream_rng(seed, 6_000_000),
+            touched: Vec::new(),
+            initialized: false,
+        }
+    }
+
+    /// Number of nodes moved per step.
+    pub fn movers_per_step(&self) -> usize {
+        self.movers_per_step
+    }
+
+    fn init(&mut self) {
+        for slot in self.state.iter_mut() {
+            *slot = self.rng.gen_range(self.lo..=self.hi);
+        }
+        self.initialized = true;
+    }
+
+    /// Advance one step: move `movers_per_step` random nodes, recording the
+    /// touched indices in `self.touched` (sorted, deduped).
+    ///
+    /// One 64-bit draw decides a mover's index, magnitude, and direction:
+    /// the generator is on the hot path of the million-node benches, and
+    /// ChaCha block time dominates it. Index selection uses the widening
+    /// multiply (Lemire) map and magnitude a 31-bit modulo; the biases are
+    /// O(n/2³²) resp. O(step_max/2³¹) — negligible for the step sizes the
+    /// constructor admits, and worth the 3× fewer draws for a synthetic
+    /// workload.
+    fn advance(&mut self) {
+        let n = self.state.len() as u64;
+        let span = self.hi - self.lo;
+        let step = self.step_max.min(span);
+        self.touched.clear();
+        for _ in 0..self.movers_per_step {
+            let bits: u64 = self.rng.gen();
+            let i = (((bits >> 32) * n) >> 32) as usize;
+            let mag = (1 + (bits & 0x7fff_ffff) % step) as i64;
+            let delta = if bits & 0x8000_0000 != 0 { mag } else { -mag };
+            self.state[i] = reflect(self.state[i], delta, self.lo, self.hi);
+            self.touched.push(i as u32);
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
+    }
+}
+
+impl ValueFeed for SparseWalk {
+    fn n(&self) -> usize {
+        self.state.len()
+    }
+
+    fn fill_step(&mut self, _t: u64, out: &mut [Value]) {
+        if !self.initialized {
+            self.init();
+        } else {
+            self.advance();
+        }
+        out.copy_from_slice(&self.state);
+    }
+
+    fn fill_delta(&mut self, _t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        if !self.initialized {
+            self.init();
+            topk_net::behavior::emit_dense(changes, &self.state);
+            return;
+        }
+        changes.clear();
+        self.advance();
+        // Touched nodes are emitted even when a reflection happens to land
+        // on the old value — the superset contract permits it.
+        let state = &self.state;
+        changes.extend(self.touched.iter().map(|&i| (NodeId(i), state[i as usize])));
     }
 }
 
@@ -219,6 +377,65 @@ mod tests {
             last.copy_from_slice(&out);
         }
         assert!(moved, "walk must actually move");
+    }
+
+    /// Shared harness (see `crate::testutil`), 200 steps, no size cap.
+    fn assert_delta_matches_dense(dense: impl ValueFeed, sparse: impl ValueFeed) {
+        crate::testutil::assert_delta_matches_dense(dense, sparse, 200, None, "walk");
+    }
+
+    #[test]
+    fn random_walk_delta_equals_dense() {
+        let mk = || RandomWalk::new(12, 100, 900, 7, 0.6, 42);
+        assert_delta_matches_dense(mk(), mk());
+    }
+
+    #[test]
+    fn gaussian_walk_delta_equals_dense() {
+        let mk = || GaussianWalk::new(9, 0, 5_000, 0.8, 13);
+        assert_delta_matches_dense(mk(), mk());
+    }
+
+    #[test]
+    fn sparse_walk_delta_equals_dense() {
+        let mk = || SparseWalk::new(64, 0, 10_000, 16, 0.05, 7);
+        assert_delta_matches_dense(mk(), mk());
+    }
+
+    #[test]
+    fn sparse_walk_emits_few_movers() {
+        let n = 1000;
+        let mut w = SparseWalk::new(n, 0, 1 << 20, 32, 0.01, 5);
+        assert_eq!(w.movers_per_step(), 10);
+        let mut changes = Vec::new();
+        w.fill_delta(0, &mut changes);
+        assert_eq!(changes.len(), n, "first step emits everyone");
+        for t in 1..100 {
+            w.fill_delta(t, &mut changes);
+            assert!(
+                !changes.is_empty() && changes.len() <= 10,
+                "t={t}: {} movers",
+                changes.len()
+            );
+            assert!(changes.iter().all(|&(_, v)| v <= 1 << 20));
+        }
+    }
+
+    #[test]
+    fn sparse_walk_bounded_and_deterministic() {
+        let run = |seed| {
+            let mut w = SparseWalk::new(32, 50, 150, 5, 0.1, seed);
+            let mut out = vec![0u64; 32];
+            let mut rows = Vec::new();
+            for t in 0..50 {
+                w.fill_step(t, &mut out);
+                assert!(out.iter().all(|&v| (50..=150).contains(&v)));
+                rows.push(out.clone());
+            }
+            rows
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
     }
 
     #[test]

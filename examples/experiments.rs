@@ -41,10 +41,7 @@ fn main() {
     for id in &ids {
         let started = std::time::Instant::now();
         let ts = run(id, &cfg);
-        println!(
-            "── {id} done in {:.1}s",
-            started.elapsed().as_secs_f64()
-        );
+        println!("── {id} done in {:.1}s", started.elapsed().as_secs_f64());
         for t in &ts {
             print!("{}", t.to_markdown());
         }

@@ -38,7 +38,9 @@ fn main() {
     println!("Algorithm 1 (filters + randomized protocols):");
     println!(
         "  node→coord: {:>8}   broadcasts: {:>6}   total: {:>8}",
-        m.up, m.broadcast, m.total()
+        m.up,
+        m.broadcast,
+        m.total()
     );
     let metrics = monitor.metrics();
     println!(

@@ -49,8 +49,15 @@ fn main() {
     println!("                      sequential     threaded");
     println!("up messages        {:>12} {:>12}", s.up, c.up);
     println!("broadcasts         {:>12} {:>12}", s.broadcast, c.broadcast);
-    println!("payload bits       {:>12} {:>12}", s.total_bits(), c.total_bits());
-    println!("sync frames        {:>12} {:>12}", s.sync_frames, c.sync_frames);
+    println!(
+        "payload bits       {:>12} {:>12}",
+        s.total_bits(),
+        c.total_bits()
+    );
+    println!(
+        "sync frames        {:>12} {:>12}",
+        s.sync_frames, c.sync_frames
+    );
     println!("wall time (ms)     {:>12.1} {:>12.1}", seq_ms, thr_ms);
 
     assert_eq!(s.up, c.up);

@@ -36,17 +36,51 @@
 //! assert!(total < 4_000, "used {total} messages");
 //! ```
 //!
+//! ## Sparse stepping
+//!
+//! Filters make most steps *communication*-free; the sparse execution path
+//! makes them *computation*-free too. Per step, only nodes whose value
+//! changed (plus any still engaged in a protocol episode) are visited —
+//! `O(#changed + #engaged)` instead of `O(n)`:
+//!
+//! ```
+//! use topk_monitoring::prelude::*;
+//!
+//! let n = 10_000;
+//! // Natively sparse workload: 1% of nodes move per step.
+//! let mut feed = WorkloadSpec::default_sparse_walk(n, 0.01).build(7);
+//! let mut monitor = TopkMonitor::new(MonitorConfig::new(n, 8), 42);
+//! let mut changes: Vec<(NodeId, Value)> = Vec::new();
+//! for t in 0..50 {
+//!     feed.fill_delta(t, &mut changes); // only the movers
+//!     monitor.step_sparse(t, &changes); // O(#changed), not O(n)
+//! }
+//! // After the dense init step, only ~1% of nodes are ever visited:
+//! assert!(monitor.observe_calls() < n as u64 + 50 * (n as u64 / 50));
+//! ```
+//!
+//! The dense [`Monitor::step`](core::Monitor::step) transparently diffs
+//! against a cached row, so existing dense drivers get the same speedup;
+//! `examples/million_nodes.rs` drives n = 1,000,000 this way, and
+//! `crates/bench/benches/sparse_step.rs` pins the dense/sparse gap.
+//! Dense and sparse execution are bit-identical (ledgers, answers, RNG
+//! streams) — property-tested in `tests/sparse_equivalence.rs`.
+//!
 //! ## Crate map
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`net`] | system model: ids, ledgers, wire sizes, sequential + threaded runtimes |
+//! | [`net`] | system model: ids, ledgers, wire sizes, sequential (sparse delta-driven) + threaded runtimes |
 //! | [`proto`] | Algorithm 2 (randomized max/min protocols), baselines, closed forms |
 //! | [`filters`] | filter intervals, Lemma 2.2 validity, `T±` tracking |
-//! | [`streams`] | seeded synthetic workloads ([`WorkloadSpec`](streams::WorkloadSpec)) |
-//! | [`core`] | Algorithm 1, online baselines, offline OPT |
+//! | [`streams`] | seeded synthetic workloads ([`WorkloadSpec`](streams::WorkloadSpec)), delta generation ([`ValueFeed::fill_delta`](net::behavior::ValueFeed::fill_delta)) |
+//! | [`core`] | Algorithm 1 (dense + sparse stepping), online baselines, offline OPT |
 //! | [`ordered`] | §5 ordered-top-k extension |
 //! | [`sim`] | experiment harness E1–E14, statistics, tables |
+//!
+//! Third-party dependencies are vendored as minimal offline shims under
+//! `vendor/` (the build environment has no network access); see
+//! `vendor/README.md` for what each shim guarantees.
 
 #![forbid(unsafe_code)]
 
@@ -61,10 +95,11 @@ pub use topk_streams as streams;
 /// The most common imports for downstream users.
 pub mod prelude {
     pub use topk_core::{
-        is_valid_topk, run_monitor, HandlerMode, Monitor, MonitorConfig, TopkMonitor,
+        is_valid_topk, run_monitor, run_monitor_sparse, HandlerMode, Monitor, MonitorConfig,
+        TopkMonitor,
     };
-    pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
+    pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
     pub use topk_net::behavior::ValueFeed;
     pub use topk_net::{CommLedger, LedgerSnapshot, NodeId, TraceMatrix, TraceReplay, Value};
     pub use topk_ordered::OrderedTopkMonitor;

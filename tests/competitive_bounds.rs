@@ -60,7 +60,10 @@ fn ratio_within_bound_adversarial() {
         400,
         1,
     );
-    assert!(ratio <= BOUND_CONSTANT * factor, "{ratio:.1} vs {factor:.1}");
+    assert!(
+        ratio <= BOUND_CONSTANT * factor,
+        "{ratio:.1} vs {factor:.1}"
+    );
 
     // Boundary crossing at k.
     let (ratio, factor) = ratio_for(
@@ -76,7 +79,10 @@ fn ratio_within_bound_adversarial() {
         800,
         2,
     );
-    assert!(ratio <= BOUND_CONSTANT * factor, "{ratio:.1} vs {factor:.1}");
+    assert!(
+        ratio <= BOUND_CONSTANT * factor,
+        "{ratio:.1} vs {factor:.1}"
+    );
 }
 
 #[test]

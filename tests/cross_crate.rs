@@ -131,7 +131,10 @@ fn scenario_json_roundtrip_and_rerun() {
     assert_eq!(sc, back);
     let a = topk_monitoring::sim::run_scenario(&sc);
     let b = topk_monitoring::sim::run_scenario(&back);
-    assert_eq!(a.messages, b.messages, "serialized scenarios must rerun identically");
+    assert_eq!(
+        a.messages, b.messages,
+        "serialized scenarios must rerun identically"
+    );
     assert_eq!(a.opt_updates, b.opt_updates);
 }
 

@@ -1,0 +1,199 @@
+//! Dense/sparse execution equivalence for the full Algorithm 1 stack.
+//!
+//! The sparse delta-driven path (`step_sparse`, `fill_delta`) must be a pure
+//! wall-clock optimization: ledgers (counts *and* bits), top-k answers, node
+//! filter state, and the per-node RNG streams have to be bit-identical to a
+//! densely-driven twin. RNG agreement is asserted both directly (node state
+//! after hundreds of randomized protocol episodes) and behaviorally (a
+//! churny tail whose coin flips would diverge loudly if any stream had
+//! drifted).
+
+use proptest::prelude::*;
+
+use topk_monitoring::prelude::*;
+
+/// Run twins over `steps` of the spec: one dense (`fill_step` + `step`), one
+/// sparse (`fill_delta` + `step_sparse`), asserting identical observable
+/// state at every step.
+fn assert_equivalent(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
+    let n = spec.n();
+    let cfg = MonitorConfig::new(n, k);
+    let mut dense = TopkMonitor::new(cfg, seed);
+    let mut sparse = TopkMonitor::new(cfg, seed);
+    let mut dense_feed = spec.build(seed ^ 0xfeed);
+    let mut sparse_feed = spec.build(seed ^ 0xfeed);
+
+    let mut row = vec![0u64; n];
+    let mut changes: Vec<(NodeId, Value)> = Vec::new();
+    for t in 0..steps {
+        dense_feed.fill_step(t, &mut row);
+        dense.step(t, &row);
+        sparse_feed.fill_delta(t, &mut changes);
+        sparse.step_sparse(t, &changes);
+
+        assert_eq!(dense.topk(), sparse.topk(), "t={t}: top-k diverged");
+        let (a, b) = (dense.ledger(), sparse.ledger());
+        assert_eq!(
+            (a.up, a.down, a.broadcast),
+            (b.up, b.down, b.broadcast),
+            "t={t}: message counts diverged"
+        );
+        assert_eq!(a.total_bits(), b.total_bits(), "t={t}: wire bits diverged");
+        assert!(is_valid_topk(&row, &sparse.topk()), "t={t}: invalid answer");
+    }
+
+    // Node state: values, filters, membership — all must agree exactly.
+    for (dn, sn) in dense.nodes().iter().zip(sparse.nodes().iter()) {
+        assert_eq!(dn.value(), sn.value());
+        assert_eq!(dn.threshold(), sn.threshold());
+        assert_eq!(dn.in_topk(), sn.in_topk());
+    }
+
+    // RNG streams: drive both twins through a churny adversarial tail that
+    // forces fresh randomized protocol episodes. Any earlier RNG divergence
+    // would surface as differing coin flips and thus differing ledgers.
+    let tail = WorkloadSpec::IidUniform {
+        n,
+        lo: 0,
+        hi: 1 << 20,
+    };
+    let mut dt = tail.build(seed ^ 0x7a11);
+    let mut st = tail.build(seed ^ 0x7a11);
+    for t in steps..steps + 30 {
+        dt.fill_step(t, &mut row);
+        dense.step(t, &row);
+        st.fill_delta(t, &mut changes);
+        sparse.step_sparse(t, &changes);
+        assert_eq!(dense.topk(), sparse.topk(), "tail t={t}: top-k diverged");
+        assert_eq!(
+            dense.ledger().total_bits(),
+            sparse.ledger().total_bits(),
+            "tail t={t}: RNG streams diverged"
+        );
+    }
+}
+
+#[test]
+fn random_walk_500_steps_bit_identical() {
+    assert_equivalent(&WorkloadSpec::default_walk(32), 4, 42, 500);
+}
+
+#[test]
+fn sparse_walk_500_steps_bit_identical() {
+    assert_equivalent(&WorkloadSpec::default_sparse_walk(64, 0.05), 6, 7, 500);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary walk shapes, k, and seeds: dense and sparse execution are
+    /// indistinguishable over 500 steps.
+    #[test]
+    fn arbitrary_walks_bit_identical(
+        n in 2usize..24,
+        k_off in 0usize..4,
+        seed in 0u64..1000,
+        step_max in 1u64..2000,
+        lazy_pct in 0u64..100,
+    ) {
+        let spec = WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 1 << 16,
+            step_max,
+            lazy_p: lazy_pct as f64 / 100.0,
+        };
+        let k = 1 + k_off.min(n - 1);
+        assert_equivalent(&spec, k, seed, 500);
+    }
+
+    /// Adversarial boundary churn (violations + resets every period) stays
+    /// bit-identical too.
+    #[test]
+    fn adversarial_feeds_bit_identical(
+        n in 3usize..16,
+        seed in 0u64..100,
+        period in 2u64..30,
+    ) {
+        let spec = WorkloadSpec::BoundaryCross {
+            n,
+            base: 100,
+            spread: 25,
+            amplitude: 10,
+            period,
+        };
+        assert_equivalent(&spec, 1, seed, 150);
+    }
+}
+
+/// The sparse path visits O(#changed + #engaged) nodes: on a constant
+/// stream, after the dense init step, no observe call ever happens again.
+#[test]
+fn constant_stream_zero_observes_after_init() {
+    let n = 256;
+    let spec = WorkloadSpec::Ramp {
+        n,
+        base: 10,
+        gap: 5,
+    };
+    let mut mon = TopkMonitor::new(MonitorConfig::new(n, 8), 3);
+    let delta = run_monitor_sparse(&mut mon, &mut spec.build(0), 400);
+    assert_eq!(mon.observe_calls(), n as u64, "only the init step is dense");
+    assert_eq!(mon.silent_steps(), 399);
+    assert!(delta.total() > 0, "initialization still communicates");
+    assert_eq!(mon.topk().len(), 8);
+}
+
+/// `run_monitor_sparse` with a default (dense-emitting) feed drives any
+/// monitor through the trait's fallback path.
+#[test]
+fn default_fill_delta_drives_baselines() {
+    let spec = WorkloadSpec::IidUniform {
+        n: 12,
+        lo: 0,
+        hi: 1000,
+    };
+    let mut naive = NaiveMonitor::new(12, 3);
+    let delta = run_monitor_sparse(&mut naive, &mut spec.build(5), 50);
+    assert!(delta.total() > 0);
+
+    // Same feed driven densely produces the identical ledger.
+    let mut naive2 = NaiveMonitor::new(12, 3);
+    let delta2 = run_monitor(&mut naive2, &mut spec.build(5), 50);
+    assert_eq!(delta.total(), delta2.total());
+    assert_eq!(naive.topk(), naive2.topk());
+}
+
+/// Every monitor × natively sparse feed combination works: baselines patch
+/// deltas onto a cached row, so sparse feeds are not a TopkMonitor-only API.
+#[test]
+fn sparse_feeds_drive_every_monitor() {
+    use topk_monitoring::core::{DominanceMidpoint, FilterNaiveResolve, PeriodicRecompute};
+    let n = 24;
+    let spec = WorkloadSpec::default_sparse_walk(n, 0.1);
+    let monitors: Vec<Box<dyn Monitor>> = vec![
+        Box::new(TopkMonitor::new(MonitorConfig::new(n, 3), 1)),
+        Box::new(NaiveMonitor::new(n, 3)),
+        Box::new(PeriodicRecompute::new(n, 3, 1)),
+        Box::new(FilterNaiveResolve::new(n, 3)),
+        Box::new(DominanceMidpoint::new(n, 3)),
+        Box::new(OrderedTopkMonitor::new(n, 3, 1)),
+    ];
+    for mut mon in monitors {
+        let name = mon.name();
+        let sparse = run_monitor_sparse(mon.as_mut(), &mut spec.build(7), 60);
+        // The dense drive of a twin must agree exactly.
+        let mut twin: Box<dyn Monitor> = match name {
+            "topk-filter" => Box::new(TopkMonitor::new(MonitorConfig::new(n, 3), 1)),
+            "naive" => Box::new(NaiveMonitor::new(n, 3)),
+            "periodic-recompute" => Box::new(PeriodicRecompute::new(n, 3, 1)),
+            "filter-naive-resolve" => Box::new(FilterNaiveResolve::new(n, 3)),
+            "dominance-midpoint" => Box::new(DominanceMidpoint::new(n, 3)),
+            "ordered-topk" => Box::new(OrderedTopkMonitor::new(n, 3, 1)),
+            other => panic!("unknown monitor {other}"),
+        };
+        let dense = run_monitor(twin.as_mut(), &mut spec.build(7), 60);
+        assert_eq!(sparse.total_bits(), dense.total_bits(), "{name}");
+        assert_eq!(mon.topk(), twin.topk(), "{name}");
+    }
+}

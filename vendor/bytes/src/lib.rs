@@ -1,0 +1,229 @@
+//! Minimal offline stand-in for the `bytes` crate: [`Buf`], [`BufMut`],
+//! [`BytesMut`] and [`Bytes`] backed by plain `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read-side cursor over a byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("get_u8 on empty buffer");
+        *self = rest;
+        *first
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn get_u8(&mut self) -> u8 {
+        (**self).get_u8()
+    }
+}
+
+/// Write-side byte sink.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+
+    fn put_slice(&mut self, src: &[u8]) {
+        for &b in src {
+            self.put_u8(b);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v)
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Convert into an immutable, cursored [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte container with an internal read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new `Bytes` over a subrange of the remaining view.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let view = &self.data[self.pos..];
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&s) => s,
+            std::ops::Bound::Excluded(&s) => s + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&e) => e + 1,
+            std::ops::Bound::Excluded(&e) => e,
+            std::ops::Bound::Unbounded => view.len(),
+        };
+        Bytes {
+            data: view[start..end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.pos < self.data.len(), "get_u8 on empty Bytes");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_slice(&[2, 3, 4]);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(&buf[..], &[1, 2, 3, 4]);
+        let mut rd = buf.freeze();
+        assert_eq!(rd.remaining(), 4);
+        assert_eq!(rd.get_u8(), 1);
+        assert_eq!(rd.get_u8(), 2);
+        assert_eq!(rd.remaining(), 2);
+    }
+
+    #[test]
+    fn slice_buf_consumes_front() {
+        let data = [9u8, 8, 7];
+        let mut rd: &[u8] = &data;
+        assert_eq!(rd.remaining(), 3);
+        assert_eq!(rd.get_u8(), 9);
+        assert_eq!(rd.remaining(), 2);
+    }
+}

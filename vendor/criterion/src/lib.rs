@@ -1,0 +1,340 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the API surface the bench suite uses — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!` — with a simple
+//! timing loop: per sample, the measured closure is iterated enough times to
+//! fill `measurement_time / sample_size`, and the median per-iteration time
+//! (plus derived throughput) is printed.
+//!
+//! Environment knobs:
+//! * `CRITERION_QUICK=1` — smoke mode: one sample, one iteration per bench
+//!   (used by CI to check the benches still run without paying for timing).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_id` plus an optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_id: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: Some(function_id.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function_id, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function_id: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function_id: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// The per-measurement handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations the next `iter` call should run.
+    iters: u64,
+    /// Measured wall time of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_bench(
+            &id.render(),
+            10,
+            Duration::from_millis(200),
+            Duration::from_secs(1),
+            None,
+            f,
+        );
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.render());
+        run_bench(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        run_bench(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_duration(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let quick = quick_mode();
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    if quick {
+        f(&mut bencher);
+        println!("bench {name}: ok (quick mode, 1 iteration)");
+        return;
+    }
+
+    // Warm-up: run single iterations until the warm-up budget is spent, and
+    // estimate the per-iteration time.
+    let warm_start = Instant::now();
+    let mut per_iter_ns: f64 = 0.0;
+    let mut warm_runs = 0u32;
+    while warm_start.elapsed() < warm_up || warm_runs == 0 {
+        bencher.iters = 1;
+        f(&mut bencher);
+        per_iter_ns += bencher.elapsed.as_nanos() as f64;
+        warm_runs += 1;
+        if warm_runs >= 1000 {
+            break;
+        }
+    }
+    per_iter_ns /= warm_runs as f64;
+
+    // Aim each sample at measurement_time / sample_size.
+    let budget_ns = measurement.as_nanos() as f64 / sample_size as f64;
+    let iters = ((budget_ns / per_iter_ns.max(1.0)).round() as u64).max(1);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+
+    let mut line = format!(
+        "bench {name}: median {} per iter  [{} .. {}]  ({sample_size} samples × {iters} iters)",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (median / 1_000_000_000.0);
+        line.push_str(&format!("  → {rate:.0} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// Mirrors `criterion_group!`: defines a function running each bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test_group");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        group.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("inc", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                count = count.wrapping_add(x);
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).render(), "64");
+    }
+}

@@ -1,0 +1,380 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro` tokens (no `syn`/`quote` available
+//! offline). Supports the shapes this workspace derives on: unit/tuple/named
+//! structs and enums with unit, tuple, and struct variants — all without
+//! generics. Conventions mirror real serde's JSON encoding: named structs as
+//! maps, newtype structs transparent, enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        if is_punct(toks.get(*i), '#') {
+            *i += 2; // '#' + bracket group
+            continue;
+        }
+        if is_ident(toks.get(*i), "pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Split a token list on top-level commas, tracking `<...>` nesting so type
+/// arguments don't split. Groups are atomic tokens, so parens/brackets are
+/// already opaque. Empty chunks (trailing commas) are dropped.
+fn split_top(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        chunks.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Parse a brace-group body of named fields into their names.
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    split_top(toks)
+        .iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&body))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top(&body).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            let variants = split_top(&body)
+                .iter()
+                .map(|chunk| {
+                    let mut j = 0;
+                    skip_attrs_and_vis(chunk, &mut j);
+                    let vname = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+                    };
+                    j += 1;
+                    let fields = match chunk.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Named(parse_named_fields(&body))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Tuple(split_top(&body).len())
+                        }
+                        _ => Fields::Unit, // unit variant (a `= disc` tail is ignored)
+                    };
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn named_to_content(fields: &[String], access: &dyn Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from(\"{f}\"), ::serde::Serialize::to_content({})),",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(""))
+}
+
+fn named_from_content(fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content({src}.get(\"{f}\")\
+                 .ok_or_else(|| ::serde::DeError::new(\"missing field `{f}`\"))?)?,"
+            )
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Unit".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(""))
+                }
+                Fields::Named(fs) => named_to_content(fs, &|f| format!("&self.{f}")),
+            };
+            format!(
+                "#[automatically_derived] #[allow(unused_variables, clippy::all)] impl ::serde::Serialize for {name} {{\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_content(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(x{i}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(","),
+                                items.join("")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(",");
+                            let inner = named_to_content(fs, &|f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (String::from(\"{vn}\"), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived] #[allow(unused_variables, clippy::all)] impl ::serde::Serialize for {name} {{\
+                     fn to_content(&self) -> ::serde::Content {{\
+                         match self {{ {} }}\
+                     }}\
+                 }}",
+                arms.join("")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "match content {{\
+                             ::serde::Content::Seq(items) if items.len() == {n} =>\
+                                 Ok({name}({})),\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected {n}-element seq for {name}, got {{other:?}}\"))),\
+                         }}",
+                        items.join("")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inner = named_from_content(fs, "content");
+                    format!("Ok({name} {{ {inner} }})")
+                }
+            };
+            format!(
+                "#[automatically_derived] #[allow(unused_variables, clippy::all)] impl ::serde::Deserialize for {name} {{\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\
+                         {body}\
+                     }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\
+                                     ::serde::Content::Seq(items) if items.len() == {n} =>\
+                                         Ok({name}::{vn}({})),\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"bad payload for {name}::{vn}: {{other:?}}\"))),\
+                                 }},",
+                                items.join("")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inner = named_from_content(fs, "inner");
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {inner} }}),"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived] #[allow(unused_variables, clippy::all)] impl ::serde::Deserialize for {name} {{\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\
+                         match content {{\
+                             ::serde::Content::Str(s) => match s.as_str() {{\
+                                 {}\
+                                 other => Err(::serde::DeError::new(format!(\
+                                     \"unknown unit variant `{{other}}` for {name}\"))),\
+                             }},\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\
+                                 let (tag, inner) = &entries[0];\
+                                 match tag.as_str() {{\
+                                     {}\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\
+                                 }}\
+                             }}\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected variant encoding for {name}, got {{other:?}}\"))),\
+                         }}\
+                     }}\
+                 }}",
+                unit_arms.join(""),
+                tagged_arms.join("")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim: generated code must parse")
+}
