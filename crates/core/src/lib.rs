@@ -10,6 +10,9 @@
 //!   threaded runtime of `topk-net`);
 //! * [`monitor`] — the [`Monitor`](monitor::Monitor) trait and
 //!   [`TopkMonitor`](monitor::TopkMonitor), the assembled algorithm;
+//! * [`threaded`] — [`ThreadedTopkMonitor`](threaded::ThreadedTopkMonitor),
+//!   the same algorithm on live OS-thread nodes with the delta-driven frame
+//!   transport;
 //! * [`baselines`] — naive streaming, §2.1 periodic recomputation,
 //!   filter-with-poll-resolution, and Lam-et-al.-style dominance tracking;
 //! * [`opt`] — the offline optimal filter segmentation (the competitive
@@ -34,6 +37,7 @@ pub mod msg;
 pub mod multik;
 pub mod node;
 pub mod opt;
+pub mod threaded;
 
 pub use audit::{assert_audit_clean, audit_monitor, AuditError};
 pub use baselines::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
@@ -48,3 +52,4 @@ pub use node::NodeMachine;
 pub use opt::{
     opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel, OptResult,
 };
+pub use threaded::ThreadedTopkMonitor;

@@ -1,0 +1,145 @@
+//! [`ThreadedTopkMonitor`] — Algorithm 1 assembled on the *threaded*
+//! runtime: one OS thread per [`NodeMachine`], the coordinator driven from
+//! the caller's thread.
+//!
+//! Same [`Monitor`] contract as [`TopkMonitor`], same ledgers, same answers
+//! — the two are bit-identical for equal `(cfg, seed)` and inputs (pinned by
+//! `tests/runtime_conformance.rs`). The threaded transport is delta-driven:
+//! on a silent step only changed and engaged nodes receive an observation
+//! frame (see [`topk_net::threaded`]), so `sync_frames` grows with the
+//! number of movers, not `n`.
+
+use topk_net::behavior::CoordinatorBehavior;
+use topk_net::id::{NodeId, Value};
+use topk_net::ledger::LedgerSnapshot;
+use topk_net::threaded::ThreadedCluster;
+
+use crate::config::MonitorConfig;
+use crate::coordinator::CoordinatorMachine;
+use crate::monitor::{Monitor, TopkMonitor};
+use crate::node::NodeMachine;
+
+/// Algorithm 1 on the threaded runtime — a [`Monitor`] whose nodes are live
+/// OS threads exchanging crossbeam-channel frames with the driver.
+pub struct ThreadedTopkMonitor {
+    cluster: ThreadedCluster<NodeMachine>,
+    coord: CoordinatorMachine,
+    cfg: MonitorConfig,
+}
+
+impl ThreadedTopkMonitor {
+    /// Spawn the node threads. Seeds and behaviors match
+    /// [`TopkMonitor::new`] exactly, so the two monitors are
+    /// interchangeable twins.
+    pub fn new(cfg: MonitorConfig, seed: u64) -> Self {
+        let (nodes, coord) = TopkMonitor::make_parts(cfg, seed);
+        ThreadedTopkMonitor {
+            cluster: ThreadedCluster::spawn(nodes),
+            coord,
+            cfg,
+        }
+    }
+
+    /// The coordinator (tracker/threshold accessors for tests and tools).
+    pub fn coordinator(&self) -> &CoordinatorMachine {
+        &self.coord
+    }
+
+    /// Steps that exchanged no message and ran no micro-round.
+    pub fn silent_steps(&self) -> u64 {
+        self.cluster.silent_steps()
+    }
+
+    /// Transport-level synchronization frames sent so far (excluded from
+    /// model cost). With the delta-driven transport this grows by
+    /// `#changed + #engaged` per silent step, not `n`.
+    pub fn sync_frames(&self) -> u64 {
+        self.cluster.ledger().sync_frames()
+    }
+
+    /// The configuration this monitor runs.
+    pub fn config(&self) -> MonitorConfig {
+        self.cfg
+    }
+
+    /// Shut down the node threads and return their final state machines
+    /// (for state-equality assertions against a sequential twin).
+    pub fn shutdown(self) -> Vec<NodeMachine> {
+        self.cluster.shutdown()
+    }
+}
+
+impl Monitor for ThreadedTopkMonitor {
+    fn name(&self) -> &'static str {
+        "topk-filter-threaded"
+    }
+
+    fn step(&mut self, t: u64, values: &[Value]) {
+        self.cluster.step(&mut self.coord, t, values);
+    }
+
+    fn step_sparse(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+        self.cluster.step_sparse(&mut self.coord, t, changes);
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        self.coord.topk().to_vec()
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.cluster.ledger().snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn k(&self) -> usize {
+        self.cfg.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::id::true_topk;
+
+    #[test]
+    fn threaded_monitor_matches_sequential_twin() {
+        let cfg = MonitorConfig::new(8, 3);
+        let mut thr = ThreadedTopkMonitor::new(cfg, 42);
+        let mut seq = TopkMonitor::new(cfg, 42);
+        let rows: Vec<Vec<u64>> = vec![
+            vec![5, 80, 20, 70, 10, 60, 30, 40],
+            vec![5, 80, 20, 70, 10, 60, 30, 40],
+            vec![90, 80, 20, 70, 10, 60, 30, 40],
+        ];
+        for (t, row) in rows.iter().enumerate() {
+            thr.step(t as u64, row);
+            seq.step(t as u64, row);
+            assert_eq!(thr.topk(), seq.topk());
+        }
+        assert_eq!(thr.topk(), true_topk(rows.last().unwrap(), 3));
+        let (a, b) = (thr.ledger(), seq.ledger());
+        assert_eq!((a.up, a.down, a.broadcast), (b.up, b.down, b.broadcast));
+        assert_eq!(a.total_bits(), b.total_bits());
+    }
+
+    #[test]
+    fn silent_steps_send_no_frames_to_quiet_nodes() {
+        let cfg = MonitorConfig::new(64, 4);
+        let mut thr = ThreadedTopkMonitor::new(cfg, 7);
+        let row: Vec<u64> = (1..=64).map(|v| v * 100).collect();
+        thr.step(0, &row);
+        let after_init = thr.sync_frames();
+        for t in 1..50 {
+            thr.step(t, &row);
+        }
+        assert_eq!(
+            thr.sync_frames(),
+            after_init,
+            "constant rows must cost zero frames after init"
+        );
+        assert_eq!(thr.silent_steps(), 49);
+    }
+}

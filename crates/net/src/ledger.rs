@@ -9,7 +9,10 @@
 //!
 //! The threaded runtime additionally tracks *sync frames*: transport-level
 //! round acknowledgements that emulate the synchronous model's free
-//! observation of silence. They are never part of the model cost.
+//! observation of silence. They are never part of the model cost. With the
+//! delta-driven transport a silent step frames only changed ∪ engaged
+//! nodes, so `sync_frames` grows with the movers, not `n` (broadcast
+//! rounds remain full fan-out).
 
 use serde::{Deserialize, Serialize};
 

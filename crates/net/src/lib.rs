@@ -15,6 +15,8 @@
 //! * [`rng`] — deterministic per-node randomness and the exact `2^r/N`
 //!   Bernoulli trials the model's nodes are equipped with;
 //! * [`behavior`] — the node/coordinator state-machine traits;
+//! * [`delta`] — the cached-row diff/filter shared by both runtimes'
+//!   delta-driven entry points;
 //! * [`seq`] — the deterministic sequential runtime (used by all
 //!   experiments);
 //! * [`threaded`] — the OS-thread + crossbeam-channel runtime (the "real"
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod behavior;
+pub mod delta;
 pub mod events;
 pub mod id;
 pub mod ledger;
@@ -38,6 +41,7 @@ pub mod wire;
 pub use behavior::{
     emit_dense, CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction, ValueFeed,
 };
+pub use delta::DeltaRow;
 pub use events::{Event, EventLog};
 pub use id::{midpoint_floor, true_ranking, true_topk, MinEntry, NodeId, RankEntry, Value};
 pub use ledger::{ChannelKind, CommLedger, LedgerSnapshot};

@@ -29,6 +29,7 @@
 //! path performs no allocation.
 
 use crate::behavior::{max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed};
+use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger};
 use crate::wire::WireSize;
@@ -46,17 +47,15 @@ where
     engaged_idx: Vec<u32>,
     /// Scratch for rebuilding `engaged_idx` (swapped each phase).
     engaged_next: Vec<u32>,
-    /// Cached last-observed value row (diffing base for the dense `step`).
-    row: Vec<Value>,
-    row_valid: bool,
+    /// Cached last-observed value row + diff/filter logic shared with the
+    /// threaded runtime (see [`crate::delta`]).
+    delta_row: DeltaRow,
     /// Scratch: up-messages of the current node-phase.
     ups: Vec<(NodeId, NB::Up)>,
     /// Scratch: coordinator output, reused across micro-rounds.
     out: CoordOut<NB::Down>,
     /// Scratch: merged visit list (changed ∪ engaged) for sparse phase 0.
     visit: Vec<u32>,
-    /// Scratch: change list built by the dense `step` diff.
-    delta: Vec<(NodeId, Value)>,
     guard: u32,
     steps_run: u64,
     silent_steps: u64,
@@ -89,16 +88,10 @@ where
             engaged_next: Vec::new(),
             // The cached row backs diffing/sparse stepping only; non-sparse
             // behaviors never read it, so don't pay for it.
-            row: if NB::SPARSE_OBSERVE {
-                vec![0; n]
-            } else {
-                Vec::new()
-            },
-            row_valid: false,
+            delta_row: DeltaRow::new(n, NB::SPARSE_OBSERVE),
             ups: Vec::new(),
             out: CoordOut::empty(),
             visit: Vec::new(),
-            delta: Vec::new(),
             guard: max_micro_rounds(n, guard_k),
             steps_run: 0,
             silent_steps: 0,
@@ -166,21 +159,14 @@ where
     /// classic dense visit of every node.
     pub fn step(&mut self, t: u64, values: &[Value]) {
         assert_eq!(values.len(), self.nodes.len(), "one value per node");
-        if NB::SPARSE_OBSERVE && self.row_valid {
-            let mut delta = std::mem::take(&mut self.delta);
-            delta.clear();
-            for (i, (&new, old)) in values.iter().zip(self.row.iter_mut()).enumerate() {
-                if new != *old {
-                    *old = new;
-                    delta.push((NodeId(i as u32), new));
-                }
-            }
-            self.step_visits(t, &delta);
-            self.delta = delta;
+        if NB::SPARSE_OBSERVE && self.delta_row.is_valid() {
+            let mut dr = std::mem::take(&mut self.delta_row);
+            dr.diff(values);
+            self.step_visits(t, dr.last_delta(), dr.row());
+            self.delta_row = dr;
         } else {
             if NB::SPARSE_OBSERVE {
-                self.row.copy_from_slice(values);
-                self.row_valid = true;
+                self.delta_row.prime(values);
             }
             self.step_dense(t, values);
         }
@@ -188,47 +174,27 @@ where
 
     /// Execute one step given only the values that changed since `t − 1`
     /// (ascending ids, at most one entry per node; repeating an unchanged
-    /// value is permitted). Requires [`NodeBehavior::SPARSE_OBSERVE`]. The
+    /// value is permitted and costs nothing — entries are filtered against
+    /// the cached row). Requires [`NodeBehavior::SPARSE_OBSERVE`]. The
     /// first step must carry all `n` nodes (there is no previous row yet).
     ///
     /// Produces bit-identical ledgers, answers, and node/RNG state to the
     /// dense [`SyncRuntime::step`] driven with the corresponding full rows.
+    /// Validation and filtering live in [`DeltaRow`], shared with the
+    /// threaded runtime. (The sorted-ids check is a hard release assert: a
+    /// malformed list would silently corrupt protocol state.)
     pub fn step_sparse(&mut self, t: u64, changes: &[(NodeId, Value)]) {
         assert!(
             NB::SPARSE_OBSERVE,
             "step_sparse requires a NodeBehavior with SPARSE_OBSERVE = true"
         );
-        // Hard (release) assert: a malformed list would silently corrupt
-        // protocol state (double observe, unsorted ups); the check is one
-        // comparison per entry — noise next to visiting those entries.
-        assert!(
-            changes.windows(2).all(|w| w[0].0 < w[1].0),
-            "changes must be sorted by node id without duplicates"
-        );
-        if !self.row_valid {
-            assert_eq!(
-                changes.len(),
-                self.nodes.len(),
-                "the first sparse step must provide a value for every node"
-            );
-            for (i, &(id, v)) in changes.iter().enumerate() {
-                assert_eq!(
-                    id.idx(),
-                    i,
-                    "first-step changes must cover ids 0..n in order"
-                );
-                self.row[i] = v;
-            }
-            self.row_valid = true;
-            let row = std::mem::take(&mut self.row);
-            self.step_dense(t, &row);
-            self.row = row;
-            return;
+        let mut dr = std::mem::take(&mut self.delta_row);
+        if dr.apply_sparse(changes) {
+            self.step_dense(t, dr.row());
+        } else {
+            self.step_visits(t, dr.last_delta(), dr.row());
         }
-        for &(id, v) in changes {
-            self.row[id.idx()] = v;
-        }
-        self.step_visits(t, changes);
+        self.delta_row = dr;
     }
 
     /// Node-phase 0 over every node (the legacy dense visit), then the
@@ -258,8 +224,9 @@ where
     }
 
     /// Node-phase 0 over changed ∪ engaged nodes only, then the micro-round
-    /// schedule. `self.row` must already reflect the changes.
-    fn step_visits(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+    /// schedule. `row` is the current full value row (already reflecting
+    /// the changes) — engaged-but-unchanged nodes observe from it.
+    fn step_visits(&mut self, t: u64, changes: &[(NodeId, Value)], row: &[Value]) {
         self.coord.begin_step(t);
         self.ups.clear();
 
@@ -268,24 +235,7 @@ where
         visit.clear();
         {
             let engaged_prev = std::mem::take(&mut self.engaged_idx);
-            let mut c = changes.iter().map(|&(id, _)| id.0).peekable();
-            let mut e = engaged_prev.iter().copied().peekable();
-            loop {
-                let i = match (c.peek(), e.peek()) {
-                    (Some(&a), Some(&b)) => a.min(b),
-                    (Some(&a), None) => a,
-                    (None, Some(&b)) => b,
-                    (None, None) => break,
-                };
-                if c.peek() == Some(&i) {
-                    c.next();
-                }
-                if e.peek() == Some(&i) {
-                    e.next();
-                }
-                visit.push(i);
-            }
-            drop(e);
+            merge_visit(changes, &engaged_prev, |i, _| visit.push(i));
             self.engaged_idx = engaged_prev;
         }
 
@@ -294,7 +244,7 @@ where
         next.clear();
         for &i in &visit {
             let i = i as usize;
-            let act = self.nodes[i].observe(t, self.row[i]);
+            let act = self.nodes[i].observe(t, row[i]);
             self.observe_calls += 1;
             if act.engaged {
                 any_engaged = true;
@@ -374,26 +324,9 @@ where
             }
         } else if broadcasts.is_empty() {
             // Unicasts only: poll engaged ∪ addressees, merged in id order.
-            let mut u = unicasts.iter().peekable();
-            let mut e = engaged_prev.iter().copied().peekable();
-            loop {
-                let ucast_id = u.peek().map(|(id, _)| id.0);
-                let engaged_id = e.peek().copied();
-                let i = match (ucast_id, engaged_id) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => break,
-                };
-                let ucast = match u.peek() {
-                    Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d),
-                    _ => None,
-                };
-                if engaged_id == Some(i) {
-                    e.next();
-                }
+            merge_visit(unicasts, &engaged_prev, |i, ucast| {
                 self.poll_node(t, m, i as usize, broadcasts, ucast, &mut next);
-            }
+            });
         } else {
             // A broadcast reaches everyone.
             let mut u = unicasts.iter().peekable();

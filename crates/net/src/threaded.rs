@@ -13,33 +13,50 @@
 //! The visit rule, the node-phase indices and the per-node RNG streams are
 //! identical to the sequential runtime, so for the same behaviors and inputs
 //! the two runtimes produce **equal ledgers** (asserted by the
-//! `threaded_equivalence` integration test).
+//! `runtime_conformance` and `threaded_vs_sequential` integration tests).
 //!
-//! # Sparse-stepping parity
+//! # Delta-driven transport
 //!
-//! The sequential runtime's delta-driven path (`step_sparse`) is a pure
-//! wall-clock optimization of the *driver*: which nodes it bothers to call
-//! `observe` on. Model-observable state (messages, answers, node RNG
-//! streams) is bit-identical, so this threaded runtime intentionally keeps
-//! the simple dense observe fan-out — each node thread receives every
-//! observation frame — and still reconciles exactly with a sequential run
-//! driven sparsely. A delta-driven transport (sending observation frames
-//! only to movers) would change `sync_frames` accounting but no model
-//! message; it is left as a documented non-goal until the threaded path
-//! becomes a bottleneck.
+//! The frame fan-out mirrors the sequential runtime's sparse visit rule
+//! instead of broadcasting every observation:
+//!
+//! * **node-phase 0** — for behaviors that opt into
+//!   [`NodeBehavior::SPARSE_OBSERVE`], only *changed* nodes receive an
+//!   [`NodeFrame::Observe`] carrying their new value; *engaged* nodes whose
+//!   value did not move receive a value-less [`NodeFrame::ObserveCached`]
+//!   and replay the observation against the value cached in their own
+//!   thread. Unchanged, disengaged nodes receive nothing (their `observe`
+//!   is contractually a no-op). The driver keeps its own cached value row,
+//!   so the dense [`ThreadedCluster::step`] entry point is a thin diff and
+//!   [`ThreadedCluster::step_sparse`] consumes change-lists directly.
+//! * **micro-rounds** — a round without broadcasts visits only engaged
+//!   nodes and unicast addressees, walking a persistent sorted
+//!   engaged-index list. A round *with* a broadcast falls back to the full
+//!   fan-out: every node must receive the payload.
+//!
+//! `sync_frames` therefore counts `O(#changed + #engaged)` per silent step
+//! rather than `n`, while the model ledger (messages, payload bits, RNG
+//! streams) stays bit-identical to every other execution path. Behaviors
+//! that do not opt into `SPARSE_OBSERVE` keep the classic dense observe
+//! fan-out.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use crate::behavior::{max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed};
+use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
-use crate::ledger::{ChannelKind, CommLedger};
+use crate::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
 use crate::wire::WireSize;
 
 /// Frame sent from the driver to a node thread.
 enum NodeFrame<D> {
     /// Deliver the observation for time `t` (node-phase 0).
     Observe { t: u64, value: Value },
+    /// Node-phase 0 for an engaged node whose value did not change: observe
+    /// the value cached in the node thread (delta transport only; requires
+    /// [`NodeBehavior::SPARSE_OBSERVE`]).
+    ObserveCached { t: u64 },
     /// Run node-phase `m` with the round's broadcasts and an optional
     /// unicast addressed to this node.
     Round {
@@ -67,9 +84,25 @@ where
     to_nodes: Vec<Sender<NodeFrame<NB::Down>>>,
     from_nodes: Receiver<NodeReply<NB::Up>>,
     handles: Vec<JoinHandle<NB>>,
-    engaged: Vec<bool>,
+    /// Sorted ids of currently engaged nodes — rebuilt from each phase's
+    /// replies (every engaged node is visited every phase, so the engaged
+    /// set after a phase is exactly its engaged repliers).
+    engaged_idx: Vec<u32>,
+    /// Scratch for rebuilding `engaged_idx` (swapped each phase).
+    engaged_scratch: Vec<u32>,
+    /// Driver-side cached value row + diff/filter logic shared with the
+    /// sequential runtime (see [`crate::delta`]).
+    delta_row: DeltaRow,
+    /// Scratch: up-messages of the current node-phase.
+    ups_scratch: Vec<(NodeId, NB::Up)>,
+    /// Scratch: coordinator output, reused across micro-rounds.
+    out: CoordOut<NB::Down>,
+    /// Scratch: value row / change list for the feed drivers.
+    feed_row: Vec<Value>,
+    feed_changes: Vec<(NodeId, Value)>,
     ledger: CommLedger,
     steps_run: u64,
+    silent_steps: u64,
 }
 
 impl<NB> ThreadedCluster<NB>
@@ -105,9 +138,18 @@ where
             to_nodes,
             from_nodes: reply_rx,
             handles,
-            engaged: vec![false; n],
+            engaged_idx: Vec::new(),
+            engaged_scratch: Vec::new(),
+            // The cached row backs diffing/sparse stepping only; non-sparse
+            // behaviors never read it, so don't pay for it.
+            delta_row: DeltaRow::new(n, NB::SPARSE_OBSERVE),
+            ups_scratch: Vec::new(),
+            out: CoordOut::empty(),
+            feed_row: Vec::new(),
+            feed_changes: Vec::new(),
             ledger: CommLedger::new(),
             steps_run: 0,
+            silent_steps: 0,
         }
     }
 
@@ -123,16 +165,75 @@ where
         self.steps_run
     }
 
+    /// Steps that exchanged no message and ran no micro-round.
+    pub fn silent_steps(&self) -> u64 {
+        self.silent_steps
+    }
+
+    /// Indices of nodes currently engaged in a protocol episode (sorted).
+    pub fn engaged_nodes(&self) -> &[u32] {
+        &self.engaged_idx
+    }
+
     /// Execute one synchronous time step against `coord`.
+    ///
+    /// For behaviors that opt into [`NodeBehavior::SPARSE_OBSERVE`] this is
+    /// a thin wrapper: the row is diffed against the driver's cached row and
+    /// observation frames go only to changed/engaged nodes. Other behaviors
+    /// get the classic dense fan-out of every observation.
     pub fn step<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
-        let n = self.n();
-        assert_eq!(values.len(), n, "one value per node");
-        coord.begin_step(t);
+        assert_eq!(values.len(), self.n(), "one value per node");
+        if NB::SPARSE_OBSERVE && self.delta_row.is_valid() {
+            let mut dr = std::mem::take(&mut self.delta_row);
+            dr.diff(values);
+            self.step_visits(coord, t, dr.last_delta());
+            self.delta_row = dr;
+        } else {
+            if NB::SPARSE_OBSERVE {
+                self.delta_row.prime(values);
+            }
+            self.step_dense(coord, t, values);
+        }
+    }
 
-        // Node-phase 0: observations go to every node.
+    /// Execute one step given only the values that changed since `t − 1`
+    /// (ascending ids, at most one entry per node; repeating an unchanged
+    /// value is permitted and costs no frame — entries are filtered
+    /// against the driver's cached row). Requires
+    /// [`NodeBehavior::SPARSE_OBSERVE`]. The first step must carry all `n`
+    /// nodes (there is no previous row yet).
+    ///
+    /// Produces bit-identical ledgers, answers, and node/RNG state to the
+    /// dense [`ThreadedCluster::step`] driven with the corresponding full
+    /// rows — and to both sequential execution paths. Validation and
+    /// filtering live in [`DeltaRow`], shared with the sequential runtime.
+    pub fn step_sparse<CB>(&mut self, coord: &mut CB, t: u64, changes: &[(NodeId, Value)])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert!(
+            NB::SPARSE_OBSERVE,
+            "step_sparse requires a NodeBehavior with SPARSE_OBSERVE = true"
+        );
+        let mut dr = std::mem::take(&mut self.delta_row);
+        if dr.apply_sparse(changes) {
+            self.step_dense(coord, t, dr.row());
+        } else {
+            self.step_visits(coord, t, dr.last_delta());
+        }
+        self.delta_row = dr;
+    }
+
+    /// Node-phase 0 as a full observation fan-out (non-sparse behaviors and
+    /// the very first step), then the micro-round schedule.
+    fn step_dense<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        coord.begin_step(t);
         for (i, tx) in self.to_nodes.iter().enumerate() {
             tx.send(NodeFrame::Observe {
                 t,
@@ -141,17 +242,55 @@ where
             .expect("node thread alive");
             self.ledger.count_sync();
         }
-        let mut ups = self.collect(n);
+        let n = self.n();
+        self.finish_step(coord, t, n);
+    }
 
-        let mut any_engaged = self.engaged.iter().any(|&e| e);
-        if !any_engaged && ups.is_empty() && coord.try_skip_silent_step(t) {
+    /// Node-phase 0 over changed ∪ engaged nodes only: changed nodes get
+    /// their new value, engaged-but-unchanged nodes a value-less
+    /// [`NodeFrame::ObserveCached`] frame replayed from the value cached
+    /// in their own thread (no driver-side row is consulted here).
+    fn step_visits<CB>(&mut self, coord: &mut CB, t: u64, changes: &[(NodeId, Value)])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        coord.begin_step(t);
+        let engaged = std::mem::take(&mut self.engaged_idx);
+        let mut visited = 0usize;
+        merge_visit(changes, &engaged, |i, value| {
+            let frame = match value {
+                Some(&value) => NodeFrame::Observe { t, value },
+                None => NodeFrame::ObserveCached { t },
+            };
+            self.to_nodes[i as usize]
+                .send(frame)
+                .expect("node thread alive");
+            self.ledger.count_sync();
+            visited += 1;
+        });
+        self.engaged_idx = engaged;
+        self.finish_step(coord, t, visited);
+    }
+
+    /// Collect node-phase 0, run the silent-step fast path, then the
+    /// coordinator micro-round loop.
+    fn finish_step<CB>(&mut self, coord: &mut CB, t: u64, visited: usize)
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        let mut ups = std::mem::take(&mut self.ups_scratch);
+        self.collect_into(visited, &mut ups);
+
+        if self.engaged_idx.is_empty() && ups.is_empty() && coord.try_skip_silent_step(t) {
+            self.ups_scratch = ups;
             self.steps_run += 1;
+            self.silent_steps += 1;
             return;
         }
 
-        let guard = max_micro_rounds(n, 16) * 4;
+        let guard = max_micro_rounds(self.n(), 16) * 4;
         let mut m: u32 = 0;
-        let mut out = CoordOut::empty();
+        let mut out = std::mem::take(&mut self.out);
         loop {
             out.clear();
             coord.micro_round(t, m, &mut ups, &mut out);
@@ -167,71 +306,132 @@ where
             }
             m += 1;
             assert!(m <= guard, "micro-round guard exceeded at t={t}");
-
-            // Deliver node-phase m to the visited set (same rule as the
-            // sequential runtime): everyone if a broadcast exists, else
-            // engaged nodes and unicast addressees.
-            if out.unicasts.len() > 1 {
-                out.unicasts.sort_by_key(|(id, _)| *id);
-            }
-            let broadcast_all = !out.broadcasts.is_empty();
-            let mut visited = 0usize;
-            {
-                let mut u = out.unicasts.iter().peekable();
-                for i in 0..n {
-                    let ucast = match u.peek() {
-                        Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d.clone()),
-                        _ => None,
-                    };
-                    if !broadcast_all && !self.engaged[i] && ucast.is_none() {
-                        continue;
-                    }
-                    self.to_nodes[i]
-                        .send(NodeFrame::Round {
-                            t,
-                            m,
-                            bcasts: out.broadcasts.clone(),
-                            ucast,
-                        })
-                        .expect("node thread alive");
-                    self.ledger.count_sync();
-                    visited += 1;
-                }
-            }
-            ups = self.collect(visited);
-            any_engaged = self.engaged.iter().any(|&e| e);
-            let _ = any_engaged;
+            let visited = self.deliver_round(t, m, &mut out);
+            self.collect_into(visited, &mut ups);
         }
+        self.out = out;
+        self.ups_scratch = ups;
         self.steps_run += 1;
     }
 
-    /// Collect exactly `expect` replies, recording engagement and charging
-    /// `Some` payloads; returns ups sorted by node id.
-    fn collect(&mut self, expect: usize) -> Vec<(NodeId, NB::Up)> {
-        let mut ups = Vec::new();
+    /// Deliver the coordinator output of round `m-1` as node-phase `m`;
+    /// returns the number of frames sent. Same visit rule as the sequential
+    /// runtime: a broadcast reaches everyone (full fan-out), otherwise only
+    /// engaged nodes and unicast addressees are framed.
+    fn deliver_round(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) -> usize {
+        if out.unicasts.len() > 1 {
+            out.unicasts.sort_by_key(|(id, _)| *id);
+        }
+        let mut visited = 0usize;
+        if !out.broadcasts.is_empty() {
+            let mut u = out.unicasts.iter().peekable();
+            for (i, tx) in self.to_nodes.iter().enumerate() {
+                let ucast = match u.peek() {
+                    Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d.clone()),
+                    _ => None,
+                };
+                tx.send(NodeFrame::Round {
+                    t,
+                    m,
+                    bcasts: out.broadcasts.clone(),
+                    ucast,
+                })
+                .expect("node thread alive");
+                self.ledger.count_sync();
+                visited += 1;
+            }
+        } else {
+            let engaged = std::mem::take(&mut self.engaged_idx);
+            merge_visit(&out.unicasts, &engaged, |i, ucast| {
+                self.to_nodes[i as usize]
+                    .send(NodeFrame::Round {
+                        t,
+                        m,
+                        bcasts: Vec::new(),
+                        ucast: ucast.cloned(),
+                    })
+                    .expect("node thread alive");
+                self.ledger.count_sync();
+                visited += 1;
+            });
+            self.engaged_idx = engaged;
+        }
+        visited
+    }
+
+    /// Collect exactly `expect` replies into `ups` (sorted by node id),
+    /// charging `Some` payloads and rebuilding the engaged index list from
+    /// the repliers. Nodes not visited this phase were disengaged (the visit
+    /// rule always includes every engaged node), so the replies alone
+    /// determine the new engaged set.
+    fn collect_into(&mut self, expect: usize, ups: &mut Vec<(NodeId, NB::Up)>) {
+        ups.clear();
+        let mut next = std::mem::take(&mut self.engaged_scratch);
+        next.clear();
         for _ in 0..expect {
             let reply = self.from_nodes.recv().expect("node reply");
-            self.engaged[reply.id.idx()] = reply.engaged;
+            if reply.engaged {
+                next.push(reply.id.0);
+            }
             if let Some(up) = reply.up {
                 self.ledger.count(ChannelKind::Up, up.wire_bits());
                 ups.push((reply.id, up));
             }
         }
+        next.sort_unstable();
+        self.engaged_scratch = std::mem::replace(&mut self.engaged_idx, next);
         ups.sort_by_key(|(id, _)| *id);
-        ups
     }
 
-    /// Drive `steps` time steps from a feed.
-    pub fn run_feed<CB>(&mut self, coord: &mut CB, feed: &mut dyn ValueFeed, steps: u64)
+    /// Drive `steps` time steps from a feed (dense rows via
+    /// [`ValueFeed::fill_step`]); returns the ledger delta. The value row is
+    /// runtime-owned scratch, reused across steps and calls.
+    pub fn run_feed<CB>(
+        &mut self,
+        coord: &mut CB,
+        feed: &mut dyn ValueFeed,
+        start_t: u64,
+        steps: u64,
+    ) -> LedgerSnapshot
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
         assert_eq!(feed.n(), self.n());
-        let mut row = vec![0 as Value; self.n()];
-        for t in 0..steps {
+        let before = self.ledger.snapshot();
+        let mut row = std::mem::take(&mut self.feed_row);
+        row.resize(self.n(), 0);
+        for dt in 0..steps {
+            let t = start_t + dt;
             feed.fill_step(t, &mut row);
             self.step(coord, t, &row);
         }
+        self.feed_row = row;
+        self.ledger.snapshot().since(&before)
+    }
+
+    /// Delta-driven counterpart of [`ThreadedCluster::run_feed`]: pulls
+    /// change lists via [`ValueFeed::fill_delta`] and steps sparsely.
+    /// Requires [`NodeBehavior::SPARSE_OBSERVE`].
+    pub fn run_feed_sparse<CB>(
+        &mut self,
+        coord: &mut CB,
+        feed: &mut dyn ValueFeed,
+        start_t: u64,
+        steps: u64,
+    ) -> LedgerSnapshot
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert_eq!(feed.n(), self.n());
+        let before = self.ledger.snapshot();
+        let mut changes = std::mem::take(&mut self.feed_changes);
+        for dt in 0..steps {
+            let t = start_t + dt;
+            feed.fill_delta(t, &mut changes);
+            self.step_sparse(coord, t, &changes);
+        }
+        self.feed_changes = changes;
+        self.ledger.snapshot().since(&before)
     }
 
     /// Shut down all node threads and return their final behaviors.
@@ -261,15 +461,27 @@ where
     }
 }
 
-/// Node thread main loop: frame-driven, no shared state.
+/// Node thread main loop: frame-driven, no shared state. The thread caches
+/// its last observed value so a value-less [`NodeFrame::ObserveCached`]
+/// frame can replay the observation locally.
 fn node_main<NB>(node: &mut NB, rx: Receiver<NodeFrame<NB::Down>>, reply: Sender<NodeReply<NB::Up>>)
 where
     NB: NodeBehavior,
 {
+    let mut last: Value = 0;
     while let Ok(frame) = rx.recv() {
         match frame {
             NodeFrame::Observe { t, value } => {
+                last = value;
                 let act = node.observe(t, value);
+                let _ = reply.send(NodeReply {
+                    id: node.id(),
+                    up: act.up,
+                    engaged: act.engaged,
+                });
+            }
+            NodeFrame::ObserveCached { t } => {
+                let act = node.observe(t, last);
                 let _ = reply.send(NodeReply {
                     id: node.id(),
                     up: act.up,

@@ -1,0 +1,324 @@
+//! The `ValueFeed::fill_delta` contract, checked for **every** generator
+//! and combinator this crate ships (plus the trait's default impl and the
+//! `Box<dyn ValueFeed>` forwarder):
+//!
+//! 1. the first call emits all `n` nodes, ids `0..n` in order;
+//! 2. every call is ascending in node id with at most one entry per node,
+//!    all ids in range;
+//! 3. patching the deltas onto a row replays a densely-driven twin exactly
+//!    (so every true mover appears — a superset of the movers is allowed);
+//! 4. two instances from the same spec and seed agree across the two
+//!    driving modes (shared RNG lockstep).
+//!
+//! New feeds can't silently violate the sparse contract: add them to
+//! `all_specs`/`combinators` below and the suite covers them.
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::{NodeId, Value};
+use topk_streams::{Affine, Glitch, StuckNode, Switch, WorkloadSpec};
+
+/// Drive `dense` by rows and `sparse` by deltas, asserting the full
+/// contract at every step.
+fn assert_contract(
+    mut dense: Box<dyn ValueFeed>,
+    mut sparse: Box<dyn ValueFeed>,
+    steps: u64,
+    label: &str,
+) {
+    let n = dense.n();
+    assert_eq!(sparse.n(), n, "{label}: twins must agree on n");
+    let mut row = vec![0u64; n];
+    let mut patched = vec![0u64; n];
+    let mut changes: Vec<(NodeId, Value)> = Vec::new();
+    for t in 0..steps {
+        dense.fill_step(t, &mut row);
+        sparse.fill_delta(t, &mut changes);
+        assert!(
+            changes.windows(2).all(|w| w[0].0 < w[1].0),
+            "{label}: t={t}: deltas must be ascending in id without duplicates"
+        );
+        assert!(
+            changes.iter().all(|&(id, _)| id.idx() < n),
+            "{label}: t={t}: node id out of range"
+        );
+        if t == 0 {
+            assert_eq!(
+                changes.len(),
+                n,
+                "{label}: first delta must cover all nodes"
+            );
+            assert!(
+                changes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &(id, _))| id.idx() == i),
+                "{label}: first delta must cover ids 0..n in order"
+            );
+        }
+        for &(id, v) in &changes {
+            patched[id.idx()] = v;
+        }
+        assert_eq!(patched, row, "{label}: t={t}: delta replay diverged");
+    }
+}
+
+/// Every `WorkloadSpec` variant, sized small but non-trivially.
+fn all_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Constant {
+            values: vec![9, 1, 7, 3, 5],
+        },
+        WorkloadSpec::Ramp {
+            n: 5,
+            base: 5,
+            gap: 3,
+        },
+        WorkloadSpec::IidUniform {
+            n: 5,
+            lo: 0,
+            hi: 50,
+        },
+        WorkloadSpec::default_walk(6),
+        WorkloadSpec::default_sparse_walk(40, 0.1),
+        WorkloadSpec::GaussianWalk {
+            n: 5,
+            lo: 0,
+            hi: 2_000,
+            sigma: 3.0,
+        },
+        WorkloadSpec::ZipfJumps {
+            n: 5,
+            lo: 0,
+            hi: 1_000,
+            max_jump: 64,
+            s: 1.3,
+        },
+        WorkloadSpec::BoundaryCross {
+            n: 6,
+            base: 100,
+            spread: 20,
+            amplitude: 9,
+            period: 8,
+        },
+        WorkloadSpec::BoundaryGrind {
+            n: 5,
+            base: 0,
+            spread: 40,
+            period: 12,
+        },
+        WorkloadSpec::RotatingMax {
+            n: 7,
+            base: 10,
+            bonus: 100,
+        },
+        WorkloadSpec::SensorField { n: 5 },
+        WorkloadSpec::Bursty {
+            n: 5,
+            lo: 0,
+            hi: 10_000,
+            quiet_step: 1,
+            burst_step: 64,
+            p_enter_burst: 0.1,
+            p_exit_burst: 0.3,
+        },
+        WorkloadSpec::Replay {
+            trace: WorkloadSpec::default_walk(4).record(3, 80),
+        },
+    ]
+}
+
+#[test]
+fn every_generator_upholds_the_contract() {
+    for spec in all_specs() {
+        for seed in [0, 11, 99] {
+            assert_contract(spec.build(seed), spec.build(seed), 60, spec.name());
+        }
+    }
+}
+
+/// Every combinator, wrapped around both a sparse and a churny inner feed.
+#[test]
+fn every_combinator_upholds_the_contract() {
+    type Mk = Box<dyn Fn() -> Box<dyn ValueFeed>>;
+    let combinators: Vec<(&str, Mk)> = vec![
+        (
+            "switch",
+            Box::new(|| {
+                let a = WorkloadSpec::default_sparse_walk(30, 0.05).build(3);
+                let b = WorkloadSpec::IidUniform {
+                    n: 30,
+                    lo: 0,
+                    hi: 500,
+                }
+                .build(4);
+                Box::new(Switch::new(a, b, 17))
+            }),
+        ),
+        (
+            "glitch",
+            Box::new(|| {
+                let inner = WorkloadSpec::default_sparse_walk(25, 0.08).build(5);
+                Box::new(Glitch::new(
+                    inner,
+                    vec![
+                        (3, 5, 999),
+                        (3, 17, 1),
+                        (7, 5, 777),
+                        (8, 5, 888),
+                        (20, 0, 0),
+                    ],
+                ))
+            }),
+        ),
+        (
+            "affine",
+            Box::new(|| {
+                let inner = WorkloadSpec::default_walk(10).build(9);
+                Box::new(Affine::new(inner, 3, 10))
+            }),
+        ),
+        (
+            "stuck-node",
+            Box::new(|| {
+                let inner = WorkloadSpec::RotatingMax {
+                    n: 12,
+                    base: 0,
+                    bonus: 100,
+                }
+                .build(0);
+                Box::new(StuckNode::new(inner, 4, 6))
+            }),
+        ),
+        (
+            "switch-of-glitch",
+            Box::new(|| {
+                let inner = WorkloadSpec::default_sparse_walk(20, 0.1).build(7);
+                let a: Box<dyn ValueFeed> = Box::new(Glitch::new(inner, vec![(2, 3, 123)]));
+                let b = WorkloadSpec::Ramp {
+                    n: 20,
+                    base: 1,
+                    gap: 2,
+                }
+                .build(0);
+                Box::new(Switch::new(a, b, 9))
+            }),
+        ),
+    ];
+    for (label, mk) in combinators {
+        assert_contract(mk(), mk(), 40, label);
+    }
+}
+
+/// A feed relying on the trait's *default* `fill_delta` (dense emission)
+/// still satisfies the contract — the default is the reference behavior.
+#[test]
+fn default_fill_delta_is_contract_conformant() {
+    struct Saw {
+        n: usize,
+    }
+    impl ValueFeed for Saw {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = (t + i as u64) % 7;
+            }
+        }
+        // fill_delta: default — reports every node, every step.
+    }
+    let mk = || -> Box<dyn ValueFeed> { Box::new(Saw { n: 9 }) };
+    assert_contract(mk(), mk(), 30, "default-impl");
+
+    // And the default really is dense: every call emits all n nodes.
+    let mut feed = Saw { n: 9 };
+    let mut changes = Vec::new();
+    for t in 0..5 {
+        feed.fill_delta(t, &mut changes);
+        assert_eq!(changes.len(), 9);
+    }
+}
+
+/// The `Box<dyn ValueFeed>` blanket impl forwards `fill_delta` to the
+/// concrete feed (not the dense default): a sparse walk stays sparse when
+/// driven through the box.
+#[test]
+fn boxed_feed_forwards_native_deltas() {
+    let spec = WorkloadSpec::default_sparse_walk(200, 0.01);
+    let mut boxed: Box<dyn ValueFeed> = spec.build(5);
+    let mut changes = Vec::new();
+    boxed.fill_delta(0, &mut changes);
+    assert_eq!(changes.len(), 200, "first call dense");
+    for t in 1..30 {
+        boxed.fill_delta(t, &mut changes);
+        assert!(
+            !changes.is_empty() && changes.len() <= 2,
+            "t={t}: boxed sparse walk must emit O(movers), got {}",
+            changes.len()
+        );
+    }
+}
+
+/// Steady-state delta sizes of the quiet generators are O(movers), not
+/// O(n) — the property the delta-driven runtimes' frame bounds rest on.
+#[test]
+fn quiet_generators_emit_small_steady_deltas() {
+    let cases: Vec<(WorkloadSpec, usize)> = vec![
+        (
+            WorkloadSpec::Constant {
+                values: (0..100).collect(),
+            },
+            0,
+        ),
+        (
+            WorkloadSpec::Ramp {
+                n: 100,
+                base: 7,
+                gap: 11,
+            },
+            0,
+        ),
+        (
+            WorkloadSpec::BoundaryCross {
+                n: 100,
+                base: 100,
+                spread: 20,
+                amplitude: 9,
+                period: 8,
+            },
+            2,
+        ),
+        (
+            WorkloadSpec::BoundaryGrind {
+                n: 100,
+                base: 0,
+                spread: 40,
+                period: 12,
+            },
+            1,
+        ),
+        (
+            WorkloadSpec::RotatingMax {
+                n: 100,
+                base: 10,
+                bonus: 1_000,
+            },
+            2,
+        ),
+        (WorkloadSpec::default_sparse_walk(100, 0.02), 2),
+    ];
+    for (spec, cap) in cases {
+        let mut feed = spec.build(1);
+        let mut changes = Vec::new();
+        feed.fill_delta(0, &mut changes);
+        for t in 1..60 {
+            feed.fill_delta(t, &mut changes);
+            assert!(
+                changes.len() <= cap,
+                "{}: t={t}: {} movers > {cap}",
+                spec.name(),
+                changes.len()
+            );
+        }
+    }
+}

@@ -67,7 +67,12 @@ fn main() {
     println!("\n✓ model ledgers are identical — the threaded execution is");
     println!("  observationally equivalent to the deterministic simulator.");
     println!("  (sync frames are transport-level round markers a real");
-    println!("  deployment would replace with timeouts; they cost 0 in the model.)");
+    println!("  deployment would replace with timeouts; they cost 0 in the");
+    println!("  model. The transport is delta-driven: on a silent step only");
+    println!("  changed and engaged node threads are framed — this workload");
+    println!("  is churny, so most frames here come from broadcast rounds;");
+    println!("  see benches/threaded_sparse.rs for the quiet regime where");
+    println!("  frames/step stay at the mover count regardless of n.)");
 
     let final_topk: Vec<u32> = coord.topk().iter().map(|id| id.0).collect();
     println!("\nfinal top-{k} node ids: {final_topk:?}");

@@ -96,7 +96,7 @@ pub use topk_streams as streams;
 pub mod prelude {
     pub use topk_core::{
         is_valid_topk, run_monitor, run_monitor_sparse, HandlerMode, Monitor, MonitorConfig,
-        TopkMonitor,
+        ThreadedTopkMonitor, TopkMonitor,
     };
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
     pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};

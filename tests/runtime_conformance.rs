@@ -1,0 +1,223 @@
+//! Cross-runtime conformance suite: every execution path of Algorithm 1 —
+//! dense sequential, sparse sequential, threaded densely driven, threaded
+//! delta-driven — must be **bit-identical** in everything the model can
+//! observe: top-k answers, comm ledgers (counts *and* payload bits), node
+//! filter state, and the per-node RNG streams.
+//!
+//! RNG agreement is asserted both structurally (node state after hundreds of
+//! randomized protocol episodes) and behaviorally (a churny iid tail whose
+//! coin flips would diverge loudly if any stream had drifted). The threaded
+//! paths additionally agree on `sync_frames` with each other: the dense
+//! `step` entry point diffs against the driver's cached row, so both drives
+//! use the identical delta transport.
+
+use proptest::prelude::*;
+
+use topk_monitoring::prelude::*;
+
+/// Model-observable ledger tuple (sync frames excluded — they are transport
+/// accounting, compared separately between the two threaded drives).
+fn model(l: &LedgerSnapshot) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        l.up,
+        l.down,
+        l.broadcast,
+        l.up_bits,
+        l.down_bits,
+        l.broadcast_bits,
+    )
+}
+
+/// Drive all four runtimes over `steps` of the spec plus a 30-step churny
+/// tail, asserting identical observable state at every step and identical
+/// node state at the end.
+fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
+    let n = spec.n();
+    let cfg = MonitorConfig::new(n, k);
+    let mut seq_dense = TopkMonitor::new(cfg, seed);
+    let mut seq_sparse = TopkMonitor::new(cfg, seed);
+    let mut thr_dense = ThreadedTopkMonitor::new(cfg, seed);
+    let mut thr_sparse = ThreadedTopkMonitor::new(cfg, seed);
+
+    // One dense feed drives both densely-stepped monitors, one delta feed
+    // the two sparsely-stepped ones; same spec + seed ⇒ identical streams.
+    let mut dense_feed = spec.build(seed ^ 0xfeed);
+    let mut delta_feed = spec.build(seed ^ 0xfeed);
+
+    let mut row = vec![0u64; n];
+    let mut changes: Vec<(NodeId, Value)> = Vec::new();
+    let drive = |t: u64,
+                 row: &[Value],
+                 changes: &[(NodeId, Value)],
+                 seq_dense: &mut TopkMonitor,
+                 seq_sparse: &mut TopkMonitor,
+                 thr_dense: &mut ThreadedTopkMonitor,
+                 thr_sparse: &mut ThreadedTopkMonitor| {
+        seq_dense.step(t, row);
+        seq_sparse.step_sparse(t, changes);
+        thr_dense.step(t, row);
+        thr_sparse.step_sparse(t, changes);
+
+        let answer = seq_dense.topk();
+        let ledger = seq_dense.ledger();
+        for (name, m) in [
+            ("seq-sparse", seq_sparse as &mut dyn Monitor),
+            ("thr-dense", thr_dense as &mut dyn Monitor),
+            ("thr-sparse", thr_sparse as &mut dyn Monitor),
+        ] {
+            assert_eq!(answer, m.topk(), "t={t}: {name} top-k diverged");
+            assert_eq!(
+                model(&ledger),
+                model(&m.ledger()),
+                "t={t}: {name} ledger diverged"
+            );
+        }
+        assert!(is_valid_topk(row, &answer), "t={t}: invalid answer");
+    };
+
+    for t in 0..steps {
+        dense_feed.fill_step(t, &mut row);
+        delta_feed.fill_delta(t, &mut changes);
+        drive(
+            t,
+            &row,
+            &changes,
+            &mut seq_dense,
+            &mut seq_sparse,
+            &mut thr_dense,
+            &mut thr_sparse,
+        );
+    }
+
+    // RNG streams: a churny iid tail forces fresh randomized protocol
+    // episodes; any earlier RNG divergence surfaces as differing coin flips
+    // and thus differing ledgers.
+    let tail = WorkloadSpec::IidUniform {
+        n,
+        lo: 0,
+        hi: 1 << 20,
+    };
+    let mut tail_dense = tail.build(seed ^ 0x7a11);
+    let mut tail_delta = tail.build(seed ^ 0x7a11);
+    for t in steps..steps + 30 {
+        tail_dense.fill_step(t, &mut row);
+        tail_delta.fill_delta(t, &mut changes);
+        drive(
+            t,
+            &row,
+            &changes,
+            &mut seq_dense,
+            &mut seq_sparse,
+            &mut thr_dense,
+            &mut thr_sparse,
+        );
+    }
+
+    // The two threaded drives share one transport: identical frame counts.
+    assert_eq!(
+        thr_dense.sync_frames(),
+        thr_sparse.sync_frames(),
+        "dense step diffs internally; both threaded drives must frame identically"
+    );
+
+    // Node state — values, filters, membership, and the RNG-bearing state
+    // machines' observable fields — must agree across all four runtimes.
+    let thr_dense_nodes = thr_dense.shutdown();
+    let thr_sparse_nodes = thr_sparse.shutdown();
+    for (((d, s), td), ts) in seq_dense
+        .nodes()
+        .iter()
+        .zip(seq_sparse.nodes().iter())
+        .zip(thr_dense_nodes.iter())
+        .zip(thr_sparse_nodes.iter())
+    {
+        for (name, node) in [("seq-sparse", s), ("thr-dense", td), ("thr-sparse", ts)] {
+            assert_eq!(d.value(), node.value(), "{name}: node value diverged");
+            assert_eq!(
+                d.threshold(),
+                node.threshold(),
+                "{name}: node filter diverged"
+            );
+            assert_eq!(
+                d.in_topk(),
+                node.in_topk(),
+                "{name}: top-k membership diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_walk_400_steps_conformant() {
+    assert_conformant(&WorkloadSpec::default_walk(16), 4, 42, 400);
+}
+
+#[test]
+fn sparse_walk_400_steps_conformant() {
+    assert_conformant(&WorkloadSpec::default_sparse_walk(48, 0.05), 6, 7, 400);
+}
+
+#[test]
+fn rotating_max_adversarial_conformant() {
+    let spec = WorkloadSpec::RotatingMax {
+        n: 8,
+        base: 100,
+        bonus: 10_000,
+    };
+    assert_conformant(&spec, 1, 3, 300);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary walk shapes, k, and seeds: all four execution paths are
+    /// indistinguishable over 300 steps.
+    #[test]
+    fn arbitrary_walks_conformant(
+        n in 2usize..16,
+        k_off in 0usize..4,
+        seed in 0u64..1000,
+        step_max in 1u64..2000,
+        lazy_pct in 0u64..100,
+    ) {
+        let spec = WorkloadSpec::RandomWalk {
+            n,
+            lo: 0,
+            hi: 1 << 16,
+            step_max,
+            lazy_p: lazy_pct as f64 / 100.0,
+        };
+        let k = 1 + k_off.min(n - 1);
+        assert_conformant(&spec, k, seed, 300);
+    }
+
+    /// Natively sparse workloads — the regime the delta transport targets —
+    /// stay conformant for arbitrary sparsity.
+    #[test]
+    fn sparse_walks_conformant(
+        n in 4usize..32,
+        seed in 0u64..1000,
+        sparsity_pct in 1u64..50,
+    ) {
+        let spec = WorkloadSpec::default_sparse_walk(n, sparsity_pct as f64 / 100.0);
+        assert_conformant(&spec, 2, seed, 300);
+    }
+
+    /// Adversarial boundary churn (violations + randomized resets every
+    /// period) is conformant too.
+    #[test]
+    fn adversarial_feeds_conformant(
+        n in 3usize..12,
+        seed in 0u64..100,
+        period in 2u64..30,
+    ) {
+        let spec = WorkloadSpec::BoundaryCross {
+            n,
+            base: 100,
+            spread: 25,
+            amplitude: 10,
+            period,
+        };
+        assert_conformant(&spec, 1, seed, 300);
+    }
+}

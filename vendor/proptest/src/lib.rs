@@ -7,6 +7,10 @@
 //! case panics with the generating seed so it can be replayed by rerunning
 //! the test (generation is fully deterministic per test name and case
 //! index).
+//!
+//! Set `PROPTEST_SEED=<u64>` to derive a different deterministic case
+//! stream (CI runs property suites under several seeds this way); unset or
+//! `0` reproduces the default stream.
 
 #![forbid(unsafe_code)]
 
@@ -30,7 +34,9 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         TestRng {
-            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            state: h
+                ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ env_seed().wrapping_mul(0xa076_1d64_78bd_642f),
         }
     }
 
@@ -56,6 +62,23 @@ impl TestRng {
             }
         }
     }
+}
+
+/// Extra entropy mixed into every [`TestRng`], taken from `PROPTEST_SEED`
+/// (unset, empty, or unparsable ⇒ 0, the default stream). Read per call so
+/// in-process tests can vary it; the parse is trivial next to a test case.
+fn env_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The active `PROPTEST_SEED` — exposed so failure messages can name the
+/// stream a case came from (macro plumbing; not part of the proptest API).
+#[doc(hidden)]
+pub fn __env_seed() -> u64 {
+    env_seed()
 }
 
 // --------------------------------------------------------------------------
@@ -300,8 +323,8 @@ macro_rules! __proptest_items {
                     })();
                     if let Err(msg) = __result {
                         panic!(
-                            "proptest case {} of {} failed: {}",
-                            __case, stringify!($name), msg
+                            "proptest case {} of {} (PROPTEST_SEED={}) failed: {}",
+                            __case, stringify!($name), $crate::__env_seed(), msg
                         );
                     }
                 }
@@ -424,13 +447,38 @@ mod tests {
         }
     }
 
+    /// Determinism per (name, case) and the `PROPTEST_SEED` stream shift in
+    /// one test: the env mutation must not interleave with the determinism
+    /// assertions on another thread, and every other shim test is
+    /// stream-independent (bounds/self-consistency only). The ambient
+    /// variable is captured and restored, so the test also passes when the
+    /// whole binary runs under a nonzero seed.
     #[test]
-    fn deterministic_per_name_and_case() {
+    fn deterministic_per_name_case_and_env_seed() {
+        let ambient = std::env::var("PROPTEST_SEED").ok();
         let mut a = TestRng::new("x", 3);
         let mut b = TestRng::new("x", 3);
         let mut c = TestRng::new("x", 4);
-        assert_eq!(a.next_u64(), b.next_u64());
+        let base_draw = a.next_u64();
+        assert_eq!(base_draw, b.next_u64());
         assert_ne!(a.next_u64(), c.next_u64());
+
+        // A seed distinct from the ambient one must shift the stream.
+        let other = if super::env_seed() == 17 { 18 } else { 17 };
+        std::env::set_var("PROPTEST_SEED", other.to_string());
+        let seeded_draw = TestRng::new("x", 3).next_u64();
+        let repeat_draw = TestRng::new("x", 3).next_u64();
+        match &ambient {
+            Some(v) => std::env::set_var("PROPTEST_SEED", v),
+            None => std::env::remove_var("PROPTEST_SEED"),
+        }
+        assert_ne!(base_draw, seeded_draw, "seed must shift the stream");
+        assert_eq!(seeded_draw, repeat_draw, "seeded stream is deterministic");
+        assert_eq!(
+            base_draw,
+            TestRng::new("x", 3).next_u64(),
+            "restoring the ambient seed restores its stream"
+        );
     }
 
     #[test]
