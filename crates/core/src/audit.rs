@@ -128,10 +128,13 @@ pub fn audit_monitor(mon: &TopkMonitor, values: &[Value]) -> Vec<AuditError> {
         }
     }
 
-    // (4) Lemma 2.2 validity of the implied threshold assignment.
+    // (4) Lemma 2.2 validity of the implied threshold assignment — checked
+    // against the monitor's own (valid, per check 1) membership: on exact
+    // boundary ties several top-k sets are valid and the monitor may
+    // legitimately hold one that differs from `true_topk`'s tie-break.
     if let Some(m) = coord_threshold {
         let fs = FilterSet::threshold(cfg.n, cfg.k, m, &answer);
-        if !fs.is_valid_for(values) {
+        if !fs.is_valid_for_assignment(values, &answer) {
             errors.push(AuditError::InvalidFilterSet);
         }
         // (5) certificate order.

@@ -28,6 +28,7 @@ const T_RESET_START: u8 = 0x17;
 const T_RESET_WINNER: u8 = 0x18;
 const T_RESET_ANN: u8 = 0x19;
 const T_RESET_DONE: u8 = 0x1a;
+const T_RESET_BAR: u8 = 0x1b;
 
 /// Codec error: unknown tag or truncated/overlong payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +111,10 @@ pub fn encode_down(msg: &DownMsg, buf: &mut impl BufMut) {
             buf.put_u8(T_RESET_ANN);
             put_report(buf, r);
         }
+        DownMsg::ResetBar(r) => {
+            buf.put_u8(T_RESET_BAR);
+            put_report(buf, r);
+        }
         DownMsg::ResetDone { threshold } => {
             buf.put_u8(T_RESET_DONE);
             put_varint(buf, threshold);
@@ -142,6 +147,7 @@ pub fn decode_down(buf: &mut impl Buf) -> Result<DownMsg, DecodeError> {
             }
         }
         T_RESET_ANN => DownMsg::ResetAnnounce(get_report(buf)?),
+        T_RESET_BAR => DownMsg::ResetBar(get_report(buf)?),
         T_RESET_DONE => DownMsg::ResetDone {
             threshold: get_varint(buf).ok_or_else(|| DecodeError("truncated threshold".into()))?,
         },
@@ -173,6 +179,7 @@ fn sample_messages(id: topk_net::id::NodeId, v: u64) -> (Vec<UpMsg>, Vec<DownMsg
                 report: r,
             },
             DownMsg::ResetAnnounce(r),
+            DownMsg::ResetBar(r),
             DownMsg::ResetDone { threshold: v },
         ],
     )
@@ -252,7 +259,7 @@ mod tests {
         }
 
         #[test]
-        fn down_roundtrip(id in 0u32..=u32::MAX, v in 0u64..=u64::MAX, rank in 1u32..=u32::MAX, which in 0u8..10) {
+        fn down_roundtrip(id in 0u32..=u32::MAX, v in 0u64..=u64::MAX, rank in 1u32..=u32::MAX, which in 0u8..11) {
             let r = Report { id: NodeId(id), value: v };
             let m = match which {
                 0 => DownMsg::ViolMinAnnounce(r),
@@ -264,6 +271,7 @@ mod tests {
                 6 => DownMsg::ResetStart,
                 7 => DownMsg::ResetWinner { rank, report: r },
                 8 => DownMsg::ResetAnnounce(r),
+                9 => DownMsg::ResetBar(r),
                 _ => DownMsg::ResetDone { threshold: v },
             };
             let mut buf = BytesMut::new();

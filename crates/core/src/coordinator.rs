@@ -13,19 +13,36 @@
 //!    that side.
 //! 3. **Conclusion** (lines 27–34): fold the exact min/max into the
 //!    [`GapTracker`]; either broadcast the new midpoint threshold or
-//! 4. **FILTERRESET** (lines 36–42): `k+1` iterations of
-//!    MAXIMUMPROTOCOL(n), winner announcements doubling as next-iteration
-//!    start signals, concluded by the new threshold broadcast.
+//! 4. **FILTERRESET** (lines 36–42) — one of two strategies, selected by
+//!    [`crate::config::ResetStrategy`]:
+//!    * **Batched** (default): a single k-select sweep. Every node joins one
+//!      MAXIMUMPROTOCOL(n)-style sampling schedule; the coordinator keeps
+//!      the running top-`k+1` candidate set ([`KSelectAggregator`]) and
+//!      broadcasts the current `(k+1)`-th best as the deactivation bar
+//!      (`ResetBar`), then announces the `k+1` winners rank by rank and
+//!      concludes with the threshold broadcast. `⌈log₂(n/(k+1))⌉ + k + 3`
+//!      coordinator rounds (the sampling schedule starts at `(k+1)/n`) and
+//!      `O(k·log(n/k) + log n)` expected up-messages.
+//!    * **Legacy** (the pseudocode, literally): `k+1` sequential iterations
+//!      of MAXIMUMPROTOCOL(n), winner announcements doubling as
+//!      next-iteration start signals — `(k+1)·(⌈log₂n⌉+1) + 1` rounds and
+//!      `(k+1)·O(log n)` expected up-messages.
+//!
+//!    Both strategies are Las Vegas-exact and produce identical winners,
+//!    membership and thresholds (pinned by the strategy matrix in
+//!    `tests/runtime_conformance.rs`); round counts are pinned by
+//!    `crates/core/tests/reset_rounds.rs` via [`RunMetrics::reset_rounds`].
 
-use topk_net::behavior::{CoordOut, CoordinatorBehavior};
+use topk_net::behavior::{CoordOut, CoordinatorBehavior, RoundScope};
 use topk_net::id::{midpoint_floor, NodeId};
 use topk_net::rng::log2_ceil;
 use topk_net::wire::Report;
 
 use topk_filters::tracker::{GapTracker, GapUpdate};
 use topk_proto::extremum::{MaxAggregator, MinAggregator};
+use topk_proto::kselect::KSelectAggregator;
 
-use crate::config::{HandlerMode, MonitorConfig};
+use crate::config::{HandlerMode, MonitorConfig, ResetStrategy};
 use crate::metrics::RunMetrics;
 use crate::msg::{DownMsg, UpMsg};
 
@@ -52,11 +69,19 @@ enum Phase {
         start_m: u32,
         carried_min: u64,
     },
-    /// FILTERRESET iteration in progress.
+    /// Legacy FILTERRESET iteration in progress (one of `k+1` sequential
+    /// maximum searches).
     Reset {
         agg: MaxAggregator,
         start_m: u32,
         winners: Vec<Report>,
+    },
+    /// Batched FILTERRESET: single k-select sweep, then rank-by-rank winner
+    /// announcements (`announced` = winners broadcast so far).
+    ResetBatched {
+        agg: KSelectAggregator,
+        start_m: u32,
+        announced: usize,
     },
 }
 
@@ -75,6 +100,9 @@ pub struct CoordinatorMachine {
     l_max: u32,
     l_viol: u32,
     l_n: u32,
+    /// Final participant round of the batched k-select sweep:
+    /// `⌈log₂(max(1, ⌊n/(k+1)⌋))⌉` (the schedule starts at `(k+1)/n`).
+    l_ks: u32,
 }
 
 impl CoordinatorMachine {
@@ -98,6 +126,7 @@ impl CoordinatorMachine {
             l_max,
             l_viol: l_min.max(l_max),
             l_n: log2_ceil(cfg.n as u64),
+            l_ks: log2_ceil(topk_proto::kselect::sampling_bound(cfg.k + 1, cfg.n as u64)),
         }
     }
 
@@ -119,11 +148,32 @@ impl CoordinatorMachine {
     fn begin_reset(&mut self, m: u32, out: &mut CoordOut<DownMsg>) {
         out.broadcasts.push(DownMsg::ResetStart);
         self.metrics.reset_bcast += 1;
-        self.phase = Phase::Reset {
-            agg: MaxAggregator::new(self.cfg.n as u64),
-            start_m: m + 1,
-            winners: Vec::with_capacity(self.cfg.k + 1),
+        self.metrics.reset_rounds += 1;
+        self.phase = match self.cfg.reset {
+            ResetStrategy::Batched => Phase::ResetBatched {
+                agg: KSelectAggregator::new(self.cfg.k + 1, self.cfg.n as u64),
+                start_m: m + 1,
+                announced: 0,
+            },
+            ResetStrategy::Legacy => Phase::Reset {
+                agg: MaxAggregator::new(self.cfg.n as u64),
+                start_m: m + 1,
+                winners: Vec::with_capacity(self.cfg.k + 1),
+            },
         };
+    }
+
+    /// Lines 40–41, shared by both reset strategies: derive the new epoch
+    /// from the reset's `k+1` winners (best-first) and emit `ResetDone`.
+    /// Returns the state to store; the caller assigns `self.phase` (it may
+    /// still hold a borrow of the old phase when computing `winners`).
+    fn epoch_from_winners(t: u64, k: usize, winners: &[Report]) -> (Vec<NodeId>, GapTracker, u64) {
+        let kth = winners[k - 1];
+        let k1 = winners[k];
+        let thresh = midpoint_floor(kth.value, k1.value);
+        let mut ids: Vec<NodeId> = winners[..k].iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        (ids, GapTracker::start_epoch(t, kth.value, k1.value), thresh)
     }
 
     /// Lines 27–34: fold the exact current extrema into the tracker and
@@ -215,6 +265,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 if m < self.l_min {
                     if let Some(a) = min_agg.pending_announcement(policy) {
                         out.broadcasts.push(DownMsg::ViolMinAnnounce(a));
+                        out.scope = RoundScope::Engaged;
                         min_agg.mark_announced();
                         self.metrics.viol_bcast += 1;
                     }
@@ -222,6 +273,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 if m < self.l_max {
                     if let Some(a) = max_agg.pending_announcement(policy) {
                         out.broadcasts.push(DownMsg::ViolMaxAnnounce(a));
+                        out.scope = RoundScope::Engaged;
                         max_agg.mark_announced();
                         self.metrics.viol_bcast += 1;
                     }
@@ -291,6 +343,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 if r < self.l_min {
                     if let Some(a) = agg.pending_announcement(policy) {
                         out.broadcasts.push(DownMsg::HandlerAnnounce(a));
+                        out.scope = RoundScope::Engaged;
                         agg.mark_announced();
                         self.metrics.handler_bcast += 1;
                     }
@@ -322,6 +375,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 if r < self.l_max {
                     if let Some(a) = agg.pending_announcement(policy) {
                         out.broadcasts.push(DownMsg::HandlerAnnounce(a));
+                        out.scope = RoundScope::Engaged;
                         agg.mark_announced();
                         self.metrics.handler_bcast += 1;
                     }
@@ -340,6 +394,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 start_m,
                 winners,
             } => {
+                self.metrics.reset_rounds += 1;
                 for (_, up) in ups.drain(..) {
                     match up {
                         UpMsg::Reset(r) => {
@@ -353,6 +408,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                 if r < self.l_n {
                     if let Some(a) = agg.pending_announcement(policy) {
                         out.broadcasts.push(DownMsg::ResetAnnounce(a));
+                        out.scope = RoundScope::Engaged;
                         agg.mark_announced();
                         self.metrics.reset_bcast += 1;
                     }
@@ -374,13 +430,72 @@ impl CoordinatorBehavior for CoordinatorMachine {
                     } else {
                         // Line 40–41: threshold between the k-th and
                         // (k+1)-st largest; new epoch begins.
-                        let kth = winners[k - 1];
-                        let k1 = winners[k];
-                        let thresh = midpoint_floor(kth.value, k1.value);
-                        let mut ids: Vec<NodeId> = winners[..k].iter().map(|w| w.id).collect();
-                        ids.sort_unstable();
+                        let (ids, tracker, thresh) = Self::epoch_from_winners(t, k, winners);
                         self.topk_ids = ids;
-                        self.tracker = Some(GapTracker::start_epoch(t, kth.value, k1.value));
+                        self.tracker = Some(tracker);
+                        out.broadcasts
+                            .push(DownMsg::ResetDone { threshold: thresh });
+                        self.last_threshold = Some(thresh);
+                        self.metrics.reset_bcast += 1;
+                        self.initialized = true;
+                        self.phase = Phase::Done;
+                    }
+                }
+            }
+            Phase::ResetBatched {
+                agg,
+                start_m,
+                announced,
+            } => {
+                self.metrics.reset_rounds += 1;
+                for (_, up) in ups.drain(..) {
+                    match up {
+                        UpMsg::Reset(r) => {
+                            agg.absorb(r);
+                            self.metrics.reset_up += 1;
+                        }
+                        other => debug_assert!(false, "unexpected report {other:?}"),
+                    }
+                }
+                let r = m - *start_m;
+                if r < self.l_ks {
+                    // Sampling still running: announce the deactivation bar
+                    // (the current (k+1)-th best) so dominated participants
+                    // withdraw — the k-select analogue of line 18.
+                    if let Some(bar) = agg.pending_bar(policy) {
+                        out.broadcasts.push(DownMsg::ResetBar(bar));
+                        out.scope = RoundScope::Engaged;
+                        agg.mark_announced();
+                        self.metrics.reset_bcast += 1;
+                    }
+                } else {
+                    // r ≥ l_ks: the probability-1 round's reports arrived
+                    // at r == l_ks, so the top-(k+1) is exact. Announce winners
+                    // rank by rank (one broadcast per round — the model's
+                    // per-round bandwidth discipline), then conclude.
+                    let winners = agg.winners();
+                    let k = self.cfg.k;
+                    assert_eq!(
+                        winners.len(),
+                        k + 1,
+                        "n > k nodes guarantee k+1 reset winners"
+                    );
+                    let idx = *announced;
+                    if idx <= k {
+                        // Only the self-identified winner reacts (batched
+                        // nodes never restart on winner announcements), so
+                        // the round is scoped to engaged ∪ winner.
+                        out.broadcasts.push(DownMsg::ResetWinner {
+                            rank: (idx + 1) as u32,
+                            report: winners[idx],
+                        });
+                        out.scope = RoundScope::EngagedPlus(winners[idx].id);
+                        *announced += 1;
+                        self.metrics.reset_bcast += 1;
+                    } else {
+                        let (ids, tracker, thresh) = Self::epoch_from_winners(t, k, winners);
+                        self.topk_ids = ids;
+                        self.tracker = Some(tracker);
                         out.broadcasts
                             .push(DownMsg::ResetDone { threshold: thresh });
                         self.last_threshold = Some(thresh);

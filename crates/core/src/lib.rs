@@ -41,7 +41,7 @@ pub mod threaded;
 
 pub use audit::{assert_audit_clean, audit_monitor, AuditError};
 pub use baselines::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
-pub use config::{HandlerMode, MonitorConfig};
+pub use config::{HandlerMode, MonitorConfig, ResetStrategy};
 pub use coordinator::CoordinatorMachine;
 pub use metrics::RunMetrics;
 pub use monitor::{

@@ -38,6 +38,13 @@ pub struct RunMetrics {
     /// Broadcasts inside resets: start, per-round announcements, winner
     /// announcements, final threshold (including initialization).
     pub reset_bcast: u64,
+    /// Coordinator micro-rounds spent inside resets (including the round
+    /// that broadcasts `ResetStart` and the `t = 0` initialization). This is
+    /// the FILTERRESET *round* complexity — `(k+1)·(⌈log₂n⌉+1) + 1` per
+    /// legacy reset, `⌈log₂(n/(k+1))⌉ + k + 3` per batched reset — counted
+    /// identically on every runtime (it lives in the coordinator, not the
+    /// driver) and pinned by `crates/core/tests/reset_rounds.rs`.
+    pub reset_rounds: u64,
 }
 
 impl RunMetrics {

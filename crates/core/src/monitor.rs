@@ -184,6 +184,13 @@ impl TopkMonitor {
         self.rt.silent_steps()
     }
 
+    /// Coordinator micro-rounds executed so far (all phases) — the runtime's
+    /// round-complexity witness; reset-phase rounds alone are in
+    /// [`RunMetrics::reset_rounds`].
+    pub fn micro_rounds_run(&self) -> u64 {
+        self.rt.micro_rounds_run()
+    }
+
     /// Total node `observe` calls — `O(#changed + #engaged)` per step on
     /// the sparse path, `n` per step only on the very first (init) step.
     pub fn observe_calls(&self) -> u64 {

@@ -64,8 +64,12 @@ pub enum DownMsg {
     /// signal of iteration `rank+1`; the named node stops participating and,
     /// if `rank ≤ k`, will be in the new top-k.
     ResetWinner { rank: u32, report: Report },
-    /// Running maximum announcement within a reset iteration.
+    /// Running maximum announcement within a legacy reset iteration.
     ResetAnnounce(Report),
+    /// Batched reset only: the current `(k+1)`-th best report — the
+    /// deactivation bar of the single k-select sweep. A participant that
+    /// cannot beat it is provably outside the new top-`k+1` and withdraws.
+    ResetBar(Report),
     /// End of FILTERRESET (line 41): new threshold `M`; each node's
     /// membership is "was announced with rank ≤ k during this reset".
     ResetDone { threshold: Value },
@@ -77,7 +81,8 @@ impl WireSize for DownMsg {
             DownMsg::ViolMinAnnounce(r)
             | DownMsg::ViolMaxAnnounce(r)
             | DownMsg::HandlerAnnounce(r)
-            | DownMsg::ResetAnnounce(r) => r.wire_bits(),
+            | DownMsg::ResetAnnounce(r)
+            | DownMsg::ResetBar(r) => r.wire_bits(),
             DownMsg::HandlerStartMin | DownMsg::HandlerStartMax | DownMsg::ResetStart => 0,
             DownMsg::Midpoint(m) => varint_bits(m),
             DownMsg::ResetWinner { rank, report } => varint_bits(rank as u64) + report.wire_bits(),
@@ -119,6 +124,7 @@ mod tests {
                 report: r,
             },
             DownMsg::ResetAnnounce(r),
+            DownMsg::ResetBar(r),
             DownMsg::ResetDone { threshold: v },
         ];
         let budget = budget_bits(n as usize, v);

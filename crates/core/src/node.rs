@@ -15,7 +15,7 @@ use topk_net::wire::Report;
 
 use topk_proto::extremum::{MaxParticipant, MinParticipant, Participant};
 
-use crate::config::MonitorConfig;
+use crate::config::{MonitorConfig, ResetStrategy};
 use crate::msg::{DownMsg, UpMsg};
 
 /// The node's filter: uninitialized (before the `t=0` reset completes) or
@@ -164,7 +164,10 @@ impl NodeMachine {
                 }
                 false
             }
-            DownMsg::ResetAnnounce(rep) => {
+            DownMsg::ResetAnnounce(rep) | DownMsg::ResetBar(rep) => {
+                // Legacy running maximum and batched (k+1)-th-best bar drive
+                // the same deactivation comparison: withdraw unless we beat
+                // the announced report.
                 if matches!(self.proto, Proto::Reset { part: Some(_), .. }) {
                     self.last_announce = Some(rep);
                 }
@@ -197,7 +200,16 @@ impl NodeMachine {
                 false
             }
             DownMsg::ResetStart => {
-                let p = Participant::new(self.id, self.value, self.cfg.n as u64);
+                // Legacy iterations run MAXIMUMPROTOCOL(n); the batched
+                // sweep runs the k-select schedule, whose bound n/(k+1)
+                // yields k+1 expected round-0 reports instead of one.
+                let bound = match self.cfg.reset {
+                    ResetStrategy::Legacy => self.cfg.n as u64,
+                    ResetStrategy::Batched => {
+                        topk_proto::kselect::sampling_bound(self.cfg.k + 1, self.cfg.n as u64)
+                    }
+                };
+                let p = Participant::new(self.id, self.value, bound);
                 self.start_episode(Proto::Reset {
                     part: Some(p),
                     selected_rank: None,
@@ -218,8 +230,11 @@ impl NodeMachine {
                     *selected_rank = Some(rank);
                     *part = None;
                     false
-                } else if selected_rank.is_none() {
-                    // Fresh participant for the next iteration.
+                } else if self.cfg.reset == ResetStrategy::Legacy && selected_rank.is_none() {
+                    // Legacy only: the winner announcement doubles as the
+                    // next iteration's start signal — fresh participant.
+                    // (Batched resets select every winner in the single
+                    // sweep already run; non-winners just stay quiet.)
                     *part = Some(Participant::new(self.id, self.value, self.cfg.n as u64));
                     self.my_round = 0;
                     self.last_announce = None;

@@ -1,0 +1,145 @@
+//! Round-accounting regression tests for the two FILTERRESET strategies.
+//!
+//! The round schedule of a reset is **deterministic** — participants may or
+//! may not send in any round, but the coordinator always runs the full
+//! schedule — so these are exact pins, not bounds with slack:
+//!
+//! * legacy:  `(k+1)·(⌈log₂n⌉ + 1) + 1` coordinator rounds per reset;
+//! * batched: `⌈log₂(max(1, ⌊n/(k+1)⌋))⌉ + k + 3` — the `O(log n + k)` claim of the batched
+//!   k-select sweep. A separate assertion keeps it under `4·(⌈log₂n⌉ + k)`
+//!   so the complexity class can't silently regress even if the exact
+//!   schedule shifts by a constant.
+//!
+//! Rounds are counted by the coordinator itself ([`RunMetrics::reset_rounds`])
+//! so the pin is runtime-independent; for the init step we cross-check the
+//! metric against the sequential runtime's `micro_rounds_run`.
+
+use topk_core::metrics::RunMetrics;
+use topk_core::{Monitor, MonitorConfig, ResetStrategy, TopkMonitor};
+use topk_net::rng::log2_ceil;
+
+/// (n, k) grid covering tiny, boundary (k+1 == n) and wide configurations.
+const GRID: &[(usize, usize)] = &[
+    (2, 1),
+    (3, 2),
+    (8, 1),
+    (8, 4),
+    (8, 7),
+    (64, 3),
+    (100, 10),
+    (1000, 1),
+    (1000, 8),
+    (4096, 32),
+];
+
+fn legacy_rounds(n: usize, k: usize) -> u64 {
+    (k as u64 + 1) * (log2_ceil(n as u64) as u64 + 1) + 1
+}
+
+fn batched_rounds(n: usize, k: usize) -> u64 {
+    // The k-select sweep samples at bound ⌊n/(k+1)⌋ (schedule starts at
+    // probability (k+1)/n), so its final round comes log₂(k+1) earlier
+    // than a maximum search's.
+    let bound = (n as u64 / (k as u64 + 1)).max(1);
+    log2_ceil(bound) as u64 + k as u64 + 3
+}
+
+/// Run the `t = 0` init reset and return `(reset_rounds, micro_rounds_run)`.
+fn init_reset(n: usize, k: usize, strategy: ResetStrategy, seed: u64) -> (u64, u64) {
+    let cfg = MonitorConfig::new(n, k).with_reset(strategy);
+    let mut mon = TopkMonitor::new(cfg, seed);
+    // Distinct values so the selection is unique (rounds don't depend on
+    // the values, but the answer check below should be strict).
+    let values: Vec<u64> = (0..n as u64)
+        .map(|i| (i * 7919) % (131 * n as u64))
+        .collect();
+    mon.step(0, &values);
+    assert_eq!(mon.topk(), topk_net::id::true_topk(&values, k));
+    (mon.metrics().reset_rounds, mon.micro_rounds_run())
+}
+
+#[test]
+fn legacy_reset_rounds_exact() {
+    for &(n, k) in GRID {
+        for seed in [1u64, 42, 999] {
+            let (rounds, micro) = init_reset(n, k, ResetStrategy::Legacy, seed);
+            assert_eq!(
+                rounds,
+                legacy_rounds(n, k),
+                "legacy (n={n}, k={k}, seed={seed})"
+            );
+            assert_eq!(micro, rounds, "init step is reset-only (n={n}, k={k})");
+        }
+    }
+}
+
+#[test]
+fn batched_reset_rounds_exact_and_in_class() {
+    for &(n, k) in GRID {
+        for seed in [1u64, 42, 999] {
+            let (rounds, micro) = init_reset(n, k, ResetStrategy::Batched, seed);
+            assert_eq!(
+                rounds,
+                batched_rounds(n, k),
+                "batched (n={n}, k={k}, seed={seed})"
+            );
+            assert_eq!(micro, rounds, "init step is reset-only (n={n}, k={k})");
+            // The complexity-class guard: O(log n + k) with c = 4.
+            let budget = 4 * (log2_ceil(n as u64) as u64 + k as u64);
+            assert!(
+                rounds <= budget,
+                "batched reset (n={n}, k={k}): {rounds} rounds exceed 4·(⌈log₂n⌉+k) = {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_beats_legacy_for_every_grid_point_with_k_at_least_2() {
+    // For k = 1 the two schedules tie or nearly tie; from k = 2 on the
+    // batched sweep is strictly cheaper, increasingly so in k.
+    for &(n, k) in GRID.iter().filter(|&&(_, k)| k >= 2) {
+        assert!(
+            batched_rounds(n, k) < legacy_rounds(n, k),
+            "(n={n}, k={k}): batched {} vs legacy {}",
+            batched_rounds(n, k),
+            legacy_rounds(n, k)
+        );
+    }
+    // And the asymptotic gap is the (k+1)× the tentpole claims: at
+    // n = 4096, k = 32 the legacy schedule pays > 6× the batched rounds.
+    assert!(legacy_rounds(4096, 32) > 6 * batched_rounds(4096, 32));
+}
+
+/// A violation-forced reset (not just init) follows the same schedules.
+#[test]
+fn mid_stream_reset_rounds_match_init_schedule() {
+    for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
+        let n = 64;
+        let k = 4;
+        let cfg = MonitorConfig::new(n, k).with_reset(strategy);
+        let mut mon = TopkMonitor::new(cfg, 7);
+        let mut values: Vec<u64> = (0..n as u64).map(|i| 1_000 + i * 100).collect();
+        mon.step(0, &values);
+        let after_init = mon.metrics().reset_rounds;
+
+        // Flip the total order: previous top-k collapse to the bottom —
+        // the gap certificate cannot absorb this, forcing a reset.
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = 1_000 + (n - i) as u64 * 100;
+        }
+        mon.step(1, &values);
+        let m: &RunMetrics = mon.metrics();
+        assert!(m.resets >= 1, "the order flip must force a reset");
+        let per_reset = match strategy {
+            ResetStrategy::Legacy => legacy_rounds(n, k),
+            ResetStrategy::Batched => batched_rounds(n, k),
+        };
+        assert_eq!(
+            m.reset_rounds - after_init,
+            m.resets * per_reset,
+            "{strategy:?}: every mid-stream reset must follow the schedule"
+        );
+        assert_eq!(mon.topk(), topk_net::id::true_topk(&values, k));
+    }
+}

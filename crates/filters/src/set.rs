@@ -58,18 +58,28 @@ impl FilterSet {
     /// 1. `v_i ∈ F_i` for all `i`;
     /// 2. `min_{i ∈ topk} l_i ≥ max_{j ∉ topk} u_j`.
     pub fn is_valid_for(&self, values: &[Value]) -> bool {
+        self.is_valid_for_assignment(values, &true_topk(values, self.k))
+    }
+
+    /// [`Self::is_valid_for`] with an explicitly chosen top-k assignment
+    /// instead of `true_topk`'s lowest-id tie-break. When values tie exactly
+    /// at the `k`/`k+1` boundary, *several* top-k sets are valid and a
+    /// filter set may be Lemma 2.2-valid for one of them but not for the
+    /// canonical one — a monitor that legitimately holds the other side of
+    /// the tie must be audited against *its* assignment. `topk` must be a
+    /// valid top-k for `values` (caller-checked; e.g.
+    /// `topk_core::is_valid_topk`).
+    pub fn is_valid_for_assignment(&self, values: &[Value], topk: &[NodeId]) -> bool {
         assert_eq!(values.len(), self.filters.len());
+        assert_eq!(topk.len(), self.k.min(self.n()));
         if self.k == 0 || self.k == self.n() {
-            // Degenerate: F is constant regardless of movement; only
-            // containment matters.
             return values
                 .iter()
                 .zip(&self.filters)
                 .all(|(&v, f)| f.contains(v));
         }
-        let topk = true_topk(values, self.k);
         let mut in_top = vec![false; values.len()];
-        for id in &topk {
+        for id in topk {
             in_top[id.idx()] = true;
         }
         let mut min_top_lo = Bound::PosInf;
@@ -192,6 +202,26 @@ mod tests {
         assert!(fs.is_valid_for(&values));
         let fs0 = FilterSet::new(vec![FilterInterval::unbounded(); 2], 0);
         assert!(fs0.is_valid_for(&values));
+    }
+
+    #[test]
+    fn boundary_tie_valid_for_either_assignment() {
+        // Exact tie at the k/k+1 boundary: {n0} and {n1} are both valid
+        // top-1 sets. A threshold filter set built around the *higher-id*
+        // member must audit clean against its own assignment even though
+        // `true_topk` breaks the tie toward n0.
+        let values = vec![470, 470, 100];
+        let chosen = vec![NodeId(1)];
+        let fs = FilterSet::threshold(3, 1, 470, &chosen);
+        assert!(fs.is_valid_for_assignment(&values, &chosen));
+        assert!(
+            !fs.is_valid_for(&values),
+            "the canonical tie-break picks n0, for which this set is invalid"
+        );
+        // And a genuinely bad assignment still fails.
+        let bad = vec![NodeId(2)];
+        let fs_bad = FilterSet::threshold(3, 1, 470, &bad);
+        assert!(!fs_bad.is_valid_for_assignment(&values, &bad));
     }
 
     #[test]

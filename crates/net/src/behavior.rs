@@ -110,6 +110,35 @@ pub trait NodeBehavior: Send {
     ) -> RoundAction<Self::Up>;
 }
 
+/// Delivery scope of one micro-round's **broadcasts** — a transport
+/// contract, not a model quantity. A broadcast is always charged to the
+/// ledger as one full broadcast; the scope only tells the runtimes which
+/// node polls they may *skip* because the emitter guarantees those nodes
+/// ignore the payload (exactly like [`NodeBehavior::SPARSE_OBSERVE`]
+/// licenses skipping no-op observes).
+///
+/// The emitter is responsible for the guarantee: a scope may only be
+/// narrowed when a disengaged, un-addressed node receiving the round's
+/// broadcasts would provably change no observable state and draw no
+/// randomness. Algorithm 1's running-extremum / k-select-bar announcements
+/// qualify (only live protocol participants react, and live ⟺ engaged);
+/// its start/winner/threshold signals do not (they re-activate or re-filter
+/// arbitrary nodes) — except the batched reset's winner announcements,
+/// which concern exactly one self-identified addressee
+/// ([`RoundScope::EngagedPlus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundScope {
+    /// Deliver to every node — the default, always safe.
+    #[default]
+    All,
+    /// Deliver only to engaged nodes (and unicast addressees): every other
+    /// node is contractually a no-op for this round's broadcasts.
+    Engaged,
+    /// [`RoundScope::Engaged`] plus one named node that must receive the
+    /// round even if disengaged (e.g. the winner of a selection round).
+    EngagedPlus(NodeId),
+}
+
 /// Everything the coordinator emits at the end of one micro-round.
 #[derive(Debug, Clone)]
 pub struct CoordOut<D> {
@@ -118,6 +147,8 @@ pub struct CoordOut<D> {
     /// Broadcasts, each charged as one `Broadcast` message. Usually 0 or 1;
     /// 2 when a min- and a max-protocol round conclude simultaneously.
     pub broadcasts: Vec<D>,
+    /// Delivery scope of `broadcasts` (ledger cost unaffected).
+    pub scope: RoundScope,
 }
 
 impl<D> Default for CoordOut<D> {
@@ -125,6 +156,7 @@ impl<D> Default for CoordOut<D> {
         CoordOut {
             unicasts: Vec::new(),
             broadcasts: Vec::new(),
+            scope: RoundScope::All,
         }
     }
 }
@@ -142,14 +174,17 @@ impl<D> CoordOut<D> {
         CoordOut {
             unicasts: Vec::new(),
             broadcasts: vec![d],
+            scope: RoundScope::All,
         }
     }
 
     /// Drop the round's messages but keep both buffers' capacity — the
     /// runtimes reuse one `CoordOut` across all micro-rounds of a run.
+    /// The scope resets to the safe default.
     pub fn clear(&mut self) {
         self.unicasts.clear();
         self.broadcasts.clear();
+        self.scope = RoundScope::All;
     }
 }
 

@@ -15,7 +15,11 @@
 //!   nodes and unicast addressees are polled, iterating a persistent sorted
 //!   index list of engaged nodes (never a full `0..n` scan). Disengaged
 //!   nodes are contractually no-ops, so skipping them changes nothing
-//!   observable.
+//!   observable. Rounds *with* broadcasts poll everyone unless the
+//!   coordinator scoped them via [`crate::behavior::RoundScope`]
+//!   (announcement rounds only live protocol participants react to), in
+//!   which case the same narrow visit applies — broadcasts stay fully
+//!   charged to the ledger either way.
 //! * **Across steps** (opt-in via [`NodeBehavior::SPARSE_OBSERVE`]):
 //!   [`SyncRuntime::step_sparse`] accepts only the *changed* `(id, value)`
 //!   pairs and visits changed ∪ engaged nodes in node-phase 0, so a silent
@@ -28,7 +32,9 @@
 //! by the runtime and reused across rounds and steps — the steady-state hot
 //! path performs no allocation.
 
-use crate::behavior::{max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed};
+use crate::behavior::{
+    max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
+};
 use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger};
@@ -302,6 +308,11 @@ where
     /// Deliver the coordinator output of round `m-1` as node-phase `m` and
     /// collect the nodes' up-messages into `self.ups`. `out` is runtime
     /// scratch: read here, cleared by the next round.
+    ///
+    /// Visit rule: a round with [`RoundScope::All`] broadcasts reaches every
+    /// node; otherwise only engaged nodes, unicast addressees, and the
+    /// [`RoundScope::EngagedPlus`] addressee are polled (skipped nodes are
+    /// contractual no-ops — see [`RoundScope`]).
     fn deliver_phase(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) {
         if out.unicasts.len() > 1 {
             out.unicasts.sort_by_key(|(id, _)| *id);
@@ -312,23 +323,19 @@ where
         );
         let unicasts = &out.unicasts;
         let broadcasts = &out.broadcasts;
+        let full_fanout = !broadcasts.is_empty() && out.scope == RoundScope::All;
+        // A scoped extra addressee matters only when something is broadcast.
+        let extra: Option<u32> = match out.scope {
+            RoundScope::EngagedPlus(id) if !broadcasts.is_empty() => Some(id.0),
+            _ => None,
+        };
 
         let engaged_prev = std::mem::take(&mut self.engaged_idx);
         let mut next = std::mem::take(&mut self.engaged_next);
         next.clear();
 
-        if broadcasts.is_empty() && unicasts.is_empty() {
-            // Silent round: poll only engaged nodes, via the index list.
-            for &i in &engaged_prev {
-                self.poll_node(t, m, i as usize, broadcasts, None, &mut next);
-            }
-        } else if broadcasts.is_empty() {
-            // Unicasts only: poll engaged ∪ addressees, merged in id order.
-            merge_visit(unicasts, &engaged_prev, |i, ucast| {
-                self.poll_node(t, m, i as usize, broadcasts, ucast, &mut next);
-            });
-        } else {
-            // A broadcast reaches everyone.
+        if full_fanout {
+            // An unscoped broadcast reaches everyone.
             let mut u = unicasts.iter().peekable();
             for i in 0..self.nodes.len() {
                 let ucast = match u.peek() {
@@ -337,6 +344,31 @@ where
                 };
                 self.poll_node(t, m, i, broadcasts, ucast, &mut next);
             }
+        } else if unicasts.is_empty() && extra.is_none() {
+            // Silent or engaged-scoped round: poll only engaged nodes.
+            for &i in &engaged_prev {
+                self.poll_node(t, m, i as usize, broadcasts, None, &mut next);
+            }
+        } else {
+            // Poll engaged ∪ unicast addressees ∪ scoped addressee, in
+            // ascending id order.
+            let mut visit = std::mem::take(&mut self.visit);
+            visit.clear();
+            merge_visit(unicasts, &engaged_prev, |i, _| visit.push(i));
+            if let Some(x) = extra {
+                if let Err(pos) = visit.binary_search(&x) {
+                    visit.insert(pos, x);
+                }
+            }
+            let mut u = unicasts.iter().peekable();
+            for &i in &visit {
+                let ucast = match u.peek() {
+                    Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d),
+                    _ => None,
+                };
+                self.poll_node(t, m, i as usize, broadcasts, ucast, &mut next);
+            }
+            self.visit = visit;
         }
 
         self.engaged_next = engaged_prev;

@@ -32,7 +32,12 @@
 //! * **micro-rounds** — a round without broadcasts visits only engaged
 //!   nodes and unicast addressees, walking a persistent sorted
 //!   engaged-index list. A round *with* a broadcast falls back to the full
-//!   fan-out: every node must receive the payload.
+//!   fan-out — unless the coordinator scoped the round via
+//!   [`crate::behavior::RoundScope`] (running-extremum / k-select-bar
+//!   announcements only live participants react to, winner announcements
+//!   with one self-identified addressee), in which case only engaged ∪
+//!   addressees are framed. Scoping never changes the model ledger: every
+//!   broadcast is still charged in full.
 //!
 //! `sync_frames` therefore counts `O(#changed + #engaged)` per silent step
 //! rather than `n`, while the model ledger (messages, payload bits, RNG
@@ -43,7 +48,9 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use crate::behavior::{max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, ValueFeed};
+use crate::behavior::{
+    max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
+};
 use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
@@ -90,6 +97,8 @@ where
     engaged_idx: Vec<u32>,
     /// Scratch for rebuilding `engaged_idx` (swapped each phase).
     engaged_scratch: Vec<u32>,
+    /// Scratch: merged visit list for narrow-delivery rounds.
+    visit_scratch: Vec<u32>,
     /// Driver-side cached value row + diff/filter logic shared with the
     /// sequential runtime (see [`crate::delta`]).
     delta_row: DeltaRow,
@@ -140,6 +149,7 @@ where
             handles,
             engaged_idx: Vec::new(),
             engaged_scratch: Vec::new(),
+            visit_scratch: Vec::new(),
             // The cached row backs diffing/sparse stepping only; non-sparse
             // behaviors never read it, so don't pay for it.
             delta_row: DeltaRow::new(n, NB::SPARSE_OBSERVE),
@@ -316,14 +326,21 @@ where
 
     /// Deliver the coordinator output of round `m-1` as node-phase `m`;
     /// returns the number of frames sent. Same visit rule as the sequential
-    /// runtime: a broadcast reaches everyone (full fan-out), otherwise only
-    /// engaged nodes and unicast addressees are framed.
+    /// runtime: a [`RoundScope::All`] broadcast reaches everyone (full
+    /// fan-out), otherwise only engaged nodes, unicast addressees and the
+    /// [`RoundScope::EngagedPlus`] addressee are framed (skipped nodes are
+    /// contractual no-ops for the round's payload).
     fn deliver_round(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) -> usize {
         if out.unicasts.len() > 1 {
             out.unicasts.sort_by_key(|(id, _)| *id);
         }
+        let full_fanout = !out.broadcasts.is_empty() && out.scope == RoundScope::All;
+        let extra: Option<u32> = match out.scope {
+            RoundScope::EngagedPlus(id) if !out.broadcasts.is_empty() => Some(id.0),
+            _ => None,
+        };
         let mut visited = 0usize;
-        if !out.broadcasts.is_empty() {
+        if full_fanout {
             let mut u = out.unicasts.iter().peekable();
             for (i, tx) in self.to_nodes.iter().enumerate() {
                 let ucast = match u.peek() {
@@ -342,18 +359,32 @@ where
             }
         } else {
             let engaged = std::mem::take(&mut self.engaged_idx);
-            merge_visit(&out.unicasts, &engaged, |i, ucast| {
+            let mut visit = std::mem::take(&mut self.visit_scratch);
+            visit.clear();
+            merge_visit(&out.unicasts, &engaged, |i, _| visit.push(i));
+            if let Some(x) = extra {
+                if let Err(pos) = visit.binary_search(&x) {
+                    visit.insert(pos, x);
+                }
+            }
+            let mut u = out.unicasts.iter().peekable();
+            for &i in &visit {
+                let ucast = match u.peek() {
+                    Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d.clone()),
+                    _ => None,
+                };
                 self.to_nodes[i as usize]
                     .send(NodeFrame::Round {
                         t,
                         m,
-                        bcasts: Vec::new(),
-                        ucast: ucast.cloned(),
+                        bcasts: out.broadcasts.clone(),
+                        ucast,
                     })
                     .expect("node thread alive");
                 self.ledger.count_sync();
                 visited += 1;
-            });
+            }
+            self.visit_scratch = visit;
             self.engaged_idx = engaged;
         }
         visited

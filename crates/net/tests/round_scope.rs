@@ -1,0 +1,174 @@
+//! Delivery-scope contract ([`RoundScope`]): a scoped broadcast round polls
+//! only engaged nodes (plus any named addressee) on **both** runtimes,
+//! while the ledger charges every broadcast in full regardless of scope —
+//! scoping is transport, never model cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use topk_net::behavior::{
+    CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction, RoundScope,
+};
+use topk_net::id::{NodeId, Value};
+use topk_net::seq::SyncRuntime;
+use topk_net::threaded::ThreadedCluster;
+use topk_net::wire::WireSize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Msg(u64);
+
+impl WireSize for Msg {
+    fn wire_bits(&self) -> u32 {
+        16
+    }
+}
+
+/// Node that engages for `value` micro-rounds when observing `value > 0`
+/// and tallies every `micro_round` poll (Arc so the count survives node
+/// threads).
+struct ScopeNode {
+    id: NodeId,
+    engaged_rounds: u32,
+    polls: Arc<AtomicU64>,
+}
+
+impl NodeBehavior for ScopeNode {
+    type Up = Msg;
+    type Down = Msg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn observe(&mut self, _t: u64, value: Value) -> ObserveAction<Msg> {
+        self.engaged_rounds = value as u32;
+        ObserveAction {
+            up: None,
+            engaged: self.engaged_rounds > 0,
+        }
+    }
+
+    fn micro_round(
+        &mut self,
+        _t: u64,
+        _m: u32,
+        _bcasts: &[Msg],
+        _ucast: Option<&Msg>,
+    ) -> RoundAction<Msg> {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        if self.engaged_rounds > 0 {
+            self.engaged_rounds -= 1;
+        }
+        RoundAction {
+            up: None,
+            engaged: self.engaged_rounds > 0,
+        }
+    }
+}
+
+/// Coordinator scripted with one `(scope, broadcast)` per micro-round.
+struct ScriptCoord {
+    script: Vec<RoundScope>,
+    done: bool,
+}
+
+impl CoordinatorBehavior for ScriptCoord {
+    type Up = Msg;
+    type Down = Msg;
+
+    fn begin_step(&mut self, _t: u64) {
+        self.done = false;
+    }
+
+    fn micro_round(
+        &mut self,
+        _t: u64,
+        m: u32,
+        ups: &mut Vec<(NodeId, Msg)>,
+        out: &mut CoordOut<Msg>,
+    ) {
+        ups.clear();
+        if let Some(&scope) = self.script.get(m as usize) {
+            out.broadcasts.push(Msg(m as u64));
+            out.scope = scope;
+        } else {
+            self.done = true;
+        }
+    }
+
+    fn step_done(&self) -> bool {
+        self.done
+    }
+
+    fn topk(&self) -> &[NodeId] {
+        &[]
+    }
+}
+
+const N: usize = 6;
+
+fn parts() -> (Vec<ScopeNode>, Vec<Arc<AtomicU64>>, ScriptCoord) {
+    let counters: Vec<Arc<AtomicU64>> = (0..N).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let nodes = (0..N)
+        .map(|i| ScopeNode {
+            id: NodeId(i as u32),
+            engaged_rounds: 0,
+            polls: Arc::clone(&counters[i]),
+        })
+        .collect();
+    let coord = ScriptCoord {
+        // Round 0: unscoped broadcast (everyone). Round 1: engaged-scoped.
+        // Round 2: engaged plus node 5 (disengaged throughout).
+        script: vec![
+            RoundScope::All,
+            RoundScope::Engaged,
+            RoundScope::EngagedPlus(NodeId(5)),
+        ],
+        done: false,
+    };
+    (nodes, counters, coord)
+}
+
+/// Nodes 0 and 3 engage for 3 rounds; the rest stay disengaged.
+const VALUES: [Value; N] = [3, 0, 0, 3, 0, 0];
+
+/// Expected per-node `micro_round` polls for the script above:
+/// * All-round polls everyone once;
+/// * Engaged-round polls only 0 and 3;
+/// * EngagedPlus(5)-round polls 0, 3, and 5.
+const EXPECTED_POLLS: [u64; N] = [3, 1, 1, 3, 1, 2];
+
+#[test]
+fn sequential_runtime_narrows_scoped_broadcast_rounds() {
+    let (nodes, counters, coord) = parts();
+    let mut rt = SyncRuntime::new(nodes, coord, 4);
+    rt.step(0, &VALUES);
+    let polls: Vec<u64> = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    assert_eq!(
+        polls, EXPECTED_POLLS,
+        "seq visit sets must follow the scope"
+    );
+    // Scope never touches the model ledger: all 3 broadcasts fully charged.
+    assert_eq!(rt.ledger().broadcast(), 3);
+    assert_eq!(rt.ledger().snapshot().broadcast_bits, 3 * 16);
+}
+
+#[test]
+fn threaded_runtime_narrows_scoped_broadcast_rounds_identically() {
+    let (nodes, counters, mut coord) = parts();
+    let mut cluster = ThreadedCluster::spawn(nodes);
+    cluster.step(&mut coord, 0, &VALUES);
+    let polls: Vec<u64> = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    assert_eq!(
+        polls, EXPECTED_POLLS,
+        "threaded visit sets must follow the scope"
+    );
+    assert_eq!(cluster.ledger().broadcast(), 3);
+    // Frames mirror the narrowed visits: n observes + (n) + (2) + (3).
+    assert_eq!(
+        cluster.ledger().sync_frames(),
+        (N + N + 2 + 3) as u64,
+        "scoped rounds frame only engaged ∪ addressee"
+    );
+    cluster.shutdown();
+}

@@ -7,6 +7,8 @@
 //! analysis quantities.
 //!
 //! * [`extremum`] — driver-agnostic participant/aggregator state machines;
+//! * [`kselect`] — batched top-`c` selection in one `O(log N + c)`-round
+//!   sweep (the engine behind the batched FILTERRESET);
 //! * [`runner`] — standalone fixed-time executions with message accounting;
 //! * [`baselines`] — sequential threshold probing (Theorem 4.3), poll-all,
 //!   bisection;
@@ -18,6 +20,7 @@
 pub mod analysis;
 pub mod baselines;
 pub mod extremum;
+pub mod kselect;
 pub mod runner;
 pub mod variants;
 
@@ -25,7 +28,10 @@ pub use extremum::{
     Aggregator, BroadcastPolicy, MaxAggregator, MaxOrder, MaxParticipant, MinAggregator, MinOrder,
     MinParticipant, Participant, ProtocolOrder,
 };
-pub use runner::{run_extremum, run_max, run_min, select_topk, ProtocolOutcome};
+pub use kselect::{KSelectAggregator, MaxKSelectAggregator};
+pub use runner::{
+    run_extremum, run_kselect, run_max, run_min, select_topk, KSelectOutcome, ProtocolOutcome,
+};
 pub use variants::{run_max_variant, GrowthSchedule, VariantOutcome};
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use topk_net::wire::{Report, WireSize};
 use crate::extremum::{
     Aggregator, BroadcastPolicy, MaxOrder, MinOrder, Participant, ProtocolOrder,
 };
+use crate::kselect::KSelectAggregator;
 
 /// Outcome of one standalone protocol execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +164,106 @@ pub fn select_topk(
     winners
 }
 
+/// Outcome of one standalone batched k-select execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KSelectOutcome {
+    /// The exact top-`count` values, best-first (shorter iff fewer entries).
+    pub winners: Vec<Report>,
+    /// Node→coordinator messages (the `Θ(c·log(N/c) + log N)` quantity —
+    /// see `analysis::kselect_up_msgs_bound`).
+    pub up_msgs: u64,
+    /// Coordinator broadcasts emitted during the run (bar announcements,
+    /// plus one winner announcement per selected value when
+    /// `announce_winners` is set).
+    pub bcast_msgs: u64,
+    /// Participant rounds actually executed (early exit once settled).
+    pub rounds_run: u32,
+}
+
+/// Batched top-`count` selection over `entries` in **one** protocol sweep —
+/// the engine behind the batched FILTERRESET (see [`KSelectAggregator`]).
+/// Participants are plain max-protocol participants; the coordinator
+/// broadcasts the running `count`-th best as the deactivation bar.
+///
+/// With `announce_winners` each selected value is additionally charged as
+/// one winner broadcast (what the monitoring algorithm needs so nodes learn
+/// their membership), making totals comparable with [`select_topk`].
+#[allow(clippy::too_many_arguments)] // protocol wiring: every knob is load-bearing
+pub fn run_kselect(
+    entries: &[(NodeId, Value)],
+    count: usize,
+    n_bound: u64,
+    policy: BroadcastPolicy,
+    announce_winners: bool,
+    master_seed: u64,
+    protocol_tag: u64,
+    ledger: &mut CommLedger,
+) -> KSelectOutcome {
+    assert!(
+        n_bound >= entries.len() as u64,
+        "N={n_bound} must bound the participant count {}",
+        entries.len()
+    );
+    let run_seed = derive_seed(master_seed, protocol_tag);
+    // The k-select sampling schedule: start at probability ≈ count/n so the
+    // expected round-0 report count matches the selection size.
+    let bound = crate::kselect::sampling_bound(count, n_bound.max(1));
+    let mut parts: Vec<(Participant<MaxOrder>, ChaCha12Rng)> = entries
+        .iter()
+        .map(|&(id, v)| {
+            (
+                Participant::<MaxOrder>::new(id, v, bound),
+                substream_rng(run_seed, id.0 as u64),
+            )
+        })
+        .collect();
+    let mut agg: KSelectAggregator<MaxOrder> = KSelectAggregator::new(count, n_bound.max(1));
+
+    let mut up_msgs = 0u64;
+    let mut bcast_msgs = 0u64;
+    let mut rounds_run = 0u32;
+    let last = log2_ceil(bound);
+    let mut announced: Option<Report> = None;
+
+    for r in 0..=last {
+        if parts.iter().all(|(p, _)| !p.is_active()) {
+            break; // remaining rounds are silent — free in the model
+        }
+        rounds_run += 1;
+        for (p, rng) in parts.iter_mut() {
+            // The bar plays the announced maximum's role: a participant
+            // that cannot beat it withdraws (count nodes are better).
+            if let Some(report) = p.round(r, announced, rng) {
+                ledger.count(ChannelKind::Up, report.wire_bits());
+                up_msgs += 1;
+                agg.absorb(report);
+            }
+        }
+        if r < last {
+            if let Some(bar) = agg.pending_bar(policy) {
+                ledger.count(ChannelKind::Broadcast, bar.wire_bits());
+                bcast_msgs += 1;
+                agg.mark_announced();
+                announced = Some(bar);
+            }
+        }
+    }
+
+    if announce_winners {
+        for w in agg.winners() {
+            ledger.count(ChannelKind::Broadcast, w.wire_bits());
+            bcast_msgs += 1;
+        }
+    }
+
+    KSelectOutcome {
+        winners: agg.winners().to_vec(),
+        up_msgs,
+        bcast_msgs,
+        rounds_run,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +408,80 @@ mod tests {
         assert_eq!(ws.len(), 2);
         assert_eq!(ws[0].value, 5);
         assert_eq!(ws[1].value, 1);
+    }
+
+    #[test]
+    fn kselect_matches_iterated_selection_exactly() {
+        // Las Vegas: the batched sweep must return the identical top-c set
+        // (values, ids, order) as c sequential maximum searches, per seed.
+        let vals: Vec<Value> = vec![10, 50, 20, 40, 30, 60, 1, 2, 50, 7];
+        let es = entries(&vals);
+        for seed in 0..100 {
+            let mut l1 = CommLedger::new();
+            let mut l2 = CommLedger::new();
+            let batched = run_kselect(
+                &es,
+                4,
+                16,
+                BroadcastPolicy::OnChange,
+                true,
+                seed,
+                3,
+                &mut l1,
+            );
+            let iterated = select_topk(
+                &es,
+                4,
+                16,
+                BroadcastPolicy::OnChange,
+                true,
+                seed,
+                4,
+                &mut l2,
+            );
+            assert_eq!(batched.winners, iterated);
+            assert_eq!(l1.up(), batched.up_msgs);
+            assert!(
+                batched.rounds_run as u64 <= log2_ceil(16) as u64 + 1,
+                "one sweep only"
+            );
+        }
+    }
+
+    #[test]
+    fn kselect_handles_count_larger_than_set() {
+        let es = entries(&[5, 1]);
+        let mut ledger = CommLedger::new();
+        let out = run_kselect(
+            &es,
+            10,
+            4,
+            BroadcastPolicy::OnChange,
+            false,
+            0,
+            0,
+            &mut ledger,
+        );
+        assert_eq!(out.winners.len(), 2);
+        assert_eq!(out.winners[0].value, 5);
+        assert_eq!(out.winners[1].value, 1);
+    }
+
+    #[test]
+    fn kselect_empty_set_yields_nothing() {
+        let mut ledger = CommLedger::new();
+        let out = run_kselect(
+            &[],
+            3,
+            4,
+            BroadcastPolicy::OnChange,
+            true,
+            0,
+            0,
+            &mut ledger,
+        );
+        assert!(out.winners.is_empty());
+        assert_eq!(ledger.total(), 0);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Statistical pins for the §4 message-complexity theorems, seed-streamed
+//! like the proptest suites: `PROPTEST_SEED` (or `MSG_BOUNDS_SEED`) rotates
+//! the whole harness onto an independent seed stream, so the CI matrix
+//! exercises fresh randomness while any one run stays deterministic.
+//!
+//! * Theorem 4.2: the empirical mean up-message count of a MAXIMUMPROTOCOL
+//!   execution stays ≤ `2·log₂N + 1` (no slack needed — the bound is loose
+//!   by ~2× in practice, and the harness averages hundreds of runs).
+//! * The batched k-select sweep ([`run_kselect`]) stays ≤
+//!   `2·c·(log₂(N/c)+1) + 2·log₂N + 1` (`kselect_up_msgs_bound`), again
+//!   with ~2× empirical headroom, *and* strictly below the
+//!   `c·(2·log₂N + 1)` that `c` sequential maximum searches would pay —
+//!   the measured advantage of batching FILTERRESET.
+
+use rand::seq::SliceRandom;
+
+use topk_net::id::NodeId;
+use topk_net::ledger::CommLedger;
+use topk_net::rng::{derive_seed, substream_rng};
+use topk_proto::analysis::{expected_up_msgs_bound, kselect_up_msgs_bound};
+use topk_proto::extremum::BroadcastPolicy;
+use topk_proto::runner::{run_kselect, run_max};
+
+/// Seed-stream root: rotated by env so CI can diversify runs.
+fn harness_seed() -> u64 {
+    for var in ["MSG_BOUNDS_SEED", "PROPTEST_SEED"] {
+        if let Ok(s) = std::env::var(var) {
+            if let Ok(v) = s.trim().parse::<u64>() {
+                return derive_seed(0x6d73_675f, v);
+            }
+        }
+    }
+    0x6d73_675f
+}
+
+/// `(id, value)` entries for a permutation of `0..n`, reshuffled per trial
+/// unless `worst` (ascending values — the classic survival-maximizing
+/// stress input for the sampling protocols).
+struct Inputs {
+    values: Vec<u64>,
+    rng: rand_chacha::ChaCha12Rng,
+    worst: bool,
+}
+
+impl Inputs {
+    fn new(n: usize, worst: bool, seed: u64) -> Self {
+        Inputs {
+            values: (0..n as u64).collect(),
+            rng: substream_rng(seed, 0xda7a),
+            worst,
+        }
+    }
+
+    fn next(&mut self) -> Vec<(NodeId, u64)> {
+        if !self.worst {
+            self.values.shuffle(&mut self.rng);
+        }
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32), v))
+            .collect()
+    }
+}
+
+fn mean_max_ups(n: usize, trials: u64, worst: bool, seed: u64) -> f64 {
+    let mut inputs = Inputs::new(n, worst, seed);
+    let mut total = 0u64;
+    for trial in 0..trials {
+        let entries = inputs.next();
+        let mut ledger = CommLedger::new();
+        let out = run_max(
+            &entries,
+            n as u64,
+            BroadcastPolicy::OnChange,
+            seed,
+            trial,
+            &mut ledger,
+        );
+        assert_eq!(out.winner.unwrap().value, n as u64 - 1, "Las Vegas");
+        total += out.up_msgs;
+    }
+    total as f64 / trials as f64
+}
+
+fn mean_kselect_ups(n: usize, c: usize, trials: u64, worst: bool, seed: u64) -> f64 {
+    let mut inputs = Inputs::new(n, worst, seed);
+    let mut total = 0u64;
+    for trial in 0..trials {
+        let entries = inputs.next();
+        let mut ledger = CommLedger::new();
+        let out = run_kselect(
+            &entries,
+            c,
+            n as u64,
+            BroadcastPolicy::OnChange,
+            false,
+            seed,
+            trial,
+            &mut ledger,
+        );
+        // Las Vegas: exact top-c, best-first, every trial.
+        assert_eq!(out.winners.len(), c.min(n));
+        for (rank, w) in out.winners.iter().enumerate() {
+            assert_eq!(w.value, n as u64 - 1 - rank as u64);
+        }
+        assert_eq!(ledger.up(), out.up_msgs);
+        total += out.up_msgs;
+    }
+    total as f64 / trials as f64
+}
+
+#[test]
+fn maximum_protocol_mean_within_theorem_42_bound() {
+    let seed = harness_seed();
+    for (exp, worst) in [
+        (4u32, false),
+        (6, false),
+        (8, false),
+        (10, false),
+        (8, true),
+    ] {
+        let n = 1usize << exp;
+        let mean = mean_max_ups(n, 400, worst, derive_seed(seed, exp as u64));
+        let bound = expected_up_msgs_bound(n as u64);
+        assert!(
+            mean <= bound,
+            "n={n} worst={worst}: mean {mean:.2} exceeds 2·log₂N + 1 = {bound:.2}"
+        );
+        assert!(mean >= 1.0, "protocol cannot be silent");
+    }
+}
+
+#[test]
+fn kselect_mean_within_bound_and_below_iterated_searches() {
+    let seed = harness_seed();
+    for (i, &(n, c)) in [
+        (64usize, 2usize),
+        (64, 9),
+        (256, 9),
+        (256, 17),
+        (1024, 9),
+        (1024, 33),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for worst in [false, true] {
+            let s = derive_seed(seed, ((i as u64) << 1) | worst as u64);
+            let mean = mean_kselect_ups(n, c, 300, worst, s);
+            let bound = kselect_up_msgs_bound(c as u64, n as u64);
+            assert!(
+                mean <= bound,
+                "n={n} c={c} worst={worst}: mean {mean:.2} exceeds kselect bound {bound:.2}"
+            );
+            // The batching advantage: strictly below what c sequential
+            // maximum searches pay in expectation (Theorem 4.2 per search).
+            let iterated = c as f64 * expected_up_msgs_bound(n as u64);
+            assert!(
+                mean < iterated,
+                "n={n} c={c} worst={worst}: mean {mean:.2} not below c·(2·log₂N+1) = {iterated:.2}"
+            );
+            // And at least the c winners must report.
+            assert!(mean >= c as f64);
+        }
+    }
+}
+
+#[test]
+fn kselect_message_growth_is_logarithmic_in_n_at_fixed_c() {
+    // At fixed c, quadrupling n adds ≈ 2c·log₂4 = a constant (in n) number
+    // of messages — the Θ(c·log(N/c)) signature. Successive differences
+    // must stay bounded (well below doubling).
+    let seed = harness_seed();
+    let c = 9;
+    let m256 = mean_kselect_ups(256, c, 300, false, derive_seed(seed, 100));
+    let m1024 = mean_kselect_ups(1024, c, 300, false, derive_seed(seed, 101));
+    let m4096 = mean_kselect_ups(4096, c, 300, false, derive_seed(seed, 102));
+    let d1 = m1024 - m256;
+    let d2 = m4096 - m1024;
+    assert!(
+        d1 > 0.0 && d2 > 0.0,
+        "more participants must cost more: d1={d1:.2} d2={d2:.2}"
+    );
+    let add_bound = 2.0 * c as f64 * 2.0 + 8.0; // 2c·log₂4 plus slack
+    assert!(
+        d1 < add_bound && d2 < add_bound,
+        "growth per 4× n must be additive: d1={d1:.2} d2={d2:.2} bound={add_bound:.2}"
+    );
+}
+
+#[test]
+fn kselect_tail_decays() {
+    // High-probability flavour: Pr[X > 1.5·bound] should be tiny (the mean
+    // sits near bound/2 and the tail is sub-exponential).
+    let seed = harness_seed();
+    let (n, c) = (256usize, 9usize);
+    let bound = kselect_up_msgs_bound(c as u64, n as u64);
+    let mut inputs = Inputs::new(n, false, derive_seed(seed, 7));
+    let trials = 1000u64;
+    let mut exceed = 0u32;
+    for trial in 0..trials {
+        let entries = inputs.next();
+        let mut ledger = CommLedger::new();
+        let out = run_kselect(
+            &entries,
+            c,
+            n as u64,
+            BroadcastPolicy::OnChange,
+            false,
+            derive_seed(seed, 8),
+            trial,
+            &mut ledger,
+        );
+        if out.up_msgs as f64 > 1.5 * bound {
+            exceed += 1;
+        }
+    }
+    assert!(
+        exceed as f64 / trials as f64 <= 0.01,
+        "Pr[X > 1.5·bound] = {}",
+        exceed as f64 / trials as f64
+    );
+}

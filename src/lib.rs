@@ -96,7 +96,7 @@ pub use topk_streams as streams;
 pub mod prelude {
     pub use topk_core::{
         is_valid_topk, run_monitor, run_monitor_sparse, HandlerMode, Monitor, MonitorConfig,
-        ThreadedTopkMonitor, TopkMonitor,
+        ResetStrategy, ThreadedTopkMonitor, TopkMonitor,
     };
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
     pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
@@ -104,7 +104,7 @@ pub mod prelude {
     pub use topk_net::{CommLedger, LedgerSnapshot, NodeId, TraceMatrix, TraceReplay, Value};
     pub use topk_ordered::OrderedTopkMonitor;
     pub use topk_proto::extremum::BroadcastPolicy;
-    pub use topk_proto::runner::{run_max, run_min, select_topk};
+    pub use topk_proto::runner::{run_kselect, run_max, run_min, select_topk};
     pub use topk_sim::{AlgoSpec, ExpCfg, Scenario};
     pub use topk_streams::WorkloadSpec;
 }

@@ -4,25 +4,44 @@
 //! Lemma 2.2 filter validity and the `T±` certificate after every step.
 
 use topk_monitoring::core::audit::assert_audit_clean;
+use topk_monitoring::net::behavior::CoordinatorBehavior as _;
 use topk_monitoring::prelude::*;
 use topk_monitoring::streams::{Affine, Glitch, StuckNode, Switch};
 
-fn audit_run(
+fn audit_run_cfg(
     mut feed: Box<dyn ValueFeed>,
+    cfg: MonitorConfig,
+    steps: u64,
+    seed: u64,
+    context: &str,
+) -> TopkMonitor {
+    let n = feed.n();
+    assert_eq!(n, cfg.n);
+    let mut mon = TopkMonitor::new(cfg, seed);
+    let mut row = vec![0u64; n];
+    for t in 0..steps {
+        feed.fill_step(t, &mut row);
+        mon.step(t, &row);
+        assert_audit_clean(&mon, &row, context);
+        // No phase may survive a step — in particular no stuck
+        // `Phase::Reset`/`Phase::ResetBatched`.
+        assert!(
+            mon.coordinator().step_done(),
+            "{context}: coordinator stuck mid-phase after t={t}"
+        );
+    }
+    mon
+}
+
+fn audit_run(
+    feed: Box<dyn ValueFeed>,
     k: usize,
     steps: u64,
     seed: u64,
     context: &str,
 ) -> TopkMonitor {
     let n = feed.n();
-    let mut mon = TopkMonitor::new(MonitorConfig::new(n, k), seed);
-    let mut row = vec![0u64; n];
-    for t in 0..steps {
-        feed.fill_step(t, &mut row);
-        mon.step(t, &row);
-        assert_audit_clean(&mon, &row, context);
-    }
-    mon
+    audit_run_cfg(feed, MonitorConfig::new(n, k), steps, seed, context)
 }
 
 #[test]
@@ -136,6 +155,107 @@ fn affine_delta_shift_preserves_behaviour_shape() {
     let dr = base.metrics().resets.abs_diff(scaled.metrics().resets);
     assert!(dv <= 4, "violation-step drift {dv} too large");
     assert!(dr <= 4, "reset drift {dr} too large");
+}
+
+/// Mid-reset injection, both reset strategies: glitches land exactly on the
+/// steps whose observations trigger a reset (the reset runs *within* that
+/// step's micro-rounds, so these are the values the k-select sweep /
+/// iterated searches actually select over) and on the immediately following
+/// recovery steps. The deep auditor runs after every step and the
+/// `step_done` probe proves no `Phase::Reset`/`Phase::ResetBatched` ever
+/// survives its step.
+#[test]
+fn mid_reset_glitches_recover_under_both_strategies() {
+    for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
+        let n = 8;
+        // t=2: total order flip → reset; inject a boundary tie right at the
+        // flip. t=3: recovery step with another injected near-boundary
+        // value. t=5: second flip back, with the glitch landing on the
+        // would-be (k+1)-st rank — the reset's tie-break hot spot.
+        let glitches = vec![
+            (2, 0, 9_000),
+            (2, 1, 8_000),
+            (2, 2, 7_000),
+            (2, 3, 6_000),
+            (2, 4, 6_000), // tie at the k/k+1 boundary during the reset
+            (2, 5, 5_000),
+            (2, 6, 4_000),
+            (2, 7, 3_000),
+            (3, 4, 6_500), // recovery-step wiggle right above the new bar
+            (5, 0, 1_000),
+            (5, 1, 2_000),
+            (5, 2, 3_000),
+            (5, 3, 4_000),
+            (5, 4, 5_000),
+            (5, 5, 6_000),
+            (5, 6, 7_000),
+            (5, 7, 7_000), // tie at the top during the second reset
+        ];
+        let feed = Box::new(Glitch::new(
+            WorkloadSpec::Ramp {
+                n,
+                base: 1_000,
+                gap: 1_000,
+            }
+            .build(0),
+            glitches,
+        ));
+        let cfg = MonitorConfig::new(n, 4).with_reset(strategy);
+        let mon = audit_run_cfg(feed, cfg, 10, 5, "mid-reset glitches");
+        assert!(
+            mon.metrics().resets >= 2,
+            "{strategy:?}: both flips must reset (got {})",
+            mon.metrics().resets
+        );
+    }
+}
+
+/// A reset storm on the batched path: boundary churn forces a reset every
+/// few steps for hundreds of steps; the auditor runs every step, and after
+/// the storm the system settles back to silence (healthy filters, no
+/// residual protocol state).
+#[test]
+fn batched_reset_storm_recovers_and_settles() {
+    let n = 10;
+    let feed = WorkloadSpec::BoundaryCross {
+        n,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    }
+    .build(3);
+    let cfg = MonitorConfig::new(n, 1).with_reset(ResetStrategy::Batched);
+    let mut mon = {
+        let mut row = vec![0u64; n];
+        let mut feed = feed;
+        let mut mon = TopkMonitor::new(cfg, 9);
+        for t in 0..300 {
+            feed.fill_step(t, &mut row);
+            mon.step(t, &row);
+            assert_audit_clean(&mon, &row, "batched reset storm");
+            assert!(mon.coordinator().step_done(), "stuck mid-reset at t={t}");
+        }
+        assert!(
+            mon.metrics().resets >= 5,
+            "storm must reset repeatedly (got {})",
+            mon.metrics().resets
+        );
+        mon
+    };
+    // Settle: constant values from here on ⇒ complete silence.
+    let quiet: Vec<u64> = (0..n as u64).map(|i| 10_000 + i).collect();
+    mon.step(300, &quiet);
+    let after = mon.ledger().total();
+    for t in 301..350 {
+        mon.step(t, &quiet);
+        assert_audit_clean(&mon, &quiet, "post-storm settle");
+    }
+    assert_eq!(
+        mon.ledger().total(),
+        after,
+        "a healthy post-reset system is silent on a constant stream"
+    );
 }
 
 #[test]

@@ -10,10 +10,31 @@
 //! paths additionally agree on `sync_frames` with each other: the dense
 //! `step` entry point diffs against the driver's cached row, so both drives
 //! use the identical delta transport.
+//!
+//! # Reset-strategy matrix
+//!
+//! Every suite runs under the FILTERRESET strategy selected by the
+//! `RESET_STRATEGY` env var (`legacy` or `batched`, default batched) — CI
+//! runs both — and the dedicated `*_strategies_agree` tests drive the full
+//! 4-runtime × 2-strategy matrix in lockstep on reset-heavy workloads:
+//! within a strategy all four runtimes stay bit-identical, and *across*
+//! strategies the answers and post-reset thresholds must agree at every
+//! step (both resets are Las Vegas-exact, so the answer stream is a pure
+//! function of the values). Message ledgers legitimately differ across
+//! strategies and are asserted in the batched path's favor: fewer reset
+//! up-messages, fewer reset broadcasts, strictly fewer reset rounds.
 
 use proptest::prelude::*;
 
 use topk_monitoring::prelude::*;
+
+/// FILTERRESET strategy under test for the single-strategy suites.
+fn reset_strategy_from_env() -> ResetStrategy {
+    match std::env::var("RESET_STRATEGY").as_deref() {
+        Ok("legacy") | Ok("Legacy") => ResetStrategy::Legacy,
+        _ => ResetStrategy::Batched,
+    }
+}
 
 /// Model-observable ledger tuple (sync frames excluded — they are transport
 /// accounting, compared separately between the two threaded drives).
@@ -33,7 +54,7 @@ fn model(l: &LedgerSnapshot) -> (u64, u64, u64, u64, u64, u64) {
 /// node state at the end.
 fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
     let n = spec.n();
-    let cfg = MonitorConfig::new(n, k);
+    let cfg = MonitorConfig::new(n, k).with_reset(reset_strategy_from_env());
     let mut seq_dense = TopkMonitor::new(cfg, seed);
     let mut seq_sparse = TopkMonitor::new(cfg, seed);
     let mut thr_dense = ThreadedTopkMonitor::new(cfg, seed);
@@ -147,9 +168,159 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
     }
 }
 
+/// One strategy's four execution paths, driven in lockstep.
+struct StrategyArm {
+    seq_dense: TopkMonitor,
+    seq_sparse: TopkMonitor,
+    thr_dense: ThreadedTopkMonitor,
+    thr_sparse: ThreadedTopkMonitor,
+}
+
+impl StrategyArm {
+    fn new(cfg: MonitorConfig, seed: u64) -> Self {
+        StrategyArm {
+            seq_dense: TopkMonitor::new(cfg, seed),
+            seq_sparse: TopkMonitor::new(cfg, seed),
+            thr_dense: ThreadedTopkMonitor::new(cfg, seed),
+            thr_sparse: ThreadedTopkMonitor::new(cfg, seed),
+        }
+    }
+
+    /// Step all four paths; assert 4-way bit-identity; return the arm's
+    /// `(answer, threshold)` for the cross-strategy comparison.
+    fn step_all(
+        &mut self,
+        t: u64,
+        row: &[Value],
+        changes: &[(NodeId, Value)],
+        tag: &str,
+    ) -> (Vec<NodeId>, Option<Value>) {
+        self.seq_dense.step(t, row);
+        self.seq_sparse.step_sparse(t, changes);
+        self.thr_dense.step(t, row);
+        self.thr_sparse.step_sparse(t, changes);
+
+        let answer = self.seq_dense.topk();
+        let ledger = self.seq_dense.ledger();
+        for (name, m) in [
+            ("seq-sparse", &mut self.seq_sparse as &mut dyn Monitor),
+            ("thr-dense", &mut self.thr_dense as &mut dyn Monitor),
+            ("thr-sparse", &mut self.thr_sparse as &mut dyn Monitor),
+        ] {
+            assert_eq!(answer, m.topk(), "t={t}: {tag}/{name} top-k diverged");
+            assert_eq!(
+                model(&ledger),
+                model(&m.ledger()),
+                "t={t}: {tag}/{name} ledger diverged"
+            );
+        }
+        let thresh = self.seq_dense.coordinator().current_threshold();
+        assert_eq!(
+            thresh,
+            self.thr_sparse.coordinator().current_threshold(),
+            "t={t}: {tag} threshold diverged across runtimes"
+        );
+        (answer, thresh)
+    }
+}
+
+/// Drive the 4-runtime × 2-strategy matrix over a reset-heavy workload:
+/// within each strategy the four paths are bit-identical; across strategies
+/// answers and thresholds agree at every step; reset cost is asserted in
+/// the batched path's favor.
+fn assert_strategies_agree(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64, min_resets: u64) {
+    let n = spec.n();
+    let mut batched = StrategyArm::new(
+        MonitorConfig::new(n, k).with_reset(ResetStrategy::Batched),
+        seed,
+    );
+    let mut legacy = StrategyArm::new(
+        MonitorConfig::new(n, k).with_reset(ResetStrategy::Legacy),
+        seed,
+    );
+
+    // One dense feed serves both strategies' dense drives (same rows), one
+    // delta feed both sparse drives.
+    let mut dense_feed = spec.build(seed ^ 0xfeed);
+    let mut delta_feed = spec.build(seed ^ 0xfeed);
+    let mut row = vec![0u64; n];
+    let mut changes: Vec<(NodeId, Value)> = Vec::new();
+
+    for t in 0..steps {
+        dense_feed.fill_step(t, &mut row);
+        delta_feed.fill_delta(t, &mut changes);
+        let (ans_b, th_b) = batched.step_all(t, &row, &changes, "batched");
+        let (ans_l, th_l) = legacy.step_all(t, &row, &changes, "legacy");
+        // Both resets are exact, so the answer stream is a pure function of
+        // the values — strategies must agree step by step.
+        assert_eq!(ans_b, ans_l, "t={t}: strategies' answers diverged");
+        assert_eq!(th_b, th_l, "t={t}: strategies' thresholds diverged");
+        assert!(is_valid_topk(&row, &ans_b), "t={t}: invalid answer");
+    }
+
+    // Same violation history ⇒ same reset schedule; the batched path must
+    // win on every reset-cost axis.
+    let mb = *batched.seq_dense.metrics();
+    let ml = *legacy.seq_dense.metrics();
+    assert_eq!(mb.resets, ml.resets, "reset decisions are value-driven");
+    assert!(
+        mb.resets >= min_resets,
+        "workload must be reset-heavy (got {} resets, wanted ≥ {min_resets})",
+        mb.resets
+    );
+    assert!(
+        mb.reset_rounds < ml.reset_rounds,
+        "batched rounds {} must beat legacy {}",
+        mb.reset_rounds,
+        ml.reset_rounds
+    );
+    // Message counts are random variables and batched only dominates in
+    // expectation, so the ≤ pins run only in the fixed-seed named tests
+    // (min_resets ≥ 2), never in the PROPTEST_SEED-rotated property arm.
+    if min_resets >= 2 {
+        assert!(
+            mb.reset_up <= ml.reset_up,
+            "batched reset up-messages {} must not exceed legacy {}",
+            mb.reset_up,
+            ml.reset_up
+        );
+        assert!(
+            mb.reset_bcast <= ml.reset_bcast,
+            "batched reset broadcasts {} must not exceed legacy {}",
+            mb.reset_bcast,
+            ml.reset_bcast
+        );
+    }
+}
+
 #[test]
 fn random_walk_400_steps_conformant() {
     assert_conformant(&WorkloadSpec::default_walk(16), 4, 42, 400);
+}
+
+#[test]
+fn boundary_churn_strategies_agree() {
+    // Periodic boundary crossings force regular resets.
+    let spec = WorkloadSpec::BoundaryCross {
+        n: 10,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    };
+    // k = 1: the oscillating pair *is* the rank-1/2 boundary, so every
+    // crossing violates and the gap certificate forces regular resets.
+    assert_strategies_agree(&spec, 1, 11, 250, 2);
+}
+
+#[test]
+fn rotating_max_strategies_agree() {
+    let spec = WorkloadSpec::RotatingMax {
+        n: 8,
+        base: 100,
+        bonus: 10_000,
+    };
+    assert_strategies_agree(&spec, 2, 5, 250, 2);
 }
 
 #[test]
@@ -219,5 +390,23 @@ proptest! {
             period,
         };
         assert_conformant(&spec, 1, seed, 300);
+    }
+
+    /// The full 4-runtime × 2-strategy matrix agrees on arbitrary
+    /// reset-heavy boundary churn.
+    #[test]
+    fn adversarial_strategy_matrix_agrees(
+        n in 4usize..10,
+        seed in 0u64..100,
+        period in 2u64..10,
+    ) {
+        let spec = WorkloadSpec::BoundaryCross {
+            n,
+            base: 100,
+            spread: 25,
+            amplitude: 30,
+            period,
+        };
+        assert_strategies_agree(&spec, 1, seed, 200, 0);
     }
 }
