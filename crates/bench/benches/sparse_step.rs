@@ -155,6 +155,34 @@ fn legacy_steady(c: &mut Criterion) {
     group.finish();
 }
 
+/// Generator alone: one `fill_delta` step of the counter-based, stratified
+/// `SparseWalk` (no monitor attached) — the satellite acceptance pin for
+/// replacing ChaCha draws + the touched-index sort with splitmix64-style
+/// counter draws and pre-sorted (one-stratum-per-mover) index generation.
+/// Cost is O(movers) mixes with no block cipher and no sort; at 1% movers
+/// this must sit well below the monitor's own step_sparse cost above.
+fn generator_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_step/generator");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in SIZES {
+        let mut feed = spec(n).build(5);
+        let mut changes: Vec<(NodeId, Value)> = Vec::new();
+        feed.fill_delta(0, &mut changes);
+        let mut t = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                t += 1;
+                feed.fill_delta(t, &mut changes);
+                black_box(changes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Whole-run cost including construction and the Θ(n log n) init reset.
 fn cold_start(c: &mut Criterion) {
     let mut group = c.benchmark_group("sparse_step/cold_start");
@@ -185,6 +213,7 @@ criterion_group!(
     legacy_steady,
     dense_steady,
     sparse_steady,
+    generator_steady,
     cold_start
 );
 criterion_main!(benches);

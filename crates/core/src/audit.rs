@@ -63,7 +63,7 @@ pub enum AuditError {
 /// completed. Returns all violations found (empty = healthy).
 pub fn audit_monitor(mon: &TopkMonitor, values: &[Value]) -> Vec<AuditError> {
     let mut errors = Vec::new();
-    let cfg = mon.config();
+    let cfg = *mon.config();
     let answer = mon.topk();
 
     // (1) answer validity / uniqueness.

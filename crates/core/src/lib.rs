@@ -8,11 +8,13 @@
 //! * [`msg`] / [`node`] / [`coordinator`] — the paper's Algorithm 1 as
 //!   communicating state machines (runnable on the sequential *and* the
 //!   threaded runtime of `topk-net`);
-//! * [`monitor`] — the [`Monitor`](monitor::Monitor) trait and
-//!   [`TopkMonitor`](monitor::TopkMonitor), the assembled algorithm;
-//! * [`threaded`] — [`ThreadedTopkMonitor`](threaded::ThreadedTopkMonitor),
-//!   the same algorithm on live OS-thread nodes with the delta-driven frame
-//!   transport;
+//! * [`session`] / [`events`] — the public facade: [`MonitorBuilder`] →
+//!   [`MonitorSession`], push-based ingestion with automatic dense/sparse
+//!   routing and a typed [`TopkEvent`] stream, over any [`Engine`];
+//! * [`monitor`] — the [`Monitor`] trait and [`TopkMonitor`], the
+//!   assembled algorithm;
+//! * [`threaded`] — [`ThreadedTopkMonitor`], the same algorithm on live
+//!   OS-thread nodes with the delta-driven frame transport;
 //! * [`baselines`] — naive streaming, §2.1 periodic recomputation,
 //!   filter-with-poll-resolution, and Lam-et-al.-style dominance tracking;
 //! * [`opt`] — the offline optimal filter segmentation (the competitive
@@ -31,18 +33,21 @@ pub mod baselines;
 pub mod codec;
 pub mod config;
 pub mod coordinator;
+pub mod events;
 pub mod metrics;
 pub mod monitor;
 pub mod msg;
 pub mod multik;
 pub mod node;
 pub mod opt;
+pub mod session;
 pub mod threaded;
 
 pub use audit::{assert_audit_clean, audit_monitor, AuditError};
 pub use baselines::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
 pub use config::{HandlerMode, MonitorConfig, ResetStrategy};
 pub use coordinator::CoordinatorMachine;
+pub use events::{EventReplay, TopkEvent};
 pub use metrics::RunMetrics;
 pub use monitor::{
     is_eps_valid_topk, is_valid_topk, run_monitor, run_monitor_sparse, Monitor, TopkMonitor,
@@ -52,4 +57,5 @@ pub use node::NodeMachine;
 pub use opt::{
     opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel, OptResult,
 };
+pub use session::{Engine, MonitorBuilder, MonitorSession};
 pub use threaded::ThreadedTopkMonitor;

@@ -9,6 +9,7 @@ use topk_net::seq::SyncRuntime;
 
 use crate::config::MonitorConfig;
 use crate::coordinator::CoordinatorMachine;
+use crate::events::{EventCursor, TopkEvent};
 use crate::metrics::RunMetrics;
 use crate::node::NodeMachine;
 
@@ -57,6 +58,18 @@ pub trait Monitor: Send {
     fn n(&self) -> usize;
     /// Monitored positions.
     fn k(&self) -> usize;
+    /// Append the protocol-level [`TopkEvent`]s this monitor can attribute
+    /// to the step that just completed — [`TopkEvent::ResetCompleted`] and
+    /// [`TopkEvent::ThresholdUpdated`] for Algorithm 1 — clearing its
+    /// internal "changed since last drain" cursor. Membership and rank
+    /// events are *not* produced here: they are derived by the session
+    /// layer ([`crate::session::MonitorSession`]), which owns the value row
+    /// needed to rank members.
+    ///
+    /// The default is a no-op: monitors without protocol-level state (the
+    /// baselines) report nothing, and a session over them still emits the
+    /// derived membership events.
+    fn drain_events(&mut self, _t: u64, _out: &mut Vec<TopkEvent>) {}
 }
 
 /// Drive any monitor over a feed for `steps` steps; returns the ledger delta.
@@ -147,9 +160,16 @@ macro_rules! row_cache_step_sparse {
 
 /// Algorithm 1 of the paper, assembled: `n` [`NodeMachine`]s and one
 /// [`CoordinatorMachine`] on the deterministic sequential runtime.
+///
+/// This is the *engine* type; new code should usually build a
+/// [`crate::session::MonitorSession`] via
+/// [`crate::session::MonitorBuilder`] instead of constructing engines
+/// directly — the session adds push-based ingestion, automatic dense/sparse
+/// routing, and the typed event stream on top of the identical execution.
 pub struct TopkMonitor {
     rt: SyncRuntime<NodeMachine, CoordinatorMachine>,
     cfg: MonitorConfig,
+    events: EventCursor,
 }
 
 impl TopkMonitor {
@@ -161,6 +181,7 @@ impl TopkMonitor {
         TopkMonitor {
             rt: SyncRuntime::new(nodes, coord, cfg.k),
             cfg,
+            events: EventCursor::default(),
         }
     }
 
@@ -198,8 +219,8 @@ impl TopkMonitor {
     }
 
     /// The configuration this monitor runs.
-    pub fn config(&self) -> MonitorConfig {
-        self.cfg
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
     }
 
     /// Build the pieces for a *threaded* execution of the same algorithm:
@@ -240,6 +261,10 @@ impl Monitor for TopkMonitor {
 
     fn k(&self) -> usize {
         self.cfg.k
+    }
+
+    fn drain_events(&mut self, t: u64, out: &mut Vec<TopkEvent>) {
+        self.events.drain(self.rt.coord(), t, out);
     }
 }
 

@@ -16,15 +16,23 @@ use topk_net::threaded::ThreadedCluster;
 
 use crate::config::MonitorConfig;
 use crate::coordinator::CoordinatorMachine;
+use crate::events::{EventCursor, TopkEvent};
+use crate::metrics::RunMetrics;
 use crate::monitor::{Monitor, TopkMonitor};
 use crate::node::NodeMachine;
 
 /// Algorithm 1 on the threaded runtime — a [`Monitor`] whose nodes are live
 /// OS threads exchanging crossbeam-channel frames with the driver.
+///
+/// This is the *engine* type; new code should usually build a
+/// [`crate::session::MonitorSession`] with
+/// [`Engine::Threaded`](crate::session::Engine) instead of constructing it
+/// directly.
 pub struct ThreadedTopkMonitor {
     cluster: ThreadedCluster<NodeMachine>,
     coord: CoordinatorMachine,
     cfg: MonitorConfig,
+    events: EventCursor,
 }
 
 impl ThreadedTopkMonitor {
@@ -37,12 +45,26 @@ impl ThreadedTopkMonitor {
             cluster: ThreadedCluster::spawn(nodes),
             coord,
             cfg,
+            events: EventCursor::default(),
         }
     }
 
     /// The coordinator (tracker/threshold accessors for tests and tools).
     pub fn coordinator(&self) -> &CoordinatorMachine {
         &self.coord
+    }
+
+    /// Phase-attributed event counters of the coordinator — same accessor
+    /// surface as [`TopkMonitor::metrics`].
+    pub fn metrics(&self) -> &RunMetrics {
+        self.coord.metrics()
+    }
+
+    /// Coordinator micro-rounds executed so far (all phases) — counted by
+    /// the threaded driver identically to
+    /// [`TopkMonitor::micro_rounds_run`].
+    pub fn micro_rounds_run(&self) -> u64 {
+        self.cluster.micro_rounds_run()
     }
 
     /// Steps that exchanged no message and ran no micro-round.
@@ -58,8 +80,8 @@ impl ThreadedTopkMonitor {
     }
 
     /// The configuration this monitor runs.
-    pub fn config(&self) -> MonitorConfig {
-        self.cfg
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
     }
 
     /// Shut down the node threads and return their final state machines
@@ -96,6 +118,10 @@ impl Monitor for ThreadedTopkMonitor {
 
     fn k(&self) -> usize {
         self.cfg.k
+    }
+
+    fn drain_events(&mut self, t: u64, out: &mut Vec<TopkEvent>) {
+        self.events.drain(&self.coord, t, out);
     }
 }
 

@@ -3,8 +3,8 @@
 //! [`crate::seq::SyncRuntime`].
 //!
 //! The synchronous model is emulated with explicit frames: per node-phase the
-//! driver sends each *visited* node one [`NodeFrame`] and waits for its
-//! [`NodeReply`]. Frames and replies are transport artifacts: only `Some`
+//! driver sends each *visited* node one `NodeFrame` and waits for its
+//! `NodeReply`. Frames and replies are transport artifacts: only `Some`
 //! payloads inside them are charged to the model ledger; the frames
 //! themselves are tallied as `sync_frames` (a real deployment would use
 //! timeouts to observe silence — the paper's synchronous model gets this for
@@ -22,8 +22,8 @@
 //!
 //! * **node-phase 0** — for behaviors that opt into
 //!   [`NodeBehavior::SPARSE_OBSERVE`], only *changed* nodes receive an
-//!   [`NodeFrame::Observe`] carrying their new value; *engaged* nodes whose
-//!   value did not move receive a value-less [`NodeFrame::ObserveCached`]
+//!   `Observe` frame carrying their new value; *engaged* nodes whose
+//!   value did not move receive a value-less `ObserveCached` frame
 //!   and replay the observation against the value cached in their own
 //!   thread. Unchanged, disengaged nodes receive nothing (their `observe`
 //!   is contractually a no-op). The driver keeps its own cached value row,
@@ -112,6 +112,7 @@ where
     ledger: CommLedger,
     steps_run: u64,
     silent_steps: u64,
+    micro_rounds_run: u64,
 }
 
 impl<NB> ThreadedCluster<NB>
@@ -160,6 +161,7 @@ where
             ledger: CommLedger::new(),
             steps_run: 0,
             silent_steps: 0,
+            micro_rounds_run: 0,
         }
     }
 
@@ -178,6 +180,13 @@ where
     /// Steps that exchanged no message and ran no micro-round.
     pub fn silent_steps(&self) -> u64 {
         self.silent_steps
+    }
+
+    /// Coordinator micro-rounds driven so far — counted exactly like
+    /// [`crate::seq::SyncRuntime::micro_rounds_run`], so the two runtimes
+    /// expose one round-complexity witness to the session layer.
+    pub fn micro_rounds_run(&self) -> u64 {
+        self.micro_rounds_run
     }
 
     /// Indices of nodes currently engaged in a protocol episode (sorted).
@@ -315,6 +324,7 @@ where
                 break;
             }
             m += 1;
+            self.micro_rounds_run += 1;
             assert!(m <= guard, "micro-round guard exceeded at t={t}");
             let visited = self.deliver_round(t, m, &mut out);
             self.collect_into(visited, &mut ups);

@@ -5,7 +5,8 @@
 //! Participants run the unchanged MAXIMUMPROTOCOL sampling schedule — in
 //! round `r` every still-active participant sends its `(id, value)` with
 //! probability `2^r / B` (probability 1 in the final round), so the node
-//! side *is* [`Participant`] — but invoked at the k-select generalization
+//! side *is* [`Participant`](crate::extremum::Participant) — but invoked
+//! at the k-select generalization
 //! of the protocol bound: `B = ⌊N/c⌋` ([`sampling_bound`]) instead of `N`.
 //! Algorithm 2 starts at `1/N` so the expected first-round report count
 //! matches the *one* value it seeks; selecting `c` values wants `c`

@@ -10,6 +10,7 @@ use topk_core::baselines::{
 };
 use topk_core::monitor::{is_valid_topk, Monitor, TopkMonitor};
 use topk_core::opt::{opt_segments, trace_delta, OptCostModel};
+use topk_core::session::{MonitorBuilder, MonitorSession};
 use topk_core::{HandlerMode, MonitorConfig, RunMetrics};
 use topk_net::ledger::LedgerSnapshot;
 use topk_net::trace::TraceMatrix;
@@ -121,24 +122,45 @@ impl RunOutcome {
     }
 }
 
-/// A built monitor, keeping the hero concrete so its metrics stay reachable.
+/// A built monitor. The hero runs behind a [`MonitorSession`] — the same
+/// facade application code uses (session-driven and engine-driven execution
+/// are bit-identical, pinned by `tests/runtime_conformance.rs`) — which also
+/// keeps its metrics reachable.
 #[allow(clippy::large_enum_variant)] // the hero is hot; boxing it buys nothing
 enum Built {
-    Hero(TopkMonitor),
+    Hero(MonitorSession),
     Other(Box<dyn Monitor>),
 }
 
 impl Built {
-    fn as_monitor(&mut self) -> &mut dyn Monitor {
+    /// Commit one step's full row.
+    fn step_row(&mut self, t: u64, row: &[topk_net::id::Value]) {
         match self {
-            Built::Hero(m) => m,
-            Built::Other(m) => m.as_mut(),
+            Built::Hero(s) => {
+                s.update_row(row);
+                s.advance(t);
+            }
+            Built::Other(m) => m.step(t, row),
+        }
+    }
+
+    fn topk_is_valid(&self, row: &[topk_net::id::Value]) -> bool {
+        match self {
+            Built::Hero(s) => is_valid_topk(row, s.topk()),
+            Built::Other(m) => is_valid_topk(row, &m.topk()),
+        }
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        match self {
+            Built::Hero(s) => s.ledger(),
+            Built::Other(m) => m.ledger(),
         }
     }
 
     fn hero_metrics(&self) -> RunMetrics {
         match self {
-            Built::Hero(m) => *m.metrics(),
+            Built::Hero(s) => *s.metrics(),
             Built::Other(_) => RunMetrics::default(),
         }
     }
@@ -154,24 +176,22 @@ pub fn run_scenario_on_trace(sc: &Scenario, trace: &TraceMatrix) -> RunOutcome {
         AlgoSpec::TopkFilter {
             policy,
             handler_mode,
-        } => Built::Hero(TopkMonitor::new(
-            MonitorConfig::new(n, sc.k)
-                .with_policy(policy)
-                .with_handler_mode(handler_mode),
-            seed,
-        )),
+        } => Built::Hero(
+            MonitorBuilder::new(n, sc.k)
+                .policy(policy)
+                .handler_mode(handler_mode)
+                .seed(seed)
+                .build(),
+        ),
         _ => Built::Other(sc.algo.build(n, sc.k, seed)),
     };
     let started = std::time::Instant::now();
     let mut correct = 0u64;
-    {
-        let mon = built.as_monitor();
-        for t in 0..trace.steps() {
-            let row = trace.step(t);
-            mon.step(t as u64, row);
-            if is_valid_topk(row, &mon.topk()) {
-                correct += 1;
-            }
+    for t in 0..trace.steps() {
+        let row = trace.step(t);
+        built.step_row(t as u64, row);
+        if built.topk_is_valid(row) {
+            correct += 1;
         }
     }
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -181,7 +201,7 @@ pub fn run_scenario_on_trace(sc: &Scenario, trace: &TraceMatrix) -> RunOutcome {
     } else {
         0
     };
-    let messages = built.as_monitor().ledger();
+    let messages = built.ledger();
     let hero_metrics = built.hero_metrics();
     RunOutcome {
         algo: sc.algo.name().to_string(),

@@ -196,14 +196,24 @@ impl ValueFeed for GaussianWalk {
 
 /// Natively sparse random walk: per step only `⌈n · sparsity⌉` randomly
 /// chosen nodes move (uniform step like [`RandomWalk`]); everyone else is
-/// exactly constant. Unlike the per-node-RNG walks, one global RNG drives
-/// the whole field, so *generating* a step is `O(movers)` — combined with
-/// `step_sparse` the entire monitoring loop is independent of `n` on quiet
-/// steps. This is the regime the paper's filter bound targets: huge `n`,
-/// tiny active set.
+/// exactly constant. Unlike the per-node-RNG walks, a *counter-based*
+/// generator (a splitmix64-style mix of a seed key and a running draw
+/// counter — no sequential cipher state) drives the whole field, so
+/// generating a step is `O(movers)` with one multiply-mix per mover —
+/// combined with `step_sparse` the entire monitoring loop is independent
+/// of `n` on quiet steps. This is the regime the paper's filter bound
+/// targets: huge `n`, tiny active set.
 ///
-/// `fill_step` and `fill_delta` consume the RNG identically, so dense and
-/// delta-driven twins built from the same seed see the same values.
+/// Mover indices are drawn *stratified*: mover `j` is uniform on the slice
+/// `[jn/m, (j+1)n/m)` of the id space, so the touched list is generated in
+/// ascending order — no post-hoc sort or dedup (the `fill_delta` contract
+/// requires sorted unique ids). Compared to i.i.d. index draws this pins
+/// the mover count exactly and spreads movers across the fleet; for a
+/// synthetic workload that is a feature, not a bias.
+///
+/// `fill_step` and `fill_delta` consume the draw counter identically, so
+/// dense and delta-driven twins built from the same seed see the same
+/// values.
 #[derive(Debug, Clone)]
 pub struct SparseWalk {
     lo: Value,
@@ -211,10 +221,22 @@ pub struct SparseWalk {
     step_max: u64,
     movers_per_step: usize,
     state: Vec<Value>,
-    rng: ChaCha12Rng,
-    /// Scratch: indices touched in the current step (sorted, deduped).
+    /// Counter-based RNG: `mix64(key ^ f(ctr))` per draw.
+    key: u64,
+    ctr: u64,
+    /// Scratch: indices touched in the current step (ascending by
+    /// construction — one stratum per mover).
     touched: Vec<u32>,
     initialized: bool,
+}
+
+/// The splitmix64 finalizer — a full-avalanche 64-bit mix, the standard
+/// counter-based generator for simulation workloads.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SparseWalk {
@@ -239,7 +261,8 @@ impl SparseWalk {
             step_max,
             movers_per_step,
             state: vec![0; n],
-            rng: substream_rng(seed, 6_000_000),
+            key: mix64(seed ^ 0x5bd1_e995_6000_0000),
+            ctr: 0,
             touched: Vec::new(),
             initialized: false,
         }
@@ -250,38 +273,53 @@ impl SparseWalk {
         self.movers_per_step
     }
 
+    /// One counter-based draw: the stream is a pure function of
+    /// `(seed, draw index)`, so state is two words and cloned walks stay in
+    /// lockstep by construction.
+    #[inline]
+    fn draw(&mut self) -> u64 {
+        self.ctr = self.ctr.wrapping_add(1);
+        mix64(self.key ^ self.ctr.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     fn init(&mut self) {
-        for slot in self.state.iter_mut() {
-            *slot = self.rng.gen_range(self.lo..=self.hi);
+        let span = self.hi - self.lo;
+        for i in 0..self.state.len() {
+            // Widening multiply maps the draw onto [lo, hi] (bias O(2⁻⁶⁴)).
+            let h = self.draw();
+            self.state[i] = self.lo + ((h as u128 * (span as u128 + 1)) >> 64) as u64;
         }
         self.initialized = true;
     }
 
     /// Advance one step: move `movers_per_step` random nodes, recording the
-    /// touched indices in `self.touched` (sorted, deduped).
+    /// touched indices in `self.touched` (ascending).
     ///
-    /// One 64-bit draw decides a mover's index, magnitude, and direction:
-    /// the generator is on the hot path of the million-node benches, and
-    /// ChaCha block time dominates it. Index selection uses the widening
-    /// multiply (Lemire) map and magnitude a 31-bit modulo; the biases are
-    /// O(n/2³²) resp. O(step_max/2³¹) — negligible for the step sizes the
-    /// constructor admits, and worth the 3× fewer draws for a synthetic
-    /// workload.
+    /// One 64-bit counter-based draw decides a mover's index, magnitude,
+    /// and direction — index from the high 32 bits via the widening
+    /// multiply (Lemire) map onto the mover's stratum, magnitude a 31-bit
+    /// modulo, direction bit 31; the biases are O(width/2³²) resp.
+    /// O(step_max/2³¹) — negligible for the sizes the constructor admits.
+    /// Stratification emits `touched` pre-sorted and duplicate-free, so the
+    /// former ChaCha block generation *and* the touched-index sort are both
+    /// gone from the hot path (`benches/sparse_step.rs` pins the gain).
     fn advance(&mut self) {
         let n = self.state.len() as u64;
+        let m = self.movers_per_step as u64;
         let span = self.hi - self.lo;
         let step = self.step_max.min(span);
         self.touched.clear();
-        for _ in 0..self.movers_per_step {
-            let bits: u64 = self.rng.gen();
-            let i = (((bits >> 32) * n) >> 32) as usize;
+        for j in 0..m {
+            let bits = self.draw();
+            let stratum_lo = j * n / m;
+            let width = (j + 1) * n / m - stratum_lo;
+            let i = (stratum_lo + (((bits >> 32) * width) >> 32)) as usize;
             let mag = (1 + (bits & 0x7fff_ffff) % step) as i64;
             let delta = if bits & 0x8000_0000 != 0 { mag } else { -mag };
             self.state[i] = reflect(self.state[i], delta, self.lo, self.hi);
             self.touched.push(i as u32);
         }
-        self.touched.sort_unstable();
-        self.touched.dedup();
+        debug_assert!(self.touched.windows(2).all(|w| w[0] < w[1]));
     }
 }
 

@@ -16,14 +16,15 @@ fn study(name: &str, spec: WorkloadSpec, k: usize, steps: usize, seed: u64) {
     let opt = opt_segments(&trace, k, OptCostModel::PerUpdate);
     let delta = trace_delta(&trace, k);
 
-    let mut mon = TopkMonitor::new(MonitorConfig::new(n, k), seed);
+    let mut session = MonitorBuilder::new(n, k).seed(seed).build();
     for t in 0..trace.steps() {
         let row = trace.step(t);
-        mon.step(t as u64, row);
-        assert!(is_valid_topk(row, &mon.topk()));
+        session.update_row(row);
+        session.advance(t as u64);
+        assert!(is_valid_topk(row, session.topk()));
     }
-    let l = mon.ledger();
-    let m = mon.metrics();
+    let l = session.ledger();
+    let m = session.metrics();
     let ratio = l.total() as f64 / opt.updates() as f64;
     let factor = ((delta.max(2) as f64).log2() + k as f64) * (n as f64).log2();
 

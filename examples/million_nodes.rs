@@ -1,9 +1,10 @@
-//! One million nodes, one coordinator, sparse delta-driven stepping.
+//! One million nodes, one coordinator, one push-based session.
 //!
 //! The regime the filter method targets at production scale: a huge fleet
-//! where almost nothing changes per step. With `step_sparse` + `fill_delta`
-//! the steady-state cost per step is O(#movers), independent of `n`, and
-//! the one-time init FILTERRESET runs the batched k-select sweep —
+//! where almost nothing changes per step. The session buffers only the
+//! movers and routes each commit to the sparse execution path, so the
+//! steady-state cost per step is O(#movers), independent of `n`, and the
+//! one-time init FILTERRESET runs the batched k-select sweep —
 //! `⌈log₂(n/(k+1))⌉ + k + 3` coordinator rounds instead of the legacy
 //! `(k+1)·(⌈log₂n⌉+1) + 1`. The example first races the two reset
 //! strategies on the init step, then drives the steady state.
@@ -26,22 +27,22 @@ fn main() {
         step_max: 64,
         sparsity: 0.0001,
     };
+    let builder = MonitorBuilder::new(n, k).seed(42);
 
-    println!("building monitor: n = {n}, k = {k} ...");
+    println!("building session: n = {n}, k = {k} ...");
     let t0 = Instant::now();
-    let mut monitor = TopkMonitor::new(MonitorConfig::new(n, k), 42);
+    let mut session = builder.build();
     let mut feed = spec.build(7);
     println!("  constructed in {:.2?}", t0.elapsed());
 
     // Race the legacy reset on the same init row before driving the real
-    // (batched-by-default) monitor.
+    // (batched-by-default) session.
     let legacy_init = {
-        let mut changes: Vec<(NodeId, Value)> = Vec::new();
-        spec.build(7).fill_delta(0, &mut changes);
-        let cfg = MonitorConfig::new(n, k).with_reset(ResetStrategy::Legacy);
-        let mut legacy = TopkMonitor::new(cfg, 42);
+        let mut legacy = builder.clone().reset(ResetStrategy::Legacy).build();
+        let mut twin = spec.build(7);
+        legacy.ingest(&mut twin, 0);
         let t0 = Instant::now();
-        legacy.step_sparse(0, &changes);
+        legacy.advance(0);
         let dt = t0.elapsed();
         println!(
             "  init via legacy reset ((k+1)·(⌈log₂n⌉+1)+1 = {} rounds): {dt:.2?}",
@@ -50,48 +51,43 @@ fn main() {
         dt
     };
 
+    session.ingest(&mut feed, 0);
     let t0 = Instant::now();
-    let mut changes: Vec<(NodeId, Value)> = Vec::new();
-    feed.fill_delta(0, &mut changes);
-    monitor.step_sparse(0, &changes);
+    let init_events = session.advance(0).len();
     let batched_init = t0.elapsed();
     println!(
-        "  init via batched reset (⌈log₂(n/(k+1))⌉+k+3 = {} rounds): {batched_init:.2?}, {} messages",
-        monitor.metrics().reset_rounds,
-        monitor.ledger().total()
+        "  init via batched reset (⌈log₂(n/(k+1))⌉+k+3 = {} rounds): {batched_init:.2?}, \
+         {} messages, {init_events} events",
+        session.metrics().reset_rounds,
+        session.ledger().total()
     );
     println!(
         "  init speedup: {:.1}× (legacy {legacy_init:.2?} → batched {batched_init:.2?})",
         legacy_init.as_secs_f64() / batched_init.as_secs_f64()
     );
 
-    let after_init_msgs = monitor.ledger().total();
-    let after_init_obs = monitor.observe_calls();
+    let after_init_msgs = session.ledger().total();
     let steps = 10_000u64;
+    let mut events_seen = 0u64;
     let t0 = Instant::now();
     for t in 1..=steps {
-        feed.fill_delta(t, &mut changes);
-        monitor.step_sparse(t, &changes);
+        session.ingest(&mut feed, t);
+        events_seen += session.advance(t).len() as u64;
     }
     let elapsed = t0.elapsed();
 
     let per_step_us = elapsed.as_micros() as f64 / steps as f64;
-    let obs_per_step = (monitor.observe_calls() - after_init_obs) as f64 / steps as f64;
     println!("ran {steps} steps in {elapsed:.2?}");
     println!(
         "  {per_step_us:.1} µs/step ({:.0} steps/s)",
         1e6 / per_step_us
     );
     println!(
-        "  observe calls/step: {obs_per_step:.1} (of {n} nodes — {:.4}% visited)",
-        100.0 * obs_per_step / n as f64
+        "  silent steps: {} / {steps}, messages after init: {}, events: {events_seen}",
+        session.silent_steps(),
+        session.ledger().total() - after_init_msgs
     );
-    println!(
-        "  silent steps: {} / {steps}, messages after init: {}",
-        monitor.silent_steps(),
-        monitor.ledger().total() - after_init_msgs
-    );
-    println!("  top-{k}: {:?}", monitor.topk());
+    println!("  top-{k}: {:?}", session.topk());
 
     // The answer stays exact: rebuild the final row from a delta-driven
     // twin (O(n + steps·movers), not 10k full-row copies) and check it.
@@ -105,7 +101,7 @@ fn main() {
         }
     }
     assert!(
-        is_valid_topk(&row, &monitor.topk()),
+        is_valid_topk(&row, session.topk()),
         "answer must stay valid"
     );
     println!("  answer validated against an independently generated twin ✓");

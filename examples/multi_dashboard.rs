@@ -1,10 +1,13 @@
 //! Multi-resolution dashboard: track the top-1, top-5 and top-20 of one
-//! sensor field simultaneously (`MultiKMonitor`), with per-resolution
-//! message accounting.
+//! sensor field simultaneously — one `MonitorSession` per resolution, all
+//! fed from a single ingest loop, with per-resolution message accounting
+//! and membership-churn event counts.
+//!
+//! (`topk_monitoring::core::MultiKMonitor` bundles the same per-k instances
+//! behind the low-level `Monitor` trait; sessions buy the event streams.)
 //!
 //! Run with: `cargo run --release --example multi_dashboard`
 
-use topk_monitoring::core::MultiKMonitor;
 use topk_monitoring::prelude::*;
 
 fn main() {
@@ -24,37 +27,54 @@ fn main() {
         lazy_p: 0.2,
     };
     let mut feed = spec.build(7);
-    let mut multi = MultiKMonitor::new(n, &ks, 99);
+    let mut sessions: Vec<MonitorSession> = ks
+        .iter()
+        .map(|&k| MonitorBuilder::new(n, k).seed(99).build())
+        .collect();
+    let mut churn = vec![0u64; ks.len()];
     let mut naive = NaiveMonitor::new(n, 1);
 
     let mut values = vec![0u64; n];
     for t in 0..steps {
         feed.fill_step(t, &mut values);
-        multi.step(t, &values);
-        naive.step(t, &values);
-        for (k, set) in multi.all_topk() {
-            assert!(is_valid_topk(&values, &set), "k={k} at t={t}");
+        for (session, churn) in sessions.iter_mut().zip(churn.iter_mut()) {
+            session.update_row(&values);
+            *churn += session
+                .advance(t)
+                .iter()
+                .filter(|e| matches!(e, TopkEvent::Entered { .. } | TopkEvent::Left { .. }))
+                .count() as u64;
+            assert!(
+                is_valid_topk(&values, session.topk()),
+                "k={} at t={t}",
+                session.k()
+            );
         }
+        naive.step(t, &values);
     }
 
-    println!("sensor field, n = {n}, {steps} steps — monitoring k ∈ {ks:?}\n");
-    for (k, set) in multi.all_topk() {
-        let ids: Vec<u32> = set.iter().map(|id| id.0).collect();
+    println!("random-walk telemetry, n = {n}, {steps} steps — monitoring k ∈ {ks:?}\n");
+    for session in &sessions {
+        let ids: Vec<u32> = session.topk_by_rank().iter().map(|id| id.0).collect();
         let preview: Vec<u32> = ids.iter().take(8).copied().collect();
         println!(
-            "top-{k:<3} {:?}{}",
+            "top-{:<3} by rank {:?}{}",
+            session.k(),
             preview,
             if ids.len() > 8 { " …" } else { "" }
         );
     }
-    println!("\nmessage cost by resolution:");
+    println!("\nmessage cost and membership churn by resolution:");
     let mut total = 0u64;
-    for (k, ledger) in multi.cost_by_k() {
+    for (session, &churn) in sessions.iter().zip(churn.iter()) {
+        let ledger = session.ledger();
         println!(
-            "  k = {k:<3} {:>8} msgs  ({:>6} up, {:>6} bcast)",
+            "  k = {:<3} {:>8} msgs  ({:>6} up, {:>6} bcast)  {:>5} enter/leave events",
+            session.k(),
             ledger.total(),
             ledger.up,
-            ledger.broadcast
+            ledger.broadcast,
+            churn
         );
         total += ledger.total();
     }
@@ -63,20 +83,20 @@ fn main() {
     if total < naive_total {
         println!(
             "\nfor scale: naive streaming of every change would use {} msgs —\n\
-             the three independent instances together still save {:.1}×.",
+             the three independent sessions together still save {:.1}×.",
             naive_total,
             naive_total as f64 / total as f64
         );
     } else {
         println!(
             "\nfor scale: naive streaming would use {} msgs — on this input the\n\
-             multi-instance cost exceeds it; deep-k boundaries churn too much\n\
+             multi-session cost exceeds it; deep-k boundaries churn too much\n\
              for filters to help (the §2.1 worst-case regime).",
             naive_total
         );
     }
     println!(
         "\n(sharing filters across resolutions soundly is an open extension —\n\
-         per-k instances keep the paper's guarantee per resolution; see DESIGN.md)"
+         per-k sessions keep the paper's guarantee per resolution; see DESIGN.md)"
     );
 }

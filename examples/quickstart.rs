@@ -1,5 +1,6 @@
-//! Quickstart: monitor the top-3 of 32 simulated sensors and compare the
-//! message bill against the naive send-everything approach.
+//! Quickstart: monitor the top-3 of 32 simulated sensors with the
+//! push-based session API and compare the message bill against the naive
+//! send-everything approach.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -11,40 +12,53 @@ fn main() {
     let steps = 2_000u64;
 
     // A seeded, reproducible workload: lazy random walks on [0, 2^20].
-    let spec = WorkloadSpec::default_walk(n);
-    let mut feed = spec.build(7);
+    let mut feed = WorkloadSpec::default_walk(n).build(7);
 
-    // The paper's Algorithm 1.
-    let mut monitor = TopkMonitor::new(MonitorConfig::new(n, k), 42);
-    // The naive comparator on the identical input.
-    let mut naive = NaiveMonitor::new(n, k);
-
-    let mut values = vec![0u64; n];
+    // The entire monitoring loop — builder, push, typed events:
+    let mut session = MonitorBuilder::new(n, k).seed(42).build();
+    let mut changes = 0u64;
     for t in 0..steps {
-        feed.fill_step(t, &mut values);
-        monitor.step(t, &values);
-        naive.step(t, &values);
-        assert_eq!(monitor.topk(), naive.topk(), "both are exact");
+        session.ingest(&mut feed, t); // push this step's new values
+        changes += session
+            .advance(t) // commit; typed events out
+            .iter()
+            .filter(|e| matches!(e, TopkEvent::Entered { .. } | TopkEvent::Left { .. }))
+            .count() as u64;
     }
 
-    let m = monitor.ledger();
+    // The naive comparator on the identical input (same spec, same seed).
+    let mut naive = NaiveMonitor::new(n, k);
+    let mut twin = WorkloadSpec::default_walk(n).build(7);
+    let mut values = vec![0u64; n];
+    for t in 0..steps {
+        twin.fill_step(t, &mut values);
+        naive.step(t, &values);
+    }
+    assert_eq!(session.topk(), naive.topk(), "both are exact");
+
+    let m = session.ledger();
     let nv = naive.ledger();
     println!("n = {n}, k = {k}, steps = {steps}");
     println!(
-        "current top-{k}: {:?}",
-        monitor.topk().iter().map(|id| id.0).collect::<Vec<_>>()
+        "current top-{k} by rank: {:?}   (threshold M = {})",
+        session
+            .topk_by_rank()
+            .iter()
+            .map(|id| id.0)
+            .collect::<Vec<_>>(),
+        session.threshold().unwrap()
     );
     println!();
-    println!("Algorithm 1 (filters + randomized protocols):");
+    println!("Algorithm 1 (filters + randomized protocols), via MonitorSession:");
     println!(
         "  node→coord: {:>8}   broadcasts: {:>6}   total: {:>8}",
         m.up,
         m.broadcast,
         m.total()
     );
-    let metrics = monitor.metrics();
+    let metrics = session.metrics();
     println!(
-        "  violation steps: {}   midpoint updates: {}   resets: {}",
+        "  violation steps: {}   midpoint updates: {}   resets: {}   membership events: {changes}",
         metrics.violation_steps, metrics.midpoint_updates, metrics.resets
     );
     println!();

@@ -26,20 +26,21 @@ fn main() {
     );
     let mut exact_msgs = 0u64;
     for &slack in &[0u64, 100, 400, 1_600, 6_400, 25_600, 102_400] {
-        let mut mon = TopkMonitor::new(MonitorConfig::new(n, k).with_slack(slack), 7);
+        let mut session = MonitorBuilder::new(n, k).slack(slack).seed(7).build();
         let mut exact_ok = 0u64;
         for t in 0..trace.steps() {
             let row = trace.step(t);
-            mon.step(t as u64, row);
+            session.update_row(row);
+            session.advance(t as u64);
             assert!(
-                is_eps_valid_topk(row, &mon.topk(), 2 * slack),
+                is_eps_valid_topk(row, session.topk(), 2 * slack),
                 "the 2ε guarantee must never fail"
             );
-            if is_valid_topk(row, &mon.topk()) {
+            if is_valid_topk(row, session.topk()) {
                 exact_ok += 1;
             }
         }
-        let total = mon.ledger().total();
+        let total = session.ledger().total();
         if slack == 0 {
             exact_msgs = total;
         }

@@ -1,11 +1,11 @@
-//! Run Algorithm 1 on *real OS threads*: every node is a thread, all
-//! communication flows through crossbeam channels, and the model ledger is
-//! proven identical to the deterministic sequential simulator.
+//! Run Algorithm 1 on *real OS threads*: one `MonitorBuilder`, two
+//! engines. The threaded session spawns one thread per node and drives all
+//! communication through crossbeam channels; the sequential session is the
+//! deterministic in-process simulator. Everything the model observes —
+//! answers, ledgers, typed events — is proven identical between the two.
 //!
 //! Run with: `cargo run --release --example threaded_cluster`
 
-use topk_monitoring::net::behavior::CoordinatorBehavior;
-use topk_monitoring::net::threaded::ThreadedCluster;
 use topk_monitoring::prelude::*;
 
 fn main() {
@@ -22,29 +22,32 @@ fn main() {
         lazy_p: 0.2,
     };
     let trace = spec.record(seed, steps);
-    let cfg = MonitorConfig::new(n, k);
+    let builder = MonitorBuilder::new(n, k).seed(seed);
 
     // Sequential reference.
     let t0 = std::time::Instant::now();
-    let mut seq = TopkMonitor::new(cfg, seed);
+    let mut seq = builder.clone().engine(Engine::Sequential).build();
+    let mut seq_events = 0u64;
     for t in 0..trace.steps() {
-        seq.step(t as u64, trace.step(t));
+        seq.update_row(trace.step(t));
+        seq_events += seq.advance(t as u64).len() as u64;
     }
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Threaded cluster: same behaviors, same seeds, real threads.
-    let (nodes, mut coord) = TopkMonitor::make_parts(cfg, seed);
+    // Threaded engine: same builder, same seeds, real threads.
     let t1 = std::time::Instant::now();
-    let mut cluster = ThreadedCluster::spawn(nodes);
+    let mut thr = builder.engine(Engine::Threaded).build();
+    let mut thr_events = 0u64;
     for t in 0..trace.steps() {
-        cluster.step(&mut coord, t as u64, trace.step(t));
         let row = trace.step(t);
-        assert!(is_valid_topk(row, coord.topk()));
+        thr.update_row(row);
+        thr_events += thr.advance(t as u64).len() as u64;
+        assert!(is_valid_topk(row, thr.topk()));
     }
     let thr_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let s = seq.ledger();
-    let c = cluster.ledger().snapshot();
+    let c = thr.ledger();
     println!("n = {n} node threads, k = {k}, {steps} steps\n");
     println!("                      sequential     threaded");
     println!("up messages        {:>12} {:>12}", s.up, c.up);
@@ -54,9 +57,11 @@ fn main() {
         s.total_bits(),
         c.total_bits()
     );
+    println!("typed events       {:>12} {:>12}", seq_events, thr_events);
     println!(
         "sync frames        {:>12} {:>12}",
-        s.sync_frames, c.sync_frames
+        s.sync_frames,
+        thr.sync_frames().unwrap()
     );
     println!("wall time (ms)     {:>12.1} {:>12.1}", seq_ms, thr_ms);
 
@@ -64,17 +69,18 @@ fn main() {
     assert_eq!(s.broadcast, c.broadcast);
     assert_eq!(s.down, c.down);
     assert_eq!(s.total_bits(), c.total_bits());
-    println!("\n✓ model ledgers are identical — the threaded execution is");
-    println!("  observationally equivalent to the deterministic simulator.");
-    println!("  (sync frames are transport-level round markers a real");
-    println!("  deployment would replace with timeouts; they cost 0 in the");
-    println!("  model. The transport is delta-driven: on a silent step only");
-    println!("  changed and engaged node threads are framed — this workload");
-    println!("  is churny, so most frames here come from broadcast rounds;");
-    println!("  see benches/threaded_sparse.rs for the quiet regime where");
-    println!("  frames/step stay at the mover count regardless of n.)");
+    assert_eq!(seq_events, thr_events);
+    assert_eq!(seq.topk(), thr.topk());
+    println!("\n✓ model ledgers and event streams are identical — the threaded");
+    println!("  execution is observationally equivalent to the deterministic");
+    println!("  simulator. (sync frames are transport-level round markers a");
+    println!("  real deployment would replace with timeouts; they cost 0 in");
+    println!("  the model. The transport is delta-driven: on a silent step");
+    println!("  only changed and engaged node threads are framed — this");
+    println!("  workload is churny, so most frames here come from broadcast");
+    println!("  rounds; see benches/threaded_sparse.rs for the quiet regime");
+    println!("  where frames/step stay at the mover count regardless of n.)");
 
-    let final_topk: Vec<u32> = coord.topk().iter().map(|id| id.0).collect();
+    let final_topk: Vec<u32> = thr.topk().iter().map(|id| id.0).collect();
     println!("\nfinal top-{k} node ids: {final_topk:?}");
-    drop(cluster);
 }

@@ -15,33 +15,48 @@
 //!
 //! ## Quickstart
 //!
+//! One builder, one push-based ingest surface, typed output events — the
+//! whole public API in six lines:
+//!
 //! ```
 //! use topk_monitoring::prelude::*;
 //!
 //! // 32 sensors, monitor the top 3, seeded workload.
 //! let n = 32;
-//! let spec = WorkloadSpec::default_walk(n);
-//! let mut feed = spec.build(7);
+//! let mut feed = WorkloadSpec::default_walk(n).build(7);
 //!
-//! let mut monitor = TopkMonitor::new(MonitorConfig::new(n, 3), 42);
-//! let mut values = vec![0u64; n];
+//! let mut session = MonitorBuilder::new(n, 3).seed(42).build();
 //! for t in 0..1000 {
-//!     feed.fill_step(t, &mut values);
-//!     monitor.step(t, &values);
-//!     assert!(is_valid_topk(&values, &monitor.topk()));
+//!     session.ingest(&mut feed, t);          // push this step's new values
+//!     for event in session.advance(t) {      // commit; react to typed events
+//!         let _ = event;                     // Entered / Left / RankChanged / …
+//!     }
 //! }
 //!
+//! // Cheap polling queries remain available between events:
+//! assert_eq!(session.topk().len(), 3);
+//! assert!(session.threshold().is_some());
 //! // Vastly fewer messages than the 32_000 a naive scheme would send:
-//! let total = monitor.ledger().total();
-//! assert!(total < 4_000, "used {total} messages");
+//! assert!(session.ledger().total() < 4_000);
 //! ```
+//!
+//! [`MonitorBuilder`](core::MonitorBuilder) carries every knob (`n`, `k`,
+//! slack, [`ResetStrategy`](core::ResetStrategy),
+//! [`HandlerMode`](core::HandlerMode), seed) plus an
+//! [`Engine`](core::Engine) choice — `Sequential`, `Threaded`, or `Auto` —
+//! replacing the four-way pick between the dense/sparse drives of
+//! [`TopkMonitor`](core::TopkMonitor) and
+//! [`ThreadedTopkMonitor`](core::ThreadedTopkMonitor). Every engine is
+//! bit-identical in everything the model observes (answers, ledgers, node
+//! state, RNG streams; pinned by `tests/runtime_conformance.rs`).
 //!
 //! ## Sparse stepping
 //!
 //! Filters make most steps *communication*-free; the sparse execution path
-//! makes them *computation*-free too. Per step, only nodes whose value
-//! changed (plus any still engaged in a protocol episode) are visited —
-//! `O(#changed + #engaged)` instead of `O(n)`:
+//! makes them *computation*-free too. The session routes each committed
+//! batch automatically: small batches take the engine's sparse path, so
+//! only nodes whose value changed (plus any still engaged in a protocol
+//! episode) are visited — `O(#changed + #engaged)` instead of `O(n)`:
 //!
 //! ```
 //! use topk_monitoring::prelude::*;
@@ -49,22 +64,24 @@
 //! let n = 10_000;
 //! // Natively sparse workload: 1% of nodes move per step.
 //! let mut feed = WorkloadSpec::default_sparse_walk(n, 0.01).build(7);
-//! let mut monitor = TopkMonitor::new(MonitorConfig::new(n, 8), 42);
-//! let mut changes: Vec<(NodeId, Value)> = Vec::new();
+//! let mut session = MonitorBuilder::new(n, 8).seed(42).build();
 //! for t in 0..50 {
-//!     feed.fill_delta(t, &mut changes); // only the movers
-//!     monitor.step_sparse(t, &changes); // O(#changed), not O(n)
+//!     session.ingest(&mut feed, t); // only the movers are buffered
+//!     session.advance(t);           // O(#changed) commit, not O(n)
 //! }
-//! // After the dense init step, only ~1% of nodes are ever visited:
-//! assert!(monitor.observe_calls() < n as u64 + 50 * (n as u64 / 50));
+//! assert!(session.silent_steps() > 25, "most steps exchange no message");
 //! ```
 //!
-//! The dense [`Monitor::step`](core::Monitor::step) transparently diffs
-//! against a cached row, so existing dense drivers get the same speedup;
 //! `examples/million_nodes.rs` drives n = 1,000,000 this way, and
 //! `crates/bench/benches/sparse_step.rs` pins the dense/sparse gap.
 //! Dense and sparse execution are bit-identical (ledgers, answers, RNG
-//! streams) — property-tested in `tests/sparse_equivalence.rs`.
+//! streams) — property-tested in `tests/sparse_equivalence.rs`; the event
+//! stream's replayability is property-tested in `tests/session_events.rs`.
+//!
+//! Direct engine access ([`TopkMonitor::new`](core::TopkMonitor::new),
+//! [`ThreadedTopkMonitor::new`](core::ThreadedTopkMonitor::new), the
+//! `step`/`step_sparse` drives) remains available for harnesses that need
+//! it; application code should prefer the session.
 //!
 //! ## Crate map
 //!
@@ -95,8 +112,9 @@ pub use topk_streams as streams;
 /// The most common imports for downstream users.
 pub mod prelude {
     pub use topk_core::{
-        is_valid_topk, run_monitor, run_monitor_sparse, HandlerMode, Monitor, MonitorConfig,
-        ResetStrategy, ThreadedTopkMonitor, TopkMonitor,
+        is_valid_topk, run_monitor, run_monitor_sparse, Engine, EventReplay, HandlerMode, Monitor,
+        MonitorBuilder, MonitorConfig, MonitorSession, ResetStrategy, ThreadedTopkMonitor,
+        TopkEvent, TopkMonitor,
     };
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
     pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};

@@ -1,8 +1,11 @@
 //! Cross-runtime conformance suite: every execution path of Algorithm 1 —
 //! dense sequential, sparse sequential, threaded densely driven, threaded
-//! delta-driven — must be **bit-identical** in everything the model can
-//! observe: top-k answers, comm ledgers (counts *and* payload bits), node
-//! filter state, and the per-node RNG streams.
+//! delta-driven, and the push-based `MonitorSession` facade on both engines
+//! — must be **bit-identical** in everything the model can observe: top-k
+//! answers, comm ledgers (counts *and* payload bits), node filter state,
+//! and the per-node RNG streams. The two session arms must additionally
+//! agree on their typed event streams (engine choice is not observable
+//! through the facade).
 //!
 //! RNG agreement is asserted both structurally (node state after hundreds of
 //! randomized protocol episodes) and behaviorally (a churny iid tail whose
@@ -49,9 +52,9 @@ fn model(l: &LedgerSnapshot) -> (u64, u64, u64, u64, u64, u64) {
     )
 }
 
-/// Drive all four runtimes over `steps` of the spec plus a 30-step churny
-/// tail, asserting identical observable state at every step and identical
-/// node state at the end.
+/// Drive all four runtimes — plus a push-based session on each engine —
+/// over `steps` of the spec plus a 30-step churny tail, asserting identical
+/// observable state at every step and identical node state at the end.
 fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
     let n = spec.n();
     let cfg = MonitorConfig::new(n, k).with_reset(reset_strategy_from_env());
@@ -59,9 +62,13 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
     let mut seq_sparse = TopkMonitor::new(cfg, seed);
     let mut thr_dense = ThreadedTopkMonitor::new(cfg, seed);
     let mut thr_sparse = ThreadedTopkMonitor::new(cfg, seed);
+    let builder = MonitorBuilder::new(n, k).reset(cfg.reset).seed(seed);
+    let mut ses_seq = builder.clone().engine(Engine::Sequential).build();
+    let mut ses_thr = builder.engine(Engine::Threaded).build();
 
     // One dense feed drives both densely-stepped monitors, one delta feed
-    // the two sparsely-stepped ones; same spec + seed ⇒ identical streams.
+    // the two sparsely-stepped ones and (via `update_batch`) the two
+    // session arms; same spec + seed ⇒ identical streams.
     let mut dense_feed = spec.build(seed ^ 0xfeed);
     let mut delta_feed = spec.build(seed ^ 0xfeed);
 
@@ -73,11 +80,17 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
                  seq_dense: &mut TopkMonitor,
                  seq_sparse: &mut TopkMonitor,
                  thr_dense: &mut ThreadedTopkMonitor,
-                 thr_sparse: &mut ThreadedTopkMonitor| {
+                 thr_sparse: &mut ThreadedTopkMonitor,
+                 ses_seq: &mut MonitorSession,
+                 ses_thr: &mut MonitorSession| {
         seq_dense.step(t, row);
         seq_sparse.step_sparse(t, changes);
         thr_dense.step(t, row);
         thr_sparse.step_sparse(t, changes);
+        ses_seq.update_batch(changes.iter().copied());
+        let ev_seq: Vec<TopkEvent> = ses_seq.advance(t).to_vec();
+        ses_thr.update_batch(changes.iter().copied());
+        let ev_thr: Vec<TopkEvent> = ses_thr.advance(t).to_vec();
 
         let answer = seq_dense.topk();
         let ledger = seq_dense.ledger();
@@ -93,6 +106,18 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
                 "t={t}: {name} ledger diverged"
             );
         }
+        // The session facade is bit-identical to the raw drives on answers
+        // and ledgers, on both engines — and the engines' event streams are
+        // indistinguishable.
+        for (name, s) in [("session-seq", &*ses_seq), ("session-thr", &*ses_thr)] {
+            assert_eq!(answer, s.topk(), "t={t}: {name} top-k diverged");
+            assert_eq!(
+                model(&ledger),
+                model(&s.ledger()),
+                "t={t}: {name} ledger diverged"
+            );
+        }
+        assert_eq!(ev_seq, ev_thr, "t={t}: session event streams diverged");
         assert!(is_valid_topk(row, &answer), "t={t}: invalid answer");
     };
 
@@ -107,6 +132,8 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             &mut seq_sparse,
             &mut thr_dense,
             &mut thr_sparse,
+            &mut ses_seq,
+            &mut ses_thr,
         );
     }
 
@@ -131,6 +158,8 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             &mut seq_sparse,
             &mut thr_dense,
             &mut thr_sparse,
+            &mut ses_seq,
+            &mut ses_thr,
         );
     }
 
