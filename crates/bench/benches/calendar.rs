@@ -1,0 +1,137 @@
+//! Fire-round calendar cost, measured end to end through the sequential
+//! runtime — the PR-5 acceptance groups:
+//!
+//! * `calendar/batched_init` — the `t = 0` batched FILTERRESET at growing
+//!   `n` (the headline ~2× target over the pre-calendar sweep: sampling
+//!   rounds visit only their scheduled firers, and every visit touches a
+//!   ≤ 64-byte flat node instead of a ~300-byte one);
+//! * `calendar/violation_step` — one all-violating step (order flip):
+//!   violation window + handler + reset, every episode calendar-driven;
+//! * `calendar/construction` — monitor construction (shared `NodeParams`
+//!   + two-word counter RNG vs per-node config copies + ChaCha init);
+//! * `calendar/schedule_draw` — the raw one-draw `FireDist` sample.
+//!
+//! Alongside wall clock the harness prints the poll counts pinned exactly
+//! by `crates/core/tests/reset_rounds.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_core::{Monitor, MonitorConfig, TopkMonitor};
+use topk_net::id::Value;
+use topk_net::rng::CounterRng;
+use topk_proto::schedule::FireDist;
+
+const INIT_GRID: &[(usize, usize)] = &[(10_000, 8), (100_000, 8), (1_000_000, 8)];
+
+fn init_values(n: usize) -> Vec<Value> {
+    // Deterministic spread-out permutation-ish values (cheap to build).
+    (0..n as u64)
+        .map(|i| (i * 7919) % (131 * n as u64))
+        .collect()
+}
+
+fn batched_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar/batched_init");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(3));
+    for &(n, k) in INIT_GRID {
+        let values = init_values(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut mon = TopkMonitor::new(MonitorConfig::new(n, k), 42);
+                    mon.step(0, &values);
+                    black_box(mon.topk().len())
+                });
+            },
+        );
+        let mut mon = TopkMonitor::new(MonitorConfig::new(n, k), 42);
+        mon.step(0, &values);
+        eprintln!(
+            "calendar/batched_init n={n} k={k}: {} micro-polls ({}x n), {} rounds",
+            mon.micro_polls(),
+            mon.micro_polls() / n as u64,
+            mon.metrics().reset_rounds
+        );
+    }
+    group.finish();
+}
+
+fn violation_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar/violation_step");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[10_000usize, 100_000] {
+        let k = 8;
+        let up: Vec<Value> = (0..n as u64).map(|i| 1_000 + i * 100).collect();
+        let down: Vec<Value> = (0..n as u64)
+            .map(|i| 1_000 + (n as u64 - i) * 100)
+            .collect();
+        // Init once outside the measurement; every iteration then flips the
+        // total order, so each measured step IS one all-violating violation
+        // window + handler + reset (alternating directions keeps every
+        // iteration identical in shape).
+        let mut mon = TopkMonitor::new(MonitorConfig::new(n, k), 7);
+        mon.step(0, &up);
+        let mut t = 0u64;
+        let mut flipped = false;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                t += 1;
+                flipped = !flipped;
+                mon.step(t, if flipped { &down } else { &up });
+                black_box(mon.metrics().resets)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar/construction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[100_000usize, 1_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mon = TopkMonitor::new(MonitorConfig::new(n, 8), 42);
+                black_box(mon.n())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn schedule_draw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar/schedule_draw");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    let dist = FireDist::for_bound(1_000_000 / 9);
+    let mut rng = CounterRng::substream(1, 2);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("n1M_k8_bound", |b| {
+        b.iter(|| black_box(dist.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    batched_init,
+    violation_step,
+    construction,
+    schedule_draw
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Machine-readable perf trajectory: quick (seconds, not minutes)
+//! re-measurements of the headline criterion groups, written as JSON so CI
+//! can archive one artifact per commit and regressions show up as a diff:
+//!
+//! * `results/BENCH_reset.json` — FILTERRESET init cost per strategy
+//!   (mirrors `benches/reset_rounds.rs` + `benches/calendar.rs`): median
+//!   wall clock, rounds, up-messages, micro-polls;
+//! * `results/BENCH_sparse.json` — steady-state silent-step cost (mirrors
+//!   `benches/sparse_step.rs`): µs/step for the delta-driven loop and the
+//!   generator alone.
+//!
+//! Usage: `cargo run --release -p topk-bench --bin bench_json [out_dir]`
+//! (default `results/`). Medians of a few runs keep the numbers stable
+//! enough to eyeball across commits without criterion's full machinery.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use topk_core::{Monitor, MonitorConfig, ResetStrategy, TopkMonitor};
+use topk_net::behavior::ValueFeed;
+use topk_net::id::{NodeId, Value};
+use topk_streams::WorkloadSpec;
+
+#[derive(Serialize)]
+struct ResetPoint {
+    n: usize,
+    k: usize,
+    strategy: String,
+    /// Actual runs behind this point's median (large-n points are trimmed).
+    runs: usize,
+    init_ms_median: f64,
+    reset_rounds: u64,
+    reset_up_msgs: u64,
+    micro_polls: u64,
+}
+
+#[derive(Serialize)]
+struct SparsePoint {
+    n: usize,
+    movers_per_step: usize,
+    step_us_median: f64,
+    generator_us_median: f64,
+}
+
+#[derive(Serialize)]
+struct ResetReport {
+    suite: String,
+    points: Vec<ResetPoint>,
+}
+
+#[derive(Serialize)]
+struct SparseReport {
+    suite: String,
+    runs_per_point: usize,
+    points: Vec<SparsePoint>,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn init_values(n: usize) -> Vec<Value> {
+    (0..n as u64)
+        .map(|i| (i * 7919) % (131 * n as u64))
+        .collect()
+}
+
+fn measure_reset(runs: usize) -> Vec<ResetPoint> {
+    let grid: &[(usize, usize)] = &[(10_000, 8), (100_000, 8), (1_000_000, 8)];
+    let mut points = Vec::new();
+    for &(n, k) in grid {
+        let values = init_values(n);
+        for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
+            // The n = 1M legacy init costs ~1 s per run; one run suffices
+            // at that size to track the trajectory.
+            let runs = if n >= 1_000_000 {
+                1.max(runs / 3)
+            } else {
+                runs
+            };
+            let mut times = Vec::new();
+            let mut last = None;
+            for _ in 0..runs {
+                let cfg = MonitorConfig::new(n, k).with_reset(strategy);
+                let mut mon = TopkMonitor::new(cfg, 42);
+                let t0 = Instant::now();
+                mon.step(0, &values);
+                times.push(t0.elapsed().as_secs_f64() * 1e3);
+                last = Some(mon);
+            }
+            let mon = last.unwrap();
+            points.push(ResetPoint {
+                n,
+                k,
+                strategy: format!("{strategy:?}").to_lowercase(),
+                runs,
+                init_ms_median: median(times),
+                reset_rounds: mon.metrics().reset_rounds,
+                reset_up_msgs: mon.metrics().reset_up,
+                micro_polls: mon.micro_polls(),
+            });
+        }
+    }
+    points
+}
+
+fn measure_sparse(runs: usize) -> Vec<SparsePoint> {
+    let mut points = Vec::new();
+    for &n in &[10_000usize, 100_000] {
+        let spec = WorkloadSpec::SparseWalk {
+            n,
+            lo: 0,
+            hi: 1 << 40,
+            step_max: 64,
+            sparsity: 0.01,
+        };
+        let steps_per_run = 200u64;
+        let mut step_us = Vec::new();
+        let mut gen_us = Vec::new();
+        for _ in 0..runs {
+            let mut mon = TopkMonitor::new(MonitorConfig::new(n, 8), 9);
+            let mut feed = spec.build(5);
+            let mut changes: Vec<(NodeId, Value)> = Vec::new();
+            feed.fill_delta(0, &mut changes);
+            mon.step_sparse(0, &changes);
+            let t0 = Instant::now();
+            for t in 1..=steps_per_run {
+                feed.fill_delta(t, &mut changes);
+                mon.step_sparse(t, &changes);
+            }
+            step_us.push(t0.elapsed().as_secs_f64() * 1e6 / steps_per_run as f64);
+
+            // Generator alone (fresh twin so draw counters line up).
+            let mut feed = spec.build(5);
+            feed.fill_delta(0, &mut changes);
+            let t0 = Instant::now();
+            for t in 1..=steps_per_run {
+                feed.fill_delta(t, &mut changes);
+            }
+            gen_us.push(t0.elapsed().as_secs_f64() * 1e6 / steps_per_run as f64);
+        }
+        points.push(SparsePoint {
+            n,
+            movers_per_step: n / 100,
+            step_us_median: median(step_us),
+            generator_us_median: median(gen_us),
+        });
+    }
+    points
+}
+
+fn write<T: Serialize>(dir: &str, name: &str, report: &T) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = format!("{dir}/{name}");
+    let json = serde_json::to_string_pretty(report).expect("serialize");
+    std::fs::write(&path, json + "\n").expect("write json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let runs = 3;
+    write(
+        &dir,
+        "BENCH_reset.json",
+        &ResetReport {
+            suite: "reset_init".into(),
+            points: measure_reset(runs),
+        },
+    );
+    write(
+        &dir,
+        "BENCH_sparse.json",
+        &SparseReport {
+            suite: "sparse_steady_state".into(),
+            runs_per_point: runs,
+            points: measure_sparse(runs),
+        },
+    );
+}

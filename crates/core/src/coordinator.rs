@@ -70,19 +70,13 @@ enum Phase {
         carried_min: u64,
     },
     /// Legacy FILTERRESET iteration in progress (one of `k+1` sequential
-    /// maximum searches).
-    Reset {
-        agg: MaxAggregator,
-        start_m: u32,
-        winners: Vec<Report>,
-    },
-    /// Batched FILTERRESET: single k-select sweep, then rank-by-rank winner
-    /// announcements (`announced` = winners broadcast so far).
-    ResetBatched {
-        agg: KSelectAggregator,
-        start_m: u32,
-        announced: usize,
-    },
+    /// maximum searches); winners accumulate in the coordinator-owned
+    /// `reset_winners` buffer.
+    Reset { agg: MaxAggregator, start_m: u32 },
+    /// Batched FILTERRESET: single k-select sweep (the coordinator-owned
+    /// `ks_agg`), then rank-by-rank winner announcements
+    /// (`reset_announced` = winners broadcast so far).
+    ResetBatched { start_m: u32 },
 }
 
 /// The monitoring coordinator.
@@ -94,6 +88,14 @@ pub struct CoordinatorMachine {
     /// The threshold `M` the nodes currently hold (informational).
     last_threshold: Option<u64>,
     phase: Phase,
+    /// Batched-reset sweep state, coordinator-owned so repeated resets
+    /// reuse the candidate buffer (zero-allocation reset discipline —
+    /// pinned by `tests/alloc_discipline.rs`).
+    ks_agg: KSelectAggregator,
+    /// Legacy-reset winner accumulator (same reuse discipline).
+    reset_winners: Vec<Report>,
+    /// Winners announced so far in the batched conclusion.
+    reset_announced: usize,
     metrics: RunMetrics,
     initialized: bool,
     l_min: u32,
@@ -120,6 +122,9 @@ impl CoordinatorMachine {
             tracker: None,
             last_threshold: None,
             phase: Phase::Done,
+            ks_agg: KSelectAggregator::new(cfg.k + 1, cfg.n as u64),
+            reset_winners: Vec::with_capacity(cfg.k + 2),
+            reset_announced: 0,
             metrics: RunMetrics::default(),
             initialized: cfg.is_degenerate(),
             l_min,
@@ -149,31 +154,44 @@ impl CoordinatorMachine {
         out.broadcasts.push(DownMsg::ResetStart);
         self.metrics.reset_bcast += 1;
         self.metrics.reset_rounds += 1;
+        self.reset_winners.clear();
+        self.reset_announced = 0;
         self.phase = match self.cfg.reset {
-            ResetStrategy::Batched => Phase::ResetBatched {
-                agg: KSelectAggregator::new(self.cfg.k + 1, self.cfg.n as u64),
-                start_m: m + 1,
-                announced: 0,
-            },
+            ResetStrategy::Batched => {
+                self.ks_agg.clear();
+                Phase::ResetBatched { start_m: m + 1 }
+            }
             ResetStrategy::Legacy => Phase::Reset {
                 agg: MaxAggregator::new(self.cfg.n as u64),
                 start_m: m + 1,
-                winners: Vec::with_capacity(self.cfg.k + 1),
             },
         };
     }
 
     /// Lines 40–41, shared by both reset strategies: derive the new epoch
-    /// from the reset's `k+1` winners (best-first) and emit `ResetDone`.
-    /// Returns the state to store; the caller assigns `self.phase` (it may
-    /// still hold a borrow of the old phase when computing `winners`).
-    fn epoch_from_winners(t: u64, k: usize, winners: &[Report]) -> (Vec<NodeId>, GapTracker, u64) {
+    /// from the reset's `k+1` winners (best-first), update the answer and
+    /// tracker in place (the answer buffer is reused across resets), and
+    /// emit `ResetDone`.
+    fn conclude_reset(&mut self, t: u64, winners_from_sweep: bool, out: &mut CoordOut<DownMsg>) {
+        let k = self.cfg.k;
+        let winners: &[Report] = if winners_from_sweep {
+            self.ks_agg.winners()
+        } else {
+            &self.reset_winners
+        };
         let kth = winners[k - 1];
         let k1 = winners[k];
         let thresh = midpoint_floor(kth.value, k1.value);
-        let mut ids: Vec<NodeId> = winners[..k].iter().map(|w| w.id).collect();
-        ids.sort_unstable();
-        (ids, GapTracker::start_epoch(t, kth.value, k1.value), thresh)
+        self.topk_ids.clear();
+        self.topk_ids.extend(winners[..k].iter().map(|w| w.id));
+        self.topk_ids.sort_unstable();
+        self.tracker = Some(GapTracker::start_epoch(t, kth.value, k1.value));
+        out.broadcasts
+            .push(DownMsg::ResetDone { threshold: thresh });
+        self.last_threshold = Some(thresh);
+        self.metrics.reset_bcast += 1;
+        self.initialized = true;
+        self.phase = Phase::Done;
     }
 
     /// Lines 27–34: fold the exact current extrema into the tracker and
@@ -389,11 +407,7 @@ impl CoordinatorBehavior for CoordinatorMachine {
                     self.conclude_handler(m, mn, mx, out);
                 }
             }
-            Phase::Reset {
-                agg,
-                start_m,
-                winners,
-            } => {
+            Phase::Reset { agg, start_m } => {
                 self.metrics.reset_rounds += 1;
                 for (_, up) in ups.drain(..) {
                     match up {
@@ -417,11 +431,11 @@ impl CoordinatorBehavior for CoordinatorMachine {
                     let w = agg
                         .result()
                         .expect("every iteration has ≥ 1 unselected participant");
-                    winners.push(w);
                     let k = self.cfg.k;
-                    if winners.len() < k + 1 {
+                    if self.reset_winners.len() < k {
+                        self.reset_winners.push(w);
                         out.broadcasts.push(DownMsg::ResetWinner {
-                            rank: winners.len() as u32,
+                            rank: self.reset_winners.len() as u32,
                             report: w,
                         });
                         self.metrics.reset_bcast += 1;
@@ -430,28 +444,17 @@ impl CoordinatorBehavior for CoordinatorMachine {
                     } else {
                         // Line 40–41: threshold between the k-th and
                         // (k+1)-st largest; new epoch begins.
-                        let (ids, tracker, thresh) = Self::epoch_from_winners(t, k, winners);
-                        self.topk_ids = ids;
-                        self.tracker = Some(tracker);
-                        out.broadcasts
-                            .push(DownMsg::ResetDone { threshold: thresh });
-                        self.last_threshold = Some(thresh);
-                        self.metrics.reset_bcast += 1;
-                        self.initialized = true;
-                        self.phase = Phase::Done;
+                        self.reset_winners.push(w);
+                        self.conclude_reset(t, false, out);
                     }
                 }
             }
-            Phase::ResetBatched {
-                agg,
-                start_m,
-                announced,
-            } => {
+            Phase::ResetBatched { start_m } => {
                 self.metrics.reset_rounds += 1;
                 for (_, up) in ups.drain(..) {
                     match up {
                         UpMsg::Reset(r) => {
-                            agg.absorb(r);
+                            self.ks_agg.absorb(r);
                             self.metrics.reset_up += 1;
                         }
                         other => debug_assert!(false, "unexpected report {other:?}"),
@@ -462,10 +465,10 @@ impl CoordinatorBehavior for CoordinatorMachine {
                     // Sampling still running: announce the deactivation bar
                     // (the current (k+1)-th best) so dominated participants
                     // withdraw — the k-select analogue of line 18.
-                    if let Some(bar) = agg.pending_bar(policy) {
+                    if let Some(bar) = self.ks_agg.pending_bar(policy) {
                         out.broadcasts.push(DownMsg::ResetBar(bar));
                         out.scope = RoundScope::Engaged;
-                        agg.mark_announced();
+                        self.ks_agg.mark_announced();
                         self.metrics.reset_bcast += 1;
                     }
                 } else {
@@ -473,14 +476,14 @@ impl CoordinatorBehavior for CoordinatorMachine {
                     // at r == l_ks, so the top-(k+1) is exact. Announce winners
                     // rank by rank (one broadcast per round — the model's
                     // per-round bandwidth discipline), then conclude.
-                    let winners = agg.winners();
+                    let winners = self.ks_agg.winners();
                     let k = self.cfg.k;
                     assert_eq!(
                         winners.len(),
                         k + 1,
                         "n > k nodes guarantee k+1 reset winners"
                     );
-                    let idx = *announced;
+                    let idx = self.reset_announced;
                     if idx <= k {
                         // Only the self-identified winner reacts (batched
                         // nodes never restart on winner announcements), so
@@ -490,18 +493,10 @@ impl CoordinatorBehavior for CoordinatorMachine {
                             report: winners[idx],
                         });
                         out.scope = RoundScope::EngagedPlus(winners[idx].id);
-                        *announced += 1;
+                        self.reset_announced += 1;
                         self.metrics.reset_bcast += 1;
                     } else {
-                        let (ids, tracker, thresh) = Self::epoch_from_winners(t, k, winners);
-                        self.topk_ids = ids;
-                        self.tracker = Some(tracker);
-                        out.broadcasts
-                            .push(DownMsg::ResetDone { threshold: thresh });
-                        self.last_threshold = Some(thresh);
-                        self.metrics.reset_bcast += 1;
-                        self.initialized = true;
-                        self.phase = Phase::Done;
+                        self.conclude_reset(t, true, out);
                     }
                 }
             }

@@ -40,6 +40,7 @@ pub mod msg;
 pub mod multik;
 pub mod node;
 pub mod opt;
+pub mod params;
 pub mod session;
 pub mod threaded;
 
@@ -57,5 +58,6 @@ pub use node::NodeMachine;
 pub use opt::{
     opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel, OptResult,
 };
+pub use params::NodeParams;
 pub use session::{Engine, MonitorBuilder, MonitorSession};
 pub use threaded::ThreadedTopkMonitor;

@@ -174,10 +174,7 @@ pub struct TopkMonitor {
 
 impl TopkMonitor {
     pub fn new(cfg: MonitorConfig, seed: u64) -> Self {
-        let nodes: Vec<NodeMachine> = (0..cfg.n)
-            .map(|i| NodeMachine::new(NodeId(i as u32), cfg, seed))
-            .collect();
-        let coord = CoordinatorMachine::new(cfg);
+        let (nodes, coord) = Self::make_parts(cfg, seed);
         TopkMonitor {
             rt: SyncRuntime::new(nodes, coord, cfg.k),
             cfg,
@@ -225,12 +222,22 @@ impl TopkMonitor {
 
     /// Build the pieces for a *threaded* execution of the same algorithm:
     /// `(nodes, coordinator)` with identical seeds/behavior — used by the
-    /// threaded-equivalence test and the `threaded_cluster` example.
+    /// threaded-equivalence test and the `threaded_cluster` example. All
+    /// nodes share one [`crate::params::NodeParams`] block (flat layout).
     pub fn make_parts(cfg: MonitorConfig, seed: u64) -> (Vec<NodeMachine>, CoordinatorMachine) {
+        let params = crate::params::NodeParams::shared(&cfg);
         let nodes = (0..cfg.n)
-            .map(|i| NodeMachine::new(NodeId(i as u32), cfg, seed))
+            .map(|i| NodeMachine::new(NodeId(i as u32), &params, seed))
             .collect();
         (nodes, CoordinatorMachine::new(cfg))
+    }
+
+    /// Round-poll counter of the underlying runtime — the fire-round
+    /// calendar's cost witness: a protocol episode polls each participant
+    /// once (at its scheduled fire phase) plus the full-fanout rounds,
+    /// instead of every active participant every round.
+    pub fn micro_polls(&self) -> u64 {
+        self.rt.micro_polls()
     }
 }
 

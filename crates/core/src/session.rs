@@ -379,22 +379,26 @@ impl MonitorSession {
     }
 
     /// Sort (stable) + last-wins dedup the pending buffer, patch it onto
-    /// the committed row, and flag touched members.
+    /// the committed row, and flag touched members. A buffer pushed in
+    /// strictly ascending id order (`pending_sorted` — every feed-driven
+    /// ingest) is duplicate-free by construction, so both passes are
+    /// skipped on the hot path.
     fn commit_pending(&mut self) {
         if !self.pending_sorted {
             self.pending.sort_by_key(|&(id, _)| id);
-        }
-        let mut w = 0;
-        for r in 0..self.pending.len() {
-            let entry = self.pending[r];
-            if w > 0 && self.pending[w - 1].0 == entry.0 {
-                self.pending[w - 1] = entry;
-            } else {
-                self.pending[w] = entry;
-                w += 1;
+            let mut w = 0;
+            for r in 0..self.pending.len() {
+                let entry = self.pending[r];
+                if w > 0 && self.pending[w - 1].0 == entry.0 {
+                    self.pending[w - 1] = entry;
+                } else {
+                    self.pending[w] = entry;
+                    w += 1;
+                }
             }
+            self.pending.truncate(w);
         }
-        self.pending.truncate(w);
+        debug_assert!(self.pending.windows(2).all(|w| w[0].0 < w[1].0));
         for &(id, v) in &self.pending {
             self.touched_member |= self.member_mask[id.idx()];
             self.row[id.idx()] = v;

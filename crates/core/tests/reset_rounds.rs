@@ -111,6 +111,67 @@ fn batched_beats_legacy_for_every_grid_point_with_k_at_least_2() {
     assert!(legacy_rounds(4096, 32) > 6 * batched_rounds(4096, 32));
 }
 
+/// Fire-round calendar cost pin: a batched init reset *polls* each node
+/// O(1) times, not once per sampling round. Exactly: the `ResetStart`
+/// fan-out (`n`), one fire-phase visit for every node whose scheduled
+/// round is ≥ 1 (`n − z`, `z` = round-0 firers ≥ 0), one poll per winner
+/// announcement (`k + 1`), and the `ResetDone` fan-out (`n`) — so
+/// `2n + k + 1 ≤ micro_polls ≤ 3n + k + 1`, vs the pre-calendar
+/// `≈ n·⌈log₂(n/(k+1))⌉` sampling-round polls alone.
+#[test]
+fn batched_init_polls_each_node_a_constant_number_of_times() {
+    for &(n, k) in GRID.iter().filter(|&&(n, k)| n > k + 1) {
+        for seed in [1u64, 42, 999] {
+            let cfg = MonitorConfig::new(n, k).with_reset(ResetStrategy::Batched);
+            let mut mon = TopkMonitor::new(cfg, seed);
+            let values: Vec<u64> = (0..n as u64)
+                .map(|i| (i * 7919) % (131 * n as u64))
+                .collect();
+            mon.step(0, &values);
+            let polls = mon.micro_polls();
+            let (n, k) = (n as u64, k as u64);
+            assert!(
+                polls <= 3 * n + k + 1,
+                "(n={n}, k={k}, seed={seed}): {polls} polls exceed 3n+k+1"
+            );
+            assert!(
+                polls >= 2 * n,
+                "(n={n}, k={k}, seed={seed}): {polls} polls below the 2n floor"
+            );
+        }
+    }
+}
+
+/// A violation step's window rounds poll each participant at most once:
+/// with every node violating (full order flip), the whole step — violation
+/// window, handler, reset — stays within a constant number of fan-outs
+/// instead of paying ≈ n·⌈log₂(n−k)⌉ for the window alone.
+#[test]
+fn violation_step_polls_are_linear_not_n_log_n() {
+    let (n, k) = (1024usize, 8usize);
+    let cfg = MonitorConfig::new(n, k).with_reset(ResetStrategy::Batched);
+    let mut mon = TopkMonitor::new(cfg, 7);
+    let mut values: Vec<u64> = (0..n as u64).map(|i| 1_000 + i * 100).collect();
+    mon.step(0, &values);
+    let after_init = mon.micro_polls();
+
+    // Flip the total order: every node violates its filter.
+    for (i, v) in values.iter_mut().enumerate() {
+        *v = 1_000 + (n - i) as u64 * 100;
+    }
+    mon.step(1, &values);
+    assert!(mon.metrics().resets >= 1, "the flip must force a reset");
+    let step_polls = mon.micro_polls() - after_init;
+    // Violation window ≤ n fire visits; handler ≤ start fan-out n + n fire
+    // visits; reset ≤ start n + n + (k+1) + done n — comfortably ≤ 7n,
+    // while one pre-calendar violation window alone cost ~n·log₂(n−k) ≈ 10n.
+    assert!(
+        step_polls <= 7 * n as u64,
+        "all-violating step polled {step_polls} times (> 7n = {})",
+        7 * n
+    );
+}
+
 /// A violation-forced reset (not just init) follows the same schedules.
 #[test]
 fn mid_stream_reset_rounds_match_init_schedule() {

@@ -46,6 +46,13 @@ pub struct ObserveAction<U> {
     /// `true` if the node holds protocol state and must be polled in
     /// subsequent micro-rounds even if no broadcast addresses it.
     pub engaged: bool,
+    /// Fire-round calendar entry (requires `engaged`): `Some(m)` asserts
+    /// that every micro-round before node-phase `m` is a contractual no-op
+    /// for this node *provided* the broadcasts it skips are re-delivered,
+    /// in emission order, the next time it is polled. The runtime then
+    /// skips the node in silent and scoped rounds until phase `m` — see
+    /// [`RoundAction::wake_at`] for the full contract.
+    pub wake_at: Option<u32>,
 }
 
 impl<U> ObserveAction<U> {
@@ -53,6 +60,7 @@ impl<U> ObserveAction<U> {
         ObserveAction {
             up: None,
             engaged: false,
+            wake_at: None,
         }
     }
 }
@@ -64,6 +72,25 @@ pub struct RoundAction<U> {
     pub up: Option<U>,
     /// Whether the node must keep being polled in following micro-rounds.
     pub engaged: bool,
+    /// Fire-round calendar entry — the compute analogue of
+    /// [`NodeBehavior::SPARSE_OBSERVE`]'s skip contract. `Some(m)` (only
+    /// meaningful with `engaged == true`, and `m` must exceed the current
+    /// phase) tells the runtime this node needs no poll before node-phase
+    /// `m` of the **current step**: Algorithm 2 participants know their
+    /// first-send round in advance (one draw from a fixed distribution —
+    /// see `topk_proto::schedule`), and until it arrives they would only
+    /// buffer announcements. The runtime buckets the node under phase `m`
+    /// and, whenever it next polls the node (at `m`, or earlier because a
+    /// [`RoundScope::All`] round or a unicast reaches it), delivers every
+    /// broadcast since the node's previous poll — concatenated in emission
+    /// order — instead of just the current round's. A node that opts in
+    /// must therefore handle accumulated broadcast slices; everything it
+    /// would have done in the skipped rounds (deactivation checks) must be
+    /// expressible at delivery time. `None` with `engaged == true` keeps
+    /// the classic poll-every-round behavior. Schedules do not survive the
+    /// step: protocol episodes conclude within their time step, and any
+    /// leftover calendar entry is dropped when the step ends.
+    pub wake_at: Option<u32>,
 }
 
 impl<U> RoundAction<U> {
@@ -71,6 +98,7 @@ impl<U> RoundAction<U> {
         RoundAction {
             up: None,
             engaged: false,
+            wake_at: None,
         }
     }
 }

@@ -1,0 +1,215 @@
+//! [`FireCalendar`] — the runtime-side half of the fire-round calendar
+//! contract ([`crate::behavior::RoundAction::wake_at`]), shared by the
+//! sequential ([`crate::seq::SyncRuntime`]) and threaded
+//! ([`crate::threaded::ThreadedCluster`]) runtimes.
+//!
+//! A node that announces its wake phase is bucketed under it and dropped
+//! from the per-round poll set; each micro-round then visits only the
+//! engaged every-round pollers plus **that round's scheduled firers**
+//! (plus addressees), so a protocol round costs `O(#senders)` instead of
+//! `O(#active participants)`. Broadcasts a scheduled node skips are
+//! replayed from the step's broadcast log (owned by the runtime) at its
+//! next poll — the calendar tracks the per-node log cursor.
+//!
+//! Both runtimes must resolve schedules identically or their bit-identity
+//! breaks; keeping the bucket/cursor bookkeeping in this one type keeps
+//! them in lockstep by construction, exactly like [`crate::delta::DeltaRow`]
+//! does for the sparse-observation contract.
+//!
+//! All storage is reused across rounds and steps: buckets keep their
+//! capacity, per-node arrays are fixed-size, and a step that never
+//! schedules ([`FireCalendar::end_step`] on an empty calendar) costs O(1) —
+//! the steady-state hot path stays allocation-free.
+
+/// Sentinel for "not scheduled".
+const NONE: u32 = u32::MAX;
+
+/// Per-step schedule of node wake phases plus broadcast-log cursors.
+#[derive(Debug, Clone)]
+pub struct FireCalendar {
+    /// `buckets[phase]` — indices scheduled to wake at `phase` (may contain
+    /// stale entries; `sched_phase` is the source of truth).
+    buckets: Vec<Vec<u32>>,
+    /// Phases whose buckets received entries this step (cleanup list).
+    used: Vec<u32>,
+    /// Per node: the wake phase, or [`NONE`].
+    sched_phase: Vec<u32>,
+    /// Per node: broadcast-log length at its last poll — the replay cursor.
+    seen: Vec<u32>,
+    /// Number of currently scheduled nodes.
+    live: usize,
+}
+
+impl FireCalendar {
+    pub fn new(n: usize) -> Self {
+        FireCalendar {
+            buckets: Vec::new(),
+            used: Vec::new(),
+            sched_phase: vec![NONE; n],
+            seen: vec![0; n],
+            live: 0,
+        }
+    }
+
+    /// `true` iff no node is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether node `i` currently holds a calendar entry.
+    #[inline]
+    pub fn is_scheduled(&self, i: u32) -> bool {
+        self.sched_phase[i as usize] != NONE
+    }
+
+    /// The broadcast-log cursor of node `i` (meaningful while scheduled):
+    /// everything from this offset on has not been delivered to it yet.
+    #[inline]
+    pub fn seen(&self, i: u32) -> usize {
+        self.seen[i as usize] as usize
+    }
+
+    /// Whether any node is due exactly at `phase`.
+    pub fn has_due(&self, phase: u32) -> bool {
+        self.live > 0
+            && self
+                .buckets
+                .get(phase as usize)
+                .is_some_and(|b| b.iter().any(|&i| self.sched_phase[i as usize] == phase))
+    }
+
+    /// Append the indices due at `phase` to `out` (unsorted — callers merge
+    /// and sort their full visit set).
+    pub fn due_into(&self, phase: u32, out: &mut Vec<u32>) {
+        if self.live == 0 {
+            return;
+        }
+        if let Some(bucket) = self.buckets.get(phase as usize) {
+            out.extend(
+                bucket
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.sched_phase[i as usize] == phase),
+            );
+        }
+    }
+
+    /// Record the outcome of polling node `i` at `phase_now` with the
+    /// broadcast log at length `log_len`: any existing schedule is resolved,
+    /// and `wake_at` (already gated on the node being engaged) re-schedules
+    /// it. Must be called for every poll of a scheduled node and for every
+    /// poll that returns a wake phase; polls of ordinary nodes may skip it.
+    pub fn note_poll(&mut self, i: u32, wake_at: Option<u32>, phase_now: u32, log_len: usize) {
+        let cur = self.sched_phase[i as usize];
+        match wake_at {
+            Some(f) => {
+                debug_assert!(f > phase_now, "wake phase must lie in the future");
+                // The node has now seen everything in the log.
+                self.seen[i as usize] = log_len as u32;
+                if cur == f {
+                    return; // re-statement of an existing entry
+                }
+                if cur == NONE {
+                    self.live += 1;
+                }
+                self.sched_phase[i as usize] = f;
+                let fi = f as usize;
+                if self.buckets.len() <= fi {
+                    self.buckets.resize_with(fi + 1, Vec::new);
+                }
+                if self.buckets[fi].is_empty() {
+                    self.used.push(f);
+                }
+                self.buckets[fi].push(i);
+            }
+            None => {
+                if cur != NONE {
+                    self.sched_phase[i as usize] = NONE;
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+
+    /// Drop every entry of the finished step, retaining all capacity. O(1)
+    /// when the step never scheduled; O(#entries) otherwise. Schedules are
+    /// step-local by contract ([`crate::behavior::RoundAction::wake_at`]).
+    pub fn end_step(&mut self) {
+        for p in self.used.drain(..) {
+            let bucket = &mut self.buckets[p as usize];
+            for i in bucket.drain(..) {
+                self.sched_phase[i as usize] = NONE;
+            }
+        }
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_resolve_cycle() {
+        let mut cal = FireCalendar::new(8);
+        assert!(cal.is_empty());
+        cal.note_poll(3, Some(5), 0, 0);
+        cal.note_poll(1, Some(5), 0, 0);
+        cal.note_poll(7, Some(2), 0, 0);
+        assert!(!cal.is_empty());
+        assert!(cal.is_scheduled(3) && cal.is_scheduled(7));
+        assert!(!cal.is_scheduled(0));
+        assert!(cal.has_due(2) && cal.has_due(5) && !cal.has_due(4));
+
+        let mut due = Vec::new();
+        cal.due_into(5, &mut due);
+        assert_eq!(due, vec![3, 1]);
+
+        // Node 7 is polled at its phase and stays quiet: resolved.
+        cal.note_poll(7, None, 2, 1);
+        assert!(!cal.is_scheduled(7));
+        assert!(!cal.has_due(2));
+    }
+
+    #[test]
+    fn restatement_does_not_duplicate_and_moves_update_buckets() {
+        let mut cal = FireCalendar::new(4);
+        cal.note_poll(2, Some(6), 0, 0);
+        // Early full-fanout poll at phase 3 re-states the same wake phase
+        // with an advanced cursor: no duplicate bucket entry.
+        cal.note_poll(2, Some(6), 3, 4);
+        let mut due = Vec::new();
+        cal.due_into(6, &mut due);
+        assert_eq!(due, vec![2]);
+        assert_eq!(cal.seen(2), 4);
+
+        // A later poll moves the node to another phase: the old entry goes
+        // stale, the new one is authoritative.
+        cal.note_poll(2, Some(9), 4, 5);
+        due.clear();
+        cal.due_into(6, &mut due);
+        assert!(due.is_empty(), "stale entries must not resurface");
+        due.clear();
+        cal.due_into(9, &mut due);
+        assert_eq!(due, vec![2]);
+    }
+
+    #[test]
+    fn end_step_drops_everything_cheaply() {
+        let mut cal = FireCalendar::new(4);
+        cal.note_poll(0, Some(3), 0, 0);
+        cal.note_poll(1, Some(3), 0, 0);
+        cal.end_step();
+        assert!(cal.is_empty());
+        assert!(!cal.is_scheduled(0) && !cal.is_scheduled(1));
+        let mut due = Vec::new();
+        cal.due_into(3, &mut due);
+        assert!(due.is_empty());
+        // Fresh step reuses the buckets.
+        cal.note_poll(1, Some(3), 0, 0);
+        due.clear();
+        cal.due_into(3, &mut due);
+        assert_eq!(due, vec![1]);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`behavior`] — the node/coordinator state-machine traits;
 //! * [`delta`] — the cached-row diff/filter shared by both runtimes'
 //!   delta-driven entry points;
+//! * [`calendar`] — the fire-round calendar bookkeeping shared by both
+//!   runtimes (protocol rounds visit only the round's scheduled firers);
 //! * [`seq`] — the deterministic sequential runtime (used by all
 //!   experiments);
 //! * [`threaded`] — the OS-thread + crossbeam-channel runtime (the "real"
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod behavior;
+pub mod calendar;
 pub mod delta;
 pub mod events;
 pub mod id;
@@ -41,6 +44,7 @@ pub mod wire;
 pub use behavior::{
     emit_dense, CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction, ValueFeed,
 };
+pub use calendar::FireCalendar;
 pub use delta::DeltaRow;
 pub use events::{Event, EventLog};
 pub use id::{midpoint_floor, true_ranking, true_topk, MinEntry, NodeId, RankEntry, Value};

@@ -27,14 +27,23 @@
 //!   [`SyncRuntime::step`] transparently becomes a diff against a cached
 //!   value row for opted-in behaviors, so every existing monitor benefits
 //!   without code changes.
+//! * **Within a protocol episode** (opt-in via
+//!   [`crate::behavior::RoundAction::wake_at`]): a node that knows its
+//!   fire round in advance (Algorithm 2 participants — one draw from a
+//!   fixed distribution, see `topk_proto::schedule`) is parked in the
+//!   [`crate::calendar::FireCalendar`] and skipped by silent and scoped
+//!   rounds until that phase; the broadcasts it missed are replayed from
+//!   the step's broadcast log when it is next polled. A protocol round
+//!   thus visits `O(#senders due now)` nodes, not `O(#active)`.
 //!
-//! All scratch buffers (`ups`, the [`CoordOut`] pair, visit lists) are owned
-//! by the runtime and reused across rounds and steps — the steady-state hot
-//! path performs no allocation.
+//! All scratch buffers (`ups`, the [`CoordOut`] pair, visit lists, calendar
+//! buckets, the broadcast log) are owned by the runtime and reused across
+//! rounds and steps — the steady-state hot path performs no allocation.
 
 use crate::behavior::{
     max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
 };
+use crate::calendar::FireCalendar;
 use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger};
@@ -62,11 +71,18 @@ where
     out: CoordOut<NB::Down>,
     /// Scratch: merged visit list (changed ∪ engaged) for sparse phase 0.
     visit: Vec<u32>,
+    /// Fire-round calendar: nodes that announced their wake phase, bucketed
+    /// by phase, plus their broadcast-log replay cursors.
+    calendar: FireCalendar,
+    /// All broadcasts of the current step in emission order — the replay
+    /// source for scheduled nodes' skipped rounds.
+    bcast_log: Vec<NB::Down>,
     guard: u32,
     steps_run: u64,
     silent_steps: u64,
     micro_rounds_run: u64,
     observe_calls: u64,
+    micro_polls: u64,
 }
 
 impl<NB, CB> SyncRuntime<NB, CB>
@@ -98,11 +114,14 @@ where
             ups: Vec::new(),
             out: CoordOut::empty(),
             visit: Vec::new(),
+            calendar: FireCalendar::new(n),
+            bcast_log: Vec::new(),
             guard: max_micro_rounds(n, guard_k),
             steps_run: 0,
             silent_steps: 0,
             micro_rounds_run: 0,
             observe_calls: 0,
+            micro_polls: 0,
         }
     }
 
@@ -145,6 +164,14 @@ where
     /// per step, not `n`.
     pub fn observe_calls(&self) -> u64 {
         self.observe_calls
+    }
+
+    /// Total `micro_round` invocations so far — the calendar's cost
+    /// witness: with fire-round-scheduled behaviors a protocol episode
+    /// costs one poll per participant (at its fire phase) plus the
+    /// full-fanout rounds, instead of one poll per participant per round.
+    pub fn micro_polls(&self) -> u64 {
+        self.micro_polls
     }
 
     /// Indices of nodes currently engaged in a protocol episode (sorted).
@@ -217,7 +244,11 @@ where
             self.observe_calls += 1;
             if act.engaged {
                 any_engaged = true;
-                next.push(i as u32);
+                match act.wake_at {
+                    // Observe is node-phase 0; the log is empty.
+                    Some(f) => self.calendar.note_poll(i as u32, Some(f), 0, 0),
+                    None => next.push(i as u32),
+                }
             }
             if let Some(up) = act.up {
                 self.ledger.count(ChannelKind::Up, up.wire_bits());
@@ -254,7 +285,10 @@ where
             self.observe_calls += 1;
             if act.engaged {
                 any_engaged = true;
-                next.push(i as u32);
+                match act.wake_at {
+                    Some(f) => self.calendar.note_poll(i as u32, Some(f), 0, 0),
+                    None => next.push(i as u32),
+                }
             }
             if let Some(up) = act.up {
                 self.ledger.count(ChannelKind::Up, up.wire_bits());
@@ -302,6 +336,9 @@ where
             self.deliver_phase(t, m, &mut out);
             self.out = out;
         }
+        // Schedules and the broadcast log are step-local.
+        self.calendar.end_step();
+        self.bcast_log.clear();
         self.steps_run += 1;
     }
 
@@ -310,9 +347,12 @@ where
     /// scratch: read here, cleared by the next round.
     ///
     /// Visit rule: a round with [`RoundScope::All`] broadcasts reaches every
-    /// node; otherwise only engaged nodes, unicast addressees, and the
-    /// [`RoundScope::EngagedPlus`] addressee are polled (skipped nodes are
-    /// contractual no-ops — see [`RoundScope`]).
+    /// node; otherwise only engaged nodes, the calendar entries due at this
+    /// phase, unicast addressees, and the [`RoundScope::EngagedPlus`]
+    /// addressee are polled (skipped nodes are contractual no-ops — see
+    /// [`RoundScope`] and [`crate::behavior::RoundAction::wake_at`]).
+    /// Scheduled nodes receive every broadcast since their last poll,
+    /// replayed from the step's log; everyone else gets this round's.
     fn deliver_phase(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) {
         if out.unicasts.len() > 1 {
             out.unicasts.sort_by_key(|(id, _)| *id);
@@ -322,71 +362,106 @@ where
             "at most one unicast per node per round"
         );
         let unicasts = &out.unicasts;
-        let broadcasts = &out.broadcasts;
-        let full_fanout = !broadcasts.is_empty() && out.scope == RoundScope::All;
+        let full_fanout = !out.broadcasts.is_empty() && out.scope == RoundScope::All;
         // A scoped extra addressee matters only when something is broadcast.
         let extra: Option<u32> = match out.scope {
-            RoundScope::EngagedPlus(id) if !broadcasts.is_empty() => Some(id.0),
+            RoundScope::EngagedPlus(id) if !out.broadcasts.is_empty() => Some(id.0),
             _ => None,
         };
+
+        // Append this round's broadcasts to the step log; ordinary nodes
+        // are delivered the tail from `round_start`, scheduled nodes from
+        // their own cursor.
+        let mut log = std::mem::take(&mut self.bcast_log);
+        let round_start = log.len();
+        log.extend(out.broadcasts.iter().cloned());
 
         let engaged_prev = std::mem::take(&mut self.engaged_idx);
         let mut next = std::mem::take(&mut self.engaged_next);
         next.clear();
 
         if full_fanout {
-            // An unscoped broadcast reaches everyone.
-            let mut u = unicasts.iter().peekable();
-            for i in 0..self.nodes.len() {
-                let ucast = match u.peek() {
-                    Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
-                    _ => None,
-                };
-                self.poll_node(t, m, i, broadcasts, ucast, &mut next);
-            }
-        } else if unicasts.is_empty() && extra.is_none() {
-            // Silent or engaged-scoped round: poll only engaged nodes.
-            for &i in &engaged_prev {
-                self.poll_node(t, m, i as usize, broadcasts, None, &mut next);
-            }
-        } else {
-            // Poll engaged ∪ unicast addressees ∪ scoped addressee, in
-            // ascending id order.
-            let mut visit = std::mem::take(&mut self.visit);
-            visit.clear();
-            merge_visit(unicasts, &engaged_prev, |i, _| visit.push(i));
-            if let Some(x) = extra {
-                if let Err(pos) = visit.binary_search(&x) {
-                    visit.insert(pos, x);
+            // An unscoped broadcast reaches everyone. Algorithm-1-style
+            // coordinators never unicast, so skip the addressee merge on
+            // the n-wide hot loop.
+            if unicasts.is_empty() {
+                for i in 0..self.nodes.len() {
+                    self.poll_node(t, m, i, &log, round_start, None, &mut next);
+                }
+            } else {
+                let mut u = unicasts.iter().peekable();
+                for i in 0..self.nodes.len() {
+                    let ucast = match u.peek() {
+                        Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d),
+                        _ => None,
+                    };
+                    self.poll_node(t, m, i, &log, round_start, ucast, &mut next);
                 }
             }
+        } else if unicasts.is_empty() && extra.is_none() && !self.calendar.has_due(m) {
+            // Silent or engaged-scoped round with no scheduled firers due:
+            // poll only engaged nodes.
+            for &i in &engaged_prev {
+                self.poll_node(t, m, i as usize, &log, round_start, None, &mut next);
+            }
+        } else {
+            // Poll engaged ∪ due-scheduled ∪ unicast addressees ∪ scoped
+            // addressee, in ascending id order.
+            let mut visit = std::mem::take(&mut self.visit);
+            visit.clear();
+            visit.extend_from_slice(&engaged_prev);
+            self.calendar.due_into(m, &mut visit);
+            visit.extend(unicasts.iter().map(|(id, _)| id.0));
+            if let Some(x) = extra {
+                visit.push(x);
+            }
+            visit.sort_unstable();
+            visit.dedup();
             let mut u = unicasts.iter().peekable();
             for &i in &visit {
                 let ucast = match u.peek() {
                     Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d),
                     _ => None,
                 };
-                self.poll_node(t, m, i as usize, broadcasts, ucast, &mut next);
+                self.poll_node(t, m, i as usize, &log, round_start, ucast, &mut next);
             }
             self.visit = visit;
         }
 
         self.engaged_next = engaged_prev;
         self.engaged_idx = next;
+        self.bcast_log = log;
     }
 
     #[inline]
+    #[allow(clippy::too_many_arguments)] // one poll = one visit-rule context: every arg is load-bearing
     fn poll_node(
         &mut self,
         t: u64,
         m: u32,
         i: usize,
-        bcasts: &[NB::Down],
+        log: &[NB::Down],
+        round_start: usize,
         ucast: Option<&NB::Down>,
         engaged_out: &mut Vec<u32>,
     ) {
+        let scheduled = self.calendar.is_scheduled(i as u32);
+        let bcasts = if scheduled {
+            &log[self.calendar.seen(i as u32)..]
+        } else {
+            &log[round_start..]
+        };
         let act = self.nodes[i].micro_round(t, m, bcasts, ucast);
-        if act.engaged {
+        self.micro_polls += 1;
+        debug_assert!(
+            act.wake_at.is_none() || act.engaged,
+            "wake_at requires engaged"
+        );
+        let wake = if act.engaged { act.wake_at } else { None };
+        if scheduled || wake.is_some() {
+            self.calendar.note_poll(i as u32, wake, m, log.len());
+        }
+        if act.engaged && wake.is_none() {
             engaged_out.push(i as u32);
         }
         if let Some(up) = act.up {

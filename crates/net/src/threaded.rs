@@ -44,6 +44,13 @@
 //! streams) stays bit-identical to every other execution path. Behaviors
 //! that do not opt into `SPARSE_OBSERVE` keep the classic dense observe
 //! fan-out.
+//!
+//! The fire-round calendar ([`crate::behavior::RoundAction::wake_at`])
+//! narrows micro-round frames the same way the sequential runtime narrows
+//! polls: a node that announced its wake phase receives no frame in silent
+//! or scoped rounds before it, and its next frame carries every broadcast
+//! it skipped (replayed from the driver's step log, in emission order) —
+//! so a protocol round frames only that round's scheduled firers.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -51,6 +58,7 @@ use std::thread::JoinHandle;
 use crate::behavior::{
     max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
 };
+use crate::calendar::FireCalendar;
 use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
@@ -81,6 +89,9 @@ struct NodeReply<U> {
     id: NodeId,
     up: Option<U>,
     engaged: bool,
+    /// Fire-round calendar entry (see
+    /// [`crate::behavior::RoundAction::wake_at`]).
+    wake_at: Option<u32>,
 }
 
 /// A running cluster of node threads plus the coordinator-side driver state.
@@ -99,6 +110,11 @@ where
     engaged_scratch: Vec<u32>,
     /// Scratch: merged visit list for narrow-delivery rounds.
     visit_scratch: Vec<u32>,
+    /// Fire-round calendar: nodes that announced their wake phase, plus
+    /// their broadcast-log replay cursors (mirrors the sequential runtime).
+    calendar: FireCalendar,
+    /// All broadcasts of the current step in emission order.
+    bcast_log: Vec<NB::Down>,
     /// Driver-side cached value row + diff/filter logic shared with the
     /// sequential runtime (see [`crate::delta`]).
     delta_row: DeltaRow,
@@ -151,6 +167,8 @@ where
             engaged_idx: Vec::new(),
             engaged_scratch: Vec::new(),
             visit_scratch: Vec::new(),
+            calendar: FireCalendar::new(n),
+            bcast_log: Vec::new(),
             // The cached row backs diffing/sparse stepping only; non-sparse
             // behaviors never read it, so don't pay for it.
             delta_row: DeltaRow::new(n, NB::SPARSE_OBSERVE),
@@ -298,9 +316,13 @@ where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
         let mut ups = std::mem::take(&mut self.ups_scratch);
-        self.collect_into(visited, &mut ups);
+        self.collect_into(visited, &mut ups, 0);
 
-        if self.engaged_idx.is_empty() && ups.is_empty() && coord.try_skip_silent_step(t) {
+        if self.engaged_idx.is_empty()
+            && self.calendar.is_empty()
+            && ups.is_empty()
+            && coord.try_skip_silent_step(t)
+        {
             self.ups_scratch = ups;
             self.steps_run += 1;
             self.silent_steps += 1;
@@ -327,19 +349,24 @@ where
             self.micro_rounds_run += 1;
             assert!(m <= guard, "micro-round guard exceeded at t={t}");
             let visited = self.deliver_round(t, m, &mut out);
-            self.collect_into(visited, &mut ups);
+            self.collect_into(visited, &mut ups, m);
         }
         self.out = out;
         self.ups_scratch = ups;
+        // Schedules and the broadcast log are step-local.
+        self.calendar.end_step();
+        self.bcast_log.clear();
         self.steps_run += 1;
     }
 
     /// Deliver the coordinator output of round `m-1` as node-phase `m`;
     /// returns the number of frames sent. Same visit rule as the sequential
     /// runtime: a [`RoundScope::All`] broadcast reaches everyone (full
-    /// fan-out), otherwise only engaged nodes, unicast addressees and the
-    /// [`RoundScope::EngagedPlus`] addressee are framed (skipped nodes are
-    /// contractual no-ops for the round's payload).
+    /// fan-out), otherwise only engaged nodes, the calendar entries due at
+    /// this phase, unicast addressees and the [`RoundScope::EngagedPlus`]
+    /// addressee are framed (skipped nodes are contractual no-ops for the
+    /// round's payload). A scheduled node's frame replays every broadcast
+    /// since its last poll from the step log.
     fn deliver_round(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) -> usize {
         if out.unicasts.len() > 1 {
             out.unicasts.sort_by_key(|(id, _)| *id);
@@ -348,6 +375,14 @@ where
         let extra: Option<u32> = match out.scope {
             RoundScope::EngagedPlus(id) if !out.broadcasts.is_empty() => Some(id.0),
             _ => None,
+        };
+        self.bcast_log.extend(out.broadcasts.iter().cloned());
+        let frame_bcasts = |cal: &FireCalendar, log: &[NB::Down], i: u32| -> Vec<NB::Down> {
+            if cal.is_scheduled(i) {
+                log[cal.seen(i)..].to_vec()
+            } else {
+                log[log.len() - out.broadcasts.len()..].to_vec()
+            }
         };
         let mut visited = 0usize;
         if full_fanout {
@@ -360,7 +395,7 @@ where
                 tx.send(NodeFrame::Round {
                     t,
                     m,
-                    bcasts: out.broadcasts.clone(),
+                    bcasts: frame_bcasts(&self.calendar, &self.bcast_log, i as u32),
                     ucast,
                 })
                 .expect("node thread alive");
@@ -371,12 +406,14 @@ where
             let engaged = std::mem::take(&mut self.engaged_idx);
             let mut visit = std::mem::take(&mut self.visit_scratch);
             visit.clear();
-            merge_visit(&out.unicasts, &engaged, |i, _| visit.push(i));
+            visit.extend_from_slice(&engaged);
+            self.calendar.due_into(m, &mut visit);
+            visit.extend(out.unicasts.iter().map(|(id, _)| id.0));
             if let Some(x) = extra {
-                if let Err(pos) = visit.binary_search(&x) {
-                    visit.insert(pos, x);
-                }
+                visit.push(x);
             }
+            visit.sort_unstable();
+            visit.dedup();
             let mut u = out.unicasts.iter().peekable();
             for &i in &visit {
                 let ucast = match u.peek() {
@@ -387,7 +424,7 @@ where
                     .send(NodeFrame::Round {
                         t,
                         m,
-                        bcasts: out.broadcasts.clone(),
+                        bcasts: frame_bcasts(&self.calendar, &self.bcast_log, i),
                         ucast,
                     })
                     .expect("node thread alive");
@@ -401,17 +438,28 @@ where
     }
 
     /// Collect exactly `expect` replies into `ups` (sorted by node id),
-    /// charging `Some` payloads and rebuilding the engaged index list from
-    /// the repliers. Nodes not visited this phase were disengaged (the visit
-    /// rule always includes every engaged node), so the replies alone
-    /// determine the new engaged set.
-    fn collect_into(&mut self, expect: usize, ups: &mut Vec<(NodeId, NB::Up)>) {
+    /// charging `Some` payloads, rebuilding the engaged index list from the
+    /// repliers, and resolving/re-creating calendar entries from their
+    /// `wake_at` answers. Nodes not visited this phase were disengaged or
+    /// scheduled for a later phase (the visit rule always includes every
+    /// engaged node and every due entry), so the replies plus the calendar
+    /// determine the new poll sets.
+    fn collect_into(&mut self, expect: usize, ups: &mut Vec<(NodeId, NB::Up)>, phase: u32) {
         ups.clear();
+        let log_len = self.bcast_log.len();
         let mut next = std::mem::take(&mut self.engaged_scratch);
         next.clear();
         for _ in 0..expect {
             let reply = self.from_nodes.recv().expect("node reply");
-            if reply.engaged {
+            debug_assert!(
+                reply.wake_at.is_none() || reply.engaged,
+                "wake_at requires engaged"
+            );
+            let wake = if reply.engaged { reply.wake_at } else { None };
+            if wake.is_some() || self.calendar.is_scheduled(reply.id.0) {
+                self.calendar.note_poll(reply.id.0, wake, phase, log_len);
+            }
+            if reply.engaged && wake.is_none() {
                 next.push(reply.id.0);
             }
             if let Some(up) = reply.up {
@@ -519,6 +567,7 @@ where
                     id: node.id(),
                     up: act.up,
                     engaged: act.engaged,
+                    wake_at: act.wake_at,
                 });
             }
             NodeFrame::ObserveCached { t } => {
@@ -527,6 +576,7 @@ where
                     id: node.id(),
                     up: act.up,
                     engaged: act.engaged,
+                    wake_at: act.wake_at,
                 });
             }
             NodeFrame::Round {
@@ -540,6 +590,7 @@ where
                     id: node.id(),
                     up: act.up,
                     engaged: act.engaged,
+                    wake_at: act.wake_at,
                 });
             }
             NodeFrame::Halt => break,

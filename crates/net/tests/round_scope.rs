@@ -45,6 +45,7 @@ impl NodeBehavior for ScopeNode {
         ObserveAction {
             up: None,
             engaged: self.engaged_rounds > 0,
+            wake_at: None,
         }
     }
 
@@ -62,6 +63,7 @@ impl NodeBehavior for ScopeNode {
         RoundAction {
             up: None,
             engaged: self.engaged_rounds > 0,
+            wake_at: None,
         }
     }
 }

@@ -43,6 +43,7 @@ impl NodeBehavior for EchoNode {
             ObserveAction {
                 up: Some(Msg(value)),
                 engaged: self.remaining > 0,
+                wake_at: None,
             }
         } else {
             self.remaining = 0;
@@ -64,6 +65,7 @@ impl NodeBehavior for EchoNode {
             return RoundAction {
                 up: Some(Msg(u.0 + 1)),
                 engaged: self.remaining > 0,
+                wake_at: None,
             };
         }
         // Dormant unless mid-echo; broadcasts alone don't wake this mock.
@@ -73,6 +75,7 @@ impl NodeBehavior for EchoNode {
             RoundAction {
                 up: Some(Msg(self.remaining as u64)),
                 engaged: self.remaining > 0,
+                wake_at: None,
             }
         } else {
             RoundAction::idle()

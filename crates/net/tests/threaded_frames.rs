@@ -57,6 +57,7 @@ impl NodeBehavior for LevelNode {
             ObserveAction {
                 up: Some(Msg(value)),
                 engaged: self.remaining > 0,
+                wake_at: None,
             }
         } else {
             ObserveAction::idle()
@@ -75,6 +76,7 @@ impl NodeBehavior for LevelNode {
             return RoundAction {
                 up: Some(Msg(u.0 + 1)),
                 engaged: self.remaining > 0,
+                wake_at: None,
             };
         }
         if self.remaining > 0 {
@@ -82,6 +84,7 @@ impl NodeBehavior for LevelNode {
             RoundAction {
                 up: Some(Msg(self.remaining as u64)),
                 engaged: self.remaining > 0,
+                wake_at: None,
             }
         } else {
             RoundAction::idle()

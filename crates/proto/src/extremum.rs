@@ -64,11 +64,27 @@ pub enum BroadcastPolicy {
 }
 
 /// Node-side state of one protocol execution.
+///
+/// Two equivalent drives exist:
+///
+/// * **per-round** ([`Participant::round`]) — flip the `2^r/N` coin every
+///   round, the literal Algorithm 2 loop;
+/// * **calendar** ([`Participant::schedule`] + [`Participant::fire`]) — draw
+///   the first-send round `r*` once from the fixed
+///   [`FireDist`](crate::schedule::FireDist) of `N`, then act only at `r*`:
+///   apply whatever announcements accumulated, withdraw if dominated, send
+///   otherwise. Because a participant never acts again after sending or
+///   deactivating, the two drives are distributionally identical
+///   (`crate::schedule` documents the argument and the `2⁻⁶⁴`-per-round
+///   fixed-point caveat); the calendar is what lets a runtime visit only
+///   the round's scheduled firers.
 #[derive(Debug, Clone)]
 pub struct Participant<O: ProtocolOrder> {
     report: Report,
     n_bound: u64,
     active: bool,
+    /// Scheduled first-send round (calendar drive only).
+    fire_round: Option<u32>,
     _order: PhantomData<O>,
 }
 
@@ -81,6 +97,7 @@ impl<O: ProtocolOrder> Participant<O> {
             report: Report { id, value },
             n_bound,
             active: true,
+            fire_round: None,
             _order: PhantomData,
         }
     }
@@ -126,6 +143,50 @@ impl<O: ProtocolOrder> Participant<O> {
             return Some(self.report);
         }
         None
+    }
+
+    /// Calendar drive, step 1: draw the first-send round once (`dist` must
+    /// be the [`FireDist`](crate::schedule::FireDist) of this participant's
+    /// bound). Returns `r*`; the runtime should poll the participant again
+    /// exactly at that round.
+    pub fn schedule(&mut self, dist: &crate::schedule::FireDist, rng: &mut impl Rng) -> u32 {
+        debug_assert_eq!(
+            dist.n_bound(),
+            self.n_bound,
+            "schedule must come from this participant's bound"
+        );
+        let r = dist.sample(rng);
+        self.fire_round = Some(r);
+        r
+    }
+
+    /// The scheduled first-send round, if [`Participant::schedule`] ran.
+    #[inline]
+    pub fn fire_round(&self) -> Option<u32> {
+        self.fire_round
+    }
+
+    /// Calendar drive, step 2 (lazy announcement delivery): apply one
+    /// coordinator announcement the participant may have skipped —
+    /// deactivates it when the announcement cannot be beaten, exactly the
+    /// line-8 comparison [`Participant::round`] performs eagerly.
+    pub fn apply_announcement(&mut self, announced: Report) {
+        if self.active && !O::better(self.report, announced) {
+            self.active = false;
+        }
+    }
+
+    /// Calendar drive, step 3: resolve the scheduled send at `r*`. Returns
+    /// the report iff the participant is still active (no dominating
+    /// announcement arrived first); either way it never acts again.
+    pub fn fire(&mut self) -> Option<Report> {
+        debug_assert!(self.fire_round.is_some(), "fire requires a schedule");
+        if self.active {
+            self.active = false;
+            Some(self.report)
+        } else {
+            None
+        }
     }
 }
 

@@ -107,6 +107,15 @@ impl<O: ProtocolOrder> KSelectAggregator<O> {
         self.count
     }
 
+    /// Reset to the pristine just-constructed state, retaining the
+    /// candidate buffer's capacity — lets a long-lived coordinator run one
+    /// sweep per FILTERRESET without per-reset allocation.
+    pub fn clear(&mut self) {
+        self.candidates.clear();
+        self.announced_bar = None;
+        self.reports_received = 0;
+    }
+
     /// Absorb one report; returns `true` iff the deactivation bar changed
     /// (i.e. the candidate set is full and the report entered it).
     pub fn absorb(&mut self, report: Report) -> bool {

@@ -13,6 +13,9 @@
 //! * [`baselines`] — sequential threshold probing (Theorem 4.3), poll-all,
 //!   bisection;
 //! * [`analysis`] — Theorem 4.2 / Lemma 4.1 bounds and harmonic numbers;
+//! * [`schedule`] — the fire-round calendar: one-draw sampling of a
+//!   participant's first-send round (what lets runtimes visit only that
+//!   round's firers instead of polling every active participant);
 //! * [`variants`] — ablations of the sampling schedule (why doubling?).
 
 #![forbid(unsafe_code)]
@@ -22,6 +25,7 @@ pub mod baselines;
 pub mod extremum;
 pub mod kselect;
 pub mod runner;
+pub mod schedule;
 pub mod variants;
 
 pub use extremum::{
@@ -30,8 +34,10 @@ pub use extremum::{
 };
 pub use kselect::{KSelectAggregator, MaxKSelectAggregator};
 pub use runner::{
-    run_extremum, run_kselect, run_max, run_min, select_topk, KSelectOutcome, ProtocolOutcome,
+    run_extremum, run_kselect, run_kselect_scheduled, run_max, run_max_scheduled, run_min,
+    select_topk, KSelectOutcome, ProtocolOutcome,
 };
+pub use schedule::FireDist;
 pub use variants::{run_max_variant, GrowthSchedule, VariantOutcome};
 
 #[cfg(test)]

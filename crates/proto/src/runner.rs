@@ -18,6 +18,7 @@ use crate::extremum::{
     Aggregator, BroadcastPolicy, MaxOrder, MinOrder, Participant, ProtocolOrder,
 };
 use crate::kselect::KSelectAggregator;
+use crate::schedule::FireDist;
 
 /// Outcome of one standalone protocol execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +100,137 @@ pub fn run_extremum<O: ProtocolOrder>(
         bcast_msgs,
         rounds_run,
     }
+}
+
+/// Coordinator-side sink of the shared calendar drive
+/// ([`drive_scheduled`]): absorb fired reports; surface (and mark) the
+/// round's pending announcement — the running extremum for a maximum
+/// search, the `c`-th-best bar for a k-select sweep.
+trait ScheduledSink {
+    fn absorb_report(&mut self, report: Report);
+    fn take_pending(&mut self, policy: BroadcastPolicy) -> Option<Report>;
+}
+
+impl<O: ProtocolOrder> ScheduledSink for Aggregator<O> {
+    fn absorb_report(&mut self, report: Report) {
+        self.absorb(report);
+    }
+    fn take_pending(&mut self, policy: BroadcastPolicy) -> Option<Report> {
+        let best = self.pending_announcement(policy)?;
+        self.mark_announced();
+        Some(best)
+    }
+}
+
+impl<O: ProtocolOrder> ScheduledSink for KSelectAggregator<O> {
+    fn absorb_report(&mut self, report: Report) {
+        self.absorb(report);
+    }
+    fn take_pending(&mut self, policy: BroadcastPolicy) -> Option<Report> {
+        let bar = self.pending_bar(policy)?;
+        self.mark_announced();
+        Some(bar)
+    }
+}
+
+/// The calendar drive shared by [`run_max_scheduled`] and
+/// [`run_kselect_scheduled`]: every participant samples its first-send
+/// round **once** ([`Participant::schedule`], one uniform draw) at bound
+/// `part_bound`, rounds are buckets of scheduled firers, and skipped
+/// announcements are applied lazily at fire time
+/// ([`Participant::apply_announcement`]). Returns
+/// `(up_msgs, bcast_msgs, rounds_run)`.
+fn drive_scheduled<O: ProtocolOrder>(
+    entries: &[(NodeId, Value)],
+    part_bound: u64,
+    agg: &mut impl ScheduledSink,
+    policy: BroadcastPolicy,
+    run_seed: u64,
+    ledger: &mut CommLedger,
+) -> (u64, u64, u32) {
+    let dist = FireDist::for_bound(part_bound);
+    let last = dist.last_round();
+    // Bucket participants by their scheduled round — the calendar.
+    let mut calendar: Vec<Vec<Participant<O>>> = (0..=last).map(|_| Vec::new()).collect();
+    for &(id, v) in entries {
+        let mut p = Participant::<O>::new(id, v, part_bound);
+        let mut rng = substream_rng(run_seed, id.0 as u64);
+        let r = p.schedule(&dist, &mut rng);
+        calendar[r as usize].push(p);
+    }
+
+    let mut up_msgs = 0u64;
+    let mut bcast_msgs = 0u64;
+    let mut rounds_run = 0u32;
+    let mut announced: Option<Report> = None;
+    let mut remaining = entries.len();
+
+    for r in 0..=last {
+        if remaining == 0 {
+            break; // every participant settled — remaining rounds are silent
+        }
+        rounds_run += 1;
+        for p in &mut calendar[r as usize] {
+            remaining -= 1;
+            if let Some(best) = announced {
+                p.apply_announcement(best);
+            }
+            if let Some(report) = p.fire() {
+                ledger.count(ChannelKind::Up, report.wire_bits());
+                up_msgs += 1;
+                agg.absorb_report(report);
+            }
+        }
+        if r < last {
+            if let Some(best) = agg.take_pending(policy) {
+                ledger.count(ChannelKind::Broadcast, best.wire_bits());
+                bcast_msgs += 1;
+                announced = Some(best);
+            }
+        }
+    }
+    (up_msgs, bcast_msgs, rounds_run)
+}
+
+/// Calendar drive of one extremum protocol — distributionally identical to
+/// [`run_extremum`] (same winner law, same Theorem 4.2 message bound,
+/// pinned statistically by `tests/message_bounds.rs`) but each participant
+/// is touched O(1) times total instead of once per round.
+pub fn run_extremum_scheduled<O: ProtocolOrder>(
+    entries: &[(NodeId, Value)],
+    n_bound: u64,
+    policy: BroadcastPolicy,
+    master_seed: u64,
+    protocol_tag: u64,
+    ledger: &mut CommLedger,
+) -> ProtocolOutcome {
+    assert!(
+        n_bound >= entries.len() as u64,
+        "N={n_bound} must bound the participant count {}",
+        entries.len()
+    );
+    let run_seed = derive_seed(master_seed, protocol_tag);
+    let mut agg: Aggregator<O> = Aggregator::new(n_bound.max(1));
+    let (up_msgs, bcast_msgs, rounds_run) =
+        drive_scheduled::<O>(entries, n_bound.max(1), &mut agg, policy, run_seed, ledger);
+    ProtocolOutcome {
+        winner: agg.result(),
+        up_msgs,
+        bcast_msgs,
+        rounds_run,
+    }
+}
+
+/// [`run_max`] on the fire-round calendar (see [`run_extremum_scheduled`]).
+pub fn run_max_scheduled(
+    entries: &[(NodeId, Value)],
+    n_bound: u64,
+    policy: BroadcastPolicy,
+    master_seed: u64,
+    protocol_tag: u64,
+    ledger: &mut CommLedger,
+) -> ProtocolOutcome {
+    run_extremum_scheduled::<MaxOrder>(entries, n_bound, policy, master_seed, protocol_tag, ledger)
 }
 
 /// MAXIMUMPROTOCOL over `entries` (§4, Algorithm 2).
@@ -248,6 +380,48 @@ pub fn run_kselect(
             }
         }
     }
+
+    if announce_winners {
+        for w in agg.winners() {
+            ledger.count(ChannelKind::Broadcast, w.wire_bits());
+            bcast_msgs += 1;
+        }
+    }
+
+    KSelectOutcome {
+        winners: agg.winners().to_vec(),
+        up_msgs,
+        bcast_msgs,
+        rounds_run,
+    }
+}
+
+/// [`run_kselect`] on the fire-round calendar: one schedule draw per
+/// participant, per-round buckets, lazy bar application at fire time
+/// (the [`drive_scheduled`] loop shared with [`run_max_scheduled`]). Same
+/// exact winners (Las Vegas) and the same
+/// `E[#up] ≤ 2c·(log₂(N/c)+1) + 2·log₂N + 1` law as the per-round sweep.
+#[allow(clippy::too_many_arguments)] // protocol wiring: every knob is load-bearing
+pub fn run_kselect_scheduled(
+    entries: &[(NodeId, Value)],
+    count: usize,
+    n_bound: u64,
+    policy: BroadcastPolicy,
+    announce_winners: bool,
+    master_seed: u64,
+    protocol_tag: u64,
+    ledger: &mut CommLedger,
+) -> KSelectOutcome {
+    assert!(
+        n_bound >= entries.len() as u64,
+        "N={n_bound} must bound the participant count {}",
+        entries.len()
+    );
+    let run_seed = derive_seed(master_seed, protocol_tag);
+    let bound = crate::kselect::sampling_bound(count, n_bound.max(1));
+    let mut agg: KSelectAggregator<MaxOrder> = KSelectAggregator::new(count, n_bound.max(1));
+    let (up_msgs, mut bcast_msgs, rounds_run) =
+        drive_scheduled::<MaxOrder>(entries, bound, &mut agg, policy, run_seed, ledger);
 
     if announce_winners {
         for w in agg.winners() {
@@ -482,6 +656,73 @@ mod tests {
         );
         assert!(out.winners.is_empty());
         assert_eq!(ledger.total(), 0);
+    }
+
+    #[test]
+    fn scheduled_max_is_exact_las_vegas() {
+        let vals: Vec<Value> = vec![17, 3, 99, 42, 8, 77, 99, 5];
+        let es = entries(&vals);
+        for seed in 0..200 {
+            let mut ledger = CommLedger::new();
+            let out = run_max_scheduled(
+                &es,
+                es.len() as u64,
+                BroadcastPolicy::OnChange,
+                seed,
+                0,
+                &mut ledger,
+            );
+            let w = out.winner.unwrap();
+            assert_eq!(w.value, 99);
+            assert_eq!(w.id, NodeId(2), "tie at 99 must go to the lower id");
+            assert_eq!(ledger.up(), out.up_msgs);
+            assert!(out.up_msgs >= 1);
+            assert!(out.rounds_run as u64 <= log2_ceil(es.len() as u64) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn scheduled_kselect_is_exact_las_vegas() {
+        let vals: Vec<Value> = vec![10, 50, 20, 40, 30, 60, 1, 2, 50, 7];
+        let es = entries(&vals);
+        for seed in 0..100 {
+            let mut ledger = CommLedger::new();
+            let out = run_kselect_scheduled(
+                &es,
+                4,
+                16,
+                BroadcastPolicy::OnChange,
+                false,
+                seed,
+                3,
+                &mut ledger,
+            );
+            let got: Vec<Value> = out.winners.iter().map(|w| w.value).collect();
+            assert_eq!(got, vec![60, 50, 50, 40]);
+            assert_eq!(out.winners[1].id, NodeId(1), "equal 50s rank by id");
+            assert_eq!(out.winners[2].id, NodeId(8));
+            assert_eq!(ledger.up(), out.up_msgs);
+        }
+    }
+
+    #[test]
+    fn scheduled_single_participant_sends_exactly_once_with_zero_draws() {
+        // n_bound = 1 ⇒ the schedule is the probability-1 round 0; the
+        // FireDist consumes no randomness at all (see topk_proto::schedule).
+        for seed in 0..50 {
+            let mut ledger = CommLedger::new();
+            let out = run_max_scheduled(
+                &[(NodeId(7), 123)],
+                1,
+                BroadcastPolicy::OnChange,
+                seed,
+                0,
+                &mut ledger,
+            );
+            assert_eq!(out.winner.unwrap().value, 123);
+            assert_eq!(out.up_msgs, 1);
+            assert_eq!(out.rounds_run, 1);
+        }
     }
 
     #[test]

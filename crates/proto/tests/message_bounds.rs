@@ -19,7 +19,7 @@ use topk_net::ledger::CommLedger;
 use topk_net::rng::{derive_seed, substream_rng};
 use topk_proto::analysis::{expected_up_msgs_bound, kselect_up_msgs_bound};
 use topk_proto::extremum::BroadcastPolicy;
-use topk_proto::runner::{run_kselect, run_max};
+use topk_proto::runner::{run_kselect, run_kselect_scheduled, run_max, run_max_scheduled};
 
 /// Seed-stream root: rotated by env so CI can diversify runs.
 fn harness_seed() -> u64 {
@@ -161,6 +161,88 @@ fn kselect_mean_within_bound_and_below_iterated_searches() {
                 "n={n} c={c} worst={worst}: mean {mean:.2} not below c·(2·log₂N+1) = {iterated:.2}"
             );
             // And at least the c winners must report.
+            assert!(mean >= c as f64);
+        }
+    }
+}
+
+/// The fire-round calendar drive (one schedule draw per participant, lazy
+/// deactivation at fire time) obeys the same Theorem 4.2 mean bound as the
+/// per-round coin chain — the distributional-equivalence claim of
+/// `topk_proto::schedule`, checked end to end through the runner.
+#[test]
+fn scheduled_maximum_protocol_mean_within_theorem_42_bound() {
+    let seed = harness_seed();
+    for (exp, worst) in [(4u32, false), (8, false), (10, false), (8, true)] {
+        let n = 1usize << exp;
+        let mut inputs = Inputs::new(n, worst, derive_seed(seed, 50 + exp as u64));
+        let mut total = 0u64;
+        let trials = 400u64;
+        for trial in 0..trials {
+            let entries = inputs.next();
+            let mut ledger = CommLedger::new();
+            let out = run_max_scheduled(
+                &entries,
+                n as u64,
+                BroadcastPolicy::OnChange,
+                derive_seed(seed, 60 + exp as u64),
+                trial,
+                &mut ledger,
+            );
+            assert_eq!(out.winner.unwrap().value, n as u64 - 1, "Las Vegas");
+            total += out.up_msgs;
+        }
+        let mean = total as f64 / trials as f64;
+        let bound = expected_up_msgs_bound(n as u64);
+        assert!(
+            mean <= bound,
+            "scheduled n={n} worst={worst}: mean {mean:.2} exceeds 2·log₂N + 1 = {bound:.2}"
+        );
+        assert!(mean >= 1.0);
+    }
+}
+
+/// Same pin for the one-draw k-select sweep: the calendar drive stays
+/// within the kselect bound *and* below iterated maximum searches.
+#[test]
+fn scheduled_kselect_mean_within_bound_and_below_iterated_searches() {
+    let seed = harness_seed();
+    for (i, &(n, c)) in [(64usize, 9usize), (256, 9), (1024, 33)].iter().enumerate() {
+        for worst in [false, true] {
+            let s = derive_seed(seed, (80 + ((i as u64) << 1)) | worst as u64);
+            let mut inputs = Inputs::new(n, worst, s);
+            let mut total = 0u64;
+            let trials = 300u64;
+            for trial in 0..trials {
+                let entries = inputs.next();
+                let mut ledger = CommLedger::new();
+                let out = run_kselect_scheduled(
+                    &entries,
+                    c,
+                    n as u64,
+                    BroadcastPolicy::OnChange,
+                    false,
+                    s,
+                    trial,
+                    &mut ledger,
+                );
+                assert_eq!(out.winners.len(), c.min(n));
+                for (rank, w) in out.winners.iter().enumerate() {
+                    assert_eq!(w.value, n as u64 - 1 - rank as u64, "Las Vegas top-c");
+                }
+                total += out.up_msgs;
+            }
+            let mean = total as f64 / trials as f64;
+            let bound = kselect_up_msgs_bound(c as u64, n as u64);
+            assert!(
+                mean <= bound,
+                "scheduled n={n} c={c} worst={worst}: mean {mean:.2} exceeds {bound:.2}"
+            );
+            let iterated = c as f64 * expected_up_msgs_bound(n as u64);
+            assert!(
+                mean < iterated,
+                "scheduled n={n} c={c} worst={worst}: mean {mean:.2} ≥ iterated {iterated:.2}"
+            );
             assert!(mean >= c as f64);
         }
     }
