@@ -1,0 +1,148 @@
+//! Chaos-soak artifact: run the threaded runtime behind a seeded
+//! fault-injecting transport over a reset-storm workload, hard-assert
+//! bit-identity with a fault-free sequential twin at every committed step,
+//! and write the [`RecoveryMetrics`] (plus ledger and wall clock) as JSON —
+//! `results/CHAOS_<seed>.json` — so CI archives one recovery trajectory per
+//! commit next to the `BENCH_*.json` perf artifacts.
+//!
+//! Usage: `CHAOS_SEED=<u64> cargo run --release -p topk-bench --bin
+//! chaos_soak [out_dir]` (defaults: seed 101, `results/`). The binary
+//! *fails* (panics) if any committed step diverges from the twin or if a
+//! headline fault class never fired — an artifact is only produced by a
+//! soak that actually proved recovery.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use topk_core::{Engine, MonitorBuilder, ResetStrategy};
+use topk_net::chaos::{ChaosPolicy, RecoveryMetrics};
+use topk_net::ledger::LedgerSnapshot;
+use topk_sim::{boundary_storm, FaultSchedule};
+use topk_streams::WorkloadSpec;
+
+#[derive(Serialize)]
+struct ChaosArm {
+    strategy: String,
+    steps: u64,
+    resets: u64,
+    violation_steps: u64,
+    recovery: RecoveryMetrics,
+    retransmit_frames: u64,
+    model_messages: u64,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ChaosReport {
+    suite: String,
+    chaos_seed: u64,
+    policy: ChaosPolicy,
+    n: usize,
+    k: usize,
+    arms: Vec<ChaosArm>,
+    injected_total: u64,
+}
+
+fn run_arm(strategy: ResetStrategy, policy: ChaosPolicy, n: usize, k: usize) -> ChaosArm {
+    let steps = 300u64;
+    let spec = WorkloadSpec::BoundaryCross {
+        n,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    };
+    let sched = FaultSchedule::new().extend(boundary_storm(
+        policy.seed ^ 0x910c,
+        n,
+        5,
+        steps - 10,
+        2,
+        100,
+        20,
+    ));
+    let mut chaotic = MonitorBuilder::new(n, k)
+        .reset(strategy)
+        .seed(47)
+        .chaos(policy)
+        .build();
+    let mut twin = MonitorBuilder::new(n, k)
+        .reset(strategy)
+        .seed(47)
+        .engine(Engine::Sequential)
+        .build();
+    let mut feed_a = sched.apply(spec.build(3));
+    let mut feed_b = sched.apply(spec.build(3));
+
+    let t0 = Instant::now();
+    for t in 0..steps {
+        chaotic.ingest(feed_a.as_mut(), t);
+        let ev_a = chaotic.advance(t).to_vec();
+        twin.ingest(feed_b.as_mut(), t);
+        assert_eq!(
+            twin.advance(t),
+            ev_a.as_slice(),
+            "t={t}: {strategy:?}: event stream diverged from fault-free twin"
+        );
+        assert_eq!(twin.topk(), chaotic.topk(), "t={t}: answer diverged");
+        assert_eq!(
+            twin.threshold(),
+            chaotic.threshold(),
+            "t={t}: threshold diverged"
+        );
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let recovery = *chaotic.recovery().expect("chaotic engine is threaded");
+    let l: LedgerSnapshot = chaotic.ledger();
+    ChaosArm {
+        strategy: format!("{strategy:?}").to_lowercase(),
+        steps,
+        resets: chaotic.metrics().resets,
+        violation_steps: chaotic.metrics().violation_steps,
+        recovery,
+        retransmit_frames: l.retransmit,
+        model_messages: l.up + l.down + l.broadcast,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let chaos_seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(101);
+    let (n, k) = (10, 2);
+    let policy = ChaosPolicy::from_seed(chaos_seed);
+
+    let arms: Vec<ChaosArm> = [ResetStrategy::Batched, ResetStrategy::Legacy]
+        .into_iter()
+        .map(|s| run_arm(s, policy, n, k))
+        .collect();
+
+    // Coverage gate: the artifact only exists if the soak actually soaked.
+    let sum = |f: fn(&RecoveryMetrics) -> u64| arms.iter().map(|a| f(&a.recovery)).sum::<u64>();
+    assert!(sum(|r| r.injected_drops) > 0, "no drops injected");
+    assert!(sum(|r| r.injected_dups) > 0, "no duplicates injected");
+    assert!(sum(|r| r.injected_stalls) > 0, "no stalls injected");
+    assert!(sum(|r| r.restarts) > 0, "no coordinator restarts injected");
+    assert!(arms.iter().all(|a| a.resets >= 3), "storm did not storm");
+    let injected_total = arms.iter().map(|a| a.recovery.injected_total()).sum();
+
+    let report = ChaosReport {
+        suite: "chaos_soak".into(),
+        chaos_seed,
+        policy,
+        n,
+        k,
+        arms,
+        injected_total,
+    };
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = format!("{dir}/CHAOS_{chaos_seed}.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&path, json + "\n").expect("write json");
+    println!("wrote {path} (injected_total={injected_total})");
+}

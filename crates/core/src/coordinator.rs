@@ -42,6 +42,7 @@ use topk_filters::tracker::{GapTracker, GapUpdate};
 use topk_proto::extremum::{MaxAggregator, MinAggregator};
 use topk_proto::kselect::KSelectAggregator;
 
+use crate::codec::{self, CoordSnapshot};
 use crate::config::{HandlerMode, MonitorConfig, ResetStrategy};
 use crate::metrics::RunMetrics;
 use crate::msg::{DownMsg, UpMsg};
@@ -509,5 +510,74 @@ impl CoordinatorBehavior for CoordinatorMachine {
 
     fn topk(&self) -> &[NodeId] {
         &self.topk_ids
+    }
+
+    /// Serialize the committed state via the wire codec. Only legal between
+    /// steps (phase `Done`), where all per-step scratch is dead — mid-phase
+    /// the snapshot would be unsound and we refuse.
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> bool {
+        if !matches!(self.phase, Phase::Done) {
+            return false;
+        }
+        let snap = CoordSnapshot {
+            initialized: self.initialized,
+            last_threshold: self.last_threshold,
+            tracker: self
+                .tracker
+                .as_ref()
+                .map(|g| (g.t_plus(), g.t_minus(), g.epoch_start())),
+            topk_ids: self.topk_ids.clone(),
+            metrics: self.metrics,
+        };
+        out.clear();
+        codec::encode_snapshot(&snap, out);
+        true
+    }
+
+    /// Restore from a committed-boundary snapshot. Validates the decoded
+    /// state against this coordinator's configuration before applying it;
+    /// on success all per-step scratch is reset and the live transport
+    /// recovery counters are preserved (they describe this incarnation's
+    /// faults, not the snapshotted one's).
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> bool {
+        let mut rd = bytes;
+        let Ok(snap) = codec::decode_snapshot(&mut rd) else {
+            return false;
+        };
+        let n = self.cfg.n as u32;
+        if snap.topk_ids.iter().any(|id| id.0 >= n) {
+            return false;
+        }
+        let expected_ids = if !snap.initialized {
+            0
+        } else if self.cfg.is_degenerate() {
+            self.cfg.n
+        } else {
+            self.cfg.k
+        };
+        if snap.topk_ids.len() != expected_ids {
+            return false;
+        }
+        if snap.initialized && !self.cfg.is_degenerate() && snap.tracker.is_none() {
+            return false;
+        }
+        self.initialized = snap.initialized;
+        self.last_threshold = snap.last_threshold;
+        self.tracker = snap.tracker.map(|(t_plus, t_minus, epoch_start)| {
+            GapTracker::from_raw(t_plus, t_minus, epoch_start)
+        });
+        self.topk_ids = snap.topk_ids;
+        let live_recovery = self.metrics.recovery;
+        self.metrics = snap.metrics;
+        self.metrics.recovery = live_recovery;
+        self.phase = Phase::Done;
+        self.ks_agg.clear();
+        self.reset_winners.clear();
+        self.reset_announced = 0;
+        true
+    }
+
+    fn note_recovery(&mut self, recovery: &topk_net::chaos::RecoveryMetrics) {
+        self.metrics.recovery = *recovery;
     }
 }

@@ -61,3 +61,4 @@ pub use opt::{
 pub use params::NodeParams;
 pub use session::{Engine, MonitorBuilder, MonitorSession};
 pub use threaded::ThreadedTopkMonitor;
+pub use topk_net::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};

@@ -7,6 +7,7 @@
 //! vs the `log Δ` bound) and the message-breakdown tables.
 
 use serde::{Deserialize, Serialize};
+use topk_net::chaos::RecoveryMetrics;
 
 /// Phase-attributed message and event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +46,12 @@ pub struct RunMetrics {
     /// identically on every runtime (it lives in the coordinator, not the
     /// driver) and pinned by `crates/core/tests/reset_rounds.rs`.
     pub reset_rounds: u64,
+    /// Transport fault-injection and recovery counters (all zero except on
+    /// a chaos-enabled threaded runtime). Not part of the model cost and
+    /// excluded from the phase totals; the committed protocol counters
+    /// above stay comparable to a fault-free twin by zeroing this block
+    /// (`RunMetrics { recovery: Default::default(), ..m }`).
+    pub recovery: RecoveryMetrics,
 }
 
 impl RunMetrics {

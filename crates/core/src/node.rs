@@ -64,6 +64,7 @@ const FILTER_OK: u8 = 0b0100_0000;
 
 /// One distributed node of the monitoring system (flat layout — see the
 /// module docs; the `size_of` pin lives in the tests below).
+#[derive(Clone)]
 pub struct NodeMachine {
     params: Arc<NodeParams>,
     value: Value,
@@ -323,6 +324,21 @@ impl NodeBehavior for NodeMachine {
             self.apply_broadcast(b, m);
         }
         self.resolve(m)
+    }
+
+    /// The flat layout makes a checkpoint one cache-line copy (the `Arc`
+    /// parameter block is shared, not duplicated).
+    fn checkpoint(&self) -> Option<Self> {
+        Some(self.clone())
+    }
+
+    /// Restore the step-start protocol state but keep the RNG cursor: an
+    /// aborted attempt's draws are burned, so the re-run is a fresh
+    /// Las Vegas trial rather than a replay of the crashed one.
+    fn rollback(&mut self, at: &Self) {
+        let rng = self.rng.clone();
+        *self = at.clone();
+        self.rng = rng;
     }
 }
 

@@ -41,6 +41,7 @@
 //! [`MonitorSession::threshold`], [`MonitorSession::metrics`].
 
 use topk_net::behavior::{CoordinatorBehavior as _, ValueFeed};
+use topk_net::chaos::{ChaosPolicy, RecoveryMetrics};
 use topk_net::id::{NodeId, Value};
 use topk_net::ledger::LedgerSnapshot;
 use topk_proto::extremum::BroadcastPolicy;
@@ -103,6 +104,7 @@ pub struct MonitorBuilder {
     cfg: MonitorConfig,
     seed: u64,
     engine: Engine,
+    chaos: Option<ChaosPolicy>,
 }
 
 impl MonitorBuilder {
@@ -114,6 +116,7 @@ impl MonitorBuilder {
             cfg: MonitorConfig::new(n, k),
             seed: 0,
             engine: Engine::Auto,
+            chaos: None,
         }
     }
 
@@ -153,6 +156,18 @@ impl MonitorBuilder {
         self
     }
 
+    /// Run the transport through a seeded fault-injection layer (see
+    /// [`ChaosPolicy`]). Implies [`Engine::Threaded`] — chaos lives at the
+    /// frame boundary, which only the threaded runtime has; `build` ignores
+    /// any other engine choice when a policy is set. Committed answers,
+    /// thresholds and events stay identical to a fault-free twin; the
+    /// injected faults surface in [`MonitorSession::recovery`] and the
+    /// `Retransmit` ledger channel.
+    pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
+        self.chaos = Some(policy);
+        self
+    }
+
     /// The [`MonitorConfig`] this builder will hand the engine.
     pub fn config(&self) -> &MonitorConfig {
         &self.cfg
@@ -162,10 +177,20 @@ impl MonitorBuilder {
     /// a reusable template: call `build` repeatedly for independent
     /// sessions with identical configuration.
     pub fn build(&self) -> MonitorSession {
-        let engine = match self.engine.resolve() {
-            Engine::Sequential => EngineImpl::Sequential(TopkMonitor::new(self.cfg, self.seed)),
-            Engine::Threaded => EngineImpl::Threaded(ThreadedTopkMonitor::new(self.cfg, self.seed)),
-            Engine::Auto => unreachable!("resolve never returns Auto"),
+        let engine = if let Some(policy) = self.chaos {
+            EngineImpl::Threaded(Box::new(ThreadedTopkMonitor::new_chaotic(
+                self.cfg, self.seed, policy,
+            )))
+        } else {
+            match self.engine.resolve() {
+                Engine::Sequential => {
+                    EngineImpl::Sequential(Box::new(TopkMonitor::new(self.cfg, self.seed)))
+                }
+                Engine::Threaded => {
+                    EngineImpl::Threaded(Box::new(ThreadedTopkMonitor::new(self.cfg, self.seed)))
+                }
+                Engine::Auto => unreachable!("resolve never returns Auto"),
+            }
         };
         MonitorSession {
             engine,
@@ -190,17 +215,19 @@ impl MonitorBuilder {
     }
 }
 
-/// The resolved engine behind a session.
+/// The resolved engine behind a session. Both engines are sizeable (the
+/// threaded one especially, with thread handles plus chaos/recovery state),
+/// so they live behind boxes to keep the session handle itself small.
 enum EngineImpl {
-    Sequential(TopkMonitor),
-    Threaded(ThreadedTopkMonitor),
+    Sequential(Box<TopkMonitor>),
+    Threaded(Box<ThreadedTopkMonitor>),
 }
 
 impl EngineImpl {
     fn monitor_mut(&mut self) -> &mut dyn Monitor {
         match self {
-            EngineImpl::Sequential(m) => m,
-            EngineImpl::Threaded(m) => m,
+            EngineImpl::Sequential(m) => m.as_mut(),
+            EngineImpl::Threaded(m) => m.as_mut(),
         }
     }
 
@@ -526,6 +553,16 @@ impl MonitorSession {
         self.engine.coordinator().metrics()
     }
 
+    /// Transport fault-injection and recovery counters (`None` on the
+    /// sequential engine; all-zero on a threaded engine without a
+    /// [`ChaosPolicy`]).
+    pub fn recovery(&self) -> Option<&RecoveryMetrics> {
+        match &self.engine {
+            EngineImpl::Sequential(_) => None,
+            EngineImpl::Threaded(m) => Some(m.recovery()),
+        }
+    }
+
     /// Message counters (model cost).
     pub fn ledger(&self) -> LedgerSnapshot {
         self.engine.ledger()
@@ -595,8 +632,8 @@ impl MonitorSession {
     /// node threads on the threaded engine via its `Drop`).
     pub fn into_monitor(self) -> Box<dyn Monitor> {
         match self.engine {
-            EngineImpl::Sequential(m) => Box::new(m),
-            EngineImpl::Threaded(m) => Box::new(m),
+            EngineImpl::Sequential(m) => m,
+            EngineImpl::Threaded(m) => m,
         }
     }
 }

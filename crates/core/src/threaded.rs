@@ -10,6 +10,7 @@
 //! number of movers, not `n`.
 
 use topk_net::behavior::CoordinatorBehavior;
+use topk_net::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};
 use topk_net::id::{NodeId, Value};
 use topk_net::ledger::LedgerSnapshot;
 use topk_net::threaded::ThreadedCluster;
@@ -49,9 +50,50 @@ impl ThreadedTopkMonitor {
         }
     }
 
+    /// Spawn the node threads behind a chaos-injecting transport: the same
+    /// monitor as [`ThreadedTopkMonitor::new`], but every frame and reply
+    /// crosses a seeded fault layer (drops, duplicates, delays, stalls,
+    /// coordinator crash-and-restart — see [`ChaosPolicy`]). Every
+    /// *committed* step produces answers, thresholds and events identical to
+    /// the fault-free twin (pinned by the chaos arms of
+    /// `tests/runtime_conformance.rs`); only the recovery counters and
+    /// retransmission ledger channel record that faults happened.
+    pub fn new_chaotic(cfg: MonitorConfig, seed: u64, policy: ChaosPolicy) -> Self {
+        let (nodes, coord) = TopkMonitor::make_parts(cfg, seed);
+        ThreadedTopkMonitor {
+            cluster: ThreadedCluster::spawn_chaotic(nodes, policy),
+            coord,
+            cfg,
+            events: EventCursor::default(),
+        }
+    }
+
     /// The coordinator (tracker/threshold accessors for tests and tools).
     pub fn coordinator(&self) -> &CoordinatorMachine {
         &self.coord
+    }
+
+    /// Fault-injection and recovery counters (all zero without a
+    /// [`ChaosPolicy`]). The same block is mirrored into
+    /// [`RunMetrics::recovery`] at each committed step.
+    pub fn recovery(&self) -> &RecoveryMetrics {
+        self.cluster.recovery()
+    }
+
+    /// Fallible form of [`Monitor::step`]: a transport failure the recovery
+    /// layer cannot mask (a dead node thread, retries exhausted) surfaces as
+    /// a typed [`RuntimeError`] instead of a panic.
+    pub fn try_step(&mut self, t: u64, values: &[Value]) -> Result<(), RuntimeError> {
+        self.cluster.try_step(&mut self.coord, t, values)
+    }
+
+    /// Fallible form of [`Monitor::step_sparse`].
+    pub fn try_step_sparse(
+        &mut self,
+        t: u64,
+        changes: &[(NodeId, Value)],
+    ) -> Result<(), RuntimeError> {
+        self.cluster.try_step_sparse(&mut self.coord, t, changes)
     }
 
     /// Phase-attributed event counters of the coordinator — same accessor
@@ -149,6 +191,40 @@ mod tests {
         let (a, b) = (thr.ledger(), seq.ledger());
         assert_eq!((a.up, a.down, a.broadcast), (b.up, b.down, b.broadcast));
         assert_eq!(a.total_bits(), b.total_bits());
+    }
+
+    #[test]
+    fn chaotic_monitor_commits_fault_free_answers() {
+        let cfg = MonitorConfig::new(10, 3);
+        let mut chaotic =
+            ThreadedTopkMonitor::new_chaotic(cfg, 42, topk_net::chaos::ChaosPolicy::from_seed(7));
+        let mut twin = TopkMonitor::new(cfg, 42);
+        let mut row: Vec<u64> = (1..=10).map(|v| v * 50).collect();
+        for t in 0..40 {
+            // Churn around the top-k boundary to force protocol traffic.
+            row[(t % 10) as usize] = 100 + (t * 37) % 400;
+            chaotic.step(t, &row);
+            twin.step(t, &row);
+            assert_eq!(chaotic.topk(), twin.topk(), "t={t}");
+            assert_eq!(
+                chaotic.coordinator().current_threshold(),
+                twin.coordinator().current_threshold(),
+                "t={t}"
+            );
+        }
+        assert!(
+            chaotic.recovery().injected_total() > 0,
+            "a from_seed policy over 40 churn steps must inject faults: {:?}",
+            chaotic.recovery()
+        );
+        // Committed protocol counters match the twin exactly; only the
+        // recovery block records the faults.
+        let scrubbed = RunMetrics {
+            recovery: Default::default(),
+            ..*chaotic.metrics()
+        };
+        assert_eq!(scrubbed, *twin.metrics());
+        assert_eq!(chaotic.metrics().recovery, *chaotic.recovery());
     }
 
     #[test]

@@ -48,6 +48,18 @@ impl GapTracker {
         }
     }
 
+    /// Rebuild a tracker from its raw fields — the coordinator
+    /// snapshot/restore path. Callers must validate `t_plus ≥ t_minus`
+    /// (a live epoch certificate) before trusting decoded bytes.
+    pub fn from_raw(t_plus: Value, t_minus: Value, epoch_start: u64) -> Self {
+        debug_assert!(t_plus >= t_minus, "restored certificate must be live");
+        GapTracker {
+            t_plus,
+            t_minus,
+            epoch_start,
+        }
+    }
+
     #[inline]
     pub fn t_plus(&self) -> Value {
         self.t_plus

@@ -105,8 +105,10 @@ impl<U> RoundAction<U> {
 
 /// Node-side behavior in the synchronous execution.
 pub trait NodeBehavior: Send {
-    /// Node → coordinator message type.
-    type Up: WireSize + Send + 'static;
+    /// Node → coordinator message type. `Clone` because the recovery layer
+    /// caches each phase's reply so an idempotent frame re-delivery can
+    /// re-send it without re-running the behavior.
+    type Up: WireSize + Clone + Send + 'static;
     /// Coordinator → node message type (broadcast or unicast).
     type Down: WireSize + Clone + Send + 'static;
 
@@ -136,6 +138,28 @@ pub trait NodeBehavior: Send {
         bcasts: &[Self::Down],
         ucast: Option<&Self::Down>,
     ) -> RoundAction<Self::Up>;
+
+    /// Capture a rollback checkpoint of this node's protocol state, taken
+    /// by the recovery layer at the first frame of each time step. `None`
+    /// (the default) declares the behavior non-recoverable; a chaos-enabled
+    /// cluster requires `Some`.
+    fn checkpoint(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Restore the protocol state captured by [`NodeBehavior::checkpoint`]
+    /// when a step attempt is aborted. Implementations must preserve any
+    /// forward-only resources (e.g. the RNG cursor — a re-run is a fresh
+    /// Las Vegas trial, not a replay of the old draws).
+    fn rollback(&mut self, _at: &Self)
+    where
+        Self: Sized,
+    {
+        unreachable!("rollback called on a behavior without checkpoint support");
+    }
 }
 
 /// Delivery scope of one micro-round's **broadcasts** — a transport
@@ -257,6 +281,27 @@ pub trait CoordinatorBehavior {
     /// The coordinator's current answer: the monitored top-k node ids,
     /// sorted ascending.
     fn topk(&self) -> &[NodeId];
+
+    /// Serialize the coordinator's committed state into `out` and return
+    /// `true`, or return `false` if the behavior does not support
+    /// snapshots (the default) or is mid-step. The recovery layer calls
+    /// this after every committed step; a `true` result arms
+    /// crash-restart injection.
+    fn encode_snapshot(&self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Restore state previously captured by
+    /// [`CoordinatorBehavior::encode_snapshot`], simulating a coordinator
+    /// process restart. Returns `false` if the bytes are rejected.
+    fn restore_snapshot(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
+
+    /// Sink for the transport's recovery counters, called after every
+    /// committed step of a chaos-enabled run so they can surface through
+    /// the behavior's own metrics.
+    fn note_recovery(&mut self, _recovery: &crate::chaos::RecoveryMetrics) {}
 }
 
 /// Hard upper bound on micro-rounds per time step — a bug detector, far above

@@ -131,6 +131,10 @@ impl EventLog {
                     e.to.map(|n| n.to_string()).unwrap_or_else(|| "?".into())
                 ),
                 ChannelKind::Broadcast => "coord ⇒ all".to_string(),
+                ChannelKind::Retransmit => format!(
+                    "resend → {}",
+                    e.to.map(|n| n.to_string()).unwrap_or_else(|| "?".into())
+                ),
             };
             out.push_str(&format!(
                 "t={:<5} m={:<3} {:<16} {}\n",

@@ -13,6 +13,12 @@
 //! delta-driven transport a silent step frames only changed ∪ engaged
 //! nodes, so `sync_frames` grows with the movers, not `n` (broadcast
 //! rounds remain full fan-out).
+//!
+//! Fault recovery has its own channel: everything the chaos/recovery layer
+//! re-sends (wave retries, injected duplicates, late-flushed delayed
+//! frames, step-abort control traffic) is charged to
+//! [`ChannelKind::Retransmit`], so model cost and fault cost never mix —
+//! `total()` and `total_bits()` remain the paper's quantities.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +31,10 @@ pub enum ChannelKind {
     Down,
     /// Coordinator broadcast, received by all nodes, cost 1.
     Broadcast,
+    /// Fault-recovery re-delivery (retry, duplicate, abort traffic). Never
+    /// part of the model cost — the original send was already charged to
+    /// its model channel (or to `sync_frames`).
+    Retransmit,
 }
 
 /// Snapshot of all counters; also used to express deltas between two points
@@ -38,6 +48,8 @@ pub struct LedgerSnapshot {
     pub down_bits: u64,
     pub broadcast_bits: u64,
     pub sync_frames: u64,
+    pub retransmit: u64,
+    pub retransmit_bits: u64,
 }
 
 impl LedgerSnapshot {
@@ -64,6 +76,8 @@ impl LedgerSnapshot {
             down_bits: self.down_bits - earlier.down_bits,
             broadcast_bits: self.broadcast_bits - earlier.broadcast_bits,
             sync_frames: self.sync_frames - earlier.sync_frames,
+            retransmit: self.retransmit - earlier.retransmit,
+            retransmit_bits: self.retransmit_bits - earlier.retransmit_bits,
         }
     }
 
@@ -77,6 +91,8 @@ impl LedgerSnapshot {
             down_bits: self.down_bits + other.down_bits,
             broadcast_bits: self.broadcast_bits + other.broadcast_bits,
             sync_frames: self.sync_frames + other.sync_frames,
+            retransmit: self.retransmit + other.retransmit,
+            retransmit_bits: self.retransmit_bits + other.retransmit_bits,
         }
     }
 }
@@ -108,6 +124,10 @@ impl CommLedger {
                 self.snap.broadcast += 1;
                 self.snap.broadcast_bits += bits as u64;
             }
+            ChannelKind::Retransmit => {
+                self.snap.retransmit += 1;
+                self.snap.retransmit_bits += bits as u64;
+            }
         }
     }
 
@@ -138,6 +158,11 @@ impl CommLedger {
         self.snap.sync_frames
     }
 
+    #[inline]
+    pub fn retransmit(&self) -> u64 {
+        self.snap.retransmit
+    }
+
     /// Total model messages.
     #[inline]
     pub fn total(&self) -> u64 {
@@ -153,6 +178,19 @@ impl CommLedger {
     /// Reset all counters to zero.
     pub fn reset(&mut self) {
         self.snap = LedgerSnapshot::default();
+    }
+
+    /// Rewind the model channels (and sync frames) to `mark`, keeping the
+    /// retransmit counters monotone — used when a crashed step attempt is
+    /// discarded: its model traffic never happened, but the recovery
+    /// traffic physically did.
+    pub fn rollback_model(&mut self, mark: &LedgerSnapshot) {
+        debug_assert!(mark.retransmit <= self.snap.retransmit);
+        let retransmit = self.snap.retransmit;
+        let retransmit_bits = self.snap.retransmit_bits;
+        self.snap = *mark;
+        self.snap.retransmit = retransmit;
+        self.snap.retransmit_bits = retransmit_bits;
     }
 }
 
@@ -192,6 +230,36 @@ mod tests {
         assert_eq!(d.broadcast, 1);
         assert_eq!(d.total(), 2);
         assert_eq!(a.plus(&d), b);
+    }
+
+    #[test]
+    fn retransmit_never_enters_model_totals() {
+        let mut l = CommLedger::new();
+        l.count(ChannelKind::Up, 32);
+        l.count(ChannelKind::Retransmit, 32);
+        l.count(ChannelKind::Retransmit, 0);
+        assert_eq!(l.total(), 1);
+        assert_eq!(l.snapshot().total_bits(), 32);
+        assert_eq!(l.retransmit(), 2);
+        assert_eq!(l.snapshot().retransmit_bits, 32);
+    }
+
+    #[test]
+    fn rollback_model_keeps_recovery_traffic() {
+        let mut l = CommLedger::new();
+        l.count(ChannelKind::Up, 8);
+        l.count(ChannelKind::Retransmit, 4);
+        let mark = l.snapshot();
+        l.count(ChannelKind::Down, 16);
+        l.count_sync();
+        l.count(ChannelKind::Retransmit, 4);
+        l.rollback_model(&mark);
+        // Model traffic + sync rewound, retransmit preserved.
+        assert_eq!(l.up(), 1);
+        assert_eq!(l.down(), 0);
+        assert_eq!(l.sync_frames(), 0);
+        assert_eq!(l.retransmit(), 2);
+        assert_eq!(l.snapshot().retransmit_bits, 8);
     }
 
     #[test]

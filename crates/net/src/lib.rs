@@ -25,12 +25,16 @@
 //!   distributed execution, ledger-equivalent to [`seq`]);
 //! * [`trace`] — dense observation traces, replay and CSV I/O;
 //! * [`events`] — bounded message tracing for transcripts and fine-grained
-//!   ordering assertions.
+//!   ordering assertions;
+//! * [`chaos`] — seeded, deterministic fault injection for the threaded
+//!   runtime, plus the recovery observability types ([`RecoveryMetrics`],
+//!   [`RuntimeError`]).
 
 #![forbid(unsafe_code)]
 
 pub mod behavior;
 pub mod calendar;
+pub mod chaos;
 pub mod delta;
 pub mod events;
 pub mod id;
@@ -45,6 +49,7 @@ pub use behavior::{
     emit_dense, CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction, ValueFeed,
 };
 pub use calendar::FireCalendar;
+pub use chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};
 pub use delta::DeltaRow;
 pub use events::{Event, EventLog};
 pub use id::{midpoint_floor, true_ranking, true_topk, MinEntry, NodeId, RankEntry, Value};

@@ -22,7 +22,7 @@
 //!
 //! * **node-phase 0** — for behaviors that opt into
 //!   [`NodeBehavior::SPARSE_OBSERVE`], only *changed* nodes receive an
-//!   `Observe` frame carrying their new value; *engaged* nodes whose
+//!   observe frame carrying their new value; *engaged* nodes whose
 //!   value did not move receive a value-less `ObserveCached` frame
 //!   and replay the observation against the value cached in their own
 //!   thread. Unchanged, disengaged nodes receive nothing (their `observe`
@@ -51,47 +51,137 @@
 //! or scoped rounds before it, and its next frame carries every broadcast
 //! it skipped (replayed from the driver's step log, in emission order) —
 //! so a protocol round frames only that round's scheduled firers.
+//!
+//! # Chaos and recovery
+//!
+//! [`ThreadedCluster::spawn_chaotic`] arms a seeded
+//! [`ChaosPolicy`](crate::chaos::ChaosPolicy) at the frame boundary: a
+//! frame's *first* delivery may be dropped, duplicated, delayed past its
+//! wave (reorder), or stalled; a node's reply may be lost; and the
+//! coordinator may crash between micro-rounds. Recovery works in layers:
+//!
+//! * **Idempotent re-delivery** — every work frame carries a lexicographic
+//!   key `(t, run, m)`. A node processes each key at most once: a stale
+//!   key is ignored, a repeated key re-sends the cached reply verbatim, so
+//!   duplicated or re-sent frames are no-ops on model state and RNG
+//!   streams.
+//! * **Reply deadlines with bounded retry** — the driver collects each
+//!   wave under a deadline and re-sends outstanding frames (charged to
+//!   [`ChannelKind::Retransmit`], never to the model ledger) up to
+//!   `max_retries` times before surfacing a typed
+//!   [`RuntimeError::ReplyTimeout`].
+//! * **Whole-step re-run** — an injected coordinator crash discards the
+//!   attempt: the coordinator restores its last committed snapshot, the
+//!   model ledger rolls back to the step's start, every node rolls back to
+//!   its step-start checkpoint (keeping its RNG cursor), and the step runs
+//!   again under a fresh `run` number. Re-running is safe because protocol
+//!   rounds are Las Vegas: the new attempt consumes a fresh RNG segment
+//!   but lands on the same committed answers and thresholds.
+//!
+//! As long as no coordinator restart occurs, fault mixes leave every
+//! counter of the model ledger (including `sync_frames`, charged at first
+//! send *intent*) bit-identical to a fault-free twin; restarts additionally
+//! perturb only fault-channel counters and RNG cursors, never committed
+//! answers, thresholds or event streams (pinned by the chaos arms of
+//! `tests/runtime_conformance.rs`).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::behavior::{
     max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
 };
 use crate::calendar::FireCalendar;
+use crate::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};
 use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
 use crate::wire::WireSize;
 
-/// Frame sent from the driver to a node thread.
-enum NodeFrame<D> {
-    /// Deliver the observation for time `t` (node-phase 0).
-    Observe { t: u64, value: Value },
+/// Node-phase index of the step-abort control frame — past every real
+/// phase, so `(t, run, ABORT_M)` outranks all work of the aborted attempt.
+const ABORT_M: u32 = u32::MAX;
+
+/// Payload of one work frame.
+#[derive(Clone)]
+enum FramePayload<D> {
+    /// Deliver the observation (node-phase 0).
+    Observe { value: Value },
     /// Node-phase 0 for an engaged node whose value did not change: observe
     /// the value cached in the node thread (delta transport only; requires
     /// [`NodeBehavior::SPARSE_OBSERVE`]).
-    ObserveCached { t: u64 },
-    /// Run node-phase `m` with the round's broadcasts and an optional
+    ObserveCached,
+    /// Run a node-phase `m ≥ 1` with the round's broadcasts and an optional
     /// unicast addressed to this node.
-    Round {
+    Round { bcasts: Vec<D>, ucast: Option<D> },
+}
+
+/// One keyed unit of node work. The `(t, run, m)` triple is the
+/// idempotency key: nodes process each key at most once, so re-delivery
+/// (retry, injected duplicate, late-flushed delayed copy) is a no-op.
+#[derive(Clone)]
+struct WorkFrame<D> {
+    t: u64,
+    /// Step attempt number — bumped on every whole-step re-run.
+    run: u32,
+    /// Node-phase (0 = observe).
+    m: u32,
+    /// Injected stall: sleep this long before processing (chaos only;
+    /// always 0 on re-sent frames).
+    stall_ms: u32,
+    payload: FramePayload<D>,
+}
+
+/// Frame sent from the driver to a node thread.
+enum NodeFrame<D> {
+    Work(WorkFrame<D>),
+    /// Discard every effect of step `t`, attempt `run` (roll back to the
+    /// step-start checkpoint) and acknowledge. Idempotent.
+    Abort {
         t: u64,
-        m: u32,
-        bcasts: Vec<D>,
-        ucast: Option<D>,
+        run: u32,
     },
     /// Shut the node thread down.
     Halt,
 }
 
-/// Reply from a node thread after processing one frame.
-struct NodeReply<U> {
-    id: NodeId,
+/// The behavior-visible part of a node's reply, cached node-side so a
+/// re-delivered frame can re-send it without re-running the behavior.
+#[derive(Clone)]
+struct ReplyBody<U> {
     up: Option<U>,
     engaged: bool,
     /// Fire-round calendar entry (see
     /// [`crate::behavior::RoundAction::wake_at`]).
     wake_at: Option<u32>,
+}
+
+impl<U> ReplyBody<U> {
+    fn idle() -> Self {
+        ReplyBody {
+            up: None,
+            engaged: false,
+            wake_at: None,
+        }
+    }
+}
+
+/// Reply from a node thread, echoing the frame key it answers.
+struct NodeReply<U> {
+    id: NodeId,
+    t: u64,
+    run: u32,
+    m: u32,
+    body: ReplyBody<U>,
+}
+
+/// Internal outcome of one step attempt.
+enum AttemptError {
+    /// Injected coordinator crash — recover and re-run the step.
+    Crashed,
+    /// Unrecoverable transport failure.
+    Fatal(RuntimeError),
 }
 
 /// A running cluster of node threads plus the coordinator-side driver state.
@@ -129,16 +219,59 @@ where
     steps_run: u64,
     silent_steps: u64,
     micro_rounds_run: u64,
+    /// Armed fault schedule (`None` = clean transport, zero overhead).
+    chaos: Option<ChaosPolicy>,
+    /// Injected-fault and recovery-work counters.
+    recovery: RecoveryMetrics,
+    /// Current step attempt number (part of every frame key).
+    run: u32,
+    /// Remaining injected-crash budget for the current step.
+    crashes_left: u32,
+    /// Per-node "reply outstanding" flags for the in-flight wave.
+    pending_mask: Vec<bool>,
+    pending_count: usize,
+    /// Reply-drop already injected for (this wave, node) — at most one per
+    /// wave so retries always converge.
+    reply_dropped: Vec<bool>,
+    /// Phase-0 frames of the current step, kept verbatim so a step re-run
+    /// re-delivers identical observations.
+    phase0_wave: Vec<(u32, WorkFrame<NB::Down>)>,
+    /// Frames of the in-flight wave (chaos mode), kept for re-delivery.
+    wave: Vec<(u32, WorkFrame<NB::Down>)>,
+    /// Delay-injected frames awaiting their late (reordered) flush.
+    delayed: Vec<(u32, WorkFrame<NB::Down>)>,
+    /// Engaged set at the start of the current step, restored on re-run.
+    engaged_mark: Vec<u32>,
+    /// Last committed coordinator snapshot (chaos mode).
+    snapshot_buf: Vec<u8>,
+    have_snapshot: bool,
 }
 
 impl<NB> ThreadedCluster<NB>
 where
     NB: NodeBehavior + 'static,
 {
-    /// Spawn one thread per node behavior.
+    /// Spawn one thread per node behavior, clean transport.
     pub fn spawn(nodes: Vec<NB>) -> Self {
+        Self::spawn_inner(nodes, None)
+    }
+
+    /// Spawn with a seeded fault schedule armed at the frame boundary.
+    /// Requires checkpoint-capable behaviors ([`NodeBehavior::checkpoint`]
+    /// returning `Some`) — step re-runs roll nodes back to their
+    /// step-start state.
+    pub fn spawn_chaotic(nodes: Vec<NB>, policy: ChaosPolicy) -> Self {
+        assert!(
+            nodes.first().is_none_or(|node| node.checkpoint().is_some()),
+            "chaos transport requires NodeBehavior::checkpoint support"
+        );
+        Self::spawn_inner(nodes, Some(policy))
+    }
+
+    fn spawn_inner(nodes: Vec<NB>, chaos: Option<ChaosPolicy>) -> Self {
         let n = nodes.len();
         assert!(n > 0, "need at least one node");
+        let recoverable = chaos.is_some();
         let (reply_tx, reply_rx) = unbounded::<NodeReply<NB::Up>>();
         let mut to_nodes = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -153,7 +286,7 @@ where
             let handle = std::thread::Builder::new()
                 .name(format!("topk-node-{i}"))
                 .spawn(move || {
-                    node_main(&mut node, rx, reply);
+                    node_main(&mut node, rx, reply, recoverable);
                     node
                 })
                 .expect("spawn node thread");
@@ -180,6 +313,19 @@ where
             steps_run: 0,
             silent_steps: 0,
             micro_rounds_run: 0,
+            chaos,
+            recovery: RecoveryMetrics::default(),
+            run: 0,
+            crashes_left: 0,
+            pending_mask: vec![false; n],
+            pending_count: 0,
+            reply_dropped: vec![false; n],
+            phase0_wave: Vec::new(),
+            wave: Vec::new(),
+            delayed: Vec::new(),
+            engaged_mark: Vec::new(),
+            snapshot_buf: Vec::new(),
+            have_snapshot: false,
         }
     }
 
@@ -212,13 +358,37 @@ where
         &self.engaged_idx
     }
 
+    /// Injected-fault and recovery counters (all zero on a clean transport).
+    pub fn recovery(&self) -> &RecoveryMetrics {
+        &self.recovery
+    }
+
+    /// Execute one synchronous time step against `coord`, panicking on
+    /// transport failure (see [`ThreadedCluster::try_step`]).
+    pub fn step<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.try_step(coord, t, values)
+            .unwrap_or_else(|e| panic!("threaded runtime failed at t={t}: {e}"));
+    }
+
     /// Execute one synchronous time step against `coord`.
     ///
     /// For behaviors that opt into [`NodeBehavior::SPARSE_OBSERVE`] this is
     /// a thin wrapper: the row is diffed against the driver's cached row and
     /// observation frames go only to changed/engaged nodes. Other behaviors
     /// get the classic dense fan-out of every observation.
-    pub fn step<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
+    ///
+    /// A dead node thread, an exhausted retry budget, or a failed
+    /// coordinator restore surfaces as a typed [`RuntimeError`] instead of
+    /// a panic or a hung receive.
+    pub fn try_step<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        values: &[Value],
+    ) -> Result<(), RuntimeError>
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
@@ -226,14 +396,24 @@ where
         if NB::SPARSE_OBSERVE && self.delta_row.is_valid() {
             let mut dr = std::mem::take(&mut self.delta_row);
             dr.diff(values);
-            self.step_visits(coord, t, dr.last_delta());
+            let res = self.try_step_visits(coord, t, dr.last_delta());
             self.delta_row = dr;
+            res
         } else {
             if NB::SPARSE_OBSERVE {
                 self.delta_row.prime(values);
             }
-            self.step_dense(coord, t, values);
+            self.try_step_dense(coord, t, values)
         }
+    }
+
+    /// Panicking wrapper of [`ThreadedCluster::try_step_sparse`].
+    pub fn step_sparse<CB>(&mut self, coord: &mut CB, t: u64, changes: &[(NodeId, Value)])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.try_step_sparse(coord, t, changes)
+            .unwrap_or_else(|e| panic!("threaded runtime failed at t={t}: {e}"));
     }
 
     /// Execute one step given only the values that changed since `t − 1`
@@ -247,7 +427,12 @@ where
     /// dense [`ThreadedCluster::step`] driven with the corresponding full
     /// rows — and to both sequential execution paths. Validation and
     /// filtering live in [`DeltaRow`], shared with the sequential runtime.
-    pub fn step_sparse<CB>(&mut self, coord: &mut CB, t: u64, changes: &[(NodeId, Value)])
+    pub fn try_step_sparse<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        changes: &[(NodeId, Value)],
+    ) -> Result<(), RuntimeError>
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
@@ -256,85 +441,162 @@ where
             "step_sparse requires a NodeBehavior with SPARSE_OBSERVE = true"
         );
         let mut dr = std::mem::take(&mut self.delta_row);
-        if dr.apply_sparse(changes) {
-            self.step_dense(coord, t, dr.row());
+        let res = if dr.apply_sparse(changes) {
+            self.try_step_dense(coord, t, dr.row())
         } else {
-            self.step_visits(coord, t, dr.last_delta());
-        }
+            self.try_step_visits(coord, t, dr.last_delta())
+        };
         self.delta_row = dr;
+        res
     }
 
     /// Node-phase 0 as a full observation fan-out (non-sparse behaviors and
     /// the very first step), then the micro-round schedule.
-    fn step_dense<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
+    fn try_step_dense<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        values: &[Value],
+    ) -> Result<(), RuntimeError>
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
-        coord.begin_step(t);
-        for (i, tx) in self.to_nodes.iter().enumerate() {
-            tx.send(NodeFrame::Observe {
-                t,
-                value: values[i],
-            })
-            .expect("node thread alive");
-            self.ledger.count_sync();
-        }
-        let n = self.n();
-        self.finish_step(coord, t, n);
+        self.phase0_wave.clear();
+        self.phase0_wave
+            .extend(values.iter().enumerate().map(|(i, &value)| {
+                (
+                    i as u32,
+                    WorkFrame {
+                        t,
+                        run: 0,
+                        m: 0,
+                        stall_ms: 0,
+                        payload: FramePayload::Observe { value },
+                    },
+                )
+            }));
+        self.run_step(coord, t)
     }
 
     /// Node-phase 0 over changed ∪ engaged nodes only: changed nodes get
     /// their new value, engaged-but-unchanged nodes a value-less
-    /// [`NodeFrame::ObserveCached`] frame replayed from the value cached
+    /// [`FramePayload::ObserveCached`] frame replayed from the value cached
     /// in their own thread (no driver-side row is consulted here).
-    fn step_visits<CB>(&mut self, coord: &mut CB, t: u64, changes: &[(NodeId, Value)])
+    fn try_step_visits<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        changes: &[(NodeId, Value)],
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.phase0_wave.clear();
+        let engaged = std::mem::take(&mut self.engaged_idx);
+        let wave = &mut self.phase0_wave;
+        merge_visit(changes, &engaged, |i, value| {
+            let payload = match value {
+                Some(&value) => FramePayload::Observe { value },
+                None => FramePayload::ObserveCached,
+            };
+            wave.push((
+                i,
+                WorkFrame {
+                    t,
+                    run: 0,
+                    m: 0,
+                    stall_ms: 0,
+                    payload,
+                },
+            ));
+        });
+        self.engaged_idx = engaged;
+        self.run_step(coord, t)
+    }
+
+    /// Run the step from its stored phase-0 wave, re-running whole attempts
+    /// after injected coordinator crashes until one commits.
+    fn run_step<CB>(&mut self, coord: &mut CB, t: u64) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        let ledger_mark = self.ledger.snapshot();
+        let rounds_mark = self.micro_rounds_run;
+        if let Some(p) = self.chaos {
+            self.engaged_mark.clear();
+            self.engaged_mark.extend_from_slice(&self.engaged_idx);
+            // Restarts need a committed snapshot to restore from.
+            self.crashes_left = if self.have_snapshot {
+                p.max_restarts_per_step
+            } else {
+                0
+            };
+        }
+        self.run = 0;
+        loop {
+            let mut ups = std::mem::take(&mut self.ups_scratch);
+            let mut out = std::mem::take(&mut self.out);
+            let attempt = self.run_attempt(coord, t, &mut ups, &mut out);
+            self.ups_scratch = ups;
+            self.out = out;
+            match attempt {
+                Ok(silent) => {
+                    if self.chaos.is_some() {
+                        coord.note_recovery(&self.recovery);
+                        self.snapshot_buf.clear();
+                        self.have_snapshot = coord.encode_snapshot(&mut self.snapshot_buf);
+                    }
+                    self.steps_run += 1;
+                    if silent {
+                        self.silent_steps += 1;
+                    }
+                    return Ok(());
+                }
+                Err(AttemptError::Crashed) => {
+                    let t0 = Instant::now();
+                    self.recover(coord, t, &ledger_mark, rounds_mark)?;
+                    self.recovery.recovery_nanos += t0.elapsed().as_nanos() as u64;
+                    self.run += 1;
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt at the step: phase-0 wave, silent fast path, then the
+    /// coordinator micro-round loop. Returns `Ok(true)` for a silent step.
+    fn run_attempt<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        ups: &mut Vec<(NodeId, NB::Up)>,
+        out: &mut CoordOut<NB::Down>,
+    ) -> Result<bool, AttemptError>
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
         coord.begin_step(t);
-        let engaged = std::mem::take(&mut self.engaged_idx);
-        let mut visited = 0usize;
-        merge_visit(changes, &engaged, |i, value| {
-            let frame = match value {
-                Some(&value) => NodeFrame::Observe { t, value },
-                None => NodeFrame::ObserveCached { t },
-            };
-            self.to_nodes[i as usize]
-                .send(frame)
-                .expect("node thread alive");
-            self.ledger.count_sync();
-            visited += 1;
-        });
-        self.engaged_idx = engaged;
-        self.finish_step(coord, t, visited);
-    }
-
-    /// Collect node-phase 0, run the silent-step fast path, then the
-    /// coordinator micro-round loop.
-    fn finish_step<CB>(&mut self, coord: &mut CB, t: u64, visited: usize)
-    where
-        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
-    {
-        let mut ups = std::mem::take(&mut self.ups_scratch);
-        self.collect_into(visited, &mut ups, 0);
+        self.begin_wave().map_err(AttemptError::Fatal)?;
+        for idx in 0..self.phase0_wave.len() {
+            let (i, mut frame) = self.phase0_wave[idx].clone();
+            frame.run = self.run;
+            self.dispatch(i, frame).map_err(AttemptError::Fatal)?;
+        }
+        self.collect(t, 0, ups).map_err(AttemptError::Fatal)?;
 
         if self.engaged_idx.is_empty()
             && self.calendar.is_empty()
             && ups.is_empty()
             && coord.try_skip_silent_step(t)
         {
-            self.ups_scratch = ups;
-            self.steps_run += 1;
-            self.silent_steps += 1;
-            return;
+            return Ok(true);
         }
 
         let guard = max_micro_rounds(self.n(), 16) * 4;
         let mut m: u32 = 0;
-        let mut out = std::mem::take(&mut self.out);
         loop {
             out.clear();
-            coord.micro_round(t, m, &mut ups, &mut out);
+            coord.micro_round(t, m, ups, out);
             ups.clear();
             for (_, d) in &out.unicasts {
                 self.ledger.count(ChannelKind::Down, d.wire_bits());
@@ -348,26 +610,135 @@ where
             m += 1;
             self.micro_rounds_run += 1;
             assert!(m <= guard, "micro-round guard exceeded at t={t}");
-            let visited = self.deliver_round(t, m, &mut out);
-            self.collect_into(visited, &mut ups, m);
+            if let Some(p) = self.chaos {
+                if self.crashes_left > 0 && p.crash_coordinator(t, self.run, m) {
+                    self.crashes_left -= 1;
+                    return Err(AttemptError::Crashed);
+                }
+            }
+            self.deliver_round(t, m, out).map_err(AttemptError::Fatal)?;
+            self.collect(t, m, ups).map_err(AttemptError::Fatal)?;
         }
-        self.out = out;
-        self.ups_scratch = ups;
         // Schedules and the broadcast log are step-local.
         self.calendar.end_step();
         self.bcast_log.clear();
-        self.steps_run += 1;
+        Ok(false)
     }
 
-    /// Deliver the coordinator output of round `m-1` as node-phase `m`;
-    /// returns the number of frames sent. Same visit rule as the sequential
-    /// runtime: a [`RoundScope::All`] broadcast reaches everyone (full
-    /// fan-out), otherwise only engaged nodes, the calendar entries due at
-    /// this phase, unicast addressees and the [`RoundScope::EngagedPlus`]
-    /// addressee are framed (skipped nodes are contractual no-ops for the
-    /// round's payload). A scheduled node's frame replays every broadcast
-    /// since its last poll from the step log.
-    fn deliver_round(&mut self, t: u64, m: u32, out: &mut CoordOut<NB::Down>) -> usize {
+    /// Start a new wave: flush delay-injected frames from earlier waves
+    /// (their keys are stale by now, so nodes dedup them — pure reorder
+    /// noise on the wire) and reset per-wave fault bookkeeping.
+    fn begin_wave(&mut self) -> Result<(), RuntimeError> {
+        debug_assert_eq!(self.pending_count, 0, "wave started with replies pending");
+        self.wave.clear();
+        if self.chaos.is_some() {
+            let mut delayed = std::mem::take(&mut self.delayed);
+            let mut res = Ok(());
+            for (i, frame) in delayed.drain(..) {
+                if res.is_ok() {
+                    res = self.send_work(i, frame);
+                    self.ledger.count(ChannelKind::Retransmit, 0);
+                }
+            }
+            self.delayed = delayed;
+            res?;
+            for b in self.reply_dropped.iter_mut() {
+                *b = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_work(&mut self, i: u32, frame: WorkFrame<NB::Down>) -> Result<(), RuntimeError> {
+        self.to_nodes[i as usize]
+            .send(NodeFrame::Work(frame))
+            .map_err(|_| RuntimeError::NodeDown { id: NodeId(i) })
+    }
+
+    /// Deliver one frame of the current wave, applying the fault schedule
+    /// to its first delivery. The sync frame is charged at send *intent*,
+    /// so `sync_frames` matches the fault-free twin even when the delivery
+    /// is suppressed; everything the fault layer adds (duplicates, late
+    /// flushes, retries) is charged to [`ChannelKind::Retransmit`].
+    fn dispatch(&mut self, i: u32, mut frame: WorkFrame<NB::Down>) -> Result<(), RuntimeError> {
+        debug_assert!(
+            !self.pending_mask[i as usize],
+            "node framed twice in a wave"
+        );
+        self.pending_mask[i as usize] = true;
+        self.pending_count += 1;
+        self.ledger.count_sync();
+        let Some(p) = self.chaos else {
+            return self.send_work(i, frame);
+        };
+        let (t, run, m) = (frame.t, frame.run, frame.m);
+        if p.drop_frame(t, run, m, i) {
+            self.recovery.injected_drops += 1;
+            self.wave.push((i, frame));
+            return Ok(());
+        }
+        if p.delay_frame(t, run, m, i) {
+            // Held back past this wave: the retry path completes the wave,
+            // and the late copy is flushed (and deduped) later.
+            self.recovery.injected_delays += 1;
+            self.delayed.push((i, frame.clone()));
+            self.wave.push((i, frame));
+            return Ok(());
+        }
+        if p.stall_frame(t, run, m, i) {
+            self.recovery.injected_stalls += 1;
+            frame.stall_ms = p.stall_ms;
+        }
+        if p.duplicate_frame(t, run, m, i) {
+            self.recovery.injected_dups += 1;
+            self.send_work(i, frame.clone())?;
+            self.ledger.count(ChannelKind::Retransmit, 0);
+        }
+        self.send_work(i, frame.clone())?;
+        self.wave.push((i, frame));
+        Ok(())
+    }
+
+    /// Re-send every outstanding frame of the in-flight wave (stall
+    /// stripped — recovery must converge).
+    fn resend_pending(&mut self) -> Result<(), RuntimeError> {
+        let wave = std::mem::take(&mut self.wave);
+        let mut resent = 0u64;
+        let mut res = Ok(());
+        for (i, frame) in &wave {
+            if self.pending_mask[*i as usize] && res.is_ok() {
+                let mut frame = frame.clone();
+                frame.stall_ms = 0;
+                res = self.send_work(*i, frame);
+                self.ledger.count(ChannelKind::Retransmit, 0);
+                resent += 1;
+            }
+        }
+        self.wave = wave;
+        self.recovery.redelivered_frames += resent;
+        res
+    }
+
+    fn find_dead_pending(&self) -> Option<NodeId> {
+        (0..self.n())
+            .find(|&i| self.pending_mask[i] && self.handles[i].is_finished())
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Deliver the coordinator output of round `m-1` as node-phase `m`.
+    /// Same visit rule as the sequential runtime: a [`RoundScope::All`]
+    /// broadcast reaches everyone (full fan-out), otherwise only engaged
+    /// nodes, the calendar entries due at this phase, unicast addressees
+    /// and the [`RoundScope::EngagedPlus`] addressee are framed (skipped
+    /// nodes are contractual no-ops for the round's payload). A scheduled
+    /// node's frame replays every broadcast since its last poll from the
+    /// step log.
+    fn deliver_round(
+        &mut self,
+        t: u64,
+        m: u32,
+        out: &mut CoordOut<NB::Down>,
+    ) -> Result<(), RuntimeError> {
         if out.unicasts.len() > 1 {
             out.unicasts.sort_by_key(|(id, _)| *id);
         }
@@ -377,30 +748,34 @@ where
             _ => None,
         };
         self.bcast_log.extend(out.broadcasts.iter().cloned());
+        self.begin_wave()?;
+        let n_bcasts = out.broadcasts.len();
+        let run = self.run;
         let frame_bcasts = |cal: &FireCalendar, log: &[NB::Down], i: u32| -> Vec<NB::Down> {
             if cal.is_scheduled(i) {
                 log[cal.seen(i)..].to_vec()
             } else {
-                log[log.len() - out.broadcasts.len()..].to_vec()
+                log[log.len() - n_bcasts..].to_vec()
             }
         };
-        let mut visited = 0usize;
         if full_fanout {
             let mut u = out.unicasts.iter().peekable();
-            for (i, tx) in self.to_nodes.iter().enumerate() {
+            for i in 0..self.n() as u32 {
                 let ucast = match u.peek() {
-                    Some((id, _)) if id.idx() == i => u.next().map(|(_, d)| d.clone()),
+                    Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d.clone()),
                     _ => None,
                 };
-                tx.send(NodeFrame::Round {
-                    t,
-                    m,
-                    bcasts: frame_bcasts(&self.calendar, &self.bcast_log, i as u32),
-                    ucast,
-                })
-                .expect("node thread alive");
-                self.ledger.count_sync();
-                visited += 1;
+                let bcasts = frame_bcasts(&self.calendar, &self.bcast_log, i);
+                self.dispatch(
+                    i,
+                    WorkFrame {
+                        t,
+                        run,
+                        m,
+                        stall_ms: 0,
+                        payload: FramePayload::Round { bcasts, ucast },
+                    },
+                )?;
             }
         } else {
             let engaged = std::mem::take(&mut self.engaged_idx);
@@ -415,61 +790,233 @@ where
             visit.sort_unstable();
             visit.dedup();
             let mut u = out.unicasts.iter().peekable();
+            let mut res = Ok(());
             for &i in &visit {
                 let ucast = match u.peek() {
                     Some((id, _)) if id.0 == i => u.next().map(|(_, d)| d.clone()),
                     _ => None,
                 };
-                self.to_nodes[i as usize]
-                    .send(NodeFrame::Round {
+                let bcasts = frame_bcasts(&self.calendar, &self.bcast_log, i);
+                res = self.dispatch(
+                    i,
+                    WorkFrame {
                         t,
+                        run,
                         m,
-                        bcasts: frame_bcasts(&self.calendar, &self.bcast_log, i),
-                        ucast,
-                    })
-                    .expect("node thread alive");
-                self.ledger.count_sync();
-                visited += 1;
+                        stall_ms: 0,
+                        payload: FramePayload::Round { bcasts, ucast },
+                    },
+                );
+                if res.is_err() {
+                    break;
+                }
             }
             self.visit_scratch = visit;
             self.engaged_idx = engaged;
+            res?;
         }
-        visited
+        Ok(())
     }
 
-    /// Collect exactly `expect` replies into `ups` (sorted by node id),
+    /// Collect the in-flight wave's replies into `ups` (sorted by node id),
     /// charging `Some` payloads, rebuilding the engaged index list from the
     /// repliers, and resolving/re-creating calendar entries from their
-    /// `wake_at` answers. Nodes not visited this phase were disengaged or
-    /// scheduled for a later phase (the visit rule always includes every
-    /// engaged node and every due entry), so the replies plus the calendar
-    /// determine the new poll sets.
-    fn collect_into(&mut self, expect: usize, ups: &mut Vec<(NodeId, NB::Up)>, phase: u32) {
+    /// `wake_at` answers. Replies are matched against the wave key
+    /// `(t, run, phase)`: stale or duplicate arrivals are discarded, and
+    /// outstanding frames are re-sent after each reply deadline (bounded by
+    /// the policy's retry budget). A dead node thread surfaces as
+    /// [`RuntimeError::NodeDown`] instead of a hung receive.
+    fn collect(
+        &mut self,
+        t: u64,
+        phase: u32,
+        ups: &mut Vec<(NodeId, NB::Up)>,
+    ) -> Result<(), RuntimeError> {
         ups.clear();
         let log_len = self.bcast_log.len();
         let mut next = std::mem::take(&mut self.engaged_scratch);
         next.clear();
-        for _ in 0..expect {
-            let reply = self.from_nodes.recv().expect("node reply");
-            debug_assert!(
-                reply.wake_at.is_none() || reply.engaged,
-                "wake_at requires engaged"
-            );
-            let wake = if reply.engaged { reply.wake_at } else { None };
-            if wake.is_some() || self.calendar.is_scheduled(reply.id.0) {
-                self.calendar.note_poll(reply.id.0, wake, phase, log_len);
+        let deadline = Duration::from_millis(match self.chaos {
+            Some(p) => p.deadline_ms.max(1),
+            None => 200,
+        });
+        let mut attempts: u32 = 0;
+        let result = loop {
+            if self.pending_count == 0 {
+                break Ok(());
             }
-            if reply.engaged && wake.is_none() {
-                next.push(reply.id.0);
+            match self.from_nodes.recv_timeout(deadline) {
+                Ok(reply) => {
+                    let idx = reply.id.idx();
+                    if reply.t != t
+                        || reply.run != self.run
+                        || reply.m != phase
+                        || !self.pending_mask[idx]
+                    {
+                        self.recovery.stale_replies += 1;
+                        continue;
+                    }
+                    if let Some(p) = self.chaos {
+                        if !self.reply_dropped[idx] && p.drop_reply(t, self.run, phase, reply.id.0)
+                        {
+                            self.reply_dropped[idx] = true;
+                            self.recovery.injected_reply_drops += 1;
+                            continue;
+                        }
+                    }
+                    self.pending_mask[idx] = false;
+                    self.pending_count -= 1;
+                    let body = reply.body;
+                    debug_assert!(
+                        body.wake_at.is_none() || body.engaged,
+                        "wake_at requires engaged"
+                    );
+                    let wake = if body.engaged { body.wake_at } else { None };
+                    if wake.is_some() || self.calendar.is_scheduled(reply.id.0) {
+                        self.calendar.note_poll(reply.id.0, wake, phase, log_len);
+                    }
+                    if body.engaged && wake.is_none() {
+                        next.push(reply.id.0);
+                    }
+                    if let Some(up) = body.up {
+                        self.ledger.count(ChannelKind::Up, up.wire_bits());
+                        ups.push((reply.id, up));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(id) = self.find_dead_pending() {
+                        break Err(RuntimeError::NodeDown { id });
+                    }
+                    if let Some(p) = self.chaos {
+                        attempts += 1;
+                        if attempts > p.max_retries {
+                            break Err(RuntimeError::ReplyTimeout {
+                                t,
+                                m: phase,
+                                waiting: self.pending_count,
+                            });
+                        }
+                        if let Err(e) = self.resend_pending() {
+                            break Err(e);
+                        }
+                        self.recovery.retries += 1;
+                    }
+                    // Clean transport: keep waiting (the model blocks on
+                    // replies); the timeout only exists to detect dead
+                    // threads.
+                }
+                Err(RecvTimeoutError::Disconnected) => break Err(RuntimeError::AllNodesDown),
             }
-            if let Some(up) = reply.up {
-                self.ledger.count(ChannelKind::Up, up.wire_bits());
-                ups.push((reply.id, up));
+        };
+        match result {
+            Ok(()) => {
+                next.sort_unstable();
+                self.engaged_scratch = std::mem::replace(&mut self.engaged_idx, next);
+                ups.sort_by_key(|(id, _)| *id);
+                Ok(())
+            }
+            Err(e) => {
+                self.engaged_scratch = next;
+                Err(e)
             }
         }
-        next.sort_unstable();
-        self.engaged_scratch = std::mem::replace(&mut self.engaged_idx, next);
-        ups.sort_by_key(|(id, _)| *id);
+    }
+
+    /// Recover from an injected coordinator crash: restore the last
+    /// committed snapshot, roll the model ledger and driver state back to
+    /// the step's start, and make every node discard the dead attempt via
+    /// an idempotent abort wave.
+    fn recover<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        ledger_mark: &LedgerSnapshot,
+        rounds_mark: u64,
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.recovery.restarts += 1;
+        self.recovery.rerun_rounds += self.micro_rounds_run - rounds_mark;
+        if !coord.restore_snapshot(&self.snapshot_buf) {
+            return Err(RuntimeError::RecoveryFailed {
+                reason: "coordinator rejected its own committed snapshot",
+            });
+        }
+        self.ledger.rollback_model(ledger_mark);
+        self.micro_rounds_run = rounds_mark;
+        self.engaged_idx.clear();
+        self.engaged_idx.extend_from_slice(&self.engaged_mark);
+        self.calendar.end_step();
+        self.bcast_log.clear();
+        self.delayed.clear();
+        self.wave.clear();
+        for b in self.pending_mask.iter_mut() {
+            *b = false;
+        }
+        self.pending_count = 0;
+        let run = self.run;
+        for i in 0..self.n() {
+            self.to_nodes[i]
+                .send(NodeFrame::Abort { t, run })
+                .map_err(|_| RuntimeError::NodeDown {
+                    id: NodeId(i as u32),
+                })?;
+            self.ledger.count(ChannelKind::Retransmit, 0);
+            self.pending_mask[i] = true;
+        }
+        self.pending_count = self.n();
+        self.collect_abort_acks(t, run)
+    }
+
+    /// Wait for every node to acknowledge the abort (re-sending to
+    /// laggards — aborts are idempotent and re-acked).
+    fn collect_abort_acks(&mut self, t: u64, run: u32) -> Result<(), RuntimeError> {
+        let p = self.chaos.expect("abort waves exist only under chaos");
+        let deadline = Duration::from_millis(p.deadline_ms.max(1));
+        let mut attempts: u32 = 0;
+        while self.pending_count > 0 {
+            match self.from_nodes.recv_timeout(deadline) {
+                Ok(reply) => {
+                    let idx = reply.id.idx();
+                    if reply.t == t
+                        && reply.run == run
+                        && reply.m == ABORT_M
+                        && self.pending_mask[idx]
+                    {
+                        self.pending_mask[idx] = false;
+                        self.pending_count -= 1;
+                    } else {
+                        self.recovery.stale_replies += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(id) = self.find_dead_pending() {
+                        return Err(RuntimeError::NodeDown { id });
+                    }
+                    attempts += 1;
+                    if attempts > p.max_retries.saturating_mul(4) {
+                        return Err(RuntimeError::ReplyTimeout {
+                            t,
+                            m: ABORT_M,
+                            waiting: self.pending_count,
+                        });
+                    }
+                    for i in 0..self.n() {
+                        if self.pending_mask[i] {
+                            self.to_nodes[i]
+                                .send(NodeFrame::Abort { t, run })
+                                .map_err(|_| RuntimeError::NodeDown {
+                                    id: NodeId(i as u32),
+                                })?;
+                            self.ledger.count(ChannelKind::Retransmit, 0);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::AllNodesDown),
+            }
+        }
+        Ok(())
     }
 
     /// Drive `steps` time steps from a feed (dense rows via
@@ -523,7 +1070,8 @@ where
         self.ledger.snapshot().since(&before)
     }
 
-    /// Shut down all node threads and return their final behaviors.
+    /// Shut down all node threads and return their final behaviors
+    /// (panicked threads are skipped).
     pub fn shutdown(mut self) -> Vec<NB> {
         for tx in &self.to_nodes {
             let _ = tx.send(NodeFrame::Halt);
@@ -531,7 +1079,7 @@ where
         self.to_nodes.clear();
         self.handles
             .drain(..)
-            .map(|h| h.join().expect("node thread join"))
+            .filter_map(|h| h.join().ok())
             .collect()
     }
 }
@@ -551,46 +1099,117 @@ where
 }
 
 /// Node thread main loop: frame-driven, no shared state. The thread caches
-/// its last observed value so a value-less [`NodeFrame::ObserveCached`]
+/// its last observed value so a value-less [`FramePayload::ObserveCached`]
 /// frame can replay the observation locally.
-fn node_main<NB>(node: &mut NB, rx: Receiver<NodeFrame<NB::Down>>, reply: Sender<NodeReply<NB::Up>>)
-where
+///
+/// Under a recoverable (chaos) transport the loop additionally maintains a
+/// lexicographic frame cursor `(t, run, m)` (each key processed at most
+/// once — a stale key is ignored, a repeated key re-sends the cached reply
+/// verbatim) and a step-start checkpoint of the behavior, restored when an
+/// abort frame discards a step attempt.
+fn node_main<NB>(
+    node: &mut NB,
+    rx: Receiver<NodeFrame<NB::Down>>,
+    reply: Sender<NodeReply<NB::Up>>,
+    recoverable: bool,
+) where
     NB: NodeBehavior,
 {
     let mut last: Value = 0;
+    let mut cur: Option<(u64, u32, u32)> = None;
+    let mut cached: Option<ReplyBody<NB::Up>> = None;
+    let mut ck: Option<(u64, NB)> = None;
     while let Ok(frame) = rx.recv() {
         match frame {
-            NodeFrame::Observe { t, value } => {
-                last = value;
-                let act = node.observe(t, value);
+            NodeFrame::Work(w) => {
+                if w.stall_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(w.stall_ms as u64));
+                }
+                let key = (w.t, w.run, w.m);
+                match cur {
+                    // Late duplicate of an older key: a no-op.
+                    Some(c) if key < c => continue,
+                    // Re-delivery of the current key: re-send the cached
+                    // reply, touch neither state nor RNG.
+                    Some(c) if key == c => {
+                        if let Some(body) = &cached {
+                            let _ = reply.send(NodeReply {
+                                id: node.id(),
+                                t: w.t,
+                                run: w.run,
+                                m: w.m,
+                                body: body.clone(),
+                            });
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                // One checkpoint per time step, at the node's first work
+                // frame for it (an abort of any attempt rolls back to here).
+                if recoverable && ck.as_ref().is_none_or(|(s, _)| *s < w.t) {
+                    let snap = node
+                        .checkpoint()
+                        .expect("chaos transport requires NodeBehavior::checkpoint support");
+                    ck = Some((w.t, snap));
+                }
+                let act = match w.payload {
+                    FramePayload::Observe { value } => {
+                        last = value;
+                        let a = node.observe(w.t, value);
+                        ReplyBody {
+                            up: a.up,
+                            engaged: a.engaged,
+                            wake_at: a.wake_at,
+                        }
+                    }
+                    FramePayload::ObserveCached => {
+                        let a = node.observe(w.t, last);
+                        ReplyBody {
+                            up: a.up,
+                            engaged: a.engaged,
+                            wake_at: a.wake_at,
+                        }
+                    }
+                    FramePayload::Round { bcasts, ucast } => {
+                        let a = node.micro_round(w.t, w.m, &bcasts, ucast.as_ref());
+                        ReplyBody {
+                            up: a.up,
+                            engaged: a.engaged,
+                            wake_at: a.wake_at,
+                        }
+                    }
+                };
+                cur = Some(key);
+                if recoverable {
+                    cached = Some(act.clone());
+                }
                 let _ = reply.send(NodeReply {
                     id: node.id(),
-                    up: act.up,
-                    engaged: act.engaged,
-                    wake_at: act.wake_at,
+                    t: w.t,
+                    run: w.run,
+                    m: w.m,
+                    body: act,
                 });
             }
-            NodeFrame::ObserveCached { t } => {
-                let act = node.observe(t, last);
+            NodeFrame::Abort { t, run } => {
+                let key = (t, run, ABORT_M);
+                if cur.is_none_or(|c| key > c) {
+                    if let Some((s, snap)) = &ck {
+                        if *s == t {
+                            node.rollback(snap);
+                        }
+                    }
+                    cur = Some(key);
+                    cached = None;
+                }
+                // Always ack — abort re-delivery must re-ack.
                 let _ = reply.send(NodeReply {
                     id: node.id(),
-                    up: act.up,
-                    engaged: act.engaged,
-                    wake_at: act.wake_at,
-                });
-            }
-            NodeFrame::Round {
-                t,
-                m,
-                bcasts,
-                ucast,
-            } => {
-                let act = node.micro_round(t, m, &bcasts, ucast.as_ref());
-                let _ = reply.send(NodeReply {
-                    id: node.id(),
-                    up: act.up,
-                    engaged: act.engaged,
-                    wake_at: act.wake_at,
+                    t,
+                    run,
+                    m: ABORT_M,
+                    body: ReplyBody::idle(),
                 });
             }
             NodeFrame::Halt => break,

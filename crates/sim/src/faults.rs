@@ -1,0 +1,294 @@
+//! Reusable stream-level fault vocabulary — the glitch helpers of
+//! `tests/failure_injection.rs`, promoted to a shared, declarative surface.
+//!
+//! A [`FaultSpec`] names one perturbation of a value stream (an exact-point
+//! glitch, a stuck sensor, a regime switch, an affine Δ-shift); a
+//! [`FaultSchedule`] collects them and [`applies`](FaultSchedule::apply)
+//! them onto any [`ValueFeed`] via the `topk_streams` combinators. The
+//! schedule is pure data until applied, so the same fault plan can drive a
+//! sequential audit run, a chaos-transport soak and a failure-injection
+//! test without copy-pasted glitch tables.
+//!
+//! [`boundary_storm`] is the seeded generator behind the reset-storm soaks:
+//! a deterministic (CounterRng-derived) rain of glitches landing exactly
+//! on, just above and just below a filter boundary — the protocol's
+//! tie-break and reset hot spots.
+//!
+//! These faults perturb *observations* (what the nodes see); transport
+//! faults (dropped/duplicated frames, coordinator crashes) live in
+//! [`topk_net::chaos`]. A chaos soak composes both.
+
+use rand::RngCore;
+
+use topk_net::behavior::ValueFeed;
+use topk_net::id::Value;
+use topk_net::rng::{derive_seed, CounterRng};
+use topk_streams::{Affine, Glitch, StuckNode, Switch, WorkloadSpec};
+
+/// One declarative stream fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Node `node` observes exactly `value` at step `t` (one step only).
+    Glitch { t: u64, node: usize, value: Value },
+    /// From `t_fail` on, node `node` flat-lines at its last healthy value.
+    StuckSensor { node: usize, t_fail: u64 },
+    /// At `at`, the whole fleet switches to the workload `spec.build(seed)`.
+    RegimeSwitch {
+        spec: WorkloadSpec,
+        seed: u64,
+        at: u64,
+    },
+    /// Every value maps through `v ↦ v·scale + offset` (saturating).
+    Scale { scale: u64, offset: u64 },
+}
+
+/// An ordered collection of [`FaultSpec`]s, applied onto a feed in one call.
+///
+/// Layering: [`FaultSpec::Scale`], [`FaultSpec::RegimeSwitch`] and
+/// [`FaultSpec::StuckSensor`] wrap the feed in declaration order (later
+/// declarations observe the effects of earlier ones); all
+/// [`FaultSpec::Glitch`]es are merged into a single outermost layer, so an
+/// exact injected value always wins — the scalpel semantics the
+/// boundary-condition tests rely on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultSchedule {
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Append one fault (builder style).
+    pub fn push(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Append a batch of faults (e.g. a [`boundary_storm`]).
+    pub fn extend(mut self, faults: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults.extend(faults);
+        self
+    }
+
+    /// Shorthand for [`FaultSpec::Glitch`].
+    pub fn glitch(self, t: u64, node: usize, value: Value) -> Self {
+        self.push(FaultSpec::Glitch { t, node, value })
+    }
+
+    /// Shorthand for [`FaultSpec::StuckSensor`].
+    pub fn stuck(self, node: usize, t_fail: u64) -> Self {
+        self.push(FaultSpec::StuckSensor { node, t_fail })
+    }
+
+    /// Shorthand for [`FaultSpec::RegimeSwitch`].
+    pub fn switch_to(self, spec: WorkloadSpec, seed: u64, at: u64) -> Self {
+        self.push(FaultSpec::RegimeSwitch { spec, seed, at })
+    }
+
+    /// Shorthand for [`FaultSpec::Scale`].
+    pub fn scale(self, scale: u64, offset: u64) -> Self {
+        self.push(FaultSpec::Scale { scale, offset })
+    }
+
+    /// The declared faults, in order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Wrap `inner` in the scheduled faults (see the type-level layering
+    /// note). An empty schedule returns `inner` unchanged.
+    pub fn apply(&self, inner: Box<dyn ValueFeed>) -> Box<dyn ValueFeed> {
+        let mut feed = inner;
+        let mut glitches: Vec<(u64, usize, Value)> = Vec::new();
+        for fault in &self.faults {
+            match fault {
+                FaultSpec::Glitch { t, node, value } => glitches.push((*t, *node, *value)),
+                FaultSpec::StuckSensor { node, t_fail } => {
+                    feed = Box::new(StuckNode::new(feed, *node, *t_fail));
+                }
+                FaultSpec::RegimeSwitch { spec, seed, at } => {
+                    feed = Box::new(Switch::new(feed, spec.build(*seed), *at));
+                }
+                FaultSpec::Scale { scale, offset } => {
+                    feed = Box::new(Affine::new(feed, *scale, *offset));
+                }
+            }
+        }
+        if glitches.is_empty() {
+            feed
+        } else {
+            Box::new(Glitch::new(feed, glitches))
+        }
+    }
+}
+
+/// Seeded boundary-churn generator: for each step in `t0..t1`, `per_step`
+/// deterministically chosen nodes observe a value within `±spread` of
+/// `boundary` — exactly on it, one off it, or anywhere in the band (all
+/// three regimes occur). Drives reset storms and tie-break churn without a
+/// hand-written glitch table; the same `(seed, …)` always yields the same
+/// storm (CounterRng substreams — stateless, order-independent).
+pub fn boundary_storm(
+    seed: u64,
+    n: usize,
+    t0: u64,
+    t1: u64,
+    per_step: usize,
+    boundary: Value,
+    spread: u64,
+) -> Vec<FaultSpec> {
+    assert!(
+        n > 0 && per_step <= n,
+        "at most one glitch per node per step"
+    );
+    let mut faults = Vec::with_capacity(((t1.saturating_sub(t0)) as usize) * per_step);
+    let node_stream = derive_seed(seed, 1);
+    let value_stream = derive_seed(seed, 2);
+    for t in t0..t1 {
+        for slot in 0..per_step as u64 {
+            let coord = t.wrapping_mul(64).wrapping_add(slot);
+            // Distinct nodes per step: slot-offset stride over the fleet.
+            let node = ((CounterRng::substream(node_stream, coord).next_u64() as usize)
+                .wrapping_add(slot as usize * (n / per_step.max(1))))
+                % n;
+            let mut vrng = CounterRng::substream(value_stream, coord);
+            let value = match vrng.next_u64() % 4 {
+                0 => boundary,                   // exactly on the bar
+                1 => boundary.saturating_add(1), // just above
+                2 => boundary.saturating_sub(1), // just below
+                _ => {
+                    let span = 2 * spread + 1;
+                    boundary
+                        .saturating_sub(spread)
+                        .saturating_add(vrng.next_u64() % span)
+                }
+            };
+            faults.push(FaultSpec::Glitch { t, node, value });
+        }
+    }
+    // One glitch per (t, node): later slots win, matching Glitch semantics,
+    // but duplicates would double-count in `len()` — drop them.
+    faults.sort_by_key(|f| match f {
+        FaultSpec::Glitch { t, node, .. } => (*t, *node),
+        _ => unreachable!(),
+    });
+    faults.dedup_by_key(|f| match f {
+        FaultSpec::Glitch { t, node, .. } => (*t, *node),
+        _ => unreachable!(),
+    });
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::id::NodeId;
+
+    fn constant_feed(n: usize) -> Box<dyn ValueFeed> {
+        WorkloadSpec::Constant {
+            values: (0..n as u64).map(|i| 100 + i).collect(),
+        }
+        .build(0)
+    }
+
+    #[test]
+    fn schedule_applies_glitches_on_top() {
+        let sched = FaultSchedule::new().scale(2, 0).glitch(3, 1, 7);
+        let mut feed = sched.apply(constant_feed(4));
+        let mut row = [0u64; 4];
+        feed.fill_step(3, &mut row);
+        // Scale doubles everything; the glitch wins over the scale.
+        assert_eq!(row, [200, 7, 204, 206]);
+        feed.fill_step(4, &mut row);
+        assert_eq!(row, [200, 202, 204, 206], "glitch lasts one step");
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let mut feed = FaultSchedule::new().apply(constant_feed(3));
+        let mut row = [0u64; 3];
+        feed.fill_step(0, &mut row);
+        assert_eq!(row, [100, 101, 102]);
+    }
+
+    #[test]
+    fn stuck_and_switch_layer() {
+        let sched = FaultSchedule::new()
+            .stuck(0, 2)
+            .switch_to(
+                WorkloadSpec::Constant {
+                    values: vec![9, 9, 9],
+                },
+                0,
+                5,
+            )
+            .glitch(6, 2, 1);
+        let mut feed = sched.apply(constant_feed(3));
+        let mut row = [0u64; 3];
+        feed.fill_step(0, &mut row);
+        assert_eq!(row, [100, 101, 102]);
+        feed.fill_step(4, &mut row);
+        assert_eq!(row, [100, 101, 102], "stuck node was already constant");
+        feed.fill_step(5, &mut row);
+        assert_eq!(row, [9, 9, 9], "regime switch covers the whole fleet");
+        feed.fill_step(6, &mut row);
+        assert_eq!(row, [9, 9, 1], "glitch on top of the new regime");
+    }
+
+    #[test]
+    fn boundary_storm_is_deterministic_and_lands_in_band() {
+        let a = boundary_storm(42, 10, 5, 25, 3, 500, 20);
+        let b = boundary_storm(42, 10, 5, 25, 3, 500, 20);
+        assert_eq!(a, b, "same seed ⇒ same storm");
+        let c = boundary_storm(43, 10, 5, 25, 3, 500, 20);
+        assert_ne!(a, c, "different seed ⇒ different storm");
+        assert!(!a.is_empty());
+        let mut on_bar = 0;
+        let mut off_by_one = 0;
+        for f in &a {
+            let FaultSpec::Glitch { t, node, value } = f else {
+                panic!("storms are pure glitches");
+            };
+            assert!((5..25).contains(t));
+            assert!(*node < 10);
+            assert!((480..=521).contains(value), "value {value} out of band");
+            on_bar += u32::from(*value == 500);
+            off_by_one += u32::from(*value == 499 || *value == 501);
+        }
+        assert!(on_bar > 0, "the exact-boundary regime must occur");
+        assert!(off_by_one > 0, "the off-by-one regime must occur");
+    }
+
+    #[test]
+    fn storm_drives_deltas_identically_to_dense() {
+        // The schedule must be usable on the sparse path too: delta-driven
+        // replay equals the dense twin (the combinators guarantee it; this
+        // pins the composition).
+        let sched = FaultSchedule::new()
+            .extend(boundary_storm(7, 6, 2, 12, 2, 300, 10))
+            .stuck(5, 8);
+        let mut dense = sched.apply(constant_feed(6));
+        let mut sparse = sched.apply(constant_feed(6));
+        let mut row = [0u64; 6];
+        let mut shadow = [0u64; 6];
+        let mut changes: Vec<(NodeId, Value)> = Vec::new();
+        for t in 0..15 {
+            dense.fill_step(t, &mut row);
+            sparse.fill_delta(t, &mut changes);
+            for &(id, v) in &changes {
+                shadow[id.idx()] = v;
+            }
+            assert_eq!(shadow, row, "t={t}: delta replay diverged");
+        }
+    }
+}

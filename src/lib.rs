@@ -112,9 +112,9 @@ pub use topk_streams as streams;
 /// The most common imports for downstream users.
 pub mod prelude {
     pub use topk_core::{
-        is_valid_topk, run_monitor, run_monitor_sparse, Engine, EventReplay, HandlerMode, Monitor,
-        MonitorBuilder, MonitorConfig, MonitorSession, ResetStrategy, ThreadedTopkMonitor,
-        TopkEvent, TopkMonitor,
+        is_valid_topk, run_monitor, run_monitor_sparse, ChaosPolicy, Engine, EventReplay,
+        HandlerMode, Monitor, MonitorBuilder, MonitorConfig, MonitorSession, RecoveryMetrics,
+        ResetStrategy, RuntimeError, ThreadedTopkMonitor, TopkEvent, TopkMonitor,
     };
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
     pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};

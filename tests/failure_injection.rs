@@ -2,11 +2,15 @@
 //! sensors and Δ-regime shifts — each run under the deep invariant auditor
 //! (`topk_core::audit`), which cross-checks coordinator state, node state,
 //! Lemma 2.2 filter validity and the `T±` certificate after every step.
+//!
+//! Fault plans are declared through the shared [`FaultSchedule`] vocabulary
+//! (`topk_sim::faults`) — the same schedules drive the chaos-transport soak
+//! in `tests/chaos_soak.rs`.
 
 use topk_monitoring::core::audit::assert_audit_clean;
 use topk_monitoring::net::behavior::CoordinatorBehavior as _;
 use topk_monitoring::prelude::*;
-use topk_monitoring::streams::{Affine, Glitch, StuckNode, Switch};
+use topk_monitoring::sim::{boundary_storm, FaultSchedule};
 
 fn audit_run_cfg(
     mut feed: Box<dyn ValueFeed>,
@@ -59,9 +63,8 @@ fn regime_switch_calm_to_chaos() {
         n,
         lo: 0,
         hi: 100_000,
-    }
-    .build(2);
-    let feed = Box::new(Switch::new(calm, chaos, 60));
+    };
+    let feed = FaultSchedule::new().switch_to(chaos, 2, 60).apply(calm);
     audit_run(feed, 3, 120, 9, "calm→chaos switch");
 }
 
@@ -75,16 +78,14 @@ fn glitch_exactly_at_the_threshold() {
         gap: 100,
     }
     .build(0);
-    let glitches = vec![
-        (3, 0, 450), // non-top-k lands exactly ON M: no violation allowed
-        (4, 0, 451), // one above: violation, midpoint update or reset
-        (5, 5, 450), // top-k lands exactly ON M: no violation
-        (6, 5, 449), // one below: violation
-        (7, 0, 100), // back to normal
-        (7, 5, 600),
-    ];
-    let feed = Box::new(Glitch::new(inner, glitches));
-    let mon = audit_run(feed, 2, 10, 4, "threshold glitches");
+    let sched = FaultSchedule::new()
+        .glitch(3, 0, 450) // non-top-k lands exactly ON M: no violation allowed
+        .glitch(4, 0, 451) // one above: violation, midpoint update or reset
+        .glitch(5, 5, 450) // top-k lands exactly ON M: no violation
+        .glitch(6, 5, 449) // one below: violation
+        .glitch(7, 0, 100) // back to normal
+        .glitch(7, 5, 600);
+    let mon = audit_run(sched.apply(inner), 2, 10, 4, "threshold glitches");
     let m = mon.metrics();
     assert!(
         m.violation_steps >= 2,
@@ -102,15 +103,13 @@ fn glitch_forces_total_order_flip() {
     }
     .build(0);
     // At t=2 the entire order reverses.
-    let glitches = vec![
-        (2, 0, 9_000),
-        (2, 1, 8_000),
-        (2, 2, 7_000),
-        (2, 3, 6_000),
-        (2, 4, 5_000),
-    ];
-    let feed = Box::new(Glitch::new(inner, glitches));
-    let mon = audit_run(feed, 2, 6, 5, "total order flip");
+    let sched = FaultSchedule::new()
+        .glitch(2, 0, 9_000)
+        .glitch(2, 1, 8_000)
+        .glitch(2, 2, 7_000)
+        .glitch(2, 3, 6_000)
+        .glitch(2, 4, 5_000);
+    let mon = audit_run(sched.apply(inner), 2, 6, 5, "total order flip");
     assert!(mon.metrics().resets >= 1, "a flip across k must reset");
 }
 
@@ -125,7 +124,7 @@ fn stuck_sensor_keeps_system_healthy() {
     }
     .build(3);
     // The initially-hottest sensor flat-lines at t=20.
-    let feed = Box::new(StuckNode::new(inner, 0, 20));
+    let feed = FaultSchedule::new().stuck(0, 20).apply(inner);
     audit_run(feed, 2, 200, 6, "stuck sensor");
 }
 
@@ -141,7 +140,7 @@ fn affine_delta_shift_preserves_behaviour_shape() {
         lazy_p: 0.2,
     };
     let base = audit_run(spec.build(7), 3, 150, 8, "unscaled");
-    let scaled_feed = Box::new(Affine::new(spec.build(7), 1024, 0));
+    let scaled_feed = FaultSchedule::new().scale(1024, 0).apply(spec.build(7));
     let scaled = audit_run(scaled_feed, 3, 150, 8, "scaled");
     // Nearly identical violation pattern: scaling by a ≥ 2 maps the midpoint
     // ⌊(x+y)/2⌋ to a·⌊(x+y)/2⌋ + a/2 when x+y is odd, so values sitting
@@ -172,34 +171,32 @@ fn mid_reset_glitches_recover_under_both_strategies() {
         // flip. t=3: recovery step with another injected near-boundary
         // value. t=5: second flip back, with the glitch landing on the
         // would-be (k+1)-st rank — the reset's tie-break hot spot.
-        let glitches = vec![
-            (2, 0, 9_000),
-            (2, 1, 8_000),
-            (2, 2, 7_000),
-            (2, 3, 6_000),
-            (2, 4, 6_000), // tie at the k/k+1 boundary during the reset
-            (2, 5, 5_000),
-            (2, 6, 4_000),
-            (2, 7, 3_000),
-            (3, 4, 6_500), // recovery-step wiggle right above the new bar
-            (5, 0, 1_000),
-            (5, 1, 2_000),
-            (5, 2, 3_000),
-            (5, 3, 4_000),
-            (5, 4, 5_000),
-            (5, 5, 6_000),
-            (5, 6, 7_000),
-            (5, 7, 7_000), // tie at the top during the second reset
-        ];
-        let feed = Box::new(Glitch::new(
+        let sched = FaultSchedule::new()
+            .glitch(2, 0, 9_000)
+            .glitch(2, 1, 8_000)
+            .glitch(2, 2, 7_000)
+            .glitch(2, 3, 6_000)
+            .glitch(2, 4, 6_000) // tie at the k/k+1 boundary during the reset
+            .glitch(2, 5, 5_000)
+            .glitch(2, 6, 4_000)
+            .glitch(2, 7, 3_000)
+            .glitch(3, 4, 6_500) // recovery-step wiggle right above the new bar
+            .glitch(5, 0, 1_000)
+            .glitch(5, 1, 2_000)
+            .glitch(5, 2, 3_000)
+            .glitch(5, 3, 4_000)
+            .glitch(5, 4, 5_000)
+            .glitch(5, 5, 6_000)
+            .glitch(5, 6, 7_000)
+            .glitch(5, 7, 7_000); // tie at the top during the second reset
+        let feed = sched.apply(
             WorkloadSpec::Ramp {
                 n,
                 base: 1_000,
                 gap: 1_000,
             }
             .build(0),
-            glitches,
-        ));
+        );
         let cfg = MonitorConfig::new(n, 4).with_reset(strategy);
         let mon = audit_run_cfg(feed, cfg, 10, 5, "mid-reset glitches");
         assert!(
@@ -256,6 +253,31 @@ fn batched_reset_storm_recovers_and_settles() {
         after,
         "a healthy post-reset system is silent on a constant stream"
     );
+}
+
+/// The seeded boundary-storm generator (shared with the chaos soak): a
+/// deterministic rain of glitches exactly on / one off / around the initial
+/// filter threshold, audited every step under both reset strategies.
+#[test]
+fn seeded_boundary_storm_survives_audits() {
+    for (strategy, seed) in [(ResetStrategy::Batched, 21u64), (ResetStrategy::Legacy, 22)] {
+        let n = 10;
+        // Ramp 100..=1000, k=3: initial threshold ⌊(800+700)/2⌋ = 750.
+        let inner = WorkloadSpec::Ramp {
+            n,
+            base: 100,
+            gap: 100,
+        }
+        .build(0);
+        let sched = FaultSchedule::new().extend(boundary_storm(seed, n, 2, 80, 2, 750, 40));
+        let cfg = MonitorConfig::new(n, 3).with_reset(strategy);
+        let mon = audit_run_cfg(sched.apply(inner), cfg, 90, 13, "boundary storm");
+        assert!(
+            mon.metrics().violation_steps >= 5,
+            "{strategy:?}: a storm at the bar must violate repeatedly (got {})",
+            mon.metrics().violation_steps
+        );
+    }
 }
 
 #[test]

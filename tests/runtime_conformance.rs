@@ -29,6 +29,7 @@
 
 use proptest::prelude::*;
 
+use topk_monitoring::core::RunMetrics;
 use topk_monitoring::prelude::*;
 
 /// FILTERRESET strategy under test for the single-strategy suites.
@@ -320,6 +321,149 @@ fn assert_strategies_agree(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64,
             ml.reset_bcast
         );
     }
+}
+
+/// Chaos conformance: a threaded monitor behind a seeded fault-injection
+/// transport ([`ChaosPolicy`]) against a fault-free sequential twin. At
+/// every *committed* step the chaotic run must be indistinguishable —
+/// identical answers, thresholds, typed event streams, model ledgers and
+/// (recovery block aside) protocol metrics. When the policy cannot restart
+/// the coordinator the pin tightens to full transport identity: the same
+/// `sync_frames` as a fault-free threaded twin (frames are charged at
+/// dispatch intent, so drops/dups/retries never leak into the model).
+fn assert_chaos_conformant(
+    policy: ChaosPolicy,
+    strategy: ResetStrategy,
+    spec: &WorkloadSpec,
+    k: usize,
+    seed: u64,
+    steps: u64,
+) {
+    let n = spec.n();
+    let builder = MonitorBuilder::new(n, k).reset(strategy).seed(seed);
+    let mut twin = builder.clone().engine(Engine::Sequential).build();
+    let mut chaotic = builder.chaos(policy).build();
+    let mut thr_clean =
+        ThreadedTopkMonitor::new(MonitorConfig::new(n, k).with_reset(strategy), seed);
+
+    let mut twin_feed = spec.build(seed ^ 0xfeed);
+    let mut chaos_feed = spec.build(seed ^ 0xfeed);
+    let mut clean_feed = spec.build(seed ^ 0xfeed);
+    let mut changes: Vec<(NodeId, Value)> = Vec::new();
+    let tag = format!("chaos(seed={}, {strategy:?})", policy.seed);
+
+    for t in 0..steps {
+        twin_feed.fill_delta(t, &mut changes);
+        twin.update_batch(changes.iter().copied());
+        let ev_twin: Vec<TopkEvent> = twin.advance(t).to_vec();
+
+        chaos_feed.fill_delta(t, &mut changes);
+        chaotic.update_batch(changes.iter().copied());
+        let ev_chaos: Vec<TopkEvent> = chaotic.advance(t).to_vec();
+
+        clean_feed.fill_delta(t, &mut changes);
+        thr_clean.step_sparse(t, &changes);
+
+        assert_eq!(ev_twin, ev_chaos, "t={t}: {tag} event stream diverged");
+        assert_eq!(twin.topk(), chaotic.topk(), "t={t}: {tag} answer diverged");
+        assert_eq!(
+            twin.threshold(),
+            chaotic.threshold(),
+            "t={t}: {tag} threshold diverged"
+        );
+        assert_eq!(
+            model(&twin.ledger()),
+            model(&chaotic.ledger()),
+            "t={t}: {tag} model ledger diverged"
+        );
+    }
+
+    // Protocol metrics match exactly once the recovery block is zeroed.
+    let recovery = *chaotic.recovery().expect("chaotic engine is threaded");
+    let scrubbed = RunMetrics {
+        recovery: Default::default(),
+        ..*chaotic.metrics()
+    };
+    assert_eq!(
+        scrubbed,
+        *twin.metrics(),
+        "{tag}: protocol metrics diverged"
+    );
+    assert!(
+        recovery.injected_total() > 0,
+        "{tag}: the policy must actually inject faults: {recovery:?}"
+    );
+    if policy.restart_permille == 0 {
+        assert_eq!(recovery.restarts, 0, "{tag}: no restarts without a rate");
+        assert_eq!(
+            chaotic.sync_frames(),
+            Some(thr_clean.sync_frames()),
+            "{tag}: without restarts even transport frames are identical"
+        );
+    }
+}
+
+#[test]
+fn chaos_seeds_and_strategies_conform_to_fault_free_twin() {
+    // ≥ 3 rotating fault seeds × both reset strategies, on a reset-heavy
+    // boundary churn: every committed step bit-identical to the twin.
+    let spec = WorkloadSpec::BoundaryCross {
+        n: 10,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    };
+    for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
+        for chaos_seed in [1u64, 2, 3] {
+            let policy = ChaosPolicy::from_seed(chaos_seed);
+            assert_chaos_conformant(policy, strategy, &spec, 2, 17, 120);
+        }
+    }
+}
+
+#[test]
+fn chaos_without_restarts_is_frame_identical() {
+    // No coordinator crashes: drop/dup/delay/stall/reply-drop only. The
+    // transport pin tightens to sync-frame identity with a clean twin.
+    let spec = WorkloadSpec::default_walk(12);
+    for chaos_seed in [7u64, 8, 9] {
+        let policy = ChaosPolicy::from_seed(chaos_seed).with_rates(40, 40, 25, 10, 25, 0);
+        assert_chaos_conformant(policy, ResetStrategy::Batched, &spec, 3, 23, 150);
+    }
+}
+
+#[test]
+fn chaos_restart_storm_still_conforms() {
+    // Crash-heavy policy: the coordinator restarts from its committed
+    // snapshot many times; committed answers stay exact.
+    let spec = WorkloadSpec::RotatingMax {
+        n: 8,
+        base: 100,
+        bonus: 10_000,
+    };
+    let mut restarts_seen = 0;
+    for chaos_seed in [4u64, 5, 6] {
+        let policy = ChaosPolicy::from_seed(chaos_seed).with_rates(20, 20, 10, 5, 10, 120);
+        let builder = MonitorBuilder::new(8, 2).seed(31).chaos(policy);
+        let mut chaotic = builder.build();
+        let mut twin = MonitorBuilder::new(8, 2).seed(31).build();
+        let mut feed_a = spec.build(99);
+        let mut feed_b = spec.build(99);
+        for t in 0..100 {
+            chaotic.ingest(&mut feed_a, t);
+            twin.ingest(&mut feed_b, t);
+            let (ea, eb) = (chaotic.advance(t).to_vec(), twin.advance(t).to_vec());
+            assert_eq!(ea, eb, "t={t}: restart arm event stream diverged");
+            assert_eq!(chaotic.topk(), twin.topk(), "t={t}");
+            assert_eq!(chaotic.threshold(), twin.threshold(), "t={t}");
+        }
+        restarts_seen += chaotic.recovery().expect("threaded").restarts;
+    }
+    assert!(
+        restarts_seen > 0,
+        "a 12% crash rate over 3×100 churny steps must restart at least once"
+    );
 }
 
 #[test]

@@ -151,6 +151,73 @@ fn replayed_resets_match_metrics() {
     assert_eq!(replay.topk(), session.topk());
 }
 
+/// Crash-restart losslessness: a restart-heavy [`ChaosPolicy`] crashes the
+/// coordinator mid-step — including mid-`FILTERRESET` — many times over a
+/// reset storm; the step re-runs from the committed snapshot, so the event
+/// stream the session *publishes* must be exactly the fault-free stream: an
+/// [`EventReplay`] reconstructs the polled state at every step, the
+/// per-step batches match a fault-free twin bit-for-bit (in particular, a
+/// re-run step never duplicates its `ResetCompleted`), and the replayed
+/// reset count still equals the coordinator's own accounting.
+#[test]
+fn coordinator_restarts_mid_reset_replay_losslessly() {
+    let spec = WorkloadSpec::BoundaryCross {
+        n: 10,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    };
+    let n = spec.n();
+    // Crash-heavy, plus enough drop/dup noise to also hit retry paths
+    // during the re-run attempts.
+    let policy = ChaosPolicy::from_seed(77).with_rates(20, 20, 10, 5, 10, 150);
+    let mut chaotic = MonitorBuilder::new(n, 1).seed(11).chaos(policy).build();
+    let mut twin = MonitorBuilder::new(n, 1)
+        .seed(11)
+        .engine(Engine::Sequential)
+        .build();
+    let mut feed_a = spec.build(13);
+    let mut feed_b = spec.build(13);
+    let mut replay = EventReplay::new();
+    let mut resets_seen = 0u64;
+
+    for t in 0..200 {
+        chaotic.ingest(&mut feed_a, t);
+        let events: Vec<TopkEvent> = chaotic.advance(t).to_vec();
+        twin.ingest(&mut feed_b, t);
+        assert_eq!(
+            twin.advance(t),
+            events.as_slice(),
+            "t={t}: restart re-runs leaked into the published stream"
+        );
+        let resets_this_step = events
+            .iter()
+            .filter(|e| matches!(e, TopkEvent::ResetCompleted { .. }))
+            .count() as u64;
+        assert!(
+            resets_this_step <= 1,
+            "t={t}: a re-run step duplicated ResetCompleted"
+        );
+        resets_seen += resets_this_step;
+
+        replay.apply(&events);
+        assert_eq!(replay.topk(), chaotic.topk(), "t={t}: membership");
+        assert_eq!(replay.by_rank(), chaotic.topk_by_rank(), "t={t}: ranks");
+        assert_eq!(replay.threshold(), chaotic.threshold(), "t={t}: threshold");
+    }
+
+    assert!(resets_seen >= 3, "storm must reset repeatedly");
+    assert_eq!(replay.resets(), resets_seen);
+    assert_eq!(replay.resets(), chaotic.metrics().resets + 1);
+    let recovery = chaotic.recovery().expect("chaotic engine is threaded");
+    assert!(
+        recovery.restarts > 0,
+        "a 15% crash rate over 200 stormy steps must restart: {recovery:?}"
+    );
+    assert!(recovery.rerun_rounds > 0, "restarts must re-run rounds");
+}
+
 /// Zero-alloc steady state, silent regime: no updates ⇒ empty batches and
 /// a frozen buffer capacity.
 #[test]

@@ -7,7 +7,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
 
     /// Unbounded MPSC channel, `crossbeam-channel` style.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -40,6 +40,10 @@ pub mod channel {
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
         }
 
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
