@@ -1,0 +1,166 @@
+//! Socket-runtime wire throughput: steps/sec and bytes/step of
+//! [`SocketTopkMonitor`] over loopback TCP, against the threaded twin on
+//! the same workload.
+//!
+//! Two regimes at n ∈ {64, 256}:
+//!
+//! * **sparse steady state** — [`WorkloadSpec::SparseWalk`] on a wide
+//!   domain, a fixed absolute mover count, overwhelmingly silent steps.
+//!   The delta transport means a silent step writes *zero* bytes; the
+//!   per-step wire cost printed alongside the timings must stay flat in
+//!   `n` (the hard movers-∪-engaged frame bound is asserted by
+//!   `crates/net/tests/socket_frames.rs`).
+//! * **churny boundary** — [`WorkloadSpec::BoundaryCross`], values
+//!   oscillating across the top-k boundary so most steps run protocol
+//!   rounds. This is the regime where frames actually flow; it is the
+//!   bytes/step number the `BENCH_wire.json` artifact tracks per commit.
+//!
+//! The model ledgers of both runtimes are bit-identical (pinned by
+//! `tests/runtime_conformance.rs`); what differs — and what this bench
+//! measures — is the physical cost of pushing the same protocol through
+//! real sockets and length-prefixed frames.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use topk_core::{Monitor, MonitorConfig, SocketTopkMonitor, ThreadedTopkMonitor};
+use topk_net::behavior::ValueFeed;
+use topk_net::id::{NodeId, Value};
+use topk_streams::WorkloadSpec;
+
+const SIZES: &[usize] = &[64, 256];
+const MOVERS: usize = 8;
+
+fn sparse_spec(n: usize) -> WorkloadSpec {
+    WorkloadSpec::SparseWalk {
+        n,
+        lo: 0,
+        hi: 1 << 40,
+        step_max: 64,
+        sparsity: MOVERS as f64 / n as f64,
+    }
+}
+
+fn churn_spec(n: usize) -> WorkloadSpec {
+    WorkloadSpec::BoundaryCross {
+        n,
+        base: 1_000,
+        spread: 200,
+        amplitude: 150,
+        period: 4,
+    }
+}
+
+/// Steady-state delta-driven socket path: silent steps write no bytes, so
+/// the loop measures dispatch + round cost for the movers alone.
+fn socket_sparse_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("socket_wire/sparse");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in SIZES {
+        let mut mon = SocketTopkMonitor::new(MonitorConfig::new(n, 4), 9);
+        let mut feed = sparse_spec(n).build(5);
+        let mut changes: Vec<(NodeId, Value)> = Vec::new();
+        let mut t = 0u64;
+        feed.fill_delta(t, &mut changes);
+        mon.step_sparse(t, &changes);
+        let bytes_before = mon.wire().bytes_total;
+        let steps_before = t;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                t += 1;
+                feed.fill_delta(t, &mut changes);
+                mon.step_sparse(t, &changes);
+                black_box(mon.wire().bytes_total)
+            });
+        });
+        let steps = t - steps_before;
+        if steps > 0 {
+            eprintln!(
+                "socket_wire/sparse n={n}: {:.1} bytes/step over {steps} steady steps \
+                 ({MOVERS} movers)",
+                (mon.wire().bytes_total - bytes_before) as f64 / steps as f64
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Churny boundary-crossing workload on the socket runtime — most steps
+/// run rounds, so this is frame throughput under protocol load.
+fn socket_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("socket_wire/churn");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in SIZES {
+        let mut mon = SocketTopkMonitor::new(MonitorConfig::new(n, 4), 9);
+        let mut feed = churn_spec(n).build(5);
+        let mut row = vec![0 as Value; n];
+        let mut t = 0u64;
+        feed.fill_step(t, &mut row);
+        mon.step(t, &row);
+        let bytes_before = mon.wire().bytes_total;
+        let steps_before = t;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                t += 1;
+                feed.fill_step(t, &mut row);
+                mon.step(t, &row);
+                black_box(mon.wire().bytes_total)
+            });
+        });
+        let steps = t - steps_before;
+        if steps > 0 {
+            let w = mon.wire();
+            eprintln!(
+                "socket_wire/churn n={n}: {:.1} bytes/step, {:.2} frames/step over \
+                 {steps} steps ({:.1}% framing overhead)",
+                (w.bytes_total - bytes_before) as f64 / steps as f64,
+                w.frames_total as f64 / steps as f64,
+                100.0 * w.overhead_bytes() as f64 / w.bytes_total as f64
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The same churny workload on the threaded (in-process channel) runtime —
+/// the baseline that isolates what loopback TCP + framing costs.
+fn threaded_churn_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("socket_wire/churn_threaded_baseline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in SIZES {
+        let mut mon = ThreadedTopkMonitor::new(MonitorConfig::new(n, 4), 9);
+        let mut feed = churn_spec(n).build(5);
+        let mut row = vec![0 as Value; n];
+        let mut t = 0u64;
+        feed.fill_step(t, &mut row);
+        mon.step(t, &row);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                t += 1;
+                feed.fill_step(t, &mut row);
+                mon.step(t, &row);
+                black_box(mon.silent_steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    socket_sparse_steady,
+    socket_churn,
+    threaded_churn_baseline
+);
+criterion_main!(benches);

@@ -7,7 +7,12 @@
 //!   wall clock, rounds, up-messages, micro-polls;
 //! * `results/BENCH_sparse.json` — steady-state silent-step cost (mirrors
 //!   `benches/sparse_step.rs`): µs/step for the delta-driven loop and the
-//!   generator alone.
+//!   generator alone;
+//! * `results/BENCH_wire.json` — socket-runtime wire cost (mirrors
+//!   `benches/socket_wire.rs`): µs/step plus the exact bytes/step,
+//!   frames/step, and framing-overhead share written to the loopback-TCP
+//!   connections under a churny boundary workload. The byte counts are
+//!   deterministic — any drift is a protocol change, not noise.
 //!
 //! Usage: `cargo run --release -p topk-bench --bin bench_json [out_dir]`
 //! (default `results/`). Medians of a few runs keep the numbers stable
@@ -17,7 +22,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use topk_core::{Monitor, MonitorConfig, ResetStrategy, TopkMonitor};
+use topk_core::{Monitor, MonitorConfig, ResetStrategy, SocketTopkMonitor, TopkMonitor};
 use topk_net::behavior::ValueFeed;
 use topk_net::id::{NodeId, Value};
 use topk_streams::WorkloadSpec;
@@ -44,6 +49,24 @@ struct SparsePoint {
 }
 
 #[derive(Serialize)]
+struct WirePoint {
+    n: usize,
+    k: usize,
+    shards: usize,
+    steps: u64,
+    step_us_median: f64,
+    /// Deterministic for fixed (workload, seed): bytes written to the
+    /// sockets per step, framing prefix included.
+    bytes_per_step: f64,
+    frames_per_step: f64,
+    bytes_total: u64,
+    frames_total: u64,
+    /// Share of `bytes_total` that is framing (length prefixes, tags,
+    /// handshakes) rather than model-ledger payload.
+    overhead_fraction: f64,
+}
+
+#[derive(Serialize)]
 struct ResetReport {
     suite: String,
     points: Vec<ResetPoint>,
@@ -54,6 +77,13 @@ struct SparseReport {
     suite: String,
     runs_per_point: usize,
     points: Vec<SparsePoint>,
+}
+
+#[derive(Serialize)]
+struct WireReport {
+    suite: String,
+    runs_per_point: usize,
+    points: Vec<WirePoint>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -151,6 +181,54 @@ fn measure_sparse(runs: usize) -> Vec<SparsePoint> {
     points
 }
 
+fn measure_wire(runs: usize) -> Vec<WirePoint> {
+    let mut points = Vec::new();
+    for &n in &[64usize, 256] {
+        let k = 4;
+        let spec = WorkloadSpec::BoundaryCross {
+            n,
+            base: 1_000,
+            spread: 200,
+            amplitude: 150,
+            period: 4,
+        };
+        let steps_per_run = 100u64;
+        let mut step_us = Vec::new();
+        let mut last = None;
+        for _ in 0..runs {
+            let mut mon = SocketTopkMonitor::new(MonitorConfig::new(n, k), 9);
+            let mut feed = spec.build(5);
+            let mut row = vec![0 as Value; n];
+            feed.fill_step(0, &mut row);
+            mon.step(0, &row);
+            let bytes_before = mon.wire().bytes_total;
+            let frames_before = mon.wire().frames_total;
+            let t0 = Instant::now();
+            for t in 1..=steps_per_run {
+                feed.fill_step(t, &mut row);
+                mon.step(t, &row);
+            }
+            step_us.push(t0.elapsed().as_secs_f64() * 1e6 / steps_per_run as f64);
+            last = Some((mon, bytes_before, frames_before));
+        }
+        let (mon, bytes_before, frames_before) = last.unwrap();
+        let w = mon.wire();
+        points.push(WirePoint {
+            n,
+            k,
+            shards: mon.shards(),
+            steps: steps_per_run,
+            step_us_median: median(step_us),
+            bytes_per_step: (w.bytes_total - bytes_before) as f64 / steps_per_run as f64,
+            frames_per_step: (w.frames_total - frames_before) as f64 / steps_per_run as f64,
+            bytes_total: w.bytes_total,
+            frames_total: w.frames_total,
+            overhead_fraction: w.overhead_bytes() as f64 / w.bytes_total as f64,
+        });
+    }
+    points
+}
+
 fn write<T: Serialize>(dir: &str, name: &str, report: &T) {
     std::fs::create_dir_all(dir).expect("create output dir");
     let path = format!("{dir}/{name}");
@@ -177,6 +255,15 @@ fn main() {
             suite: "sparse_steady_state".into(),
             runs_per_point: runs,
             points: measure_sparse(runs),
+        },
+    );
+    write(
+        &dir,
+        "BENCH_wire.json",
+        &WireReport {
+            suite: "socket_wire_churn".into(),
+            runs_per_point: runs,
+            points: measure_wire(runs),
         },
     );
 }

@@ -9,6 +9,7 @@
 use bytes::{Buf, BufMut};
 
 use topk_net::id::NodeId;
+use topk_net::socket::{FrameCodec, WireError};
 use topk_net::wire::{get_varint, put_varint, Report};
 
 use crate::metrics::RunMetrics;
@@ -165,6 +166,31 @@ pub fn decode_down(buf: &mut impl Buf) -> Result<DownMsg, DecodeError> {
     })
 }
 
+/// The socket transport embeds model messages in its frames through
+/// [`FrameCodec`]; the encodings are exactly [`encode_up`]/[`encode_down`]
+/// (tag byte + varints, self-delimiting), so the bytes on the wire are the
+/// same vocabulary this module defines — a codec decode failure surfaces as
+/// a typed [`WireError::Malformed`], never a panic.
+impl FrameCodec for UpMsg {
+    fn encode_frame(&self, buf: &mut Vec<u8>) {
+        encode_up(self, buf);
+    }
+
+    fn decode_frame(buf: &mut &[u8]) -> Result<Self, WireError> {
+        decode_up(buf).map_err(|DecodeError(what)| WireError::Malformed { what })
+    }
+}
+
+impl FrameCodec for DownMsg {
+    fn encode_frame(&self, buf: &mut Vec<u8>) {
+        encode_down(self, buf);
+    }
+
+    fn decode_frame(buf: &mut &[u8]) -> Result<Self, WireError> {
+        decode_down(buf).map_err(|DecodeError(what)| WireError::Malformed { what })
+    }
+}
+
 /// Coordinator state at a committed step boundary — everything a restarted
 /// coordinator needs to resume monitoring, and nothing more. Per-step phase
 /// machinery (aggregators, winner buffers) is deliberately absent: snapshots
@@ -305,6 +331,7 @@ pub fn decode_snapshot(buf: &mut impl Buf) -> Result<CoordSnapshot, DecodeError>
         reset_bcast: counters[12],
         reset_rounds: counters[13],
         recovery: Default::default(),
+        wire: Default::default(),
     };
     Ok(CoordSnapshot {
         initialized: flags & F_INITIALIZED != 0,
@@ -488,6 +515,7 @@ mod tests {
                     reset_bcast: counters[12],
                     reset_rounds: counters[13],
                     recovery: Default::default(),
+                    wire: Default::default(),
                 },
             };
             let mut buf = BytesMut::new();

@@ -568,8 +568,10 @@ impl CoordinatorBehavior for CoordinatorMachine {
         });
         self.topk_ids = snap.topk_ids;
         let live_recovery = self.metrics.recovery;
+        let live_wire = self.metrics.wire;
         self.metrics = snap.metrics;
         self.metrics.recovery = live_recovery;
+        self.metrics.wire = live_wire;
         self.phase = Phase::Done;
         self.ks_agg.clear();
         self.reset_winners.clear();
@@ -579,5 +581,9 @@ impl CoordinatorBehavior for CoordinatorMachine {
 
     fn note_recovery(&mut self, recovery: &topk_net::chaos::RecoveryMetrics) {
         self.metrics.recovery = *recovery;
+    }
+
+    fn note_wire(&mut self, wire: &topk_net::ledger::WireMetrics) {
+        self.metrics.wire = *wire;
     }
 }

@@ -42,6 +42,7 @@ pub mod node;
 pub mod opt;
 pub mod params;
 pub mod session;
+pub mod socket;
 pub mod threaded;
 
 pub use audit::{assert_audit_clean, audit_monitor, AuditError};
@@ -60,5 +61,6 @@ pub use opt::{
 };
 pub use params::NodeParams;
 pub use session::{Engine, MonitorBuilder, MonitorSession};
+pub use socket::SocketTopkMonitor;
 pub use threaded::ThreadedTopkMonitor;
 pub use topk_net::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};

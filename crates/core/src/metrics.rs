@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use topk_net::chaos::RecoveryMetrics;
+use topk_net::ledger::WireMetrics;
 
 /// Phase-attributed message and event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +53,14 @@ pub struct RunMetrics {
     /// above stay comparable to a fault-free twin by zeroing this block
     /// (`RunMetrics { recovery: Default::default(), ..m }`).
     pub recovery: RecoveryMetrics,
+    /// Physical wire ledger (all zero except on the socket runtime):
+    /// frames and bytes actually written to the transport, per model
+    /// channel plus totals. Like [`RunMetrics::recovery`] this describes
+    /// the execution substrate, not the model cost — it is excluded from
+    /// the snapshot codec and from the phase totals, and comparisons
+    /// against an in-process twin zero it the same way
+    /// (`RunMetrics { wire: Default::default(), ..m }`).
+    pub wire: WireMetrics,
 }
 
 impl RunMetrics {

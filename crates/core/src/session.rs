@@ -51,6 +51,7 @@ use crate::coordinator::CoordinatorMachine;
 use crate::events::TopkEvent;
 use crate::metrics::RunMetrics;
 use crate::monitor::{Monitor, TopkMonitor};
+use crate::socket::SocketTopkMonitor;
 use crate::threaded::ThreadedTopkMonitor;
 
 /// Which runtime executes the protocol under a [`MonitorSession`].
@@ -61,17 +62,23 @@ use crate::threaded::ThreadedTopkMonitor;
 /// behavior.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Let the session pick. Currently resolves to [`Engine::Sequential`] —
-    /// the in-process runtime is the fastest at every scale we bench — but
-    /// the policy may evolve without an API change; use an explicit variant
-    /// to pin a runtime.
+    /// Let the session pick among the three engines. Currently resolves to
+    /// [`Engine::Sequential`] — the in-process runtime is the fastest at
+    /// every scale we bench — but the policy may evolve without an API
+    /// change; use an explicit variant to pin a runtime.
     #[default]
     Auto,
     /// The deterministic in-process runtime ([`TopkMonitor`]).
     Sequential,
     /// One OS thread per node, crossbeam-channel frames
-    /// ([`ThreadedTopkMonitor`]) — the "real deployment" shape.
+    /// ([`ThreadedTopkMonitor`]) — the "real deployment" shape without
+    /// leaving the process.
     Threaded,
+    /// Node shards behind loopback-TCP sockets, every message a
+    /// length-prefixed wire frame ([`SocketTopkMonitor`]). The only engine
+    /// whose [`RunMetrics::wire`] ledger is non-zero: frames and bytes
+    /// actually written, per channel.
+    Socket,
 }
 
 impl Engine {
@@ -189,6 +196,9 @@ impl MonitorBuilder {
                 Engine::Threaded => {
                     EngineImpl::Threaded(Box::new(ThreadedTopkMonitor::new(self.cfg, self.seed)))
                 }
+                Engine::Socket => {
+                    EngineImpl::Socket(Box::new(SocketTopkMonitor::new(self.cfg, self.seed)))
+                }
                 Engine::Auto => unreachable!("resolve never returns Auto"),
             }
         };
@@ -215,12 +225,14 @@ impl MonitorBuilder {
     }
 }
 
-/// The resolved engine behind a session. Both engines are sizeable (the
-/// threaded one especially, with thread handles plus chaos/recovery state),
-/// so they live behind boxes to keep the session handle itself small.
+/// The resolved engine behind a session. Every engine is sizeable (the
+/// threaded and socket ones especially, with thread handles and socket
+/// state), so they live behind boxes to keep the session handle itself
+/// small.
 enum EngineImpl {
     Sequential(Box<TopkMonitor>),
     Threaded(Box<ThreadedTopkMonitor>),
+    Socket(Box<SocketTopkMonitor>),
 }
 
 impl EngineImpl {
@@ -228,6 +240,7 @@ impl EngineImpl {
         match self {
             EngineImpl::Sequential(m) => m.as_mut(),
             EngineImpl::Threaded(m) => m.as_mut(),
+            EngineImpl::Socket(m) => m.as_mut(),
         }
     }
 
@@ -235,6 +248,7 @@ impl EngineImpl {
         match self {
             EngineImpl::Sequential(m) => m.coordinator(),
             EngineImpl::Threaded(m) => m.coordinator(),
+            EngineImpl::Socket(m) => m.coordinator(),
         }
     }
 
@@ -242,6 +256,7 @@ impl EngineImpl {
         match self {
             EngineImpl::Sequential(m) => m.ledger(),
             EngineImpl::Threaded(m) => m.ledger(),
+            EngineImpl::Socket(m) => m.ledger(),
         }
     }
 
@@ -249,6 +264,7 @@ impl EngineImpl {
         match self {
             EngineImpl::Sequential(m) => m.silent_steps(),
             EngineImpl::Threaded(m) => m.silent_steps(),
+            EngineImpl::Socket(m) => m.silent_steps(),
         }
     }
 
@@ -256,6 +272,7 @@ impl EngineImpl {
         match self {
             EngineImpl::Sequential(m) => m.micro_rounds_run(),
             EngineImpl::Threaded(m) => m.micro_rounds_run(),
+            EngineImpl::Socket(m) => m.micro_rounds_run(),
         }
     }
 }
@@ -554,12 +571,22 @@ impl MonitorSession {
     }
 
     /// Transport fault-injection and recovery counters (`None` on the
-    /// sequential engine; all-zero on a threaded engine without a
-    /// [`ChaosPolicy`]).
+    /// sequential and socket engines; all-zero on a threaded engine without
+    /// a [`ChaosPolicy`]).
     pub fn recovery(&self) -> Option<&RecoveryMetrics> {
         match &self.engine {
-            EngineImpl::Sequential(_) => None,
+            EngineImpl::Sequential(_) | EngineImpl::Socket(_) => None,
             EngineImpl::Threaded(m) => Some(m.recovery()),
+        }
+    }
+
+    /// The physical wire ledger (`None` on the in-process engines; the
+    /// socket engine counts every frame and byte it writes, per channel).
+    /// The same block is mirrored into [`RunMetrics::wire`] at each step.
+    pub fn wire(&self) -> Option<&topk_net::ledger::WireMetrics> {
+        match &self.engine {
+            EngineImpl::Sequential(_) | EngineImpl::Threaded(_) => None,
+            EngineImpl::Socket(m) => Some(m.wire()),
         }
     }
 
@@ -593,6 +620,7 @@ impl MonitorSession {
         match self.engine {
             EngineImpl::Sequential(_) => Engine::Sequential,
             EngineImpl::Threaded(_) => Engine::Threaded,
+            EngineImpl::Socket(_) => Engine::Socket,
         }
     }
 
@@ -612,12 +640,14 @@ impl MonitorSession {
         self.engine.micro_rounds_run()
     }
 
-    /// Transport sync frames (threaded engine only; `None` on the
-    /// sequential engine, which has no transport layer).
+    /// Transport sync frames (`None` on the sequential engine, which has no
+    /// transport layer). Charged at dispatch intent on both transports, so
+    /// the threaded and socket counts are bit-identical.
     pub fn sync_frames(&self) -> Option<u64> {
         match &self.engine {
             EngineImpl::Sequential(_) => None,
             EngineImpl::Threaded(m) => Some(m.sync_frames()),
+            EngineImpl::Socket(m) => Some(m.sync_frames()),
         }
     }
 
@@ -634,6 +664,7 @@ impl MonitorSession {
         match self.engine {
             EngineImpl::Sequential(m) => m,
             EngineImpl::Threaded(m) => m,
+            EngineImpl::Socket(m) => m,
         }
     }
 }

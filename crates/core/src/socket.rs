@@ -1,0 +1,230 @@
+//! [`SocketTopkMonitor`] — Algorithm 1 assembled on the *socket* runtime:
+//! node shards behind loopback-TCP connections, every message a
+//! length-prefixed [`crate::codec`] frame, the coordinator driven from the
+//! caller's thread.
+//!
+//! Same [`Monitor`] contract as [`TopkMonitor`], same ledgers, same answers
+//! — the three engines are bit-identical for equal `(cfg, seed)` and inputs
+//! (pinned by `tests/runtime_conformance.rs`). What this engine adds is the
+//! *physical* side of the cost model: a [`WireMetrics`] ledger of frames and
+//! bytes actually written to the sockets, mirrored into
+//! [`RunMetrics::wire`] at every step, with the `FireCalendar` skip rule and
+//! `RoundScope` narrowing measurable as bytes never written.
+
+use topk_net::behavior::CoordinatorBehavior;
+use topk_net::chaos::RuntimeError;
+use topk_net::id::{NodeId, Value};
+use topk_net::ledger::{LedgerSnapshot, WireMetrics};
+use topk_net::socket::{SocketCluster, WireTaps};
+
+use crate::config::MonitorConfig;
+use crate::coordinator::CoordinatorMachine;
+use crate::events::{EventCursor, TopkEvent};
+use crate::metrics::RunMetrics;
+use crate::monitor::{Monitor, TopkMonitor};
+use crate::node::NodeMachine;
+
+/// Algorithm 1 on the socket runtime — a [`Monitor`] whose nodes live in
+/// shard threads behind real loopback-TCP connections.
+///
+/// This is the *engine* type; new code should usually build a
+/// [`crate::session::MonitorSession`] with
+/// [`Engine::Socket`](crate::session::Engine) instead of constructing it
+/// directly.
+pub struct SocketTopkMonitor {
+    cluster: SocketCluster<NodeMachine>,
+    coord: CoordinatorMachine,
+    cfg: MonitorConfig,
+    events: EventCursor,
+}
+
+impl SocketTopkMonitor {
+    /// Spawn the shard threads and connect them over loopback TCP (port 0).
+    /// Seeds and behaviors match [`TopkMonitor::new`] exactly, so the two
+    /// monitors are interchangeable twins.
+    pub fn new(cfg: MonitorConfig, seed: u64) -> Self {
+        let (nodes, coord) = TopkMonitor::make_parts(cfg, seed);
+        SocketTopkMonitor {
+            cluster: SocketCluster::spawn(nodes),
+            coord,
+            cfg,
+            events: EventCursor::default(),
+        }
+    }
+
+    /// [`SocketTopkMonitor::new`] with per-connection byte capture armed —
+    /// [`SocketTopkMonitor::capture`] then exposes the exact wire bytes for
+    /// golden-frame snapshot tests.
+    pub fn new_captured(cfg: MonitorConfig, seed: u64) -> Self {
+        let (nodes, coord) = TopkMonitor::make_parts(cfg, seed);
+        SocketTopkMonitor {
+            cluster: SocketCluster::spawn_captured(nodes),
+            coord,
+            cfg,
+            events: EventCursor::default(),
+        }
+    }
+
+    /// The coordinator (tracker/threshold accessors for tests and tools).
+    pub fn coordinator(&self) -> &CoordinatorMachine {
+        &self.coord
+    }
+
+    /// Fallible form of [`Monitor::step`]: a dead shard or a hung reply
+    /// surfaces as a typed [`RuntimeError`] instead of a panic.
+    pub fn try_step(&mut self, t: u64, values: &[Value]) -> Result<(), RuntimeError> {
+        self.cluster.try_step(&mut self.coord, t, values)
+    }
+
+    /// Fallible form of [`Monitor::step_sparse`].
+    pub fn try_step_sparse(
+        &mut self,
+        t: u64,
+        changes: &[(NodeId, Value)],
+    ) -> Result<(), RuntimeError> {
+        self.cluster.try_step_sparse(&mut self.coord, t, changes)
+    }
+
+    /// Phase-attributed event counters of the coordinator — same accessor
+    /// surface as [`TopkMonitor::metrics`], with [`RunMetrics::wire`]
+    /// carrying this engine's physical wire ledger.
+    pub fn metrics(&self) -> &RunMetrics {
+        self.coord.metrics()
+    }
+
+    /// The physical wire ledger: frames and bytes actually written to the
+    /// sockets so far, per model channel plus totals.
+    pub fn wire(&self) -> &WireMetrics {
+        self.cluster.wire()
+    }
+
+    /// Per-connection byte captures (only on a monitor built with
+    /// [`SocketTopkMonitor::new_captured`]); handles stay valid across
+    /// [`SocketTopkMonitor::shutdown`].
+    pub fn capture(&self) -> Option<WireTaps> {
+        self.cluster.capture()
+    }
+
+    /// Number of shard connections carrying the cluster's nodes.
+    pub fn shards(&self) -> usize {
+        self.cluster.shards()
+    }
+
+    /// Coordinator micro-rounds executed so far (all phases) — counted by
+    /// the socket driver identically to [`TopkMonitor::micro_rounds_run`].
+    pub fn micro_rounds_run(&self) -> u64 {
+        self.cluster.micro_rounds_run()
+    }
+
+    /// Steps that exchanged no message and ran no micro-round.
+    pub fn silent_steps(&self) -> u64 {
+        self.cluster.silent_steps()
+    }
+
+    /// Transport-level synchronization frames sent so far (excluded from
+    /// model cost). Charged at dispatch intent, exactly like the threaded
+    /// runtime — so this count is bit-identical to the threaded twin even
+    /// though here every frame is real bytes.
+    pub fn sync_frames(&self) -> u64 {
+        self.cluster.ledger().sync_frames()
+    }
+
+    /// The configuration this monitor runs.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Shut down the shard threads and return the final node state machines
+    /// (for state-equality assertions against a sequential twin).
+    pub fn shutdown(self) -> Vec<NodeMachine> {
+        self.cluster.shutdown()
+    }
+}
+
+impl Monitor for SocketTopkMonitor {
+    fn name(&self) -> &'static str {
+        "topk-filter-socket"
+    }
+
+    fn step(&mut self, t: u64, values: &[Value]) {
+        self.cluster.step(&mut self.coord, t, values);
+    }
+
+    fn step_sparse(&mut self, t: u64, changes: &[(NodeId, Value)]) {
+        self.cluster.step_sparse(&mut self.coord, t, changes);
+    }
+
+    fn topk(&self) -> Vec<NodeId> {
+        self.coord.topk().to_vec()
+    }
+
+    fn ledger(&self) -> LedgerSnapshot {
+        self.cluster.ledger().snapshot()
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn k(&self) -> usize {
+        self.cfg.k
+    }
+
+    fn drain_events(&mut self, t: u64, out: &mut Vec<TopkEvent>) {
+        self.events.drain(&self.coord, t, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::id::true_topk;
+
+    #[test]
+    fn socket_monitor_matches_sequential_twin() {
+        let cfg = MonitorConfig::new(8, 3);
+        let mut soc = SocketTopkMonitor::new(cfg, 42);
+        let mut seq = TopkMonitor::new(cfg, 42);
+        let rows: Vec<Vec<u64>> = vec![
+            vec![5, 80, 20, 70, 10, 60, 30, 40],
+            vec![5, 80, 20, 70, 10, 60, 30, 40],
+            vec![90, 80, 20, 70, 10, 60, 30, 40],
+        ];
+        for (t, row) in rows.iter().enumerate() {
+            soc.step(t as u64, row);
+            seq.step(t as u64, row);
+            assert_eq!(soc.topk(), seq.topk());
+        }
+        assert_eq!(soc.topk(), true_topk(rows.last().unwrap(), 3));
+        let (a, b) = (soc.ledger(), seq.ledger());
+        assert_eq!((a.up, a.down, a.broadcast), (b.up, b.down, b.broadcast));
+        assert_eq!(a.total_bits(), b.total_bits());
+        // Model counters match the twin exactly; only the wire block
+        // records that bytes moved.
+        let scrubbed = RunMetrics {
+            wire: Default::default(),
+            ..*soc.metrics()
+        };
+        assert_eq!(scrubbed, *seq.metrics());
+        assert!(soc.metrics().wire.bytes_total > 0, "bytes crossed sockets");
+        assert_eq!(soc.metrics().wire, *soc.wire());
+    }
+
+    #[test]
+    fn constant_rows_write_no_bytes_after_init() {
+        let cfg = MonitorConfig::new(64, 4);
+        let mut soc = SocketTopkMonitor::new(cfg, 7);
+        let row: Vec<u64> = (1..=64).map(|v| v * 100).collect();
+        soc.step(0, &row);
+        let after_init = soc.wire().bytes_total;
+        for t in 1..50 {
+            soc.step(t, &row);
+        }
+        assert_eq!(
+            soc.wire().bytes_total,
+            after_init,
+            "constant rows must write zero bytes after init"
+        );
+        assert_eq!(soc.silent_steps(), 49);
+    }
+}

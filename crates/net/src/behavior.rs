@@ -302,6 +302,13 @@ pub trait CoordinatorBehavior {
     /// committed step of a chaos-enabled run so they can surface through
     /// the behavior's own metrics.
     fn note_recovery(&mut self, _recovery: &crate::chaos::RecoveryMetrics) {}
+
+    /// Sink for the socket transport's wire ledger
+    /// ([`WireMetrics`](crate::ledger::WireMetrics)), called after every
+    /// committed step of a socket run so bytes/frames-on-the-wire surface
+    /// through the behavior's own metrics. Default: ignored (in-process
+    /// runtimes put nothing on a wire).
+    fn note_wire(&mut self, _wire: &crate::ledger::WireMetrics) {}
 }
 
 /// Hard upper bound on micro-rounds per time step — a bug detector, far above

@@ -97,6 +97,112 @@ impl LedgerSnapshot {
     }
 }
 
+/// Bytes-on-the-wire accounting for the socket runtime
+/// ([`crate::socket`]) — the physical counterpart of the model ledger.
+///
+/// The model ledger counts *messages* and their `wire_bits()` size budget;
+/// this block counts what actually crossed a socket: every framed copy of a
+/// model message (a broadcast framed to ten visited nodes is ten wire
+/// copies here, still one model broadcast) and every byte written in either
+/// direction, length prefixes and frame headers included. The
+/// [`FireCalendar`](crate::calendar::FireCalendar) skip rule and
+/// [`RoundScope`](crate::behavior::RoundScope) narrowing therefore show up
+/// directly in `broadcast_frames`/`bytes_total`, not just in simulated
+/// frame counts.
+///
+/// All counters are monotone; the runtime hands the block to the
+/// coordinator after every committed step via
+/// [`CoordinatorBehavior::note_wire`](crate::behavior::CoordinatorBehavior::note_wire).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireMetrics {
+    /// On-wire copies of model up-messages (one per reply frame carrying a
+    /// payload).
+    pub up_frames: u64,
+    /// Encoded payload bytes of those up-messages.
+    pub up_bytes: u64,
+    /// On-wire copies of model unicasts.
+    pub down_frames: u64,
+    /// Encoded payload bytes of those unicasts.
+    pub down_bytes: u64,
+    /// On-wire *copies* of model broadcasts: one per visited node per
+    /// broadcast (the model ledger still charges each broadcast once).
+    pub broadcast_frames: u64,
+    /// Encoded payload bytes of those broadcast copies.
+    pub broadcast_bytes: u64,
+    /// Reserved for a fault-injecting socket transport; always zero today.
+    pub retransmit_frames: u64,
+    /// Reserved for a fault-injecting socket transport; always zero today.
+    pub retransmit_bytes: u64,
+    /// Every physical frame that crossed a socket, both directions (work
+    /// frames, replies, handshake, halt).
+    pub frames_total: u64,
+    /// Every byte written to a socket, both directions, including the
+    /// 4-byte length prefixes and frame headers.
+    pub bytes_total: u64,
+}
+
+impl WireMetrics {
+    /// Record one on-wire copy of a model message of `kind` whose encoded
+    /// payload occupies `bytes` bytes inside its frame.
+    #[inline]
+    pub fn count(&mut self, kind: ChannelKind, bytes: u64) {
+        match kind {
+            ChannelKind::Up => {
+                self.up_frames += 1;
+                self.up_bytes += bytes;
+            }
+            ChannelKind::Down => {
+                self.down_frames += 1;
+                self.down_bytes += bytes;
+            }
+            ChannelKind::Broadcast => {
+                self.broadcast_frames += 1;
+                self.broadcast_bytes += bytes;
+            }
+            ChannelKind::Retransmit => {
+                self.retransmit_frames += 1;
+                self.retransmit_bytes += bytes;
+            }
+        }
+    }
+
+    /// Wire copies of model messages sent on `kind`.
+    #[inline]
+    pub fn frames_sent(&self, kind: ChannelKind) -> u64 {
+        match kind {
+            ChannelKind::Up => self.up_frames,
+            ChannelKind::Down => self.down_frames,
+            ChannelKind::Broadcast => self.broadcast_frames,
+            ChannelKind::Retransmit => self.retransmit_frames,
+        }
+    }
+
+    /// Encoded payload bytes of model messages sent on `kind`.
+    #[inline]
+    pub fn bytes_sent(&self, kind: ChannelKind) -> u64 {
+        match kind {
+            ChannelKind::Up => self.up_bytes,
+            ChannelKind::Down => self.down_bytes,
+            ChannelKind::Broadcast => self.broadcast_bytes,
+            ChannelKind::Retransmit => self.retransmit_bytes,
+        }
+    }
+
+    /// Bytes of `bytes_total` occupied by model-message payloads.
+    #[inline]
+    pub fn model_bytes(&self) -> u64 {
+        self.up_bytes + self.down_bytes + self.broadcast_bytes + self.retransmit_bytes
+    }
+
+    /// Framing overhead: length prefixes, frame headers, handshake and
+    /// empty-poll frames — everything on the wire that is not a model
+    /// payload.
+    #[inline]
+    pub fn overhead_bytes(&self) -> u64 {
+        self.bytes_total.saturating_sub(self.model_bytes())
+    }
+}
+
 /// Mutable message ledger owned by a runtime driver.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommLedger {

@@ -21,6 +21,9 @@
 //!   runtimes (protocol rounds visit only the round's scheduled firers);
 //! * [`seq`] — the deterministic sequential runtime (used by all
 //!   experiments);
+//! * [`socket`] — the loopback-TCP runtime: node shards behind real
+//!   sockets, length-prefixed frames, and a physical wire ledger
+//!   ([`WireMetrics`]) alongside the model ledger;
 //! * [`threaded`] — the OS-thread + crossbeam-channel runtime (the "real"
 //!   distributed execution, ledger-equivalent to [`seq`]);
 //! * [`trace`] — dense observation traces, replay and CSV I/O;
@@ -41,6 +44,7 @@ pub mod id;
 pub mod ledger;
 pub mod rng;
 pub mod seq;
+pub mod socket;
 pub mod threaded;
 pub mod trace;
 pub mod wire;
@@ -53,7 +57,8 @@ pub use chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};
 pub use delta::DeltaRow;
 pub use events::{Event, EventLog};
 pub use id::{midpoint_floor, true_ranking, true_topk, MinEntry, NodeId, RankEntry, Value};
-pub use ledger::{ChannelKind, CommLedger, LedgerSnapshot};
+pub use ledger::{ChannelKind, CommLedger, LedgerSnapshot, WireMetrics};
 pub use seq::SyncRuntime;
+pub use socket::{FrameCodec, SocketCluster, WireError, WireTaps};
 pub use threaded::ThreadedCluster;
 pub use trace::{TraceMatrix, TraceReplay};

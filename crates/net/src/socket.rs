@@ -1,0 +1,1447 @@
+//! Socket runtime: node shards live behind loopback-TCP connections,
+//! messages travel as length-prefixed frames, and the coordinator
+//! multiplexes round phases over persistent connections — the
+//! wire-protocol counterpart of [`crate::threaded::ThreadedCluster`].
+//!
+//! The visit rule is byte-for-byte the threaded runtime's: node-phase 0
+//! frames only changed ∪ engaged nodes
+//! ([`NodeBehavior::SPARSE_OBSERVE`]), a round without broadcasts visits
+//! engaged nodes and unicast addressees, a scoped broadcast round
+//! ([`RoundScope`]) frames engaged ∪ addressees, and the fire-round
+//! calendar ([`crate::calendar::FireCalendar`]) skips a scheduled node
+//! until its wake phase, replaying the broadcasts it missed from the
+//! step's log. Because the frames here are real bytes on real sockets,
+//! the skip rule and scope narrowing are measurable as bytes *not*
+//! written — tallied in [`WireMetrics`], the physical twin of the model
+//! ledger — while the model ledger itself (messages, payload bits, RNG
+//! streams) stays bit-identical to every other runtime (pinned by
+//! `tests/runtime_conformance.rs`).
+//!
+//! # Topology
+//!
+//! [`SocketCluster::spawn`] binds a loopback [`TcpListener`] on port 0
+//! (never a fixed port — tests can run in parallel without port
+//! exhaustion) and spawns [`shard_count`]`(n)` shard threads, each owning
+//! a contiguous id range of node behaviors and one persistent TCP
+//! connection. A shard identifies itself with a version-checked `Hello`
+//! frame (accept order is nondeterministic; the handshake makes stream
+//! identity deterministic). Per work frame the shard runs the behavior
+//! and answers with exactly one `Reply` frame; the driver's per-shard
+//! reader threads funnel replies into one channel, so collection mirrors
+//! the threaded runtime's wave protocol. All accepts and collects run
+//! under deadlines: a hung or dead shard surfaces as a typed
+//! [`RuntimeError`] instead of wedging the caller.
+//!
+//! # Frame format
+//!
+//! See the module docs of [`crate::wire`] for the byte-level layout
+//! (4-byte little-endian length prefix, tag byte, LEB128 varint fields,
+//! version byte in `Hello`). Model payloads are embedded through
+//! [`FrameCodec`], whose implementations delegate to the concrete message
+//! codec (e.g. `topk-core`'s `codec.rs`), so the bytes on these sockets
+//! are the project's one wire vocabulary — pinned byte-for-byte by the
+//! golden-frame snapshot test (`crates/net/tests/wire_golden.rs`).
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::behavior::{
+    max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
+};
+use crate::calendar::FireCalendar;
+use crate::chaos::RuntimeError;
+use crate::delta::{merge_visit, DeltaRow};
+use crate::id::{NodeId, Value};
+use crate::ledger::{ChannelKind, CommLedger, LedgerSnapshot, WireMetrics};
+use crate::wire::{get_varint, put_varint, WireSize};
+
+/// Length of the frame length prefix (little-endian `u32`).
+pub const FRAME_PREFIX_LEN: usize = 4;
+
+/// Upper bound on a declared payload length. A prefix above this is
+/// rejected *before* any allocation — a torn or hostile stream cannot make
+/// the reader balloon.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Transport wire-format version, carried in every `Hello` frame.
+pub const WIRE_VERSION: u8 = 0x01;
+
+/// Upper bound on shard connections (one per node below that).
+const MAX_SHARDS: usize = 4;
+
+/// How long `spawn` waits for all shards to connect and say hello.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Reply-collect tick; dead-shard detection runs once per tick.
+const RECV_TICK_MS: u64 = 200;
+
+/// Idle collect ticks before the driver gives up with
+/// [`RuntimeError::ReplyTimeout`] (150 × 200 ms = 30 s) — a hung shard
+/// fails fast instead of wedging CI.
+const MAX_IDLE_TICKS: u32 = 150;
+
+// Transport frame tags (distinct namespace from the model-message codec).
+const T_HELLO: u8 = 0x01;
+const T_OBSERVE: u8 = 0x10;
+const T_OBSERVE_CACHED: u8 = 0x11;
+const T_ROUND: u8 = 0x12;
+const T_HALT: u8 = 0x1f;
+const T_REPLY: u8 = 0x20;
+
+// Reply flag bits.
+const F_UP: u8 = 0b001;
+const F_ENGAGED: u8 = 0b010;
+const F_WAKE: u8 = 0b100;
+
+/// Typed failure of the socket framing layer. The reader never panics on a
+/// torn stream: truncated prefixes, oversized declared lengths and
+/// mid-frame EOF each map to their own variant (pinned by the torn-frame
+/// proptests in `crates/net/tests/socket_frames.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// EOF inside (or before) the 4-byte length prefix. `have == 0` is a
+    /// clean close between frames — see [`WireError::is_clean_eof`].
+    TruncatedPrefix { have: usize },
+    /// Declared payload length exceeds [`MAX_FRAME_LEN`]; rejected before
+    /// allocating.
+    Oversized { declared: usize, max: usize },
+    /// EOF inside the payload.
+    TruncatedFrame { declared: usize, have: usize },
+    /// Unknown frame tag byte.
+    UnknownTag { tag: u8 },
+    /// Structurally invalid frame payload (bad varint, trailing bytes,
+    /// version mismatch, embedded message rejected by its codec).
+    Malformed { what: String },
+    /// Underlying socket error.
+    Io(io::ErrorKind),
+}
+
+impl WireError {
+    /// `true` iff this is an orderly connection close on a frame boundary
+    /// (zero bytes of the next prefix read) — the normal end of stream,
+    /// not a torn frame.
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, WireError::TruncatedPrefix { have: 0 })
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TruncatedPrefix { have } => {
+                write!(
+                    f,
+                    "truncated length prefix ({have}/{FRAME_PREFIX_LEN} bytes)"
+                )
+            }
+            WireError::Oversized { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            WireError::TruncatedFrame { declared, have } => {
+                write!(f, "mid-frame EOF ({have}/{declared} payload bytes)")
+            }
+            WireError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::Malformed { what } => write!(f, "malformed frame: {what}"),
+            WireError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn malformed(what: impl Into<String>) -> WireError {
+    WireError::Malformed { what: what.into() }
+}
+
+/// Self-delimiting encoding of a model message inside a transport frame.
+///
+/// The socket runtime is generic over behaviors; this trait is how a
+/// behavior's `Up`/`Down` vocabulary crosses the wire. Implementations
+/// must consume exactly the bytes they produced (decode leaves the cursor
+/// on the next field) and must never panic on garbage — return
+/// [`WireError::Malformed`] instead. `topk-core` implements it for
+/// `UpMsg`/`DownMsg` by delegating to its tag-byte + varint codec.
+pub trait FrameCodec: Sized {
+    /// Append this message's encoding to `buf`.
+    fn encode_frame(&self, buf: &mut Vec<u8>);
+    /// Decode one message, advancing `buf` past exactly its encoding.
+    fn decode_frame(buf: &mut &[u8]) -> Result<Self, WireError>;
+}
+
+/// Read exactly `out.len()` bytes, mapping EOF to `err(bytes_read)`.
+fn read_exact_or(
+    r: &mut impl Read,
+    out: &mut [u8],
+    err: impl FnOnce(usize) -> WireError,
+) -> Result<(), WireError> {
+    let mut have = 0;
+    while have < out.len() {
+        match r.read(&mut out[have..]) {
+            Ok(0) => return Err(err(have)),
+            Ok(k) => have += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Read one length-prefixed frame into `payload` (replacing its contents).
+///
+/// Never panics and never allocates beyond [`MAX_FRAME_LEN`]: a truncated
+/// prefix, an oversized declared length and a mid-frame EOF each return
+/// their typed [`WireError`].
+pub fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<(), WireError> {
+    let mut prefix = [0u8; FRAME_PREFIX_LEN];
+    read_exact_or(r, &mut prefix, |have| WireError::TruncatedPrefix { have })?;
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(WireError::Oversized {
+            declared,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    payload.resize(declared, 0);
+    read_exact_or(r, payload, |have| WireError::TruncatedFrame {
+        declared,
+        have,
+    })
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    debug_assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame exceeds MAX_FRAME_LEN"
+    );
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .map_err(|e| WireError::Io(e.kind()))
+}
+
+fn take_u8(rd: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = rd.split_first()?;
+    *rd = rest;
+    Some(first)
+}
+
+fn need_varint(rd: &mut &[u8], what: &str) -> Result<u64, WireError> {
+    get_varint(rd).ok_or_else(|| malformed(format!("truncated {what}")))
+}
+
+fn need_u32(rd: &mut &[u8], what: &str) -> Result<u32, WireError> {
+    u32::try_from(need_varint(rd, what)?).map_err(|_| malformed(format!("{what} overflow")))
+}
+
+/// Deterministic shard count for an `n`-node cluster: one connection per
+/// node up to `MAX_SHARDS` connections. Fixed by construction so the
+/// per-connection byte streams are a pure function of the run.
+pub fn shard_count(n: usize) -> usize {
+    n.clamp(1, MAX_SHARDS)
+}
+
+/// Contiguous `(first_id, len)` ownership ranges, one per shard.
+fn shard_ranges(n: usize) -> Vec<(u32, u32)> {
+    let s = shard_count(n);
+    let (base, rem) = (n / s, n % s);
+    let mut out = Vec::with_capacity(s);
+    let mut first = 0u32;
+    for i in 0..s {
+        let len = (base + usize::from(i < rem)) as u32;
+        out.push((first, len));
+        first += len;
+    }
+    out
+}
+
+/// Per-connection byte capture (both directions), for the golden-frame
+/// snapshot test. Cloning clones the handles, not the bytes.
+#[derive(Debug, Clone)]
+pub struct WireTaps {
+    /// Coordinator→shard bytes, per shard, in write order.
+    pub to_shard: Vec<Arc<Mutex<Vec<u8>>>>,
+    /// Shard→coordinator bytes, per shard, in read order.
+    pub from_shard: Vec<Arc<Mutex<Vec<u8>>>>,
+}
+
+impl WireTaps {
+    fn new(shards: usize) -> Self {
+        WireTaps {
+            to_shard: (0..shards).map(|_| Arc::default()).collect(),
+            from_shard: (0..shards).map(|_| Arc::default()).collect(),
+        }
+    }
+
+    /// Total captured bytes across all connections and directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.to_shard
+            .iter()
+            .chain(&self.from_shard)
+            .map(|t| t.lock().unwrap().len() as u64)
+            .sum()
+    }
+}
+
+fn tap_extend(tap: &Arc<Mutex<Vec<u8>>>, payload: &[u8]) {
+    let mut g = tap.lock().unwrap();
+    g.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    g.extend_from_slice(payload);
+}
+
+/// One decoded shard reply, funneled through the reader channel.
+struct SockReply<U> {
+    id: NodeId,
+    t: u64,
+    m: u32,
+    up: Option<U>,
+    engaged: bool,
+    wake_at: Option<u32>,
+    /// Total frame bytes read off the socket (prefix + payload).
+    frame_bytes: u64,
+    /// Encoded byte length of `up` inside the payload.
+    up_bytes: u64,
+}
+
+fn decode_reply<U: FrameCodec>(payload: &[u8]) -> Result<SockReply<U>, WireError> {
+    let mut rd: &[u8] = payload;
+    match take_u8(&mut rd) {
+        Some(T_REPLY) => {}
+        Some(tag) => return Err(WireError::UnknownTag { tag }),
+        None => return Err(malformed("empty frame")),
+    }
+    let t = need_varint(&mut rd, "reply t")?;
+    let m = need_u32(&mut rd, "reply m")?;
+    let id = need_u32(&mut rd, "reply node")?;
+    let flags = take_u8(&mut rd).ok_or_else(|| malformed("missing reply flags"))?;
+    if flags & !(F_UP | F_ENGAGED | F_WAKE) != 0 {
+        return Err(malformed(format!("unknown reply flags {flags:#b}")));
+    }
+    let (up, up_bytes) = if flags & F_UP != 0 {
+        let before = rd.len();
+        let u = U::decode_frame(&mut rd)?;
+        (Some(u), (before - rd.len()) as u64)
+    } else {
+        (None, 0)
+    };
+    let wake_at = if flags & F_WAKE != 0 {
+        Some(need_u32(&mut rd, "reply wake phase")?)
+    } else {
+        None
+    };
+    if !rd.is_empty() {
+        return Err(malformed("trailing bytes after reply"));
+    }
+    Ok(SockReply {
+        id: NodeId(id),
+        t,
+        m,
+        up,
+        engaged: flags & F_ENGAGED != 0,
+        wake_at,
+        frame_bytes: 0,
+        up_bytes,
+    })
+}
+
+fn decode_hello(payload: &[u8]) -> Result<u32, WireError> {
+    let mut rd: &[u8] = payload;
+    match take_u8(&mut rd) {
+        Some(T_HELLO) => {}
+        Some(tag) => return Err(WireError::UnknownTag { tag }),
+        None => return Err(malformed("empty hello")),
+    }
+    match take_u8(&mut rd) {
+        Some(WIRE_VERSION) => {}
+        Some(v) => return Err(malformed(format!("wire version {v} != {WIRE_VERSION}"))),
+        None => return Err(malformed("truncated hello")),
+    }
+    let shard = need_u32(&mut rd, "hello shard id")?;
+    if !rd.is_empty() {
+        return Err(malformed("trailing bytes after hello"));
+    }
+    Ok(shard)
+}
+
+fn encode_observe(buf: &mut Vec<u8>, t: u64, i: u32, value: Option<Value>) {
+    buf.clear();
+    match value {
+        Some(v) => {
+            buf.push(T_OBSERVE);
+            put_varint(buf, t);
+            put_varint(buf, i as u64);
+            put_varint(buf, v);
+        }
+        None => {
+            buf.push(T_OBSERVE_CACHED);
+            put_varint(buf, t);
+            put_varint(buf, i as u64);
+        }
+    }
+}
+
+fn encode_reply<U: FrameCodec>(
+    buf: &mut Vec<u8>,
+    i: u32,
+    t: u64,
+    m: u32,
+    up: &Option<U>,
+    engaged: bool,
+    wake_at: Option<u32>,
+) {
+    buf.clear();
+    buf.push(T_REPLY);
+    put_varint(buf, t);
+    put_varint(buf, m as u64);
+    put_varint(buf, i as u64);
+    let mut flags = 0u8;
+    if up.is_some() {
+        flags |= F_UP;
+    }
+    if engaged {
+        flags |= F_ENGAGED;
+    }
+    if wake_at.is_some() {
+        flags |= F_WAKE;
+    }
+    buf.push(flags);
+    if let Some(u) = up {
+        u.encode_frame(buf);
+    }
+    if let Some(w) = wake_at {
+        put_varint(buf, w as u64);
+    }
+}
+
+/// Driver reader thread: drain one shard connection, decoding replies into
+/// the shared channel. Exits on clean close, torn frame, or a dropped
+/// receiver — the driver detects the dead shard via its thread handle.
+fn reader_main<U: FrameCodec + Send + 'static>(
+    stream: TcpStream,
+    tx: Sender<SockReply<U>>,
+    tap: Option<Arc<Mutex<Vec<u8>>>>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut payload = Vec::new();
+    loop {
+        if read_frame(&mut reader, &mut payload).is_err() {
+            break;
+        }
+        if let Some(t) = &tap {
+            tap_extend(t, &payload);
+        }
+        match decode_reply::<U>(&payload) {
+            Ok(mut rep) => {
+                rep.frame_bytes = (FRAME_PREFIX_LEN + payload.len()) as u64;
+                if tx.send(rep).is_err() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Shard thread: own a contiguous node range behind one TCP connection.
+/// Caches each node's last observed value so a value-less `ObserveCached`
+/// frame replays the observation locally (delta transport), exactly like
+/// the threaded runtime's node threads.
+fn shard_main<NB>(mut nodes: Vec<NB>, first: u32, shard: u32, stream: TcpStream) -> Vec<NB>
+where
+    NB: NodeBehavior,
+    NB::Up: FrameCodec,
+    NB::Down: FrameCodec,
+{
+    let Ok(read_half) = stream.try_clone() else {
+        return nodes;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    buf.push(T_HELLO);
+    buf.push(WIRE_VERSION);
+    put_varint(&mut buf, shard as u64);
+    if write_frame(&mut writer, &buf).is_err() || writer.flush().is_err() {
+        return nodes;
+    }
+    let mut payload = Vec::new();
+    let mut bcasts: Vec<NB::Down> = Vec::new();
+    let mut last: Vec<Value> = vec![0; nodes.len()];
+    loop {
+        if read_frame(&mut reader, &mut payload).is_err() {
+            break;
+        }
+        let mut rd: &[u8] = &payload;
+        let Some(tag) = take_u8(&mut rd) else { break };
+        let reply_ok = match tag {
+            T_HALT => break,
+            T_OBSERVE | T_OBSERVE_CACHED => {
+                let Ok(t) = need_varint(&mut rd, "t") else {
+                    break;
+                };
+                let Ok(i) = need_u32(&mut rd, "node") else {
+                    break;
+                };
+                let Some(idx) = (i as usize).checked_sub(first as usize) else {
+                    break;
+                };
+                if idx >= nodes.len() {
+                    break;
+                }
+                let value = if tag == T_OBSERVE {
+                    let Ok(v) = need_varint(&mut rd, "value") else {
+                        break;
+                    };
+                    last[idx] = v;
+                    v
+                } else {
+                    last[idx]
+                };
+                let a = nodes[idx].observe(t, value);
+                encode_reply(&mut buf, i, t, 0, &a.up, a.engaged, a.wake_at);
+                write_frame(&mut writer, &buf).is_ok() && writer.flush().is_ok()
+            }
+            T_ROUND => {
+                let Ok(t) = need_varint(&mut rd, "t") else {
+                    break;
+                };
+                let Ok(m) = need_u32(&mut rd, "m") else {
+                    break;
+                };
+                let Ok(i) = need_u32(&mut rd, "node") else {
+                    break;
+                };
+                let Some(idx) = (i as usize).checked_sub(first as usize) else {
+                    break;
+                };
+                if idx >= nodes.len() {
+                    break;
+                }
+                let Ok(n_bcasts) = need_varint(&mut rd, "bcast count") else {
+                    break;
+                };
+                if n_bcasts > rd.len() as u64 {
+                    break; // each encoding is ≥ 1 byte
+                }
+                bcasts.clear();
+                let mut ok = true;
+                for _ in 0..n_bcasts {
+                    match NB::Down::decode_frame(&mut rd) {
+                        Ok(b) => bcasts.push(b),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    break;
+                }
+                let ucast = match take_u8(&mut rd) {
+                    Some(0) => None,
+                    Some(1) => match NB::Down::decode_frame(&mut rd) {
+                        Ok(u) => Some(u),
+                        Err(_) => break,
+                    },
+                    _ => break,
+                };
+                let a = nodes[idx].micro_round(t, m, &bcasts, ucast.as_ref());
+                encode_reply(&mut buf, i, t, m, &a.up, a.engaged, a.wake_at);
+                write_frame(&mut writer, &buf).is_ok() && writer.flush().is_ok()
+            }
+            _ => break,
+        };
+        if !reply_ok {
+            break;
+        }
+    }
+    nodes
+}
+
+/// A running socket cluster: shard threads behind loopback TCP plus the
+/// coordinator-side driver state. Drop-in peer of
+/// [`crate::threaded::ThreadedCluster`] (clean transport only — chaos
+/// stays at the in-process frame boundary for now).
+pub struct SocketCluster<NB>
+where
+    NB: NodeBehavior + 'static,
+    NB::Up: FrameCodec,
+    NB::Down: FrameCodec,
+{
+    writers: Vec<BufWriter<TcpStream>>,
+    shard_handles: Vec<JoinHandle<Vec<NB>>>,
+    reader_handles: Vec<JoinHandle<()>>,
+    from_shards: Receiver<SockReply<NB::Up>>,
+    /// Node id → owning shard index.
+    shard_of: Vec<u32>,
+    /// First node id per shard (for dead-shard error attribution).
+    shard_first: Vec<u32>,
+    taps: Option<WireTaps>,
+    /// Sorted ids of currently engaged nodes (see
+    /// [`crate::threaded::ThreadedCluster`]).
+    engaged_idx: Vec<u32>,
+    engaged_scratch: Vec<u32>,
+    visit_scratch: Vec<u32>,
+    /// Phase-0 visit list scratch: `(id, Some(new value) | cached)`.
+    phase0_scratch: Vec<(u32, Option<Value>)>,
+    calendar: FireCalendar,
+    /// All broadcasts of the current step in emission order.
+    bcast_log: Vec<NB::Down>,
+    delta_row: DeltaRow,
+    ups_scratch: Vec<(NodeId, NB::Up)>,
+    out: CoordOut<NB::Down>,
+    feed_row: Vec<Value>,
+    feed_changes: Vec<(NodeId, Value)>,
+    /// Frame payload scratch.
+    frame_buf: Vec<u8>,
+    ledger: CommLedger,
+    wire: WireMetrics,
+    steps_run: u64,
+    silent_steps: u64,
+    micro_rounds_run: u64,
+    pending_mask: Vec<bool>,
+    pending_count: usize,
+}
+
+impl<NB> SocketCluster<NB>
+where
+    NB: NodeBehavior + 'static,
+    NB::Up: FrameCodec,
+    NB::Down: FrameCodec,
+{
+    /// Spawn the shard threads over loopback TCP (port 0 — the OS picks).
+    ///
+    /// Panics on a setup failure (bind, spawn, handshake); the handshake
+    /// itself runs under `ACCEPT_TIMEOUT` so a hung accept fails fast
+    /// instead of blocking forever.
+    pub fn spawn(nodes: Vec<NB>) -> Self {
+        Self::spawn_inner(nodes, false)
+    }
+
+    /// [`SocketCluster::spawn`] with per-connection byte capture armed, for
+    /// the golden-frame snapshot test (see [`SocketCluster::capture`]).
+    pub fn spawn_captured(nodes: Vec<NB>) -> Self {
+        Self::spawn_inner(nodes, true)
+    }
+
+    fn spawn_inner(mut nodes: Vec<NB>, capture: bool) -> Self {
+        let n = nodes.len();
+        assert!(n > 0, "need at least one node");
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(
+                node.id(),
+                NodeId(i as u32),
+                "nodes must be dense, id-ordered"
+            );
+        }
+        let ranges = shard_ranges(n);
+        let s_count = ranges.len();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener addr");
+
+        let mut chunks: Vec<Vec<NB>> = Vec::with_capacity(s_count);
+        for &(first, _) in ranges.iter().rev() {
+            chunks.push(nodes.split_off(first as usize));
+        }
+        chunks.reverse();
+        let mut shard_handles = Vec::with_capacity(s_count);
+        for (s, chunk) in chunks.into_iter().enumerate() {
+            let first = ranges[s].0;
+            let handle = std::thread::Builder::new()
+                .name(format!("topk-shard-{s}"))
+                .spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to coordinator");
+                    stream.set_nodelay(true).ok();
+                    shard_main(chunk, first, s as u32, stream)
+                })
+                .expect("spawn shard thread");
+            shard_handles.push(handle);
+        }
+
+        let taps = capture.then(|| WireTaps::new(s_count));
+        let mut wire = WireMetrics::default();
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let deadline = Instant::now() + ACCEPT_TIMEOUT;
+        let mut streams: Vec<Option<TcpStream>> = (0..s_count).map(|_| None).collect();
+        let mut payload = Vec::new();
+        let mut accepted = 0;
+        while accepted < s_count {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(ACCEPT_TIMEOUT))
+                        .expect("handshake read timeout");
+                    let mut r = &stream;
+                    read_frame(&mut r, &mut payload)
+                        .unwrap_or_else(|e| panic!("socket handshake failed: {e}"));
+                    wire.frames_total += 1;
+                    wire.bytes_total += (FRAME_PREFIX_LEN + payload.len()) as u64;
+                    let shard = decode_hello(&payload)
+                        .unwrap_or_else(|e| panic!("socket handshake rejected: {e}"))
+                        as usize;
+                    assert!(
+                        shard < s_count && streams[shard].is_none(),
+                        "duplicate or out-of-range shard hello"
+                    );
+                    if let Some(taps) = &taps {
+                        tap_extend(&taps.from_shard[shard], &payload);
+                    }
+                    stream.set_read_timeout(None).expect("clear read timeout");
+                    streams[shard] = Some(stream);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "socket cluster accept timed out after {ACCEPT_TIMEOUT:?} \
+                         ({accepted}/{s_count} shards connected)"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+
+        let (tx, rx) = unbounded::<SockReply<NB::Up>>();
+        let mut writers = Vec::with_capacity(s_count);
+        let mut reader_handles = Vec::with_capacity(s_count);
+        for (s, slot) in streams.into_iter().enumerate() {
+            let stream = slot.expect("all shards accepted");
+            let read_half = stream.try_clone().expect("clone shard stream");
+            let tap = taps.as_ref().map(|t| t.from_shard[s].clone());
+            let tx = tx.clone();
+            reader_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("topk-shard-rx-{s}"))
+                    .spawn(move || reader_main::<NB::Up>(read_half, tx, tap))
+                    .expect("spawn reader thread"),
+            );
+            writers.push(BufWriter::new(stream));
+        }
+
+        let mut shard_of = vec![0u32; n];
+        let mut shard_first = Vec::with_capacity(s_count);
+        for (s, &(first, len)) in ranges.iter().enumerate() {
+            shard_first.push(first);
+            for i in first..first + len {
+                shard_of[i as usize] = s as u32;
+            }
+        }
+
+        SocketCluster {
+            writers,
+            shard_handles,
+            reader_handles,
+            from_shards: rx,
+            shard_of,
+            shard_first,
+            taps,
+            engaged_idx: Vec::new(),
+            engaged_scratch: Vec::new(),
+            visit_scratch: Vec::new(),
+            phase0_scratch: Vec::new(),
+            calendar: FireCalendar::new(n),
+            bcast_log: Vec::new(),
+            delta_row: DeltaRow::new(n, NB::SPARSE_OBSERVE),
+            ups_scratch: Vec::new(),
+            out: CoordOut::empty(),
+            feed_row: Vec::new(),
+            feed_changes: Vec::new(),
+            frame_buf: Vec::new(),
+            ledger: CommLedger::new(),
+            wire,
+            steps_run: 0,
+            silent_steps: 0,
+            micro_rounds_run: 0,
+            pending_mask: vec![false; n],
+            pending_count: 0,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Number of shard connections.
+    pub fn shards(&self) -> usize {
+        self.shard_first.len()
+    }
+
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// The physical wire ledger: frames and bytes actually written to the
+    /// sockets, per model channel plus totals.
+    pub fn wire(&self) -> &WireMetrics {
+        &self.wire
+    }
+
+    /// Handles to the per-connection byte captures (only on a cluster built
+    /// with [`SocketCluster::spawn_captured`]). Clone-cheap; the handles
+    /// stay valid across [`SocketCluster::shutdown`].
+    pub fn capture(&self) -> Option<WireTaps> {
+        self.taps.clone()
+    }
+
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Steps that exchanged no message and ran no micro-round.
+    pub fn silent_steps(&self) -> u64 {
+        self.silent_steps
+    }
+
+    /// Coordinator micro-rounds driven so far — identical accounting to
+    /// both in-process runtimes.
+    pub fn micro_rounds_run(&self) -> u64 {
+        self.micro_rounds_run
+    }
+
+    /// Indices of nodes currently engaged in a protocol episode (sorted).
+    pub fn engaged_nodes(&self) -> &[u32] {
+        &self.engaged_idx
+    }
+
+    /// Execute one synchronous time step against `coord`, panicking on
+    /// transport failure (see [`SocketCluster::try_step`]).
+    pub fn step<CB>(&mut self, coord: &mut CB, t: u64, values: &[Value])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.try_step(coord, t, values)
+            .unwrap_or_else(|e| panic!("socket runtime failed at t={t}: {e}"));
+    }
+
+    /// Execute one synchronous time step against `coord` — the socket twin
+    /// of [`crate::threaded::ThreadedCluster::try_step`]: same sparse-diff
+    /// routing, same visit rule, same ledger accounting; only the frames
+    /// are real bytes on real sockets. A dead shard or a hung reply
+    /// surfaces as a typed [`RuntimeError`].
+    pub fn try_step<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        values: &[Value],
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert_eq!(values.len(), self.n(), "one value per node");
+        if NB::SPARSE_OBSERVE && self.delta_row.is_valid() {
+            let mut dr = std::mem::take(&mut self.delta_row);
+            dr.diff(values);
+            let res = self.try_step_visits(coord, t, dr.last_delta());
+            self.delta_row = dr;
+            res
+        } else {
+            if NB::SPARSE_OBSERVE {
+                self.delta_row.prime(values);
+            }
+            self.try_step_dense(coord, t, values)
+        }
+    }
+
+    /// Panicking wrapper of [`SocketCluster::try_step_sparse`].
+    pub fn step_sparse<CB>(&mut self, coord: &mut CB, t: u64, changes: &[(NodeId, Value)])
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.try_step_sparse(coord, t, changes)
+            .unwrap_or_else(|e| panic!("socket runtime failed at t={t}: {e}"));
+    }
+
+    /// Execute one step given only the values that changed since `t − 1`
+    /// (same contract as
+    /// [`crate::threaded::ThreadedCluster::try_step_sparse`]).
+    pub fn try_step_sparse<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        changes: &[(NodeId, Value)],
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert!(
+            NB::SPARSE_OBSERVE,
+            "step_sparse requires a NodeBehavior with SPARSE_OBSERVE = true"
+        );
+        let mut dr = std::mem::take(&mut self.delta_row);
+        let res = if dr.apply_sparse(changes) {
+            self.try_step_dense(coord, t, dr.row())
+        } else {
+            self.try_step_visits(coord, t, dr.last_delta())
+        };
+        self.delta_row = dr;
+        res
+    }
+
+    /// Node-phase 0 as a full observation fan-out, then the micro-round
+    /// schedule.
+    fn try_step_dense<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        values: &[Value],
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        let mut wave = std::mem::take(&mut self.phase0_scratch);
+        wave.clear();
+        wave.extend(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &value)| (i as u32, Some(value))),
+        );
+        let res = self.run_step(coord, t, &wave);
+        self.phase0_scratch = wave;
+        res
+    }
+
+    /// Node-phase 0 over changed ∪ engaged nodes only.
+    fn try_step_visits<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        changes: &[(NodeId, Value)],
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        let mut wave = std::mem::take(&mut self.phase0_scratch);
+        wave.clear();
+        let engaged = std::mem::take(&mut self.engaged_idx);
+        merge_visit(changes, &engaged, |i, value| {
+            wave.push((i, value.copied()));
+        });
+        self.engaged_idx = engaged;
+        let res = self.run_step(coord, t, &wave);
+        self.phase0_scratch = wave;
+        res
+    }
+
+    /// Run one step: phase-0 wave, silent fast path, micro-round loop.
+    fn run_step<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        wave: &[(u32, Option<Value>)],
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        coord.begin_step(t);
+        debug_assert_eq!(self.pending_count, 0, "wave started with replies pending");
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        let mut res = Ok(());
+        for &(i, value) in wave {
+            encode_observe(&mut buf, t, i, value);
+            res = self.dispatch_payload(i, &buf);
+            if res.is_err() {
+                break;
+            }
+        }
+        self.frame_buf = buf;
+        res?;
+        self.flush_all()?;
+
+        let mut ups = std::mem::take(&mut self.ups_scratch);
+        let mut out = std::mem::take(&mut self.out);
+        let res = self.drive_rounds(coord, t, &mut ups, &mut out);
+        self.ups_scratch = ups;
+        self.out = out;
+        let silent = res?;
+        coord.note_wire(&self.wire);
+        self.steps_run += 1;
+        if silent {
+            self.silent_steps += 1;
+        }
+        Ok(())
+    }
+
+    /// Collect phase 0 and drive the coordinator micro-round loop. Returns
+    /// `Ok(true)` for a silent step. Mirrors the threaded runtime's
+    /// `run_attempt` exactly (minus the chaos hooks).
+    fn drive_rounds<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        ups: &mut Vec<(NodeId, NB::Up)>,
+        out: &mut CoordOut<NB::Down>,
+    ) -> Result<bool, RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.collect(t, 0, ups)?;
+
+        if self.engaged_idx.is_empty()
+            && self.calendar.is_empty()
+            && ups.is_empty()
+            && coord.try_skip_silent_step(t)
+        {
+            return Ok(true);
+        }
+
+        let guard = max_micro_rounds(self.n(), 16) * 4;
+        let mut m: u32 = 0;
+        loop {
+            out.clear();
+            coord.micro_round(t, m, ups, out);
+            ups.clear();
+            for (_, d) in &out.unicasts {
+                self.ledger.count(ChannelKind::Down, d.wire_bits());
+            }
+            for b in &out.broadcasts {
+                self.ledger.count(ChannelKind::Broadcast, b.wire_bits());
+            }
+            if out.is_empty() && coord.step_done() {
+                break;
+            }
+            m += 1;
+            self.micro_rounds_run += 1;
+            assert!(m <= guard, "micro-round guard exceeded at t={t}");
+            self.deliver_round(t, m, out)?;
+            self.flush_all()?;
+            self.collect(t, m, ups)?;
+        }
+        // Schedules and the broadcast log are step-local.
+        self.calendar.end_step();
+        self.bcast_log.clear();
+        Ok(false)
+    }
+
+    /// Frame the coordinator output of round `m-1` as node-phase `m`,
+    /// applying the same visit rule as the threaded runtime — but here a
+    /// skipped node is measured in bytes never written.
+    fn deliver_round(
+        &mut self,
+        t: u64,
+        m: u32,
+        out: &mut CoordOut<NB::Down>,
+    ) -> Result<(), RuntimeError> {
+        if out.unicasts.len() > 1 {
+            out.unicasts.sort_by_key(|(id, _)| *id);
+        }
+        let full_fanout = !out.broadcasts.is_empty() && out.scope == RoundScope::All;
+        let extra: Option<u32> = match out.scope {
+            RoundScope::EngagedPlus(id) if !out.broadcasts.is_empty() => Some(id.0),
+            _ => None,
+        };
+        self.bcast_log.extend(out.broadcasts.iter().cloned());
+        debug_assert_eq!(self.pending_count, 0, "wave started with replies pending");
+        let n_bcasts = out.broadcasts.len();
+
+        let engaged = std::mem::take(&mut self.engaged_idx);
+        let mut visit = std::mem::take(&mut self.visit_scratch);
+        visit.clear();
+        if full_fanout {
+            visit.extend(0..self.n() as u32);
+        } else {
+            visit.extend_from_slice(&engaged);
+            self.calendar.due_into(m, &mut visit);
+            visit.extend(out.unicasts.iter().map(|(id, _)| id.0));
+            if let Some(x) = extra {
+                visit.push(x);
+            }
+            visit.sort_unstable();
+            visit.dedup();
+        }
+
+        let log = std::mem::take(&mut self.bcast_log);
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        let mut u = 0usize; // cursor into the id-sorted unicast list
+        let mut res = Ok(());
+        for &i in &visit {
+            let ucast = match out.unicasts.get(u) {
+                Some((id, _)) if id.0 == i => {
+                    u += 1;
+                    Some(&out.unicasts[u - 1].1)
+                }
+                _ => None,
+            };
+            // A scheduled node's frame replays every broadcast since its
+            // last poll; everyone else gets this round's broadcasts.
+            let bcasts: &[NB::Down] = if self.calendar.is_scheduled(i) {
+                &log[self.calendar.seen(i)..]
+            } else {
+                &log[log.len() - n_bcasts..]
+            };
+            buf.clear();
+            buf.push(T_ROUND);
+            put_varint(&mut buf, t);
+            put_varint(&mut buf, m as u64);
+            put_varint(&mut buf, i as u64);
+            put_varint(&mut buf, bcasts.len() as u64);
+            for b in bcasts {
+                let at = buf.len();
+                b.encode_frame(&mut buf);
+                self.wire
+                    .count(ChannelKind::Broadcast, (buf.len() - at) as u64);
+            }
+            match ucast {
+                Some(d) => {
+                    buf.push(1);
+                    let at = buf.len();
+                    d.encode_frame(&mut buf);
+                    self.wire.count(ChannelKind::Down, (buf.len() - at) as u64);
+                }
+                None => buf.push(0),
+            }
+            res = self.dispatch_payload(i, &buf);
+            if res.is_err() {
+                break;
+            }
+        }
+        self.frame_buf = buf;
+        self.bcast_log = log;
+        self.visit_scratch = visit;
+        self.engaged_idx = engaged;
+        res
+    }
+
+    /// Mark node `i` pending and write one work frame to its shard. The
+    /// sync frame is charged at send intent, mirroring the threaded
+    /// runtime; the wire ledger records the physical frame and its bytes.
+    fn dispatch_payload(&mut self, i: u32, payload: &[u8]) -> Result<(), RuntimeError> {
+        debug_assert!(
+            !self.pending_mask[i as usize],
+            "node framed twice in a wave"
+        );
+        self.pending_mask[i as usize] = true;
+        self.pending_count += 1;
+        self.ledger.count_sync();
+        let s = self.shard_of[i as usize] as usize;
+        self.write_to_shard(s, payload)
+            .map_err(|_| RuntimeError::NodeDown { id: NodeId(i) })
+    }
+
+    fn write_to_shard(&mut self, s: usize, payload: &[u8]) -> Result<(), WireError> {
+        self.wire.frames_total += 1;
+        self.wire.bytes_total += (FRAME_PREFIX_LEN + payload.len()) as u64;
+        if let Some(taps) = &self.taps {
+            tap_extend(&taps.to_shard[s], payload);
+        }
+        write_frame(&mut self.writers[s], payload)
+    }
+
+    /// Push the wave's buffered frames onto the sockets.
+    fn flush_all(&mut self) -> Result<(), RuntimeError> {
+        for s in 0..self.writers.len() {
+            self.writers[s]
+                .flush()
+                .map_err(|_| RuntimeError::NodeDown {
+                    id: NodeId(self.shard_first[s]),
+                })?;
+        }
+        Ok(())
+    }
+
+    fn find_dead_pending(&self) -> Option<NodeId> {
+        (0..self.n())
+            .find(|&i| {
+                self.pending_mask[i] && self.shard_handles[self.shard_of[i] as usize].is_finished()
+            })
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Collect the in-flight wave's replies — the same bookkeeping as the
+    /// threaded runtime's `collect` (id-sorted ups, engaged rebuild,
+    /// calendar `note_poll`), plus the reply side of the wire ledger. A
+    /// dead shard or [`MAX_IDLE_TICKS`] of silence surfaces as a typed
+    /// error instead of a hung receive.
+    fn collect(
+        &mut self,
+        t: u64,
+        phase: u32,
+        ups: &mut Vec<(NodeId, NB::Up)>,
+    ) -> Result<(), RuntimeError> {
+        ups.clear();
+        let log_len = self.bcast_log.len();
+        let mut next = std::mem::take(&mut self.engaged_scratch);
+        next.clear();
+        let tick = Duration::from_millis(RECV_TICK_MS);
+        let mut idle: u32 = 0;
+        let result = loop {
+            if self.pending_count == 0 {
+                break Ok(());
+            }
+            match self.from_shards.recv_timeout(tick) {
+                Ok(rep) => {
+                    idle = 0;
+                    self.wire.frames_total += 1;
+                    self.wire.bytes_total += rep.frame_bytes;
+                    if rep.up.is_some() {
+                        self.wire.count(ChannelKind::Up, rep.up_bytes);
+                    }
+                    let idx = rep.id.idx();
+                    if rep.t != t || rep.m != phase || !self.pending_mask[idx] {
+                        // Unreachable on an ordered, reliable stream;
+                        // tolerated defensively.
+                        continue;
+                    }
+                    self.pending_mask[idx] = false;
+                    self.pending_count -= 1;
+                    debug_assert!(
+                        rep.wake_at.is_none() || rep.engaged,
+                        "wake_at requires engaged"
+                    );
+                    let wake = if rep.engaged { rep.wake_at } else { None };
+                    if wake.is_some() || self.calendar.is_scheduled(rep.id.0) {
+                        self.calendar.note_poll(rep.id.0, wake, phase, log_len);
+                    }
+                    if rep.engaged && wake.is_none() {
+                        next.push(rep.id.0);
+                    }
+                    if let Some(up) = rep.up {
+                        self.ledger.count(ChannelKind::Up, up.wire_bits());
+                        ups.push((rep.id, up));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(id) = self.find_dead_pending() {
+                        break Err(RuntimeError::NodeDown { id });
+                    }
+                    idle += 1;
+                    if idle >= MAX_IDLE_TICKS {
+                        break Err(RuntimeError::ReplyTimeout {
+                            t,
+                            m: phase,
+                            waiting: self.pending_count,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break Err(RuntimeError::AllNodesDown),
+            }
+        };
+        match result {
+            Ok(()) => {
+                next.sort_unstable();
+                self.engaged_scratch = std::mem::replace(&mut self.engaged_idx, next);
+                ups.sort_by_key(|(id, _)| *id);
+                Ok(())
+            }
+            Err(e) => {
+                self.engaged_scratch = next;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drive `steps` time steps from a feed (dense rows); returns the
+    /// ledger delta.
+    pub fn run_feed<CB>(
+        &mut self,
+        coord: &mut CB,
+        feed: &mut dyn ValueFeed,
+        start_t: u64,
+        steps: u64,
+    ) -> LedgerSnapshot
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert_eq!(feed.n(), self.n());
+        let before = self.ledger.snapshot();
+        let mut row = std::mem::take(&mut self.feed_row);
+        row.resize(self.n(), 0);
+        for dt in 0..steps {
+            let t = start_t + dt;
+            feed.fill_step(t, &mut row);
+            self.step(coord, t, &row);
+        }
+        self.feed_row = row;
+        self.ledger.snapshot().since(&before)
+    }
+
+    /// Delta-driven counterpart of [`SocketCluster::run_feed`]. Requires
+    /// [`NodeBehavior::SPARSE_OBSERVE`].
+    pub fn run_feed_sparse<CB>(
+        &mut self,
+        coord: &mut CB,
+        feed: &mut dyn ValueFeed,
+        start_t: u64,
+        steps: u64,
+    ) -> LedgerSnapshot
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        assert_eq!(feed.n(), self.n());
+        let before = self.ledger.snapshot();
+        let mut changes = std::mem::take(&mut self.feed_changes);
+        for dt in 0..steps {
+            let t = start_t + dt;
+            feed.fill_delta(t, &mut changes);
+            self.step_sparse(coord, t, &changes);
+        }
+        self.feed_changes = changes;
+        self.ledger.snapshot().since(&before)
+    }
+
+    fn send_halt(&mut self) {
+        let payload = [T_HALT];
+        for s in 0..self.writers.len() {
+            let _ = self.write_to_shard(s, &payload);
+            let _ = self.writers[s].flush();
+        }
+        self.writers.clear();
+    }
+
+    /// Shut down all shard threads and return their behaviors in node-id
+    /// order (panicked shards are skipped).
+    pub fn shutdown(self) -> Vec<NB> {
+        self.shutdown_with_metrics().0
+    }
+
+    /// [`SocketCluster::shutdown`], also returning the final wire ledger —
+    /// which, unlike a pre-shutdown [`SocketCluster::wire`] read, includes
+    /// the `Halt` frames of the shutdown itself, so it equals the total
+    /// bytes on the captured taps exactly.
+    pub fn shutdown_with_metrics(mut self) -> (Vec<NB>, WireMetrics) {
+        self.send_halt();
+        let mut nodes = Vec::new();
+        for h in self.shard_handles.drain(..) {
+            if let Ok(mut chunk) = h.join() {
+                nodes.append(&mut chunk);
+            }
+        }
+        for h in self.reader_handles.drain(..) {
+            let _ = h.join();
+        }
+        (nodes, self.wire)
+    }
+}
+
+impl<NB> Drop for SocketCluster<NB>
+where
+    NB: NodeBehavior + 'static,
+    NB::Up: FrameCodec,
+    NB::Down: FrameCodec,
+{
+    fn drop(&mut self) {
+        self.send_halt();
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.reader_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xff; 300]).unwrap();
+        let mut r: &[u8] = &wire;
+        let mut payload = Vec::new();
+        read_frame(&mut r, &mut payload).unwrap();
+        assert_eq!(payload, b"hello");
+        read_frame(&mut r, &mut payload).unwrap();
+        assert!(payload.is_empty());
+        read_frame(&mut r, &mut payload).unwrap();
+        assert_eq!(payload, vec![0xff; 300]);
+        let e = read_frame(&mut r, &mut payload).unwrap_err();
+        assert!(e.is_clean_eof(), "end of stream is a clean EOF: {e}");
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut r: &[u8] = &wire;
+        let mut payload = Vec::new();
+        assert_eq!(
+            read_frame(&mut r, &mut payload),
+            Err(WireError::Oversized {
+                declared: u32::MAX as usize,
+                max: MAX_FRAME_LEN
+            })
+        );
+        assert!(payload.capacity() < MAX_FRAME_LEN, "no speculative alloc");
+    }
+
+    #[test]
+    fn torn_prefix_and_torn_payload_are_typed() {
+        let mut r: &[u8] = &[0x05, 0x00];
+        let mut payload = Vec::new();
+        assert_eq!(
+            read_frame(&mut r, &mut payload),
+            Err(WireError::TruncatedPrefix { have: 2 })
+        );
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        let mut r: &[u8] = &wire[..wire.len() - 2];
+        assert_eq!(
+            read_frame(&mut r, &mut payload),
+            Err(WireError::TruncatedFrame {
+                declared: 6,
+                have: 4
+            })
+        );
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        for n in [1, 2, 3, 4, 5, 7, 8, 64, 1000] {
+            let ranges = shard_ranges(n);
+            assert_eq!(ranges.len(), shard_count(n));
+            let mut next = 0u32;
+            for &(first, len) in &ranges {
+                assert_eq!(first, next);
+                assert!(len > 0);
+                next += len;
+            }
+            assert_eq!(next as usize, n);
+            let (lo, hi) = ranges
+                .iter()
+                .fold((u32::MAX, 0), |(lo, hi), &(_, l)| (lo.min(l), hi.max(l)));
+            assert!(hi - lo <= 1, "balanced split for n={n}");
+        }
+    }
+
+    #[test]
+    fn hello_decodes_and_rejects_version_skew() {
+        let mut buf = vec![T_HELLO, WIRE_VERSION];
+        put_varint(&mut buf, 3);
+        assert_eq!(decode_hello(&buf), Ok(3));
+        let bad = vec![T_HELLO, WIRE_VERSION + 1, 0x00];
+        assert!(matches!(
+            decode_hello(&bad),
+            Err(WireError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_hello(&[0x7f, WIRE_VERSION, 0]),
+            Err(WireError::UnknownTag { tag: 0x7f })
+        ));
+    }
+
+    #[test]
+    fn wire_metrics_channel_accounting() {
+        let mut w = WireMetrics::default();
+        w.count(ChannelKind::Up, 3);
+        w.count(ChannelKind::Up, 5);
+        w.count(ChannelKind::Broadcast, 7);
+        w.count(ChannelKind::Down, 2);
+        w.bytes_total = 100;
+        assert_eq!(w.frames_sent(ChannelKind::Up), 2);
+        assert_eq!(w.bytes_sent(ChannelKind::Up), 8);
+        assert_eq!(w.model_bytes(), 17);
+        assert_eq!(w.overhead_bytes(), 83);
+    }
+}

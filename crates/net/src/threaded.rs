@@ -55,7 +55,7 @@
 //! # Chaos and recovery
 //!
 //! [`ThreadedCluster::spawn_chaotic`] arms a seeded
-//! [`ChaosPolicy`](crate::chaos::ChaosPolicy) at the frame boundary: a
+//! [`ChaosPolicy`] at the frame boundary: a
 //! frame's *first* delivery may be dropped, duplicated, delayed past its
 //! wave (reorder), or stalled; a node's reply may be lost; and the
 //! coordinator may crash between micro-rounds. Recovery works in layers:

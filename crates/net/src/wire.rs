@@ -6,6 +6,36 @@
 //! [`bytes::BufMut`]) demonstrates that each payload really fits a constant
 //! number of `(id, value)` words. [`budget_bits`] computes the budget and
 //! debug builds assert conformance at every `count()` site in the runtimes.
+//!
+//! # On-the-wire frame layout
+//!
+//! The socket runtime ([`crate::socket`]) puts these encodings on real byte
+//! streams. One frame is:
+//!
+//! ```text
+//! ┌────────────────────┬──────────────────────────────────────────────┐
+//! │ length prefix      │ payload (`length` bytes)                     │
+//! │ u32, little-endian │ tag byte, then tag-specific fields           │
+//! │ 4 bytes            │ varints are the LEB128 encoding defined here │
+//! └────────────────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! * The length prefix counts payload bytes only, and a declared length
+//!   above [`crate::socket::MAX_FRAME_LEN`] (1 MiB) is rejected before any
+//!   allocation.
+//! * The first payload byte is a frame tag; transport tags (`Hello`,
+//!   `Observe`, `Round`, `Reply`, `Halt`) live in [`crate::socket`], while
+//!   embedded model messages carry their own codec tags via
+//!   [`crate::socket::FrameCodec`].
+//! * The `Hello` handshake frame carries a version byte
+//!   ([`crate::socket::WIRE_VERSION`], currently `0x01`) directly after its
+//!   tag; a version mismatch aborts the connection before any work frame.
+//! * All multi-byte integers inside payloads are [`put_varint`] varints —
+//!   the length prefix is the only fixed-width field.
+//!
+//! The exact bytes of a fixed-seed run are pinned by the golden-frame
+//! snapshot test (`crates/net/tests/wire_golden.rs`): any drift in this
+//! layout or in a message codec shows up as a byte-level diff there.
 
 use bytes::{Buf, BufMut};
 

@@ -398,7 +398,7 @@ pub fn run_kselect(
 
 /// [`run_kselect`] on the fire-round calendar: one schedule draw per
 /// participant, per-round buckets, lazy bar application at fire time
-/// (the [`drive_scheduled`] loop shared with [`run_max_scheduled`]). Same
+/// (the `drive_scheduled` loop shared with [`run_max_scheduled`]). Same
 /// exact winners (Las Vegas) and the same
 /// `E[#up] ≤ 2c·(log₂(N/c)+1) + 2·log₂N + 1` law as the per-round sweep.
 #[allow(clippy::too_many_arguments)] // protocol wiring: every knob is load-bearing

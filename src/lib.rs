@@ -43,12 +43,16 @@
 //! [`MonitorBuilder`](core::MonitorBuilder) carries every knob (`n`, `k`,
 //! slack, [`ResetStrategy`](core::ResetStrategy),
 //! [`HandlerMode`](core::HandlerMode), seed) plus an
-//! [`Engine`](core::Engine) choice — `Sequential`, `Threaded`, or `Auto` —
-//! replacing the four-way pick between the dense/sparse drives of
-//! [`TopkMonitor`](core::TopkMonitor) and
-//! [`ThreadedTopkMonitor`](core::ThreadedTopkMonitor). Every engine is
+//! [`Engine`](core::Engine) choice — `Sequential`, `Threaded`, `Socket`,
+//! or `Auto` — replacing the per-runtime pick between the dense/sparse
+//! drives of [`TopkMonitor`](core::TopkMonitor),
+//! [`ThreadedTopkMonitor`](core::ThreadedTopkMonitor), and
+//! [`SocketTopkMonitor`](core::SocketTopkMonitor). Every engine is
 //! bit-identical in everything the model observes (answers, ledgers, node
-//! state, RNG streams; pinned by `tests/runtime_conformance.rs`).
+//! state, RNG streams; pinned by `tests/runtime_conformance.rs`); the
+//! socket engine additionally meters the *physical* side — frames and
+//! bytes written to its loopback-TCP connections — via
+//! [`MonitorSession::wire`](core::MonitorSession::wire).
 //!
 //! ## Sparse stepping
 //!
@@ -87,7 +91,7 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`net`] | system model: ids, ledgers, wire sizes, sequential (sparse delta-driven) + threaded runtimes |
+//! | [`net`] | system model: ids, ledgers, wire sizes, sequential (sparse delta-driven) + threaded + loopback-TCP socket runtimes |
 //! | [`proto`] | Algorithm 2 (randomized max/min protocols), baselines, closed forms |
 //! | [`filters`] | filter intervals, Lemma 2.2 validity, `T±` tracking |
 //! | [`streams`] | seeded synthetic workloads ([`WorkloadSpec`](streams::WorkloadSpec)), delta generation ([`ValueFeed::fill_delta`](net::behavior::ValueFeed::fill_delta)) |
@@ -114,12 +118,15 @@ pub mod prelude {
     pub use topk_core::{
         is_valid_topk, run_monitor, run_monitor_sparse, ChaosPolicy, Engine, EventReplay,
         HandlerMode, Monitor, MonitorBuilder, MonitorConfig, MonitorSession, RecoveryMetrics,
-        ResetStrategy, RuntimeError, ThreadedTopkMonitor, TopkEvent, TopkMonitor,
+        ResetStrategy, RuntimeError, SocketTopkMonitor, ThreadedTopkMonitor, TopkEvent,
+        TopkMonitor,
     };
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
     pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
     pub use topk_net::behavior::ValueFeed;
-    pub use topk_net::{CommLedger, LedgerSnapshot, NodeId, TraceMatrix, TraceReplay, Value};
+    pub use topk_net::{
+        CommLedger, LedgerSnapshot, NodeId, TraceMatrix, TraceReplay, Value, WireMetrics,
+    };
     pub use topk_ordered::OrderedTopkMonitor;
     pub use topk_proto::extremum::BroadcastPolicy;
     pub use topk_proto::runner::{run_kselect, run_max, run_min, select_topk};

@@ -1,11 +1,12 @@
 //! Cross-runtime conformance suite: every execution path of Algorithm 1 —
 //! dense sequential, sparse sequential, threaded densely driven, threaded
-//! delta-driven, and the push-based `MonitorSession` facade on both engines
-//! — must be **bit-identical** in everything the model can observe: top-k
-//! answers, comm ledgers (counts *and* payload bits), node filter state,
-//! and the per-node RNG streams. The two session arms must additionally
-//! agree on their typed event streams (engine choice is not observable
-//! through the facade).
+//! delta-driven, the socket runtime (real loopback-TCP frames), and the
+//! push-based `MonitorSession` facade on every engine — must be
+//! **bit-identical** in everything the model can observe: top-k answers,
+//! comm ledgers (counts *and* payload bits), node filter state, and the
+//! per-node RNG streams. The session arms must additionally agree on their
+//! typed event streams (engine choice is not observable through the
+//! facade).
 //!
 //! RNG agreement is asserted both structurally (node state after hundreds of
 //! randomized protocol episodes) and behaviorally (a churny iid tail whose
@@ -53,7 +54,7 @@ fn model(l: &LedgerSnapshot) -> (u64, u64, u64, u64, u64, u64) {
     )
 }
 
-/// Drive all four runtimes — plus a push-based session on each engine —
+/// Drive all five runtimes — plus a push-based session on each engine —
 /// over `steps` of the spec plus a 30-step churny tail, asserting identical
 /// observable state at every step and identical node state at the end.
 fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
@@ -63,8 +64,10 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
     let mut seq_sparse = TopkMonitor::new(cfg, seed);
     let mut thr_dense = ThreadedTopkMonitor::new(cfg, seed);
     let mut thr_sparse = ThreadedTopkMonitor::new(cfg, seed);
+    let mut soc_sparse = SocketTopkMonitor::new(cfg, seed);
     let builder = MonitorBuilder::new(n, k).reset(cfg.reset).seed(seed);
     let mut ses_seq = builder.clone().engine(Engine::Sequential).build();
+    let mut ses_soc = builder.clone().engine(Engine::Socket).build();
     let mut ses_thr = builder.engine(Engine::Threaded).build();
 
     // One dense feed drives both densely-stepped monitors, one delta feed
@@ -82,16 +85,21 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
                  seq_sparse: &mut TopkMonitor,
                  thr_dense: &mut ThreadedTopkMonitor,
                  thr_sparse: &mut ThreadedTopkMonitor,
+                 soc_sparse: &mut SocketTopkMonitor,
                  ses_seq: &mut MonitorSession,
-                 ses_thr: &mut MonitorSession| {
+                 ses_thr: &mut MonitorSession,
+                 ses_soc: &mut MonitorSession| {
         seq_dense.step(t, row);
         seq_sparse.step_sparse(t, changes);
         thr_dense.step(t, row);
         thr_sparse.step_sparse(t, changes);
+        soc_sparse.step_sparse(t, changes);
         ses_seq.update_batch(changes.iter().copied());
         let ev_seq: Vec<TopkEvent> = ses_seq.advance(t).to_vec();
         ses_thr.update_batch(changes.iter().copied());
         let ev_thr: Vec<TopkEvent> = ses_thr.advance(t).to_vec();
+        ses_soc.update_batch(changes.iter().copied());
+        let ev_soc: Vec<TopkEvent> = ses_soc.advance(t).to_vec();
 
         let answer = seq_dense.topk();
         let ledger = seq_dense.ledger();
@@ -99,6 +107,7 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             ("seq-sparse", seq_sparse as &mut dyn Monitor),
             ("thr-dense", thr_dense as &mut dyn Monitor),
             ("thr-sparse", thr_sparse as &mut dyn Monitor),
+            ("soc-sparse", soc_sparse as &mut dyn Monitor),
         ] {
             assert_eq!(answer, m.topk(), "t={t}: {name} top-k diverged");
             assert_eq!(
@@ -108,9 +117,13 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             );
         }
         // The session facade is bit-identical to the raw drives on answers
-        // and ledgers, on both engines — and the engines' event streams are
+        // and ledgers, on every engine — and the engines' event streams are
         // indistinguishable.
-        for (name, s) in [("session-seq", &*ses_seq), ("session-thr", &*ses_thr)] {
+        for (name, s) in [
+            ("session-seq", &*ses_seq),
+            ("session-thr", &*ses_thr),
+            ("session-soc", &*ses_soc),
+        ] {
             assert_eq!(answer, s.topk(), "t={t}: {name} top-k diverged");
             assert_eq!(
                 model(&ledger),
@@ -119,6 +132,7 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             );
         }
         assert_eq!(ev_seq, ev_thr, "t={t}: session event streams diverged");
+        assert_eq!(ev_seq, ev_soc, "t={t}: socket session events diverged");
         assert!(is_valid_topk(row, &answer), "t={t}: invalid answer");
     };
 
@@ -133,8 +147,10 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             &mut seq_sparse,
             &mut thr_dense,
             &mut thr_sparse,
+            &mut soc_sparse,
             &mut ses_seq,
             &mut ses_thr,
+            &mut ses_soc,
         );
     }
 
@@ -159,8 +175,10 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
             &mut seq_sparse,
             &mut thr_dense,
             &mut thr_sparse,
+            &mut soc_sparse,
             &mut ses_seq,
             &mut ses_thr,
+            &mut ses_soc,
         );
     }
 
@@ -170,19 +188,49 @@ fn assert_conformant(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64) {
         thr_sparse.sync_frames(),
         "dense step diffs internally; both threaded drives must frame identically"
     );
+    // The socket transport charges sync frames at dispatch intent, exactly
+    // like the threaded one — the counts are bit-identical even though the
+    // socket frames are real bytes. The model metrics match the sequential
+    // twin once the wire block (socket-only by design) is zeroed.
+    assert_eq!(
+        soc_sparse.sync_frames(),
+        thr_sparse.sync_frames(),
+        "socket and threaded transports must frame identically"
+    );
+    assert!(
+        soc_sparse.metrics().wire.bytes_total > 0,
+        "the socket engine must actually put bytes on the wire"
+    );
+    let soc_scrubbed = RunMetrics {
+        wire: Default::default(),
+        ..*soc_sparse.metrics()
+    };
+    assert_eq!(
+        soc_scrubbed,
+        *seq_dense.metrics(),
+        "socket protocol metrics diverged from the sequential twin"
+    );
 
     // Node state — values, filters, membership, and the RNG-bearing state
     // machines' observable fields — must agree across all four runtimes.
     let thr_dense_nodes = thr_dense.shutdown();
     let thr_sparse_nodes = thr_sparse.shutdown();
-    for (((d, s), td), ts) in seq_dense
+    let soc_nodes = soc_sparse.shutdown();
+    assert_eq!(soc_nodes.len(), n, "socket shutdown must return every node");
+    for ((((d, s), td), ts), sn) in seq_dense
         .nodes()
         .iter()
         .zip(seq_sparse.nodes().iter())
         .zip(thr_dense_nodes.iter())
         .zip(thr_sparse_nodes.iter())
+        .zip(soc_nodes.iter())
     {
-        for (name, node) in [("seq-sparse", s), ("thr-dense", td), ("thr-sparse", ts)] {
+        for (name, node) in [
+            ("seq-sparse", s),
+            ("thr-dense", td),
+            ("thr-sparse", ts),
+            ("soc-sparse", sn),
+        ] {
             assert_eq!(d.value(), node.value(), "{name}: node value diverged");
             assert_eq!(
                 d.threshold(),
@@ -499,6 +547,102 @@ fn rotating_max_strategies_agree() {
 #[test]
 fn sparse_walk_400_steps_conformant() {
     assert_conformant(&WorkloadSpec::default_sparse_walk(48, 0.05), 6, 7, 400);
+}
+
+/// The ISSUE 7 acceptance pin: the socket engine is driven to bit-identical
+/// answers, thresholds, events, model ledgers and RNG tails against the
+/// sequential twin for ≥ 3 seeds × both reset strategies — explicitly, not
+/// via the `RESET_STRATEGY` env var, so one `cargo test` run covers the
+/// whole matrix.
+#[test]
+fn socket_engine_conforms_across_strategies_and_seeds() {
+    let spec = WorkloadSpec::BoundaryCross {
+        n: 10,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    };
+    for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
+        for seed in [42u64, 7, 3] {
+            let cfg = MonitorConfig::new(10, 2).with_reset(strategy);
+            let mut seq = TopkMonitor::new(cfg, seed);
+            let mut soc = SocketTopkMonitor::new(cfg, seed);
+            let mut ses_seq = MonitorBuilder::new(10, 2)
+                .reset(strategy)
+                .seed(seed)
+                .engine(Engine::Sequential)
+                .build();
+            let mut ses_soc = MonitorBuilder::new(10, 2)
+                .reset(strategy)
+                .seed(seed)
+                .engine(Engine::Socket)
+                .build();
+            let tag = format!("socket({strategy:?}, seed={seed})");
+
+            // Reset-heavy main body, then an iid churn tail that would expose
+            // any RNG-stream drift as diverging coin flips.
+            let mut feed_a = spec.build(seed ^ 0xfeed);
+            let mut feed_b = spec.build(seed ^ 0xfeed);
+            let tail = WorkloadSpec::IidUniform {
+                n: 10,
+                lo: 0,
+                hi: 1 << 20,
+            };
+            let mut tail_a = tail.build(seed ^ 0x7a11);
+            let mut tail_b = tail.build(seed ^ 0x7a11);
+            let mut row = vec![0u64; 10];
+            let mut changes: Vec<(NodeId, Value)> = Vec::new();
+            for t in 0..150 {
+                if t < 120 {
+                    feed_a.fill_step(t, &mut row);
+                    feed_b.fill_delta(t, &mut changes);
+                } else {
+                    tail_a.fill_step(t, &mut row);
+                    tail_b.fill_delta(t, &mut changes);
+                }
+                seq.step(t, &row);
+                soc.step_sparse(t, &changes);
+                ses_seq.update_batch(changes.iter().copied());
+                let ev_seq: Vec<TopkEvent> = ses_seq.advance(t).to_vec();
+                ses_soc.update_batch(changes.iter().copied());
+                let ev_soc: Vec<TopkEvent> = ses_soc.advance(t).to_vec();
+
+                assert_eq!(seq.topk(), soc.topk(), "t={t}: {tag} answer diverged");
+                assert_eq!(
+                    seq.coordinator().current_threshold(),
+                    soc.coordinator().current_threshold(),
+                    "t={t}: {tag} threshold diverged"
+                );
+                assert_eq!(
+                    model(&seq.ledger()),
+                    model(&soc.ledger()),
+                    "t={t}: {tag} model ledger diverged"
+                );
+                assert_eq!(ev_seq, ev_soc, "t={t}: {tag} event stream diverged");
+            }
+
+            let scrubbed = RunMetrics {
+                wire: Default::default(),
+                ..*soc.metrics()
+            };
+            assert_eq!(scrubbed, *seq.metrics(), "{tag}: protocol metrics diverged");
+            assert!(soc.metrics().wire.bytes_total > 0, "{tag}: no bytes moved");
+            assert_eq!(
+                ses_soc.wire().map(|w| w.bytes_total > 0),
+                Some(true),
+                "{tag}: session wire accessor must surface the socket ledger"
+            );
+
+            // Node state (values, filters, membership, RNG-bearing fields).
+            let soc_nodes = soc.shutdown();
+            for (a, b) in seq.nodes().iter().zip(soc_nodes.iter()) {
+                assert_eq!(a.value(), b.value(), "{tag}: node value diverged");
+                assert_eq!(a.threshold(), b.threshold(), "{tag}: filter diverged");
+                assert_eq!(a.in_topk(), b.in_topk(), "{tag}: membership diverged");
+            }
+        }
+    }
 }
 
 #[test]
