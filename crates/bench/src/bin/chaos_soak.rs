@@ -1,15 +1,24 @@
-//! Chaos-soak artifact: run the threaded runtime behind a seeded
+//! Chaos-soak artifact: run a runtime engine behind a seeded
 //! fault-injecting transport over a reset-storm workload, hard-assert
 //! bit-identity with a fault-free sequential twin at every committed step,
-//! and write the [`RecoveryMetrics`] (plus ledger and wall clock) as JSON —
-//! `results/CHAOS_<seed>.json` — so CI archives one recovery trajectory per
-//! commit next to the `BENCH_*.json` perf artifacts.
+//! and write the [`RecoveryMetrics`] (plus ledger and wall clock) as JSON so
+//! CI archives one recovery trajectory per commit next to the
+//! `BENCH_*.json` perf artifacts:
 //!
-//! Usage: `CHAOS_SEED=<u64> cargo run --release -p topk-bench --bin
-//! chaos_soak [out_dir]` (defaults: seed 101, `results/`). The binary
-//! *fails* (panics) if any committed step diverges from the twin or if a
-//! headline fault class never fired — an artifact is only produced by a
-//! soak that actually proved recovery.
+//! * default (threaded engine): `results/CHAOS_<seed>.json` — the
+//!   in-process fault classes (drop, dup, delay, stall, reply-drop,
+//!   coordinator crash-restart);
+//! * `CHAOS_ENGINE=socket`: `results/CHAOS_SOCKET_<seed>.json` — the same
+//!   classes plus the wire-level ones ([`topk_net::WireChaos`]: torn
+//!   frames, connection resets, half-open connections, reconnect storms)
+//!   on real loopback-TCP frames, with the physical wire ledger in the
+//!   artifact.
+//!
+//! Usage: `CHAOS_SEED=<u64> [CHAOS_ENGINE=socket] cargo run --release -p
+//! topk-bench --bin chaos_soak [out_dir]` (defaults: seed 101, threaded,
+//! `results/`). The binary *fails* (panics) if any committed step diverges
+//! from the twin or if a headline fault class never fired — an artifact is
+//! only produced by a soak that actually proved recovery.
 
 use std::time::Instant;
 
@@ -17,7 +26,7 @@ use serde::Serialize;
 
 use topk_core::{Engine, MonitorBuilder, ResetStrategy};
 use topk_net::chaos::{ChaosPolicy, RecoveryMetrics};
-use topk_net::ledger::LedgerSnapshot;
+use topk_net::ledger::{LedgerSnapshot, WireMetrics};
 use topk_sim::{boundary_storm, FaultSchedule};
 use topk_streams::WorkloadSpec;
 
@@ -30,12 +39,15 @@ struct ChaosArm {
     recovery: RecoveryMetrics,
     retransmit_frames: u64,
     model_messages: u64,
+    /// Physical wire ledger (socket engine only; `None` on threaded).
+    wire: Option<WireMetrics>,
     wall_ms: f64,
 }
 
 #[derive(Serialize)]
 struct ChaosReport {
     suite: String,
+    engine: String,
     chaos_seed: u64,
     policy: ChaosPolicy,
     n: usize,
@@ -44,7 +56,13 @@ struct ChaosReport {
     injected_total: u64,
 }
 
-fn run_arm(strategy: ResetStrategy, policy: ChaosPolicy, n: usize, k: usize) -> ChaosArm {
+fn run_arm(
+    engine: Engine,
+    strategy: ResetStrategy,
+    policy: ChaosPolicy,
+    n: usize,
+    k: usize,
+) -> ChaosArm {
     let steps = 300u64;
     let spec = WorkloadSpec::BoundaryCross {
         n,
@@ -65,6 +83,7 @@ fn run_arm(strategy: ResetStrategy, policy: ChaosPolicy, n: usize, k: usize) -> 
     let mut chaotic = MonitorBuilder::new(n, k)
         .reset(strategy)
         .seed(47)
+        .engine(engine)
         .chaos(policy)
         .build();
     let mut twin = MonitorBuilder::new(n, k)
@@ -94,7 +113,7 @@ fn run_arm(strategy: ResetStrategy, policy: ChaosPolicy, n: usize, k: usize) -> 
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let recovery = *chaotic.recovery().expect("chaotic engine is threaded");
+    let recovery = *chaotic.recovery().expect("chaotic engines expose recovery");
     let l: LedgerSnapshot = chaotic.ledger();
     ChaosArm {
         strategy: format!("{strategy:?}").to_lowercase(),
@@ -104,6 +123,7 @@ fn run_arm(strategy: ResetStrategy, policy: ChaosPolicy, n: usize, k: usize) -> 
         recovery,
         retransmit_frames: l.retransmit,
         model_messages: l.up + l.down + l.broadcast,
+        wire: chaotic.wire().copied(),
         wall_ms,
     }
 }
@@ -114,12 +134,16 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(101);
+    let engine = match std::env::var("CHAOS_ENGINE").as_deref() {
+        Ok("socket") | Ok("Socket") => Engine::Socket,
+        _ => Engine::Threaded,
+    };
     let (n, k) = (10, 2);
     let policy = ChaosPolicy::from_seed(chaos_seed);
 
     let arms: Vec<ChaosArm> = [ResetStrategy::Batched, ResetStrategy::Legacy]
         .into_iter()
-        .map(|s| run_arm(s, policy, n, k))
+        .map(|s| run_arm(engine, s, policy, n, k))
         .collect();
 
     // Coverage gate: the artifact only exists if the soak actually soaked.
@@ -129,10 +153,30 @@ fn main() {
     assert!(sum(|r| r.injected_stalls) > 0, "no stalls injected");
     assert!(sum(|r| r.restarts) > 0, "no coordinator restarts injected");
     assert!(arms.iter().all(|a| a.resets >= 3), "storm did not storm");
+    if matches!(engine, Engine::Socket) {
+        // The wire classes must all have fired, every severed connection
+        // must have re-handshook, and the dedup layer must have absorbed
+        // re-delivered frames.
+        assert!(sum(|r| r.injected_torn_frames) > 0, "no torn frames");
+        assert!(sum(|r| r.injected_conn_resets) > 0, "no connection resets");
+        assert!(sum(|r| r.injected_half_opens) > 0, "no half-opens");
+        assert!(sum(|r| r.reconnects) > 0, "no reconnects");
+        assert!(sum(|r| r.redelivered_frames) > 0, "no re-deliveries");
+        assert!(
+            arms.iter()
+                .all(|a| a.wire.is_some_and(|w| w.retransmit_bytes > 0)),
+            "faulty wire traffic must land on the retransmit channel"
+        );
+    }
     let injected_total = arms.iter().map(|a| a.recovery.injected_total()).sum();
 
+    let (engine_name, stem) = match engine {
+        Engine::Socket => ("socket", format!("CHAOS_SOCKET_{chaos_seed}")),
+        _ => ("threaded", format!("CHAOS_{chaos_seed}")),
+    };
     let report = ChaosReport {
         suite: "chaos_soak".into(),
+        engine: engine_name.into(),
         chaos_seed,
         policy,
         n,
@@ -141,8 +185,8 @@ fn main() {
         injected_total,
     };
     std::fs::create_dir_all(&dir).expect("create output dir");
-    let path = format!("{dir}/CHAOS_{chaos_seed}.json");
+    let path = format!("{dir}/{stem}.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write(&path, json + "\n").expect("write json");
-    println!("wrote {path} (injected_total={injected_total})");
+    println!("wrote {path} (engine={engine_name}, injected_total={injected_total})");
 }

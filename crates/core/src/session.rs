@@ -164,12 +164,14 @@ impl MonitorBuilder {
     }
 
     /// Run the transport through a seeded fault-injection layer (see
-    /// [`ChaosPolicy`]). Implies [`Engine::Threaded`] — chaos lives at the
-    /// frame boundary, which only the threaded runtime has; `build` ignores
-    /// any other engine choice when a policy is set. Committed answers,
-    /// thresholds and events stay identical to a fault-free twin; the
-    /// injected faults surface in [`MonitorSession::recovery`] and the
-    /// `Retransmit` ledger channel.
+    /// [`ChaosPolicy`]). Supported by the threaded engine (in-process frame
+    /// faults) and the socket engine (the same classes plus the wire-level
+    /// [`topk_net::WireChaos`] faults: torn frames, connection resets,
+    /// half-open connections, reconnect storms). [`Engine::Socket`] keeps
+    /// its choice; every other engine selection falls back to
+    /// [`Engine::Threaded`]. Committed answers, thresholds and events stay
+    /// identical to a fault-free twin; the injected faults surface in
+    /// [`MonitorSession::recovery`] and the `Retransmit` ledger channel.
     pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
         self.chaos = Some(policy);
         self
@@ -185,9 +187,14 @@ impl MonitorBuilder {
     /// sessions with identical configuration.
     pub fn build(&self) -> MonitorSession {
         let engine = if let Some(policy) = self.chaos {
-            EngineImpl::Threaded(Box::new(ThreadedTopkMonitor::new_chaotic(
-                self.cfg, self.seed, policy,
-            )))
+            match self.engine.resolve() {
+                Engine::Socket => EngineImpl::Socket(Box::new(SocketTopkMonitor::new_chaotic(
+                    self.cfg, self.seed, policy,
+                ))),
+                _ => EngineImpl::Threaded(Box::new(ThreadedTopkMonitor::new_chaotic(
+                    self.cfg, self.seed, policy,
+                ))),
+            }
         } else {
             match self.engine.resolve() {
                 Engine::Sequential => {
@@ -571,12 +578,13 @@ impl MonitorSession {
     }
 
     /// Transport fault-injection and recovery counters (`None` on the
-    /// sequential and socket engines; all-zero on a threaded engine without
-    /// a [`ChaosPolicy`]).
+    /// sequential engine; all-zero on a threaded or socket engine without a
+    /// [`ChaosPolicy`]).
     pub fn recovery(&self) -> Option<&RecoveryMetrics> {
         match &self.engine {
-            EngineImpl::Sequential(_) | EngineImpl::Socket(_) => None,
+            EngineImpl::Sequential(_) => None,
             EngineImpl::Threaded(m) => Some(m.recovery()),
+            EngineImpl::Socket(m) => Some(m.recovery()),
         }
     }
 

@@ -12,7 +12,7 @@
 //! `RoundScope` narrowing measurable as bytes never written.
 
 use topk_net::behavior::CoordinatorBehavior;
-use topk_net::chaos::RuntimeError;
+use topk_net::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};
 use topk_net::id::{NodeId, Value};
 use topk_net::ledger::{LedgerSnapshot, WireMetrics};
 use topk_net::socket::{SocketCluster, WireTaps};
@@ -65,9 +65,36 @@ impl SocketTopkMonitor {
         }
     }
 
+    /// [`SocketTopkMonitor::new`] behind a chaos-injecting transport: the
+    /// same monitor, but every frame crosses a seeded fault layer — the
+    /// in-process classes of [`ChaosPolicy`] (drops, duplicates, delays,
+    /// stalls, coordinator crash-and-restart) *plus* the wire classes of
+    /// [`topk_net::WireChaos`] (torn frames, connection resets, half-open
+    /// connections, reconnect storms). Every *committed* step produces
+    /// answers, thresholds and events identical to the fault-free twin
+    /// (pinned by the socket chaos arms of `tests/runtime_conformance.rs`);
+    /// only the recovery counters and the retransmit channels record that
+    /// faults happened.
+    pub fn new_chaotic(cfg: MonitorConfig, seed: u64, policy: ChaosPolicy) -> Self {
+        let (nodes, coord) = TopkMonitor::make_parts(cfg, seed);
+        SocketTopkMonitor {
+            cluster: SocketCluster::spawn_chaotic(nodes, policy),
+            coord,
+            cfg,
+            events: EventCursor::default(),
+        }
+    }
+
     /// The coordinator (tracker/threshold accessors for tests and tools).
     pub fn coordinator(&self) -> &CoordinatorMachine {
         &self.coord
+    }
+
+    /// Fault-injection and recovery counters (all zero without a
+    /// [`ChaosPolicy`]). The same block is mirrored into
+    /// [`RunMetrics::recovery`] at each committed step.
+    pub fn recovery(&self) -> &RecoveryMetrics {
+        self.cluster.recovery()
     }
 
     /// Fallible form of [`Monitor::step`]: a dead shard or a hung reply

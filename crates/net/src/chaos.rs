@@ -1,6 +1,6 @@
-//! Seeded fault injection for the threaded runtime — the chaos half of the
-//! transport's recovery story (the recovery half lives in
-//! [`crate::threaded::ThreadedCluster`]).
+//! Seeded fault injection for the threaded and socket runtimes — the chaos
+//! half of the transport's recovery story (the recovery halves live in
+//! [`crate::threaded::ThreadedCluster`] and [`crate::socket::SocketCluster`]).
 //!
 //! The paper's model assumes a *perfect* synchronous transport: every frame
 //! delivered exactly once, instantly. A [`ChaosPolicy`] breaks that promise
@@ -10,6 +10,15 @@
 //! machinery (reply deadlines with bounded retry, idempotent `(t, run, m)`
 //! frame re-delivery, whole-step re-run, coordinator snapshot/restore) can
 //! be exercised and pinned.
+//!
+//! On the socket runtime the same policy additionally drives a
+//! [`WireChaos`] layer that attacks the TCP connection itself: torn
+//! (truncated) frames, mid-stream connection resets, half-open connections
+//! (frame delivered, connection severed before the reply can travel), and
+//! reconnect storms (spurious extra connections raced against the real
+//! re-handshake). Recovery rides the same semantics — severed shards
+//! re-connect and re-handshake via `Hello`, re-delivered frames dedup on
+//! the `(t, run, m)` key, and the committed outcome stays bit-identical.
 //!
 //! Faults are **seeded and deterministic**: every decision is a pure
 //! function of `(policy seed, fault class, t, run, m, node)`, computed as
@@ -41,6 +50,11 @@ const CLASS_DELAY: u64 = 3;
 const CLASS_STALL: u64 = 4;
 const CLASS_REPLY_DROP: u64 = 5;
 const CLASS_CRASH: u64 = 6;
+// Wire-level classes (socket runtime only; the threaded runtime has no wire).
+const CLASS_TORN: u64 = 7;
+const CLASS_RESET: u64 = 8;
+const CLASS_HALF_OPEN: u64 = 9;
+const CLASS_STORM: u64 = 10;
 
 /// The coordinator "node" index for crash decisions (no real node owns it).
 const COORD: u32 = u32::MAX;
@@ -67,6 +81,21 @@ pub struct ChaosPolicy {
     /// P(coordinator crash before delivering a micro-round) — recovered by
     /// snapshot restore + whole-step re-run.
     pub restart_permille: u16,
+    /// P(a frame's first delivery is torn mid-write: the wire carries a
+    /// truncated copy and the connection is severed). Socket runtime only.
+    pub torn_permille: u16,
+    /// P(the connection is reset before a frame's first delivery — the
+    /// frame never reaches the wire). Socket runtime only.
+    pub reset_permille: u16,
+    /// P(half-open fault: the frame is delivered in full but the
+    /// connection is severed before the reply can travel back). Socket
+    /// runtime only.
+    pub half_open_permille: u16,
+    /// P(a severed shard's re-handshake is raced by a reconnect storm of
+    /// spurious extra connections, accepted and immediately closed).
+    /// Conditional on a sever having fired for the frame. Socket runtime
+    /// only.
+    pub storm_permille: u16,
     /// How long an injected stall sleeps.
     pub stall_ms: u32,
     /// Reply deadline before the driver retries a wave.
@@ -91,6 +120,10 @@ impl ChaosPolicy {
             stall_permille: 12,
             reply_drop_permille: 20,
             restart_permille: 15,
+            torn_permille: 10,
+            reset_permille: 10,
+            half_open_permille: 8,
+            storm_permille: 250,
             stall_ms: 20,
             deadline_ms: 40,
             max_retries: 25,
@@ -109,6 +142,10 @@ impl ChaosPolicy {
             stall_permille: 0,
             reply_drop_permille: 0,
             restart_permille: 0,
+            torn_permille: 0,
+            reset_permille: 0,
+            half_open_permille: 0,
+            storm_permille: 0,
             stall_ms: 0,
             deadline_ms: 200,
             max_retries: 25,
@@ -132,6 +169,17 @@ impl ChaosPolicy {
         self.stall_permille = stall;
         self.reply_drop_permille = reply_drop;
         self.restart_permille = restart;
+        self
+    }
+
+    /// Override the wire-fault rates (builder style). These only take
+    /// effect on the socket runtime; the threaded runtime has no wire and
+    /// ignores them.
+    pub fn with_wire_rates(mut self, torn: u16, reset: u16, half_open: u16, storm: u16) -> Self {
+        self.torn_permille = torn;
+        self.reset_permille = reset;
+        self.half_open_permille = half_open;
+        self.storm_permille = storm;
         self
     }
 
@@ -187,6 +235,75 @@ impl ChaosPolicy {
     }
 }
 
+/// Wire-level fault decisions for the socket runtime, seeded from the same
+/// [`ChaosPolicy`] counter-RNG substreams as the in-process classes — the
+/// fault pattern on the wire is a pure function of the policy seed and the
+/// frame coordinates `(t, run, m, node)`, independent of thread timing.
+///
+/// The four classes attack `write_frame`/`read_frame` in
+/// [`crate::socket`]: a **torn frame** puts a truncated copy on the wire
+/// and severs the connection (the shard's `read_frame` sees
+/// `WireError::TruncatedFrame`/EOF), a **connection reset** severs before
+/// the frame is written (the frame is simply lost), a **half-open** fault
+/// delivers the frame in full but severs before the reply can travel, and
+/// a **reconnect storm** races the shard's re-handshake with spurious
+/// extra connections that are accepted and immediately shut down. All four
+/// recover through reconnect + `Hello` re-handshake + `(t, run, m)`-keyed
+/// re-delivery; faulty traffic is charged to
+/// [`ChannelKind::Retransmit`](crate::ledger::ChannelKind::Retransmit).
+#[derive(Debug, Clone, Copy)]
+pub struct WireChaos {
+    policy: ChaosPolicy,
+}
+
+impl WireChaos {
+    /// Wrap a policy; decisions delegate to its seed's wire substreams.
+    pub fn new(policy: ChaosPolicy) -> Self {
+        WireChaos { policy }
+    }
+
+    /// True when every wire-fault class is disabled.
+    pub fn is_quiet(&self) -> bool {
+        self.policy.torn_permille == 0
+            && self.policy.reset_permille == 0
+            && self.policy.half_open_permille == 0
+    }
+
+    /// Should this frame's first delivery be torn mid-write (truncated
+    /// bytes on the wire, then a sever)?
+    pub fn torn_frame(&self, t: u64, run: u32, m: u32, node: u32) -> bool {
+        self.policy
+            .roll(CLASS_TORN, t, run, m, node, self.policy.torn_permille)
+    }
+
+    /// Should the connection be reset before this frame is written?
+    pub fn conn_reset(&self, t: u64, run: u32, m: u32, node: u32) -> bool {
+        self.policy
+            .roll(CLASS_RESET, t, run, m, node, self.policy.reset_permille)
+    }
+
+    /// Should the connection go half-open after this frame (delivered in
+    /// full, severed before the reply)?
+    pub fn half_open(&self, t: u64, run: u32, m: u32, node: u32) -> bool {
+        self.policy.roll(
+            CLASS_HALF_OPEN,
+            t,
+            run,
+            m,
+            node,
+            self.policy.half_open_permille,
+        )
+    }
+
+    /// Should the sever fired at these coordinates be followed by a
+    /// reconnect storm (spurious extra connections raced against the real
+    /// re-handshake)?
+    pub fn reconnect_storm(&self, t: u64, run: u32, m: u32, node: u32) -> bool {
+        self.policy
+            .roll(CLASS_STORM, t, run, m, node, self.policy.storm_permille)
+    }
+}
+
 /// Counters of injected faults and of the recovery work they caused.
 ///
 /// Injected-fault counters are deterministic functions of the policy seed
@@ -210,6 +327,18 @@ pub struct RecoveryMetrics {
     pub injected_reply_drops: u64,
     /// Injected coordinator crash-restarts.
     pub restarts: u64,
+    /// Frames torn mid-write on the wire (truncated bytes + sever).
+    pub injected_torn_frames: u64,
+    /// Connections reset before a frame's first delivery.
+    pub injected_conn_resets: u64,
+    /// Half-open faults (frame delivered, connection severed before the
+    /// reply).
+    pub injected_half_opens: u64,
+    /// Reconnect storms raced against shard re-handshakes.
+    pub injected_storms: u64,
+    /// Successful shard re-handshakes after a sever (real reconnects plus
+    /// storm connections accepted and discarded).
+    pub reconnects: u64,
     /// Deadline-triggered wave retry cycles.
     pub retries: u64,
     /// Frames re-sent by retry cycles.
@@ -223,7 +352,7 @@ pub struct RecoveryMetrics {
 }
 
 impl RecoveryMetrics {
-    /// Total injected faults of every class.
+    /// Total injected faults of every class (in-process and wire).
     pub fn injected_total(&self) -> u64 {
         self.injected_drops
             + self.injected_dups
@@ -231,12 +360,17 @@ impl RecoveryMetrics {
             + self.injected_stalls
             + self.injected_reply_drops
             + self.restarts
+            + self.injected_torn_frames
+            + self.injected_conn_resets
+            + self.injected_half_opens
+            + self.injected_storms
     }
 }
 
-/// Typed failure of the threaded runtime (a panicked node thread, a reply
-/// deadline exhausted beyond the retry budget, or a failed restart) —
-/// surfaced instead of an `unwrap` panic or a hung `recv` in the driver.
+/// Typed failure of the threaded or socket runtime (a panicked node
+/// thread, a reply deadline exhausted beyond the retry budget, a failed
+/// restart, or a broken socket transport) — surfaced instead of an
+/// `unwrap` panic or a hung `recv` in the driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// A node thread died (panicked or its channel closed).
@@ -247,6 +381,9 @@ pub enum RuntimeError {
     ReplyTimeout { t: u64, m: u32, waiting: usize },
     /// Coordinator snapshot restore failed during crash recovery.
     RecoveryFailed { reason: &'static str },
+    /// The socket transport failed outside any single node's fault domain
+    /// (listener setup, accept, handshake, or reconnect).
+    Transport { what: String },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -260,6 +397,9 @@ impl std::fmt::Display for RuntimeError {
             ),
             RuntimeError::RecoveryFailed { reason } => {
                 write!(f, "coordinator recovery failed: {reason}")
+            }
+            RuntimeError::Transport { what } => {
+                write!(f, "socket transport failed: {what}")
             }
         }
     }
@@ -329,6 +469,34 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(r.injected_total(), 21);
+    }
+
+    #[test]
+    fn wire_classes_are_deterministic_and_independent() {
+        let w = WireChaos::new(ChaosPolicy::from_seed(13).with_wire_rates(400, 400, 400, 400));
+        let mut differ = false;
+        for t in 0..64u64 {
+            assert_eq!(
+                w.torn_frame(t, 1, 2, 3),
+                w.torn_frame(t, 1, 2, 3),
+                "same coordinates must reproduce"
+            );
+            differ |= w.torn_frame(t, 1, 2, 3) != w.conn_reset(t, 1, 2, 3);
+            differ |= w.half_open(t, 1, 2, 3) != w.reconnect_storm(t, 1, 2, 3);
+        }
+        assert!(differ, "wire classes must not share one coin");
+    }
+
+    #[test]
+    fn quiet_wire_chaos_injects_nothing() {
+        let w = WireChaos::new(ChaosPolicy::quiet(9));
+        assert!(w.is_quiet());
+        for t in 0..100u64 {
+            assert!(!w.torn_frame(t, 0, 1, 0));
+            assert!(!w.conn_reset(t, 0, 1, 0));
+            assert!(!w.half_open(t, 0, 1, 0));
+            assert!(!w.reconnect_storm(t, 0, 1, 0));
+        }
     }
 
     #[test]

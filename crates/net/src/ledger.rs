@@ -129,9 +129,13 @@ pub struct WireMetrics {
     pub broadcast_frames: u64,
     /// Encoded payload bytes of those broadcast copies.
     pub broadcast_bytes: u64,
-    /// Reserved for a fault-injecting socket transport; always zero today.
+    /// Faulty / recovery wire traffic on a chaotic socket transport:
+    /// duplicates, torn halves, re-deliveries after a reconnect, re-sent
+    /// waves, abort fencing, stale replies. Always zero on a clean
+    /// transport, so the model split above stays byte-identical to a
+    /// fault-free run.
     pub retransmit_frames: u64,
-    /// Reserved for a fault-injecting socket transport; always zero today.
+    /// Payload bytes of those retransmit-channel frames.
     pub retransmit_bytes: u64,
     /// Every physical frame that crossed a socket, both directions (work
     /// frames, replies, handshake, halt).

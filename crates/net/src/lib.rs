@@ -30,7 +30,8 @@
 //! * [`events`] — bounded message tracing for transcripts and fine-grained
 //!   ordering assertions;
 //! * [`chaos`] — seeded, deterministic fault injection for the threaded
-//!   runtime, plus the recovery observability types ([`RecoveryMetrics`],
+//!   and socket runtimes (including the wire-level [`WireChaos`] classes),
+//!   plus the recovery observability types ([`RecoveryMetrics`],
 //!   [`RuntimeError`]).
 
 #![forbid(unsafe_code)]
@@ -53,7 +54,7 @@ pub use behavior::{
     emit_dense, CoordOut, CoordinatorBehavior, NodeBehavior, ObserveAction, RoundAction, ValueFeed,
 };
 pub use calendar::FireCalendar;
-pub use chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};
+pub use chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError, WireChaos};
 pub use delta::DeltaRow;
 pub use events::{Event, EventLog};
 pub use id::{midpoint_floor, true_ranking, true_topk, MinEntry, NodeId, RankEntry, Value};

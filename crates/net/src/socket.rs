@@ -41,10 +41,48 @@
 //! codec (e.g. `topk-core`'s `codec.rs`), so the bytes on these sockets
 //! are the project's one wire vocabulary — pinned byte-for-byte by the
 //! golden-frame snapshot test (`crates/net/tests/wire_golden.rs`).
+//!
+//! # Chaos and recovery
+//!
+//! [`SocketCluster::spawn_chaotic`] arms a seeded
+//! [`ChaosPolicy`] at the wire: in addition to the
+//! threaded runtime's frame-boundary faults (drop, duplicate, delay,
+//! stall, reply drop, coordinator crash), the [`WireChaos`]
+//! classes attack the TCP connection itself — a frame may be **torn**
+//! mid-write (truncated bytes on the wire, then a sever), the connection
+//! may be **reset** before a frame is written, it may go **half-open**
+//! (frame delivered, severed before the reply), and a severed shard's
+//! re-handshake may be raced by a **reconnect storm** of spurious junk
+//! connections. Recovery rides the same layered semantics as the
+//! threaded runtime:
+//!
+//! * chaos-mode work frames and replies carry the `(t, run, m)`
+//!   idempotency key on the wire (clean-mode frames are byte-identical
+//!   to the golden snapshot); a shard processes each key at most once
+//!   and re-sends its cached reply bytes verbatim on re-delivery;
+//! * a severed shard re-connects to the (retained) listener and
+//!   re-handshakes via `Hello` — version and shard id are validated
+//!   against the original, junk connections are discarded;
+//! * reply deadlines honour [`ChaosPolicy`]'s `deadline_ms`/`max_retries`
+//!   and re-send outstanding frames, charged to
+//!   [`ChannelKind::Retransmit`] on the wire ledger — never to the model
+//!   split, so a no-restart fault mix leaves the per-channel
+//!   up/down/broadcast frame and byte counts bit-identical to a
+//!   fault-free socket twin;
+//! * an injected coordinator crash restores the last committed
+//!   `CoordSnapshot`, rolls the model ledger back and re-runs the whole
+//!   step under a fresh `run` number after an idempotent per-shard abort
+//!   wave — safe because protocol rounds are Las Vegas (a re-run lands
+//!   on the same committed answers).
+//!
+//! Injected-fault and reconnect counters surface through
+//! [`SocketCluster::recovery`] ([`RecoveryMetrics`]), exactly like the
+//! threaded runtime. Pinned by the socket arms of
+//! `tests/runtime_conformance.rs` and `tests/chaos_soak.rs`.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,7 +91,7 @@ use crate::behavior::{
     max_micro_rounds, CoordOut, CoordinatorBehavior, NodeBehavior, RoundScope, ValueFeed,
 };
 use crate::calendar::FireCalendar;
-use crate::chaos::RuntimeError;
+use crate::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError, WireChaos};
 use crate::delta::{merge_visit, DeltaRow};
 use crate::id::{NodeId, Value};
 use crate::ledger::{ChannelKind, CommLedger, LedgerSnapshot, WireMetrics};
@@ -84,11 +122,21 @@ const RECV_TICK_MS: u64 = 200;
 /// fails fast instead of wedging CI.
 const MAX_IDLE_TICKS: u32 = 150;
 
+/// Node-phase index of the step-abort control frame — past every real
+/// phase, so `(t, run, ABORT_M)` outranks all work of the aborted attempt.
+const ABORT_M: u32 = u32::MAX;
+
+/// Reconnect attempts a recoverable shard may consume before giving up —
+/// far above any real fault schedule; a runaway sever loop fails typed
+/// instead of spinning forever.
+const SHARD_RECONNECT_BUDGET: u32 = 256;
+
 // Transport frame tags (distinct namespace from the model-message codec).
 const T_HELLO: u8 = 0x01;
 const T_OBSERVE: u8 = 0x10;
 const T_OBSERVE_CACHED: u8 = 0x11;
 const T_ROUND: u8 = 0x12;
+const T_ABORT: u8 = 0x1e;
 const T_HALT: u8 = 0x1f;
 const T_REPLY: u8 = 0x20;
 
@@ -277,17 +325,23 @@ impl WireTaps {
     }
 
     /// Total captured bytes across all connections and directions.
+    ///
+    /// Tap mutexes are plain byte buffers, so a thread that panicked while
+    /// holding one leaves the data intact — the poison is recovered instead
+    /// of propagated, keeping shutdown/metrics collection on the typed
+    /// [`RuntimeError`] path rather than turning it into a second panic.
     pub fn total_bytes(&self) -> u64 {
         self.to_shard
             .iter()
             .chain(&self.from_shard)
-            .map(|t| t.lock().unwrap().len() as u64)
+            .map(|t| t.lock().unwrap_or_else(|p| p.into_inner()).len() as u64)
             .sum()
     }
 }
 
 fn tap_extend(tap: &Arc<Mutex<Vec<u8>>>, payload: &[u8]) {
-    let mut g = tap.lock().unwrap();
+    // See `WireTaps::total_bytes` — recover, don't propagate, tap poison.
+    let mut g = tap.lock().unwrap_or_else(|p| p.into_inner());
     g.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     g.extend_from_slice(payload);
 }
@@ -296,6 +350,9 @@ fn tap_extend(tap: &Arc<Mutex<Vec<u8>>>, payload: &[u8]) {
 struct SockReply<U> {
     id: NodeId,
     t: u64,
+    /// Step attempt number echoed from the work frame (always 0 on a clean
+    /// transport, whose frames carry no `run` field).
+    run: u32,
     m: u32,
     up: Option<U>,
     engaged: bool,
@@ -306,7 +363,10 @@ struct SockReply<U> {
     up_bytes: u64,
 }
 
-fn decode_reply<U: FrameCodec>(payload: &[u8]) -> Result<SockReply<U>, WireError> {
+/// Decode one reply frame. `with_run` selects the chaos-mode layout, whose
+/// replies echo the `run` component of the `(t, run, m)` idempotency key;
+/// the clean layout (golden-snapshot bytes) has no such field.
+fn decode_reply<U: FrameCodec>(payload: &[u8], with_run: bool) -> Result<SockReply<U>, WireError> {
     let mut rd: &[u8] = payload;
     match take_u8(&mut rd) {
         Some(T_REPLY) => {}
@@ -314,6 +374,11 @@ fn decode_reply<U: FrameCodec>(payload: &[u8]) -> Result<SockReply<U>, WireError
         None => return Err(malformed("empty frame")),
     }
     let t = need_varint(&mut rd, "reply t")?;
+    let run = if with_run {
+        need_u32(&mut rd, "reply run")?
+    } else {
+        0
+    };
     let m = need_u32(&mut rd, "reply m")?;
     let id = need_u32(&mut rd, "reply node")?;
     let flags = take_u8(&mut rd).ok_or_else(|| malformed("missing reply flags"))?;
@@ -338,6 +403,7 @@ fn decode_reply<U: FrameCodec>(payload: &[u8]) -> Result<SockReply<U>, WireError
     Ok(SockReply {
         id: NodeId(id),
         t,
+        run,
         m,
         up,
         engaged: flags & F_ENGAGED != 0,
@@ -366,35 +432,60 @@ fn decode_hello(payload: &[u8]) -> Result<u32, WireError> {
     Ok(shard)
 }
 
-fn encode_observe(buf: &mut Vec<u8>, t: u64, i: u32, value: Option<Value>) {
+/// Encode a phase-0 observe frame. `run: Some(r)` selects the chaos-mode
+/// layout: a stall-milliseconds slot directly after the tag (zero on the
+/// canonical copy — see [`stalled_copy`]) and the step attempt number `r`
+/// after `t`, completing the on-wire `(t, run, m)` idempotency key.
+/// `run: None` emits the clean layout, byte-identical to the golden
+/// snapshot.
+fn encode_observe(buf: &mut Vec<u8>, run: Option<u32>, t: u64, i: u32, value: Option<Value>) {
     buf.clear();
-    match value {
-        Some(v) => {
-            buf.push(T_OBSERVE);
-            put_varint(buf, t);
-            put_varint(buf, i as u64);
-            put_varint(buf, v);
-        }
-        None => {
-            buf.push(T_OBSERVE_CACHED);
-            put_varint(buf, t);
-            put_varint(buf, i as u64);
-        }
+    buf.push(if value.is_some() {
+        T_OBSERVE
+    } else {
+        T_OBSERVE_CACHED
+    });
+    if run.is_some() {
+        put_varint(buf, 0); // stall slot, patched by `stalled_copy`
+    }
+    put_varint(buf, t);
+    if let Some(r) = run {
+        put_varint(buf, r as u64);
+    }
+    put_varint(buf, i as u64);
+    if let Some(v) = value {
+        put_varint(buf, v);
     }
 }
 
+/// Re-encode a canonical chaos-mode work frame with its stall slot set.
+/// The canonical copy always carries `varint(0)` (one byte) directly after
+/// the tag, so the patch is a copy with that byte replaced.
+fn stalled_copy(payload: &[u8], stall_ms: u32, out: &mut Vec<u8>) {
+    debug_assert!(payload.len() >= 2, "work frame has tag + stall slot");
+    out.clear();
+    out.push(payload[0]);
+    put_varint(out, stall_ms as u64);
+    out.extend_from_slice(&payload[2..]);
+}
+
+/// Encode a reply frame. `key` is `(t, run, m)`; `run: Some(r)` selects the
+/// chaos-mode layout that echoes the attempt number (see [`decode_reply`]).
 fn encode_reply<U: FrameCodec>(
     buf: &mut Vec<u8>,
     i: u32,
-    t: u64,
-    m: u32,
+    key: (u64, Option<u32>, u32),
     up: &Option<U>,
     engaged: bool,
     wake_at: Option<u32>,
 ) {
+    let (t, run, m) = key;
     buf.clear();
     buf.push(T_REPLY);
     put_varint(buf, t);
+    if let Some(r) = run {
+        put_varint(buf, r as u64);
+    }
     put_varint(buf, m as u64);
     put_varint(buf, i as u64);
     let mut flags = 0u8;
@@ -423,6 +514,7 @@ fn reader_main<U: FrameCodec + Send + 'static>(
     stream: TcpStream,
     tx: Sender<SockReply<U>>,
     tap: Option<Arc<Mutex<Vec<u8>>>>,
+    with_run: bool,
 ) {
     let mut reader = BufReader::new(stream);
     let mut payload = Vec::new();
@@ -433,7 +525,7 @@ fn reader_main<U: FrameCodec + Send + 'static>(
         if let Some(t) = &tap {
             tap_extend(t, &payload);
         }
-        match decode_reply::<U>(&payload) {
+        match decode_reply::<U>(&payload, with_run) {
             Ok(mut rep) => {
                 rep.frame_bytes = (FRAME_PREFIX_LEN + payload.len()) as u64;
                 if tx.send(rep).is_err() {
@@ -445,141 +537,393 @@ fn reader_main<U: FrameCodec + Send + 'static>(
     }
 }
 
-/// Shard thread: own a contiguous node range behind one TCP connection.
-/// Caches each node's last observed value so a value-less `ObserveCached`
-/// frame replays the observation locally (delta transport), exactly like
-/// the threaded runtime's node threads.
-fn shard_main<NB>(mut nodes: Vec<NB>, first: u32, shard: u32, stream: TcpStream) -> Vec<NB>
+/// Bounded connect loop for the shard side: the driver's listener is
+/// always bound, so a healthy run connects on the first try; the retry
+/// loop only rides out the window where a reconnecting shard races the
+/// driver's accept.
+fn connect_with_retries(addr: SocketAddr) -> Option<TcpStream> {
+    let deadline = Instant::now() + ACCEPT_TIMEOUT;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Some(s),
+            // Refused means the driver's listener is gone — shutdown, not
+            // a transient race. Give up immediately.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return None,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(1)),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Why one shard connection stopped serving.
+enum ServeExit {
+    /// Orderly `Halt` from the driver — the shard thread is done.
+    Halt,
+    /// The connection died (EOF, torn frame, write failure, malformed
+    /// frame). Recoverable shards reconnect; clean shards exit.
+    Lost,
+}
+
+/// Node-range state a shard keeps across reconnects: behaviors, cached
+/// observation values, and (recoverable transports only) the `(t, run, m)`
+/// idempotency cursors, cached reply bytes, and step-start checkpoints.
+struct ShardState<NB: NodeBehavior> {
+    nodes: Vec<NB>,
+    first: u32,
+    shard: u32,
+    recoverable: bool,
+    /// Last observed value per node (delta transport replay).
+    last: Vec<Value>,
+    /// Highest processed frame key per node; a stale key is ignored, an
+    /// equal key re-sends the cached reply verbatim.
+    cur: Vec<Option<(u64, u32, u32)>>,
+    /// Encoded payload of each node's latest reply, re-sent byte-for-byte
+    /// on re-delivery (never re-running the behavior or its RNG).
+    cached: Vec<Option<Vec<u8>>>,
+    /// Step-start checkpoint per node (recoverable transports only).
+    ck: Vec<Option<(u64, NB)>>,
+}
+
+impl<NB> ShardState<NB>
 where
     NB: NodeBehavior,
     NB::Up: FrameCodec,
     NB::Down: FrameCodec,
 {
-    let Ok(read_half) = stream.try_clone() else {
-        return nodes;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut buf = Vec::new();
-    buf.push(T_HELLO);
-    buf.push(WIRE_VERSION);
-    put_varint(&mut buf, shard as u64);
-    if write_frame(&mut writer, &buf).is_err() || writer.flush().is_err() {
-        return nodes;
-    }
-    let mut payload = Vec::new();
-    let mut bcasts: Vec<NB::Down> = Vec::new();
-    let mut last: Vec<Value> = vec![0; nodes.len()];
-    loop {
-        if read_frame(&mut reader, &mut payload).is_err() {
-            break;
+    fn new(nodes: Vec<NB>, first: u32, shard: u32, recoverable: bool) -> Self {
+        let n = nodes.len();
+        ShardState {
+            nodes,
+            first,
+            shard,
+            recoverable,
+            last: vec![0; n],
+            cur: vec![None; n],
+            cached: (0..n).map(|_| None).collect(),
+            ck: (0..n).map(|_| None).collect(),
         }
-        let mut rd: &[u8] = &payload;
-        let Some(tag) = take_u8(&mut rd) else { break };
-        let reply_ok = match tag {
-            T_HALT => break,
-            T_OBSERVE | T_OBSERVE_CACHED => {
-                let Ok(t) = need_varint(&mut rd, "t") else {
-                    break;
-                };
-                let Ok(i) = need_u32(&mut rd, "node") else {
-                    break;
-                };
-                let Some(idx) = (i as usize).checked_sub(first as usize) else {
-                    break;
-                };
-                if idx >= nodes.len() {
-                    break;
-                }
-                let value = if tag == T_OBSERVE {
-                    let Ok(v) = need_varint(&mut rd, "value") else {
-                        break;
-                    };
-                    last[idx] = v;
-                    v
-                } else {
-                    last[idx]
-                };
-                let a = nodes[idx].observe(t, value);
-                encode_reply(&mut buf, i, t, 0, &a.up, a.engaged, a.wake_at);
-                write_frame(&mut writer, &buf).is_ok() && writer.flush().is_ok()
-            }
-            T_ROUND => {
-                let Ok(t) = need_varint(&mut rd, "t") else {
-                    break;
-                };
-                let Ok(m) = need_u32(&mut rd, "m") else {
-                    break;
-                };
-                let Ok(i) = need_u32(&mut rd, "node") else {
-                    break;
-                };
-                let Some(idx) = (i as usize).checked_sub(first as usize) else {
-                    break;
-                };
-                if idx >= nodes.len() {
-                    break;
-                }
-                let Ok(n_bcasts) = need_varint(&mut rd, "bcast count") else {
-                    break;
-                };
-                if n_bcasts > rd.len() as u64 {
-                    break; // each encoding is ≥ 1 byte
-                }
-                bcasts.clear();
-                let mut ok = true;
-                for _ in 0..n_bcasts {
-                    match NB::Down::decode_frame(&mut rd) {
-                        Ok(b) => bcasts.push(b),
-                        Err(_) => {
-                            ok = false;
-                            break;
-                        }
+    }
+
+    /// Discard every effect of step `t`, attempt `run`: roll each node
+    /// back to its step-start checkpoint (RNG cursors keep advancing — a
+    /// re-run is a fresh Las Vegas trial) and advance the idempotency
+    /// cursors past the aborted attempt. Idempotent.
+    fn abort(&mut self, t: u64, run: u32) {
+        let key = (t, run, ABORT_M);
+        for idx in 0..self.nodes.len() {
+            if self.cur[idx].is_none_or(|c| key > c) {
+                if let Some((s, snap)) = &self.ck[idx] {
+                    if *s == t {
+                        self.nodes[idx].rollback(snap);
                     }
                 }
-                if !ok {
-                    break;
-                }
-                let ucast = match take_u8(&mut rd) {
-                    Some(0) => None,
-                    Some(1) => match NB::Down::decode_frame(&mut rd) {
-                        Ok(u) => Some(u),
-                        Err(_) => break,
-                    },
-                    _ => break,
-                };
-                let a = nodes[idx].micro_round(t, m, &bcasts, ucast.as_ref());
-                encode_reply(&mut buf, i, t, m, &a.up, a.engaged, a.wake_at);
-                write_frame(&mut writer, &buf).is_ok() && writer.flush().is_ok()
+                self.cur[idx] = Some(key);
+                self.cached[idx] = None;
             }
-            _ => break,
-        };
-        if !reply_ok {
-            break;
         }
     }
-    nodes
+
+    /// Serve one connection until halt or loss. The hello handshake and
+    /// every reply travel over `stream`; node state lives in `self` and
+    /// survives the connection.
+    fn serve(&mut self, stream: TcpStream) -> ServeExit {
+        stream.set_nodelay(true).ok();
+        let Ok(read_half) = stream.try_clone() else {
+            return ServeExit::Lost;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut buf = Vec::new();
+        buf.push(T_HELLO);
+        buf.push(WIRE_VERSION);
+        put_varint(&mut buf, self.shard as u64);
+        if write_frame(&mut writer, &buf).is_err() || writer.flush().is_err() {
+            return ServeExit::Lost;
+        }
+        let mut payload = Vec::new();
+        let mut bcasts: Vec<NB::Down> = Vec::new();
+        loop {
+            if read_frame(&mut reader, &mut payload).is_err() {
+                return ServeExit::Lost;
+            }
+            let mut rd: &[u8] = &payload;
+            let Some(tag) = take_u8(&mut rd) else {
+                return ServeExit::Lost;
+            };
+            match tag {
+                T_HALT => return ServeExit::Halt,
+                T_ABORT if self.recoverable => {
+                    let (Ok(t), Ok(run)) = (
+                        need_varint(&mut rd, "abort t"),
+                        need_u32(&mut rd, "abort run"),
+                    ) else {
+                        return ServeExit::Lost;
+                    };
+                    self.abort(t, run);
+                    // One ack per shard, keyed like a reply at ABORT_M.
+                    // Aborts are idempotent and always re-acked.
+                    encode_reply::<NB::Up>(
+                        &mut buf,
+                        self.first,
+                        (t, Some(run), ABORT_M),
+                        &None,
+                        false,
+                        None,
+                    );
+                    if write_frame(&mut writer, &buf).is_err() || writer.flush().is_err() {
+                        return ServeExit::Lost;
+                    }
+                }
+                T_OBSERVE | T_OBSERVE_CACHED | T_ROUND => {
+                    let stall_ms = if self.recoverable {
+                        match need_u32(&mut rd, "stall") {
+                            Ok(s) => s,
+                            Err(_) => return ServeExit::Lost,
+                        }
+                    } else {
+                        0
+                    };
+                    let Ok(t) = need_varint(&mut rd, "t") else {
+                        return ServeExit::Lost;
+                    };
+                    let run = if self.recoverable {
+                        match need_u32(&mut rd, "run") {
+                            Ok(r) => r,
+                            Err(_) => return ServeExit::Lost,
+                        }
+                    } else {
+                        0
+                    };
+                    let m = if tag == T_ROUND {
+                        match need_u32(&mut rd, "m") {
+                            Ok(m) => m,
+                            Err(_) => return ServeExit::Lost,
+                        }
+                    } else {
+                        0
+                    };
+                    let Ok(i) = need_u32(&mut rd, "node") else {
+                        return ServeExit::Lost;
+                    };
+                    let Some(idx) = (i as usize).checked_sub(self.first as usize) else {
+                        return ServeExit::Lost;
+                    };
+                    if idx >= self.nodes.len() {
+                        return ServeExit::Lost;
+                    }
+                    // Decode the work input fully before touching state, so
+                    // a torn/garbage payload can never half-apply.
+                    let value = match tag {
+                        T_OBSERVE => match need_varint(&mut rd, "value") {
+                            Ok(v) => Some(v),
+                            Err(_) => return ServeExit::Lost,
+                        },
+                        T_OBSERVE_CACHED => None,
+                        _ => None,
+                    };
+                    let ucast = if tag == T_ROUND {
+                        let Ok(n_bcasts) = need_varint(&mut rd, "bcast count") else {
+                            return ServeExit::Lost;
+                        };
+                        if n_bcasts > rd.len() as u64 {
+                            return ServeExit::Lost; // each encoding is ≥ 1 byte
+                        }
+                        bcasts.clear();
+                        for _ in 0..n_bcasts {
+                            match NB::Down::decode_frame(&mut rd) {
+                                Ok(b) => bcasts.push(b),
+                                Err(_) => return ServeExit::Lost,
+                            }
+                        }
+                        match take_u8(&mut rd) {
+                            Some(0) => None,
+                            Some(1) => match NB::Down::decode_frame(&mut rd) {
+                                Ok(u) => Some(u),
+                                Err(_) => return ServeExit::Lost,
+                            },
+                            _ => return ServeExit::Lost,
+                        }
+                    } else {
+                        None
+                    };
+                    if stall_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(stall_ms as u64));
+                    }
+                    let key = (t, run, m);
+                    if self.recoverable {
+                        match self.cur[idx] {
+                            // Late duplicate of an older key: a no-op.
+                            Some(c) if key < c => continue,
+                            // Re-delivery of the current key: re-send the
+                            // cached reply bytes, touch neither state nor
+                            // RNG.
+                            Some(c) if key == c => {
+                                if let Some(bytes) = &self.cached[idx] {
+                                    if write_frame(&mut writer, bytes).is_err()
+                                        || writer.flush().is_err()
+                                    {
+                                        return ServeExit::Lost;
+                                    }
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                        // One checkpoint per time step, at the node's first
+                        // work frame for it (an abort of any attempt rolls
+                        // back to here).
+                        if self.ck[idx].as_ref().is_none_or(|(s, _)| *s < t) {
+                            let snap = self.nodes[idx].checkpoint().expect(
+                                "chaos transport requires NodeBehavior::checkpoint support",
+                            );
+                            self.ck[idx] = Some((t, snap));
+                        }
+                    }
+                    let (up, engaged, wake_at) = if tag == T_ROUND {
+                        let a = self.nodes[idx].micro_round(t, m, &bcasts, ucast.as_ref());
+                        (a.up, a.engaged, a.wake_at)
+                    } else {
+                        let v = match value {
+                            Some(v) => {
+                                self.last[idx] = v;
+                                v
+                            }
+                            None => self.last[idx],
+                        };
+                        let a = self.nodes[idx].observe(t, v);
+                        (a.up, a.engaged, a.wake_at)
+                    };
+                    encode_reply(
+                        &mut buf,
+                        i,
+                        (t, self.recoverable.then_some(run), m),
+                        &up,
+                        engaged,
+                        wake_at,
+                    );
+                    if self.recoverable {
+                        self.cur[idx] = Some(key);
+                        self.cached[idx] = Some(buf.clone());
+                    }
+                    if write_frame(&mut writer, &buf).is_err() || writer.flush().is_err() {
+                        return ServeExit::Lost;
+                    }
+                }
+                _ => return ServeExit::Lost,
+            }
+        }
+    }
+}
+
+/// Shard thread: own a contiguous node range behind one TCP connection.
+/// Caches each node's last observed value so a value-less `ObserveCached`
+/// frame replays the observation locally (delta transport), exactly like
+/// the threaded runtime's node threads.
+///
+/// On a recoverable (chaos) transport the shard additionally survives a
+/// severed connection: it re-connects to the driver's listener, re-sends
+/// its `Hello`, and keeps serving with its node state — idempotency
+/// cursors, cached replies, and checkpoints — intact, bounded by
+/// [`SHARD_RECONNECT_BUDGET`].
+fn shard_main<NB>(
+    nodes: Vec<NB>,
+    first: u32,
+    shard: u32,
+    addr: SocketAddr,
+    recoverable: bool,
+) -> Vec<NB>
+where
+    NB: NodeBehavior,
+    NB::Up: FrameCodec,
+    NB::Down: FrameCodec,
+{
+    let mut st = ShardState::new(nodes, first, shard, recoverable);
+    let mut budget = if recoverable {
+        SHARD_RECONNECT_BUDGET
+    } else {
+        0
+    };
+    loop {
+        let Some(stream) = connect_with_retries(addr) else {
+            return st.nodes;
+        };
+        match st.serve(stream) {
+            ServeExit::Halt => return st.nodes,
+            ServeExit::Lost => {
+                if budget == 0 {
+                    return st.nodes;
+                }
+                budget -= 1;
+            }
+        }
+    }
+}
+
+/// Why one step attempt ended without committing.
+enum AttemptError {
+    /// Seeded coordinator crash — recover (snapshot restore + abort wave)
+    /// and re-run the step.
+    Crashed,
+    /// A real transport failure — surfaces to the caller as-is.
+    Fatal(RuntimeError),
+}
+
+/// Wrap a transport-layer failure into the typed runtime error.
+fn transport(what: impl std::fmt::Display) -> RuntimeError {
+    RuntimeError::Transport {
+        what: what.to_string(),
+    }
 }
 
 /// A running socket cluster: shard threads behind loopback TCP plus the
 /// coordinator-side driver state. Drop-in peer of
-/// [`crate::threaded::ThreadedCluster`] (clean transport only — chaos
-/// stays at the in-process frame boundary for now).
+/// [`crate::threaded::ThreadedCluster`], including the chaotic flavor —
+/// [`SocketCluster::spawn_chaotic`] injects the in-process fault classes
+/// *and* the wire-level [`WireChaos`] classes (torn frames, connection
+/// resets, half-open connections, reconnect storms).
 pub struct SocketCluster<NB>
 where
     NB: NodeBehavior + 'static,
     NB::Up: FrameCodec,
     NB::Down: FrameCodec,
 {
-    writers: Vec<BufWriter<TcpStream>>,
+    /// One buffered writer per shard; `None` while that shard's connection
+    /// is severed (chaos) awaiting reconnect.
+    writers: Vec<Option<BufWriter<TcpStream>>>,
     shard_handles: Vec<JoinHandle<Vec<NB>>>,
     reader_handles: Vec<JoinHandle<()>>,
     from_shards: Receiver<SockReply<NB::Up>>,
+    /// Kept alive on a chaotic transport so reconnect readers can clone it
+    /// (`None` on a clean transport, where reader exit must surface as
+    /// `Disconnected`).
+    reply_tx: Option<Sender<SockReply<NB::Up>>>,
+    /// Retained (nonblocking) on a chaotic transport to accept shard
+    /// reconnects after an injected sever.
+    listener: Option<TcpListener>,
+    /// The listener's loopback address (reconnect storms self-connect).
+    addr: SocketAddr,
     /// Node id → owning shard index.
     shard_of: Vec<u32>,
     /// First node id per shard (for dead-shard error attribution).
     shard_first: Vec<u32>,
     taps: Option<WireTaps>,
+    chaos: Option<ChaosPolicy>,
+    recovery: RecoveryMetrics,
+    /// Attempt counter for the current step (0 on the first run).
+    run: u32,
+    /// Coordinator crash injections still allowed this step.
+    crashes_left: u32,
+    /// Per-node "already dropped a reply this wave" latch.
+    reply_dropped: Vec<bool>,
+    /// Canonical payloads of the in-flight wave, for timeout re-sends.
+    wave_frames: Vec<(u32, Vec<u8>)>,
+    /// Frames delayed into the next wave (delivered as stale noise).
+    delayed: Vec<(u32, Vec<u8>)>,
+    /// Engaged set at step start, restored on recovery.
+    engaged_mark: Vec<u32>,
+    /// Committed coordinator snapshot (chaos only).
+    snapshot_buf: Vec<u8>,
+    have_snapshot: bool,
     /// Sorted ids of currently engaged nodes (see
     /// [`crate::threaded::ThreadedCluster`]).
     engaged_idx: Vec<u32>,
@@ -618,16 +962,37 @@ where
     /// itself runs under `ACCEPT_TIMEOUT` so a hung accept fails fast
     /// instead of blocking forever.
     pub fn spawn(nodes: Vec<NB>) -> Self {
-        Self::spawn_inner(nodes, false)
+        Self::try_spawn_inner(nodes, false, None)
+            .unwrap_or_else(|e| panic!("socket cluster setup failed: {e}"))
     }
 
     /// [`SocketCluster::spawn`] with per-connection byte capture armed, for
     /// the golden-frame snapshot test (see [`SocketCluster::capture`]).
     pub fn spawn_captured(nodes: Vec<NB>) -> Self {
-        Self::spawn_inner(nodes, true)
+        Self::try_spawn_inner(nodes, true, None)
+            .unwrap_or_else(|e| panic!("socket cluster setup failed: {e}"))
     }
 
-    fn spawn_inner(mut nodes: Vec<NB>, capture: bool) -> Self {
+    /// [`SocketCluster::spawn`] with seeded fault injection armed: the
+    /// in-process classes of [`ChaosPolicy`] plus the wire classes of
+    /// [`WireChaos`] (torn frames, connection resets, half-open
+    /// connections, reconnect storms). Requires
+    /// [`NodeBehavior::checkpoint`] support — chaotic re-delivery and step
+    /// re-runs lean on node-side rollback.
+    pub fn spawn_chaotic(nodes: Vec<NB>, policy: ChaosPolicy) -> Self {
+        assert!(
+            nodes.first().is_none_or(|n| n.checkpoint().is_some()),
+            "chaos transport requires NodeBehavior::checkpoint support"
+        );
+        Self::try_spawn_inner(nodes, false, Some(policy))
+            .unwrap_or_else(|e| panic!("socket cluster setup failed: {e}"))
+    }
+
+    fn try_spawn_inner(
+        mut nodes: Vec<NB>,
+        capture: bool,
+        chaos: Option<ChaosPolicy>,
+    ) -> Result<Self, RuntimeError> {
         let n = nodes.len();
         assert!(n > 0, "need at least one node");
         for (i, node) in nodes.iter().enumerate() {
@@ -639,8 +1004,9 @@ where
         }
         let ranges = shard_ranges(n);
         let s_count = ranges.len();
-        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
-        let addr = listener.local_addr().expect("listener addr");
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(transport)?;
+        let addr = listener.local_addr().map_err(transport)?;
+        let recoverable = chaos.is_some();
 
         let mut chunks: Vec<Vec<NB>> = Vec::with_capacity(s_count);
         for &(first, _) in ranges.iter().rev() {
@@ -652,20 +1018,14 @@ where
             let first = ranges[s].0;
             let handle = std::thread::Builder::new()
                 .name(format!("topk-shard-{s}"))
-                .spawn(move || {
-                    let stream = TcpStream::connect(addr).expect("connect to coordinator");
-                    stream.set_nodelay(true).ok();
-                    shard_main(chunk, first, s as u32, stream)
-                })
+                .spawn(move || shard_main(chunk, first, s as u32, addr, recoverable))
                 .expect("spawn shard thread");
             shard_handles.push(handle);
         }
 
         let taps = capture.then(|| WireTaps::new(s_count));
         let mut wire = WireMetrics::default();
-        listener
-            .set_nonblocking(true)
-            .expect("nonblocking listener");
+        listener.set_nonblocking(true).map_err(transport)?;
         let deadline = Instant::now() + ACCEPT_TIMEOUT;
         let mut streams: Vec<Option<TcpStream>> = (0..s_count).map(|_| None).collect();
         let mut payload = Vec::new();
@@ -676,35 +1036,37 @@ where
                     stream.set_nodelay(true).ok();
                     stream
                         .set_read_timeout(Some(ACCEPT_TIMEOUT))
-                        .expect("handshake read timeout");
+                        .map_err(transport)?;
                     let mut r = &stream;
                     read_frame(&mut r, &mut payload)
-                        .unwrap_or_else(|e| panic!("socket handshake failed: {e}"));
+                        .map_err(|e| transport(format_args!("socket handshake failed: {e}")))?;
                     wire.frames_total += 1;
                     wire.bytes_total += (FRAME_PREFIX_LEN + payload.len()) as u64;
                     let shard = decode_hello(&payload)
-                        .unwrap_or_else(|e| panic!("socket handshake rejected: {e}"))
+                        .map_err(|e| transport(format_args!("socket handshake rejected: {e}")))?
                         as usize;
-                    assert!(
-                        shard < s_count && streams[shard].is_none(),
-                        "duplicate or out-of-range shard hello"
-                    );
+                    if shard >= s_count || streams[shard].is_some() {
+                        return Err(transport(format_args!(
+                            "duplicate or out-of-range shard hello (shard {shard} of {s_count})"
+                        )));
+                    }
                     if let Some(taps) = &taps {
                         tap_extend(&taps.from_shard[shard], &payload);
                     }
-                    stream.set_read_timeout(None).expect("clear read timeout");
+                    stream.set_read_timeout(None).map_err(transport)?;
                     streams[shard] = Some(stream);
                     accepted += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    assert!(
-                        Instant::now() < deadline,
-                        "socket cluster accept timed out after {ACCEPT_TIMEOUT:?} \
-                         ({accepted}/{s_count} shards connected)"
-                    );
+                    if Instant::now() >= deadline {
+                        return Err(transport(format_args!(
+                            "socket cluster accept timed out after {ACCEPT_TIMEOUT:?} \
+                             ({accepted}/{s_count} shards connected)"
+                        )));
+                    }
                     std::thread::sleep(Duration::from_millis(1));
                 }
-                Err(e) => panic!("accept failed: {e}"),
+                Err(e) => return Err(transport(format_args!("accept failed: {e}"))),
             }
         }
 
@@ -712,17 +1074,19 @@ where
         let mut writers = Vec::with_capacity(s_count);
         let mut reader_handles = Vec::with_capacity(s_count);
         for (s, slot) in streams.into_iter().enumerate() {
-            let stream = slot.expect("all shards accepted");
-            let read_half = stream.try_clone().expect("clone shard stream");
+            let Some(stream) = slot else {
+                return Err(transport("shard stream missing after accept"));
+            };
+            let read_half = stream.try_clone().map_err(transport)?;
             let tap = taps.as_ref().map(|t| t.from_shard[s].clone());
             let tx = tx.clone();
             reader_handles.push(
                 std::thread::Builder::new()
                     .name(format!("topk-shard-rx-{s}"))
-                    .spawn(move || reader_main::<NB::Up>(read_half, tx, tap))
+                    .spawn(move || reader_main::<NB::Up>(read_half, tx, tap, recoverable))
                     .expect("spawn reader thread"),
             );
-            writers.push(BufWriter::new(stream));
+            writers.push(Some(BufWriter::new(stream)));
         }
 
         let mut shard_of = vec![0u32; n];
@@ -734,14 +1098,27 @@ where
             }
         }
 
-        SocketCluster {
+        Ok(SocketCluster {
             writers,
             shard_handles,
             reader_handles,
             from_shards: rx,
+            reply_tx: recoverable.then(|| tx.clone()),
+            listener: recoverable.then_some(listener),
+            addr,
             shard_of,
             shard_first,
             taps,
+            chaos,
+            recovery: RecoveryMetrics::default(),
+            run: 0,
+            crashes_left: 0,
+            reply_dropped: vec![false; n],
+            wave_frames: Vec::new(),
+            delayed: Vec::new(),
+            engaged_mark: Vec::new(),
+            snapshot_buf: Vec::new(),
+            have_snapshot: false,
             engaged_idx: Vec::new(),
             engaged_scratch: Vec::new(),
             visit_scratch: Vec::new(),
@@ -761,7 +1138,7 @@ where
             micro_rounds_run: 0,
             pending_mask: vec![false; n],
             pending_count: 0,
-        }
+        })
     }
 
     pub fn n(&self) -> usize {
@@ -781,6 +1158,13 @@ where
     /// sockets, per model channel plus totals.
     pub fn wire(&self) -> &WireMetrics {
         &self.wire
+    }
+
+    /// Injection and recovery counters. All-zero on a clean transport;
+    /// on a chaotic one ([`SocketCluster::spawn_chaotic`]) every seeded
+    /// fault and every recovery action is tallied here.
+    pub fn recovery(&self) -> &RecoveryMetrics {
+        &self.recovery
     }
 
     /// Handles to the per-connection byte captures (only on a cluster built
@@ -930,7 +1314,10 @@ where
         res
     }
 
-    /// Run one step: phase-0 wave, silent fast path, micro-round loop.
+    /// Run one step: phase-0 wave, silent fast path, micro-round loop. On a
+    /// chaotic transport this is an attempt loop — a seeded coordinator
+    /// crash triggers snapshot-restore recovery and a whole-step re-run,
+    /// exactly like the threaded runtime.
     fn run_step<CB>(
         &mut self,
         coord: &mut CB,
@@ -940,49 +1327,84 @@ where
     where
         CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
     {
+        let ledger_mark = self.ledger.snapshot();
+        let rounds_mark = self.micro_rounds_run;
+        if let Some(p) = self.chaos {
+            self.engaged_mark.clear();
+            self.engaged_mark.extend_from_slice(&self.engaged_idx);
+            // Without a committed snapshot a crash would be unrecoverable,
+            // so injection only arms once the first step has committed.
+            self.crashes_left = if self.have_snapshot {
+                p.max_restarts_per_step
+            } else {
+                0
+            };
+        }
+        self.run = 0;
+        loop {
+            let mut ups = std::mem::take(&mut self.ups_scratch);
+            let mut out = std::mem::take(&mut self.out);
+            let res = self.run_attempt(coord, t, wave, &mut ups, &mut out);
+            self.ups_scratch = ups;
+            self.out = out;
+            match res {
+                Ok(silent) => {
+                    if self.chaos.is_some() {
+                        coord.note_recovery(&self.recovery);
+                        self.snapshot_buf.clear();
+                        let mut snap = std::mem::take(&mut self.snapshot_buf);
+                        self.have_snapshot = coord.encode_snapshot(&mut snap);
+                        self.snapshot_buf = snap;
+                    }
+                    coord.note_wire(&self.wire);
+                    self.steps_run += 1;
+                    if silent {
+                        self.silent_steps += 1;
+                    }
+                    return Ok(());
+                }
+                Err(AttemptError::Crashed) => {
+                    let before = Instant::now();
+                    self.recover(coord, t, &ledger_mark, rounds_mark)?;
+                    self.recovery.recovery_nanos += before.elapsed().as_nanos() as u64;
+                    self.run += 1;
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt at step `t`: phase-0 wave, collect, silent fast path,
+    /// micro-round loop. Mirrors the threaded runtime's `run_attempt` —
+    /// with the chaos hooks live on a chaotic transport.
+    fn run_attempt<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        wave: &[(u32, Option<Value>)],
+        ups: &mut Vec<(NodeId, NB::Up)>,
+        out: &mut CoordOut<NB::Down>,
+    ) -> Result<bool, AttemptError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
         coord.begin_step(t);
         debug_assert_eq!(self.pending_count, 0, "wave started with replies pending");
+        self.begin_wave().map_err(AttemptError::Fatal)?;
+        let run = self.chaos.map(|_| self.run);
         let mut buf = std::mem::take(&mut self.frame_buf);
         let mut res = Ok(());
         for &(i, value) in wave {
-            encode_observe(&mut buf, t, i, value);
-            res = self.dispatch_payload(i, &buf);
+            encode_observe(&mut buf, run, t, i, value);
+            res = self.dispatch_payload(i, t, 0, &buf);
             if res.is_err() {
                 break;
             }
         }
         self.frame_buf = buf;
-        res?;
-        self.flush_all()?;
-
-        let mut ups = std::mem::take(&mut self.ups_scratch);
-        let mut out = std::mem::take(&mut self.out);
-        let res = self.drive_rounds(coord, t, &mut ups, &mut out);
-        self.ups_scratch = ups;
-        self.out = out;
-        let silent = res?;
-        coord.note_wire(&self.wire);
-        self.steps_run += 1;
-        if silent {
-            self.silent_steps += 1;
-        }
-        Ok(())
-    }
-
-    /// Collect phase 0 and drive the coordinator micro-round loop. Returns
-    /// `Ok(true)` for a silent step. Mirrors the threaded runtime's
-    /// `run_attempt` exactly (minus the chaos hooks).
-    fn drive_rounds<CB>(
-        &mut self,
-        coord: &mut CB,
-        t: u64,
-        ups: &mut Vec<(NodeId, NB::Up)>,
-        out: &mut CoordOut<NB::Down>,
-    ) -> Result<bool, RuntimeError>
-    where
-        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
-    {
-        self.collect(t, 0, ups)?;
+        res.map_err(AttemptError::Fatal)?;
+        self.flush_all().map_err(AttemptError::Fatal)?;
+        self.collect(t, 0, ups).map_err(AttemptError::Fatal)?;
 
         if self.engaged_idx.is_empty()
             && self.calendar.is_empty()
@@ -1010,14 +1432,208 @@ where
             m += 1;
             self.micro_rounds_run += 1;
             assert!(m <= guard, "micro-round guard exceeded at t={t}");
-            self.deliver_round(t, m, out)?;
-            self.flush_all()?;
-            self.collect(t, m, ups)?;
+            if self.crashes_left > 0 {
+                if let Some(p) = self.chaos {
+                    if p.crash_coordinator(t, self.run, m) {
+                        self.crashes_left -= 1;
+                        return Err(AttemptError::Crashed);
+                    }
+                }
+            }
+            self.deliver_round(t, m, out).map_err(AttemptError::Fatal)?;
+            self.flush_all().map_err(AttemptError::Fatal)?;
+            self.collect(t, m, ups).map_err(AttemptError::Fatal)?;
         }
         // Schedules and the broadcast log are step-local.
         self.calendar.end_step();
         self.bcast_log.clear();
         Ok(false)
+    }
+
+    /// Reset per-wave chaos state and flush frames delayed out of the
+    /// previous wave. A delayed frame is re-sent with its original `(t,
+    /// run, m)` key, so the shard's idempotency cursor discards it as stale
+    /// noise — matching the threaded runtime's delayed-delivery semantics.
+    fn begin_wave(&mut self) -> Result<(), RuntimeError> {
+        debug_assert_eq!(self.pending_count, 0, "wave started with replies pending");
+        self.wave_frames.clear();
+        if self.chaos.is_none() {
+            return Ok(());
+        }
+        let delayed = std::mem::take(&mut self.delayed);
+        for (i, payload) in &delayed {
+            let s = self.shard_of[*i as usize] as usize;
+            self.write_retransmit(s, payload)
+                .map_err(|_| RuntimeError::NodeDown { id: NodeId(*i) })?;
+            self.ledger.count(ChannelKind::Retransmit, 0);
+        }
+        if !delayed.is_empty() {
+            self.flush_all()?;
+        }
+        self.reply_dropped.iter_mut().for_each(|d| *d = false);
+        Ok(())
+    }
+
+    /// Re-send the canonical payload of every still-pending frame of the
+    /// in-flight wave (reply lost or dropped). The shard's `(t, run, m)`
+    /// cursor answers duplicates from its reply cache without re-running
+    /// the node behavior.
+    fn resend_pending(&mut self) -> Result<(), RuntimeError> {
+        let wave = std::mem::take(&mut self.wave_frames);
+        let mut resent = 0u64;
+        let mut res = Ok(());
+        for (i, payload) in &wave {
+            if !self.pending_mask[*i as usize] {
+                continue;
+            }
+            let s = self.shard_of[*i as usize] as usize;
+            if self.write_retransmit(s, payload).is_err() {
+                res = Err(RuntimeError::NodeDown { id: NodeId(*i) });
+                break;
+            }
+            self.ledger.count(ChannelKind::Retransmit, 0);
+            resent += 1;
+        }
+        self.wave_frames = wave;
+        res?;
+        self.flush_all()?;
+        self.recovery.redelivered_frames += resent;
+        Ok(())
+    }
+
+    /// Recover from an injected coordinator crash: restore the coordinator
+    /// from its last committed snapshot, roll the model ledger and
+    /// micro-round counters back to the step boundary, and abort the
+    /// half-finished attempt on every shard (rollback to step-start
+    /// checkpoints). The caller then re-runs the whole step as attempt
+    /// `run + 1`.
+    fn recover<CB>(
+        &mut self,
+        coord: &mut CB,
+        t: u64,
+        ledger_mark: &LedgerSnapshot,
+        rounds_mark: u64,
+    ) -> Result<(), RuntimeError>
+    where
+        CB: CoordinatorBehavior<Up = NB::Up, Down = NB::Down>,
+    {
+        self.recovery.restarts += 1;
+        self.recovery.rerun_rounds += self.micro_rounds_run - rounds_mark;
+        if !coord.restore_snapshot(&self.snapshot_buf) {
+            return Err(RuntimeError::RecoveryFailed {
+                reason: "coordinator rejected its own committed snapshot",
+            });
+        }
+        self.ledger.rollback_model(ledger_mark);
+        self.micro_rounds_run = rounds_mark;
+        self.engaged_idx.clear();
+        self.engaged_idx.extend_from_slice(&self.engaged_mark);
+        self.calendar.end_step();
+        self.bcast_log.clear();
+        self.delayed.clear();
+        self.wave_frames.clear();
+        self.pending_mask.iter_mut().for_each(|p| *p = false);
+        self.pending_count = 0;
+
+        // Abort wave: one control frame per shard, so every node rolls
+        // back to its step-start checkpoint and outranks the aborted
+        // attempt's keys.
+        let run = self.run;
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        buf.clear();
+        buf.push(T_ABORT);
+        put_varint(&mut buf, t);
+        put_varint(&mut buf, run as u64);
+        let mut res = Ok(());
+        for s in 0..self.writers.len() {
+            if self.write_retransmit(s, &buf).is_err() {
+                res = Err(RuntimeError::NodeDown {
+                    id: NodeId(self.shard_first[s]),
+                });
+                break;
+            }
+            self.ledger.count(ChannelKind::Retransmit, 0);
+        }
+        self.frame_buf = buf;
+        res?;
+        self.flush_all()?;
+        self.collect_abort_acks(t, run)
+    }
+
+    /// Wait for one abort ack per shard (key `(t, run, ABORT_M)`), re-sending
+    /// the abort on timeout. Acks can race with stale work replies of the
+    /// aborted attempt — those are discarded as stale noise.
+    fn collect_abort_acks(&mut self, t: u64, run: u32) -> Result<(), RuntimeError> {
+        let s_count = self.writers.len();
+        let mut ack_pending = vec![true; s_count];
+        let mut waiting = s_count;
+        let tick = Duration::from_millis(
+            self.chaos
+                .map(|p| p.deadline_ms.max(1))
+                .unwrap_or(RECV_TICK_MS),
+        );
+        let budget = self
+            .chaos
+            .map(|p| p.max_retries.saturating_mul(4))
+            .unwrap_or(MAX_IDLE_TICKS);
+        let mut attempts: u32 = 0;
+        while waiting > 0 {
+            match self.from_shards.recv_timeout(tick) {
+                Ok(rep) => {
+                    self.wire.frames_total += 1;
+                    self.wire.bytes_total += rep.frame_bytes;
+                    let s = self.shard_of[rep.id.idx()] as usize;
+                    if rep.t == t && rep.run == run && rep.m == ABORT_M && ack_pending[s] {
+                        ack_pending[s] = false;
+                        waiting -= 1;
+                    } else {
+                        self.recovery.stale_replies += 1;
+                        self.wire.count(ChannelKind::Retransmit, rep.up_bytes);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for (s, pending) in ack_pending.iter().enumerate() {
+                        if *pending && self.shard_handles[s].is_finished() {
+                            return Err(RuntimeError::NodeDown {
+                                id: NodeId(self.shard_first[s]),
+                            });
+                        }
+                    }
+                    attempts += 1;
+                    if attempts > budget {
+                        return Err(RuntimeError::ReplyTimeout {
+                            t,
+                            m: ABORT_M,
+                            waiting,
+                        });
+                    }
+                    // Re-send the abort to shards still owing an ack.
+                    let mut buf = std::mem::take(&mut self.frame_buf);
+                    buf.clear();
+                    buf.push(T_ABORT);
+                    put_varint(&mut buf, t);
+                    put_varint(&mut buf, run as u64);
+                    let mut res = Ok(());
+                    for (s, pending) in ack_pending.iter().enumerate() {
+                        if !*pending {
+                            continue;
+                        }
+                        if self.write_retransmit(s, &buf).is_err() {
+                            res = Err(RuntimeError::NodeDown {
+                                id: NodeId(self.shard_first[s]),
+                            });
+                            break;
+                        }
+                        self.ledger.count(ChannelKind::Retransmit, 0);
+                    }
+                    self.frame_buf = buf;
+                    res?;
+                    self.flush_all()?;
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::AllNodesDown),
+            }
+        }
+        Ok(())
     }
 
     /// Frame the coordinator output of round `m-1` as node-phase `m`,
@@ -1038,7 +1654,7 @@ where
             _ => None,
         };
         self.bcast_log.extend(out.broadcasts.iter().cloned());
-        debug_assert_eq!(self.pending_count, 0, "wave started with replies pending");
+        self.begin_wave()?;
         let n_bcasts = out.broadcasts.len();
 
         let engaged = std::mem::take(&mut self.engaged_idx);
@@ -1078,7 +1694,13 @@ where
             };
             buf.clear();
             buf.push(T_ROUND);
+            if self.chaos.is_some() {
+                put_varint(&mut buf, 0); // stall slot (canonical: none)
+            }
             put_varint(&mut buf, t);
+            if self.chaos.is_some() {
+                put_varint(&mut buf, self.run as u64);
+            }
             put_varint(&mut buf, m as u64);
             put_varint(&mut buf, i as u64);
             put_varint(&mut buf, bcasts.len() as u64);
@@ -1097,7 +1719,7 @@ where
                 }
                 None => buf.push(0),
             }
-            res = self.dispatch_payload(i, &buf);
+            res = self.dispatch_payload(i, t, m, &buf);
             if res.is_err() {
                 break;
             }
@@ -1112,7 +1734,16 @@ where
     /// Mark node `i` pending and write one work frame to its shard. The
     /// sync frame is charged at send intent, mirroring the threaded
     /// runtime; the wire ledger records the physical frame and its bytes.
-    fn dispatch_payload(&mut self, i: u32, payload: &[u8]) -> Result<(), RuntimeError> {
+    /// On a chaotic transport this is also the injection point for every
+    /// seeded fault class — in-process (drop, delay, dup, stall) and wire
+    /// ([`WireChaos`]: torn frame, connection reset, half-open, storm).
+    fn dispatch_payload(
+        &mut self,
+        i: u32,
+        t: u64,
+        m: u32,
+        payload: &[u8],
+    ) -> Result<(), RuntimeError> {
         debug_assert!(
             !self.pending_mask[i as usize],
             "node framed twice in a wave"
@@ -1121,27 +1752,239 @@ where
         self.pending_count += 1;
         self.ledger.count_sync();
         let s = self.shard_of[i as usize] as usize;
-        self.write_to_shard(s, payload)
-            .map_err(|_| RuntimeError::NodeDown { id: NodeId(i) })
+        let Some(p) = self.chaos else {
+            return self
+                .write_model_frame(s, payload)
+                .map_err(|_| RuntimeError::NodeDown { id: NodeId(i) });
+        };
+        let down = |_: WireError| RuntimeError::NodeDown { id: NodeId(i) };
+        // Keep the canonical payload for timeout re-sends regardless of
+        // what the wire does to this copy.
+        self.wave_frames.push((i, payload.to_vec()));
+        let run = self.run;
+        if p.drop_frame(t, run, m, i) {
+            self.recovery.injected_drops += 1;
+            return Ok(());
+        }
+        if p.delay_frame(t, run, m, i) {
+            self.recovery.injected_delays += 1;
+            self.delayed.push((i, payload.to_vec()));
+            return Ok(());
+        }
+        let w = WireChaos::new(p);
+        if w.conn_reset(t, run, m, i) {
+            // The frame dies with the connection: sever before writing.
+            self.recovery.injected_conn_resets += 1;
+            return self.sever_and_redeliver(s, i, t, run, m, payload);
+        }
+        if w.torn_frame(t, run, m, i) {
+            // Half a frame hits the wire, then the connection is cut; the
+            // shard's read_frame sees a truncated payload and reconnects.
+            self.recovery.injected_torn_frames += 1;
+            self.write_torn(s, payload);
+            return self.sever_and_redeliver(s, i, t, run, m, payload);
+        }
+        if p.duplicate_frame(t, run, m, i) {
+            self.recovery.injected_dups += 1;
+            self.write_retransmit(s, payload).map_err(down)?;
+            self.ledger.count(ChannelKind::Retransmit, 0);
+        }
+        let stall = if p.stall_frame(t, run, m, i) {
+            p.stall_ms
+        } else {
+            0
+        };
+        if stall > 0 {
+            self.recovery.injected_stalls += 1;
+            let mut stalled = Vec::with_capacity(payload.len() + 4);
+            stalled_copy(payload, stall, &mut stalled);
+            self.write_model_frame(s, &stalled).map_err(down)?;
+        } else {
+            self.write_model_frame(s, payload).map_err(down)?;
+        }
+        if w.half_open(t, run, m, i) {
+            // The frame made it out, but the connection dies before the
+            // reply can travel back: flush, then sever. The immediate
+            // re-delivery after reconnect is answered from the shard's
+            // reply cache (same `(t, run, m)` key).
+            self.recovery.injected_half_opens += 1;
+            if let Some(wr) = self.writers[s].as_mut() {
+                wr.flush().map_err(|e| down(WireError::Io(e.kind())))?;
+            }
+            return self.sever_and_redeliver(s, i, t, run, m, payload);
+        }
+        Ok(())
     }
 
-    fn write_to_shard(&mut self, s: usize, payload: &[u8]) -> Result<(), WireError> {
+    /// Write one model frame (physical charge + tap + length prefix).
+    fn write_model_frame(&mut self, s: usize, payload: &[u8]) -> Result<(), WireError> {
+        let Some(w) = self.writers[s].as_mut() else {
+            return Err(WireError::Io(io::ErrorKind::NotConnected));
+        };
+        write_frame(w, payload)?;
         self.wire.frames_total += 1;
         self.wire.bytes_total += (FRAME_PREFIX_LEN + payload.len()) as u64;
         if let Some(taps) = &self.taps {
             tap_extend(&taps.to_shard[s], payload);
         }
-        write_frame(&mut self.writers[s], payload)
+        Ok(())
+    }
+
+    /// Write a duplicate/re-sent frame, charging its payload bytes to
+    /// [`ChannelKind::Retransmit`] so the model split stays clean.
+    fn write_retransmit(&mut self, s: usize, payload: &[u8]) -> Result<(), WireError> {
+        self.wire
+            .count(ChannelKind::Retransmit, payload.len() as u64);
+        self.write_model_frame(s, payload)
+    }
+
+    /// Write a deliberately torn frame: a full-length prefix followed by
+    /// only half the payload. Write errors are ignored — the connection is
+    /// about to be severed anyway. The bytes that did leave are charged as
+    /// retransmit overhead.
+    fn write_torn(&mut self, s: usize, payload: &[u8]) {
+        let keep = payload.len() / 2;
+        if let Some(w) = self.writers[s].as_mut() {
+            let prefix = (payload.len() as u32).to_le_bytes();
+            let _ = w.write_all(&prefix);
+            let _ = w.write_all(&payload[..keep]);
+            let _ = w.flush();
+        }
+        self.wire.frames_total += 1;
+        self.wire.bytes_total += (FRAME_PREFIX_LEN + keep) as u64;
+        self.wire.count(ChannelKind::Retransmit, keep as u64);
+    }
+
+    /// Tear down shard `s`'s connection from the driver side. `shutdown`
+    /// (not just drop) because the reader thread holds a dup of the fd —
+    /// both halves must die so the old reader exits and the shard sees
+    /// EOF/reset and reconnects.
+    fn sever_shard(&mut self, s: usize) {
+        if let Some(mut w) = self.writers[s].take() {
+            let _ = w.flush();
+            let _ = w.get_ref().shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Sever shard `s`'s connection, optionally inject a reconnect storm
+    /// (junk connections racing the shard's real reconnect), accept the
+    /// shard's re-handshake, and re-deliver the canonical frame. The shard
+    /// dedups by `(t, run, m)` if the original actually made it through.
+    fn sever_and_redeliver(
+        &mut self,
+        s: usize,
+        i: u32,
+        t: u64,
+        run: u32,
+        m: u32,
+        payload: &[u8],
+    ) -> Result<(), RuntimeError> {
+        let Some(p) = self.chaos else { return Ok(()) };
+        let storm = WireChaos::new(p).reconnect_storm(t, run, m, i);
+        self.sever_shard(s);
+        if storm {
+            // Junk connections that never send a Hello; the accept loop
+            // must skip them (their read times out / EOFs) and still find
+            // the real shard.
+            self.recovery.injected_storms += 1;
+            for _ in 0..2 {
+                if let Ok(junk) = TcpStream::connect(self.addr) {
+                    let _ = junk.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        self.accept_reconnect(s)?;
+        self.write_retransmit(s, payload)
+            .map_err(|_| RuntimeError::NodeDown { id: NodeId(i) })?;
+        if let Some(w) = self.writers[s].as_mut() {
+            w.flush()
+                .map_err(|_| RuntimeError::NodeDown { id: NodeId(i) })?;
+        }
+        self.ledger.count(ChannelKind::Retransmit, 0);
+        self.recovery.redelivered_frames += 1;
+        Ok(())
+    }
+
+    /// Accept shard `s`'s reconnect on the retained listener: validate the
+    /// re-sent `Hello` (version + shard id must match the original), spawn
+    /// a fresh reader for the new connection, and restore the writer. Junk
+    /// connections (storms, stale handshakes) are discarded.
+    fn accept_reconnect(&mut self, s: usize) -> Result<(), RuntimeError> {
+        let Some(listener) = self.listener.as_ref() else {
+            return Err(transport("reconnect without a retained listener"));
+        };
+        let deadline = Instant::now() + ACCEPT_TIMEOUT;
+        let mut payload = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    if stream.set_read_timeout(Some(ACCEPT_TIMEOUT)).is_err() {
+                        continue; // junk connection
+                    }
+                    let mut r = &stream;
+                    if read_frame(&mut r, &mut payload).is_err() {
+                        continue; // junk/storm connection: no Hello
+                    }
+                    self.wire.frames_total += 1;
+                    self.wire.bytes_total += (FRAME_PREFIX_LEN + payload.len()) as u64;
+                    match decode_hello(&payload) {
+                        Ok(shard) if shard as usize == s => {
+                            if stream.set_read_timeout(None).is_err() {
+                                continue;
+                            }
+                            let read_half = stream.try_clone().map_err(transport)?;
+                            let tap = self.taps.as_ref().map(|t| t.from_shard[s].clone());
+                            let Some(tx) = self.reply_tx.clone() else {
+                                return Err(transport(
+                                    "reconnect without a retained reply channel",
+                                ));
+                            };
+                            if let Some(taps) = &self.taps {
+                                tap_extend(&taps.from_shard[s], &payload);
+                            }
+                            self.reader_handles.push(
+                                std::thread::Builder::new()
+                                    .name(format!("topk-shard-rx-{s}r"))
+                                    .spawn(move || reader_main::<NB::Up>(read_half, tx, tap, true))
+                                    .expect("spawn reader thread"),
+                            );
+                            self.writers[s] = Some(BufWriter::new(stream));
+                            self.recovery.reconnects += 1;
+                            return Ok(());
+                        }
+                        // Wrong shard id or version skew: not our shard's
+                        // re-handshake — drop it.
+                        _ => continue,
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return if self.shard_handles[s].is_finished() {
+                            Err(RuntimeError::NodeDown {
+                                id: NodeId(self.shard_first[s]),
+                            })
+                        } else {
+                            Err(transport(format_args!(
+                                "shard {s} did not reconnect within {ACCEPT_TIMEOUT:?}"
+                            )))
+                        };
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(transport(format_args!("reconnect accept failed: {e}"))),
+            }
+        }
     }
 
     /// Push the wave's buffered frames onto the sockets.
     fn flush_all(&mut self) -> Result<(), RuntimeError> {
         for s in 0..self.writers.len() {
-            self.writers[s]
-                .flush()
-                .map_err(|_| RuntimeError::NodeDown {
+            if let Some(w) = self.writers[s].as_mut() {
+                w.flush().map_err(|_| RuntimeError::NodeDown {
                     id: NodeId(self.shard_first[s]),
                 })?;
+            }
         }
         Ok(())
     }
@@ -1157,8 +2000,13 @@ where
     /// Collect the in-flight wave's replies — the same bookkeeping as the
     /// threaded runtime's `collect` (id-sorted ups, engaged rebuild,
     /// calendar `note_poll`), plus the reply side of the wire ledger. A
-    /// dead shard or [`MAX_IDLE_TICKS`] of silence surfaces as a typed
-    /// error instead of a hung receive.
+    /// dead shard or reply-deadline exhaustion surfaces as a typed error
+    /// instead of a hung receive.
+    ///
+    /// Timing: a clean transport ticks at [`RECV_TICK_MS`] and gives up
+    /// after [`MAX_IDLE_TICKS`] of silence; a chaotic one honors the
+    /// policy's `deadline_ms` per tick and `max_retries` re-send rounds
+    /// (each timeout re-sends the wave's still-pending canonical frames).
     fn collect(
         &mut self,
         t: u64,
@@ -1169,8 +2017,14 @@ where
         let log_len = self.bcast_log.len();
         let mut next = std::mem::take(&mut self.engaged_scratch);
         next.clear();
-        let tick = Duration::from_millis(RECV_TICK_MS);
+        let chaotic = self.chaos.is_some();
+        let tick = Duration::from_millis(
+            self.chaos
+                .map(|p| p.deadline_ms.max(1))
+                .unwrap_or(RECV_TICK_MS),
+        );
         let mut idle: u32 = 0;
+        let mut attempts: u32 = 0;
         let result = loop {
             if self.pending_count == 0 {
                 break Ok(());
@@ -1180,14 +2034,38 @@ where
                     idle = 0;
                     self.wire.frames_total += 1;
                     self.wire.bytes_total += rep.frame_bytes;
+                    let idx = rep.id.idx();
+                    if rep.t != t
+                        || rep.run != self.run
+                        || rep.m != phase
+                        || !self.pending_mask[idx]
+                    {
+                        // Stale on a chaotic wire (duplicate answered from
+                        // the shard's reply cache, or a leftover of an
+                        // aborted attempt); unreachable on a clean one but
+                        // tolerated defensively.
+                        if chaotic {
+                            self.recovery.stale_replies += 1;
+                            self.wire.count(ChannelKind::Retransmit, rep.up_bytes);
+                        }
+                        continue;
+                    }
+                    if chaotic && !self.reply_dropped[idx] {
+                        if let Some(p) = self.chaos {
+                            if p.drop_reply(t, self.run, phase, rep.id.0) {
+                                // The reply is "lost" after the bytes
+                                // physically arrived; charge them off-model
+                                // and wait for the re-send to answer from
+                                // the reply cache.
+                                self.reply_dropped[idx] = true;
+                                self.recovery.injected_reply_drops += 1;
+                                self.wire.count(ChannelKind::Retransmit, rep.up_bytes);
+                                continue;
+                            }
+                        }
+                    }
                     if rep.up.is_some() {
                         self.wire.count(ChannelKind::Up, rep.up_bytes);
-                    }
-                    let idx = rep.id.idx();
-                    if rep.t != t || rep.m != phase || !self.pending_mask[idx] {
-                        // Unreachable on an ordered, reliable stream;
-                        // tolerated defensively.
-                        continue;
                     }
                     self.pending_mask[idx] = false;
                     self.pending_count -= 1;
@@ -1211,13 +2089,28 @@ where
                     if let Some(id) = self.find_dead_pending() {
                         break Err(RuntimeError::NodeDown { id });
                     }
-                    idle += 1;
-                    if idle >= MAX_IDLE_TICKS {
-                        break Err(RuntimeError::ReplyTimeout {
-                            t,
-                            m: phase,
-                            waiting: self.pending_count,
-                        });
+                    if chaotic {
+                        attempts += 1;
+                        if attempts > self.chaos.map(|p| p.max_retries).unwrap_or(0) {
+                            break Err(RuntimeError::ReplyTimeout {
+                                t,
+                                m: phase,
+                                waiting: self.pending_count,
+                            });
+                        }
+                        if let Err(e) = self.resend_pending() {
+                            break Err(e);
+                        }
+                        self.recovery.retries += 1;
+                    } else {
+                        idle += 1;
+                        if idle >= MAX_IDLE_TICKS {
+                            break Err(RuntimeError::ReplyTimeout {
+                                t,
+                                m: phase,
+                                waiting: self.pending_count,
+                            });
+                        }
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => break Err(RuntimeError::AllNodesDown),
@@ -1289,10 +2182,15 @@ where
     fn send_halt(&mut self) {
         let payload = [T_HALT];
         for s in 0..self.writers.len() {
-            let _ = self.write_to_shard(s, &payload);
-            let _ = self.writers[s].flush();
+            let _ = self.write_model_frame(s, &payload);
+            if let Some(w) = self.writers[s].as_mut() {
+                let _ = w.flush();
+            }
         }
         self.writers.clear();
+        // Dropping the listener unblocks any shard still trying to
+        // reconnect (its connect loop fails fast).
+        self.listener = None;
     }
 
     /// Shut down all shard threads and return their behaviors in node-id

@@ -36,6 +36,33 @@
 //! The exact bytes of a fixed-seed run are pinned by the golden-frame
 //! snapshot test (`crates/net/tests/wire_golden.rs`): any drift in this
 //! layout or in a message codec shows up as a byte-level diff there.
+//!
+//! # Wire-chaos injection points
+//!
+//! A chaotic socket transport ([`crate::chaos::WireChaos`] behind a
+//! [`crate::chaos::ChaosPolicy`]) attacks exactly this layout, at the
+//! driver's frame-write path:
+//!
+//! * **Torn frame** — the full length prefix followed by only half the
+//!   payload, then the connection is severed; the shard's `read_frame`
+//!   observes the mid-frame EOF as a typed [`crate::socket::WireError`]
+//!   and reconnects (this is the fault the decode-never-panics proptests
+//!   were written for).
+//! * **Connection reset** — the stream dies *before* the frame is
+//!   written; the re-delivered copy after the re-handshake is the first
+//!   delivery.
+//! * **Half-open connection** — the frame is written and flushed, then
+//!   the connection is severed before the reply can travel back; the
+//!   re-delivered copy is answered from the shard's reply cache.
+//! * **Reconnect storm** — junk connections race the shard's real
+//!   reconnect; the `Hello` handshake (version + shard id) is what lets
+//!   the driver tell them apart.
+//!
+//! Chaotic transports use a *recoverable* frame layout: work frames gain a
+//! stall-slot varint after the tag and a `run` (attempt number) varint
+//! after `t`, and replies echo `(t, run, m)` so re-deliveries dedup on the
+//! idempotency key. Clean-transport bytes are unchanged — the golden
+//! snapshot pins the layout above, not the chaos variant.
 
 use bytes::{Buf, BufMut};
 

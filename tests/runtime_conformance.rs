@@ -371,34 +371,41 @@ fn assert_strategies_agree(spec: &WorkloadSpec, k: usize, seed: u64, steps: u64,
     }
 }
 
-/// Chaos conformance: a threaded monitor behind a seeded fault-injection
+/// Chaos conformance: a monitor on `engine` behind a seeded fault-injection
 /// transport ([`ChaosPolicy`]) against a fault-free sequential twin. At
 /// every *committed* step the chaotic run must be indistinguishable —
 /// identical answers, thresholds, typed event streams, model ledgers and
-/// (recovery block aside) protocol metrics. When the policy cannot restart
-/// the coordinator the pin tightens to full transport identity: the same
-/// `sync_frames` as a fault-free threaded twin (frames are charged at
-/// dispatch intent, so drops/dups/retries never leak into the model).
+/// (recovery and wire blocks aside) protocol metrics. When the policy
+/// cannot restart the coordinator the pin tightens to full transport
+/// identity: the same `sync_frames` as a fault-free twin on the same
+/// engine (frames are charged at dispatch intent, so drops/dups/retries
+/// never leak into the model), and on the socket engine the physical wire
+/// ledger's model split — up/down/broadcast frames *and* bytes — is
+/// byte-identical to the clean socket twin (faulty traffic lands on the
+/// retransmit channel only).
+///
+/// Returns the chaotic run's recovery counters so callers can assert
+/// coverage of specific fault classes across arms.
 fn assert_chaos_conformant(
+    engine: Engine,
     policy: ChaosPolicy,
     strategy: ResetStrategy,
     spec: &WorkloadSpec,
     k: usize,
     seed: u64,
     steps: u64,
-) {
+) -> RecoveryMetrics {
     let n = spec.n();
     let builder = MonitorBuilder::new(n, k).reset(strategy).seed(seed);
     let mut twin = builder.clone().engine(Engine::Sequential).build();
-    let mut chaotic = builder.chaos(policy).build();
-    let mut thr_clean =
-        ThreadedTopkMonitor::new(MonitorConfig::new(n, k).with_reset(strategy), seed);
+    let mut clean = builder.clone().engine(engine).build();
+    let mut chaotic = builder.engine(engine).chaos(policy).build();
 
     let mut twin_feed = spec.build(seed ^ 0xfeed);
     let mut chaos_feed = spec.build(seed ^ 0xfeed);
     let mut clean_feed = spec.build(seed ^ 0xfeed);
     let mut changes: Vec<(NodeId, Value)> = Vec::new();
-    let tag = format!("chaos(seed={}, {strategy:?})", policy.seed);
+    let tag = format!("chaos(seed={}, {engine:?}, {strategy:?})", policy.seed);
 
     for t in 0..steps {
         twin_feed.fill_delta(t, &mut changes);
@@ -410,7 +417,8 @@ fn assert_chaos_conformant(
         let ev_chaos: Vec<TopkEvent> = chaotic.advance(t).to_vec();
 
         clean_feed.fill_delta(t, &mut changes);
-        thr_clean.step_sparse(t, &changes);
+        clean.update_batch(changes.iter().copied());
+        clean.advance(t);
 
         assert_eq!(ev_twin, ev_chaos, "t={t}: {tag} event stream diverged");
         assert_eq!(twin.topk(), chaotic.topk(), "t={t}: {tag} answer diverged");
@@ -426,17 +434,21 @@ fn assert_chaos_conformant(
         );
     }
 
-    // Protocol metrics match exactly once the recovery block is zeroed.
-    let recovery = *chaotic.recovery().expect("chaotic engine is threaded");
+    // Protocol metrics match exactly once the engine-local blocks are
+    // zeroed: recovery counts the faults themselves, wire counts physical
+    // bytes (populated only on the socket engine, where faulty traffic
+    // legitimately inflates the totals).
+    let recovery = *chaotic.recovery().expect("chaotic engines expose recovery");
     let scrubbed = RunMetrics {
         recovery: Default::default(),
+        wire: Default::default(),
         ..*chaotic.metrics()
     };
-    assert_eq!(
-        scrubbed,
-        *twin.metrics(),
-        "{tag}: protocol metrics diverged"
-    );
+    let twin_scrubbed = RunMetrics {
+        wire: Default::default(),
+        ..*twin.metrics()
+    };
+    assert_eq!(scrubbed, twin_scrubbed, "{tag}: protocol metrics diverged");
     assert!(
         recovery.injected_total() > 0,
         "{tag}: the policy must actually inject faults: {recovery:?}"
@@ -445,10 +457,32 @@ fn assert_chaos_conformant(
         assert_eq!(recovery.restarts, 0, "{tag}: no restarts without a rate");
         assert_eq!(
             chaotic.sync_frames(),
-            Some(thr_clean.sync_frames()),
+            clean.sync_frames(),
             "{tag}: without restarts even transport frames are identical"
         );
+        if let (Some(cw), Some(ww)) = (chaotic.wire(), clean.wire()) {
+            assert_eq!(
+                (cw.up_frames, cw.up_bytes, cw.down_frames, cw.down_bytes),
+                (ww.up_frames, ww.up_bytes, ww.down_frames, ww.down_bytes),
+                "{tag}: wire model split (up/down) diverged from clean socket"
+            );
+            assert_eq!(
+                (cw.broadcast_frames, cw.broadcast_bytes),
+                (ww.broadcast_frames, ww.broadcast_bytes),
+                "{tag}: wire model split (broadcast) diverged from clean socket"
+            );
+            assert_eq!(
+                (ww.retransmit_frames, ww.retransmit_bytes),
+                (0, 0),
+                "{tag}: a fault-free socket twin never retransmits"
+            );
+            assert!(
+                cw.retransmit_bytes > 0,
+                "{tag}: faulty wire traffic must land on the retransmit channel"
+            );
+        }
     }
+    recovery
 }
 
 #[test]
@@ -465,7 +499,7 @@ fn chaos_seeds_and_strategies_conform_to_fault_free_twin() {
     for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
         for chaos_seed in [1u64, 2, 3] {
             let policy = ChaosPolicy::from_seed(chaos_seed);
-            assert_chaos_conformant(policy, strategy, &spec, 2, 17, 120);
+            assert_chaos_conformant(Engine::Threaded, policy, strategy, &spec, 2, 17, 120);
         }
     }
 }
@@ -477,8 +511,142 @@ fn chaos_without_restarts_is_frame_identical() {
     let spec = WorkloadSpec::default_walk(12);
     for chaos_seed in [7u64, 8, 9] {
         let policy = ChaosPolicy::from_seed(chaos_seed).with_rates(40, 40, 25, 10, 25, 0);
-        assert_chaos_conformant(policy, ResetStrategy::Batched, &spec, 3, 23, 150);
+        assert_chaos_conformant(
+            Engine::Threaded,
+            policy,
+            ResetStrategy::Batched,
+            &spec,
+            3,
+            23,
+            150,
+        );
     }
+}
+
+#[test]
+fn socket_chaos_seeds_and_strategies_conform_to_fault_free_twin() {
+    // The wire-level tentpole pin: ≥ 3 wire-fault seeds × both reset
+    // strategies on `Engine::Socket`. Every frame crosses a real loopback
+    // socket through the seeded [`WireChaos`] layer — torn frames,
+    // connection resets, half-open connections, reconnect storms — on top
+    // of the in-process classes, and every committed step must still be
+    // bit-identical to the fault-free sequential twin (answers, thresholds,
+    // events, model ledger). Recovery rides the protocol semantics alone:
+    // `(t, run, m)` dedup, `Hello` re-handshake, snapshot + step re-run.
+    let spec = WorkloadSpec::BoundaryCross {
+        n: 10,
+        base: 100,
+        spread: 25,
+        amplitude: 30,
+        period: 4,
+    };
+    let mut sum = RecoveryMetrics::default();
+    for strategy in [ResetStrategy::Batched, ResetStrategy::Legacy] {
+        for chaos_seed in [1u64, 2, 3] {
+            let policy = ChaosPolicy::from_seed(chaos_seed);
+            let r = assert_chaos_conformant(Engine::Socket, policy, strategy, &spec, 2, 17, 120);
+            sum.injected_torn_frames += r.injected_torn_frames;
+            sum.injected_conn_resets += r.injected_conn_resets;
+            sum.injected_half_opens += r.injected_half_opens;
+            sum.injected_storms += r.injected_storms;
+            sum.reconnects += r.reconnects;
+            sum.redelivered_frames += r.redelivered_frames;
+        }
+    }
+    // Across the 6 arms every wire fault class must actually have fired,
+    // and every severed connection must have come back via re-handshake.
+    assert!(
+        sum.injected_torn_frames > 0,
+        "no torn frames fired: {sum:?}"
+    );
+    assert!(sum.injected_conn_resets > 0, "no resets fired: {sum:?}");
+    assert!(sum.injected_half_opens > 0, "no half-opens fired: {sum:?}");
+    assert!(sum.reconnects > 0, "wire faults must force reconnects");
+    assert!(
+        sum.redelivered_frames > 0,
+        "reconnects must re-deliver frames through the (t, run, m) dedup"
+    );
+}
+
+#[test]
+fn socket_chaos_without_restarts_is_wire_model_identical() {
+    // No coordinator crashes, wire rates boosted: the socket pin tightens
+    // inside `assert_chaos_conformant` to byte-identity of the wire
+    // ledger's model split against a clean socket twin — torn halves,
+    // duplicates and re-deliveries are all charged to the retransmit
+    // channel, never to up/down/broadcast.
+    let spec = WorkloadSpec::default_walk(12);
+    let mut sum = RecoveryMetrics::default();
+    for chaos_seed in [7u64, 8, 9] {
+        let policy = ChaosPolicy::from_seed(chaos_seed)
+            .with_rates(40, 40, 25, 10, 25, 0)
+            .with_wire_rates(25, 25, 20, 400);
+        let r = assert_chaos_conformant(
+            Engine::Socket,
+            policy,
+            ResetStrategy::Batched,
+            &spec,
+            3,
+            23,
+            100,
+        );
+        sum.injected_torn_frames += r.injected_torn_frames;
+        sum.injected_conn_resets += r.injected_conn_resets;
+        sum.injected_half_opens += r.injected_half_opens;
+        sum.reconnects += r.reconnects;
+    }
+    assert!(
+        sum.injected_torn_frames + sum.injected_conn_resets + sum.injected_half_opens > 0,
+        "boosted wire rates must inject wire faults: {sum:?}"
+    );
+    assert!(sum.reconnects > 0, "wire faults must force reconnects");
+}
+
+#[test]
+fn socket_chaos_restart_storm_still_conforms() {
+    // Crash-heavy policy on the socket engine: the coordinator restores
+    // from its committed `CoordSnapshot` and re-runs whole steps over real
+    // sockets (abort frames, reply-cache dedup, reconnects racing the
+    // re-run). Committed answers stay exact; the model ledger is
+    // deliberately not compared — a re-run legitimately repeats rounds,
+    // exactly as in the threaded storm arm above.
+    let spec = WorkloadSpec::RotatingMax {
+        n: 8,
+        base: 100,
+        bonus: 10_000,
+    };
+    let mut restarts_seen = 0;
+    let mut reconnects_seen = 0;
+    for chaos_seed in [4u64, 5, 6] {
+        let policy = ChaosPolicy::from_seed(chaos_seed).with_rates(20, 20, 10, 5, 10, 120);
+        let builder = MonitorBuilder::new(8, 2)
+            .seed(31)
+            .engine(Engine::Socket)
+            .chaos(policy);
+        let mut chaotic = builder.build();
+        let mut twin = MonitorBuilder::new(8, 2).seed(31).build();
+        let mut feed_a = spec.build(99);
+        let mut feed_b = spec.build(99);
+        for t in 0..100 {
+            chaotic.ingest(&mut feed_a, t);
+            twin.ingest(&mut feed_b, t);
+            let (ea, eb) = (chaotic.advance(t).to_vec(), twin.advance(t).to_vec());
+            assert_eq!(ea, eb, "t={t}: socket restart arm event stream diverged");
+            assert_eq!(chaotic.topk(), twin.topk(), "t={t}");
+            assert_eq!(chaotic.threshold(), twin.threshold(), "t={t}");
+        }
+        let r = chaotic.recovery().expect("socket engine exposes recovery");
+        restarts_seen += r.restarts;
+        reconnects_seen += r.reconnects;
+    }
+    assert!(
+        restarts_seen > 0,
+        "a 12% crash rate over 3×100 churny steps must restart at least once"
+    );
+    assert!(
+        reconnects_seen > 0,
+        "wire faults under restarts must force reconnects"
+    );
 }
 
 #[test]
