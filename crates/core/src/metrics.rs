@@ -64,6 +64,32 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Counter-wise accumulate `other` into `self`, including the embedded
+    /// [`RecoveryMetrics`] and [`WireMetrics`] blocks — the aggregation
+    /// step of the sharded serving layer: `topk-serve` folds its S shards'
+    /// metrics into one service-level block with S calls. Every field is a
+    /// pure sum, so `steps` becomes shard-steps (S × the wall-clock step
+    /// count when every shard advances in lockstep); divide by the shard
+    /// count for per-shard averages.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.steps += other.steps;
+        self.violation_steps += other.violation_steps;
+        self.viol_up += other.viol_up;
+        self.viol_bcast += other.viol_bcast;
+        self.handler_calls += other.handler_calls;
+        self.handler_protocols += other.handler_protocols;
+        self.handler_up += other.handler_up;
+        self.handler_bcast += other.handler_bcast;
+        self.midpoint_updates += other.midpoint_updates;
+        self.midpoint_bcast += other.midpoint_bcast;
+        self.resets += other.resets;
+        self.reset_up += other.reset_up;
+        self.reset_bcast += other.reset_bcast;
+        self.reset_rounds += other.reset_rounds;
+        self.recovery.absorb(&other.recovery);
+        self.wire.absorb(&other.wire);
+    }
+
     /// Total up-messages attributed across phases.
     pub fn total_up(&self) -> u64 {
         self.viol_up + self.handler_up + self.reset_up

@@ -182,6 +182,40 @@ impl MonitorBuilder {
         &self.cfg
     }
 
+    /// The master seed ([`Self::seed`]).
+    pub fn build_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The selected engine, unresolved ([`Self::engine`]).
+    pub fn build_engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The chaos policy, if any ([`Self::chaos`]).
+    pub fn build_chaos(&self) -> Option<ChaosPolicy> {
+        self.chaos
+    }
+
+    /// A copy of this builder retargeted at a `(n, k)` instance of a
+    /// different size, every other knob (slack, reset strategy, handler
+    /// mode, policy, seed, engine, chaos) preserved. This is how the
+    /// sharded serving layer (`topk-serve`) stamps out per-shard sessions
+    /// from one template builder.
+    pub fn sized(&self, n: usize, k: usize) -> MonitorBuilder {
+        let mut cfg = MonitorConfig::new(n, k);
+        cfg.policy = self.cfg.policy;
+        cfg.handler_mode = self.cfg.handler_mode;
+        cfg.slack = self.cfg.slack;
+        cfg.reset = self.cfg.reset;
+        MonitorBuilder {
+            cfg,
+            seed: self.seed,
+            engine: self.engine,
+            chaos: self.chaos,
+        }
+    }
+
     /// Assemble the session. Borrowing (not consuming) the builder makes it
     /// a reusable template: call `build` repeatedly for independent
     /// sessions with identical configuration.
@@ -565,6 +599,20 @@ impl MonitorSession {
     /// O(1): is `id` currently monitored as top-k?
     pub fn in_topk(&self, id: NodeId) -> bool {
         self.member_mask[id.idx()]
+    }
+
+    /// O(1): the committed value of node `id` (what the engine has seen;
+    /// buffered updates not yet committed by [`advance`](Self::advance)
+    /// are not reflected). Nodes never updated observe `0`.
+    pub fn value(&self, id: NodeId) -> Value {
+        self.row[id.idx()]
+    }
+
+    /// The whole committed value row (`n` entries, indexed by node id).
+    /// The serving layer reads member values from here when it rebuilds a
+    /// shard's merge candidates.
+    pub fn committed_row(&self) -> &[Value] {
+        &self.row
     }
 
     /// The shared filter threshold `M`, once initialized.

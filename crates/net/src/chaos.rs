@@ -352,6 +352,28 @@ pub struct RecoveryMetrics {
 }
 
 impl RecoveryMetrics {
+    /// Counter-wise accumulate `other` into `self` — the aggregation step
+    /// of the sharded serving layer (`topk-serve` sums its shards'
+    /// recovery counters into one service-level block).
+    pub fn absorb(&mut self, other: &RecoveryMetrics) {
+        self.injected_drops += other.injected_drops;
+        self.injected_dups += other.injected_dups;
+        self.injected_delays += other.injected_delays;
+        self.injected_stalls += other.injected_stalls;
+        self.injected_reply_drops += other.injected_reply_drops;
+        self.restarts += other.restarts;
+        self.injected_torn_frames += other.injected_torn_frames;
+        self.injected_conn_resets += other.injected_conn_resets;
+        self.injected_half_opens += other.injected_half_opens;
+        self.injected_storms += other.injected_storms;
+        self.reconnects += other.reconnects;
+        self.retries += other.retries;
+        self.redelivered_frames += other.redelivered_frames;
+        self.stale_replies += other.stale_replies;
+        self.rerun_rounds += other.rerun_rounds;
+        self.recovery_nanos += other.recovery_nanos;
+    }
+
     /// Total injected faults of every class (in-process and wire).
     pub fn injected_total(&self) -> u64 {
         self.injected_drops

@@ -205,6 +205,22 @@ impl WireMetrics {
     pub fn overhead_bytes(&self) -> u64 {
         self.bytes_total.saturating_sub(self.model_bytes())
     }
+
+    /// Counter-wise accumulate `other` into `self` — the aggregation step
+    /// of the sharded serving layer (`topk-serve` sums its shards' wire
+    /// ledgers into one service-level block).
+    pub fn absorb(&mut self, other: &WireMetrics) {
+        self.up_frames += other.up_frames;
+        self.up_bytes += other.up_bytes;
+        self.down_frames += other.down_frames;
+        self.down_bytes += other.down_bytes;
+        self.broadcast_frames += other.broadcast_frames;
+        self.broadcast_bytes += other.broadcast_bytes;
+        self.retransmit_frames += other.retransmit_frames;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.frames_total += other.frames_total;
+        self.bytes_total += other.bytes_total;
+    }
 }
 
 /// Mutable message ledger owned by a runtime driver.

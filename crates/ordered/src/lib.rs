@@ -22,6 +22,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod merge;
+
+pub use merge::ShardMerge;
+
 use topk_net::id::{midpoint_floor, true_ranking, NodeId, RankEntry, Value};
 use topk_net::ledger::{ChannelKind, CommLedger, LedgerSnapshot};
 use topk_net::rng::derive_seed;

@@ -1,0 +1,240 @@
+//! Exact S-way merge of shard-local top-k lists — the composition step of
+//! the sharded serving layer (`topk-serve`).
+//!
+//! **Why the merge is exact.** If global key `x` is among the top `k` of
+//! the whole key space, then `x` is among the top `k` of whatever shard
+//! holds it — removing keys can only improve `x`'s rank. So the union of
+//! shard-local top-`k` lists is a *superset* of the global top-`k`, and
+//! selecting the `k` best of that union loses nothing. The same argument
+//! with `k+1` gives the exact global `(k+1)`-th best — the *bar*, the
+//! serving layer's threshold — from per-shard top-`(k+1)` lists. This is
+//! the cross-shard composition of the distributed top-k/k-select data
+//! structures of Biermeier et al. (arXiv:1709.07259): shard winners in,
+//! exact global winners out, communication proportional to `S·k`, never
+//! to the key count.
+//!
+//! **Machinery reuse.** The candidate selection is literally
+//! [`KSelectAggregator`] with `count = k+1`: shard candidates are absorbed
+//! best-first, the running `(k+1)`-th best is the deactivation bar, and a
+//! shard whose next candidate cannot beat the bar is cut off early —
+//! exactly how the batched `FILTERRESET` sweep deactivates sampling
+//! participants. [`ShardMerge::offer`] performs that cutoff, so a merge
+//! over `S` shards typically inspects `≈ S + (k+1)·log S` candidates (one
+//! per shard plus the record-entry tail), not all `S·(k+1)` — the
+//! worst case (shards offered in ascending strength) remains `S·(k+1)`.
+
+use topk_net::id::Value;
+use topk_net::wire::Report;
+use topk_proto::extremum::{MaxOrder, ProtocolOrder};
+use topk_proto::kselect::KSelectAggregator;
+
+/// Reusable exact merge of per-shard ranked candidate lists into the
+/// global top-`k` ranking plus the `(k+1)`-th-best cut.
+///
+/// Lifecycle per merge: [`begin`](Self::begin), one
+/// [`offer`](Self::offer) per shard (each list best-first), then read
+/// [`ranking`](Self::ranking) / [`bar`](Self::bar). All buffers are owned
+/// and retained — steady-state merges allocate nothing.
+///
+/// ```
+/// use topk_net::id::NodeId;
+/// use topk_net::wire::Report;
+/// use topk_ordered::ShardMerge;
+///
+/// let mut merge = ShardMerge::new(2, 6);
+/// merge.begin();
+/// // Shard lists are best-first; ids are global keys.
+/// merge.offer(&[
+///     Report { id: NodeId(0), value: 90 },
+///     Report { id: NodeId(4), value: 10 },
+/// ]);
+/// merge.offer(&[
+///     Report { id: NodeId(1), value: 70 },
+///     Report { id: NodeId(3), value: 50 },
+/// ]);
+/// let ranking: Vec<NodeId> = merge.ranking().iter().map(|r| r.id).collect();
+/// assert_eq!(ranking, vec![NodeId(0), NodeId(1)]);
+/// assert_eq!(merge.bar(), Some(50)); // exact global (k+1)-th best
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardMerge {
+    k: usize,
+    select: KSelectAggregator<MaxOrder>,
+    /// Candidates offered across all shards since `begin` (the `O(S + k)`
+    /// witness: absorbed + bar-rejected first elements, excluding the ones
+    /// the bar cut off without inspection).
+    offered: u64,
+}
+
+impl ShardMerge {
+    /// Merge towards a global top-`k` over a key space of `keys` total
+    /// keys (`keys ≥ 1` is only used for the aggregator's protocol bound;
+    /// the merge itself never depends on it).
+    pub fn new(k: usize, keys: u64) -> Self {
+        assert!(k >= 1, "must merge towards at least one position");
+        ShardMerge {
+            k,
+            select: KSelectAggregator::new(k + 1, keys.max(1)),
+            offered: 0,
+        }
+    }
+
+    /// Start a fresh merge, retaining buffer capacity.
+    pub fn begin(&mut self) {
+        self.select.clear();
+        self.offered = 0;
+    }
+
+    /// Absorb one shard's candidate list. `candidates` must be best-first
+    /// (descending value, ascending global key id on ties) — the order a
+    /// shard session's `topk_by_rank()` already has. Offering stops at the
+    /// first candidate the current bar deactivates: everything after it is
+    /// provably outside the global top-`(k+1)`.
+    pub fn offer(&mut self, candidates: &[Report]) {
+        debug_assert!(
+            candidates.windows(2).all(|w| MaxOrder::better(w[0], w[1])),
+            "shard candidates must be strictly best-first"
+        );
+        for &c in candidates {
+            self.offered += 1;
+            if let Some(bar) = self.select.bar() {
+                if !MaxOrder::better(c, bar) {
+                    break; // bar deactivation: the rest of the list is worse
+                }
+            }
+            self.select.absorb(c);
+        }
+    }
+
+    /// The merged global ranking, best-first, at most `k` entries (fewer
+    /// only when the whole key space holds fewer than `k` keys).
+    pub fn ranking(&self) -> &[Report] {
+        let w = self.select.winners();
+        &w[..w.len().min(self.k)]
+    }
+
+    /// The exact global `(k+1)`-th-best value — the serving layer's
+    /// threshold. `None` while fewer than `k+1` candidates exist (key
+    /// space no larger than `k`).
+    pub fn bar(&self) -> Option<Value> {
+        self.select.winners().get(self.k).map(|r| r.value)
+    }
+
+    /// The merge target `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Candidates inspected since [`begin`](Self::begin) — thanks to the
+    /// bar cutoff typically `≈ S + (k+1)·log S` per merge rather than the
+    /// full `S·(k+1)` pool.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::id::{true_ranking, NodeId};
+
+    /// Split `values` round-robin into `s` shards, rank each shard's keys
+    /// locally, and return per-shard best-first top-(k+1) candidate lists
+    /// with global ids.
+    fn shard_lists(values: &[Value], s: usize, k: usize) -> Vec<Vec<Report>> {
+        let mut lists = vec![Vec::new(); s];
+        for (i, &v) in values.iter().enumerate() {
+            lists[i % s].push(Report {
+                id: NodeId(i as u32),
+                value: v,
+            });
+        }
+        for list in &mut lists {
+            list.sort_unstable_by(|a, b| b.value.cmp(&a.value).then_with(|| a.id.cmp(&b.id)));
+            list.truncate(k + 1);
+        }
+        lists
+    }
+
+    fn check_exact(values: &[Value], s: usize, k: usize) {
+        let mut merge = ShardMerge::new(k, values.len() as u64);
+        merge.begin();
+        for list in shard_lists(values, s, k) {
+            merge.offer(&list);
+        }
+        let truth = true_ranking(values);
+        let got: Vec<NodeId> = merge.ranking().iter().map(|r| r.id).collect();
+        assert_eq!(got, truth[..k.min(values.len())].to_vec(), "ranking");
+        let expected_bar = (values.len() > k).then(|| values[truth[k].idx()]);
+        assert_eq!(merge.bar(), expected_bar, "bar");
+        // Ranked values must be the committed ones.
+        for r in merge.ranking() {
+            assert_eq!(r.value, values[r.id.idx()]);
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_across_shard_counts() {
+        let values: Vec<Value> = (0..40u64).map(|i| (i * 7919) % 1013).collect();
+        for s in [1, 2, 3, 7, 11] {
+            for k in [1, 3, 8] {
+                check_exact(&values, s, k);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_ties_by_global_id() {
+        // All-equal values: the top-k must be the k lowest global ids, no
+        // matter how keys are sharded.
+        let values = vec![5u64; 12];
+        for s in [1, 2, 5] {
+            let mut merge = ShardMerge::new(3, 12);
+            merge.begin();
+            for list in shard_lists(&values, s, 3) {
+                merge.offer(&list);
+            }
+            let got: Vec<NodeId> = merge.ranking().iter().map(|r| r.id).collect();
+            assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(2)]);
+            assert_eq!(merge.bar(), Some(5));
+        }
+    }
+
+    #[test]
+    fn small_key_space_has_no_bar() {
+        let values = vec![9u64, 4];
+        check_exact(&values, 2, 2);
+        let mut merge = ShardMerge::new(2, 2);
+        merge.begin();
+        for list in shard_lists(&values, 2, 2) {
+            merge.offer(&list);
+        }
+        assert_eq!(merge.bar(), None);
+        assert_eq!(merge.ranking().len(), 2);
+    }
+
+    #[test]
+    fn bar_cutoff_bounds_inspected_candidates() {
+        // 64 shards × 9 candidates each; the bar must cut off all but
+        // O(S + k) of them.
+        let n = 64 * 9;
+        let values: Vec<Value> = (0..n as u64).map(|i| (i * 2654435761) % 100_000).collect();
+        let k = 8;
+        let s = 64;
+        let mut merge = ShardMerge::new(k, n as u64);
+        merge.begin();
+        for list in shard_lists(&values, s, k) {
+            merge.offer(&list);
+        }
+        check_exact(&values, s, k);
+        // One inspected candidate per shard plus the record-entry tail
+        // (≈ (k+1)·H_S entries for value-shuffled shards).
+        let log2_s = (usize::BITS - s.leading_zeros()) as usize;
+        assert!(
+            merge.offered() <= (s + 2 * (k + 1) * log2_s) as u64,
+            "bar cutoff failed: inspected {} of {} candidates",
+            merge.offered(),
+            s * (k + 1)
+        );
+    }
+}

@@ -1,10 +1,13 @@
 //! Multi-resolution dashboard: track the top-1, top-5 and top-20 of one
-//! sensor field simultaneously — one `MonitorSession` per resolution, all
-//! fed from a single ingest loop, with per-resolution message accounting
-//! and membership-churn event counts.
+//! sensor field simultaneously — one sharded [`TopkService`] monitoring
+//! k = 20, with the coarser resolutions read off as *prefixes* of the
+//! merged global rank order.
 //!
-//! (`topk_monitoring::core::MultiKMonitor` bundles the same per-k instances
-//! behind the low-level `Monitor` trait; sessions buy the event streams.)
+//! The serving layer makes the old one-session-per-k fan-out unnecessary:
+//! the service's `topk_by_rank()` is the exact global ranking (an S-way
+//! merge of shard candidate lists), so rank prefix `[..j]` *is* the exact
+//! top-j for every `j ≤ k`. One monitored k, one message budget, every
+//! resolution — against three sessions each paying their own protocol.
 //!
 //! Run with: `cargo run --release --example multi_dashboard`
 
@@ -13,6 +16,7 @@ use topk_monitoring::prelude::*;
 fn main() {
     let n = 100;
     let ks = [1usize, 5, 20];
+    let k_max = *ks.iter().max().unwrap();
     let steps = 2_000u64;
 
     // Load-average-like telemetry: wide domain, modest steps — the regime
@@ -27,76 +31,80 @@ fn main() {
         lazy_p: 0.2,
     };
     let mut feed = spec.build(7);
-    let mut sessions: Vec<MonitorSession> = ks
-        .iter()
-        .map(|&k| MonitorBuilder::new(n, k).seed(99).build())
-        .collect();
+    let mut svc = ServeBuilder::new(n, k_max).shards(4).seed(99).build();
     let mut churn = vec![0u64; ks.len()];
+    let mut prev: Vec<Vec<NodeId>> = ks.iter().map(|_| Vec::new()).collect();
     let mut naive = NaiveMonitor::new(n, 1);
 
     let mut values = vec![0u64; n];
     for t in 0..steps {
         feed.fill_step(t, &mut values);
-        for (session, churn) in sessions.iter_mut().zip(churn.iter_mut()) {
-            session.update_row(&values);
-            *churn += session
-                .advance(t)
-                .iter()
-                .filter(|e| matches!(e, TopkEvent::Entered { .. } | TopkEvent::Left { .. }))
-                .count() as u64;
-            assert!(
-                is_valid_topk(&values, session.topk()),
-                "k={} at t={t}",
-                session.k()
-            );
+        svc.update_row(&values);
+        svc.advance(t);
+        let ranked = svc.topk_by_rank();
+        for ((&k, churn), prev) in ks.iter().zip(churn.iter_mut()).zip(prev.iter_mut()) {
+            // Membership churn of the top-k prefix: symmetric difference
+            // against the previous step's prefix (sets, not rank swaps).
+            let cur = &ranked[..k];
+            *churn += cur.iter().filter(|id| !prev.contains(id)).count() as u64;
+            *churn += prev.iter().filter(|id| !cur.contains(id)).count() as u64;
+            prev.clear();
+            prev.extend_from_slice(cur);
+
+            let mut sorted = cur.to_vec();
+            sorted.sort_unstable();
+            assert!(is_valid_topk(&values, &sorted), "k={k} at t={t}");
         }
         naive.step(t, &values);
     }
 
-    println!("random-walk telemetry, n = {n}, {steps} steps — monitoring k ∈ {ks:?}\n");
-    for session in &sessions {
-        let ids: Vec<u32> = session.topk_by_rank().iter().map(|id| id.0).collect();
+    println!(
+        "random-walk telemetry, n = {n}, {steps} steps — one service (k = {k_max}, \
+         {} shards) serving every resolution k ∈ {ks:?}\n",
+        svc.shard_count()
+    );
+    for &k in &ks {
+        let ids: Vec<u32> = svc.topk_by_rank()[..k].iter().map(|id| id.0).collect();
         let preview: Vec<u32> = ids.iter().take(8).copied().collect();
         println!(
-            "top-{:<3} by rank {:?}{}",
-            session.k(),
+            "top-{k:<3} by rank {:?}{}",
             preview,
             if ids.len() > 8 { " …" } else { "" }
         );
     }
-    println!("\nmessage cost and membership churn by resolution:");
-    let mut total = 0u64;
-    for (session, &churn) in sessions.iter().zip(churn.iter()) {
-        let ledger = session.ledger();
-        println!(
-            "  k = {:<3} {:>8} msgs  ({:>6} up, {:>6} bcast)  {:>5} enter/leave events",
-            session.k(),
-            ledger.total(),
-            ledger.up,
-            ledger.broadcast,
-            churn
-        );
-        total += ledger.total();
+    println!(
+        "\nglobal threshold (exact {}-th best): {}",
+        k_max + 1,
+        svc.threshold().expect("n > k")
+    );
+
+    println!("\nmembership churn by resolution (one shared message budget):");
+    for (&k, &churn) in ks.iter().zip(churn.iter()) {
+        println!("  k = {k:<3} {churn:>5} enter/leave transitions");
     }
-    println!("  all    {total:>8} msgs");
+    let ledger = svc.ledger();
+    let total = ledger.total();
+    println!(
+        "  service {total:>7} msgs total  ({} up, {} bcast) across {} shards",
+        ledger.up,
+        ledger.broadcast,
+        svc.shard_count()
+    );
     let naive_total = naive.ledger().total();
     if total < naive_total {
         println!(
             "\nfor scale: naive streaming of every change would use {} msgs —\n\
-             the three independent sessions together still save {:.1}×.",
+             the sharded service saves {:.1}×, and one monitored k = {k_max} now\n\
+             serves all three resolutions (the per-k sessions of the old\n\
+             dashboard each paid their own protocol).",
             naive_total,
             naive_total as f64 / total as f64
         );
     } else {
         println!(
-            "\nfor scale: naive streaming would use {} msgs — on this input the\n\
-             multi-session cost exceeds it; deep-k boundaries churn too much\n\
-             for filters to help (the §2.1 worst-case regime).",
-            naive_total
+            "\nfor scale: naive streaming would use {naive_total} msgs — on this input\n\
+             deep-k boundaries churn too much for filters to help (the §2.1\n\
+             worst-case regime); the prefix views still come for free."
         );
     }
-    println!(
-        "\n(sharing filters across resolutions soundly is an open extension —\n\
-         per-k sessions keep the paper's guarantee per resolution; see DESIGN.md)"
-    );
 }

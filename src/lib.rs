@@ -96,7 +96,8 @@
 //! | [`filters`] | filter intervals, Lemma 2.2 validity, `T±` tracking |
 //! | [`streams`] | seeded synthetic workloads ([`WorkloadSpec`](streams::WorkloadSpec)), delta generation ([`ValueFeed::fill_delta`](net::behavior::ValueFeed::fill_delta)) |
 //! | [`core`] | Algorithm 1 (dense + sparse stepping), online baselines, offline OPT |
-//! | [`ordered`] | §5 ordered-top-k extension |
+//! | [`ordered`] | §5 ordered-top-k extension, exact S-way shard merge ([`ShardMerge`](ordered::ShardMerge)) |
+//! | [`serve`] | sharded serving layer: [`ServeBuilder`](serve::ServeBuilder) hashes millions of keys across concurrent shard sessions behind one ingest front door |
 //! | [`sim`] | experiment harness E1–E14, statistics, tables |
 //!
 //! Third-party dependencies are vendored as minimal offline shims under
@@ -110,6 +111,7 @@ pub use topk_filters as filters;
 pub use topk_net as net;
 pub use topk_ordered as ordered;
 pub use topk_proto as proto;
+pub use topk_serve as serve;
 pub use topk_sim as sim;
 pub use topk_streams as streams;
 
@@ -127,9 +129,10 @@ pub mod prelude {
     pub use topk_net::{
         CommLedger, LedgerSnapshot, NodeId, TraceMatrix, TraceReplay, Value, WireMetrics,
     };
-    pub use topk_ordered::OrderedTopkMonitor;
+    pub use topk_ordered::{OrderedTopkMonitor, ShardMerge};
     pub use topk_proto::extremum::BroadcastPolicy;
     pub use topk_proto::runner::{run_kselect, run_max, run_min, select_topk};
+    pub use topk_serve::{ServeBuilder, TopkService};
     pub use topk_sim::{AlgoSpec, ExpCfg, Scenario};
     pub use topk_streams::WorkloadSpec;
 }

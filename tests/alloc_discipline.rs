@@ -7,9 +7,16 @@
 //! coordinator's k-select candidate set, winner and answer buffers) is
 //! owned and reused.
 //!
+//! The serving layer inherits the discipline: a sharded [`TopkService`]
+//! over sequential shards performs zero allocations on merged silent steps
+//! — including steps that wiggle a member's value and force a full
+//! candidate refresh + S-way re-merge (the slot handoff swaps buffers, the
+//! merge reuses its aggregator, the event derivation reuses its scratch).
+//!
 //! The whole suite is one `#[test]` on purpose: Rust test binaries run
 //! tests on concurrent threads, and a second test's allocations would
-//! bleed into the counter.
+//! bleed into the counter (the counting allocator is process-global, so
+//! the serve arm also proves the shard *worker threads* stay quiet).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,4 +136,45 @@ fn silent_steps_and_batched_resets_allocate_nothing_after_warmup() {
         "a batched FILTERRESET after warm-up must perform zero allocations"
     );
     assert_eq!(mon.topk().len(), k);
+
+    // --- Serving layer: merged silent steps allocate nothing either. ---
+    let keys = 96;
+    let mut svc = ServeBuilder::new(keys, 6)
+        .shards(3)
+        .seed(7)
+        .engine(Engine::Sequential)
+        .build();
+    svc.update_batch((0..keys).map(|i| (NodeId(i as u32), 10_000 + i as u64 * 50)));
+    let mut st = 0u64;
+    svc.advance(st);
+    let top = svc.topk_by_rank()[0];
+
+    // Warm-up: silent ticks plus rank-stable member wiggles (each forces a
+    // shard candidate refresh and a full S-way re-merge with no events).
+    for _ in 0..6 {
+        st += 1;
+        svc.advance(st);
+        st += 1;
+        svc.update(top, 20_000 + st);
+        svc.advance(st);
+    }
+    let cap = svc.event_capacity();
+    let before = allocs();
+    for i in 0..200u64 {
+        st += 1;
+        if i % 3 == 0 {
+            svc.update(top, 30_000 + st); // member moves, rank holds: re-merge
+        }
+        assert!(
+            svc.advance(st).is_empty(),
+            "rank-stable wiggles must stay event-free"
+        );
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "merged silent steps must perform zero allocations across all threads"
+    );
+    assert_eq!(svc.event_capacity(), cap, "event buffer must stop growing");
+    assert_eq!(svc.topk().len(), 6);
 }
