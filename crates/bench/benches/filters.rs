@@ -65,6 +65,23 @@ fn bench_gap_tracker(c: &mut Criterion) {
             for i in 0..64u64 {
                 match g.absorb((1 << 30) - i * 1000, i * 500) {
                     topk_filters::GapUpdate::Midpoint(m) => out ^= m,
+                    topk_filters::GapUpdate::Band(_) => unreachable!("ε = 0 never bands"),
+                    topk_filters::GapUpdate::ResetRequired => break,
+                }
+            }
+            black_box(out)
+        });
+    });
+    // The ε-band variant: inverted boundaries inside the band re-center
+    // instead of resetting — the absorb path of approximate mode.
+    group.bench_function("absorb_banded_chain", |b| {
+        b.iter(|| {
+            let mut g = GapTracker::start_epoch(0, 1 << 30, 0);
+            let mut out = 0u64;
+            for i in 0..64u64 {
+                match g.absorb_banded((1 << 29) - i * 100, (1 << 29) + i * 100, 1 << 20) {
+                    topk_filters::GapUpdate::Midpoint(m) => out ^= m,
+                    topk_filters::GapUpdate::Band(m) => out ^= m,
                     topk_filters::GapUpdate::ResetRequired => break,
                 }
             }

@@ -17,7 +17,13 @@
 //!   `benches/serve_throughput.rs` at 10M keys): updates/sec and merged
 //!   advance µs per shard count against a single-session baseline, plus
 //!   the deterministic event/ledger/merge counters of the exact same
-//!   stream through every arm.
+//!   stream through every arm;
+//! * `results/BENCH_approx.json` — the ε-band competitive gap (mirrors
+//!   `tests/approx_mode.rs`): exact vs ε-approximate twins on the
+//!   boundary-oscillation adversary, per seed. Every counter (resets,
+//!   band hits, up-messages, totals, the up-message ratio) is
+//!   deterministic for fixed (workload, seed) — the artifact pins the
+//!   headline "zero resets, ≥10× fewer up-messages" claim per commit.
 //!
 //! Usage: `cargo run --release -p topk-bench --bin bench_json [out_dir]`
 //! (default `results/`). Medians of a few runs keep the numbers stable
@@ -93,6 +99,34 @@ struct ServePoint {
     /// Deterministic: candidates the merges actually inspected (0 for the
     /// single-session baseline).
     merge_offered: u64,
+}
+
+#[derive(Serialize)]
+struct ApproxPoint {
+    n: usize,
+    k: usize,
+    seed: u64,
+    steps: u64,
+    epsilon: u64,
+    /// Deterministic exact-twin counters on the identical trace.
+    exact_resets: u64,
+    exact_up_msgs: u64,
+    exact_total_msgs: u64,
+    /// Deterministic ε-band counters: zero resets by construction of the
+    /// workload (every crossing is in-band).
+    approx_resets: u64,
+    approx_band_hits: u64,
+    approx_up_msgs: u64,
+    approx_total_msgs: u64,
+    /// The headline gap: exact / approx up-messages (pinned ≥ 10 by
+    /// `tests/approx_mode.rs`).
+    up_msg_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct ApproxReport {
+    suite: String,
+    points: Vec<ApproxPoint>,
 }
 
 #[derive(Serialize)]
@@ -377,6 +411,56 @@ fn measure_serve() -> Vec<ServePoint> {
     points
 }
 
+/// Exact vs ε-band twins on the boundary-oscillation adversary — the
+/// ISSUE 10 headline instance of `tests/approx_mode.rs`, re-measured here
+/// so the competitive gap lands in the perf-trajectory artifacts. All
+/// counters are deterministic; there is nothing to median.
+fn measure_approx() -> Vec<ApproxPoint> {
+    let mut points = Vec::new();
+    for &(n, k) in &[(64usize, 2usize), (256, 4)] {
+        let amplitude = 40u64;
+        let eps = 2 * amplitude;
+        let steps = 400u64;
+        let spec = WorkloadSpec::BoundaryOscillate {
+            n,
+            k,
+            base: 1_000,
+            spread: 200,
+            amplitude,
+            period: 8,
+        };
+        for seed in [3u64, 17] {
+            let mut exact = MonitorBuilder::new(n, k).seed(seed).build();
+            let mut approx = MonitorBuilder::new(n, k).seed(seed).epsilon(eps).build();
+            for session in [&mut exact, &mut approx] {
+                let mut feed = spec.build(seed);
+                for t in 0..steps {
+                    session.ingest(feed.as_mut(), t);
+                    session.advance(t);
+                }
+            }
+            let me = *exact.metrics();
+            let ma = *approx.metrics();
+            points.push(ApproxPoint {
+                n,
+                k,
+                seed,
+                steps,
+                epsilon: eps,
+                exact_resets: me.resets,
+                exact_up_msgs: me.total_up(),
+                exact_total_msgs: me.total(),
+                approx_resets: ma.resets,
+                approx_band_hits: ma.band_hits,
+                approx_up_msgs: ma.total_up(),
+                approx_total_msgs: ma.total(),
+                up_msg_ratio: me.total_up() as f64 / ma.total_up().max(1) as f64,
+            });
+        }
+    }
+    points
+}
+
 fn write<T: Serialize>(dir: &str, name: &str, report: &T) {
     std::fs::create_dir_all(dir).expect("create output dir");
     let path = format!("{dir}/{name}");
@@ -425,6 +509,14 @@ fn main() {
             chunks: SERVE_CHUNKS,
             steps_per_chunk: SERVE_CHUNK_STEPS,
             points: measure_serve(),
+        },
+    );
+    write(
+        &dir,
+        "BENCH_approx.json",
+        &ApproxReport {
+            suite: "approx_band_gap".into(),
+            points: measure_approx(),
         },
     );
 }

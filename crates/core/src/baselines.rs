@@ -333,6 +333,7 @@ impl Monitor for FilterNaiveResolve {
                 self.ledger.count(ChannelKind::Broadcast, value_bits(new_m));
             }
             GapUpdate::ResetRequired => self.reset(t, values),
+            GapUpdate::Band(_) => unreachable!("exact absorb (ε = 0) never yields a band hit"),
         }
     }
 

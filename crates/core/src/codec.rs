@@ -32,6 +32,7 @@ const T_RESET_WINNER: u8 = 0x18;
 const T_RESET_ANN: u8 = 0x19;
 const T_RESET_DONE: u8 = 0x1a;
 const T_RESET_BAR: u8 = 0x1b;
+const T_BAND: u8 = 0x1c;
 
 const T_SNAPSHOT: u8 = 0x21;
 const SNAPSHOT_VERSION: u8 = 0x01;
@@ -112,6 +113,10 @@ pub fn encode_down(msg: &DownMsg, buf: &mut impl BufMut) {
             buf.put_u8(T_MIDPOINT);
             put_varint(buf, m);
         }
+        DownMsg::Band(m) => {
+            buf.put_u8(T_BAND);
+            put_varint(buf, m);
+        }
         DownMsg::ResetStart => buf.put_u8(T_RESET_START),
         DownMsg::ResetWinner { rank, report } => {
             buf.put_u8(T_RESET_WINNER);
@@ -147,6 +152,9 @@ pub fn decode_down(buf: &mut impl Buf) -> Result<DownMsg, DecodeError> {
         T_HANDLER_ANN => DownMsg::HandlerAnnounce(get_report(buf)?),
         T_MIDPOINT => DownMsg::Midpoint(
             get_varint(buf).ok_or_else(|| DecodeError("truncated midpoint".into()))?,
+        ),
+        T_BAND => DownMsg::Band(
+            get_varint(buf).ok_or_else(|| DecodeError("truncated band threshold".into()))?,
         ),
         T_RESET_START => DownMsg::ResetStart,
         T_RESET_WINNER => {
@@ -254,6 +262,8 @@ pub fn encode_snapshot(s: &CoordSnapshot, buf: &mut impl BufMut) {
         m.reset_up,
         m.reset_bcast,
         m.reset_rounds,
+        m.band_hits,
+        m.band_bcast,
     ] {
         put_varint(buf, counter);
     }
@@ -311,7 +321,7 @@ pub fn decode_snapshot(buf: &mut impl Buf) -> Result<CoordSnapshot, DecodeError>
         }
         topk_ids.push(id);
     }
-    let mut counters = [0u64; 14];
+    let mut counters = [0u64; 16];
     for c in counters.iter_mut() {
         *c = need(buf, "metrics counter")?;
     }
@@ -330,6 +340,8 @@ pub fn decode_snapshot(buf: &mut impl Buf) -> Result<CoordSnapshot, DecodeError>
         reset_up: counters[11],
         reset_bcast: counters[12],
         reset_rounds: counters[13],
+        band_hits: counters[14],
+        band_bcast: counters[15],
         recovery: Default::default(),
         wire: Default::default(),
     };
@@ -360,6 +372,7 @@ fn sample_messages(id: topk_net::id::NodeId, v: u64) -> (Vec<UpMsg>, Vec<DownMsg
             DownMsg::HandlerStartMax,
             DownMsg::HandlerAnnounce(r),
             DownMsg::Midpoint(v),
+            DownMsg::Band(v),
             DownMsg::ResetStart,
             DownMsg::ResetWinner {
                 rank: id.0.max(1),
@@ -489,7 +502,7 @@ mod tests {
             threshold in 0u64..=u64::MAX,
             a in 0u64..=u64::MAX, b in 0u64..=u64::MAX, epoch in 0u64..=u64::MAX,
             ids in proptest::collection::vec(0u32..=u32::MAX, 0..32),
-            counters in proptest::collection::vec(0u64..=u64::MAX, 14),
+            counters in proptest::collection::vec(0u64..=u64::MAX, 16),
         ) {
             let mut ids: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
             ids.sort_unstable();
@@ -514,6 +527,8 @@ mod tests {
                     reset_up: counters[11],
                     reset_bcast: counters[12],
                     reset_rounds: counters[13],
+                    band_hits: counters[14],
+                    band_bcast: counters[15],
                     recovery: Default::default(),
                     wire: Default::default(),
                 },
@@ -537,7 +552,7 @@ mod tests {
         }
 
         #[test]
-        fn decode_never_panics_on_truncation(id in 0u32..=u32::MAX, v in 0u64..=u64::MAX, which in 0u8..11, cut in 0usize..16) {
+        fn decode_never_panics_on_truncation(id in 0u32..=u32::MAX, v in 0u64..=u64::MAX, which in 0u8..12, cut in 0usize..16) {
             let r = Report { id: NodeId(id), value: v };
             let m = match which {
                 0 => DownMsg::ViolMinAnnounce(r),
@@ -550,6 +565,7 @@ mod tests {
                 7 => DownMsg::ResetWinner { rank: id.max(1), report: r },
                 8 => DownMsg::ResetAnnounce(r),
                 9 => DownMsg::ResetBar(r),
+                10 => DownMsg::Band(v),
                 _ => DownMsg::ResetDone { threshold: v },
             };
             let mut buf = BytesMut::new();
@@ -581,7 +597,7 @@ mod tests {
         }
 
         #[test]
-        fn down_roundtrip(id in 0u32..=u32::MAX, v in 0u64..=u64::MAX, rank in 1u32..=u32::MAX, which in 0u8..11) {
+        fn down_roundtrip(id in 0u32..=u32::MAX, v in 0u64..=u64::MAX, rank in 1u32..=u32::MAX, which in 0u8..12) {
             let r = Report { id: NodeId(id), value: v };
             let m = match which {
                 0 => DownMsg::ViolMinAnnounce(r),
@@ -594,6 +610,7 @@ mod tests {
                 7 => DownMsg::ResetWinner { rank, report: r },
                 8 => DownMsg::ResetAnnounce(r),
                 9 => DownMsg::ResetBar(r),
+                10 => DownMsg::Band(v),
                 _ => DownMsg::ResetDone { threshold: v },
             };
             let mut buf = BytesMut::new();

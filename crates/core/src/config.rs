@@ -20,6 +20,50 @@ pub enum HandlerMode {
     Faithful,
 }
 
+/// Coordinator-side approximation mode (the authors' follow-up paper on
+/// competitive algorithms for *approximations* of top-k-position
+/// monitoring, arXiv 1601.04448).
+///
+/// In [`ApproxMode::Band`] the coordinator tolerates ε-indistinguishable
+/// boundary values: when a violation round shrinks the epoch certificate
+/// below zero but the crossing stays within `ε` (`T− − T+ ≤ ε`), the
+/// epoch is *re-centered* on the boundary instead of killed — one
+/// threshold broadcast where exact mode pays a full `FILTERRESET`. The
+/// reported top-k set is then correct up to ε-indistinguishable boundary
+/// values (every member's value is within `ε` of every excluded node's
+/// value whenever the sets disagree with the exact answer); `ε = 0` is
+/// bit-identical to [`ApproxMode::Exact`] on every runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ApproxMode {
+    /// The paper's exact Algorithm 1: every certified crossing of the
+    /// k/k+1 boundary triggers `FILTERRESET`.
+    #[default]
+    Exact,
+    /// ε-tolerant monitoring: boundary crossings inside the `ε`-band
+    /// update filters locally (one broadcast) instead of resetting.
+    Band {
+        /// Band half-width `ε > 0` in value units.
+        epsilon: u64,
+    },
+}
+
+impl ApproxMode {
+    /// The tolerated boundary band width (`0` in exact mode).
+    #[inline]
+    pub fn epsilon(&self) -> u64 {
+        match self {
+            ApproxMode::Exact => 0,
+            ApproxMode::Band { epsilon } => *epsilon,
+        }
+    }
+
+    /// `true` iff answers are exact (no band, or a zero-width band).
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.epsilon() == 0
+    }
+}
+
 /// How `FILTERRESET` finds the top-`k+1` values (lines 36–42).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ResetStrategy {
@@ -68,6 +112,11 @@ pub struct MonitorConfig {
     /// `k+1` sequential maximum searches). Both are exact; see
     /// [`ResetStrategy`].
     pub reset: ResetStrategy,
+    /// Coordinator-side approximation mode (default exact); see
+    /// [`ApproxMode`]. Distinct from [`MonitorConfig::slack`]: slack is
+    /// *node-side* hysteresis around the common filter threshold, the band
+    /// is *coordinator-side* tolerance around the k/k+1 boundary.
+    pub approx: ApproxMode,
 }
 
 impl MonitorConfig {
@@ -84,6 +133,7 @@ impl MonitorConfig {
             handler_mode: HandlerMode::Tight,
             slack: 0,
             reset: ResetStrategy::Batched,
+            approx: ApproxMode::Exact,
         }
     }
 
@@ -106,6 +156,18 @@ impl MonitorConfig {
     /// Select the FILTERRESET strategy (see [`ResetStrategy`]).
     pub fn with_reset(mut self, reset: ResetStrategy) -> Self {
         self.reset = reset;
+        self
+    }
+
+    /// Enable ε-approximate monitoring (see [`ApproxMode`]). `eps = 0`
+    /// normalizes to [`ApproxMode::Exact`], so a zero band is *structurally*
+    /// the exact configuration, not merely behaviorally equivalent.
+    pub fn with_epsilon(mut self, eps: u64) -> Self {
+        self.approx = if eps == 0 {
+            ApproxMode::Exact
+        } else {
+            ApproxMode::Band { epsilon: eps }
+        };
         self
     }
 
@@ -139,6 +201,23 @@ mod tests {
         assert!(!cfg.is_degenerate());
         assert!(MonitorConfig::new(5, 5).is_degenerate());
         assert!(MonitorConfig::new(1, 1).is_degenerate());
+    }
+
+    #[test]
+    fn epsilon_knob_normalizes_zero_to_exact() {
+        let cfg = MonitorConfig::new(10, 3);
+        assert_eq!(cfg.approx, ApproxMode::Exact, "exact is the default");
+        assert!(cfg.approx.is_exact());
+        assert_eq!(cfg.approx.epsilon(), 0);
+
+        let banded = cfg.with_epsilon(16);
+        assert_eq!(banded.approx, ApproxMode::Band { epsilon: 16 });
+        assert!(!banded.approx.is_exact());
+        assert_eq!(banded.approx.epsilon(), 16);
+
+        // ε = 0 must be *structurally* exact, so config comparison (and
+        // anything derived from it) cannot distinguish the two.
+        assert_eq!(banded.with_epsilon(0), cfg);
     }
 
     #[test]

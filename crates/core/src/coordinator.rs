@@ -195,16 +195,31 @@ impl CoordinatorMachine {
         self.phase = Phase::Done;
     }
 
-    /// Lines 27–34: fold the exact current extrema into the tracker and
-    /// either rebroadcast a midpoint or start a reset.
+    /// Lines 27–34, ε-extended: fold the exact current extrema into the
+    /// tracker and either rebroadcast a midpoint, absorb an in-band
+    /// boundary crossing with one band broadcast (approximate mode,
+    /// arXiv 1601.04448 — pay O(1) where exact pays a reset), or start a
+    /// reset. `ε = 0` makes the band branch unreachable, so exact mode is
+    /// untouched bit for bit.
     fn conclude_handler(&mut self, m: u32, min_v: u64, max_v: u64, out: &mut CoordOut<DownMsg>) {
+        let eps = self.cfg.approx.epsilon();
         let tracker = self.tracker.as_mut().expect("initialized");
-        match tracker.absorb(min_v, max_v) {
+        match tracker.absorb_banded(min_v, max_v, eps) {
             GapUpdate::Midpoint(thresh) => {
                 out.broadcasts.push(DownMsg::Midpoint(thresh));
                 self.last_threshold = Some(thresh);
                 self.metrics.midpoint_updates += 1;
                 self.metrics.midpoint_bcast += 1;
+                self.phase = Phase::Done;
+            }
+            GapUpdate::Band(thresh) => {
+                // One full-scope broadcast (every node must adopt the common
+                // threshold, exactly like a midpoint): the whole cost of a
+                // boundary flip that exact mode answers with FILTERRESET.
+                out.broadcasts.push(DownMsg::Band(thresh));
+                self.last_threshold = Some(thresh);
+                self.metrics.band_hits += 1;
+                self.metrics.band_bcast += 1;
                 self.phase = Phase::Done;
             }
             GapUpdate::ResetRequired => {

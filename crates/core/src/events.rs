@@ -13,10 +13,11 @@
 //! property-tests that contract across the full runtime × strategy matrix.
 //!
 //! Within one step's batch, events are emitted in a fixed order:
-//! `ResetCompleted`, `ThresholdUpdated`, then membership events — every
-//! `Left` (ascending id), then every `Entered` (ascending rank), then every
-//! `RankChanged` (ascending new rank). Replay does not depend on the order;
-//! fixing it makes event streams directly comparable across runs.
+//! `ResetCompleted`, `ThresholdUpdated` / `ApproxBoundary`, then membership
+//! events — every `Left` (ascending id), then every `Entered` (ascending
+//! rank), then every `RankChanged` (ascending new rank). Replay does not
+//! depend on the order; fixing it makes event streams directly comparable
+//! across runs.
 
 use topk_net::id::{NodeId, Value};
 
@@ -44,6 +45,13 @@ pub enum TopkEvent {
     /// The shared filter threshold `M` changed to `threshold` (midpoint
     /// update or post-reset rebroadcast).
     ThresholdUpdated { t: u64, threshold: Value },
+    /// ε-approximate mode only: the k/k+1 boundary was crossed within the
+    /// ε-band and the coordinator re-centered the epoch on `threshold`
+    /// (also the new common filter threshold) instead of resetting. Emitted
+    /// *instead of* [`TopkEvent::ThresholdUpdated`] for that step, so
+    /// replay stays lossless about which rule fired — and so consumers can
+    /// tell exact-certified thresholds from ε-tolerant ones.
+    ApproxBoundary { t: u64, threshold: Value },
     /// A `FILTERRESET` episode (including the `t = 0` initialization)
     /// completed within this step.
     ResetCompleted { t: u64 },
@@ -57,6 +65,7 @@ impl TopkEvent {
             | TopkEvent::Left { t, .. }
             | TopkEvent::RankChanged { t, .. }
             | TopkEvent::ThresholdUpdated { t, .. }
+            | TopkEvent::ApproxBoundary { t, .. }
             | TopkEvent::ResetCompleted { t } => t,
         }
     }
@@ -71,6 +80,7 @@ pub struct EventReplay {
     by_rank: Vec<NodeId>,
     threshold: Option<Value>,
     resets: u64,
+    band_hits: u64,
     /// Scratch for applying one step's rank assignments.
     staged: Vec<(usize, NodeId)>,
 }
@@ -114,6 +124,10 @@ impl EventReplay {
                 TopkEvent::ThresholdUpdated { threshold, .. } => {
                     self.threshold = Some(threshold);
                 }
+                TopkEvent::ApproxBoundary { threshold, .. } => {
+                    self.threshold = Some(threshold);
+                    self.band_hits += 1;
+                }
                 TopkEvent::ResetCompleted { .. } => self.resets += 1,
                 TopkEvent::Left { .. } => {}
             }
@@ -151,6 +165,11 @@ impl EventReplay {
     pub fn resets(&self) -> u64 {
         self.resets
     }
+
+    /// ε-band boundary hits seen so far (always zero for exact-mode runs).
+    pub fn band_hits(&self) -> u64 {
+        self.band_hits
+    }
 }
 
 /// Shared change-detector behind [`Monitor::drain_events`]: remembers the
@@ -165,6 +184,7 @@ impl EventReplay {
 pub(crate) struct EventCursor {
     threshold: Option<Value>,
     resets: u64,
+    band_hits: u64,
 }
 
 impl EventCursor {
@@ -181,7 +201,18 @@ impl EventCursor {
             self.resets = resets;
         }
         let threshold = coord.current_threshold();
-        if threshold != self.threshold {
+        let band_hits = coord.metrics().band_hits;
+        if band_hits != self.band_hits {
+            // ε-band step: exactly one conclusion per step, so a band hit
+            // excludes both a reset and a plain midpoint update. Always
+            // emitted — even when the re-centered boundary happens to equal
+            // the previous threshold — so replay knows which rule fired.
+            debug_assert_eq!(band_hits, self.band_hits + 1, "one band hit max per step");
+            let th = threshold.expect("a band hit always sets a threshold");
+            out.push(TopkEvent::ApproxBoundary { t, threshold: th });
+            self.band_hits = band_hits;
+            self.threshold = threshold;
+        } else if threshold != self.threshold {
             let th = threshold.expect("threshold never reverts to None");
             out.push(TopkEvent::ThresholdUpdated { t, threshold: th });
             self.threshold = threshold;
@@ -238,6 +269,26 @@ mod tests {
         ]);
         assert_eq!(r.by_rank(), &[NodeId(1), NodeId(7)]);
         assert_eq!(r.topk(), vec![NodeId(1), NodeId(7)]);
+    }
+
+    #[test]
+    fn replay_counts_band_hits_and_tracks_their_threshold() {
+        let mut r = EventReplay::new();
+        r.apply(&[
+            TopkEvent::ResetCompleted { t: 0 },
+            TopkEvent::ThresholdUpdated {
+                t: 0,
+                threshold: 50,
+            },
+        ]);
+        assert_eq!(r.band_hits(), 0);
+        r.apply(&[TopkEvent::ApproxBoundary {
+            t: 3,
+            threshold: 47,
+        }]);
+        assert_eq!(r.band_hits(), 1);
+        assert_eq!(r.threshold(), Some(47), "band hits move the threshold");
+        assert_eq!(r.resets(), 1, "band hits are not resets");
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod threaded;
 
 pub use audit::{assert_audit_clean, audit_monitor, AuditError};
 pub use baselines::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};
-pub use config::{HandlerMode, MonitorConfig, ResetStrategy};
+pub use config::{ApproxMode, HandlerMode, MonitorConfig, ResetStrategy};
 pub use coordinator::CoordinatorMachine;
 pub use events::{EventReplay, TopkEvent};
 pub use metrics::RunMetrics;
@@ -60,7 +60,7 @@ pub use opt::{
     opt_segments, opt_updates_dp, trace_delta, window_feasible, OptCostModel, OptResult,
 };
 pub use params::NodeParams;
-pub use session::{Engine, MonitorBuilder, MonitorSession};
+pub use session::{BuildError, Engine, MonitorBuilder, MonitorSession};
 pub use socket::SocketTopkMonitor;
 pub use threaded::ThreadedTopkMonitor;
 pub use topk_net::chaos::{ChaosPolicy, RecoveryMetrics, RuntimeError};

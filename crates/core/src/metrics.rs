@@ -47,6 +47,17 @@ pub struct RunMetrics {
     /// identically on every runtime (it lives in the coordinator, not the
     /// driver) and pinned by `crates/core/tests/reset_rounds.rs`.
     pub reset_rounds: u64,
+    /// ε-band hits (approximate mode only): boundary crossings the
+    /// coordinator absorbed by re-centering the epoch instead of running
+    /// `FILTERRESET`. Each hit is exactly one avoided reset — the
+    /// competitive-ratio accounting of the follow-up paper
+    /// (arXiv 1601.04448): an exact twin on the same trace pays
+    /// `Θ(reset)` messages wherever this counter pays one broadcast.
+    /// Always zero in exact mode and at `ε = 0`.
+    pub band_hits: u64,
+    /// Band threshold broadcasts (== band_hits: every hit announces the
+    /// re-centered boundary once, scoped like a midpoint update).
+    pub band_bcast: u64,
     /// Transport fault-injection and recovery counters (all zero except on
     /// a chaos-enabled threaded runtime). Not part of the model cost and
     /// excluded from the phase totals; the committed protocol counters
@@ -86,6 +97,8 @@ impl RunMetrics {
         self.reset_up += other.reset_up;
         self.reset_bcast += other.reset_bcast;
         self.reset_rounds += other.reset_rounds;
+        self.band_hits += other.band_hits;
+        self.band_bcast += other.band_bcast;
         self.recovery.absorb(&other.recovery);
         self.wire.absorb(&other.wire);
     }
@@ -97,7 +110,19 @@ impl RunMetrics {
 
     /// Total broadcasts attributed across phases.
     pub fn total_bcast(&self) -> u64 {
-        self.viol_bcast + self.handler_bcast + self.midpoint_bcast + self.reset_bcast
+        self.viol_bcast
+            + self.handler_bcast
+            + self.midpoint_bcast
+            + self.band_bcast
+            + self.reset_bcast
+    }
+
+    /// Resets the ε-band avoided: every band hit is a certified boundary
+    /// crossing that this configuration answered with one broadcast where
+    /// the exact rule fires `FILTERRESET` — the numerator side of the
+    /// competitive comparison against an exact twin on the same trace.
+    pub fn avoided_resets(&self) -> u64 {
+        self.band_hits
     }
 
     /// Total model messages (Algorithm 1 sends no unicasts).

@@ -57,6 +57,13 @@ pub enum DownMsg {
     /// New common filter threshold `M` (line 33): top-k filters become
     /// `[M, ∞]`, the rest `[−∞, M]`; membership unchanged.
     Midpoint(Value),
+    /// ε-band hit (approximate mode only, arXiv 1601.04448): the k/k+1
+    /// boundary was crossed by at most ε, the coordinator re-centered the
+    /// epoch on this boundary value instead of resetting, and every node
+    /// adopts it as the new common filter threshold. Node-side semantics
+    /// are identical to [`DownMsg::Midpoint`]; the distinct frame keeps
+    /// the wire ledger and event replay lossless about which rule fired.
+    Band(Value),
     /// Begin FILTERRESET (line 37): every node joins iteration 1 of
     /// MAXIMUMPROTOCOL(n).
     ResetStart,
@@ -84,7 +91,7 @@ impl WireSize for DownMsg {
             | DownMsg::ResetAnnounce(r)
             | DownMsg::ResetBar(r) => r.wire_bits(),
             DownMsg::HandlerStartMin | DownMsg::HandlerStartMax | DownMsg::ResetStart => 0,
-            DownMsg::Midpoint(m) => varint_bits(m),
+            DownMsg::Midpoint(m) | DownMsg::Band(m) => varint_bits(m),
             DownMsg::ResetWinner { rank, report } => varint_bits(rank as u64) + report.wire_bits(),
             DownMsg::ResetDone { threshold } => varint_bits(threshold),
         }
@@ -118,6 +125,7 @@ mod tests {
             DownMsg::HandlerStartMax,
             DownMsg::HandlerAnnounce(r),
             DownMsg::Midpoint(v),
+            DownMsg::Band(v),
             DownMsg::ResetStart,
             DownMsg::ResetWinner {
                 rank: n - 1,

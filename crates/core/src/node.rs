@@ -225,7 +225,10 @@ impl NodeMachine {
                     self.start_episode(KIND_HANDLER_MAX, m);
                 }
             }
-            DownMsg::Midpoint(new_m) => {
+            DownMsg::Midpoint(new_m) | DownMsg::Band(new_m) => {
+                // A band announcement is a midpoint to the node: adopt the
+                // new common threshold, keep membership. The ε-tolerance is
+                // entirely the coordinator's; nodes need no extra state.
                 if self.flags & FILTER_OK != 0 {
                     self.filter_m = new_m;
                 }
@@ -540,6 +543,10 @@ mod tests {
         node.micro_round(1, 1, &[DownMsg::Midpoint(70)], None);
         assert!(node.in_topk(), "midpoint must not change membership");
         assert_eq!(node.threshold(), Some(70));
+        // A band announcement behaves identically on the node side.
+        node.micro_round(2, 1, &[DownMsg::Band(65)], None);
+        assert!(node.in_topk(), "band must not change membership");
+        assert_eq!(node.threshold(), Some(65));
     }
 
     #[test]

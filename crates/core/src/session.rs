@@ -46,7 +46,7 @@ use topk_net::id::{NodeId, Value};
 use topk_net::ledger::LedgerSnapshot;
 use topk_proto::extremum::BroadcastPolicy;
 
-use crate::config::{HandlerMode, MonitorConfig, ResetStrategy};
+use crate::config::{ApproxMode, HandlerMode, MonitorConfig, ResetStrategy};
 use crate::coordinator::CoordinatorMachine;
 use crate::events::TopkEvent;
 use crate::metrics::RunMetrics;
@@ -139,6 +139,22 @@ impl MonitorBuilder {
         self
     }
 
+    /// ε-approximation tolerance of the coordinator's boundary band (see
+    /// [`ApproxMode`]). `eps = 0` keeps exact mode — bit-identical to a
+    /// builder that never called this knob. `eps > 0` lets the coordinator
+    /// absorb k/(k+1) boundary crossings of width ≤ ε by re-centering the
+    /// epoch with one broadcast instead of running `FILTERRESET`; answers
+    /// stay correct up to ε-indistinguishable boundary values
+    /// (arXiv 1601.04448). Negative tolerances are unrepresentable: the
+    /// knob takes a `u64` by design.
+    ///
+    /// Precondition (checked by [`Self::try_build`]): the node-side
+    /// hysteresis must stay inside the band, `slack ≤ eps`.
+    pub fn epsilon(mut self, eps: u64) -> Self {
+        self.cfg = self.cfg.with_epsilon(eps);
+        self
+    }
+
     /// `FILTERRESET` strategy (see [`ResetStrategy`]).
     pub fn reset(mut self, reset: ResetStrategy) -> Self {
         self.cfg.reset = reset;
@@ -198,16 +214,19 @@ impl MonitorBuilder {
     }
 
     /// A copy of this builder retargeted at a `(n, k)` instance of a
-    /// different size, every other knob (slack, reset strategy, handler
-    /// mode, policy, seed, engine, chaos) preserved. This is how the
-    /// sharded serving layer (`topk-serve`) stamps out per-shard sessions
-    /// from one template builder.
+    /// different size, every other knob (slack, ε-approximation mode,
+    /// reset strategy, handler mode, policy, seed, engine, chaos)
+    /// preserved. This is how the sharded serving layer (`topk-serve`)
+    /// stamps out per-shard sessions from one template builder — each
+    /// shard inherits the template's ε, so per-shard bands compose into
+    /// the service-level guarantee.
     pub fn sized(&self, n: usize, k: usize) -> MonitorBuilder {
         let mut cfg = MonitorConfig::new(n, k);
         cfg.policy = self.cfg.policy;
         cfg.handler_mode = self.cfg.handler_mode;
         cfg.slack = self.cfg.slack;
         cfg.reset = self.cfg.reset;
+        cfg.approx = self.cfg.approx;
         MonitorBuilder {
             cfg,
             seed: self.seed,
@@ -216,10 +235,44 @@ impl MonitorBuilder {
         }
     }
 
+    /// Assemble the session, or report why the knob combination is invalid.
+    ///
+    /// Two combinations are rejected (see [`BuildError`]): an ε-band
+    /// narrower than the node-side hysteresis (`slack > ε` with approximate
+    /// mode enabled), and a [`ChaosPolicy`] on an explicitly selected
+    /// [`Engine::Sequential`] (no transport to fault). `ε < 0` needs no
+    /// check — the [`Self::epsilon`] knob takes a `u64`, so negative
+    /// tolerances are unrepresentable by construction.
+    pub fn try_build(&self) -> Result<MonitorSession, BuildError> {
+        if let ApproxMode::Band { epsilon } = self.cfg.approx {
+            if self.cfg.slack > epsilon {
+                return Err(BuildError::SlackExceedsEpsilon {
+                    slack: self.cfg.slack,
+                    epsilon,
+                });
+            }
+        }
+        if self.chaos.is_some() && self.engine == Engine::Sequential {
+            return Err(BuildError::ChaosOnSequential);
+        }
+        Ok(self.assemble())
+    }
+
     /// Assemble the session. Borrowing (not consuming) the builder makes it
     /// a reusable template: call `build` repeatedly for independent
     /// sessions with identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// On the invalid knob combinations [`Self::try_build`] rejects.
     pub fn build(&self) -> MonitorSession {
+        match self.try_build() {
+            Ok(session) => session,
+            Err(e) => panic!("invalid monitor configuration: {e}"),
+        }
+    }
+
+    fn assemble(&self) -> MonitorSession {
         let engine = if let Some(policy) = self.chaos {
             match self.engine.resolve() {
                 Engine::Socket => EngineImpl::Socket(Box::new(SocketTopkMonitor::new_chaotic(
@@ -265,6 +318,44 @@ impl MonitorBuilder {
         }
     }
 }
+
+/// Why a [`MonitorBuilder`] knob combination cannot be assembled into a
+/// session. Returned by [`MonitorBuilder::try_build`];
+/// [`MonitorBuilder::build`] panics with the same message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// ε-approximate mode requires the node-side hysteresis to stay inside
+    /// the coordinator's band: `slack ≤ ε`. The coordinator certifies a
+    /// band hit from the extrema the filters report; with `slack > ε`
+    /// those extrema can themselves be off by more than the band is wide,
+    /// voiding the ε-indistinguishability guarantee.
+    SlackExceedsEpsilon { slack: u64, epsilon: u64 },
+    /// A [`ChaosPolicy`] was combined with an explicitly selected
+    /// [`Engine::Sequential`]: the sequential runtime has no transport
+    /// layer to inject faults into. Pick [`Engine::Threaded`],
+    /// [`Engine::Socket`], or leave [`Engine::Auto`] (which falls back to
+    /// the threaded runtime under chaos).
+    ChaosOnSequential,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BuildError::SlackExceedsEpsilon { slack, epsilon } => write!(
+                f,
+                "slack {slack} exceeds the ε-band width {epsilon}; \
+                 the ε-indistinguishability guarantee needs slack ≤ ε"
+            ),
+            BuildError::ChaosOnSequential => write!(
+                f,
+                "chaos policy on Engine::Sequential: the sequential runtime \
+                 has no transport layer to inject faults into"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// The resolved engine behind a session. Every engine is sizeable (the
 /// threaded and socket ones especially, with thread handles and socket
@@ -751,6 +842,69 @@ mod tests {
         assert_eq!(s.engine(), Engine::Sequential);
         assert_eq!((s.n(), s.k()), (10, 3));
         assert_eq!(Engine::Auto.resolve(), Engine::Sequential);
+    }
+
+    #[test]
+    fn epsilon_knob_propagates_and_sized_preserves_it() {
+        let b = MonitorBuilder::new(32, 4).seed(2).epsilon(12);
+        assert_eq!(b.config().approx, ApproxMode::Band { epsilon: 12 });
+        let shard = b.sized(8, 2);
+        assert_eq!(
+            shard.config().approx,
+            ApproxMode::Band { epsilon: 12 },
+            "sized() must carry the ε knob to per-shard builders"
+        );
+        assert_eq!(
+            b.epsilon(0).config().approx,
+            ApproxMode::Exact,
+            "ε = 0 normalizes back to exact mode"
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_slack_wider_than_band() {
+        let err = match MonitorBuilder::new(8, 2).epsilon(3).slack(5).try_build() {
+            Err(e) => e,
+            Ok(_) => panic!("slack 5 > ε 3 must be rejected"),
+        };
+        assert_eq!(
+            err,
+            BuildError::SlackExceedsEpsilon {
+                slack: 5,
+                epsilon: 3
+            }
+        );
+        assert!(!err.to_string().is_empty());
+        // slack ≤ ε is fine, and exact mode never checks slack against ε.
+        assert!(MonitorBuilder::new(8, 2)
+            .epsilon(3)
+            .slack(3)
+            .try_build()
+            .is_ok());
+        assert!(MonitorBuilder::new(8, 2).slack(50).try_build().is_ok());
+    }
+
+    #[test]
+    fn try_build_rejects_chaos_on_explicit_sequential() {
+        let policy = ChaosPolicy::from_seed(5);
+        let err = match MonitorBuilder::new(4, 1)
+            .engine(Engine::Sequential)
+            .chaos(policy)
+            .try_build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("chaos on explicit Sequential must be rejected"),
+        };
+        assert_eq!(err, BuildError::ChaosOnSequential);
+        // Engine::Auto keeps the documented fallback to Threaded.
+        let s = MonitorBuilder::new(4, 1).chaos(policy).try_build().unwrap();
+        assert_eq!(s.engine(), Engine::Threaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid monitor configuration")]
+    fn build_panics_on_invalid_combination() {
+        let _ = MonitorBuilder::new(8, 2).epsilon(1).slack(2).build();
     }
 
     #[test]

@@ -23,6 +23,12 @@ use topk_net::id::{midpoint_floor, Value};
 pub enum GapUpdate {
     /// Epoch survives: broadcast this new midpoint threshold.
     Midpoint(Value),
+    /// ε-band hit ([`GapTracker::absorb_banded`] only): the boundary was
+    /// crossed, but by at most ε — the epoch was re-centered on this
+    /// boundary value, which is also the new common filter threshold to
+    /// broadcast. The current top-k set stays correct up to
+    /// ε-indistinguishable boundary values.
+    Band(Value),
     /// `T+ < T−`: the current top-k set can no longer be certified —
     /// run `FILTERRESET`.
     ResetRequired,
@@ -89,12 +95,41 @@ impl GapTracker {
     /// Absorb the exact current `min` over top-k and `max` over non-top-k
     /// obtained by the violation handler (lines 27–34 of Algorithm 1).
     pub fn absorb(&mut self, current_topk_min: Value, current_bottom_max: Value) -> GapUpdate {
+        self.absorb_banded(current_topk_min, current_bottom_max, 0)
+    }
+
+    /// ε-tolerant absorb (arXiv 1601.04448): like [`absorb`](Self::absorb),
+    /// except a certificate crossing of at most `eps` (`T− − T+ ≤ ε`)
+    /// *re-centers* the epoch on the boundary instead of killing it.
+    ///
+    /// On a band hit both `T+` and `T−` collapse to the floor midpoint of
+    /// the crossed pair — a fresh zero-gap point certificate at the
+    /// contested boundary — and [`GapUpdate::Band`] carries that value as
+    /// the new common filter threshold. Because the check is against the
+    /// *current* extrema (min over reported top-k, max over the rest), the
+    /// retained top-k set is within `ε` of exact at every band hit:
+    /// `current_topk_min ≥ current_bottom_max − ε`.
+    ///
+    /// `eps = 0` makes the band branch unreachable, so this is exactly
+    /// [`absorb`](Self::absorb) — exact mode delegates here and stays
+    /// bit-identical by construction.
+    pub fn absorb_banded(
+        &mut self,
+        current_topk_min: Value,
+        current_bottom_max: Value,
+        eps: u64,
+    ) -> GapUpdate {
         self.t_plus = self.t_plus.min(current_topk_min);
         self.t_minus = self.t_minus.max(current_bottom_max);
-        if self.t_plus < self.t_minus {
-            GapUpdate::ResetRequired
-        } else {
+        if self.t_plus >= self.t_minus {
             GapUpdate::Midpoint(midpoint_floor(self.t_plus, self.t_minus))
+        } else if eps > 0 && self.t_minus - self.t_plus <= eps {
+            let boundary = midpoint_floor(self.t_minus, self.t_plus);
+            self.t_plus = boundary;
+            self.t_minus = boundary;
+            GapUpdate::Band(boundary)
+        } else {
+            GapUpdate::ResetRequired
         }
     }
 }
@@ -158,6 +193,7 @@ mod tests {
             }
             match g.absorb(m - 1, g.t_minus()) {
                 GapUpdate::Midpoint(_) => updates += 1,
+                GapUpdate::Band(_) => unreachable!("ε = 0 never bands"),
                 GapUpdate::ResetRequired => break,
             }
             if updates > 40 {
@@ -168,6 +204,42 @@ mod tests {
             updates <= 22,
             "gap must halve: {updates} updates for Δ=2^20"
         );
+    }
+
+    #[test]
+    fn band_absorb_recenters_small_crossings() {
+        // Crossing by 8 with ε = 10: band hit, epoch re-centered on the
+        // boundary midpoint instead of dead.
+        let mut g = GapTracker::start_epoch(0, 50, 40);
+        assert_eq!(g.absorb_banded(38, 46, 10), GapUpdate::Band(42));
+        assert_eq!(g.t_plus(), 42, "point certificate at the boundary");
+        assert_eq!(g.t_minus(), 42);
+        assert_eq!(g.gap(), 0);
+        // The re-centered epoch keeps absorbing; another in-band flip is
+        // again O(1).
+        assert_eq!(g.absorb_banded(40, 43, 10), GapUpdate::Band(41));
+        // A crossing wider than ε still kills the epoch.
+        assert_eq!(g.absorb_banded(20, 43, 10), GapUpdate::ResetRequired);
+    }
+
+    #[test]
+    fn band_absorb_with_zero_eps_is_exact_absorb() {
+        // ε = 0 must be bit-identical to the exact rule on surviving,
+        // tying, and crossed certificates.
+        for (min, max) in [(80u64, 0u64), (50, 50), (30, 45), (10, 10)] {
+            let mut exact = GapTracker::start_epoch(0, 100, 0);
+            let mut banded = exact;
+            assert_eq!(exact.absorb(min, max), banded.absorb_banded(min, max, 0));
+            assert_eq!(exact, banded);
+        }
+    }
+
+    #[test]
+    fn band_does_not_mask_surviving_updates() {
+        // A surviving certificate (T+ ≥ T−) must produce Midpoint even with
+        // a huge ε — the band only engages on actual crossings.
+        let mut g = GapTracker::start_epoch(0, 100, 0);
+        assert_eq!(g.absorb_banded(80, 0, u64::MAX), GapUpdate::Midpoint(40));
     }
 
     #[test]

@@ -64,6 +64,8 @@ pub struct ShardMerge {
     /// witness: absorbed + bar-rejected first elements, excluding the ones
     /// the bar cut off without inspection).
     offered: u64,
+    /// Per-shard ε-approximation tolerance (0 = exact shards).
+    tolerance: Value,
 }
 
 impl ShardMerge {
@@ -76,7 +78,27 @@ impl ShardMerge {
             k,
             select: KSelectAggregator::new(k + 1, keys.max(1)),
             offered: 0,
+            tolerance: 0,
         }
+    }
+
+    /// Declare that the offered shard candidates come from ε-approximate
+    /// shard sessions: each committed candidate value is within `eps` of
+    /// the key's true current value (`ApproxMode::Band` shards — see
+    /// `topk_core::ApproxMode`). The merge itself is unchanged — it is
+    /// still the exact selection over the *committed* values — but the
+    /// per-shard ε composes: the merged bar is within `eps` of the true
+    /// global `(k+1)`-th best, and [`bar_band`](Self::bar_band) reports
+    /// that uncertainty interval. `eps = 0` (the default) declares exact
+    /// shards, collapsing the band to a point.
+    pub fn with_tolerance(mut self, eps: Value) -> Self {
+        self.tolerance = eps;
+        self
+    }
+
+    /// The declared per-shard ε tolerance ([`Self::with_tolerance`]).
+    pub fn tolerance(&self) -> Value {
+        self.tolerance
     }
 
     /// Start a fresh merge, retaining buffer capacity.
@@ -118,6 +140,20 @@ impl ShardMerge {
     /// space no larger than `k`).
     pub fn bar(&self) -> Option<Value> {
         self.select.winners().get(self.k).map(|r| r.value)
+    }
+
+    /// Band-aware threshold report: the interval guaranteed to contain the
+    /// **true** global `(k+1)`-th-best value when every shard runs with the
+    /// declared ε tolerance ([`Self::with_tolerance`]). With exact shards
+    /// (`tolerance = 0`) this degenerates to `(bar, bar)`; `None` exactly
+    /// when [`bar`](Self::bar) is `None`.
+    pub fn bar_band(&self) -> Option<(Value, Value)> {
+        self.bar().map(|b| {
+            (
+                b.saturating_sub(self.tolerance),
+                b.saturating_add(self.tolerance),
+            )
+        })
     }
 
     /// The merge target `k`.
@@ -211,6 +247,37 @@ mod tests {
         }
         assert_eq!(merge.bar(), None);
         assert_eq!(merge.ranking().len(), 2);
+    }
+
+    #[test]
+    fn bar_band_composes_the_per_shard_tolerance() {
+        let values: Vec<Value> = (0..20u64).map(|i| 10 + i * 5).collect();
+        let (s, k) = (4, 3);
+        let mut merge = ShardMerge::new(k, values.len() as u64).with_tolerance(7);
+        assert_eq!(merge.tolerance(), 7);
+        assert_eq!(merge.bar_band(), None, "no bar before any merge");
+        merge.begin();
+        for list in shard_lists(&values, s, k) {
+            merge.offer(&list);
+        }
+        let bar = merge.bar().expect("20 keys > k");
+        assert_eq!(merge.bar_band(), Some((bar - 7, bar + 7)));
+        // Exact shards collapse the band to a point; saturating at zero.
+        let exact = ShardMerge::new(k, 20);
+        assert_eq!(exact.tolerance(), 0);
+        let mut low = ShardMerge::new(1, 3).with_tolerance(100);
+        low.begin();
+        low.offer(&[
+            Report {
+                id: NodeId(0),
+                value: 40,
+            },
+            Report {
+                id: NodeId(1),
+                value: 2,
+            },
+        ]);
+        assert_eq!(low.bar_band(), Some((0, 102)), "lower edge saturates");
     }
 
     #[test]

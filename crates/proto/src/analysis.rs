@@ -55,6 +55,38 @@ pub fn kselect_up_msgs_bound(count: u64, n_bound: u64) -> f64 {
     2.0 * c * ((n / c).log2().max(0.0) + 1.0) + 2.0 * n.log2() + 1.0
 }
 
+/// ε-band charging (follow-up paper, arXiv 1601.04448): number of
+/// successful midpoint halvings an epoch can see before its surviving gap
+/// certificate has shrunk to ≤ ε — `⌈log₂(Δ/ε)⌉` for `Δ > ε ≥ 1`, zero
+/// once `ε ≥ Δ`. From that point on, *every* boundary crossing of width
+/// ≤ ε is absorbed as a band hit (one broadcast, `RunMetrics::band_hits`)
+/// where the exact rule fires `FILTERRESET` — so the band phase of an
+/// epoch is reached after `O(log(Δ/ε))` updates and then pays O(1) per
+/// crossing. `ε = 0` is exact mode (the band never engages), hence the
+/// assert.
+pub fn band_halvings_bound(delta: u64, eps: u64) -> f64 {
+    assert!(eps >= 1, "ε = 0 is exact mode: the band never engages");
+    if delta <= eps {
+        0.0
+    } else {
+        ((delta as f64) / (eps as f64)).log2().ceil()
+    }
+}
+
+/// Messages the exact rule pays where one ε-band hit pays a single
+/// broadcast: the batched `FILTERRESET` cost bound — the k-select
+/// up-message bound ([`kselect_up_msgs_bound`] with `c = k + 1`) plus one
+/// broadcast per reset round (`⌈log₂(n/(k+1))⌉ + k + 3`, the round bound
+/// pinned by `crates/core/tests/reset_rounds.rs`). The per-hit competitive
+/// advantage of approximate mode on an oscillation trace is this quantity
+/// over 1; `tests/competitive_bounds.rs` pins the measured ratio against
+/// it.
+pub fn band_hit_savings_bound(k: u64, n: u64) -> f64 {
+    assert!(k >= 1 && n > k);
+    let rounds = topk_net::rng::log2_ceil(n / (k + 1)) as f64 + k as f64 + 3.0;
+    kselect_up_msgs_bound(k + 1, n) + rounds
+}
+
 /// `H_n`, the n-th harmonic number — the expected number of left-to-right
 /// maxima of a uniformly random permutation, i.e. the expected up-message
 /// count of the deterministic sequential baseline (Theorem 4.3's `Θ(log n)`
@@ -106,6 +138,35 @@ mod tests {
         // The maximum holder sends with constant-ish probability mass; deep
         // ranks almost never send.
         assert!(lemma41_send_probability_bound(256, n) < 0.2);
+    }
+
+    #[test]
+    fn band_halvings_bound_tracks_delta_over_eps() {
+        assert_eq!(band_halvings_bound(16, 16), 0.0);
+        assert_eq!(band_halvings_bound(8, 16), 0.0);
+        assert_eq!(band_halvings_bound(16, 1), 4.0);
+        assert_eq!(band_halvings_bound(1024, 4), 8.0);
+        // Monotone: widening the band never needs more halvings.
+        let mut prev = f64::INFINITY;
+        for eps in [1u64, 2, 4, 8, 64, 1024] {
+            let h = band_halvings_bound(1 << 20, eps);
+            assert!(h <= prev, "eps={eps}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn band_hit_savings_dominate_a_single_broadcast() {
+        // The headline pin (≥ 10× fewer messages on the oscillation
+        // workload) is conservative against the theory: already at modest
+        // sizes the exact rule pays well over 10 messages per crossing
+        // where the band pays one.
+        for (k, n) in [(1u64, 64u64), (2, 128), (4, 1024)] {
+            let s = band_hit_savings_bound(k, n);
+            assert!(s >= 10.0, "k={k} n={n}: {s}");
+        }
+        // And it grows with both k and log n.
+        assert!(band_hit_savings_bound(4, 1024) > band_hit_savings_bound(1, 64));
     }
 
     #[test]

@@ -40,7 +40,8 @@ const SHARD_CHAOS_STREAM: u64 = 0x5345_5256_4348_0000; // "SERVCH.."
 /// Builder for [`TopkService`] — the serving layer's one entry point.
 ///
 /// Mirrors every [`MonitorBuilder`] knob (seed, engine, reset strategy,
-/// handler mode, broadcast policy, slack, chaos) and adds the shard count.
+/// handler mode, broadcast policy, slack, ε tolerance, chaos) and adds the
+/// shard count.
 /// The per-shard sessions inherit all of them; seeds (and chaos seeds) are
 /// derived per shard so shards run statistically independent streams while
 /// the whole service stays a pure function of `(keys, k, shards, seed)`.
@@ -125,6 +126,19 @@ impl ServeBuilder {
     /// Approximation slack `ε ≥ 0` for every shard.
     pub fn slack(mut self, slack: u64) -> Self {
         self.template = self.template.slack(slack);
+        self
+    }
+
+    /// ε-approximation tolerance of every shard's boundary band (see
+    /// [`MonitorBuilder::epsilon`]). `eps = 0` keeps exact shards. With
+    /// `eps > 0` each shard absorbs in-band boundary crossings with one
+    /// broadcast instead of a `FILTERRESET`, so every shard-committed
+    /// candidate value is within ε of that key's true value — and the
+    /// per-shard ε **composes**: the merged global answer and bar are
+    /// correct up to ε-indistinguishable boundary values, reported as an
+    /// interval by [`TopkService::threshold_band`].
+    pub fn epsilon(mut self, eps: u64) -> Self {
+        self.template = self.template.epsilon(eps);
         self
     }
 
@@ -230,7 +244,8 @@ impl ServeBuilder {
             shards,
             shard_of,
             local_of,
-            merge: ShardMerge::new(k, keys as u64),
+            merge: ShardMerge::new(k, keys as u64)
+                .with_tolerance(self.template.config().approx.epsilon()),
             events: Vec::new(),
             order: Vec::new(),
             order_scratch: Vec::new(),
@@ -466,6 +481,26 @@ impl TopkService {
     /// keeps its own midpoint filter threshold.
     pub fn threshold(&self) -> Option<Value> {
         self.bar
+    }
+
+    /// Band-aware threshold report: the interval guaranteed to contain the
+    /// **true** global `(k+1)`-th-best value given the service's ε
+    /// ([`ServeBuilder::epsilon`] — each shard commits values within ε of
+    /// the truth, and that per-shard ε composes through the exact merge).
+    /// With exact shards (`ε = 0`) the band collapses to
+    /// `(threshold, threshold)`; `None` exactly when
+    /// [`threshold`](Self::threshold) is.
+    pub fn threshold_band(&self) -> Option<(Value, Value)> {
+        self.bar.map(|b| {
+            let eps = self.merge.tolerance();
+            (b.saturating_sub(eps), b.saturating_add(eps))
+        })
+    }
+
+    /// The ε tolerance every shard session runs with
+    /// ([`ServeBuilder::epsilon`]; 0 = exact shards).
+    pub fn epsilon(&self) -> Value {
+        self.merge.tolerance()
     }
 
     /// The events of the most recent [`advance`](Self::advance).

@@ -26,7 +26,7 @@
 use proptest::prelude::*;
 
 use topk_core::session::{Engine, MonitorBuilder};
-use topk_core::{is_valid_topk, EventReplay, ResetStrategy, TopkEvent};
+use topk_core::{is_eps_valid_topk, is_valid_topk, EventReplay, ResetStrategy, TopkEvent};
 use topk_net::id::{true_ranking, NodeId, Value};
 use topk_serve::ServeBuilder;
 use topk_streams::WorkloadSpec;
@@ -226,6 +226,98 @@ fn tie_heavy_streams_stay_valid_and_lossless() {
             );
         }
     }
+}
+
+/// ISSUE 10: the ε knob propagates through `MonitorBuilder::sized` into
+/// every shard session, and the per-shard ε composes at service level —
+/// band hits replace shard resets, the answer stays ε-valid, and
+/// [`TopkService::threshold_band`] brackets the true global `(k+1)`-th
+/// best. ε = 0 stays bit-identical to a service that never set the knob.
+///
+/// [`TopkService::threshold_band`]: topk_serve::TopkService::threshold_band
+#[test]
+fn epsilon_propagates_to_shards_and_band_composes() {
+    let (keys, k) = (16usize, 2usize);
+    let amplitude = 40u64;
+    let eps = 2 * amplitude;
+    // Movers oscillate at the rank-3/4 boundary — exactly the shard's
+    // local k_s = k + 1 = 3 cut, so in-band crossings hit the shard band.
+    let spec = WorkloadSpec::BoundaryOscillate {
+        n: keys,
+        k: k + 1,
+        base: 1_000,
+        spread: 200,
+        amplitude,
+        period: 8,
+    };
+    let mut approx = ServeBuilder::new(keys, k)
+        .shards(1)
+        .seed(7)
+        .epsilon(eps)
+        .build();
+    let mut exact = ServeBuilder::new(keys, k).shards(1).seed(7).build();
+    let mut zero = ServeBuilder::new(keys, k)
+        .shards(1)
+        .seed(7)
+        .epsilon(0)
+        .build();
+    assert_eq!(approx.epsilon(), eps);
+    assert_eq!(exact.epsilon(), 0);
+
+    let mut feed = spec.build(3);
+    let mut row = vec![0u64; keys];
+    let mut sorted = Vec::new();
+    for t in 0..200 {
+        feed.fill_step(t, &mut row);
+        for svc in [&mut approx, &mut exact, &mut zero] {
+            svc.update_row(&row);
+        }
+        let ea = approx.advance(t).to_vec();
+        let ee = exact.advance(t).to_vec();
+        let ez = zero.advance(t).to_vec();
+        assert_eq!(ez, ee, "t={t}: ε = 0 must be bit-identical to exact");
+
+        sorted.clear();
+        sorted.extend_from_slice(&row);
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let true_bar = sorted[k];
+        assert!(
+            is_eps_valid_topk(&row, approx.topk(), eps),
+            "t={t}: service answer beyond ε"
+        );
+        let (lo, hi) = approx.threshold_band().expect("keys > k");
+        assert!(
+            lo <= true_bar && true_bar <= hi,
+            "t={t}: band [{lo}, {hi}] must bracket the true bar {true_bar}"
+        );
+        assert_eq!(exact.threshold(), Some(true_bar), "t={t}: exact bar");
+        let b = exact.threshold().unwrap();
+        assert_eq!(
+            exact.threshold_band(),
+            Some((b, b)),
+            "exact band is a point"
+        );
+        let _ = ea;
+    }
+
+    let ma = approx.metrics();
+    let me = exact.metrics();
+    assert!(
+        ma.band_hits > 0,
+        "ε never reached the shard sessions through sized()"
+    );
+    assert_eq!(me.band_hits, 0);
+    assert_eq!(zero.metrics(), me, "ε = 0 metrics must equal exact");
+    assert!(
+        ma.resets < me.resets,
+        "band hits must replace shard resets: approx {} vs exact {}",
+        ma.resets,
+        me.resets
+    );
+    assert!(
+        ma.total_up() < me.total_up(),
+        "the shard band must save up-messages"
+    );
 }
 
 proptest! {

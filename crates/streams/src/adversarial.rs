@@ -96,6 +96,129 @@ impl ValueFeed for BoundaryCross {
     }
 }
 
+/// The ε-band adversary: a square-wave mover pair straddling the k/k+1
+/// boundary, flipping instantaneously every half period.
+///
+/// Nodes `0..n-2` hold well-separated constants; the mover pair (ids `n-2`
+/// and `n-1`) sits in the gap between the `(k-1)`-th and `k`-th largest
+/// statics at `center ± amplitude`, swapping *instantaneously* (square
+/// wave, not triangle) every `period/2` steps. Each flip genuinely changes
+/// the top-k set, but the crossing width is always exactly `2·amplitude`:
+///
+/// * **exact mode** pays the full violation → `FILTERRESET` cascade on
+///   every flip (the new gap certificate is empty);
+/// * **ε-approximate mode** with `ε ≥ 2·amplitude` absorbs every flip as
+///   an in-band re-centering — one broadcast, zero resets.
+///
+/// That makes it the headline workload of the approximate-mode benchmark
+/// (`results/BENCH_approx.json`): the gap between the two modes *is* the
+/// competitive gap of arXiv 1601.04448. The `seed` only shifts the wave's
+/// phase (`seed mod period`), so runs are fully deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct BoundaryOscillate {
+    n: usize,
+    k: usize,
+    base: Value,
+    spread: Value,
+    center: Value,
+    amplitude: Value,
+    period: u64,
+    /// Phase shift derived from the seed.
+    offset: u64,
+    /// Wave polarity of the last `fill_delta` emission.
+    last_hi: Option<bool>,
+}
+
+impl BoundaryOscillate {
+    /// `k` picks which boundary the pair straddles: exactly `k − 1` statics
+    /// sit above the movers, so the movers occupy ranks `k` and `k + 1`
+    /// (`1 ≤ k ≤ n − 2`). Requires `spread > 2·amplitude + 1` so the pair
+    /// never crosses a static.
+    pub fn new(
+        n: usize,
+        k: usize,
+        base: Value,
+        spread: Value,
+        amplitude: Value,
+        period: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 3 && k >= 1 && k <= n - 2);
+        assert!(period >= 2 && amplitude >= 1);
+        assert!(
+            spread > 2 * amplitude + 1,
+            "movers must stay strictly inside their static slot"
+        );
+        // Exactly k − 1 statics above: the pair lives halfway between the
+        // statics of index n−2−k and n−1−k (the latter may not exist for
+        // k = 1, which puts the pair above the whole field).
+        let center = base + spread * (n as u64 - 2 - k as u64) + spread / 2;
+        BoundaryOscillate {
+            n,
+            k,
+            base,
+            spread,
+            center,
+            amplitude,
+            period,
+            offset: seed % period,
+            last_hi: None,
+        }
+    }
+
+    /// The boundary-crossing width of every flip — the smallest ε that
+    /// turns all of this workload's resets into band hits.
+    pub fn band_width(&self) -> Value {
+        2 * self.amplitude
+    }
+
+    /// The `k` whose k/k+1 boundary the pair straddles.
+    pub fn boundary_k(&self) -> usize {
+        self.k
+    }
+
+    /// Square wave: is mover `n-2` currently the upper one?
+    fn hi_phase(&self, t: u64) -> bool {
+        let half = (self.period / 2).max(1);
+        ((t + self.offset) / half).is_multiple_of(2)
+    }
+}
+
+impl ValueFeed for BoundaryOscillate {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn fill_step(&mut self, t: u64, out: &mut [Value]) {
+        for (i, slot) in out.iter_mut().take(self.n - 2).enumerate() {
+            *slot = self.base + self.spread * (i as u64);
+        }
+        let hi = self.hi_phase(t);
+        let (top, bot) = (self.center + self.amplitude, self.center - self.amplitude);
+        out[self.n - 2] = if hi { top } else { bot };
+        out[self.n - 1] = if hi { bot } else { top };
+    }
+
+    /// The statics never move: after initialization only the two movers are
+    /// emitted, and only on the steps where the wave actually flips — an
+    /// O(1) delta with long silent stretches between flips.
+    fn fill_delta(&mut self, t: u64, changes: &mut Vec<(NodeId, Value)>) {
+        changes.clear();
+        let hi = self.hi_phase(t);
+        if self.last_hi.is_none() {
+            for i in 0..self.n - 2 {
+                changes.push((NodeId(i as u32), self.base + self.spread * (i as u64)));
+            }
+        }
+        if self.last_hi != Some(hi) {
+            let (top, bot) = (self.center + self.amplitude, self.center - self.amplitude);
+            changes.push((NodeId((self.n - 2) as u32), if hi { top } else { bot }));
+            changes.push((NodeId((self.n - 1) as u32), if hi { bot } else { top }));
+            self.last_hi = Some(hi);
+        }
+    }
+}
+
 /// The §2.1 worst case: the maximum position rotates every step.
 ///
 /// Node `(t mod n)` spikes to `base + bonus`, everyone else sits at
@@ -262,6 +385,41 @@ mod tests {
             let static_max = out[..6].iter().max().unwrap();
             let osc_min = out[6..].iter().min().unwrap();
             assert!(osc_min > static_max, "oscillators must stay on top");
+        }
+    }
+
+    #[test]
+    fn oscillate_straddles_the_requested_boundary() {
+        // n = 7, k = 2: one static above the pair, movers at ranks 2 and 3.
+        let mut g = BoundaryOscillate::new(7, 2, 100, 50, 10, 6, 0);
+        let mut out = vec![0u64; 7];
+        let mut upper_seen = std::collections::HashSet::new();
+        for t in 0..24 {
+            g.fill_step(t, &mut out);
+            let top2 = true_topk(&out, 2);
+            // Rank 1 is always the top static (id 4); rank 2 alternates
+            // between the two movers.
+            assert!(top2.contains(&NodeId(4)), "t={t}: top static dethroned");
+            let mover = top2.iter().find(|id| id.0 >= 5).unwrap();
+            upper_seen.insert(*mover);
+            // The crossing width is constant: exactly band_width().
+            let gap = out[5].abs_diff(out[6]);
+            assert_eq!(gap, g.band_width(), "t={t}");
+        }
+        assert_eq!(upper_seen.len(), 2, "movers must alternate at rank k");
+    }
+
+    #[test]
+    fn oscillate_seed_shifts_phase_only() {
+        let mut a = BoundaryOscillate::new(5, 1, 0, 100, 8, 8, 0);
+        let mut b = BoundaryOscillate::new(5, 1, 0, 100, 8, 8, 4);
+        let mut ra = vec![0u64; 5];
+        let mut rb = vec![0u64; 5];
+        // Seed 4 with period 8 (half = 4) is exactly one half-period ahead.
+        for t in 0..32 {
+            a.fill_step(t + 4, &mut ra);
+            b.fill_step(t, &mut rb);
+            assert_eq!(ra, rb, "t={t}: seed must act as a pure phase shift");
         }
     }
 

@@ -27,7 +27,7 @@ pub mod sensor;
 pub mod spec;
 pub mod walk;
 
-pub use adversarial::{BoundaryCross, BoundaryGrind, RotatingMax};
+pub use adversarial::{BoundaryCross, BoundaryGrind, BoundaryOscillate, RotatingMax};
 pub use basic::{Constant, IidUniform, ZipfJumps, ZipfTable};
 pub use combinators::{Affine, Glitch, StuckNode, Switch};
 pub use sensor::{Bursty, SensorField};

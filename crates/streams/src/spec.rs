@@ -7,7 +7,7 @@ use topk_net::behavior::ValueFeed;
 use topk_net::id::Value;
 use topk_net::trace::{TraceMatrix, TraceReplay};
 
-use crate::adversarial::{BoundaryCross, BoundaryGrind, RotatingMax};
+use crate::adversarial::{BoundaryCross, BoundaryGrind, BoundaryOscillate, RotatingMax};
 use crate::basic::{Constant, IidUniform, ZipfJumps};
 use crate::sensor::{Bursty, SensorField};
 use crate::walk::{GaussianWalk, RandomWalk, SparseWalk};
@@ -65,6 +65,18 @@ pub enum WorkloadSpec {
         amplitude: Value,
         period: u64,
     },
+    /// Square-wave mover pair straddling the k/k+1 boundary: every flip
+    /// crosses by exactly `2·amplitude`, so `ε ≥ 2·amplitude` turns every
+    /// exact-mode reset into one ε-band broadcast (the seed shifts the
+    /// wave's phase).
+    BoundaryOscillate {
+        n: usize,
+        k: usize,
+        base: Value,
+        spread: Value,
+        amplitude: Value,
+        period: u64,
+    },
     /// One node grinds toward the boundary and back (violations without
     /// top-k changes).
     BoundaryGrind {
@@ -103,6 +115,7 @@ impl WorkloadSpec {
             | WorkloadSpec::SparseWalk { n, .. }
             | WorkloadSpec::ZipfJumps { n, .. }
             | WorkloadSpec::BoundaryCross { n, .. }
+            | WorkloadSpec::BoundaryOscillate { n, .. }
             | WorkloadSpec::BoundaryGrind { n, .. }
             | WorkloadSpec::RotatingMax { n, .. }
             | WorkloadSpec::SensorField { n }
@@ -122,6 +135,7 @@ impl WorkloadSpec {
             WorkloadSpec::SparseWalk { .. } => "sparse-walk",
             WorkloadSpec::ZipfJumps { .. } => "zipf-jumps",
             WorkloadSpec::BoundaryCross { .. } => "boundary-cross",
+            WorkloadSpec::BoundaryOscillate { .. } => "boundary-oscillate",
             WorkloadSpec::BoundaryGrind { .. } => "boundary-grind",
             WorkloadSpec::RotatingMax { .. } => "rotating-max",
             WorkloadSpec::SensorField { .. } => "sensor-field",
@@ -167,6 +181,16 @@ impl WorkloadSpec {
                 amplitude,
                 period,
             } => Box::new(BoundaryCross::new(n, base, spread, amplitude, period)),
+            WorkloadSpec::BoundaryOscillate {
+                n,
+                k,
+                base,
+                spread,
+                amplitude,
+                period,
+            } => Box::new(BoundaryOscillate::new(
+                n, k, base, spread, amplitude, period, seed,
+            )),
             WorkloadSpec::BoundaryGrind {
                 n,
                 base,
@@ -271,6 +295,14 @@ mod tests {
                 n: 4,
                 base: 100,
                 spread: 10,
+                amplitude: 8,
+                period: 6,
+            },
+            WorkloadSpec::BoundaryOscillate {
+                n: 4,
+                k: 1,
+                base: 100,
+                spread: 30,
                 amplitude: 8,
                 period: 6,
             },

@@ -100,6 +100,14 @@ fn all_specs() -> Vec<WorkloadSpec> {
             amplitude: 9,
             period: 8,
         },
+        WorkloadSpec::BoundaryOscillate {
+            n: 6,
+            k: 2,
+            base: 100,
+            spread: 40,
+            amplitude: 9,
+            period: 8,
+        },
         WorkloadSpec::BoundaryGrind {
             n: 5,
             base: 0,
@@ -283,6 +291,17 @@ fn quiet_generators_emit_small_steady_deltas() {
                 n: 100,
                 base: 100,
                 spread: 20,
+                amplitude: 9,
+                period: 8,
+            },
+            2,
+        ),
+        (
+            WorkloadSpec::BoundaryOscillate {
+                n: 100,
+                k: 3,
+                base: 100,
+                spread: 40,
                 amplitude: 9,
                 period: 8,
             },

@@ -118,10 +118,10 @@ pub use topk_streams as streams;
 /// The most common imports for downstream users.
 pub mod prelude {
     pub use topk_core::{
-        is_valid_topk, run_monitor, run_monitor_sparse, ChaosPolicy, Engine, EventReplay,
-        HandlerMode, Monitor, MonitorBuilder, MonitorConfig, MonitorSession, RecoveryMetrics,
-        ResetStrategy, RuntimeError, SocketTopkMonitor, ThreadedTopkMonitor, TopkEvent,
-        TopkMonitor,
+        is_eps_valid_topk, is_valid_topk, run_monitor, run_monitor_sparse, ApproxMode, BuildError,
+        ChaosPolicy, Engine, EventReplay, HandlerMode, Monitor, MonitorBuilder, MonitorConfig,
+        MonitorSession, RecoveryMetrics, ResetStrategy, RuntimeError, SocketTopkMonitor,
+        ThreadedTopkMonitor, TopkEvent, TopkMonitor,
     };
     pub use topk_core::{opt_segments, trace_delta, OptCostModel};
     pub use topk_core::{DominanceMidpoint, FilterNaiveResolve, NaiveMonitor, PeriodicRecompute};

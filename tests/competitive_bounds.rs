@@ -85,6 +85,89 @@ fn ratio_within_bound_adversarial() {
     );
 }
 
+/// ISSUE 10 satellite: on the oscillation lower-bound instances of the
+/// follow-up paper (arXiv 1601.04448) — a mover pair forcing a genuine
+/// top-k change per half period — the ε-band run's competitive ratio
+/// against offline OPT collapses to a small constant (it pays O(1)
+/// broadcasts per OPT update), while the exact hero stays in the
+/// Θ(FILTERRESET) regime on the identical trace. Seed-rotated, and the
+/// CI `approx-conformance` job adds `PROPTEST_SEED` as an extra rotation.
+#[test]
+fn approx_band_collapses_the_competitive_ratio_on_oscillation() {
+    let (n, k, steps) = (48usize, 2usize, 400usize);
+    let amplitude = 40u64;
+    let eps = 2 * amplitude;
+    let mut seeds = vec![0u64, 1, 2];
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            seeds.push(v % 1_000);
+        }
+    }
+    for seed in seeds {
+        let spec = WorkloadSpec::BoundaryOscillate {
+            n,
+            k,
+            base: 1_000,
+            spread: 200,
+            amplitude,
+            period: 8,
+        };
+        let trace = spec.record(seed, steps);
+
+        // Exact hero on the recorded trace, with the OPT denominator.
+        let out = run_scenario_on_trace(
+            &Scenario {
+                k,
+                steps,
+                workload: spec.clone(),
+                algo: AlgoSpec::hero(),
+                seed,
+            },
+            &trace,
+        );
+        assert_eq!(out.correct_steps, out.steps);
+        let opt = out.opt_updates.max(1);
+        let exact_total = out.messages.total();
+
+        // The ε-approximate run on the identical trace.
+        let mut approx = MonitorBuilder::new(n, k).seed(seed).epsilon(eps).build();
+        let mut feed = WorkloadSpec::Replay {
+            trace: trace.clone(),
+        }
+        .build(seed);
+        for t in 0..steps as u64 {
+            approx.ingest(feed.as_mut(), t);
+            approx.advance(t);
+            assert!(
+                is_eps_valid_topk(trace.step(t as usize), approx.topk(), eps),
+                "seed {seed} t={t}: approx answer beyond ε"
+            );
+        }
+        let ma = *approx.metrics();
+        let approx_total = approx.ledger().total();
+
+        assert_eq!(
+            ma.resets, 0,
+            "seed {seed}: the band must absorb every crossing"
+        );
+        assert!(ma.band_hits > 0, "seed {seed}: the band never engaged");
+        assert!(
+            approx_total >= opt,
+            "seed {seed}: OPT ({opt}) must stay a lower bound (approx {approx_total})"
+        );
+        let ratio_exact = exact_total as f64 / opt as f64;
+        let ratio_approx = approx_total as f64 / opt as f64;
+        assert!(
+            ratio_approx <= 8.0,
+            "seed {seed}: approx must pay O(1) per OPT update, ratio {ratio_approx:.2}"
+        );
+        assert!(
+            4.0 * ratio_approx <= ratio_exact,
+            "seed {seed}: competitive gap too small: approx {ratio_approx:.2} vs exact {ratio_exact:.2}"
+        );
+    }
+}
+
 #[test]
 fn hero_wins_where_the_paper_says_it_should() {
     // Smooth workload: Algorithm 1 ≪ naive and ≪ periodic recompute.
